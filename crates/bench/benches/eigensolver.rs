@@ -1,0 +1,47 @@
+//! Criterion bench behind experiment **T4**: serial QL versus the Jacobi
+//! family on random symmetric matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tbmd::linalg::{eigh, jacobi_eigh, par_jacobi_eigh, Matrix, JACOBI_MAX_SWEEPS, JACOBI_TOL};
+use tbmd::parallel::ring_jacobi_eigh;
+
+fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = next();
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolvers");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let a = random_symmetric(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("householder_ql", n), &a, |b, a| {
+            b.iter(|| eigh(a.clone()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cyclic_jacobi", n), &a, |b, a| {
+            b.iter(|| jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_jacobi", n), &a, |b, a| {
+            b.iter(|| par_jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ring_jacobi_p4", n), &a, |b, a| {
+            b.iter(|| ring_jacobi_eigh(a, 4, JACOBI_TOL, JACOBI_MAX_SWEEPS))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigensolvers);
+criterion_main!(benches);

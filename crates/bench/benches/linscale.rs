@@ -1,0 +1,30 @@
+//! Criterion bench behind experiment **F5**: the O(N) Chebyshev engine
+//! versus dense diagonalization across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tbmd::{silicon_gsp, ForceProvider, LinearScalingTb, OccupationScheme, Species, TbCalculator};
+
+fn bench_linscale(c: &mut Criterion) {
+    let model = silicon_gsp();
+    let mut group = c.benchmark_group("linear_scaling");
+    group.sample_size(10);
+    for reps in [1usize, 2] {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+        let n = s.n_atoms();
+        let dense = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.3 });
+        group.bench_with_input(BenchmarkId::new("dense", n), &s, |b, s| {
+            b.iter(|| dense.compute(s).unwrap())
+        });
+        let engine = LinearScalingTb::new(&model)
+            .with_kt(0.3)
+            .with_order(100)
+            .with_r_loc(5.0);
+        group.bench_with_input(BenchmarkId::new("chebyshev_o_n", n), &s, |b, s| {
+            b.iter(|| engine.evaluate(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linscale);
+criterion_main!(benches);

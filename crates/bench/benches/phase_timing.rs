@@ -1,0 +1,48 @@
+//! Criterion bench behind experiment **T1**: the individual phases of a
+//! TBMD force evaluation (neighbour list, Hamiltonian assembly,
+//! diagonalization, density matrix, full evaluation) on Si supercells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tbmd::{silicon_gsp, ForceProvider, Species, TbCalculator};
+use tbmd_model::{
+    build_hamiltonian, density_matrix, occupations, OccupationScheme, OrbitalIndex, TbModel,
+};
+use tbmd_structure::NeighborList;
+
+fn bench_phases(c: &mut Criterion) {
+    let model = silicon_gsp();
+    let mut group = c.benchmark_group("tbmd_phases");
+    group.sample_size(10);
+    for reps in [1usize, 2] {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+        let n = s.n_atoms();
+        let nl = NeighborList::build(&s, model.cutoff());
+        let index = OrbitalIndex::new(&s);
+        let h = build_hamiltonian(&s, &nl, &model, &index);
+
+        group.bench_with_input(BenchmarkId::new("neighbor_list", n), &s, |b, s| {
+            b.iter(|| NeighborList::build(s, model.cutoff()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hamiltonian", n),
+            &(&s, &nl),
+            |b, (s, nl)| b.iter(|| build_hamiltonian(s, nl, &model, &index)),
+        );
+        group.bench_with_input(BenchmarkId::new("diagonalize", n), &h, |b, h| {
+            b.iter(|| tbmd::linalg::eigh((*h).clone()).unwrap())
+        });
+        let eig = tbmd::linalg::eigh(h.clone()).unwrap();
+        let occ = occupations(&eig.values, s.n_electrons(), OccupationScheme::Fermi { kt: 0.1 });
+        group.bench_with_input(BenchmarkId::new("density_matrix", n), &eig, |b, eig| {
+            b.iter(|| density_matrix(&eig.vectors, &occ.f))
+        });
+        let calc = TbCalculator::new(&model);
+        group.bench_with_input(BenchmarkId::new("full_evaluation", n), &s, |b, s| {
+            b.iter(|| calc.evaluate(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

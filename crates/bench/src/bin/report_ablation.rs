@@ -1,0 +1,104 @@
+//! **Ablation study** — the design choices DESIGN.md calls out, each toggled
+//! in isolation:
+//!
+//! * (a) occupation scheme: zero-temperature filling vs Fermi smearing —
+//!   smearing costs a tiny Mermin free-energy offset but keeps forces
+//!   continuous through level crossings (the reason it is the MD default);
+//! * (b) neighbour-list strategy: brute-force O(N²) vs linked-cell O(N);
+//! * (c) eigensolver within the shared-memory engine: Householder+QL vs
+//!   parallel-ordered Jacobi (serial cost of the parallel-friendly choice).
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_ablation`
+
+use std::time::Instant;
+use tbmd::parallel::{Eigensolver, SharedMemoryTb};
+use tbmd::{
+    maxwell_boltzmann, silicon_gsp, ForceProvider, MdState, OccupationScheme, Species,
+    TbCalculator, VelocityVerlet,
+};
+use tbmd_bench::{fmt_e, fmt_ms, fmt_s, print_table};
+use tbmd_model::TbModel;
+use tbmd_structure::NeighborList;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = silicon_gsp();
+
+    // (a) occupation-scheme ablation: NVE drift at high temperature, where
+    // level crossings occur.
+    let mut rows = Vec::new();
+    for (label, occ) in [
+        ("zero-temperature", OccupationScheme::ZeroTemperature),
+        ("Fermi kT=0.05 eV", OccupationScheme::Fermi { kt: 0.05 }),
+        ("Fermi kT=0.10 eV", OccupationScheme::Fermi { kt: 0.1 }),
+        ("Fermi kT=0.30 eV", OccupationScheme::Fermi { kt: 0.3 }),
+    ] {
+        let calc = TbCalculator::with_occupation(&model, occ);
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = maxwell_boltzmann(&s, 2000.0, &mut rng);
+        let mut state = MdState::new(s, v, &calc).expect("init");
+        let vv = VelocityVerlet::new(1.0);
+        let e0 = state.total_energy();
+        let mut peak: f64 = 0.0;
+        for _ in 0..40 {
+            vv.step(&mut state, &calc).expect("step");
+            peak = peak.max((state.total_energy() - e0).abs());
+        }
+        rows.push(vec![label.to_string(), fmt_e(peak), fmt_e(peak / e0.abs())]);
+    }
+    print_table(
+        "Ablation (a): occupation scheme vs NVE drift, Si-8 at 2000 K, 40 fs",
+        &["occupations", "peak |ΔE|/eV", "relative"],
+        &rows,
+    );
+    println!("\n  Reading: smearing does not degrade (and near crossings improves)");
+    println!("  conservation; it is the default for force continuity.");
+
+    // (b) neighbour-list strategy timing.
+    let mut rows = Vec::new();
+    for reps in [3usize, 4, 5] {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+        let cutoff = model.cutoff();
+        let t0 = Instant::now();
+        let brute = NeighborList::build_brute_force(&s, cutoff);
+        let t_brute = t0.elapsed();
+        let t0 = Instant::now();
+        let linked = NeighborList::build_linked_cell(&s, cutoff);
+        let t_linked = t0.elapsed();
+        assert_eq!(brute.n_entries(), linked.n_entries());
+        rows.push(vec![
+            s.n_atoms().to_string(),
+            fmt_ms(t_brute),
+            fmt_ms(t_linked),
+            fmt_s(t_brute.as_secs_f64() / t_linked.as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "Ablation (b): neighbour-list strategy (identical entry sets asserted)",
+        &["N", "brute O(N²)/ms", "linked O(N)/ms", "speedup"],
+        &rows,
+    );
+
+    // (c) eigensolver choice inside the shared-memory engine.
+    let mut rows = Vec::new();
+    let s = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+    for (label, solver) in [
+        ("Householder+QL", Eigensolver::HouseholderQl),
+        ("parallel Jacobi", Eigensolver::ParallelJacobi),
+    ] {
+        let engine = SharedMemoryTb::new(&model).with_eigensolver(solver);
+        let t0 = Instant::now();
+        let eval = engine.evaluate(&s).expect("evaluation");
+        let t = t0.elapsed();
+        rows.push(vec![label.to_string(), fmt_ms(t), format!("{:.6}", eval.energy)]);
+    }
+    print_table(
+        "Ablation (c): eigensolver in the shared-memory engine, Si-64",
+        &["solver", "t/ms (serial host)", "energy/eV"],
+        &rows,
+    );
+    println!("\n  Reading: QL wins on one core; Jacobi's n/2-way rotation parallelism");
+    println!("  is why the distributed engine uses it anyway (see T2/T4).");
+}

@@ -1,0 +1,45 @@
+//! **Experiment F2** — communication vs computation fraction across era
+//! machines.
+//!
+//! The same measured execution (per-rank flops, messages, bytes of the
+//! distributed engine) priced on all three bundled machine models shows how
+//! the network:CPU balance of the host machine moves the parallel-efficiency
+//! sweet spot — the Delta's thin network suffers where the Paragon's fat
+//! mesh shrugs.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_comm_model [-- reps]`
+
+use tbmd::parallel::{estimate_cost, MachineProfile};
+use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species};
+use tbmd_bench::{arg_usize, fmt_f, fmt_s, print_table};
+
+fn main() {
+    let reps = arg_usize(1, 2);
+    let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+    let model = silicon_gsp();
+    println!("workload: one TBMD step, Si N = {} atoms", s.n_atoms());
+
+    let mut rows = Vec::new();
+    for p in [2usize, 4, 8] {
+        let engine = DistributedTb::new(&model, p);
+        engine.evaluate(&s).expect("evaluation");
+        let report = engine.last_report().expect("report");
+        for machine in MachineProfile::all() {
+            let est = estimate_cost(&machine, &report.stats);
+            rows.push(vec![
+                p.to_string(),
+                machine.name.clone(),
+                fmt_s(est.comp_s),
+                fmt_s(est.comm_s),
+                format!("{}%", fmt_f(100.0 * est.comm_fraction(), 1)),
+            ]);
+        }
+    }
+    print_table(
+        "F2: communication share of one TBMD step across era machines",
+        &["P", "machine", "comp/s", "comm/s", "comm fraction"],
+        &rows,
+    );
+    println!("\nShape check: comm fraction grows with P on every machine and is");
+    println!("largest on the lowest-bandwidth network (Delta/CM-5 > Paragon).");
+}

@@ -1,0 +1,103 @@
+//! **Experiment T4** — eigensolver comparison: Householder+QL versus cyclic
+//! Jacobi versus parallel-ordered Jacobi versus the distributed ring Jacobi,
+//! on random symmetric matrices and on real TB Hamiltonians.
+//!
+//! Expected shape: QL is the fastest serial algorithm; Jacobi costs a small
+//! constant factor more but exposes n/2-way parallelism per round; the
+//! distributed version reproduces the same spectrum bit-for-bit to round-off
+//! while adding measurable ring traffic. Residuals all sit at round-off.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_eigensolvers [-- max_n]`
+
+use std::time::Instant;
+use tbmd::linalg::{
+    eig_residual, eigh, jacobi_eigh, par_jacobi_eigh, Matrix, JACOBI_MAX_SWEEPS, JACOBI_TOL,
+};
+use tbmd::parallel::ring_jacobi_eigh;
+use tbmd::{silicon_gsp, Species};
+use tbmd_bench::{arg_usize, fmt_e, fmt_ms, print_table};
+use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
+use tbmd_structure::NeighborList;
+
+fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = next();
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+fn tb_hamiltonian(reps: usize) -> Matrix {
+    let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+    let model = silicon_gsp();
+    let nl = NeighborList::build(&s, model.cutoff());
+    let index = OrbitalIndex::new(&s);
+    build_hamiltonian(&s, &nl, &model, &index)
+}
+
+fn main() {
+    let max_n = arg_usize(1, 256);
+    let mut rows = Vec::new();
+    let mut matrices: Vec<(String, Matrix)> = Vec::new();
+    let mut n = 64usize;
+    while n <= max_n {
+        matrices.push((format!("random {n}"), random_symmetric(n, n as u64)));
+        n *= 2;
+    }
+    matrices.push(("Si-8 H (32)".into(), tb_hamiltonian(1)));
+    matrices.push(("Si-64 H (256)".into(), tb_hamiltonian(2)));
+
+    for (label, a) in &matrices {
+        // Householder + QL.
+        let t0 = Instant::now();
+        let ql = eigh(a.clone()).expect("QL");
+        let t_ql = t0.elapsed();
+        // Cyclic Jacobi.
+        let t0 = Instant::now();
+        let (cyc, cyc_stats) = jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).expect("Jacobi");
+        let t_cyc = t0.elapsed();
+        // Parallel-ordered Jacobi.
+        let t0 = Instant::now();
+        let (par, _) = par_jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).expect("parallel Jacobi");
+        let t_par = t0.elapsed();
+        // Distributed ring Jacobi on 4 virtual ranks.
+        let t0 = Instant::now();
+        let (ring, ring_report) = ring_jacobi_eigh(a, 4, JACOBI_TOL, JACOBI_MAX_SWEEPS);
+        let t_ring = t0.elapsed();
+
+        let max_dev = |other: &tbmd::linalg::Eigh| -> f64 {
+            ql.values
+                .iter()
+                .zip(&other.values)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max)
+        };
+        rows.push(vec![
+            label.clone(),
+            fmt_ms(t_ql),
+            fmt_ms(t_cyc),
+            fmt_ms(t_par),
+            fmt_ms(t_ring),
+            cyc_stats.sweeps.to_string(),
+            fmt_e(eig_residual(a, &ql)),
+            fmt_e(max_dev(&cyc).max(max_dev(&par)).max(max_dev(&ring))),
+            ring_report.stats.total_messages().to_string(),
+        ]);
+    }
+    print_table(
+        "T4: symmetric eigensolver comparison (vectors included)",
+        &["matrix", "QL/ms", "cycJac/ms", "parJac/ms", "ringJac(P=4)/ms", "sweeps", "QL residual", "max |Δλ|", "ring msgs"],
+        &rows,
+    );
+    println!("\nShape check: QL fastest serially; Jacobi ~6–10 sweeps; all solvers");
+    println!("agree to ≲1e-8; ring traffic present only in the distributed solver.");
+}

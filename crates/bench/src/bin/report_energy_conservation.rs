@@ -1,0 +1,59 @@
+//! **Experiment F3** — microcanonical energy conservation versus timestep.
+//!
+//! Velocity Verlet is symplectic: total-energy fluctuations scale as Δt² and
+//! show no secular drift. The table reports peak |ΔE| and the drift of the
+//! run-segment means over NVE runs at several timesteps and two
+//! temperatures. The 1 fs column justifies the era's standard TBMD timestep.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_energy_conservation [-- steps]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbmd::{maxwell_boltzmann, silicon_gsp, MdState, Species, TbCalculator, VelocityVerlet};
+use tbmd_bench::{arg_usize, fmt_e, print_table};
+
+fn main() {
+    let steps = arg_usize(1, 60);
+    let model = silicon_gsp();
+    let calc = TbCalculator::new(&model);
+
+    let mut rows = Vec::new();
+    for temperature in [300.0, 1500.0] {
+        for dt in [0.25, 0.5, 1.0, 2.0] {
+            let s = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+            let mut rng = StdRng::seed_from_u64(12);
+            let v = maxwell_boltzmann(&s, temperature, &mut rng);
+            let mut state = MdState::new(s, v, &calc).expect("init");
+            let vv = VelocityVerlet::new(dt);
+            let e0 = state.total_energy();
+            let mut peak: f64 = 0.0;
+            let mut first_half = 0.0;
+            let mut second_half = 0.0;
+            for step in 0..steps {
+                vv.step(&mut state, &calc).expect("step");
+                let de = state.total_energy() - e0;
+                peak = peak.max(de.abs());
+                if step < steps / 2 {
+                    first_half += de;
+                } else {
+                    second_half += de;
+                }
+            }
+            let drift = (second_half - first_half) / (steps / 2) as f64;
+            rows.push(vec![
+                format!("{temperature:.0}"),
+                format!("{dt:.2}"),
+                format!("{:.1}", dt * steps as f64),
+                fmt_e(peak),
+                fmt_e(drift.abs()),
+            ]);
+        }
+    }
+    print_table(
+        "F3: NVE energy conservation, Si 8 atoms (velocity Verlet)",
+        &["T/K", "dt/fs", "span/fs", "peak |ΔE|/eV", "secular drift/eV"],
+        &rows,
+    );
+    println!("\nShape check: peak |ΔE| scales ≈ Δt² (16× from 0.25→1.0 fs);");
+    println!("secular drift stays far below the fluctuation at every Δt.");
+}

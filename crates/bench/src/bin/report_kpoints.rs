@@ -1,0 +1,94 @@
+//! **Experiment T6** — Brillouin-zone convergence: k-point sampling versus
+//! Γ-point supercells.
+//!
+//! The table shows E/atom of the 8-atom Si cell under Monkhorst–Pack grids
+//! of increasing density, the supercell-folding identity (primitive cell ×
+//! folding grid ≡ Γ-point supercell, an exact property of the Bloch
+//! machinery), and the Γ-point finite-size error this removes.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_kpoints`
+
+use tbmd::model::{folding_grid, monkhorst_pack, KPoint, KPointCalculator};
+use tbmd::{silicon_gsp, ForceProvider, OccupationScheme, Species, TbCalculator, Vec3};
+use tbmd_bench::{fmt_e, fmt_f, print_table};
+
+fn main() {
+    let model = silicon_gsp();
+    let primitive = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+    let kt = 0.1;
+
+    // Converged reference: dense MP grid.
+    let reference = KPointCalculator::new(&model, monkhorst_pack(&primitive, [4, 4, 4]), kt)
+        .evaluate(&primitive)
+        .expect("reference")
+        .energy
+        / primitive.n_atoms() as f64;
+
+    let mut rows = Vec::new();
+    let gamma_only = KPointCalculator::new(
+        &model,
+        vec![KPoint { k: Vec3::ZERO, weight: 1.0 }],
+        kt,
+    )
+    .evaluate(&primitive)
+    .expect("gamma")
+    .energy
+        / primitive.n_atoms() as f64;
+    rows.push(vec![
+        "Γ only".into(),
+        "1".into(),
+        fmt_f(gamma_only, 5),
+        fmt_e((gamma_only - reference).abs()),
+    ]);
+    for q in [2usize, 3, 4] {
+        let grid = monkhorst_pack(&primitive, [q, q, q]);
+        let n_k = grid.len();
+        let e = KPointCalculator::new(&model, grid, kt)
+            .evaluate(&primitive)
+            .expect("mp")
+            .energy
+            / primitive.n_atoms() as f64;
+        rows.push(vec![
+            format!("MP {q}x{q}x{q}"),
+            n_k.to_string(),
+            fmt_f(e, 5),
+            fmt_e((e - reference).abs()),
+        ]);
+    }
+    print_table(
+        "T6a: BZ convergence, Si 8-atom cell (E/atom, eV; reference = MP 4³)",
+        &["grid", "k-points", "E/atom", "|error|"],
+        &rows,
+    );
+
+    // Folding identity.
+    let mut rows = Vec::new();
+    for n in [2usize, 3] {
+        let grid = folding_grid(&primitive, [n, n, n]);
+        let e_k = KPointCalculator::new(&model, grid, kt)
+            .evaluate(&primitive)
+            .expect("folding")
+            .energy
+            / primitive.n_atoms() as f64;
+        let supercell = tbmd::structure::bulk_diamond(Species::Silicon, n, n, n);
+        let e_super = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt })
+            .evaluate(&supercell)
+            .expect("supercell")
+            .energy
+            / supercell.n_atoms() as f64;
+        rows.push(vec![
+            format!("{n}³ folding grid vs {n}³ supercell Γ"),
+            fmt_f(e_k, 6),
+            fmt_f(e_super, 6),
+            fmt_e((e_k - e_super).abs()),
+        ]);
+    }
+    print_table(
+        "T6b: exact band-folding identity (primitive+k-grid ≡ supercell+Γ)",
+        &["comparison", "k-sampled E/atom", "supercell E/atom", "|Δ|"],
+        &rows,
+    );
+    println!("\nShape check: MP error falls rapidly with grid density; the folding");
+    println!("identity holds to round-off — the Γ-point supercell error that the");
+    println!("MD engines carry is quantified (and removable) by this machinery.");
+}

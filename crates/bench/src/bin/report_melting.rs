@@ -1,0 +1,83 @@
+//! **Experiment F4** — radial distribution function of silicon: crystalline
+//! at 300 K versus disordered at high temperature.
+//!
+//! The cold g(r) shows the diamond shells (2.35, 3.84 Å); after a Nosé–Hoover
+//! temperature ramp (0.5 K/fs, the literature protocol) and a hold at 3000 K
+//! the second shell washes out — loss of crystalline order. Short by the
+//! era's 10 ps standards so it completes in minutes; pass a larger hold for
+//! production curves.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_melting [-- hold_steps]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbmd::md::RdfAccumulator;
+use tbmd::{
+    maxwell_boltzmann, silicon_gsp, MdState, NoseHoover, Species, TbCalculator, TemperatureRamp,
+};
+use tbmd_bench::{arg_usize, fmt_f, print_table};
+
+fn rdf_rows(rdf: &RdfAccumulator) -> Vec<(f64, f64)> {
+    rdf.finish().into_iter().step_by(6).collect()
+}
+
+fn main() {
+    let hold_steps = arg_usize(1, 120);
+    let t_hot = 3000.0;
+    let model = silicon_gsp();
+    let calc = TbCalculator::new(&model);
+    let structure = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+    let mut rng = StdRng::seed_from_u64(7);
+    let v = maxwell_boltzmann(&structure, 300.0, &mut rng);
+    let mut state = MdState::new(structure, v, &calc).expect("init");
+    let mut nh = NoseHoover::with_period(1.0, 300.0, state.n_dof(), 50.0);
+
+    let mut rdf_cold = RdfAccumulator::new(5.4, 108);
+    for _ in 0..25 {
+        nh.step(&mut state, &calc).expect("step");
+        rdf_cold.accumulate(&state.structure);
+    }
+
+    // Ramp at 0.5 K/fs to t_hot. (5400 steps for 300→3000 K.)
+    let ramp = TemperatureRamp { rate_k_per_fs: 0.5, target_k: t_hot };
+    while ramp.advance(&mut nh) {
+        nh.step(&mut state, &calc).expect("step");
+    }
+    let mut rdf_hot = RdfAccumulator::new(5.4, 108);
+    for step in 0..hold_steps {
+        nh.step(&mut state, &calc).expect("step");
+        if step >= hold_steps / 3 {
+            rdf_hot.accumulate(&state.structure);
+        }
+    }
+
+    let cold = rdf_rows(&rdf_cold);
+    let hot = rdf_rows(&rdf_hot);
+    let rows: Vec<Vec<String>> = cold
+        .iter()
+        .zip(&hot)
+        .map(|((r, gc), (_, gh))| vec![fmt_f(*r, 2), fmt_f(*gc, 2), fmt_f(*gh, 2)])
+        .collect();
+    print_table(
+        &format!("F4: Si g(r), 300 K vs {t_hot:.0} K (64 atoms, ramp 0.5 K/fs)"),
+        &["r/Å", "g(r) cold", "g(r) hot"],
+        &rows,
+    );
+
+    let shell = |rdf: &RdfAccumulator, r0: f64| -> f64 {
+        rdf.finish()
+            .into_iter()
+            .filter(|(r, _)| (r - r0).abs() < 0.25)
+            .map(|(_, g)| g)
+            .fold(0.0, f64::max)
+    };
+    println!(
+        "\nsecond shell g(3.84 Å): {:.2} (cold) → {:.2} (hot); first-peak r: {:.2} → {:.2} Å",
+        shell(&rdf_cold, 3.84),
+        shell(&rdf_hot, 3.84),
+        rdf_cold.first_peak().map(|p| p.0).unwrap_or(0.0),
+        rdf_hot.first_peak().map(|p| p.0).unwrap_or(0.0),
+    );
+    println!("Shape check: crystalline shells sharp at 300 K; second shell strongly");
+    println!("suppressed and valleys filled at 3000 K (loss of long-range order).");
+}

@@ -1,0 +1,62 @@
+//! **Experiment F8** — isogranular (weak) scaling of the *distributed O(N)*
+//! engine against the distributed dense engine: the figure that closes the
+//! 1994 story.
+//!
+//! At fixed atoms-per-rank, the dense engine's estimated time per step rises
+//! steeply (per-rank compute O((N/P)·N²) plus an O(N²) density allreduce);
+//! the Chebyshev engine's stays near-flat (per-rank compute O(N/P), traffic
+//! O(N)). Linear-scaling methods made big-machine TBMD *scalable*, not just
+//! faster.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_on_scaling`
+
+use tbmd::linscale::DistributedLinearScalingTb;
+use tbmd::parallel::{estimate_cost, MachineProfile};
+use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species};
+use tbmd_bench::{fmt_f, fmt_s, print_table};
+
+fn main() {
+    let machine = MachineProfile::intel_paragon();
+    let model = silicon_gsp();
+    println!(
+        "isogranular comparison, 8 atoms/rank, machine model: {} (O(N): order 150, r_loc 5 Å)",
+        machine.name
+    );
+
+    let mut rows = Vec::new();
+    for (p, (nx, ny, nz)) in [
+        (1usize, (1usize, 1usize, 1usize)),
+        (2, (2, 1, 1)),
+        (4, (2, 2, 1)),
+        (8, (2, 2, 2)),
+    ] {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, nx, ny, nz);
+
+        let dense = DistributedTb::new(&model, p);
+        dense.evaluate(&s).expect("dense evaluation");
+        let dense_est = estimate_cost(&machine, &dense.last_report().expect("report").stats);
+
+        let on = DistributedLinearScalingTb::new(&model, p)
+            .with_kt(0.3)
+            .with_order(150)
+            .with_r_loc(5.0);
+        on.evaluate(&s).expect("O(N) evaluation");
+        let on_est = estimate_cost(&machine, &on.last_report().expect("report").stats);
+
+        rows.push(vec![
+            p.to_string(),
+            s.n_atoms().to_string(),
+            fmt_s(dense_est.total_s()),
+            fmt_s(on_est.total_s()),
+            fmt_f(dense_est.total_s() / on_est.total_s(), 2),
+            format!("{}%", fmt_f(100.0 * on_est.comm_fraction(), 1)),
+        ]);
+    }
+    print_table(
+        "F8: weak scaling — dense O(N³) vs distributed O(N) TBMD step (est. era seconds)",
+        &["P", "N", "dense/s", "O(N)/s", "dense/O(N)", "O(N) comm frac"],
+        &rows,
+    );
+    println!("\nShape check: the dense column RISES with P at fixed N/P; the O(N)");
+    println!("column stays near-flat — linear-scaling methods restore weak scaling.");
+}

@@ -1,0 +1,53 @@
+//! **Experiment T1** — per-phase serial timing breakdown of one TBMD step
+//! versus system size.
+//!
+//! Regenerates the canonical "where does the time go" table: neighbour-list
+//! build, Hamiltonian assembly, diagonalization, density matrix, forces.
+//! Expected shape: diagonalization is O(N³) and its share grows with N until
+//! it dominates — the observation that motivated both the parallel
+//! eigensolvers and the O(N) methods.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_phase_breakdown [-- max_reps]`
+
+use tbmd::{silicon_gsp, ForceProvider, Species, TbCalculator};
+use tbmd_bench::{arg_usize, fmt_f, fmt_ms, print_table};
+
+fn main() {
+    let max_reps = arg_usize(1, 3);
+    let model = silicon_gsp();
+    let calc = TbCalculator::new(&model);
+
+    let mut rows = Vec::new();
+    for reps in 1..=max_reps {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+        // Warm once, then measure an averaged step.
+        let _ = calc.evaluate(&s).expect("evaluation");
+        let n_samples = if s.n_atoms() <= 64 { 3 } else { 1 };
+        let mut acc = tbmd::model::PhaseTimings::default();
+        for _ in 0..n_samples {
+            let eval = calc.evaluate(&s).expect("evaluation");
+            acc.accumulate(&eval.timings);
+        }
+        let scale = 1.0 / n_samples as f64;
+        let t = |d: std::time::Duration| d.mul_f64(scale);
+        let total = t(acc.total());
+        let diag_share = acc.diagonalize.as_secs_f64() / acc.total().as_secs_f64();
+        rows.push(vec![
+            s.n_atoms().to_string(),
+            s.n_orbitals().to_string(),
+            fmt_ms(t(acc.neighbors)),
+            fmt_ms(t(acc.hamiltonian)),
+            fmt_ms(t(acc.diagonalize)),
+            fmt_ms(t(acc.density)),
+            fmt_ms(t(acc.forces)),
+            fmt_ms(total),
+            format!("{}%", fmt_f(100.0 * diag_share, 1)),
+        ]);
+    }
+    print_table(
+        "T1: per-phase time per TBMD force evaluation, Si diamond supercells (serial, this host)",
+        &["N", "orbitals", "nbrs/ms", "H/ms", "diag/ms", "density/ms", "forces/ms", "total/ms", "diag share"],
+        &rows,
+    );
+    println!("\nShape check: diag/ms grows ~N³ and its share increases with N.");
+}

@@ -1,0 +1,64 @@
+//! **Experiment F1** — scaled-speedup (isogranular) curve: grow the problem
+//! with the machine, keeping atoms-per-rank fixed, and watch the estimated
+//! time per step.
+//!
+//! With O(N³) diagonalization, perfectly scaled TBMD is impossible — the
+//! per-rank compute grows as (N/P)·N² — so the curve *rises* with P even
+//! before communication costs; this is exactly the wall the era papers
+//! documented and the O(N) methods broke (compare report_linear_scaling).
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_scaled_speedup [-- atoms_per_rank_reps]`
+
+use tbmd::parallel::{estimate_cost, MachineProfile};
+use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species};
+use tbmd_bench::{arg_usize, fmt_f, fmt_s, print_table};
+
+fn main() {
+    // Grain: one diamond cell (8 atoms) per rank by default.
+    let grain_reps = arg_usize(1, 1);
+    let machine = MachineProfile::intel_paragon();
+    let model = silicon_gsp();
+
+    println!(
+        "isogranular scaling: {} atoms per rank; machine model: {}",
+        8 * grain_reps * grain_reps * grain_reps,
+        machine.name
+    );
+
+    let mut rows = Vec::new();
+    // P = k³ so the supercell stays cubic: 1, 8 ranks (k=1,2) plus an
+    // elongated 2-cell step for k between.
+    for (p, (nx, ny, nz)) in [
+        (1usize, (1usize, 1usize, 1usize)),
+        (2, (2, 1, 1)),
+        (4, (2, 2, 1)),
+        (8, (2, 2, 2)),
+    ] {
+        let s = tbmd::structure::bulk_diamond(
+            Species::Silicon,
+            nx * grain_reps,
+            ny * grain_reps,
+            nz * grain_reps,
+        );
+        let engine = DistributedTb::new(&model, p);
+        engine.evaluate(&s).expect("distributed evaluation");
+        let report = engine.last_report().expect("report");
+        let est = estimate_cost(&machine, &report.stats);
+        rows.push(vec![
+            p.to_string(),
+            s.n_atoms().to_string(),
+            (s.n_atoms() / p).to_string(),
+            fmt_s(est.comp_s),
+            fmt_s(est.comm_s),
+            fmt_s(est.total_s()),
+            format!("{}%", fmt_f(100.0 * est.comm_fraction(), 1)),
+        ]);
+    }
+    print_table(
+        "F1: isogranular (scaled) TBMD step time, fixed atoms/rank",
+        &["P", "N", "N/P", "comp/s", "comm/s", "total/s", "comm frac"],
+        &rows,
+    );
+    println!("\nShape check: total/s RISES with P at fixed N/P — the O(N³) wall;");
+    println!("the O(N) engine (report_linear_scaling) is how 1994 broke it.");
+}

@@ -1,0 +1,68 @@
+//! **Experiment T2** — fixed-size (strong-scaling) speedup and efficiency
+//! versus processor count, for the message-passing engine priced on an era
+//! machine model.
+//!
+//! Expected shape: near-linear speedup at small P decaying as the
+//! communication terms (rotation allgathers, column migration, the O(N²)
+//! density-matrix allreduce) grow relative to the O(N³/P) compute share.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_speedup [-- reps max_p]`
+
+use tbmd::parallel::{estimate_cost, scaling, MachineProfile};
+use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species, TbCalculator};
+use tbmd_bench::{arg_usize, fmt_e, fmt_f, fmt_s, print_table};
+
+fn main() {
+    let reps = arg_usize(1, 2);
+    let max_p = arg_usize(2, 16);
+    let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+    let model = silicon_gsp();
+    let serial = TbCalculator::new(&model);
+    let reference = serial.evaluate(&s).expect("serial");
+    let machine = MachineProfile::intel_paragon();
+
+    println!(
+        "workload: Si diamond, N = {} atoms ({} orbitals); machine model: {}",
+        s.n_atoms(),
+        s.n_orbitals(),
+        machine.name
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    let mut p = 1usize;
+    while p <= max_p {
+        let engine = DistributedTb::new(&model, p);
+        let eval = engine.evaluate(&s).expect("distributed");
+        let report = engine.last_report().expect("report");
+        let est = estimate_cost(&machine, &report.stats);
+        let (speedup, eff) = match &baseline {
+            None => {
+                baseline = Some(est.clone());
+                (1.0, 1.0)
+            }
+            Some(base) => {
+                let sc = scaling(base, &est, p);
+                (sc.speedup, sc.efficiency)
+            }
+        };
+        rows.push(vec![
+            p.to_string(),
+            fmt_e((eval.energy - reference.energy).abs()),
+            report.stats.total_messages().to_string(),
+            fmt_f(report.stats.total_bytes() as f64 / 1e6, 2),
+            fmt_s(est.comp_s),
+            fmt_s(est.comm_s),
+            fmt_s(est.total_s()),
+            fmt_f(speedup, 2),
+            format!("{}%", fmt_f(100.0 * eff, 1)),
+        ]);
+        p *= 2;
+    }
+    print_table(
+        "T2: strong scaling of one TBMD step (distributed engine, era cost model)",
+        &["P", "|ΔE|/eV", "msgs", "MB", "comp/s", "comm/s", "total/s", "speedup", "efficiency"],
+        &rows,
+    );
+    println!("\nShape check: efficiency decays monotonically with P; |ΔE| at round-off.");
+}

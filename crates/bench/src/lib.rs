@@ -1,0 +1,84 @@
+//! # tbmd-bench
+//!
+//! Benchmark harness for the reproduction: shared table formatting and
+//! workload helpers used by the report binaries (one per experiment in
+//! DESIGN.md, `src/bin/report_*.rs`) and the Criterion benches
+//! (`benches/*.rs`).
+
+use std::time::Duration;
+
+/// Print an aligned text table in the style of the era's papers.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("  {}", header_line.join("   "));
+    println!("  {}", "-".repeat(header_line.join("   ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", line.join("   "));
+    }
+}
+
+/// Milliseconds with three decimals.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Seconds with three decimals.
+pub fn fmt_s(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Fixed-point with `k` decimals.
+pub fn fmt_f(x: f64, k: usize) -> String {
+    format!("{x:.k$}")
+}
+
+/// Scientific notation with two decimals.
+pub fn fmt_e(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+/// Parse CLI argument `position` as `usize` with a default.
+pub fn arg_usize(position: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(position)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500.000");
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_e(0.000123), "1.23e-4");
+        assert_eq!(fmt_s(1.23456), "1.235");
+    }
+
+    #[test]
+    fn table_does_not_panic() {
+        print_table(
+            "test",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Engine selection: one enum over every force engine in the workspace.
+
+use serde::{Deserialize, Serialize};
+use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb};
+use tbmd_model::{
+    ForceEvaluation, ForceProvider, GspTbModel, OccupationScheme, TbCalculator, TbError,
+};
+use tbmd_parallel::{DistributedTb, Eigensolver, SharedMemoryTb};
+use tbmd_structure::Structure;
+
+/// Which engine evaluates energies and forces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Serial reference calculator (Householder+QL).
+    Serial,
+    /// Shared-memory Rayon engine with the QL eigensolver.
+    Shared,
+    /// Shared-memory Rayon engine with the parallel-ordered Jacobi solver.
+    SharedJacobi,
+    /// Message-passing engine on `ranks` virtual ranks.
+    Distributed { ranks: usize },
+    /// O(N) Chebyshev engine with the given localization radius (Å) and
+    /// expansion order.
+    LinearScaling { r_loc: f64, order: usize },
+    /// Message-passing O(N) engine (see DESIGN.md experiment F8).
+    DistributedLinearScaling { ranks: usize, r_loc: f64, order: usize },
+}
+
+impl Default for EngineKind {
+    fn default() -> Self {
+        EngineKind::Serial
+    }
+}
+
+/// A constructed engine borrowing its model.
+pub enum Engine<'m> {
+    Serial(TbCalculator<'m>),
+    Shared(SharedMemoryTb<'m>),
+    Distributed(DistributedTb<'m>),
+    LinearScaling(LinearScalingTb<'m>),
+    DistributedLinearScaling(DistributedLinearScalingTb<'m>),
+}
+
+impl<'m> Engine<'m> {
+    /// Build an engine of the requested kind over a model, with the given
+    /// electronic smearing (eV; 0 selects zero-temperature filling where the
+    /// engine supports it).
+    pub fn build(kind: EngineKind, model: &'m GspTbModel, kt: f64) -> Engine<'m> {
+        let occ = if kt > 0.0 {
+            OccupationScheme::Fermi { kt }
+        } else {
+            OccupationScheme::ZeroTemperature
+        };
+        match kind {
+            EngineKind::Serial => Engine::Serial(TbCalculator::with_occupation(model, occ)),
+            EngineKind::Shared => {
+                Engine::Shared(SharedMemoryTb::new(model).with_occupation(occ))
+            }
+            EngineKind::SharedJacobi => Engine::Shared(
+                SharedMemoryTb::new(model)
+                    .with_occupation(occ)
+                    .with_eigensolver(Eigensolver::ParallelJacobi),
+            ),
+            EngineKind::Distributed { ranks } => {
+                Engine::Distributed(DistributedTb::new(model, ranks).with_occupation(occ))
+            }
+            EngineKind::LinearScaling { r_loc, order } => Engine::LinearScaling(
+                LinearScalingTb::new(model)
+                    .with_r_loc(r_loc)
+                    .with_order(order)
+                    .with_kt(kt.max(0.05)),
+            ),
+            EngineKind::DistributedLinearScaling { ranks, r_loc, order } => {
+                Engine::DistributedLinearScaling(
+                    DistributedLinearScalingTb::new(model, ranks)
+                        .with_r_loc(r_loc)
+                        .with_order(order)
+                        .with_kt(kt.max(0.05)),
+                )
+            }
+        }
+    }
+}
+
+impl ForceProvider for Engine<'_> {
+    fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        match self {
+            Engine::Serial(e) => e.evaluate(s),
+            Engine::Shared(e) => e.evaluate(s),
+            Engine::Distributed(e) => e.evaluate(s),
+            Engine::LinearScaling(e) => e.evaluate(s),
+            Engine::DistributedLinearScaling(e) => e.evaluate(s),
+        }
+    }
+
+    fn energy_only(&self, s: &Structure) -> Result<f64, TbError> {
+        match self {
+            Engine::Serial(e) => e.energy_only(s),
+            Engine::Shared(e) => e.energy_only(s),
+            Engine::Distributed(e) => e.energy_only(s),
+            Engine::LinearScaling(e) => e.energy_only(s),
+            Engine::DistributedLinearScaling(e) => e.energy_only(s),
+        }
+    }
+
+    fn provider_name(&self) -> &str {
+        match self {
+            Engine::Serial(e) => e.provider_name(),
+            Engine::Shared(e) => e.provider_name(),
+            Engine::Distributed(e) => e.provider_name(),
+            Engine::LinearScaling(e) => e.provider_name(),
+            Engine::DistributedLinearScaling(e) => e.provider_name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbmd_model::silicon_gsp;
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn all_engines_agree_on_perfect_crystal() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let kinds = [
+            EngineKind::Serial,
+            EngineKind::Shared,
+            EngineKind::SharedJacobi,
+            EngineKind::Distributed { ranks: 2 },
+        ];
+        let reference = Engine::build(EngineKind::Serial, &model, 0.1)
+            .evaluate(&s)
+            .unwrap()
+            .energy;
+        for kind in kinds {
+            let engine = Engine::build(kind, &model, 0.1);
+            let e = engine.evaluate(&s).unwrap().energy;
+            assert!(
+                (e - reference).abs() < 1e-6,
+                "{kind:?}: {e} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_scaling_engine_close_on_band_plus_rep() {
+        // The O(N) engine omits the entropy term, so compare with a fresh
+        // serial run decomposition.
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let serial = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.3 });
+        let r = serial.compute(&s).unwrap();
+        let engine = Engine::build(
+            EngineKind::LinearScaling { r_loc: f64::INFINITY, order: 400 },
+            &model,
+            0.3,
+        );
+        let e = engine.evaluate(&s).unwrap().energy;
+        assert!(
+            (e - (r.band_energy + r.repulsive_energy)).abs() < 1e-2,
+            "{e} vs {}",
+            r.band_energy + r.repulsive_energy
+        );
+    }
+
+    #[test]
+    fn distributed_linear_scaling_kind() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let shared = Engine::build(
+            EngineKind::LinearScaling { r_loc: 5.0, order: 120 },
+            &model,
+            0.3,
+        );
+        let dist = Engine::build(
+            EngineKind::DistributedLinearScaling { ranks: 2, r_loc: 5.0, order: 120 },
+            &model,
+            0.3,
+        );
+        let a = shared.evaluate(&s).unwrap().energy;
+        let b = dist.evaluate(&s).unwrap().energy;
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        assert_eq!(dist.provider_name(), "distributed-linear-scaling-tb");
+    }
+
+    #[test]
+    fn default_kind_is_serial() {
+        assert_eq!(EngineKind::default(), EngineKind::Serial);
+    }
+
+    #[test]
+    fn engine_names() {
+        let model = silicon_gsp();
+        assert_eq!(
+            Engine::build(EngineKind::Serial, &model, 0.1).provider_name(),
+            "serial-tb"
+        );
+        assert_eq!(
+            Engine::build(EngineKind::Distributed { ranks: 2 }, &model, 0.1).provider_name(),
+            "distributed-tb"
+        );
+        assert_eq!(
+            Engine::build(
+                EngineKind::LinearScaling { r_loc: 5.0, order: 64 },
+                &model,
+                0.2
+            )
+            .provider_name(),
+            "linear-scaling-tb"
+        );
+    }
+}

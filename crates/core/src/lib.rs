@@ -1,0 +1,46 @@
+//! # tbmd — parallel tight-binding molecular dynamics
+//!
+//! The public facade of the workspace: re-exports the structure builders,
+//! tight-binding models, MD integrators, parallel engines and the O(N)
+//! engine, and adds the high-level [`SimulationConfig`]/[`run_simulation`]
+//! driver plus the [`Engine`]/[`EngineKind`] selection layer.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tbmd::{run_simulation, SimulationConfig, SystemSpec};
+//!
+//! let config = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 5);
+//! let summary = run_simulation(&config).unwrap();
+//! assert!(summary.conserved_drift < 0.05); // NVE energy conservation
+//! ```
+
+pub mod engine;
+pub mod simulation;
+pub mod system;
+
+pub use engine::{Engine, EngineKind};
+pub use simulation::{run_simulation, Protocol, SimulationConfig, SimulationSummary};
+pub use system::SystemSpec;
+
+// Re-export the component crates under stable names.
+pub use tbmd_linalg as linalg;
+pub use tbmd_linscale as linscale;
+pub use tbmd_md as md;
+pub use tbmd_model as model;
+pub use tbmd_parallel as parallel;
+pub use tbmd_structure as structure;
+
+// The most common types at the top level.
+pub use tbmd_linalg::{Matrix, Vec3};
+pub use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb};
+pub use tbmd_md::{
+    maxwell_boltzmann, normal_modes, relax, MdState, NormalModes, NoseHoover, RelaxOptions,
+    TemperatureRamp, Trajectory, VelocityVerlet,
+};
+pub use tbmd_model::{
+    band_structure, carbon_xwch, pressure, silicon_gsp, silicon_nonortho_demo, stress_tensor,
+    ForceProvider, NonOrthoCalculator, OccupationScheme, TbCalculator, TbError, TbModel,
+};
+pub use tbmd_parallel::{DistributedTb, MachineProfile, SharedMemoryTb};
+pub use tbmd_structure::{Cell, NeighborList, Species, Structure, VerletNeighborList};

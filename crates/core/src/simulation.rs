@@ -1,0 +1,280 @@
+//! High-level simulation driver: system + engine + protocol in one call.
+//!
+//! This is the public API a downstream user reaches for first; the examples
+//! in the repository root are thin wrappers around it.
+
+use crate::engine::{Engine, EngineKind};
+use crate::system::SystemSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tbmd_md::{
+    maxwell_boltzmann, relax, MdState, NoseHoover, RelaxOptions, RunningStats, TemperatureRamp,
+    Trajectory, VelocityVerlet,
+};
+use tbmd_model::TbError;
+
+/// What to do with the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Microcanonical dynamics from a Maxwell–Boltzmann start.
+    Nve { temperature_k: f64, steps: usize, dt_fs: f64 },
+    /// Nosé–Hoover canonical dynamics.
+    Nvt { temperature_k: f64, steps: usize, dt_fs: f64, tau_fs: f64 },
+    /// Nosé–Hoover dynamics with a thermostat ramp from `from_k` to `to_k`
+    /// at `rate_k_per_fs`, then `hold_steps` at the target.
+    NvtRamp { from_k: f64, to_k: f64, rate_k_per_fs: f64, hold_steps: usize, dt_fs: f64 },
+    /// Conjugate-gradient relaxation to a force tolerance.
+    Relax { force_tolerance: f64, max_iterations: usize },
+}
+
+/// Full simulation request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Which structure/model to simulate.
+    pub system: SystemSpec,
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// What to run.
+    pub protocol: Protocol,
+    /// Electronic smearing (eV).
+    pub electronic_kt: f64,
+    /// Initial random displacement amplitude (Å).
+    pub perturb: f64,
+    /// RNG seed (velocities + perturbation).
+    pub seed: u64,
+    /// Trajectory recording stride in steps (0 disables).
+    pub record_stride: usize,
+}
+
+impl SimulationConfig {
+    /// A reasonable default NVE run for a system.
+    pub fn nve(system: SystemSpec, temperature_k: f64, steps: usize) -> Self {
+        SimulationConfig {
+            system,
+            engine: EngineKind::Serial,
+            protocol: Protocol::Nve { temperature_k, steps, dt_fs: 1.0 },
+            electronic_kt: 0.1,
+            perturb: 0.0,
+            seed: 42,
+            record_stride: 0,
+        }
+    }
+}
+
+/// Summary statistics of a finished simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationSummary {
+    /// Final potential energy (eV).
+    pub final_potential_energy: f64,
+    /// Final total energy (eV; = potential for relaxations).
+    pub final_total_energy: f64,
+    /// Mean temperature over the run (K; 0 for relaxations).
+    pub mean_temperature_k: f64,
+    /// Peak |ΔE| of the conserved quantity over the run (eV; total energy
+    /// for NVE, the Nosé–Hoover extended energy for NVT).
+    pub conserved_drift: f64,
+    /// Steps (MD) or iterations (relaxation) executed.
+    pub steps: usize,
+    /// Whether a relaxation converged (always true for MD).
+    pub converged: bool,
+    /// Recorded trajectory, when requested.
+    pub trajectory: Option<Trajectory>,
+    /// Final configuration.
+    pub final_structure: tbmd_structure::Structure,
+}
+
+/// Run a configured simulation to completion.
+pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, TbError> {
+    let model = config.system.model();
+    let engine = Engine::build(config.engine, &model, config.electronic_kt);
+    let mut structure = config.system.build(config.perturb, config.seed);
+    let mut trajectory = (config.record_stride > 0).then(|| Trajectory::new(config.record_stride));
+
+    match config.protocol {
+        Protocol::Relax { force_tolerance, max_iterations } => {
+            let opts = RelaxOptions { force_tolerance, max_iterations, ..Default::default() };
+            let result = relax(&mut structure, &engine, &opts)?;
+            Ok(SimulationSummary {
+                final_potential_energy: result.energy,
+                final_total_energy: result.energy,
+                mean_temperature_k: 0.0,
+                conserved_drift: 0.0,
+                steps: result.iterations,
+                converged: result.converged,
+                trajectory: None,
+                final_structure: structure,
+            })
+        }
+        Protocol::Nve { temperature_k, steps, dt_fs } => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+            let mut state = MdState::new(structure, v, &engine)?;
+            let integrator = VelocityVerlet::new(dt_fs);
+            let e0 = state.total_energy();
+            let mut t_stats = RunningStats::new();
+            let mut drift: f64 = 0.0;
+            for _ in 0..steps {
+                integrator.step(&mut state, &engine)?;
+                t_stats.push(state.temperature());
+                drift = drift.max((state.total_energy() - e0).abs());
+                if let Some(tr) = trajectory.as_mut() {
+                    tr.observe(&state);
+                }
+            }
+            Ok(SimulationSummary {
+                final_potential_energy: state.potential_energy,
+                final_total_energy: state.total_energy(),
+                mean_temperature_k: t_stats.mean(),
+                conserved_drift: drift,
+                steps,
+                converged: true,
+                trajectory,
+                final_structure: state.structure,
+            })
+        }
+        Protocol::Nvt { temperature_k, steps, dt_fs, tau_fs } => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+            let mut state = MdState::new(structure, v, &engine)?;
+            let mut nh = NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
+            let h0 = nh.conserved_quantity(&state);
+            let mut t_stats = RunningStats::new();
+            let mut drift: f64 = 0.0;
+            for _ in 0..steps {
+                nh.step(&mut state, &engine)?;
+                t_stats.push(state.temperature());
+                drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
+                if let Some(tr) = trajectory.as_mut() {
+                    tr.observe(&state);
+                }
+            }
+            Ok(SimulationSummary {
+                final_potential_energy: state.potential_energy,
+                final_total_energy: state.total_energy(),
+                mean_temperature_k: t_stats.mean(),
+                conserved_drift: drift,
+                steps,
+                converged: true,
+                trajectory,
+                final_structure: state.structure,
+            })
+        }
+        Protocol::NvtRamp { from_k, to_k, rate_k_per_fs, hold_steps, dt_fs } => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let v = maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng);
+            let mut state = MdState::new(structure, v, &engine)?;
+            let mut nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), 50.0);
+            let ramp = TemperatureRamp {
+                rate_k_per_fs: rate_k_per_fs.abs() * (to_k - from_k).signum(),
+                target_k: to_k,
+            };
+            let mut t_stats = RunningStats::new();
+            let mut steps_total = 0usize;
+            // Ramp phase.
+            loop {
+                let still_ramping = ramp.advance(&mut nh);
+                nh.step(&mut state, &engine)?;
+                steps_total += 1;
+                t_stats.push(state.temperature());
+                if let Some(tr) = trajectory.as_mut() {
+                    tr.observe(&state);
+                }
+                if !still_ramping {
+                    break;
+                }
+            }
+            // Hold phase.
+            for _ in 0..hold_steps {
+                nh.step(&mut state, &engine)?;
+                steps_total += 1;
+                t_stats.push(state.temperature());
+                if let Some(tr) = trajectory.as_mut() {
+                    tr.observe(&state);
+                }
+            }
+            Ok(SimulationSummary {
+                final_potential_energy: state.potential_energy,
+                final_total_energy: state.total_energy(),
+                mean_temperature_k: t_stats.mean(),
+                conserved_drift: 0.0,
+                steps: steps_total,
+                converged: true,
+                trajectory,
+                final_structure: state.structure,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nve_summary_sane() {
+        let mut config =
+            SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 10);
+        config.record_stride = 2;
+        let summary = run_simulation(&config).unwrap();
+        assert_eq!(summary.steps, 10);
+        assert!(summary.converged);
+        assert!(summary.mean_temperature_k > 100.0 && summary.mean_temperature_k < 600.0);
+        assert!(summary.conserved_drift < 0.05);
+        let traj = summary.trajectory.as_ref().unwrap();
+        assert_eq!(traj.len(), 5);
+    }
+
+    #[test]
+    fn relax_protocol() {
+        let config = SimulationConfig {
+            system: SystemSpec::SiliconDiamond { reps: 1 },
+            engine: EngineKind::Serial,
+            protocol: Protocol::Relax { force_tolerance: 2e-2, max_iterations: 100 },
+            electronic_kt: 0.1,
+            perturb: 0.08,
+            seed: 3,
+            record_stride: 0,
+        };
+        let summary = run_simulation(&config).unwrap();
+        assert!(summary.converged, "relaxation failed: {summary:?}");
+        assert!(summary.final_potential_energy < 0.0);
+    }
+
+    #[test]
+    fn nvt_tracks_target() {
+        let config = SimulationConfig {
+            system: SystemSpec::SiliconDiamond { reps: 1 },
+            engine: EngineKind::Serial,
+            protocol: Protocol::Nvt { temperature_k: 500.0, steps: 25, dt_fs: 1.0, tau_fs: 30.0 },
+            electronic_kt: 0.1,
+            perturb: 0.0,
+            seed: 5,
+            record_stride: 0,
+        };
+        let summary = run_simulation(&config).unwrap();
+        assert!(summary.mean_temperature_k > 250.0 && summary.mean_temperature_k < 800.0);
+    }
+
+    #[test]
+    fn ramp_protocol_heats() {
+        let config = SimulationConfig {
+            system: SystemSpec::SiliconDiamond { reps: 1 },
+            engine: EngineKind::Serial,
+            protocol: Protocol::NvtRamp {
+                from_k: 100.0,
+                to_k: 110.0,
+                rate_k_per_fs: 0.5,
+                hold_steps: 3,
+                dt_fs: 1.0,
+            },
+            electronic_kt: 0.1,
+            perturb: 0.0,
+            seed: 9,
+            record_stride: 0,
+        };
+        let summary = run_simulation(&config).unwrap();
+        // 10 K at 0.5 K/fs = 20 steps of ramp + 3 hold.
+        assert_eq!(summary.steps, 23);
+    }
+}

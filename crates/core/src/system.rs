@@ -1,0 +1,103 @@
+//! Named benchmark systems: the workloads the evaluation section runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tbmd_model::{carbon_xwch, silicon_gsp, GspTbModel};
+use tbmd_structure::{bulk_diamond, fullerene_c60, graphene_sheet, nanotube, Species, Structure};
+
+/// A system specification that can be materialized into a structure and its
+/// matching tight-binding model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SystemSpec {
+    /// Periodic silicon diamond supercell of `reps³` conventional cells
+    /// (8·reps³ atoms) — the canonical TBMD benchmark series.
+    SiliconDiamond { reps: usize },
+    /// Periodic carbon diamond supercell.
+    CarbonDiamond { reps: usize },
+    /// Periodic graphene sheet of `nx × ny` rectangular 4-atom cells.
+    Graphene { nx: usize, ny: usize },
+    /// `(n,m)` single-wall carbon nanotube of `cells` translational cells.
+    Nanotube { n: u32, m: u32, cells: usize },
+    /// The C₆₀ fullerene cluster.
+    C60,
+}
+
+impl SystemSpec {
+    /// Build the structure, optionally displacing every atom by up to
+    /// `perturb` Å with the given RNG seed (0 disables).
+    pub fn build(&self, perturb: f64, seed: u64) -> Structure {
+        let mut s = match *self {
+            SystemSpec::SiliconDiamond { reps } => bulk_diamond(Species::Silicon, reps, reps, reps),
+            SystemSpec::CarbonDiamond { reps } => bulk_diamond(Species::Carbon, reps, reps, reps),
+            SystemSpec::Graphene { nx, ny } => graphene_sheet(1.42, nx, ny),
+            SystemSpec::Nanotube { n, m, cells } => nanotube(n, m, cells, 1.42),
+            SystemSpec::C60 => fullerene_c60(1.44),
+        };
+        if perturb > 0.0 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            s.perturb(&mut rng, perturb);
+        }
+        s
+    }
+
+    /// The tight-binding model parametrizing this system.
+    pub fn model(&self) -> GspTbModel {
+        match self {
+            SystemSpec::SiliconDiamond { .. } => silicon_gsp(),
+            _ => carbon_xwch(),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            SystemSpec::SiliconDiamond { reps } => format!("Si-diamond {0}x{0}x{0}", reps),
+            SystemSpec::CarbonDiamond { reps } => format!("C-diamond {0}x{0}x{0}", reps),
+            SystemSpec::Graphene { nx, ny } => format!("graphene {nx}x{ny}"),
+            SystemSpec::Nanotube { n, m, cells } => format!("({n},{m}) tube x{cells}"),
+            SystemSpec::C60 => "C60".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbmd_model::TbModel;
+
+    #[test]
+    fn builds_expected_sizes() {
+        assert_eq!(SystemSpec::SiliconDiamond { reps: 2 }.build(0.0, 0).n_atoms(), 64);
+        assert_eq!(SystemSpec::C60.build(0.0, 0).n_atoms(), 60);
+        assert_eq!(
+            SystemSpec::Nanotube { n: 10, m: 0, cells: 3 }.build(0.0, 0).n_atoms(),
+            120
+        );
+        assert_eq!(SystemSpec::Graphene { nx: 2, ny: 2 }.build(0.0, 0).n_atoms(), 16);
+    }
+
+    #[test]
+    fn model_matches_species() {
+        let si = SystemSpec::SiliconDiamond { reps: 1 };
+        assert!(si.model().supports(Species::Silicon));
+        let c60 = SystemSpec::C60;
+        assert!(c60.model().supports(Species::Carbon));
+    }
+
+    #[test]
+    fn perturbation_deterministic() {
+        let spec = SystemSpec::C60;
+        let a = spec.build(0.05, 7);
+        let b = spec.build(0.05, 7);
+        let c = spec.build(0.05, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemSpec::SiliconDiamond { reps: 3 }.label(), "Si-diamond 3x3x3");
+        assert_eq!(SystemSpec::Nanotube { n: 10, m: 0, cells: 2 }.label(), "(10,0) tube x2");
+    }
+}

@@ -1,0 +1,317 @@
+//! Cholesky factorization and the symmetric-definite generalized
+//! eigenproblem reduction.
+//!
+//! Non-orthogonal tight-binding schemes (e.g. DFTB) lead to the generalized
+//! problem `H C = S C ε` with a symmetric positive-definite overlap matrix
+//! `S`. The standard reduction factors `S = L Lᵀ` and solves the ordinary
+//! symmetric problem for `L⁻¹ H L⁻ᵀ`; [`generalized_eigh`] packages the whole
+//! pipeline on top of [`crate::eigh::eigh`].
+
+use crate::eigh::{eigh, Eigh, EigError};
+use crate::matrix::Matrix;
+
+/// Errors from the Cholesky factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CholeskyError {
+    /// A pivot was non-positive: the matrix is not positive definite.
+    NotPositiveDefinite { pivot_index: usize, pivot_value: f64 },
+    /// The input matrix is not square.
+    NotSquare { rows: usize, cols: usize },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotPositiveDefinite { pivot_index, pivot_value } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot_index} = {pivot_value:.3e})"
+            ),
+            CholeskyError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    pub fn factor(a: &Matrix) -> Result<Self, CholeskyError> {
+        if !a.is_square() {
+            return Err(CholeskyError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(CholeskyError::NotPositiveDefinite {
+                    pivot_index: j,
+                    pivot_value: diag,
+                });
+            }
+            let djj = diag.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / djj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.forward_substitute(b);
+        self.backward_substitute_t(&y)
+    }
+
+    /// Solve `L y = b`.
+    pub fn forward_substitute(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solve `Lᵀ x = y`.
+    pub fn backward_substitute_t(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(y.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// `L⁻¹ M` computed column by column (forward substitution per column).
+    pub fn solve_lower_matrix(&self, m: &Matrix) -> Matrix {
+        let n = self.l.rows();
+        assert_eq!(m.rows(), n);
+        let mut out = Matrix::zeros(n, m.cols());
+        for j in 0..m.cols() {
+            let col = self.forward_substitute(&m.col(j));
+            out.set_col(j, &col);
+        }
+        out
+    }
+
+    /// `L⁻ᵀ M` computed column by column (backward substitution per column).
+    pub fn solve_lower_t_matrix(&self, m: &Matrix) -> Matrix {
+        let n = self.l.rows();
+        assert_eq!(m.rows(), n);
+        let mut out = Matrix::zeros(n, m.cols());
+        for j in 0..m.cols() {
+            let col = self.backward_substitute_t(&m.col(j));
+            out.set_col(j, &col);
+        }
+        out
+    }
+
+    /// Determinant of `A` (product of squared pivots).
+    pub fn determinant(&self) -> f64 {
+        let n = self.l.rows();
+        let mut d = 1.0;
+        for i in 0..n {
+            d *= self.l[(i, i)] * self.l[(i, i)];
+        }
+        d
+    }
+}
+
+/// Errors from the generalized eigenproblem driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeneralizedEigError {
+    /// The overlap matrix failed to factor.
+    Overlap(CholeskyError),
+    /// The reduced ordinary eigenproblem failed.
+    Eig(EigError),
+    /// H and S dimensions disagree.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for GeneralizedEigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeneralizedEigError::Overlap(e) => write!(f, "overlap matrix: {e}"),
+            GeneralizedEigError::Eig(e) => write!(f, "reduced problem: {e}"),
+            GeneralizedEigError::DimensionMismatch => write!(f, "H/S dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for GeneralizedEigError {}
+
+/// Solve the symmetric-definite generalized eigenproblem `H c = ε S c`.
+///
+/// Returns eigenvalues ascending and S-orthonormal eigenvectors
+/// (`CᵀSC = I`), stored column-wise, exactly like [`Eigh`].
+pub fn generalized_eigh(h: &Matrix, s: &Matrix) -> Result<Eigh, GeneralizedEigError> {
+    if h.rows() != s.rows() || h.cols() != s.cols() || !h.is_square() {
+        return Err(GeneralizedEigError::DimensionMismatch);
+    }
+    let chol = Cholesky::factor(s).map_err(GeneralizedEigError::Overlap)?;
+    // C = L⁻¹ H L⁻ᵀ, built as L⁻¹ (L⁻¹ Hᵀ)ᵀ; H symmetric so Hᵀ = H.
+    let linv_h = chol.solve_lower_matrix(h);
+    let c = chol.solve_lower_matrix(&linv_h.transpose());
+    let mut c = c;
+    c.symmetrize(); // round-off symmetrization before the symmetric solver
+    let red = eigh(c).map_err(GeneralizedEigError::Eig)?;
+    // Back-transform eigenvectors: x = L⁻ᵀ y.
+    let vectors = chol.solve_lower_t_matrix(&red.vectors);
+    Ok(Eigh { values: red.values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_test_matrix(n: usize, seed: u64) -> Matrix {
+        // AᵀA + n·I is comfortably SPD.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        let mut s = a.t_matmul(&a);
+        for i in 0..n {
+            s[(i, i)] += n as f64;
+        }
+        s
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_test_matrix(12, 3);
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!((&rec - &a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        let a = spd_test_matrix(9, 5);
+        let x_true: Vec<f64> = (0..9).map(|i| (i as f64) * 0.3 - 1.2).collect();
+        let b = a.matvec(&x_true);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_diagonal(&[1.0, -2.0, 3.0]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(CholeskyError::NotPositiveDefinite { pivot_index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Cholesky::factor(&Matrix::zeros(2, 3)),
+            Err(CholeskyError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_diagonal() {
+        let a = Matrix::from_diagonal(&[4.0, 9.0, 1.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.determinant() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalized_reduces_to_ordinary_for_identity_overlap() {
+        let n = 10;
+        let mut h = spd_test_matrix(n, 7);
+        h.scale(0.1);
+        let s = Matrix::identity(n);
+        let gen = generalized_eigh(&h, &s).unwrap();
+        let ord = eigh(h).unwrap();
+        for (a, b) in gen.values.iter().zip(&ord.values) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn generalized_satisfies_pencil_equation() {
+        let n = 8;
+        let mut h = spd_test_matrix(n, 11);
+        h.scale(0.05);
+        // A realistic overlap: identity plus small symmetric perturbation.
+        let mut s = spd_test_matrix(n, 13);
+        s.scale(0.01 / n as f64);
+        for i in 0..n {
+            s[(i, i)] += 1.0;
+        }
+        let gen = generalized_eigh(&h, &s).unwrap();
+        // Check H c = ε S c for every pair.
+        for k in 0..n {
+            let c = gen.vectors.col(k);
+            let hc = h.matvec(&c);
+            let sc = s.matvec(&c);
+            for i in 0..n {
+                assert!(
+                    (hc[i] - gen.values[k] * sc[i]).abs() < 1e-9,
+                    "pencil residual too large at k={k}, i={i}"
+                );
+            }
+        }
+        // S-orthonormality: CᵀSC = I.
+        let sc = s.matmul(&gen.vectors);
+        let ctsc = gen.vectors.t_matmul(&sc);
+        for i in 0..n {
+            for j in 0..n {
+                let target = if i == j { 1.0 } else { 0.0 };
+                assert!((ctsc[(i, j)] - target).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_rejects_mismatch() {
+        let h = Matrix::zeros(3, 3);
+        let s = Matrix::identity(4);
+        assert!(matches!(
+            generalized_eigh(&h, &s),
+            Err(GeneralizedEigError::DimensionMismatch)
+        ));
+    }
+}

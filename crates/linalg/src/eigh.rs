@@ -1,0 +1,504 @@
+//! Symmetric eigensolver: Householder tridiagonalization followed by the
+//! implicit-shift QL iteration.
+//!
+//! This is the classic EISPACK/`tred2`+`tqli` pair (Numerical Recipes, ch. 11)
+//! that tight-binding MD codes of the early 1990s ran at every timestep. The
+//! reduction costs `4n³/3` flops (plus the same again for accumulating the
+//! orthogonal transformation) and the QL iteration `~3n³` in the eigenvector
+//! update, so the whole solve is O(n³) — the term that dominates a TBMD step
+//! and that the parallel engines in `tbmd-parallel` attack.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a real symmetric matrix.
+///
+/// Invariants (verified by the test-suite and by property tests):
+/// `values` is sorted ascending, `vectors` is orthogonal, and
+/// `A · vectors.col(k) = values[k] · vectors.col(k)` for every `k`.
+#[derive(Debug, Clone)]
+pub struct Eigh {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors stored column-wise: column `k` pairs with `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Errors the symmetric eigensolvers can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigError {
+    /// The QL iteration failed to deflate an eigenvalue within the sweep
+    /// budget; in practice this only happens for matrices containing NaN or
+    /// infinities.
+    NoConvergence { index: usize, iterations: usize },
+    /// The input matrix is not square.
+    NotSquare { rows: usize, cols: usize },
+}
+
+impl std::fmt::Display for EigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigError::NoConvergence { index, iterations } => write!(
+                f,
+                "QL iteration for eigenvalue {index} did not converge within {iterations} iterations"
+            ),
+            EigError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EigError {}
+
+/// Maximum QL iterations permitted per eigenvalue before reporting failure.
+const MAX_QL_ITERS: usize = 64;
+
+/// Full eigendecomposition of a symmetric matrix.
+///
+/// The input is consumed (the reduction works in place on a copy would force
+/// a clone anyway — callers that still need `a` should clone explicitly).
+///
+/// # Errors
+/// [`EigError::NotSquare`] for rectangular input, [`EigError::NoConvergence`]
+/// if the QL iteration stalls (non-finite input).
+pub fn eigh(a: Matrix) -> Result<Eigh, EigError> {
+    eigh_impl(a, true)
+}
+
+/// Eigenvalues only (skips accumulating the orthogonal transformation and the
+/// eigenvector updates — roughly 3× cheaper than [`eigh`]).
+pub fn eigvalsh(a: Matrix) -> Result<Vec<f64>, EigError> {
+    Ok(eigh_impl(a, false)?.values)
+}
+
+fn eigh_impl(mut a: Matrix, want_vectors: bool) -> Result<Eigh, EigError> {
+    if !a.is_square() {
+        return Err(EigError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Eigh { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+    let (mut d, mut e) = tridiagonalize(&mut a, want_vectors);
+    if !want_vectors {
+        // `a` is garbage in this mode; hand tqli a dummy 0-row matrix so the
+        // rotation loop body is a no-op.
+        let mut dummy = Matrix::zeros(0, n);
+        tqli(&mut d, &mut e, &mut dummy)?;
+    } else {
+        tqli(&mut d, &mut e, &mut a)?;
+    }
+    sort_eigenpairs(&mut d, &mut a, want_vectors);
+    Ok(Eigh { values: d, vectors: if want_vectors { a } else { Matrix::zeros(0, 0) } })
+}
+
+/// Householder reduction of a symmetric matrix to tridiagonal form
+/// (EISPACK `tred2`).
+///
+/// On return `a` holds the accumulated orthogonal matrix `Q` such that
+/// `Qᵀ A Q = T` when `accumulate` is true (otherwise `a` is scratch). The
+/// diagonal of `T` is returned in `d`, the subdiagonal in `e[1..]`.
+pub fn tridiagonalize(a: &mut Matrix, accumulate: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = a.rows();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    if n == 1 {
+        d[0] = a[(0, 0)];
+        a[(0, 0)] = 1.0;
+        return (d, e);
+    }
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| a[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = a[(i, l)];
+            } else {
+                for k in 0..=l {
+                    a[(i, k)] /= scale;
+                    h += a[(i, k)] * a[(i, k)];
+                }
+                let mut f = a[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                a[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    if accumulate {
+                        a[(j, i)] = a[(i, j)] / h;
+                    }
+                    // g = (A u)_j using the lower triangle only.
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += a[(k, j)] * a[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * a[(i, j)];
+                }
+                let hh = f / (h + h);
+                // Rank-2 update A ← A - u pᵀ - p uᵀ restricted to the
+                // leading (l+1)×(l+1) block.
+                for j in 0..=l {
+                    let fj = a[(i, j)];
+                    let gj = e[j] - hh * fj;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        a[(j, k)] -= fj * e[k] + gj * a[(i, k)];
+                    }
+                }
+            }
+        } else {
+            e[i] = a[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    if accumulate {
+        // Accumulate the product of Householder reflectors into `a`.
+        for i in 0..n {
+            if i > 0 {
+                let l = i;
+                if d[i] != 0.0 {
+                    for j in 0..l {
+                        let mut g = 0.0;
+                        for k in 0..l {
+                            g += a[(i, k)] * a[(k, j)];
+                        }
+                        for k in 0..l {
+                            let delta = g * a[(k, i)];
+                            a[(k, j)] -= delta;
+                        }
+                    }
+                }
+            }
+            d[i] = a[(i, i)];
+            a[(i, i)] = 1.0;
+            if i > 0 {
+                for j in 0..i {
+                    a[(j, i)] = 0.0;
+                    a[(i, j)] = 0.0;
+                }
+            }
+        }
+    } else {
+        for i in 0..n {
+            d[i] = a[(i, i)];
+        }
+    }
+    (d, e)
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix
+/// (EISPACK `tql2` / NR `tqli`).
+///
+/// `d` holds the diagonal, `e[1..]` the subdiagonal on entry; on success `d`
+/// holds the (unsorted) eigenvalues. Every plane rotation applied to `T` is
+/// simultaneously applied to the columns of `z`, so passing the `Q` from
+/// [`tridiagonalize`] yields eigenvectors of the original matrix. Passing a
+/// `0×n` matrix skips the eigenvector work entirely.
+pub fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), EigError> {
+    let n = d.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    // Renumber the subdiagonal to e[0..n-1] for convenient indexing.
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    let zrows = z.rows();
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Look for a negligible subdiagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break; // d[l] has converged
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERS {
+                return Err(EigError::NoConvergence { index: l, iterations: iter });
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.abs().copysign(if g >= 0.0 { 1.0 } else { -1.0 }));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Found a zero off-diagonal: deflate and retry.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Apply the rotation to eigenvector columns i and i+1.
+                for k in 0..zrows {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Sort eigenvalues ascending and permute eigenvector columns to match.
+fn sort_eigenpairs(d: &mut [f64], z: &mut Matrix, with_vectors: bool) {
+    let n = d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("NaN eigenvalue"));
+    let sorted_d: Vec<f64> = order.iter().map(|&k| d[k]).collect();
+    d.copy_from_slice(&sorted_d);
+    if with_vectors {
+        let old = z.clone();
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for r in 0..z.rows() {
+                z[(r, new_col)] = old[(r, old_col)];
+            }
+        }
+    }
+}
+
+/// Residual `max_k ‖A v_k − λ_k v_k‖∞` — a cheap a-posteriori quality check
+/// used by tests and by the eigensolver comparison report (experiment T4).
+pub fn eig_residual(a: &Matrix, eig: &Eigh) -> f64 {
+    let n = a.rows();
+    let mut worst = 0.0f64;
+    for k in 0..eig.values.len() {
+        let v = eig.vectors.col(k);
+        let av = a.matvec(&v);
+        for i in 0..n {
+            worst = worst.max((av[i] - eig.values[k] * v[i]).abs());
+        }
+    }
+    worst
+}
+
+/// Deviation of `Vᵀ V` from the identity, measured as a max-abs entry.
+pub fn orthogonality_defect(vectors: &Matrix) -> f64 {
+    let vtv = vectors.t_matmul(vectors);
+    let n = vtv.rows();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let target = if i == j { 1.0 } else { 0.0 };
+            worst = worst.max((vtv[(i, j)] - target).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diagonal(&[3.0, -1.0, 2.0]);
+        let eig = eigh(a).unwrap();
+        assert!((eig.values[0] - -1.0).abs() < 1e-14);
+        assert!((eig.values[1] - 2.0).abs() < 1e-14);
+        assert!((eig.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn two_by_two_analytic() {
+        // [[a, b], [b, c]] has eigenvalues (a+c)/2 ± sqrt(((a-c)/2)² + b²).
+        let (a, b, c) = (2.0, 1.5, -1.0);
+        let m = Matrix::from_vec(2, 2, vec![a, b, b, c]);
+        let eig = eigh(m).unwrap();
+        let mid = 0.5 * (a + c);
+        let rad = (0.25 * (a - c) * (a - c) + b * b).sqrt();
+        assert!((eig.values[0] - (mid - rad)).abs() < 1e-14);
+        assert!((eig.values[1] - (mid + rad)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_and_orthogonality_random() {
+        for n in [1usize, 2, 3, 5, 16, 40] {
+            let a = symmetric_test_matrix(n, n as u64 + 7);
+            let eig = eigh(a.clone()).unwrap();
+            let scale = a.max_abs().max(1.0);
+            assert!(
+                eig_residual(&a, &eig) < 1e-10 * scale * n as f64,
+                "residual too large at n={n}"
+            );
+            assert!(
+                orthogonality_defect(&eig.vectors) < 1e-11 * n as f64,
+                "vectors not orthonormal at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_sorted_ascending() {
+        let a = symmetric_test_matrix(24, 99);
+        let eig = eigh(a).unwrap();
+        for w in eig.values.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn eigvalsh_matches_eigh() {
+        let a = symmetric_test_matrix(20, 5);
+        let full = eigh(a.clone()).unwrap();
+        let vals = eigvalsh(a).unwrap();
+        for (a, b) in full.values.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = symmetric_test_matrix(30, 13);
+        let tr = a.trace();
+        let eig = eigh(a).unwrap();
+        let s: f64 = eig.values.iter().sum();
+        assert!((tr - s).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_eigenvalues_handled() {
+        // 3x3 with a double eigenvalue: diag(1, 1, 4) rotated.
+        let d = Matrix::from_diagonal(&[1.0, 1.0, 4.0]);
+        // Rotate by an arbitrary orthogonal matrix built from a Householder.
+        let v = [1.0f64, 2.0, 3.0];
+        let nv: f64 = v.iter().map(|x| x * x).sum::<f64>();
+        let mut q = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                q[(i, j)] -= 2.0 * v[i] * v[j] / nv;
+            }
+        }
+        let a = q.matmul(&d).matmul(&q.transpose());
+        let eig = eigh(a.clone()).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 1.0).abs() < 1e-12);
+        assert!((eig.values[2] - 4.0).abs() < 1e-12);
+        assert!(eig_residual(&a, &eig) < 1e-11);
+    }
+
+    #[test]
+    fn already_tridiagonal_input() {
+        let n = 10;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = i as f64;
+            if i + 1 < n {
+                a[(i, i + 1)] = 0.5;
+                a[(i + 1, i)] = 0.5;
+            }
+        }
+        let eig = eigh(a.clone()).unwrap();
+        assert!(eig_residual(&a, &eig) < 1e-12);
+    }
+
+    #[test]
+    fn known_tridiagonal_toeplitz_eigenvalues() {
+        // The n×n tridiagonal Toeplitz matrix with diagonal a and off-diagonal
+        // b has eigenvalues a + 2b·cos(kπ/(n+1)), k = 1..n.
+        let n = 12;
+        let (a_diag, b_off) = (2.0, -1.0);
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = a_diag;
+            if i + 1 < n {
+                m[(i, i + 1)] = b_off;
+                m[(i + 1, i)] = b_off;
+            }
+        }
+        let eig = eigh(m).unwrap();
+        let mut expected: Vec<f64> = (1..=n)
+            .map(|k| a_diag + 2.0 * b_off * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (got, want) in eig.values.iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(eigh(a), Err(EigError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let eig = eigh(Matrix::zeros(0, 0)).unwrap();
+        assert!(eig.values.is_empty());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let eig = eigh(Matrix::from_vec(1, 1, vec![7.5])).unwrap();
+        assert_eq!(eig.values, vec![7.5]);
+        assert!((eig.vectors[(0, 0)].abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn similarity_invariance() {
+        // Eigenvalues must be invariant under Q A Qᵀ for orthogonal Q.
+        let a = symmetric_test_matrix(15, 21);
+        let e1 = eigvalsh(a.clone()).unwrap();
+        // Build Q from the eigenvectors of another symmetric matrix.
+        let q = eigh(symmetric_test_matrix(15, 22)).unwrap().vectors;
+        let b = q.matmul(&a).matmul(&q.transpose());
+        let e2 = eigvalsh(b).unwrap();
+        for (x, y) in e1.iter().zip(&e2) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Jacobi eigensolvers for real symmetric matrices.
+//!
+//! Two variants are provided:
+//!
+//! * [`jacobi_eigh`] — the classical *sequential cyclic* Jacobi method: sweep
+//!   all `(p,q)` pairs in row order, annihilating one off-diagonal element at
+//!   a time. Quadratically convergent, ~`12n³` flops per sweep.
+//! * [`par_jacobi_eigh`] — the *parallel-ordered* (round-robin tournament)
+//!   Jacobi method used on distributed-memory machines of the SC'94 era: each
+//!   round selects `n/2` disjoint pivot pairs, computes all their rotation
+//!   angles from the same matrix state, and applies them concurrently. This
+//!   is the shared-memory twin of the message-passing ring Jacobi implemented
+//!   in `tbmd-parallel`; both share the [`round_robin_rounds`] schedule.
+//!
+//! Jacobi is slower than Householder+QL (`eigh`) on a serial machine but was
+//! the method of choice for parallel machines because every round exposes
+//! `n/2` independent rotations — the property the parallel engines exploit.
+
+use crate::eigh::{Eigh, EigError};
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Default relative off-diagonal tolerance for the Jacobi solvers.
+pub const JACOBI_TOL: f64 = 1e-12;
+
+/// Default sweep budget; cyclic Jacobi converges in 6–10 sweeps for
+/// well-scaled matrices, so 40 is a generous safety margin.
+pub const JACOBI_MAX_SWEEPS: usize = 40;
+
+/// Round-robin (chess tournament) schedule: `n-1` rounds, each containing
+/// `n/2` disjoint index pairs, which together cover every unordered pair
+/// exactly once. `n` must be even (pad odd sizes with a phantom index and
+/// drop its pairs; the helper does this automatically).
+///
+/// The schedule fixes player `n-1` and rotates the rest — the standard
+/// construction. Disjointness within a round is what lets all its rotations
+/// be computed and applied in parallel.
+pub fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
+    if n < 2 {
+        return vec![];
+    }
+    let m = if n % 2 == 0 { n } else { n + 1 }; // phantom index m-1 when odd
+    let rounds = m - 1;
+    let mut schedule = Vec::with_capacity(rounds);
+    // players[0] is fixed, the rest rotate each round.
+    let mut players: Vec<usize> = (0..m).collect();
+    for _ in 0..rounds {
+        let mut pairs = Vec::with_capacity(m / 2);
+        for k in 0..m / 2 {
+            let a = players[k];
+            let b = players[m - 1 - k];
+            let (p, q) = if a < b { (a, b) } else { (b, a) };
+            if q < n {
+                pairs.push((p, q));
+            }
+        }
+        pairs.sort_unstable();
+        schedule.push(pairs);
+        // Rotate positions 1..m one step.
+        players[1..].rotate_right(1);
+    }
+    schedule
+}
+
+/// Compute the Jacobi rotation `(c, s)` that annihilates `a_pq` given the
+/// pivot elements, using the numerically stable formulation from Golub & Van
+/// Loan §8.5: `t = sign(θ)/(|θ| + sqrt(θ²+1))` with `θ = (a_qq − a_pp)/(2 a_pq)`.
+#[inline]
+pub fn jacobi_rotation(app: f64, aqq: f64, apq: f64) -> (f64, f64) {
+    if apq == 0.0 {
+        return (1.0, 0.0);
+    }
+    let theta = (aqq - app) / (2.0 * apq);
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    (c, t * c)
+}
+
+/// Root-sum-square of the strict off-diagonal part.
+pub fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)] * a[(i, j)];
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Outcome statistics of a Jacobi solve, reported for experiment T4.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiStats {
+    /// Sweeps (cyclic) or rounds/(n-1) (parallel) performed.
+    pub sweeps: usize,
+    /// Total plane rotations applied.
+    pub rotations: usize,
+    /// Final off-diagonal norm relative to the Frobenius norm.
+    pub final_off: f64,
+}
+
+/// Classical sequential cyclic Jacobi eigendecomposition.
+///
+/// # Errors
+/// [`EigError::NoConvergence`] if the off-diagonal norm has not dropped below
+/// `tol · ‖A‖_F` after `max_sweeps` sweeps.
+pub fn jacobi_eigh(mut a: Matrix, tol: f64, max_sweeps: usize) -> Result<(Eigh, JacobiStats), EigError> {
+    assert!(a.is_square(), "Jacobi requires a square matrix");
+    let n = a.rows();
+    let mut v = Matrix::identity(n);
+    let fro = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let mut rotations = 0usize;
+    let mut sweeps = 0usize;
+    if n > 1 {
+        while sweeps < max_sweeps {
+            let off = off_diagonal_norm(&a);
+            if off <= tol * fro {
+                break;
+            }
+            sweeps += 1;
+            for p in 0..n - 1 {
+                for q in p + 1..n {
+                    let apq = a[(p, q)];
+                    // Skip elements already at round-off level; classic
+                    // thresholding keeps sweeps cheap near convergence.
+                    if apq.abs() <= 0.1 * tol * fro / (n as f64) {
+                        continue;
+                    }
+                    let (c, s) = jacobi_rotation(a[(p, p)], a[(q, q)], apq);
+                    apply_rotation_sym(&mut a, p, q, c, s);
+                    apply_rotation_cols(&mut v, p, q, c, s);
+                    rotations += 1;
+                }
+            }
+        }
+        let off = off_diagonal_norm(&a);
+        if off > tol * fro * 10.0 {
+            return Err(EigError::NoConvergence { index: 0, iterations: sweeps });
+        }
+    }
+    let stats = JacobiStats { sweeps, rotations, final_off: off_diagonal_norm(&a) / fro };
+    Ok((finish(a, v), stats))
+}
+
+/// Parallel-ordered Jacobi eigendecomposition (round-robin rounds, Rayon).
+///
+/// All `n/2` rotations of a round are computed from the same matrix snapshot
+/// and applied as one orthogonal factor `J = Π J_k` (the pairs are disjoint,
+/// so the product is order-independent). Column and row updates are each
+/// embarrassingly parallel in a column-major layout — exactly the structure
+/// the distributed ring-Jacobi in `tbmd-parallel` communicates around.
+pub fn par_jacobi_eigh(
+    a: Matrix,
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<(Eigh, JacobiStats), EigError> {
+    assert!(a.is_square(), "Jacobi requires a square matrix");
+    let n = a.rows();
+    if n <= 1 {
+        let stats = JacobiStats { sweeps: 0, rotations: 0, final_off: 0.0 };
+        return Ok((finish(a, Matrix::identity(n)), stats));
+    }
+    let fro = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    // Column-major working storage.
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut vcols: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..n).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+    let schedule = round_robin_rounds(n);
+    let mut rotations = 0usize;
+    let mut sweeps = 0usize;
+    'outer: while sweeps < max_sweeps {
+        if off_norm_cols(&cols) <= tol * fro {
+            break 'outer;
+        }
+        sweeps += 1;
+        for round in &schedule {
+            // 1. Rotation angles from the current snapshot (disjoint pivots).
+            let rots: Vec<(usize, usize, f64, f64)> = round
+                .iter()
+                .map(|&(p, q)| {
+                    let (c, s) = jacobi_rotation(cols[p][p], cols[q][q], cols[q][p]);
+                    (p, q, c, s)
+                })
+                .collect();
+            rotations += rots.len();
+            // partner[j] = (other index, c, s, is_p_side) for paired columns.
+            let mut partner: Vec<Option<(usize, f64, f64, bool)>> = vec![None; n];
+            for &(p, q, c, s) in &rots {
+                partner[p] = Some((q, c, s, true));
+                partner[q] = Some((p, c, s, false));
+            }
+            // 2. Column update  B = A·J : col_p ← c·col_p − s·col_q,
+            //    col_q ← s·col_p + c·col_q.  Each new column reads only its
+            //    partner, so building into fresh storage is race-free.
+            let cols_ref = &cols;
+            let new_cols: Vec<Vec<f64>> = (0..n)
+                .into_par_iter()
+                .map(|j| match partner[j] {
+                    None => cols_ref[j].clone(),
+                    Some((k, c, s, is_p)) => {
+                        let (cj, ck) = (&cols_ref[j], &cols_ref[k]);
+                        if is_p {
+                            cj.iter().zip(ck).map(|(&x, &y)| c * x - s * y).collect()
+                        } else {
+                            ck.iter().zip(cj).map(|(&x, &y)| s * x + c * y).collect()
+                        }
+                    }
+                })
+                .collect();
+            cols = new_cols;
+            // 3. Row update  A' = Jᵀ·B : rows p and q mix. In column storage
+            //    this touches only elements (p, j) and (q, j) of each column,
+            //    so it is parallel over columns.
+            let rots_ref = &rots;
+            cols.par_iter_mut().for_each(|col| {
+                for &(p, q, c, s) in rots_ref {
+                    let (xp, xq) = (col[p], col[q]);
+                    col[p] = c * xp - s * xq;
+                    col[q] = s * xp + c * xq;
+                }
+            });
+            // 4. Eigenvector update V ← V·J (columns rotate like A's).
+            let vref = &vcols;
+            let new_v: Vec<Vec<f64>> = (0..n)
+                .into_par_iter()
+                .map(|j| match partner[j] {
+                    None => vref[j].clone(),
+                    Some((k, c, s, is_p)) => {
+                        let (vj, vk) = (&vref[j], &vref[k]);
+                        if is_p {
+                            vj.iter().zip(vk).map(|(&x, &y)| c * x - s * y).collect()
+                        } else {
+                            vk.iter().zip(vj).map(|(&x, &y)| s * x + c * y).collect()
+                        }
+                    }
+                })
+                .collect();
+            vcols = new_v;
+        }
+    }
+    let final_off = off_norm_cols(&cols);
+    if final_off > tol * fro * 10.0 {
+        return Err(EigError::NoConvergence { index: 0, iterations: sweeps });
+    }
+    // Reassemble row-major matrices.
+    let mut am = Matrix::zeros(n, n);
+    let mut vm = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            am[(i, j)] = cols[j][i];
+            vm[(i, j)] = vcols[j][i];
+        }
+    }
+    let stats = JacobiStats { sweeps, rotations, final_off: final_off / fro };
+    Ok((finish(am, vm), stats))
+}
+
+/// Apply the two-sided rotation `Jᵀ A J` in place, exploiting symmetry.
+fn apply_rotation_sym(a: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = a.rows();
+    let app = a[(p, p)];
+    let aqq = a[(q, q)];
+    let apq = a[(p, q)];
+    a[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    a[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    a[(p, q)] = 0.0;
+    a[(q, p)] = 0.0;
+    for k in 0..n {
+        if k != p && k != q {
+            let akp = a[(k, p)];
+            let akq = a[(k, q)];
+            a[(k, p)] = c * akp - s * akq;
+            a[(p, k)] = a[(k, p)];
+            a[(k, q)] = s * akp + c * akq;
+            a[(q, k)] = a[(k, q)];
+        }
+    }
+}
+
+/// Rotate columns `p`, `q` of `v`: `v ← v · J(p,q,c,s)`.
+fn apply_rotation_cols(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    for k in 0..v.rows() {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+fn off_norm_cols(cols: &[Vec<f64>]) -> f64 {
+    let mut s = 0.0;
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &x) in col.iter().enumerate() {
+            if i != j {
+                s += x * x;
+            }
+        }
+    }
+    s.sqrt()
+}
+
+/// Extract sorted eigenpairs from a (nearly) diagonalized matrix and the
+/// accumulated rotations.
+fn finish(a: Matrix, v: Matrix) -> Eigh {
+    let n = a.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| a[(x, x)].partial_cmp(&a[(y, y)]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&k| a[(k, k)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Eigh { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigh::{eig_residual, eigh, orthogonality_defect};
+
+    fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn round_robin_covers_all_pairs_once() {
+        for n in [2usize, 3, 4, 5, 8, 9, 16] {
+            let rounds = round_robin_rounds(n);
+            let mut seen = std::collections::HashSet::new();
+            for round in &rounds {
+                let mut used = std::collections::HashSet::new();
+                for &(p, q) in round {
+                    assert!(p < q && q < n, "bad pair ({p},{q}) for n={n}");
+                    // Disjointness within the round.
+                    assert!(used.insert(p), "index {p} reused in round (n={n})");
+                    assert!(used.insert(q), "index {q} reused in round (n={n})");
+                    assert!(seen.insert((p, q)), "pair ({p},{q}) repeated (n={n})");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "pair coverage wrong for n={n}");
+        }
+    }
+
+    #[test]
+    fn rotation_annihilates_pivot() {
+        let (app, aqq, apq) = (2.0, -1.0, 0.7);
+        let (c, s) = jacobi_rotation(app, aqq, apq);
+        // New off-diagonal element of the 2x2 block after JᵀAJ.
+        let new_apq = (c * c - s * s) * apq + s * c * (app - aqq);
+        assert!(new_apq.abs() < 1e-15);
+        assert!((c * c + s * s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cyclic_jacobi_matches_ql() {
+        for n in [2usize, 5, 12, 24] {
+            let a = symmetric_test_matrix(n, 42 + n as u64);
+            let reference = eigh(a.clone()).unwrap();
+            let (jac, stats) = jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap();
+            assert!(stats.sweeps <= 15, "too many sweeps at n={n}: {}", stats.sweeps);
+            for (x, y) in jac.values.iter().zip(&reference.values) {
+                assert!((x - y).abs() < 1e-9, "n={n}: {x} vs {y}");
+            }
+            assert!(eig_residual(&a, &jac) < 1e-9);
+            assert!(orthogonality_defect(&jac.vectors) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parallel_jacobi_matches_ql() {
+        for n in [2usize, 3, 7, 16, 33] {
+            let a = symmetric_test_matrix(n, 7 + n as u64);
+            let reference = eigh(a.clone()).unwrap();
+            let (jac, _) = par_jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap();
+            for (x, y) in jac.values.iter().zip(&reference.values) {
+                assert!((x - y).abs() < 1e-9, "n={n}: {x} vs {y}");
+            }
+            assert!(eig_residual(&a, &jac) < 1e-9, "residual at n={n}");
+            assert!(orthogonality_defect(&jac.vectors) < 1e-10, "orthogonality at n={n}");
+        }
+    }
+
+    #[test]
+    fn diagonal_input_converges_immediately() {
+        let a = Matrix::from_diagonal(&[5.0, 1.0, 3.0]);
+        let (eig, stats) = jacobi_eigh(a, JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap();
+        assert_eq!(stats.sweeps, 0);
+        assert_eq!(stats.rotations, 0);
+        assert_eq!(eig.values, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn one_by_one_and_trivial() {
+        let (eig, _) = par_jacobi_eigh(Matrix::from_vec(1, 1, vec![2.5]), 1e-12, 10).unwrap();
+        assert_eq!(eig.values, vec![2.5]);
+        assert!(round_robin_rounds(0).is_empty());
+        assert!(round_robin_rounds(1).is_empty());
+    }
+
+    #[test]
+    fn off_diagonal_norm_basics() {
+        let mut a = Matrix::identity(3);
+        assert_eq!(off_diagonal_norm(&a), 0.0);
+        a[(0, 1)] = 3.0;
+        a[(1, 0)] = 3.0;
+        a[(0, 2)] = 4.0;
+        a[(2, 0)] = 4.0;
+        assert!((off_diagonal_norm(&a) - (50.0f64).sqrt()).abs() < 1e-14);
+    }
+}

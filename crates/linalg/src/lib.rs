@@ -1,0 +1,37 @@
+//! # tbmd-linalg
+//!
+//! Dense real linear algebra for the `tbmd` tight-binding molecular dynamics
+//! workspace, written from scratch (no BLAS/LAPACK bindings — the 1994-era
+//! machines this project models shipped vendor EISPACK/BLAS; we supply the
+//! equivalent kernels in pure Rust).
+//!
+//! Contents:
+//! * [`Vec3`] — 3-component vectors for positions/velocities/forces.
+//! * [`Matrix`] — dense row-major matrices with cache-blocked and
+//!   Rayon-parallel products.
+//! * [`eigh`]/[`eigvalsh`] — Householder + implicit-QL symmetric eigensolver
+//!   (the per-timestep O(n³) kernel of tight-binding MD).
+//! * [`jacobi_eigh`]/[`par_jacobi_eigh`] — cyclic and parallel-ordered Jacobi
+//!   eigensolvers; the parallel ordering is shared with the distributed
+//!   ring-Jacobi in `tbmd-parallel`.
+//! * [`eigvalsh_partial`] — Sturm-sequence bisection for the lowest k
+//!   eigenvalues (the era's "occupied states only" optimization).
+//! * [`Cholesky`]/[`generalized_eigh`] — SPD factorization and the
+//!   `H c = ε S c` reduction used by non-orthogonal tight binding.
+
+pub mod bisection;
+pub mod cholesky;
+pub mod eigh;
+pub mod jacobi;
+pub mod matrix;
+pub mod vec3;
+
+pub use bisection::{eigvalsh_partial, sturm_count, tridiagonal_kth_eigenvalue};
+pub use cholesky::{generalized_eigh, Cholesky, CholeskyError, GeneralizedEigError};
+pub use eigh::{eig_residual, eigh, eigvalsh, orthogonality_defect, tqli, tridiagonalize, EigError, Eigh};
+pub use jacobi::{
+    jacobi_eigh, jacobi_rotation, off_diagonal_norm, par_jacobi_eigh, round_robin_rounds,
+    JacobiStats, JACOBI_MAX_SWEEPS, JACOBI_TOL,
+};
+pub use matrix::Matrix;
+pub use vec3::Vec3;

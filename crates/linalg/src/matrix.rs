@@ -1,0 +1,540 @@
+//! Dense row-major matrices.
+//!
+//! This is the storage type for tight-binding Hamiltonians, overlap matrices,
+//! eigenvector sets and density matrices. It is intentionally small: the
+//! workspace only needs real square/rectangular `f64` matrices, symmetric
+//! eigensolvers, Cholesky and matrix products. Products are cache-blocked and
+//! optionally parallelized with Rayon (see [`Matrix::par_matmul`]).
+
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
+
+/// Cache block edge used by the blocked matrix product. 64×64 `f64` blocks
+/// are 32 KiB, comfortably inside a typical L1 data cache for three operands.
+const MATMUL_BLOCK: usize = 64;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length does not match dimensions");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a diagonal matrix from a slice of diagonal entries.
+    pub fn from_diagonal(d: &[f64]) -> Self {
+        let mut m = Matrix::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite column `j` with `v`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows);
+        for i in 0..self.rows {
+            self[(i, j)] = v[i];
+        }
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        self.rows_iter()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (i, row) in self.rows_iter().enumerate() {
+            let xi = x[i];
+            for (yj, &a) in y.iter_mut().zip(row) {
+                *yj += a * xi;
+            }
+        }
+        y
+    }
+
+    /// Cache-blocked serial matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul_into(self, other, &mut out, false);
+        out
+    }
+
+    /// Cache-blocked matrix product with row-parallelism over Rayon.
+    ///
+    /// Produces bitwise-identical results to [`Matrix::matmul`]: each output
+    /// row is accumulated by exactly one task in the same order as the serial
+    /// kernel.
+    pub fn par_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul_into(self, other, &mut out, true);
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let (n, m, k) = (self.cols, other.cols, self.rows);
+        let mut out = Matrix::zeros(n, m);
+        for p in 0..k {
+            let arow = self.row(p);
+            let brow = other.row(p);
+            for i in 0..n {
+                let a = arow[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for j in 0..m {
+                    orow[j] += a * brow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Largest absolute asymmetry `|A_ij - A_ji|`.
+    pub fn asymmetry(&self) -> f64 {
+        assert!(self.is_square());
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Force exact symmetry by averaging `A` and `Aᵀ` in place.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square());
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// In-place scale by a scalar.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// `self += s * other` (AXPY on the flat data).
+    pub fn axpy(&mut self, s: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Quadratic form `xᵀ A y`.
+    pub fn quadratic_form(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        self.rows_iter()
+            .zip(x)
+            .map(|(row, &xi)| xi * row.iter().zip(y).map(|(a, b)| a * b).sum::<f64>())
+            .sum()
+    }
+}
+
+/// Blocked GEMM kernel shared by the serial and parallel entry points.
+///
+/// Splits the output into `MATMUL_BLOCK`-row bands; each band walks the inner
+/// dimension in blocks so that the working set of `a`, `b` and `out` stays
+/// cache-resident. The i-k-j loop order streams rows of `b`.
+fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, parallel: bool) {
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let band = |(band_idx, out_band): (usize, &mut [f64])| {
+        let i0 = band_idx * MATMUL_BLOCK;
+        let i1 = (i0 + MATMUL_BLOCK).min(m);
+        for p0 in (0..k).step_by(MATMUL_BLOCK) {
+            let p1 = (p0 + MATMUL_BLOCK).min(k);
+            for i in i0..i1 {
+                let arow = a.row(i);
+                let orow = &mut out_band[(i - i0) * n..(i - i0 + 1) * n];
+                for p in p0..p1 {
+                    let av = arow[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = b.row(p);
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    };
+    if parallel {
+        out.data.par_chunks_mut(MATMUL_BLOCK * n).enumerate().for_each(band);
+    } else {
+        out.data.chunks_mut(MATMUL_BLOCK * n).enumerate().for_each(band);
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, o: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (o.rows, o.cols));
+        let data = self.data.iter().zip(&o.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, o: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (o.rows, o.cols));
+        let data = self.data.iter().zip(&o.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, o: &Matrix) {
+        self.axpy(1.0, o);
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, o: &Matrix) {
+        self.axpy(-1.0, o);
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, o: &Matrix) -> Matrix {
+        self.matmul(o)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>11.4e} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Simple deterministic LCG fill; avoids pulling rand into unit tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = test_matrix(17, 17, 3);
+        let i = Matrix::identity(17);
+        let left = i.matmul(&a);
+        let right = a.matmul(&i);
+        assert!((&left - &a).max_abs() < 1e-15);
+        assert!((&right - &a).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive() {
+        // Sizes straddling the block edge exercise all remainder paths.
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (64, 64, 64), (65, 63, 70), (130, 17, 129)] {
+            let a = test_matrix(m, k, 11);
+            let b = test_matrix(k, n, 23);
+            let blocked = a.matmul(&b);
+            let naive = naive_matmul(&a, &b);
+            assert!(
+                (&blocked - &naive).max_abs() < 1e-12,
+                "mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_matmul_matches_serial() {
+        let a = test_matrix(97, 83, 5);
+        let b = test_matrix(83, 101, 7);
+        let s = a.matmul(&b);
+        let p = a.par_matmul(&b);
+        assert_eq!(s, p, "parallel product must be bitwise identical");
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = test_matrix(40, 31, 13);
+        let b = test_matrix(40, 29, 17);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!((&fast - &slow).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_consistent_with_matmul() {
+        let a = test_matrix(12, 9, 19);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let xm = Matrix::from_vec(9, 1, x.clone());
+        let via_mm = a.matmul(&xm);
+        let via_mv = a.matvec(&x);
+        for i in 0..12 {
+            assert!((via_mm[(i, 0)] - via_mv[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let a = test_matrix(12, 9, 19);
+        let x: Vec<f64> = (0..12).map(|i| (i as f64) * 0.1 - 0.5).collect();
+        let direct = a.matvec_t(&x);
+        let via_t = a.transpose().matvec(&x);
+        for (d, t) in direct.iter().zip(&via_t) {
+            assert!((d - t).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = test_matrix(14, 6, 29);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn trace_and_diagonal() {
+        let d = Matrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.trace(), 6.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d[(2, 2)], 3.0);
+    }
+
+    #[test]
+    fn symmetrize_removes_asymmetry() {
+        let mut a = test_matrix(10, 10, 31);
+        assert!(a.asymmetry() > 0.0);
+        a.symmetrize();
+        assert_eq!(a.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn quadratic_form_matches_products() {
+        let a = test_matrix(8, 8, 37);
+        let x: Vec<f64> = (0..8).map(|i| i as f64 * 0.2).collect();
+        let y: Vec<f64> = (0..8).map(|i| 1.0 - i as f64 * 0.1).collect();
+        let q = a.quadratic_form(&x, &y);
+        let ay = a.matvec(&y);
+        let manual: f64 = x.iter().zip(&ay).map(|(a, b)| a * b).sum();
+        assert!((q - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn col_roundtrip() {
+        let mut a = Matrix::zeros(4, 3);
+        a.set_col(1, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.col(1), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.col(0), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(5, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn axpy_and_ops() {
+        let a = test_matrix(6, 6, 41);
+        let b = test_matrix(6, 6, 43);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((c[(i, j)] - (a[(i, j)] + 2.0 * b[(i, j)])).abs() < 1e-14);
+            }
+        }
+        let mut d = a.clone();
+        d += &b;
+        d -= &b;
+        assert!((&d - &a).max_abs() < 1e-14);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the linear-algebra kernels.
+//!
+//! These verify the mathematical invariants that every downstream physics
+//! result rests on: eigendecompositions reconstruct their input, orthogonal
+//! factors are orthogonal, Cholesky solves invert the product, and the
+//! parallel Jacobi ordering agrees with the sequential QL reference.
+
+use proptest::prelude::*;
+use tbmd_linalg::{
+    eig_residual, eigh, jacobi_eigh, orthogonality_defect, par_jacobi_eigh, Cholesky, Matrix,
+    Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL,
+};
+
+/// Strategy: a random symmetric n×n matrix with entries in [-1, 1].
+fn symmetric_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(-1.0f64..1.0, n * (n + 1) / 2).prop_map(move |tri| {
+            let mut a = Matrix::zeros(n, n);
+            let mut it = tri.into_iter();
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = it.next().unwrap();
+                    a[(i, j)] = v;
+                    a[(j, i)] = v;
+                }
+            }
+            a
+        })
+    })
+}
+
+/// Strategy: a random symmetric positive-definite matrix (AᵀA + n·I).
+fn spd_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| {
+            let a = Matrix::from_vec(n, n, v);
+            let mut s = a.t_matmul(&a);
+            for i in 0..n {
+                s[(i, i)] += n as f64;
+            }
+            s
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eigh_residual_small(a in symmetric_matrix(20)) {
+        let n = a.rows();
+        let eig = eigh(a.clone()).unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(eig_residual(&a, &eig) < 1e-9 * scale * n as f64);
+        prop_assert!(orthogonality_defect(&eig.vectors) < 1e-10 * n as f64);
+        // sorted ascending
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn eigh_preserves_trace_and_frobenius(a in symmetric_matrix(16)) {
+        let eig = eigh(a.clone()).unwrap();
+        let tr: f64 = eig.values.iter().sum();
+        prop_assert!((tr - a.trace()).abs() < 1e-8 * (1.0 + a.trace().abs()));
+        // Frobenius norm equals the 2-norm of the spectrum for symmetric A.
+        let fro2: f64 = eig.values.iter().map(|x| x * x).sum();
+        let afro2 = a.frobenius_norm().powi(2);
+        prop_assert!((fro2 - afro2).abs() < 1e-8 * (1.0 + afro2));
+    }
+
+    #[test]
+    fn jacobi_agrees_with_ql(a in symmetric_matrix(12)) {
+        let reference = eigh(a.clone()).unwrap();
+        let (cyc, _) = jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap();
+        let (par, _) = par_jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap();
+        for k in 0..a.rows() {
+            prop_assert!((cyc.values[k] - reference.values[k]).abs() < 1e-8);
+            prop_assert!((par.values[k] - reference.values[k]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_inverts(a in spd_matrix(12), seed in 0u64..1000) {
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 17) as f64 * 0.1 - 0.8).collect();
+        let b = a.matvec(&x_true);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(10)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose());
+        prop_assert!((&rec - &a).max_abs() < 1e-8 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn matmul_associative(
+        dims in (1usize..8, 1usize..8, 1usize..8, 1usize..8),
+        seed in 0u64..100
+    ) {
+        let (m, k, l, n) = dims;
+        let fill = |rows: usize, cols: usize, s: u64| {
+            let mut state = s.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        };
+        let a = fill(m, k, seed + 1);
+        let b = fill(k, l, seed + 2);
+        let c = fill(l, n, seed + 3);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!((&left - &right).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn vec3_triangle_inequality(ax in -10.0f64..10.0, ay in -10.0f64..10.0, az in -10.0f64..10.0,
+                                bx in -10.0f64..10.0, by in -10.0f64..10.0, bz in -10.0f64..10.0) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-12);
+        // Cauchy–Schwarz
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-12);
+    }
+
+    #[test]
+    fn transpose_of_product(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..50) {
+        let fill = |rows: usize, cols: usize, s: u64| {
+            let mut state = s.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        };
+        let a = fill(m, k, seed);
+        let b = fill(k, n, seed + 9);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!((&lhs - &rhs).max_abs() < 1e-12);
+    }
+}

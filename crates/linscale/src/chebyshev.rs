@@ -1,0 +1,171 @@
+//! Chebyshev expansion of the Fermi operator.
+//!
+//! The density matrix is a matrix function of the Hamiltonian,
+//! `ρ = 2 f((H − μ)/kT)`. Mapping the spectrum onto `[−1, 1]` via
+//! `H̃ = (H − shift)/scale`, the Fermi function expands in Chebyshev
+//! polynomials,
+//!
+//! ```text
+//! f(H̃) ≈ ½ c₀ I + Σ_{k=1}^{m-1} c_k T_k(H̃),
+//! ```
+//!
+//! and a *column* of ρ follows from the three-term recurrence
+//! `T_{k+1} = 2 H̃ T_k − T_{k−1}` applied to a unit vector — nothing but
+//! sparse matvecs. Truncating each column to a localization region around
+//! its atom makes the whole density matrix O(N): the Goedecker–Colombo
+//! (1994) linear-scaling TBMD scheme this crate reproduces.
+
+/// Chebyshev coefficients of a function on `[−1, 1]` via Chebyshev–Gauss
+/// quadrature with `2m` nodes (the standard discrete cosine construction).
+///
+/// The returned `c[0]` is the *full* zeroth coefficient; evaluation must use
+/// `½ c₀ + Σ_{k≥1} c_k T_k`.
+pub fn chebyshev_coefficients(f: impl Fn(f64) -> f64, m: usize) -> Vec<f64> {
+    assert!(m >= 1);
+    let npts = 2 * m;
+    let fvals: Vec<f64> = (0..npts)
+        .map(|j| {
+            let theta = std::f64::consts::PI * (j as f64 + 0.5) / npts as f64;
+            f(theta.cos())
+        })
+        .collect();
+    (0..m)
+        .map(|k| {
+            let mut acc = 0.0;
+            for (j, &fv) in fvals.iter().enumerate() {
+                let theta = std::f64::consts::PI * (j as f64 + 0.5) / npts as f64;
+                acc += fv * (k as f64 * theta).cos();
+            }
+            2.0 * acc / npts as f64
+        })
+        .collect()
+}
+
+/// Evaluate a Chebyshev series at a scalar `x ∈ [−1, 1]` (Clenshaw).
+pub fn chebyshev_eval(coefficients: &[f64], x: f64) -> f64 {
+    let mut b1 = 0.0;
+    let mut b2 = 0.0;
+    for &c in coefficients.iter().skip(1).rev() {
+        let b0 = 2.0 * x * b1 - b2 + c;
+        b2 = b1;
+        b1 = b0;
+    }
+    // ½c₀ + x·b1 − b2 closes the recurrence.
+    0.5 * coefficients[0] + x * b1 - b2
+}
+
+/// The Fermi function `1/(1 + e^{(ε−μ)/kT})` with overflow guards.
+pub fn fermi_function(eps: f64, mu: f64, kt: f64) -> f64 {
+    let x = (eps - mu) / kt;
+    if x > 40.0 {
+        0.0
+    } else if x < -40.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Coefficients of the Fermi operator on a spectrum window `[e_min, e_max]`:
+/// returns `(shift, scale, coefficients)` with `H̃ = (H − shift)/scale` and
+/// the series approximating `f(scale·x + shift)` for `x ∈ [−1, 1]`.
+///
+/// The window is padded by 5% so Chebyshev's edge oscillations stay outside
+/// the actual spectrum.
+pub fn fermi_coefficients(
+    e_min: f64,
+    e_max: f64,
+    mu: f64,
+    kt: f64,
+    order: usize,
+) -> (f64, f64, Vec<f64>) {
+    assert!(e_max > e_min && kt > 0.0 && order >= 2);
+    let pad = 0.05 * (e_max - e_min).max(1e-6);
+    let lo = e_min - pad;
+    let hi = e_max + pad;
+    let shift = 0.5 * (hi + lo);
+    let scale = 0.5 * (hi - lo);
+    let coeffs = chebyshev_coefficients(|x| fermi_function(scale * x + shift, mu, kt), order);
+    (shift, scale, coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expands_polynomial_exactly() {
+        // f(x) = 3x² − 1 = 1.5·T₂ + 0.5·T₀ − ... : any series of order ≥ 3
+        // reproduces it to round-off.
+        let c = chebyshev_coefficients(|x| 3.0 * x * x - 1.0, 8);
+        for &x in &[-0.9, -0.3, 0.0, 0.5, 0.99] {
+            let approx = chebyshev_eval(&c, x);
+            assert!((approx - (3.0 * x * x - 1.0)).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn expands_exponential() {
+        let c = chebyshev_coefficients(|x| x.exp(), 20);
+        for &x in &[-1.0, -0.4, 0.2, 0.8] {
+            assert!((chebyshev_eval(&c, x) - x.exp()).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn fermi_series_accurate_on_window() {
+        let (shift, scale, c) = fermi_coefficients(-15.0, 20.0, 1.3, 0.3, 400);
+        for k in 0..100 {
+            let eps = -15.0 + 35.0 * k as f64 / 99.0;
+            let x = (eps - shift) / scale;
+            let approx = chebyshev_eval(&c, x);
+            let exact = fermi_function(eps, 1.3, 0.3);
+            assert!(
+                (approx - exact).abs() < 1e-6,
+                "eps={eps}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fermi_series_order_convergence() {
+        // Error must shrink as the order grows.
+        let err_at = |order: usize| -> f64 {
+            let (shift, scale, c) = fermi_coefficients(-10.0, 10.0, 0.0, 0.5, order);
+            (0..200)
+                .map(|k| {
+                    let eps = -10.0 + 20.0 * k as f64 / 199.0;
+                    let x = (eps - shift) / scale;
+                    (chebyshev_eval(&c, x) - fermi_function(eps, 0.0, 0.5)).abs()
+                })
+                .fold(0.0, f64::max)
+        };
+        let e50 = err_at(50);
+        let e150 = err_at(150);
+        assert!(e150 < e50 / 10.0, "orders 50/150: {e50} vs {e150}");
+    }
+
+    #[test]
+    fn fermi_function_limits() {
+        assert_eq!(fermi_function(100.0, 0.0, 0.1), 0.0);
+        assert_eq!(fermi_function(-100.0, 0.0, 0.1), 1.0);
+        assert!((fermi_function(0.0, 0.0, 0.1) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn clenshaw_matches_direct_sum() {
+        let c = chebyshev_coefficients(|x| (2.5 * x).sin(), 30);
+        let x: f64 = 0.37;
+        // Direct: T_k via recurrence.
+        let mut t0 = 1.0;
+        let mut t1 = x;
+        let mut direct = 0.5 * c[0] + c[1] * x;
+        for &ck in c.iter().skip(2) {
+            let t2 = 2.0 * x * t1 - t0;
+            direct += ck * t2;
+            t0 = t1;
+            t1 = t2;
+        }
+        assert!((chebyshev_eval(&c, x) - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,405 @@
+//! Distributed linear-scaling TBMD: the Chebyshev Fermi-operator engine on
+//! the virtual message-passing machine.
+//!
+//! This is the 1994 end-game: O(N) work *and* near-perfect spatial
+//! decomposition. Atoms are partitioned over ranks; each rank expands the
+//! density-matrix columns of its own atoms on their localization regions
+//! (built locally from the replicated geometry — no halo exchange needed
+//! because the region Hamiltonian only requires positions). Communication is
+//! one positions broadcast, an `order`-length moment allreduce for the
+//! chemical potential, scalar energy allreduces, and the force allgather —
+//! all independent of the O(N³) wall that throttled the dense engine's
+//! scaled speedup (experiments F1 vs F8).
+
+use crate::chebyshev::{chebyshev_coefficients, fermi_function};
+use crate::engine::{LinearScalingTb, LinScaleReport};
+use crate::sparse::{LocalRegion, SparseH};
+use parking_lot::Mutex;
+use tbmd_linalg::Vec3;
+use tbmd_model::{
+    sk_block_gradient, ForceEvaluation, ForceProvider, OrbitalIndex, PhaseTimings, TbError,
+    TbModel,
+};
+use tbmd_parallel::{partition_range, vmp_run, VmpStats};
+use tbmd_structure::{NeighborList, Structure};
+
+/// Report of the most recent distributed O(N) evaluation.
+#[derive(Debug, Clone)]
+pub struct DistributedLinScaleReport {
+    /// Traffic/flop statistics of the virtual machine.
+    pub stats: VmpStats,
+    /// Chemical potential found.
+    pub mu: f64,
+    /// Ranks used.
+    pub n_ranks: usize,
+}
+
+/// Message-passing O(N) TBMD engine.
+pub struct DistributedLinearScalingTb<'m> {
+    model: &'m dyn TbModel,
+    /// Ranks of the virtual machine.
+    pub n_ranks: usize,
+    /// Electronic temperature (eV).
+    pub kt: f64,
+    /// Chebyshev order.
+    pub order: usize,
+    /// Localization radius (Å).
+    pub r_loc: f64,
+    last_report: Mutex<Option<DistributedLinScaleReport>>,
+}
+
+impl<'m> DistributedLinearScalingTb<'m> {
+    /// Engine with the same defaults as the shared-memory
+    /// [`LinearScalingTb`].
+    pub fn new(model: &'m dyn TbModel, n_ranks: usize) -> Self {
+        assert!(n_ranks >= 1);
+        DistributedLinearScalingTb {
+            model,
+            n_ranks,
+            kt: 0.2,
+            order: 350,
+            r_loc: f64::INFINITY,
+            last_report: Mutex::new(None),
+        }
+    }
+
+    /// Set the localization radius (Å).
+    pub fn with_r_loc(mut self, r_loc: f64) -> Self {
+        assert!(r_loc > 0.0);
+        self.r_loc = r_loc;
+        self
+    }
+
+    /// Set the Chebyshev order.
+    pub fn with_order(mut self, order: usize) -> Self {
+        assert!(order >= 8);
+        self.order = order;
+        self
+    }
+
+    /// Set the electronic temperature (eV).
+    pub fn with_kt(mut self, kt: f64) -> Self {
+        assert!(kt > 0.0);
+        self.kt = kt;
+        self
+    }
+
+    /// Traffic report of the most recent evaluation.
+    pub fn last_report(&self) -> Option<DistributedLinScaleReport> {
+        self.last_report.lock().clone()
+    }
+
+    /// The matching shared-memory engine (for equivalence tests).
+    pub fn shared_memory_equivalent(&self) -> LinearScalingTb<'m> {
+        LinearScalingTb::new(self.model)
+            .with_kt(self.kt)
+            .with_order(self.order)
+            .with_r_loc(self.r_loc)
+    }
+}
+
+impl ForceProvider for DistributedLinearScalingTb<'_> {
+    fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        for i in 0..s.n_atoms() {
+            if !self.model.supports(s.species(i)) {
+                return Err(TbError::UnsupportedSpecies {
+                    species: s.species(i),
+                    model: self.model.name().to_string(),
+                });
+            }
+        }
+        if s.n_atoms() == 0 {
+            return Err(TbError::EmptyStructure);
+        }
+        let model = self.model;
+        let n_atoms = s.n_atoms();
+        let (kt, order, r_loc, p) = (self.kt, self.order, self.r_loc, self.n_ranks);
+
+        let (mut results, stats) = vmp_run(p, |mut rank| {
+            let me = rank.id();
+            // ---- Positions broadcast (geometry replication).
+            let mut pos_flat: Vec<f64> = if me == 0 {
+                s.positions().iter().flat_map(|r| r.to_array()).collect()
+            } else {
+                vec![]
+            };
+            rank.broadcast(0, 300, &mut pos_flat);
+            let mut local = s.clone();
+            local.set_positions(
+                pos_flat.chunks_exact(3).map(|c| Vec3::new(c[0], c[1], c[2])).collect(),
+            );
+            let nl = NeighborList::build(&local, model.cutoff());
+            let index = OrbitalIndex::new(&local);
+            let h = SparseH::build(&local, &nl, model, &index);
+            let (e_min, e_max) = h.gershgorin_bounds();
+            rank.count_flops(10 * nl.n_entries() as u64);
+            let my_atoms = partition_range(n_atoms, rank.size(), me);
+
+            // Spectrum mapping shared by all ranks.
+            let pad = 0.05 * (e_max - e_min).max(1e-6);
+            let shift = 0.5 * (e_max + e_min);
+            let scale = 0.5 * ((e_max + pad) - (e_min - pad));
+
+            // ---- Moment pass over my atoms.
+            let regions: Vec<LocalRegion> = my_atoms
+                .clone()
+                .map(|a| LocalRegion::build(&local, &index, &h, a, r_loc))
+                .collect();
+            let mut moments = vec![0.0; order];
+            for (slot, a) in my_atoms.clone().enumerate() {
+                let region = &regions[slot];
+                for nu in 0..local.species(a).n_orbitals() {
+                    let g = index.offset(a) + nu;
+                    let lj = region.local_index(g).expect("centre in region");
+                    let mut t_prev = vec![0.0; region.len()];
+                    t_prev[lj] = 1.0;
+                    let mut t_cur = region.matvec_scaled(&t_prev, shift, scale);
+                    rank.count_flops(2 * region.nnz() as u64);
+                    moments[0] += 1.0;
+                    if order > 1 {
+                        moments[1] += t_cur[lj];
+                    }
+                    for m in moments.iter_mut().take(order).skip(2) {
+                        let mut t_next = region.matvec_scaled(&t_cur, shift, scale);
+                        rank.count_flops(2 * region.nnz() as u64);
+                        for (tn, &tp) in t_next.iter_mut().zip(&t_prev) {
+                            *tn = 2.0 * *tn - tp;
+                        }
+                        *m += t_next[lj];
+                        t_prev = t_cur;
+                        t_cur = t_next;
+                    }
+                }
+            }
+            rank.allreduce_sum(301, &mut moments);
+
+            // ---- μ bisection on the replicated global moments.
+            let n_target = local.n_electrons() as f64;
+            let count_at = |mu: f64| -> f64 {
+                let c = chebyshev_coefficients(|x| fermi_function(scale * x + shift, mu, kt), order);
+                let mut acc = 0.5 * c[0] * moments[0];
+                for k in 1..order {
+                    acc += c[k] * moments[k];
+                }
+                2.0 * acc
+            };
+            let (mut lo, mut hi) = (e_min - 10.0 * kt, e_max + 10.0 * kt);
+            for _ in 0..80 {
+                let mid = 0.5 * (lo + hi);
+                if count_at(mid) < n_target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let mu = 0.5 * (lo + hi);
+            let coeffs =
+                chebyshev_coefficients(|x| fermi_function(scale * x + shift, mu, kt), order);
+
+            // ---- Density + forces for my atoms.
+            let x_embed: Vec<f64> = (0..n_atoms)
+                .map(|i| nl.neighbors(i).iter().map(|nb| model.repulsion(nb.dist).0).sum())
+                .collect();
+            let fx: Vec<(f64, f64)> = x_embed.iter().map(|&xi| model.embedding(xi)).collect();
+            let mut band_partial = 0.0;
+            let mut rep_partial = 0.0;
+            let mut my_forces: Vec<f64> = Vec::with_capacity(3 * regions.len());
+            for (slot, a) in my_atoms.clone().enumerate() {
+                let region = &regions[slot];
+                rep_partial += fx[a].0;
+                let mut neighbor_atoms: Vec<usize> =
+                    nl.neighbors(a).iter().map(|nb| nb.j).filter(|&j| j != a).collect();
+                neighbor_atoms.sort_unstable();
+                neighbor_atoms.dedup();
+                let mut blocks = vec![[[0.0; 4]; 4]; neighbor_atoms.len()];
+                for nu in 0..local.species(a).n_orbitals() {
+                    let g = index.offset(a) + nu;
+                    let lj = region.local_index(g).expect("centre in region");
+                    let mut t_prev = vec![0.0; region.len()];
+                    t_prev[lj] = 1.0;
+                    let mut rho_col = vec![0.0; region.len()];
+                    rho_col[lj] = 0.5 * coeffs[0];
+                    let mut t_cur = region.matvec_scaled(&t_prev, shift, scale);
+                    rank.count_flops(2 * region.nnz() as u64);
+                    if order > 1 {
+                        for (r, &t) in rho_col.iter_mut().zip(&t_cur) {
+                            *r += coeffs[1] * t;
+                        }
+                    }
+                    for ck in coeffs.iter().take(order).skip(2) {
+                        let mut t_next = region.matvec_scaled(&t_cur, shift, scale);
+                        rank.count_flops(2 * region.nnz() as u64);
+                        for (tn, &tp) in t_next.iter_mut().zip(&t_prev) {
+                            *tn = 2.0 * *tn - tp;
+                        }
+                        for (r, &t) in rho_col.iter_mut().zip(&t_next) {
+                            *r += ck * t;
+                        }
+                        t_prev = t_cur;
+                        t_cur = t_next;
+                    }
+                    for r in &mut rho_col {
+                        *r *= 2.0;
+                    }
+                    for (col, hval) in h.row(g) {
+                        if let Some(lc) = region.local_index(col) {
+                            band_partial += rho_col[lc] * hval;
+                        }
+                    }
+                    for (e, &j) in neighbor_atoms.iter().enumerate() {
+                        let oj = index.offset(j);
+                        for beta in 0..4 {
+                            if let Some(lb) = region.local_index(oj + beta) {
+                                blocks[e][beta][nu] = rho_col[lb];
+                            }
+                        }
+                    }
+                }
+                // Forces on atom a (electronic from local ρ blocks +
+                // repulsive gather form).
+                let mut fi = Vec3::ZERO;
+                for nb in nl.neighbors(a) {
+                    if nb.j == a {
+                        continue;
+                    }
+                    let v = model.hoppings(nb.dist);
+                    let dv = model.hoppings_deriv(nb.dist);
+                    if !(v.iter().all(|&y| y == 0.0) && dv.iter().all(|&y| y == 0.0)) {
+                        let grad = sk_block_gradient(nb.disp.to_array(), v, dv);
+                        let e = neighbor_atoms.binary_search(&nb.j).expect("neighbour");
+                        let block = &blocks[e];
+                        for gamma in 0..3 {
+                            let mut acc = 0.0;
+                            for (m2, grow) in grad[gamma].iter().enumerate() {
+                                for (n2, &gv) in grow.iter().enumerate() {
+                                    acc += block[n2][m2] * gv;
+                                }
+                            }
+                            fi[gamma] += 2.0 * acc;
+                        }
+                    }
+                    let (_, dphi) = model.repulsion(nb.dist);
+                    if dphi != 0.0 {
+                        let unit = nb.disp / nb.dist;
+                        fi += unit * ((fx[a].1 + fx[nb.j].1) * dphi);
+                    }
+                }
+                rank.count_flops(400 * nl.neighbors(a).len() as u64);
+                my_forces.extend_from_slice(&fi.to_array());
+            }
+            let mut energy_parts = vec![band_partial, rep_partial];
+            rank.allreduce_sum(302, &mut energy_parts);
+            let all_forces = rank.allgather(303, &my_forces);
+
+            if me == 0 {
+                let mut forces: Vec<Vec3> = Vec::with_capacity(n_atoms);
+                for part in &all_forces {
+                    for c in part.chunks_exact(3) {
+                        forces.push(Vec3::new(c[0], c[1], c[2]));
+                    }
+                }
+                Some((energy_parts[0] + energy_parts[1], forces, mu))
+            } else {
+                None
+            }
+        });
+
+        let (energy, forces, mu) = results.remove(0).expect("rank 0 result");
+        *self.last_report.lock() =
+            Some(DistributedLinScaleReport { stats, mu, n_ranks: p });
+        Ok(ForceEvaluation { energy, forces, timings: PhaseTimings::default() })
+    }
+
+    fn provider_name(&self) -> &str {
+        "distributed-linear-scaling-tb"
+    }
+}
+
+/// Re-export of the shared-memory report type for API symmetry.
+pub type SharedReport = LinScaleReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbmd_model::silicon_gsp;
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn matches_shared_memory_engine() {
+        let model = silicon_gsp();
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        s.perturb(&mut rng, 0.04);
+        for p in [1usize, 3] {
+            let dist = DistributedLinearScalingTb::new(&model, p)
+                .with_kt(0.3)
+                .with_order(120)
+                .with_r_loc(5.0);
+            let shared = dist.shared_memory_equivalent();
+            let a = shared.evaluate(&s).unwrap();
+            let b = dist.evaluate(&s).unwrap();
+            assert!(
+                (a.energy - b.energy).abs() < 1e-7,
+                "p={p}: {} vs {}",
+                a.energy,
+                b.energy
+            );
+            for (fa, fb) in a.forces.iter().zip(&b.forces) {
+                assert!((*fa - *fb).max_abs() < 1e-7, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn communication_independent_of_cube_of_n() {
+        // The O(N) engine's traffic grows ~linearly with N (force gather),
+        // nothing like the dense engine's O(N²) density allreduce.
+        let model = silicon_gsp();
+        let traffic = |reps: usize| -> u64 {
+            let s = bulk_diamond(Species::Silicon, reps, reps, reps);
+            let dist = DistributedLinearScalingTb::new(&model, 4)
+                .with_kt(0.3)
+                .with_order(60)
+                .with_r_loc(4.0);
+            dist.evaluate(&s).unwrap();
+            dist.last_report().unwrap().stats.total_bytes()
+        };
+        let b1 = traffic(1);
+        let b2 = traffic(2);
+        // 8× atoms: traffic must grow far less than 64× (O(N²)) — allow ~12×.
+        assert!(
+            (b2 as f64) < 12.0 * b1 as f64,
+            "traffic grew superlinearly: {b1} -> {b2}"
+        );
+    }
+
+    #[test]
+    fn flops_balance() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let dist = DistributedLinearScalingTb::new(&model, 4)
+            .with_kt(0.3)
+            .with_order(60)
+            .with_r_loc(4.0);
+        dist.evaluate(&s).unwrap();
+        let flops: Vec<u64> =
+            dist.last_report().unwrap().stats.ranks.iter().map(|r| r.flops).collect();
+        let max = *flops.iter().max().unwrap() as f64;
+        let min = *flops.iter().min().unwrap() as f64;
+        assert!(min > 0.0);
+        assert!(max / min < 1.5, "imbalance {flops:?}");
+    }
+
+    #[test]
+    fn single_rank_silent() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let dist = DistributedLinearScalingTb::new(&model, 1)
+            .with_kt(0.3)
+            .with_order(60);
+        dist.evaluate(&s).unwrap();
+        assert_eq!(dist.last_report().unwrap().stats.total_messages(), 0);
+    }
+}

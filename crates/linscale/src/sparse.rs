@@ -1,0 +1,345 @@
+//! Sparse (CSR) Hamiltonian storage for the linear-scaling engine.
+//!
+//! A short-ranged tight-binding Hamiltonian has O(1) non-zeros per row, so
+//! the dense `n²` storage and O(n³) diagonalization are pure waste for large
+//! systems — the insight behind the 1994 linear-scaling TBMD methods. This
+//! module builds the CSR matrix straight from a neighbour list and provides
+//! the (restricted) matrix–vector products the Chebyshev expansion consumes.
+
+use tbmd_model::{sk_block, OrbitalIndex, TbModel};
+use tbmd_structure::{NeighborList, Structure};
+
+/// Symmetric sparse matrix in CSR format.
+#[derive(Debug, Clone)]
+pub struct SparseH {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseH {
+    /// Assemble the Γ-point tight-binding Hamiltonian in CSR form.
+    pub fn build(
+        s: &Structure,
+        nl: &NeighborList,
+        model: &dyn TbModel,
+        index: &OrbitalIndex,
+    ) -> Self {
+        let n_atoms = s.n_atoms();
+        let n = index.total();
+        // Accumulate per-row maps first (blocks of different images of the
+        // same pair must sum), then flatten to CSR.
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for i in 0..n_atoms {
+            let oi = index.offset(i);
+            let e = model.on_site(s.species(i));
+            for (k, &ek) in e.iter().enumerate() {
+                push_add(&mut rows[oi + k], oi + k, ek);
+            }
+            for nb in nl.neighbors(i) {
+                let v = model.hoppings(nb.dist);
+                if v.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                let b = sk_block(nb.disp.to_array(), v);
+                let oj = index.offset(nb.j);
+                for (mu, row) in b.iter().enumerate() {
+                    for (nu, &x) in row.iter().enumerate() {
+                        push_add(&mut rows[oi + mu], oj + nu, x);
+                    }
+                }
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in row.iter() {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        SparseH { n, row_ptr, col_idx, values }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Dense `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Entry `(i, j)` (O(log nnz_row)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Row non-zeros as `(column, value)` pairs.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Gershgorin bounds `(min, max)` on the spectrum.
+    pub fn gershgorin_bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..self.n {
+            let mut diag = 0.0;
+            let mut radius = 0.0;
+            for (j, v) in self.row(i) {
+                if j == i {
+                    diag = v;
+                } else {
+                    radius += v.abs();
+                }
+            }
+            lo = lo.min(diag - radius);
+            hi = hi.max(diag + radius);
+        }
+        if self.n == 0 {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Largest absolute asymmetry (diagnostic; the TB Hamiltonian must be
+    /// symmetric).
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for (j, v) in self.row(i) {
+                worst = worst.max((v - self.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+}
+
+fn push_add(row: &mut Vec<(usize, f64)>, col: usize, v: f64) {
+    if let Some(entry) = row.iter_mut().find(|(c, _)| *c == col) {
+        entry.1 += v;
+    } else {
+        row.push((col, v));
+    }
+}
+
+/// A localization region: the orbitals of all atoms within `r_loc` of a
+/// centre atom, with a global→local index map and a restricted CSR operator.
+#[derive(Debug, Clone)]
+pub struct LocalRegion {
+    /// Global orbital indices inside the region, ascending.
+    pub orbitals: Vec<usize>,
+    /// `local_of[g]` = local index of global orbital `g`, or `usize::MAX`.
+    local_of: Vec<usize>,
+    /// Restricted CSR: for each local orbital, (local col, value) pairs.
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl LocalRegion {
+    /// Build the region of atoms within `r_loc` (minimum-image distance) of
+    /// `center_atom`. An infinite/huge radius reproduces the full system.
+    pub fn build(
+        s: &Structure,
+        index: &OrbitalIndex,
+        h: &SparseH,
+        center_atom: usize,
+        r_loc: f64,
+    ) -> Self {
+        let mut orbitals = Vec::new();
+        for a in 0..s.n_atoms() {
+            let inside = a == center_atom || s.distance(center_atom, a) <= r_loc;
+            if inside {
+                let o = index.offset(a);
+                for k in 0..s.species(a).n_orbitals() {
+                    orbitals.push(o + k);
+                }
+            }
+        }
+        orbitals.sort_unstable();
+        let mut local_of = vec![usize::MAX; h.n()];
+        for (l, &g) in orbitals.iter().enumerate() {
+            local_of[g] = l;
+        }
+        let rows = orbitals
+            .iter()
+            .map(|&g| {
+                h.row(g)
+                    .filter_map(|(c, v)| {
+                        let lc = local_of[c];
+                        (lc != usize::MAX).then_some((lc, v))
+                    })
+                    .collect()
+            })
+            .collect();
+        LocalRegion { orbitals, local_of, rows }
+    }
+
+    /// Number of orbitals in the region.
+    pub fn len(&self) -> usize {
+        self.orbitals.len()
+    }
+
+    /// True for an empty region (never happens for a valid centre).
+    pub fn is_empty(&self) -> bool {
+        self.orbitals.is_empty()
+    }
+
+    /// Local index of a global orbital, if inside.
+    pub fn local_index(&self, global: usize) -> Option<usize> {
+        let l = self.local_of[global];
+        (l != usize::MAX).then_some(l)
+    }
+
+    /// Restricted matvec `y = (P A Pᵀ) x` in local indices, with the shifted
+    /// and scaled operator `(A − shift)/scale` applied on the fly.
+    pub fn matvec_scaled(&self, x: &[f64], shift: f64, scale: f64) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.rows.len());
+        let inv = 1.0 / scale;
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(l, row)| {
+                let mut acc = 0.0;
+                for &(c, v) in row {
+                    acc += v * x[c];
+                }
+                (acc - shift * x[l]) * inv
+            })
+            .collect()
+    }
+
+    /// Number of restricted non-zeros (cost metric for the O(N) scaling
+    /// experiment).
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbmd_linalg::Matrix;
+    use tbmd_model::{build_hamiltonian, silicon_gsp, TbModel};
+    use tbmd_structure::{bulk_diamond, NeighborList, Species};
+
+    fn setup() -> (tbmd_structure::Structure, NeighborList, OrbitalIndex, SparseH, Matrix) {
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let model = silicon_gsp();
+        let nl = NeighborList::build(&s, model.cutoff());
+        let index = OrbitalIndex::new(&s);
+        let sparse = SparseH::build(&s, &nl, &model, &index);
+        let dense = build_hamiltonian(&s, &nl, &model, &index);
+        (s, nl, index, sparse, dense)
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let (_, _, _, sparse, dense) = setup();
+        assert_eq!(sparse.n(), dense.rows());
+        for i in 0..sparse.n() {
+            for j in 0..sparse.n() {
+                assert!(
+                    (sparse.get(i, j) - dense[(i, j)]).abs() < 1e-14,
+                    "entry ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let (_, _, _, sparse, dense) = setup();
+        let x: Vec<f64> = (0..sparse.n()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ys = sparse.matvec(&x);
+        let yd = dense.matvec(&x);
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetric_and_sparse() {
+        let (_, _, _, sparse, _) = setup();
+        assert!(sparse.asymmetry() < 1e-12);
+        // 64 atoms × 4 orbitals = 256; each atom couples to itself + 4
+        // neighbours → ≤ 5 blocks of 16 per atom row-block.
+        assert!(sparse.nnz() <= 64 * 5 * 16);
+        assert!(sparse.nnz() >= 64 * 4 * 16);
+    }
+
+    #[test]
+    fn gershgorin_contains_spectrum() {
+        let (_, _, _, sparse, dense) = setup();
+        let (lo, hi) = sparse.gershgorin_bounds();
+        let eigs = tbmd_linalg::eigvalsh(dense).unwrap();
+        assert!(eigs[0] >= lo - 1e-9);
+        assert!(eigs[eigs.len() - 1] <= hi + 1e-9);
+    }
+
+    #[test]
+    fn full_region_reproduces_matvec() {
+        let (s, _, index, sparse, _) = setup();
+        let region = LocalRegion::build(&s, &index, &sparse, 0, 1e9);
+        assert_eq!(region.len(), sparse.n());
+        let x: Vec<f64> = (0..sparse.n()).map(|i| (i as f64 * 0.11).cos()).collect();
+        let y_full = sparse.matvec(&x);
+        let y_region = region.matvec_scaled(&x, 0.0, 1.0);
+        for (a, b) in y_full.iter().zip(&y_region) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_region_smaller() {
+        let (s, _, index, sparse, _) = setup();
+        let region = LocalRegion::build(&s, &index, &sparse, 0, 4.0);
+        assert!(region.len() < sparse.n());
+        assert!(region.len() >= 4, "centre atom must be inside");
+        assert!(!region.is_empty());
+        // Centre orbitals map to valid local indices.
+        assert!(region.local_index(index.offset(0)).is_some());
+        assert!(region.nnz() < sparse.nnz());
+    }
+
+    #[test]
+    fn scaled_matvec_shifts_spectrum() {
+        let (s, _, index, sparse, _) = setup();
+        let region = LocalRegion::build(&s, &index, &sparse, 0, 1e9);
+        let x: Vec<f64> = (0..sparse.n()).map(|i| if i == 5 { 1.0 } else { 0.0 }).collect();
+        let y = region.matvec_scaled(&x, 2.0, 4.0);
+        let y_raw = sparse.matvec(&x);
+        for i in 0..sparse.n() {
+            let expected = (y_raw[i] - 2.0 * x[i]) / 4.0;
+            assert!((y[i] - expected).abs() < 1e-12);
+        }
+    }
+}

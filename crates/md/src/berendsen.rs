@@ -1,0 +1,107 @@
+//! Berendsen (weak-coupling) thermostat — the cheap-and-cheerful
+//! alternative to Nosé–Hoover: after every Verlet step the velocities are
+//! rescaled by `λ = sqrt(1 + Δt/τ (T₀/T − 1))`. It does not sample the
+//! canonical ensemble exactly but equilibrates quickly and monotonically,
+//! which makes it the standard warm-up/quench tool.
+
+use crate::state::MdState;
+use crate::verlet::VelocityVerlet;
+use tbmd_model::{ForceProvider, TbError};
+
+/// Berendsen-thermostatted velocity-Verlet dynamics.
+#[derive(Debug, Clone, Copy)]
+pub struct Berendsen {
+    /// Underlying NVE integrator.
+    pub verlet: VelocityVerlet,
+    /// Target temperature (K).
+    pub target_k: f64,
+    /// Coupling time constant (fs); larger = gentler.
+    pub tau_fs: f64,
+}
+
+impl Berendsen {
+    /// Construct; `tau_fs` must exceed the timestep for stability.
+    pub fn new(dt: f64, target_k: f64, tau_fs: f64) -> Self {
+        assert!(tau_fs >= dt, "Berendsen tau must be >= dt");
+        Berendsen { verlet: VelocityVerlet::new(dt), target_k, tau_fs }
+    }
+
+    /// One Verlet step followed by the weak-coupling rescale.
+    pub fn step(&self, state: &mut MdState, provider: &dyn ForceProvider) -> Result<(), TbError> {
+        self.verlet.step(state, provider)?;
+        let t = state.temperature();
+        if t > 0.0 {
+            let lambda =
+                (1.0 + self.verlet.dt / self.tau_fs * (self.target_k / t - 1.0)).max(0.0).sqrt();
+            for v in &mut state.velocities {
+                *v *= lambda;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance `n_steps`, calling `observer` after each step.
+    pub fn run(
+        &self,
+        state: &mut MdState,
+        provider: &dyn ForceProvider,
+        n_steps: usize,
+        mut observer: impl FnMut(&MdState),
+    ) -> Result<(), TbError> {
+        for _ in 0..n_steps {
+            self.step(state, provider)?;
+            observer(state);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::velocities::maxwell_boltzmann;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbmd_model::{silicon_gsp, OccupationScheme, TbCalculator};
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn berendsen_equilibrates_monotonically_in_mean() {
+        let model = silicon_gsp();
+        let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(17);
+        let v = maxwell_boltzmann(&s, 900.0, &mut rng);
+        let mut state = MdState::new(s, v, &calc).unwrap();
+        // Strong coupling: cool 900 K → 300 K fast.
+        let b = Berendsen::new(1.0, 300.0, 10.0);
+        b.run(&mut state, &calc, 40, |_| {}).unwrap();
+        let t = state.temperature();
+        assert!(t < 560.0, "temperature failed to fall: {t} K");
+    }
+
+    #[test]
+    fn no_rescale_at_target() {
+        // λ = 1 when T = T₀: temperature evolution equals pure NVE over one
+        // step (up to the T measurement after the step).
+        let model = silicon_gsp();
+        let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(23);
+        let v = maxwell_boltzmann(&s, 300.0, &mut rng);
+        let mut nve_state = MdState::new(s.clone(), v.clone(), &calc).unwrap();
+        let mut ber_state = MdState::new(s, v, &calc).unwrap();
+        VelocityVerlet::new(1.0).step(&mut nve_state, &calc).unwrap();
+        // Huge tau → λ ≈ 1.
+        Berendsen::new(1.0, 300.0, 1e9).step(&mut ber_state, &calc).unwrap();
+        for (a, b) in nve_state.velocities.iter().zip(&ber_state.velocities) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tau_smaller_than_dt_rejected() {
+        let _ = Berendsen::new(1.0, 300.0, 0.5);
+    }
+}

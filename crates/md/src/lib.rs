@@ -1,0 +1,37 @@
+//! # tbmd-md
+//!
+//! The molecular-dynamics layer: Maxwell–Boltzmann initialization,
+//! velocity-Verlet NVE integration, Nosé–Hoover NVT dynamics with the
+//! extended-system conserved quantity, Berendsen weak coupling, temperature
+//! ramps, conjugate-gradient structural relaxation, and observables
+//! (running statistics, RDF, MSD, VACF) with trajectory capture.
+//!
+//! Everything is generic over [`tbmd_model::ForceProvider`], so the same
+//! integrators drive the serial calculator, the parallel engines and the
+//! O(N) engine.
+
+pub mod berendsen;
+pub mod nose_hoover;
+pub mod observables;
+pub mod phonons;
+pub mod relax;
+pub mod state;
+pub mod trajectory;
+pub mod velocities;
+pub mod verlet;
+
+pub use berendsen::Berendsen;
+pub use nose_hoover::{NoseHoover, TemperatureRamp};
+pub use observables::{
+    diffusion_coefficient, mean_square_displacement, RdfAccumulator, RunningStats,
+    VacfAccumulator,
+};
+pub use phonons::{normal_modes, vibrational_dos, NormalModes};
+pub use relax::{max_force_component, relax, RelaxOptions, RelaxResult};
+pub use state::MdState;
+pub use trajectory::{Frame, Trajectory};
+pub use velocities::{
+    dof_with_com_removed, instantaneous_temperature, kinetic_energy, maxwell_boltzmann,
+    remove_com_velocity, rescale_to_temperature,
+};
+pub use verlet::VelocityVerlet;

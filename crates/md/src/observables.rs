@@ -1,0 +1,378 @@
+//! Observables: running statistics, radial distribution functions,
+//! mean-square displacement and velocity autocorrelation.
+
+use tbmd_linalg::Vec3;
+use tbmd_structure::Structure;
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Radial distribution function accumulated over snapshots.
+///
+/// For fully periodic cells the histogram is normalized against the ideal-gas
+/// shell count so a disordered fluid tends to g(r) = 1; for clusters/slabs
+/// (no well-defined density) the raw pair-count histogram is returned
+/// normalized per atom pair — still perfectly good for locating peak
+/// positions, which is what the melting experiment (F4) reads off.
+#[derive(Debug, Clone)]
+pub struct RdfAccumulator {
+    r_max: f64,
+    bins: Vec<f64>,
+    snapshots: usize,
+    n_atoms: usize,
+    volume: Option<f64>,
+}
+
+impl RdfAccumulator {
+    /// Histogram out to `r_max` with `n_bins` bins.
+    pub fn new(r_max: f64, n_bins: usize) -> Self {
+        assert!(r_max > 0.0 && n_bins > 0);
+        RdfAccumulator { r_max, bins: vec![0.0; n_bins], snapshots: 0, n_atoms: 0, volume: None }
+    }
+
+    /// Bin width.
+    pub fn dr(&self) -> f64 {
+        self.r_max / self.bins.len() as f64
+    }
+
+    /// Accumulate one configuration.
+    pub fn accumulate(&mut self, s: &Structure) {
+        let n = s.n_atoms();
+        self.n_atoms = n;
+        self.volume = s.cell().volume();
+        let dr = self.dr();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = s.distance(i, j);
+                if d < self.r_max {
+                    let bin = (d / dr) as usize;
+                    if bin < self.bins.len() {
+                        self.bins[bin] += 2.0; // both directions
+                    }
+                }
+            }
+        }
+        self.snapshots += 1;
+    }
+
+    /// `(r, g(r))` samples at bin centres.
+    pub fn finish(&self) -> Vec<(f64, f64)> {
+        let dr = self.dr();
+        let n = self.n_atoms as f64;
+        let snaps = self.snapshots.max(1) as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let r = (k as f64 + 0.5) * dr;
+                let avg_count = count / (snaps * n); // pairs per atom in shell
+                let g = match self.volume {
+                    Some(v) => {
+                        let rho = n / v;
+                        let shell = 4.0 * std::f64::consts::PI * r * r * dr * rho;
+                        avg_count / shell
+                    }
+                    None => avg_count,
+                };
+                (r, g)
+            })
+            .collect()
+    }
+
+    /// Position and height of the *first* g(r) peak: the first local maximum
+    /// whose height reaches at least 25% of the global maximum (so histogram
+    /// noise below the bonding shell cannot masquerade as a peak).
+    pub fn first_peak(&self) -> Option<(f64, f64)> {
+        let g = self.finish();
+        let global = g.iter().map(|x| x.1).fold(0.0f64, f64::max);
+        if global <= 0.0 {
+            return None;
+        }
+        let threshold = 0.25 * global;
+        for k in 0..g.len() {
+            let left = if k == 0 { 0.0 } else { g[k - 1].1 };
+            let right = if k + 1 == g.len() { 0.0 } else { g[k + 1].1 };
+            if g[k].1 >= threshold && g[k].1 >= left && g[k].1 >= right {
+                return Some(g[k]);
+            }
+        }
+        None
+    }
+
+    /// Position and height of the highest g(r) peak.
+    pub fn highest_peak(&self) -> Option<(f64, f64)> {
+        self.finish()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+/// Mean-square displacement relative to a reference configuration
+/// (unwrapped coordinates assumed — callers must not re-wrap positions
+/// between measurements).
+pub fn mean_square_displacement(reference: &[Vec3], current: &[Vec3]) -> f64 {
+    assert_eq!(reference.len(), current.len());
+    if reference.is_empty() {
+        return 0.0;
+    }
+    reference
+        .iter()
+        .zip(current)
+        .map(|(a, b)| (*b - *a).norm_sq())
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Self-diffusion coefficient from an MSD time series via the Einstein
+/// relation `MSD(t) = 6 D t + c`: least-squares slope over the supplied
+/// `(time_fs, msd_Å²)` samples divided by 6, in Å²/fs.
+///
+/// Callers should pass only the diffusive (late-time) part of the series;
+/// the ballistic regime at short times biases the fit upward.
+pub fn diffusion_coefficient(series: &[(f64, f64)]) -> Option<f64> {
+    if series.len() < 2 {
+        return None;
+    }
+    let n = series.len() as f64;
+    let (st, sm): (f64, f64) = series.iter().fold((0.0, 0.0), |(a, b), &(t, m)| (a + t, b + m));
+    let (tbar, mbar) = (st / n, sm / n);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(t, m) in series {
+        num += (t - tbar) * (m - mbar);
+        den += (t - tbar) * (t - tbar);
+    }
+    (den > 0.0).then(|| num / den / 6.0)
+}
+
+/// Velocity autocorrelation accumulator: stores velocity snapshots and
+/// produces the normalized VACF `C(t) = ⟨v(0)·v(t)⟩ / ⟨v(0)·v(0)⟩`.
+#[derive(Debug, Clone, Default)]
+pub struct VacfAccumulator {
+    snapshots: Vec<Vec<Vec3>>,
+}
+
+impl VacfAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a velocity snapshot.
+    pub fn record(&mut self, velocities: &[Vec3]) {
+        self.snapshots.push(velocities.to_vec());
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Normalized VACF using every snapshot as a time origin.
+    pub fn finish(&self, max_lag: usize) -> Vec<f64> {
+        let m = self.snapshots.len();
+        if m == 0 {
+            return vec![];
+        }
+        let lags = max_lag.min(m - 1) + 1;
+        let mut c = vec![0.0; lags];
+        let mut counts = vec![0usize; lags];
+        for t0 in 0..m {
+            for lag in 0..lags {
+                let Some(later) = self.snapshots.get(t0 + lag) else { break };
+                let dot: f64 = self.snapshots[t0]
+                    .iter()
+                    .zip(later)
+                    .map(|(a, b)| a.dot(*b))
+                    .sum();
+                c[lag] += dot;
+                counts[lag] += 1;
+            }
+        }
+        for (ck, &n) in c.iter_mut().zip(&counts) {
+            *ck /= n.max(1) as f64;
+        }
+        let c0 = c[0];
+        if c0.abs() > 0.0 {
+            for ck in &mut c {
+                *ck /= c0;
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn running_stats_basics() {
+        let mut st = RunningStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            st.push(x);
+        }
+        assert_eq!(st.count(), 4);
+        assert!((st.mean() - 2.5).abs() < 1e-14);
+        assert!((st.variance() - 1.25).abs() < 1e-14);
+        assert_eq!(st.min(), 1.0);
+        assert_eq!(st.max(), 4.0);
+        assert_eq!(RunningStats::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn rdf_crystal_first_peak_at_bond_length() {
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rdf = RdfAccumulator::new(4.5, 150);
+        rdf.accumulate(&s);
+        let (r_peak, _) = rdf.first_peak().unwrap();
+        assert!(
+            (r_peak - 2.351).abs() < 0.1,
+            "first RDF peak at {r_peak}, expected ~2.35"
+        );
+    }
+
+    #[test]
+    fn rdf_periodic_normalization_reasonable() {
+        // In a perfect crystal the normalized peak is far above 1; far from
+        // peaks g ≈ 0.
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rdf = RdfAccumulator::new(4.5, 150);
+        rdf.accumulate(&s);
+        let g = rdf.finish();
+        let peak = g.iter().map(|x| x.1).fold(0.0f64, f64::max);
+        assert!(peak > 5.0);
+        // Valley between shells (around 3.0 Å) near zero.
+        let valley: f64 = g
+            .iter()
+            .filter(|(r, _)| (2.9..3.2).contains(r))
+            .map(|x| x.1)
+            .fold(0.0, f64::max);
+        assert!(valley < 0.2, "valley {valley}");
+    }
+
+    #[test]
+    fn msd_of_uniform_translation() {
+        let a = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)];
+        let b: Vec<Vec3> = a.iter().map(|&r| r + Vec3::new(0.0, 2.0, 0.0)).collect();
+        assert!((mean_square_displacement(&a, &b) - 4.0).abs() < 1e-14);
+        assert_eq!(mean_square_displacement(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn diffusion_coefficient_recovers_slope() {
+        // MSD = 6·0.25·t + 1.0 → D = 0.25.
+        let series: Vec<(f64, f64)> =
+            (0..20).map(|i| (i as f64 * 2.0, 6.0 * 0.25 * i as f64 * 2.0 + 1.0)).collect();
+        let d = diffusion_coefficient(&series).unwrap();
+        assert!((d - 0.25).abs() < 1e-12);
+        // Flat series → zero diffusion.
+        let frozen: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0)).collect();
+        assert!(diffusion_coefficient(&frozen).unwrap().abs() < 1e-12);
+        assert!(diffusion_coefficient(&[]).is_none());
+        assert!(diffusion_coefficient(&[(0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn vacf_of_constant_velocities_is_one() {
+        let mut acc = VacfAccumulator::new();
+        let v = vec![Vec3::new(0.1, 0.0, 0.0); 5];
+        for _ in 0..10 {
+            acc.record(&v);
+        }
+        let c = acc.finish(5);
+        assert_eq!(c.len(), 6);
+        for &x in &c {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vacf_of_alternating_velocities() {
+        let mut acc = VacfAccumulator::new();
+        let vp = vec![Vec3::new(1.0, 0.0, 0.0); 3];
+        let vm = vec![Vec3::new(-1.0, 0.0, 0.0); 3];
+        for k in 0..20 {
+            acc.record(if k % 2 == 0 { &vp } else { &vm });
+        }
+        let c = acc.finish(2);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] + 1.0).abs() < 1e-12, "lag-1 should be −1, got {}", c[1]);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacf_empty() {
+        let acc = VacfAccumulator::new();
+        assert!(acc.is_empty());
+        assert!(acc.finish(3).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! The dynamical state of an MD simulation.
+
+use tbmd_linalg::Vec3;
+use tbmd_model::units::ACCEL_CONV;
+use tbmd_model::{ForceProvider, TbError};
+use tbmd_structure::Structure;
+
+use crate::velocities::{dof_with_com_removed, instantaneous_temperature, kinetic_energy};
+
+/// Positions, velocities, forces and bookkeeping for a running simulation.
+#[derive(Debug, Clone)]
+pub struct MdState {
+    /// Current configuration (positions + species + cell).
+    pub structure: Structure,
+    /// Velocities in Å/fs, parallel to the structure's atoms.
+    pub velocities: Vec<Vec3>,
+    /// Forces from the most recent evaluation (eV/Å).
+    pub forces: Vec<Vec3>,
+    /// Potential energy from the most recent evaluation (eV).
+    pub potential_energy: f64,
+    /// Simulation clock (fs).
+    pub time_fs: f64,
+    masses: Vec<f64>,
+    n_dof: usize,
+}
+
+impl MdState {
+    /// Initialize: evaluates forces once so the first integrator step has
+    /// them available.
+    pub fn new(
+        structure: Structure,
+        velocities: Vec<Vec3>,
+        provider: &dyn ForceProvider,
+    ) -> Result<Self, TbError> {
+        assert_eq!(structure.n_atoms(), velocities.len(), "velocity count mismatch");
+        let eval = provider.evaluate(&structure)?;
+        let masses = structure.masses();
+        let n_dof = dof_with_com_removed(structure.n_atoms());
+        Ok(MdState {
+            structure,
+            velocities,
+            forces: eval.forces,
+            potential_energy: eval.energy,
+            time_fs: 0.0,
+            masses,
+            n_dof,
+        })
+    }
+
+    /// Atomic masses (amu), cached.
+    #[inline]
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Kinetic degrees of freedom (3N − 3).
+    #[inline]
+    pub fn n_dof(&self) -> usize {
+        self.n_dof
+    }
+
+    /// Kinetic energy (eV).
+    pub fn kinetic_energy(&self) -> f64 {
+        kinetic_energy(&self.masses, &self.velocities)
+    }
+
+    /// Instantaneous temperature (K).
+    pub fn temperature(&self) -> f64 {
+        instantaneous_temperature(&self.masses, &self.velocities, self.n_dof)
+    }
+
+    /// Total (kinetic + potential) energy (eV).
+    pub fn total_energy(&self) -> f64 {
+        self.kinetic_energy() + self.potential_energy
+    }
+
+    /// Acceleration of atom `i` in Å/fs².
+    #[inline]
+    pub fn acceleration(&self, i: usize) -> Vec3 {
+        self.forces[i] * (ACCEL_CONV / self.masses[i])
+    }
+
+    /// Re-evaluate forces and potential energy at the current positions.
+    pub fn refresh_forces(&mut self, provider: &dyn ForceProvider) -> Result<(), TbError> {
+        let eval = provider.evaluate(&self.structure)?;
+        self.forces = eval.forces;
+        self.potential_energy = eval.energy;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::velocities::maxwell_boltzmann;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbmd_model::{silicon_gsp, TbCalculator};
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn state_initialization() {
+        let model = silicon_gsp();
+        let calc = TbCalculator::new(&model);
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = maxwell_boltzmann(&s, 300.0, &mut rng);
+        let state = MdState::new(s, v, &calc).unwrap();
+        assert_eq!(state.forces.len(), 8);
+        assert!((state.temperature() - 300.0).abs() < 1e-9);
+        assert!(state.potential_energy < 0.0);
+        assert!(state.total_energy() < 0.0);
+        assert_eq!(state.n_dof(), 21);
+    }
+
+    #[test]
+    fn acceleration_units() {
+        let model = silicon_gsp();
+        let calc = TbCalculator::new(&model);
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let state = MdState::new(s, vec![Vec3::ZERO; 8], &calc).unwrap();
+        for i in 0..8 {
+            let a = state.acceleration(i);
+            let expected = state.forces[i] * (ACCEL_CONV / 28.0855);
+            assert!((a - expected).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn velocity_length_mismatch_panics() {
+        let model = silicon_gsp();
+        let calc = TbCalculator::new(&model);
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let _ = MdState::new(s, vec![Vec3::ZERO; 3], &calc);
+    }
+}

@@ -1,0 +1,188 @@
+//! Velocity initialization and kinetic-energy bookkeeping.
+//!
+//! Velocities are in Å/fs. The Maxwell–Boltzmann sampler draws each
+//! component from `N(0, kT/m)`, removes the centre-of-mass drift, and
+//! rescales to hit the requested temperature exactly — the standard MD
+//! initialization.
+
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+use tbmd_linalg::Vec3;
+use tbmd_model::units::{ACCEL_CONV, KB_EV};
+use tbmd_structure::Structure;
+
+/// Total kinetic energy in eV for velocities in Å/fs and masses in amu.
+pub fn kinetic_energy(masses: &[f64], velocities: &[Vec3]) -> f64 {
+    debug_assert_eq!(masses.len(), velocities.len());
+    masses
+        .iter()
+        .zip(velocities)
+        .map(|(&m, v)| 0.5 * m * v.norm_sq() / ACCEL_CONV)
+        .sum()
+}
+
+/// Instantaneous temperature in K. `n_dof` is typically `3N − 3` after
+/// centre-of-mass removal.
+pub fn instantaneous_temperature(masses: &[f64], velocities: &[Vec3], n_dof: usize) -> f64 {
+    if n_dof == 0 {
+        return 0.0;
+    }
+    2.0 * kinetic_energy(masses, velocities) / (n_dof as f64 * KB_EV)
+}
+
+/// Number of kinetic degrees of freedom after removing centre-of-mass
+/// translation.
+pub fn dof_with_com_removed(n_atoms: usize) -> usize {
+    (3 * n_atoms).saturating_sub(3)
+}
+
+/// Remove the centre-of-mass velocity (mass-weighted).
+pub fn remove_com_velocity(masses: &[f64], velocities: &mut [Vec3]) {
+    let total_mass: f64 = masses.iter().sum();
+    if total_mass == 0.0 || velocities.is_empty() {
+        return;
+    }
+    let p: Vec3 = masses
+        .iter()
+        .zip(velocities.iter())
+        .map(|(&m, &v)| v * m)
+        .sum();
+    let v_com = p / total_mass;
+    for v in velocities.iter_mut() {
+        *v -= v_com;
+    }
+}
+
+/// Rescale velocities so the instantaneous temperature equals `target_k`.
+pub fn rescale_to_temperature(masses: &[f64], velocities: &mut [Vec3], n_dof: usize, target_k: f64) {
+    let t = instantaneous_temperature(masses, velocities, n_dof);
+    if t <= 0.0 {
+        return;
+    }
+    let lambda = (target_k / t).sqrt();
+    for v in velocities.iter_mut() {
+        *v *= lambda;
+    }
+}
+
+/// Draw Maxwell–Boltzmann velocities at `temperature_k`, remove the COM
+/// drift and rescale exactly to the target.
+pub fn maxwell_boltzmann<R: Rng>(s: &Structure, temperature_k: f64, rng: &mut R) -> Vec<Vec3> {
+    assert!(temperature_k >= 0.0);
+    let masses = s.masses();
+    let mut v: Vec<Vec3> = masses
+        .iter()
+        .map(|&m| {
+            // σ² = kT/m in natural units: v ~ sqrt(kT·ACCEL_CONV/m).
+            let sigma = (KB_EV * temperature_k * ACCEL_CONV / m).sqrt();
+            Vec3::new(
+                sigma * sample_standard_normal(rng),
+                sigma * sample_standard_normal(rng),
+                sigma * sample_standard_normal(rng),
+            )
+        })
+        .collect();
+    if temperature_k == 0.0 {
+        return vec![Vec3::ZERO; s.n_atoms()];
+    }
+    remove_com_velocity(&masses, &mut v);
+    let n_dof = dof_with_com_removed(s.n_atoms());
+    if n_dof > 0 {
+        rescale_to_temperature(&masses, &mut v, n_dof, temperature_k);
+    }
+    v
+}
+
+/// A tiny standard-normal sampler (Box–Muller) so we do not need the
+/// `rand_distr` crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One sample from N(0, 1).
+    pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            if z.is_finite() {
+                return z;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn maxwell_boltzmann_hits_target_temperature() {
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let v = maxwell_boltzmann(&s, 700.0, &mut rng);
+        let t = instantaneous_temperature(&s.masses(), &v, dof_with_com_removed(s.n_atoms()));
+        assert!((t - 700.0).abs() < 1e-9, "T = {t}");
+    }
+
+    #[test]
+    fn com_momentum_zero() {
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = maxwell_boltzmann(&s, 300.0, &mut rng);
+        let masses = s.masses();
+        let p: Vec3 = masses.iter().zip(&v).map(|(&m, &vi)| vi * m).sum();
+        assert!(p.max_abs() < 1e-10, "net momentum {p:?}");
+    }
+
+    #[test]
+    fn zero_temperature_gives_zero_velocities() {
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = maxwell_boltzmann(&s, 0.0, &mut rng);
+        assert!(v.iter().all(|x| *x == Vec3::ZERO));
+    }
+
+    #[test]
+    fn velocity_distribution_isotropic() {
+        // Component variances should agree to ~10% over many samples.
+        let s = bulk_diamond(Species::Silicon, 3, 3, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = maxwell_boltzmann(&s, 1000.0, &mut rng);
+        let var = |sel: fn(&Vec3) -> f64| -> f64 {
+            v.iter().map(|x| sel(x) * sel(x)).sum::<f64>() / v.len() as f64
+        };
+        let (vx, vy, vz) = (var(|v| v.x), var(|v| v.y), var(|v| v.z));
+        let mean = (vx + vy + vz) / 3.0;
+        for c in [vx, vy, vz] {
+            assert!((c - mean).abs() < 0.35 * mean, "anisotropic: {vx} {vy} {vz}");
+        }
+    }
+
+    #[test]
+    fn rescale_exact() {
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let masses = s.masses();
+        let mut v = vec![Vec3::new(0.01, -0.02, 0.005); 8];
+        let dof = dof_with_com_removed(8);
+        rescale_to_temperature(&masses, &mut v, dof, 450.0);
+        let t = instantaneous_temperature(&masses, &v, dof);
+        assert!((t - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kinetic_energy_magnitude() {
+        // One Si atom at 0.01 Å/fs: E = ½·28.09·1e-4/9.65e-3 ≈ 0.1456 eV.
+        let e = kinetic_energy(&[28.0855], &[Vec3::new(0.01, 0.0, 0.0)]);
+        assert!((e - 0.1455).abs() < 1e-3, "E = {e}");
+    }
+
+    #[test]
+    fn dof_counting() {
+        assert_eq!(dof_with_com_removed(1), 0);
+        assert_eq!(dof_with_com_removed(2), 3);
+        assert_eq!(dof_with_com_removed(64), 189);
+    }
+}

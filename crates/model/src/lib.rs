@@ -1,0 +1,47 @@
+//! # tbmd-model
+//!
+//! The tight-binding physics engine: Slater–Koster `sp³` matrix elements
+//! with analytic gradients, the Goodwin–Skinner–Pettifor/Kwon silicon and
+//! Xu–Wang–Chan–Ho carbon parametrizations, Γ-point Hamiltonian assembly,
+//! electronic occupations (0 K and Fermi smearing), and the serial
+//! reference calculator producing total energies and Hellmann–Feynman
+//! forces with per-phase timings.
+
+pub mod bands;
+pub mod calculator;
+pub mod carbon;
+pub mod hamiltonian;
+pub mod kpoints;
+pub mod model;
+pub mod nonortho;
+pub mod occupations;
+pub mod provider;
+pub mod scaling;
+pub mod silicon;
+pub mod slater_koster;
+pub mod stress;
+pub mod units;
+
+pub use bands::{
+    band_energies, band_gap, band_structure, bloch_hamiltonian, density_of_states,
+    hermitian_eigenvalues, k_path,
+};
+pub use calculator::{
+    density_matrix, electronic_forces, repulsive_energy_forces, PhaseTimings, TbCalculator,
+    TbError, TbResult,
+};
+pub use carbon::carbon_xwch;
+pub use hamiltonian::{build_hamiltonian, OrbitalIndex};
+pub use kpoints::{folding_grid, monkhorst_pack, KPoint, KPointCalculator};
+pub use model::{EmbeddingPolynomial, GspTbModel, TbModel};
+pub use nonortho::{
+    build_overlap, silicon_nonortho_demo, NonOrthoCalculator, NonOrthogonalTbModel,
+    SiliconNonOrthoDemo,
+};
+pub use occupations::{occupations, OccupationScheme, Occupations};
+pub use provider::{ForceEvaluation, ForceProvider};
+pub use scaling::{CutoffTail, GspScaling, RadialFunction};
+pub use silicon::silicon_gsp;
+pub use slater_koster::{sk_block, sk_block_gradient, sk_transpose, Hoppings, SkBlock};
+pub use stress::{pressure, stress_from_density, stress_tensor, StressTensor, EV_PER_A3_TO_GPA};
+pub use units::{ACCEL_CONV, KB_EV};

@@ -1,0 +1,234 @@
+//! Slater–Koster two-center matrix elements for an `sp³` basis, with analytic
+//! gradients.
+//!
+//! Orbital ordering within an atom's 4×4 block is `s, p_x, p_y, p_z`. For a
+//! bond vector `d` from atom *i* to atom *j* with direction cosines
+//! `(l, m, n) = d/|d|`, the standard Slater–Koster table gives
+//!
+//! ```text
+//! ⟨s_i |H| s_j⟩   = V_ssσ
+//! ⟨s_i |H| p_αj⟩  =  l_α V_spσ
+//! ⟨p_αi|H| s_j⟩   = −l_α V_spσ
+//! ⟨p_αi|H| p_βj⟩  = l_α l_β V_ppσ + (δ_αβ − l_α l_β) V_ppπ
+//! ```
+//!
+//! which satisfies the transpose identity `B(−d) = B(d)ᵀ` required for a
+//! symmetric Hamiltonian.
+
+/// The four two-center hopping integrals at a given distance, in the order
+/// `[V_ssσ, V_spσ, V_ppσ, V_ppπ]`.
+pub type Hoppings = [f64; 4];
+
+/// A 4×4 inter-atomic Hamiltonian block (row = orbital on atom *i*, column =
+/// orbital on atom *j*).
+pub type SkBlock = [[f64; 4]; 4];
+
+/// Indices into [`Hoppings`].
+pub const SS_SIGMA: usize = 0;
+pub const SP_SIGMA: usize = 1;
+pub const PP_SIGMA: usize = 2;
+pub const PP_PI: usize = 3;
+
+/// Build the 4×4 Slater–Koster block for bond vector `d = r_j − r_i` with
+/// hopping integrals `v` already evaluated at `|d|`.
+pub fn sk_block(d: [f64; 3], v: Hoppings) -> SkBlock {
+    let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+    debug_assert!(r > 0.0, "zero bond vector");
+    let dir = [d[0] / r, d[1] / r, d[2] / r];
+    let mut b = [[0.0; 4]; 4];
+    b[0][0] = v[SS_SIGMA];
+    for a in 0..3 {
+        b[0][a + 1] = dir[a] * v[SP_SIGMA];
+        b[a + 1][0] = -dir[a] * v[SP_SIGMA];
+        for c in 0..3 {
+            let delta = if a == c { 1.0 } else { 0.0 };
+            b[a + 1][c + 1] = dir[a] * dir[c] * v[PP_SIGMA] + (delta - dir[a] * dir[c]) * v[PP_PI];
+        }
+    }
+    b
+}
+
+/// Gradient of the Slater–Koster block with respect to the bond vector `d`:
+/// `out[γ][μ][ν] = ∂B_{μν}/∂d_γ`.
+///
+/// Needs both the hoppings `v` and their radial derivatives `dv` at `|d|`.
+/// The direction-cosine derivative is `∂l_α/∂d_γ = (δ_{αγ} − l_α l_γ)/r`.
+pub fn sk_block_gradient(d: [f64; 3], v: Hoppings, dv: Hoppings) -> [SkBlock; 3] {
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    let r = r2.sqrt();
+    debug_assert!(r > 0.0, "zero bond vector");
+    let l = [d[0] / r, d[1] / r, d[2] / r];
+    // ∂l_α/∂d_γ
+    let dl = |alpha: usize, gamma: usize| -> f64 {
+        let delta = if alpha == gamma { 1.0 } else { 0.0 };
+        (delta - l[alpha] * l[gamma]) / r
+    };
+    let mut out = [[[0.0; 4]; 4]; 3];
+    for (g, grad) in out.iter_mut().enumerate() {
+        let drdg = l[g]; // ∂r/∂d_γ
+        // ss
+        grad[0][0] = dv[SS_SIGMA] * drdg;
+        for a in 0..3 {
+            // sp and ps
+            let term = dl(a, g) * v[SP_SIGMA] + l[a] * dv[SP_SIGMA] * drdg;
+            grad[0][a + 1] = term;
+            grad[a + 1][0] = -term;
+            // pp
+            for c in 0..3 {
+                let delta = if a == c { 1.0 } else { 0.0 };
+                let dlalc = dl(a, g) * l[c] + l[a] * dl(c, g);
+                grad[a + 1][c + 1] = dlalc * (v[PP_SIGMA] - v[PP_PI])
+                    + (l[a] * l[c] * dv[PP_SIGMA] + (delta - l[a] * l[c]) * dv[PP_PI]) * drdg;
+            }
+        }
+    }
+    out
+}
+
+/// Transpose a 4×4 block.
+pub fn sk_transpose(b: &SkBlock) -> SkBlock {
+    let mut t = [[0.0; 4]; 4];
+    for (i, row) in b.iter().enumerate() {
+        for (j, &x) in row.iter().enumerate() {
+            t[j][i] = x;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: Hoppings = [-2.0, 1.7, 2.7, -1.1];
+
+    #[test]
+    fn bond_along_x_recovers_table() {
+        let b = sk_block([2.0, 0.0, 0.0], V);
+        assert!((b[0][0] - V[SS_SIGMA]).abs() < 1e-15);
+        assert!((b[0][1] - V[SP_SIGMA]).abs() < 1e-15); // s–px along bond
+        assert!((b[1][0] + V[SP_SIGMA]).abs() < 1e-15);
+        assert!((b[1][1] - V[PP_SIGMA]).abs() < 1e-15); // px–px: σ
+        assert!((b[2][2] - V[PP_PI]).abs() < 1e-15); // py–py: π
+        assert!((b[3][3] - V[PP_PI]).abs() < 1e-15);
+        assert!(b[0][2].abs() < 1e-15); // s–py vanishes
+        assert!(b[1][2].abs() < 1e-15); // px–py vanishes
+    }
+
+    #[test]
+    fn transpose_identity_under_inversion() {
+        let d = [1.1, -0.7, 2.3];
+        let b = sk_block(d, V);
+        let binv = sk_block([-d[0], -d[1], -d[2]], V);
+        let bt = sk_transpose(&b);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (binv[i][j] - bt[i][j]).abs() < 1e-14,
+                    "B(-d) != B(d)ᵀ at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_invariance_of_eigenvalues() {
+        // The 4x4 block's singular values must not depend on bond direction,
+        // only on |d| (the hoppings are evaluated externally).
+        // Compare invariants: trace of BᵀB for two directions of equal length.
+        let frob = |b: &SkBlock| -> f64 {
+            b.iter().flatten().map(|x| x * x).sum::<f64>()
+        };
+        let b1 = sk_block([2.0, 0.0, 0.0], V);
+        let b2 = sk_block([2.0 / 3.0f64.sqrt(), 2.0 / 3.0f64.sqrt(), 2.0 / 3.0f64.sqrt()], V);
+        assert!((frob(&b1) - frob(&b2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pp_block_is_symmetric_within_itself() {
+        // p–p sub-block is symmetric in (α, β) for any direction.
+        let b = sk_block([0.4, -1.9, 0.8], V);
+        for a in 1..4 {
+            for c in 1..4 {
+                assert!((b[a][c] - b[c][a]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_fixed_hoppings() {
+        // With dv = 0 the gradient probes only the angular part.
+        let d0 = [1.3, -0.9, 0.6];
+        let grad = sk_block_gradient(d0, V, [0.0; 4]);
+        let h = 1e-6;
+        for g in 0..3 {
+            let mut dp = d0;
+            let mut dm = d0;
+            dp[g] += h;
+            dm[g] -= h;
+            // Hoppings constant: evaluate blocks at displaced geometry but
+            // same V (the radial part is handled by the dv path).
+            // NOTE: sk_block normalizes internally, so this checks the
+            // direction-cosine derivatives only if V is held fixed, which it
+            // is here.
+            let bp = sk_block(dp, V);
+            let bm = sk_block(dm, V);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let fd = (bp[i][j] - bm[i][j]) / (2.0 * h);
+                    assert!(
+                        (fd - grad[g][i][j]).abs() < 1e-6,
+                        "angular gradient mismatch at γ={g}, ({i},{j}): fd={fd}, an={}",
+                        grad[g][i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_with_radial_part() {
+        // Full test with distance-dependent hoppings V(r) = V0 · e^{-r}.
+        let v0: Hoppings = [-2.0, 1.7, 2.7, -1.1];
+        let eval = |d: [f64; 3]| -> SkBlock {
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            let v: Hoppings = [
+                v0[0] * (-r).exp(),
+                v0[1] * (-r).exp(),
+                v0[2] * (-r).exp(),
+                v0[3] * (-r).exp(),
+            ];
+            sk_block(d, v)
+        };
+        let d0: [f64; 3] = [0.8, 1.5, -1.1];
+        let r0 = (d0[0] * d0[0] + d0[1] * d0[1] + d0[2] * d0[2]).sqrt();
+        let v: Hoppings = [
+            v0[0] * (-r0).exp(),
+            v0[1] * (-r0).exp(),
+            v0[2] * (-r0).exp(),
+            v0[3] * (-r0).exp(),
+        ];
+        // d/dr of V0·e^{-r} is −V(r).
+        let dv: Hoppings = [-v[0], -v[1], -v[2], -v[3]];
+        let grad = sk_block_gradient(d0, v, dv);
+        let h = 1e-6;
+        for g in 0..3 {
+            let mut dp = d0;
+            let mut dm = d0;
+            dp[g] += h;
+            dm[g] -= h;
+            let bp = eval(dp);
+            let bm = eval(dm);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let fd = (bp[i][j] - bm[i][j]) / (2.0 * h);
+                    assert!(
+                        (fd - grad[g][i][j]).abs() < 1e-5,
+                        "full gradient mismatch at γ={g}, ({i},{j}): fd={fd}, an={}",
+                        grad[g][i][j]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Equation-of-state validation: the models must place the diamond-phase
+//! equilibrium bond length close to the experimental values they were fit
+//! to (Si: 2.35 Å, C: 1.54 Å). This exercises the *entire* model stack
+//! (scaling, Slater–Koster assembly, diagonalization, occupations,
+//! repulsion) against an independent physical reference.
+
+use tbmd_model::{OccupationScheme, TbCalculator, TbModel};
+use tbmd_structure::{bulk_diamond_with_bond, Species};
+
+/// Scan E(bond) on a coarse grid and return (best_bond, energies).
+fn eos_scan(
+    model: &dyn TbModel,
+    sp: Species,
+    bonds: &[f64],
+) -> (f64, Vec<f64>) {
+    let calc = TbCalculator::with_occupation(model, OccupationScheme::Fermi { kt: 0.05 });
+    let energies: Vec<f64> = bonds
+        .iter()
+        .map(|&b| {
+            let s = bulk_diamond_with_bond(sp, b, 2, 2, 2);
+            calc.energy(&s).unwrap() / s.n_atoms() as f64
+        })
+        .collect();
+    let k = energies
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    (bonds[k], energies)
+}
+
+#[test]
+fn silicon_diamond_equilibrium_bond() {
+    let model = tbmd_model::silicon_gsp();
+    let bonds: Vec<f64> = (0..13).map(|i| 2.15 + 0.04 * i as f64).collect();
+    let (best, energies) = eos_scan(&model, Species::Silicon, &bonds);
+    eprintln!("Si EOS: bonds={bonds:?}\n energies={energies:?}\n best={best}");
+    assert!(
+        (best - 2.35).abs() <= 0.09,
+        "Si equilibrium bond {best} Å too far from 2.35 Å"
+    );
+    // The minimum must be interior (a real minimum, not a cutoff artefact).
+    let e_min = energies.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(energies[0] > e_min && energies[energies.len() - 1] > e_min);
+}
+
+#[test]
+fn carbon_diamond_equilibrium_bond() {
+    let model = tbmd_model::carbon_xwch();
+    let bonds: Vec<f64> = (0..13).map(|i| 1.40 + 0.025 * i as f64).collect();
+    let (best, energies) = eos_scan(&model, Species::Carbon, &bonds);
+    eprintln!("C EOS: bonds={bonds:?}\n energies={energies:?}\n best={best}");
+    assert!(
+        (best - 1.54).abs() <= 0.06,
+        "C diamond equilibrium bond {best} Å too far from 1.54 Å"
+    );
+}
+
+#[test]
+fn silicon_cohesive_energy_scale() {
+    // Si cohesive energy ≈ 4.6 eV/atom; the TB fit reproduces the bulk bands
+    // but the free-atom reference differs, so assert the right magnitude
+    // rather than a tight match: E/atom at equilibrium must be several eV
+    // below the isolated-atom energy 2ε_s + 2ε_p = 2(−5.25) + 2(1.20) = −8.1.
+    let model = tbmd_model::silicon_gsp();
+    let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.05 });
+    let s = bulk_diamond_with_bond(Species::Silicon, 2.35, 2, 2, 2);
+    let e_per_atom = calc.energy(&s).unwrap() / s.n_atoms() as f64;
+    let e_free_atom = 2.0 * (-5.25) + 2.0 * 1.20;
+    let cohesive = e_free_atom - e_per_atom;
+    eprintln!("Si: E/atom = {e_per_atom}, cohesive ≈ {cohesive}");
+    assert!(
+        cohesive > 2.0 && cohesive < 8.0,
+        "Si cohesive energy {cohesive} eV/atom outside physical range"
+    );
+}

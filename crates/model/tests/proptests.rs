@@ -1,0 +1,197 @@
+//! Property-based tests of the tight-binding physics layer.
+
+use proptest::prelude::*;
+use tbmd_linalg::Vec3;
+use tbmd_model::{
+    occupations, sk_block, sk_block_gradient, sk_transpose, silicon_gsp, OccupationScheme,
+    TbModel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// B(−d) = B(d)ᵀ for arbitrary bond vectors and hopping sets.
+    #[test]
+    fn sk_transpose_identity(
+        dx in -3.0f64..3.0, dy in -3.0f64..3.0, dz in -3.0f64..3.0,
+        v0 in -6.0f64..6.0, v1 in -6.0f64..6.0, v2 in -6.0f64..6.0, v3 in -6.0f64..6.0,
+    ) {
+        let d = [dx, dy, dz];
+        prop_assume!(d.iter().map(|x| x * x).sum::<f64>() > 0.01);
+        let v = [v0, v1, v2, v3];
+        let b = sk_block(d, v);
+        let binv = sk_block([-dx, -dy, -dz], v);
+        let bt = sk_transpose(&b);
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((binv[i][j] - bt[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The SK block's Frobenius norm is rotation invariant (depends only on
+    /// |d| through the externally supplied hoppings).
+    #[test]
+    fn sk_rotation_invariance(
+        r in 0.5f64..4.0, theta in 0.0f64..6.28, phi in 0.0f64..3.14,
+        v0 in -6.0f64..6.0, v1 in -6.0f64..6.0, v2 in -6.0f64..6.0, v3 in -6.0f64..6.0,
+    ) {
+        let v = [v0, v1, v2, v3];
+        let frob = |b: &[[f64; 4]; 4]| -> f64 { b.iter().flatten().map(|x| x * x).sum() };
+        let d1 = [r, 0.0, 0.0];
+        let d2 = [
+            r * phi.sin() * theta.cos(),
+            r * phi.sin() * theta.sin(),
+            r * phi.cos(),
+        ];
+        prop_assume!(d2.iter().map(|x| x * x).sum::<f64>() > 1e-6);
+        let f1 = frob(&sk_block(d1, v));
+        let f2 = frob(&sk_block(d2, v));
+        prop_assert!((f1 - f2).abs() < 1e-9 * (1.0 + f1));
+    }
+
+    /// The SK gradient matches finite differences for random geometry and
+    /// random (fixed) hoppings.
+    #[test]
+    fn sk_gradient_finite_difference(
+        dx in -2.0f64..2.0, dy in -2.0f64..2.0, dz in 0.5f64..2.0,
+        v0 in -4.0f64..4.0, v1 in -4.0f64..4.0, v2 in -4.0f64..4.0, v3 in -4.0f64..4.0,
+    ) {
+        let d = [dx, dy, dz];
+        let v = [v0, v1, v2, v3];
+        let grad = sk_block_gradient(d, v, [0.0; 4]);
+        let h = 1e-6;
+        for g in 0..3 {
+            let mut dp = d;
+            let mut dm = d;
+            dp[g] += h;
+            dm[g] -= h;
+            let bp = sk_block(dp, v);
+            let bm = sk_block(dm, v);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let fd = (bp[i][j] - bm[i][j]) / (2.0 * h);
+                    prop_assert!((fd - grad[g][i][j]).abs() < 1e-4 * (1.0 + fd.abs()));
+                }
+            }
+        }
+    }
+
+    /// Occupations conserve the electron count for any sorted spectrum and
+    /// any temperature.
+    #[test]
+    fn occupations_conserve_electrons(
+        mut eps in prop::collection::vec(-10.0f64..10.0, 2..30),
+        ne_frac in 0.0f64..1.0,
+        kt in 0.01f64..1.0,
+    ) {
+        eps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ne = ((eps.len() * 2) as f64 * ne_frac) as usize;
+        for scheme in [OccupationScheme::ZeroTemperature, OccupationScheme::Fermi { kt }] {
+            let occ = occupations(&eps, ne, scheme);
+            prop_assert!((occ.electron_count() - ne as f64).abs() < 1e-8);
+            for &f in &occ.f {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&f));
+            }
+        }
+    }
+
+    /// Zero-temperature band energy is the minimum over occupation schemes
+    /// (the variational property of ground-state filling).
+    #[test]
+    fn zero_t_band_energy_minimal(
+        mut eps in prop::collection::vec(-5.0f64..5.0, 4..20),
+        ne_frac in 0.1f64..0.9,
+        kt in 0.05f64..0.8,
+    ) {
+        eps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ne = ((eps.len() * 2) as f64 * ne_frac) as usize;
+        let cold = occupations(&eps, ne, OccupationScheme::ZeroTemperature);
+        let warm = occupations(&eps, ne, OccupationScheme::Fermi { kt });
+        prop_assert!(cold.band_energy(&eps) <= warm.band_energy(&eps) + 1e-9);
+    }
+
+    /// Model radial functions: hoppings vanish identically beyond the
+    /// cutoff and are smooth inside.
+    #[test]
+    fn silicon_radial_functions_bounded(r in 1.8f64..6.0) {
+        let m = silicon_gsp();
+        let v = m.hoppings(r);
+        let dv = m.hoppings_deriv(r);
+        if r >= m.cutoff() {
+            prop_assert!(v.iter().all(|&x| x == 0.0));
+            prop_assert!(dv.iter().all(|&x| x == 0.0));
+        } else {
+            prop_assert!(v.iter().all(|x| x.is_finite() && x.abs() < 50.0));
+            prop_assert!(dv.iter().all(|x| x.is_finite()));
+        }
+        let (phi, dphi) = m.repulsion(r);
+        prop_assert!(phi >= 0.0 && phi.is_finite() && dphi.is_finite());
+    }
+
+    /// Fermi level sits between the highest mostly-occupied and lowest
+    /// mostly-empty states.
+    #[test]
+    fn fermi_level_ordering(
+        mut eps in prop::collection::vec(-8.0f64..8.0, 6..24),
+        kt in 0.05f64..0.5,
+    ) {
+        eps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ne = eps.len(); // half filling
+        let occ = occupations(&eps, ne, OccupationScheme::Fermi { kt });
+        for (k, &f) in occ.f.iter().enumerate() {
+            if f > 0.75 {
+                prop_assert!(eps[k] < occ.fermi_level + 3.0 * kt);
+            }
+            if f < 0.25 {
+                prop_assert!(eps[k] > occ.fermi_level - 3.0 * kt);
+            }
+        }
+    }
+}
+
+/// Non-proptest sanity: a tiny random-geometry force consistency sweep kept
+/// here (rather than unit tests) because it stresses many random seeds.
+#[test]
+fn random_cluster_force_consistency_sweep() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tbmd_model::{ForceProvider, TbCalculator};
+
+    let model = silicon_gsp();
+    let calc = TbCalculator::new(&model);
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // 4 random atoms, min separation enforced.
+        let mut positions: Vec<Vec3> = vec![Vec3::ZERO];
+        while positions.len() < 4 {
+            let cand = Vec3::new(
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(-3.0..3.0),
+            );
+            if positions.iter().all(|p| (*p - cand).norm() > 1.9) {
+                positions.push(cand);
+            }
+        }
+        let s = tbmd_structure::Structure::homogeneous(
+            tbmd_structure::Species::Silicon,
+            positions,
+            tbmd_structure::Cell::cluster(),
+        );
+        let eval = calc.evaluate(&s).unwrap();
+        let h = 1e-5;
+        for (i, gamma) in [(0usize, 0usize), (2, 1), (3, 2)] {
+            let mut sp = s.clone();
+            sp.positions_mut()[i][gamma] += h;
+            let mut sm = s.clone();
+            sm.positions_mut()[i][gamma] -= h;
+            let fd = -(calc.energy_only(&sp).unwrap() - calc.energy_only(&sm).unwrap()) / (2.0 * h);
+            let an = eval.forces[i][gamma];
+            assert!(
+                (fd - an).abs() < 5e-4 * (1.0 + an.abs()),
+                "seed {seed}, atom {i}, comp {gamma}: fd={fd}, an={an}"
+            );
+        }
+    }
+}

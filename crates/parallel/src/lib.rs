@@ -1,0 +1,24 @@
+//! # tbmd-parallel
+//!
+//! The parallel-systems layer of the reproduction: a virtual
+//! distributed-memory machine ([`vmp`]) with counted message traffic, era
+//! machine cost models ([`cost_model`]), the distributed ring-Jacobi
+//! eigensolver ([`ring_jacobi`]), and two parallel TBMD engines — the
+//! message-passing [`DistributedTb`] and the shared-memory Rayon
+//! [`SharedMemoryTb`] — both numerically pinned to the serial reference
+//! calculator by the test-suite.
+
+pub mod cost_model;
+pub mod distributed;
+pub mod ring_jacobi;
+pub mod shared;
+pub mod vmp;
+
+pub use cost_model::{estimate_cost, scaling, CostEstimate, MachineProfile, Scaling};
+pub use distributed::{DistributedReport, DistributedTb};
+pub use ring_jacobi::{
+    initial_column_owners, ring_jacobi_eigh, ring_jacobi_worker, DistributedEigh,
+    RingJacobiReport,
+};
+pub use shared::{par_build_hamiltonian, par_forces, Eigensolver, SharedMemoryTb};
+pub use vmp::{partition_range, vmp_run, Rank, RankStats, VmpStats};

@@ -1,0 +1,462 @@
+//! Distributed two-sided Jacobi eigensolver over the virtual
+//! message-passing machine — the parallel diagonalization kernel of the
+//! SC'94-era TBMD codes (Brent–Luk-style column-pair distribution with a
+//! round-robin pivot ordering).
+//!
+//! Data layout: the matrix lives as *columns*; each round of the tournament
+//! schedule pairs columns `(p, q)` and assigns every pair to a rank. The
+//! three pivot elements `a_pp`, `a_qq`, `a_pq` are all inside columns `p`
+//! and `q` (by symmetry), so rotation angles are computed locally; the
+//! rotation set of a round is allgathered (small), the column update
+//! `A ← A·J` is local to pair owners, and the row update `A ← Jᵀ·A` touches
+//! only elements `(p, ·)`/`(q, ·)` of each column, so it is local to every
+//! column owner. Between rounds the pairing changes and columns migrate to
+//! their new owners — the ring traffic that dominated the real machines.
+//!
+//! The numerical content (snapshot rotations, disjoint pivot rounds) is
+//! identical to [`tbmd_linalg::par_jacobi_eigh`]; the tests pin the two
+//! against each other and against Householder+QL.
+//!
+//! [`ring_jacobi_worker`] runs *inside* an existing rank (used by the
+//! distributed TBMD engine); [`ring_jacobi_eigh`] is the standalone driver.
+
+use crate::vmp::{partition_range, vmp_run, Rank, VmpStats};
+use std::collections::HashMap;
+use tbmd_linalg::{jacobi_rotation, Eigh, Matrix};
+
+/// Outcome of a distributed Jacobi run.
+#[derive(Debug, Clone)]
+pub struct RingJacobiReport {
+    /// Sweeps performed.
+    pub sweeps: usize,
+    /// Traffic/flop statistics of the virtual machine.
+    pub stats: VmpStats,
+}
+
+/// Result of [`ring_jacobi_worker`] on one rank.
+#[derive(Debug, Clone)]
+pub struct DistributedEigh {
+    /// All eigenvalues, indexed by *column id* (known on every rank).
+    pub values_by_column: Vec<f64>,
+    /// Eigenvector columns owned by this rank at exit, keyed by column id.
+    pub owned_vectors: HashMap<usize, Vec<f64>>,
+    /// Sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Tournament arrangements: for each round, the permutation of `m2` player
+/// slots (players `>= n` are phantoms when `n` is odd). Pair `k` of a round
+/// is `(players[k], players[m2-1-k])`.
+fn arrangements(n: usize) -> (usize, Vec<Vec<usize>>) {
+    let m2 = if n % 2 == 0 { n } else { n + 1 };
+    if n < 2 {
+        return (m2, vec![]);
+    }
+    let rounds = m2 - 1;
+    let mut players: Vec<usize> = (0..m2).collect();
+    let mut all = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        all.push(players.clone());
+        players[1..].rotate_right(1);
+    }
+    (m2, all)
+}
+
+/// Owner map for one round: `owner[c]` = rank owning column `c`.
+fn owners_for_round(arrangement: &[usize], n: usize, n_ranks: usize) -> Vec<usize> {
+    let m2 = arrangement.len();
+    let slots = m2 / 2;
+    let mut slot_rank = vec![0usize; slots];
+    for r in 0..n_ranks {
+        for s in partition_range(slots, n_ranks, r) {
+            slot_rank[s] = r;
+        }
+    }
+    let mut owner = vec![0usize; n];
+    for (pos, &player) in arrangement.iter().enumerate() {
+        if player < n {
+            let slot = pos.min(m2 - 1 - pos);
+            owner[player] = slot_rank[slot];
+        }
+    }
+    owner
+}
+
+/// Which rank must own each column *before* calling
+/// [`ring_jacobi_worker`] (the round-0 pairing ownership).
+pub fn initial_column_owners(n: usize, n_ranks: usize) -> Vec<usize> {
+    let (_, rounds) = arrangements(n);
+    if rounds.is_empty() {
+        return vec![0; n];
+    }
+    owners_for_round(&rounds[0], n, n_ranks)
+}
+
+/// Cooperative symmetric eigensolve executed by every rank of a running
+/// virtual machine.
+///
+/// Preconditions: every rank passes the columns assigned to it by
+/// [`initial_column_owners`]; `fro` is the Frobenius norm of the full matrix
+/// (all ranks pass the same value); `tag_base` reserves a tag window ≥
+/// `8·n·n` wide for this call.
+pub fn ring_jacobi_worker(
+    rank: &mut Rank,
+    n: usize,
+    mut cols: HashMap<usize, Vec<f64>>,
+    fro: f64,
+    tol: f64,
+    max_sweeps: usize,
+    tag_base: u64,
+) -> DistributedEigh {
+    let p = rank.size();
+    let me = rank.id();
+    let (m2, rounds) = arrangements(n);
+    let n_rounds = rounds.len();
+    // Eigenvector columns start as unit vectors (no communication needed).
+    let mut vcols: HashMap<usize, Vec<f64>> = HashMap::new();
+    for &c in cols.keys() {
+        let mut v = vec![0.0; n];
+        v[c] = 1.0;
+        vcols.insert(c, v);
+    }
+    let fro = fro.max(f64::MIN_POSITIVE);
+
+    let mut sweeps_done = 0usize;
+    if n >= 2 {
+        'sweeps: for _sweep in 0..max_sweeps {
+            // Convergence check: local off-diagonal partial, allreduce.
+            let local_off: f64 = cols
+                .iter()
+                .map(|(&c, col)| {
+                    col.iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != c)
+                        .map(|(_, &x)| x * x)
+                        .sum::<f64>()
+                })
+                .sum();
+            rank.count_flops(2 * (cols.len() * n) as u64);
+            let mut buf = vec![local_off];
+            rank.allreduce_sum(tag_base, &mut buf);
+            if buf[0].sqrt() <= tol * fro {
+                break 'sweeps;
+            }
+            sweeps_done += 1;
+
+            for (t, arrangement) in rounds.iter().enumerate() {
+                // ---- Redistribution to this round's ownership.
+                let owner = owners_for_round(arrangement, n, p);
+                let tag_move = tag_base + 16 + (t as u64) * 2 * n as u64;
+                let moving_out: Vec<usize> =
+                    cols.keys().copied().filter(|&c| owner[c] != me).collect();
+                for c in moving_out {
+                    let col = cols.remove(&c).expect("owned");
+                    let vcol = vcols.remove(&c).expect("owned");
+                    rank.send(owner[c], tag_move + 2 * c as u64, &col);
+                    rank.send(owner[c], tag_move + 2 * c as u64 + 1, &vcol);
+                }
+                let prev_owner = if t == 0 {
+                    if sweeps_done == 1 {
+                        owners_for_round(&rounds[0], n, p)
+                    } else {
+                        owners_for_round(&rounds[n_rounds - 1], n, p)
+                    }
+                } else {
+                    owners_for_round(&rounds[t - 1], n, p)
+                };
+                for c in 0..n {
+                    if owner[c] == me && prev_owner[c] != me {
+                        cols.insert(c, rank.recv(prev_owner[c], tag_move + 2 * c as u64));
+                        vcols.insert(c, rank.recv(prev_owner[c], tag_move + 2 * c as u64 + 1));
+                    }
+                }
+
+                // ---- Local rotation angles for owned pairs.
+                let slots = m2 / 2;
+                let my_slots = partition_range(slots, p, me);
+                let mut my_rots: Vec<f64> = Vec::new();
+                for k in my_slots {
+                    let cp = arrangement[k];
+                    let cq = arrangement[m2 - 1 - k];
+                    if cp >= n || cq >= n {
+                        continue; // phantom pair (odd n)
+                    }
+                    let (lo, hi) = if cp < cq { (cp, cq) } else { (cq, cp) };
+                    let app = cols[&lo][lo];
+                    let aqq = cols[&hi][hi];
+                    let apq = cols[&hi][lo];
+                    let (c, s) = jacobi_rotation(app, aqq, apq);
+                    rank.count_flops(20);
+                    my_rots.extend_from_slice(&[lo as f64, hi as f64, c, s]);
+                }
+                // ---- Allgather the round's rotation set.
+                let all_rots = rank.allgather(tag_base + 4, &my_rots);
+                let mut rots: Vec<(usize, usize, f64, f64)> = Vec::new();
+                for part in &all_rots {
+                    for chunk in part.chunks_exact(4) {
+                        rots.push((chunk[0] as usize, chunk[1] as usize, chunk[2], chunk[3]));
+                    }
+                }
+
+                // ---- Column update (A·J and V·J) for owned pairs.
+                for &(cp, cq, c, s) in &rots {
+                    if owner[cp] != me {
+                        continue;
+                    }
+                    for store in [&mut cols, &mut vcols] {
+                        let colp = store[&cp].clone();
+                        let colq = store.get_mut(&cq).expect("pair columns co-owned");
+                        let newp: Vec<f64> =
+                            colp.iter().zip(colq.iter()).map(|(&x, &y)| c * x - s * y).collect();
+                        for (yq, &xp) in colq.iter_mut().zip(&colp) {
+                            *yq = s * xp + c * *yq;
+                        }
+                        store.insert(cp, newp);
+                    }
+                    rank.count_flops(12 * n as u64);
+                }
+                // ---- Row update (Jᵀ·A) on every owned A column.
+                for col in cols.values_mut() {
+                    for &(cp, cq, c, s) in &rots {
+                        let (xp, xq) = (col[cp], col[cq]);
+                        col[cp] = c * xp - s * xq;
+                        col[cq] = s * xp + c * xq;
+                    }
+                }
+                rank.count_flops(6 * (cols.len() * rots.len()) as u64);
+            }
+        }
+    }
+
+    // ---- Publish eigenvalues: allgather (column id, diagonal element).
+    let mut flat: Vec<f64> = Vec::with_capacity(2 * cols.len());
+    for (&c, col) in &cols {
+        flat.push(c as f64);
+        flat.push(col[c]);
+    }
+    let parts = rank.allgather(tag_base + 8, &flat);
+    let mut values_by_column = vec![0.0; n];
+    for part in &parts {
+        for rec in part.chunks_exact(2) {
+            values_by_column[rec[0] as usize] = rec[1];
+        }
+    }
+    DistributedEigh { values_by_column, owned_vectors: vcols, sweeps: sweeps_done }
+}
+
+/// Distributed symmetric eigendecomposition, standalone driver: scatters `a`
+/// from rank 0, runs [`ring_jacobi_worker`] on `n_ranks` virtual ranks, and
+/// gathers the sorted eigenpairs.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn ring_jacobi_eigh(
+    a: &Matrix,
+    n_ranks: usize,
+    tol: f64,
+    max_sweeps: usize,
+) -> (Eigh, RingJacobiReport) {
+    assert!(a.is_square(), "ring Jacobi requires a square matrix");
+    let n = a.rows();
+    if n <= 1 {
+        let eig = Eigh {
+            values: (0..n).map(|i| a[(i, i)]).collect(),
+            vectors: Matrix::identity(n),
+        };
+        return (eig, RingJacobiReport { sweeps: 0, stats: VmpStats::default() });
+    }
+    let fro = a.frobenius_norm();
+    let owner0 = initial_column_owners(n, n_ranks);
+
+    let (mut results, stats) = vmp_run(n_ranks, |mut rank: Rank| {
+        let me = rank.id();
+        // Initial scatter: rank 0 sends each column to its round-0 owner.
+        let mut cols: HashMap<usize, Vec<f64>> = HashMap::new();
+        if me == 0 {
+            for c in 0..n {
+                let col = a.col(c);
+                if owner0[c] == 0 {
+                    cols.insert(c, col);
+                } else {
+                    rank.send(owner0[c], 1_000_000 + c as u64, &col);
+                }
+            }
+        } else {
+            for c in 0..n {
+                if owner0[c] == me {
+                    cols.insert(c, rank.recv(0, 1_000_000 + c as u64));
+                }
+            }
+        }
+        let result = ring_jacobi_worker(&mut rank, n, cols, fro, tol, max_sweeps, 0);
+        // Gather owned eigenvector columns to rank 0.
+        let mut flat: Vec<f64> = Vec::new();
+        for (&c, v) in &result.owned_vectors {
+            flat.push(c as f64);
+            flat.extend_from_slice(v);
+        }
+        let gathered = rank.gather(0, 12, &flat);
+        gathered.map(|parts| {
+            let mut vectors = Matrix::zeros(n, n);
+            for part in parts {
+                for rec in part.chunks_exact(1 + n) {
+                    let c = rec[0] as usize;
+                    for i in 0..n {
+                        vectors[(i, c)] = rec[1 + i];
+                    }
+                }
+            }
+            (result.values_by_column.clone(), vectors, result.sweeps)
+        })
+    });
+
+    let (values, vectors, sweeps) = results
+        .remove(0)
+        .expect("rank 0 returns the assembled eigensystem");
+    // Sort ascending, permuting columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| values[x].partial_cmp(&values[y]).expect("NaN eigenvalue"));
+    let sorted_values: Vec<f64> = order.iter().map(|&k| values[k]).collect();
+    let mut sorted_vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            sorted_vectors[(r, new_col)] = vectors[(r, old_col)];
+        }
+    }
+    (
+        Eigh { values: sorted_values, vectors: sorted_vectors },
+        RingJacobiReport { sweeps, stats },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbmd_linalg::{eig_residual, eigh, orthogonality_defect};
+
+    fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn owner_maps_cover_all_columns() {
+        for n in [2usize, 5, 8, 13] {
+            let (_, rounds) = arrangements(n);
+            for arr in &rounds {
+                for p in [1usize, 2, 3, 5] {
+                    let owner = owners_for_round(arr, n, p);
+                    assert_eq!(owner.len(), n);
+                    for &o in &owner {
+                        assert!(o < p);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_are_co_owned() {
+        // Both members of a pair must map to the same rank.
+        for n in [4usize, 9, 12] {
+            let (m2, rounds) = arrangements(n);
+            for arr in &rounds {
+                for p in [1usize, 2, 3, 4] {
+                    let owner = owners_for_round(arr, n, p);
+                    for k in 0..m2 / 2 {
+                        let cp = arr[k];
+                        let cq = arr[m2 - 1 - k];
+                        if cp < n && cq < n {
+                            assert_eq!(owner[cp], owner[cq], "pair ({cp},{cq}) split");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_eigh() {
+        for &n in &[2usize, 3, 6, 11, 16] {
+            for &p in &[1usize, 2, 3, 4] {
+                let a = symmetric_test_matrix(n, 31 + n as u64);
+                let reference = eigh(a.clone()).unwrap();
+                let (dist, report) = ring_jacobi_eigh(&a, p, 1e-12, 40);
+                for (x, y) in dist.values.iter().zip(&reference.values) {
+                    assert!(
+                        (x - y).abs() < 1e-8,
+                        "n={n} p={p}: eigenvalue {x} vs {y}"
+                    );
+                }
+                assert!(eig_residual(&a, &dist) < 1e-8, "residual n={n} p={p}");
+                assert!(orthogonality_defect(&dist.vectors) < 1e-9, "orthogonality n={n} p={p}");
+                assert!(report.sweeps <= 20);
+            }
+        }
+    }
+
+    #[test]
+    fn communication_grows_with_ranks() {
+        let a = symmetric_test_matrix(24, 5);
+        let (_, r1) = ring_jacobi_eigh(&a, 1, 1e-12, 40);
+        let (_, r4) = ring_jacobi_eigh(&a, 4, 1e-12, 40);
+        assert_eq!(r1.stats.total_messages(), 0, "single rank must be silent");
+        assert!(r4.stats.total_messages() > 0);
+        assert!(r4.stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn flops_balance_across_ranks() {
+        let a = symmetric_test_matrix(32, 9);
+        let (_, report) = ring_jacobi_eigh(&a, 4, 1e-12, 40);
+        let flops: Vec<u64> = report.stats.ranks.iter().map(|r| r.flops).collect();
+        let max = *flops.iter().max().unwrap() as f64;
+        let min = *flops.iter().min().unwrap() as f64;
+        assert!(min > 0.0);
+        assert!(max / min < 2.0, "flop imbalance: {flops:?}");
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let a = Matrix::from_vec(1, 1, vec![4.0]);
+        let (eig, _) = ring_jacobi_eigh(&a, 3, 1e-12, 10);
+        assert_eq!(eig.values, vec![4.0]);
+        let empty = Matrix::zeros(0, 0);
+        let (eig0, _) = ring_jacobi_eigh(&empty, 2, 1e-12, 10);
+        assert!(eig0.values.is_empty());
+    }
+
+    #[test]
+    fn more_ranks_than_pairs() {
+        // n=4 → 2 pair slots; 6 ranks leaves 4 idle. Must still be correct.
+        let a = symmetric_test_matrix(4, 77);
+        let reference = eigh(a.clone()).unwrap();
+        let (dist, _) = ring_jacobi_eigh(&a, 6, 1e-12, 40);
+        for (x, y) in dist.values.iter().zip(&reference.values) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn initial_owner_export_consistent() {
+        for n in [2usize, 7, 10] {
+            for p in [1usize, 2, 3] {
+                let o = initial_column_owners(n, p);
+                assert_eq!(o.len(), n);
+                assert!(o.iter().all(|&r| r < p));
+            }
+        }
+    }
+}

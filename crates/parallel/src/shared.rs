@@ -1,0 +1,322 @@
+//! Shared-memory data-parallel TBMD engine (Rayon).
+//!
+//! The modern counterpart to the message-passing engine: the same four
+//! phases (Hamiltonian build, diagonalization, density matrix, forces) are
+//! parallelized with Rayon parallel iterators. H rows belonging to different
+//! atoms are disjoint, so the build is a `par_chunks_mut` over 4-row bands;
+//! forces are an independent map over atoms against the shared density
+//! matrix; the density matrix itself uses the blocked parallel GEMM from
+//! `tbmd-linalg`; and the eigensolver can be either serial Householder+QL
+//! or the parallel-ordered Jacobi.
+
+use rayon::prelude::*;
+use std::time::Instant;
+use tbmd_linalg::{eigh, par_jacobi_eigh, Eigh, Matrix, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL};
+use tbmd_model::{
+    density_matrix, occupations, sk_block, ForceEvaluation, ForceProvider, OccupationScheme,
+    OrbitalIndex, PhaseTimings, TbError, TbModel,
+};
+use tbmd_structure::{NeighborList, Structure};
+
+/// Which symmetric eigensolver the shared-memory engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eigensolver {
+    /// Serial Householder tridiagonalization + implicit QL (fastest on one
+    /// core; the diagonalization phase then does not parallelize).
+    HouseholderQl,
+    /// Parallel-ordered cyclic Jacobi (slower serially, but every round
+    /// exposes n/2 independent rotations).
+    ParallelJacobi,
+}
+
+/// Rayon-parallel tight-binding engine. Implements [`ForceProvider`], so it
+/// drops into every integrator and the benchmark harness.
+pub struct SharedMemoryTb<'m> {
+    model: &'m dyn TbModel,
+    /// Occupation scheme (default: 0.1 eV Fermi smearing).
+    pub occupation: OccupationScheme,
+    /// Eigensolver selection.
+    pub eigensolver: Eigensolver,
+}
+
+impl<'m> SharedMemoryTb<'m> {
+    /// Engine with the default smearing and the QL eigensolver.
+    pub fn new(model: &'m dyn TbModel) -> Self {
+        SharedMemoryTb {
+            model,
+            occupation: OccupationScheme::Fermi { kt: 0.1 },
+            eigensolver: Eigensolver::HouseholderQl,
+        }
+    }
+
+    /// Select the eigensolver.
+    pub fn with_eigensolver(mut self, solver: Eigensolver) -> Self {
+        self.eigensolver = solver;
+        self
+    }
+
+    /// Select the occupation scheme.
+    pub fn with_occupation(mut self, occupation: OccupationScheme) -> Self {
+        self.occupation = occupation;
+        self
+    }
+
+    fn validate(&self, s: &Structure) -> Result<(), TbError> {
+        if s.n_atoms() == 0 {
+            return Err(TbError::EmptyStructure);
+        }
+        for i in 0..s.n_atoms() {
+            if !self.model.supports(s.species(i)) {
+                return Err(TbError::UnsupportedSpecies {
+                    species: s.species(i),
+                    model: self.model.name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn solve(&self, h: Matrix) -> Result<Eigh, TbError> {
+        match self.eigensolver {
+            Eigensolver::HouseholderQl => Ok(eigh(h)?),
+            Eigensolver::ParallelJacobi => {
+                let (eig, _) = par_jacobi_eigh(h, JACOBI_TOL, JACOBI_MAX_SWEEPS)?;
+                Ok(eig)
+            }
+        }
+    }
+}
+
+/// Parallel Hamiltonian assembly: every atom's 4-row band is written by
+/// exactly one Rayon task.
+pub fn par_build_hamiltonian(
+    s: &Structure,
+    nl: &NeighborList,
+    model: &dyn TbModel,
+    index: &OrbitalIndex,
+) -> Matrix {
+    let n_orb = index.total();
+    let mut h = Matrix::zeros(n_orb, n_orb);
+    // All bundled models have 4 orbitals/atom, which makes the band layout
+    // uniform; assert so a future heteronuclear model fails loudly here.
+    assert!(
+        (0..s.n_atoms()).all(|i| s.species(i).n_orbitals() == 4),
+        "par_build_hamiltonian assumes 4 orbitals per atom"
+    );
+    h.as_mut_slice()
+        .par_chunks_mut(4 * n_orb)
+        .enumerate()
+        .for_each(|(i, band)| {
+            let e = model.on_site(s.species(i));
+            let oi = index.offset(i);
+            for (k, &ek) in e.iter().enumerate() {
+                band[k * n_orb + oi + k] = ek;
+            }
+            for nb in nl.neighbors(i) {
+                let v = model.hoppings(nb.dist);
+                if v.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                let b = sk_block(nb.disp.to_array(), v);
+                let oj = index.offset(nb.j);
+                for (mu, row) in b.iter().enumerate() {
+                    for (nu, &x) in row.iter().enumerate() {
+                        band[mu * n_orb + oj + nu] += x;
+                    }
+                }
+            }
+        });
+    h
+}
+
+/// Parallel electronic + repulsive forces in gather form: each atom's force
+/// reads the shared density matrix and the per-atom embedding derivatives,
+/// writing only its own entry.
+pub fn par_forces(
+    s: &Structure,
+    nl: &NeighborList,
+    model: &dyn TbModel,
+    index: &OrbitalIndex,
+    rho: &Matrix,
+) -> (f64, Vec<Vec3>) {
+    let n = s.n_atoms();
+    // Per-atom embedding arguments and derivatives (cheap, parallel).
+    let x: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|i| nl.neighbors(i).iter().map(|nb| model.repulsion(nb.dist).0).sum())
+        .collect();
+    let fx: Vec<(f64, f64)> = x.par_iter().map(|&xi| model.embedding(xi)).collect();
+    let e_rep: f64 = fx.iter().map(|&(f, _)| f).sum();
+
+    let forces: Vec<Vec3> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let oi = index.offset(i);
+            let mut fi = Vec3::ZERO;
+            for nb in nl.neighbors(i) {
+                if nb.j == i {
+                    continue;
+                }
+                // Electronic part: 2 ρ_ij : ∂B/∂d.
+                let v = model.hoppings(nb.dist);
+                let dv = model.hoppings_deriv(nb.dist);
+                if !(v.iter().all(|&x| x == 0.0) && dv.iter().all(|&x| x == 0.0)) {
+                    let grad = tbmd_model::sk_block_gradient(nb.disp.to_array(), v, dv);
+                    let oj = index.offset(nb.j);
+                    for gamma in 0..3 {
+                        let mut acc = 0.0;
+                        for (mu, grow) in grad[gamma].iter().enumerate() {
+                            for (nu, &g) in grow.iter().enumerate() {
+                                acc += rho[(oi + mu, oj + nu)] * g;
+                            }
+                        }
+                        fi[gamma] += 2.0 * acc;
+                    }
+                }
+                // Repulsive part, gather form:
+                // F_i += (f'(x_i) + f'(x_j)) φ'(r) d̂.
+                let (_, dphi) = model.repulsion(nb.dist);
+                if dphi != 0.0 {
+                    let unit = nb.disp / nb.dist;
+                    fi += unit * ((fx[i].1 + fx[nb.j].1) * dphi);
+                }
+            }
+            fi
+        })
+        .collect();
+    (e_rep, forces)
+}
+
+impl ForceProvider for SharedMemoryTb<'_> {
+    fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        self.validate(s)?;
+        let mut timings = PhaseTimings::default();
+
+        let t0 = Instant::now();
+        let nl = NeighborList::build(s, self.model.cutoff());
+        timings.neighbors = t0.elapsed();
+
+        let t0 = Instant::now();
+        let index = OrbitalIndex::new(s);
+        let h = par_build_hamiltonian(s, &nl, self.model, &index);
+        timings.hamiltonian = t0.elapsed();
+
+        let t0 = Instant::now();
+        let eig = self.solve(h)?;
+        timings.diagonalize = t0.elapsed();
+
+        let occ = occupations(&eig.values, s.n_electrons(), self.occupation);
+        let band = occ.band_energy(&eig.values);
+        let entropy_term = match self.occupation {
+            OccupationScheme::Fermi { kt } if kt > 0.0 => {
+                -(kt / tbmd_model::KB_EV) * occ.entropy
+            }
+            _ => 0.0,
+        };
+
+        let t0 = Instant::now();
+        let rho = density_matrix(&eig.vectors, &occ.f);
+        timings.density = t0.elapsed();
+
+        let t0 = Instant::now();
+        let (e_rep, forces) = par_forces(s, &nl, self.model, &index, &rho);
+        timings.forces = t0.elapsed();
+
+        Ok(ForceEvaluation { energy: band + e_rep + entropy_term, forces, timings })
+    }
+
+    fn provider_name(&self) -> &str {
+        "shared-memory-tb"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbmd_model::{carbon_xwch, silicon_gsp, TbCalculator};
+    use tbmd_structure::{bulk_diamond, fullerene_c60, Species};
+
+    /// The shared-memory engine must agree with the serial reference to
+    /// near round-off for energy and every force component.
+    fn assert_engines_agree(s: &Structure, model: &dyn TbModel, solver: Eigensolver) {
+        let serial = TbCalculator::new(model);
+        let parallel = SharedMemoryTb::new(model).with_eigensolver(solver);
+        let a = serial.evaluate(s).unwrap();
+        let b = parallel.evaluate(s).unwrap();
+        assert!(
+            (a.energy - b.energy).abs() < 1e-7,
+            "energy mismatch: {} vs {}",
+            a.energy,
+            b.energy
+        );
+        for (i, (fa, fb)) in a.forces.iter().zip(&b.forces).enumerate() {
+            assert!(
+                (*fa - *fb).max_abs() < 1e-6,
+                "force mismatch atom {i}: {fa:?} vs {fb:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_silicon_ql() {
+        let model = silicon_gsp();
+        let mut s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        s.perturb(&mut rng, 0.08);
+        assert_engines_agree(&s, &model, Eigensolver::HouseholderQl);
+    }
+
+    #[test]
+    fn matches_serial_on_silicon_jacobi() {
+        let model = silicon_gsp();
+        let mut s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        s.perturb(&mut rng, 0.08);
+        assert_engines_agree(&s, &model, Eigensolver::ParallelJacobi);
+    }
+
+    #[test]
+    fn matches_serial_on_carbon_cluster() {
+        let model = carbon_xwch();
+        let mut s = fullerene_c60(1.44);
+        let mut rng = StdRng::seed_from_u64(4);
+        s.perturb(&mut rng, 0.04);
+        assert_engines_agree(&s, &model, Eigensolver::HouseholderQl);
+    }
+
+    #[test]
+    fn parallel_hamiltonian_matches_serial_build() {
+        let model = silicon_gsp();
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        s.perturb(&mut rng, 0.05);
+        let nl = NeighborList::build(&s, model.cutoff());
+        let index = OrbitalIndex::new(&s);
+        let serial = tbmd_model::build_hamiltonian(&s, &nl, &model, &index);
+        let parallel = par_build_hamiltonian(&s, &nl, &model, &index);
+        assert!(
+            (&serial - &parallel).max_abs() < 1e-14,
+            "H mismatch {}",
+            (&serial - &parallel).max_abs()
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_species() {
+        let model = silicon_gsp();
+        let engine = SharedMemoryTb::new(&model);
+        let s = tbmd_structure::dimer(Species::Carbon, 1.4);
+        assert!(matches!(
+            engine.evaluate(&s),
+            Err(TbError::UnsupportedSpecies { .. })
+        ));
+    }
+
+    #[test]
+    fn provider_name() {
+        let model = silicon_gsp();
+        assert_eq!(SharedMemoryTb::new(&model).provider_name(), "shared-memory-tb");
+    }
+}

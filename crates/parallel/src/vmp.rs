@@ -1,0 +1,491 @@
+//! `Vmp` — a virtual message-passing machine.
+//!
+//! This is the hardware substitution documented in DESIGN.md: we do not have
+//! a 1994 distributed-memory MPP, so we run the *same message-passing
+//! algorithms* on OS threads connected by channels, with every send counted
+//! (messages and bytes, per rank). The measured traffic is fed to the era
+//! cost models in [`crate::cost_model`] to produce Delta/Paragon/CM-5-class
+//! time estimates — the communication *pattern* is the algorithm's property
+//! and is reproduced exactly; only the wire is simulated.
+//!
+//! Semantics follow early-MPI practice: ranked processes, blocking matched
+//! `send`/`recv` with tags, and collectives (barrier, broadcast, reduce,
+//! allreduce, gather, allgather, scatter) built from point-to-point messages
+//! so that collective traffic is accounted at the same level the 1994 codes
+//! paid for it.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One message on the virtual wire.
+#[derive(Debug, Clone)]
+struct Message {
+    from: usize,
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// Per-rank traffic counters (monotonic; read after the run).
+#[derive(Debug, Default)]
+pub struct RankCounters {
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    flops: AtomicU64,
+}
+
+/// A snapshot of one rank's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RankStats {
+    /// Point-to-point messages sent (collectives decompose into these).
+    pub messages_sent: u64,
+    /// Payload bytes sent (8 bytes per `f64`).
+    pub bytes_sent: u64,
+    /// Floating-point operations attributed to this rank by the engines
+    /// (analytic counts, see `cost_model`).
+    pub flops: u64,
+}
+
+/// Aggregate statistics of a completed virtual-machine run.
+#[derive(Debug, Clone, Default)]
+pub struct VmpStats {
+    /// Per-rank snapshots, indexed by rank id.
+    pub ranks: Vec<RankStats>,
+}
+
+impl VmpStats {
+    /// Total messages across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).sum()
+    }
+
+    /// Total payload bytes across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Largest per-rank flop count — the critical-path compute load.
+    pub fn max_flops(&self) -> u64 {
+        self.ranks.iter().map(|r| r.flops).max().unwrap_or(0)
+    }
+
+    /// Largest per-rank message count.
+    pub fn max_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).max().unwrap_or(0)
+    }
+
+    /// Largest per-rank byte count.
+    pub fn max_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).max().unwrap_or(0)
+    }
+}
+
+/// A rank's handle onto the virtual machine. One per spawned worker.
+pub struct Rank {
+    id: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Out-of-order messages parked until a matching recv.
+    stash: VecDeque<Message>,
+    counters: Arc<Vec<RankCounters>>,
+}
+
+impl Rank {
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of ranks in the machine.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Attribute `flops` floating-point operations to this rank (analytic
+    /// accounting used by the cost model).
+    #[inline]
+    pub fn count_flops(&self, flops: u64) {
+        self.counters[self.id].flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Blocking tagged send of an `f64` payload.
+    pub fn send(&self, to: usize, tag: u64, payload: &[f64]) {
+        assert!(to < self.size, "send to rank {to} out of range");
+        assert_ne!(to, self.id, "self-sends are not modelled (copy locally)");
+        let c = &self.counters[self.id];
+        c.messages_sent.fetch_add(1, Ordering::Relaxed);
+        c.bytes_sent.fetch_add(8 * payload.len() as u64, Ordering::Relaxed);
+        self.senders[to]
+            .send(Message { from: self.id, tag, payload: payload.to_vec() })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking tagged receive from a specific source rank.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        // Check the stash for an already-arrived match.
+        if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+            return self.stash.remove(pos).expect("position valid").payload;
+        }
+        loop {
+            let m = self.receiver.recv().expect("all peers hung up");
+            if m.from == from && m.tag == tag {
+                return m.payload;
+            }
+            self.stash.push_back(m);
+        }
+    }
+
+    /// Barrier: linear gather to rank 0 followed by a broadcast.
+    pub fn barrier(&mut self, tag: u64) {
+        if self.id == 0 {
+            for r in 1..self.size {
+                let _ = self.recv(r, tag);
+            }
+            for r in 1..self.size {
+                self.send(r, tag, &[]);
+            }
+        } else {
+            self.send(0, tag, &[]);
+            let _ = self.recv(0, tag);
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank (binomial tree:
+    /// ⌈log₂ P⌉ rounds, P − 1 messages total).
+    pub fn broadcast(&mut self, root: usize, tag: u64, data: &mut Vec<f64>) {
+        // Re-index so the root is virtual rank 0. In the binomial tree the
+        // parent of virtual rank v > 0 is v with its lowest set bit cleared;
+        // the children of v are v + m for every power of two m below v's
+        // lowest set bit (below the tree size for the root).
+        let vrank = (self.id + self.size - root) % self.size;
+        if vrank != 0 {
+            let b = lowest_set_bit_or_size(vrank, self.size);
+            let parent = (vrank - b + root) % self.size;
+            *data = self.recv(parent, tag);
+        }
+        let top = lowest_set_bit_or_size(vrank, self.size);
+        let mut m = top >> 1;
+        while m >= 1 {
+            let child = vrank + m;
+            if child < self.size {
+                let dest = (child + root) % self.size;
+                self.send(dest, tag, data);
+            }
+            m >>= 1;
+        }
+    }
+
+    /// Element-wise sum-allreduce (reduce to 0, broadcast back).
+    pub fn allreduce_sum(&mut self, tag: u64, data: &mut Vec<f64>) {
+        if self.id == 0 {
+            for r in 1..self.size {
+                let other = self.recv(r, tag);
+                assert_eq!(other.len(), data.len(), "allreduce length mismatch");
+                for (a, b) in data.iter_mut().zip(&other) {
+                    *a += b;
+                }
+            }
+        } else {
+            self.send(0, tag, data);
+        }
+        self.broadcast(0, tag.wrapping_add(1), data);
+    }
+
+    /// Gather variable-length chunks to `root`; returns all chunks in rank
+    /// order on the root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, tag: u64, chunk: &[f64]) -> Option<Vec<Vec<f64>>> {
+        if self.id == root {
+            let mut all: Vec<Vec<f64>> = vec![Vec::new(); self.size];
+            all[root] = chunk.to_vec();
+            for r in 0..self.size {
+                if r != root {
+                    all[r] = self.recv(r, tag);
+                }
+            }
+            Some(all)
+        } else {
+            self.send(root, tag, chunk);
+            None
+        }
+    }
+
+    /// All ranks end up with every rank's chunk (gather + broadcast of the
+    /// concatenation with a length header).
+    pub fn allgather(&mut self, tag: u64, chunk: &[f64]) -> Vec<Vec<f64>> {
+        let gathered = self.gather(0, tag, chunk);
+        let mut flat: Vec<f64> = Vec::new();
+        if let Some(parts) = &gathered {
+            // Header: size lengths, then the concatenated payloads.
+            flat.extend(parts.iter().map(|p| p.len() as f64));
+            for p in parts {
+                flat.extend_from_slice(p);
+            }
+        }
+        self.broadcast(0, tag.wrapping_add(1), &mut flat);
+        // Decode.
+        let lens: Vec<usize> = flat[..self.size].iter().map(|&x| x as usize).collect();
+        let mut out = Vec::with_capacity(self.size);
+        let mut off = self.size;
+        for len in lens {
+            out.push(flat[off..off + len].to_vec());
+            off += len;
+        }
+        out
+    }
+
+    /// Scatter `chunks` (given on the root) so rank `r` receives chunk `r`.
+    pub fn scatter(&mut self, root: usize, tag: u64, chunks: Option<&[Vec<f64>]>) -> Vec<f64> {
+        if self.id == root {
+            let chunks = chunks.expect("root must supply chunks");
+            assert_eq!(chunks.len(), self.size);
+            for (r, c) in chunks.iter().enumerate() {
+                if r != root {
+                    self.send(r, tag, c);
+                }
+            }
+            chunks[root].clone()
+        } else {
+            self.recv(root, tag)
+        }
+    }
+}
+
+/// Lowest set bit of `v`, or `size.next_power_of_two()` for `v == 0`.
+fn lowest_set_bit_or_size(v: usize, size: usize) -> usize {
+    if v == 0 {
+        size.next_power_of_two()
+    } else {
+        v & v.wrapping_neg()
+    }
+}
+
+/// Run `f` on `n_ranks` virtual ranks (one OS thread each) and collect the
+/// per-rank return values plus the traffic statistics.
+pub fn vmp_run<T, F>(n_ranks: usize, f: F) -> (Vec<T>, VmpStats)
+where
+    T: Send,
+    F: Fn(Rank) -> T + Sync,
+{
+    assert!(n_ranks >= 1, "need at least one rank");
+    let counters: Arc<Vec<RankCounters>> =
+        Arc::new((0..n_ranks).map(|_| RankCounters::default()).collect());
+    let mut senders = Vec::with_capacity(n_ranks);
+    let mut receivers = Vec::with_capacity(n_ranks);
+    for _ in 0..n_ranks {
+        let (s, r) = unbounded::<Message>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_ranks);
+        for (id, receiver) in receivers.into_iter().enumerate() {
+            let rank = Rank {
+                id,
+                size: n_ranks,
+                senders: senders.clone(),
+                receiver,
+                stash: VecDeque::new(),
+                counters: Arc::clone(&counters),
+            };
+            let fref = &f;
+            handles.push(scope.spawn(move |_| fref(rank)));
+        }
+        for (id, h) in handles.into_iter().enumerate() {
+            results[id] = Some(h.join().expect("rank panicked"));
+        }
+    })
+    .expect("vmp scope failed");
+    let stats = VmpStats {
+        ranks: counters
+            .iter()
+            .map(|c| RankStats {
+                messages_sent: c.messages_sent.load(Ordering::Relaxed),
+                bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+                flops: c.flops.load(Ordering::Relaxed),
+            })
+            .collect(),
+    };
+    (results.into_iter().map(|r| r.expect("rank result")).collect(), stats)
+}
+
+/// Evenly partition `n` items over `size` ranks; returns rank `r`'s
+/// half-open range. The first `n % size` ranks get one extra item.
+pub fn partition_range(n: usize, size: usize, r: usize) -> std::ops::Range<usize> {
+    let base = n / size;
+    let extra = n % size;
+    let start = r * base + r.min(extra);
+    let len = base + usize::from(r < extra);
+    start..(start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything() {
+        for n in [0usize, 1, 7, 64, 65] {
+            for p in [1usize, 2, 3, 8, 16] {
+                let mut covered = vec![false; n];
+                for r in 0..p {
+                    for i in partition_range(n, p, r) {
+                        assert!(!covered[i], "double coverage of {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balanced() {
+        for r in 0..5 {
+            let range = partition_range(17, 5, r);
+            let len = range.end - range.start;
+            assert!((3..=4).contains(&len));
+        }
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let (results, stats) = vmp_run(2, |mut rank| {
+            if rank.id() == 0 {
+                rank.send(1, 7, &[1.0, 2.0, 3.0]);
+                rank.recv(1, 8)
+            } else {
+                let got = rank.recv(0, 7);
+                rank.send(0, 8, &[got.iter().sum()]);
+                got
+            }
+        });
+        assert_eq!(results[0], vec![6.0]);
+        assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
+        assert_eq!(stats.total_messages(), 2);
+        assert_eq!(stats.total_bytes(), 8 * 4);
+    }
+
+    #[test]
+    fn tagged_out_of_order_delivery() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let (results, _) = vmp_run(2, |mut rank| {
+            if rank.id() == 0 {
+                rank.send(1, 2, &[22.0]);
+                rank.send(1, 1, &[11.0]);
+                vec![]
+            } else {
+                let first = rank.recv(0, 1);
+                let second = rank.recv(0, 2);
+                vec![first[0], second[0]]
+            }
+        });
+        assert_eq!(results[1], vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn broadcast_all_sizes() {
+        for p in 1..=9 {
+            for root in [0, p - 1, p / 2] {
+                let (results, _) = vmp_run(p, move |mut rank| {
+                    let mut data = if rank.id() == root {
+                        vec![3.5, -1.0, 2.0]
+                    } else {
+                        vec![]
+                    };
+                    rank.broadcast(root, 40, &mut data);
+                    data
+                });
+                for (r, v) in results.iter().enumerate() {
+                    assert_eq!(v, &vec![3.5, -1.0, 2.0], "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        for p in 1..=8 {
+            let (results, _) = vmp_run(p, move |mut rank| {
+                let mut data = vec![rank.id() as f64, 1.0];
+                rank.allreduce_sum(50, &mut data);
+                data
+            });
+            let expect0 = (0..p).map(|r| r as f64).sum::<f64>();
+            for v in results {
+                assert_eq!(v, vec![expect0, p as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_allgather() {
+        let (results, _) = vmp_run(4, |mut rank| {
+            let chunk = vec![rank.id() as f64; rank.id() + 1];
+            let g = rank.gather(0, 60, &chunk);
+            let ag = rank.allgather(62, &chunk);
+            (g, ag)
+        });
+        let expected: Vec<Vec<f64>> =
+            (0..4).map(|r| vec![r as f64; r + 1]).collect();
+        assert_eq!(results[0].0.as_ref().unwrap(), &expected);
+        assert!(results[1].0.is_none());
+        for (g, ag) in &results {
+            let _ = g;
+            assert_eq!(ag, &expected);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes() {
+        let (results, _) = vmp_run(3, |mut rank| {
+            let chunks: Option<Vec<Vec<f64>>> = if rank.id() == 1 {
+                Some((0..3).map(|r| vec![r as f64 * 10.0]).collect())
+            } else {
+                None
+            };
+            rank.scatter(1, 70, chunks.as_deref())
+        });
+        assert_eq!(results[0], vec![0.0]);
+        assert_eq!(results[1], vec![10.0]);
+        assert_eq!(results[2], vec![20.0]);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let (results, _) = vmp_run(5, |mut rank| {
+            rank.barrier(80);
+            rank.barrier(81);
+            rank.id()
+        });
+        assert_eq!(results, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let (_, stats) = vmp_run(3, |rank| {
+            rank.count_flops(100 * (rank.id() as u64 + 1));
+        });
+        assert_eq!(stats.ranks[0].flops, 100);
+        assert_eq!(stats.ranks[2].flops, 300);
+        assert_eq!(stats.max_flops(), 300);
+    }
+
+    #[test]
+    fn single_rank_no_traffic() {
+        let (results, stats) = vmp_run(1, |mut rank| {
+            rank.barrier(1);
+            let mut d = vec![5.0];
+            rank.allreduce_sum(2, &mut d);
+            let ag = rank.allgather(3, &[7.0]);
+            (d, ag)
+        });
+        assert_eq!(results[0].0, vec![5.0]);
+        assert_eq!(results[0].1, vec![vec![7.0]]);
+        assert_eq!(stats.total_messages(), 0);
+    }
+}

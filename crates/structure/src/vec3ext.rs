@@ -1,0 +1,56 @@
+//! Small numeric helpers shared by the cell and builder code.
+
+/// Wrap a scalar coordinate into `[0, l)`.
+///
+/// `rem_euclid` alone can return exactly `l` when `x` is a tiny negative
+/// number (e.g. `-1e-17_f64.rem_euclid(5.0) == 5.0` after rounding), which
+/// would violate the half-open interval; the final branch guards that.
+#[inline]
+pub fn wrap_component(x: f64, l: f64) -> f64 {
+    debug_assert!(l > 0.0);
+    let w = x.rem_euclid(l);
+    if w >= l {
+        0.0
+    } else {
+        w
+    }
+}
+
+/// Greatest common divisor (used by the nanotube index arithmetic).
+pub fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_basics() {
+        assert_eq!(wrap_component(0.0, 5.0), 0.0);
+        assert_eq!(wrap_component(5.0, 5.0), 0.0);
+        assert_eq!(wrap_component(-0.5, 5.0), 4.5);
+        assert_eq!(wrap_component(12.5, 5.0), 2.5);
+    }
+
+    #[test]
+    fn wrap_stays_in_half_open_interval() {
+        for &x in &[-1e-17, -5.0, 4.999999999999999, 1e9, -1e9] {
+            let w = wrap_component(x, 5.0);
+            assert!((0.0..5.0).contains(&w), "wrap({x}) = {w} out of range");
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(20, 10), 10);
+    }
+}

@@ -1,0 +1,222 @@
+//! Verlet (skin) neighbour lists: amortize list construction across MD
+//! steps.
+//!
+//! The list is built with an enlarged radius `cutoff + skin`; it remains a
+//! superset of the true neighbour list until some atom has moved more than
+//! `skin/2`, at which point it is rebuilt. Between rebuilds only the cached
+//! displacement vectors are refreshed (O(entries), minimum-image), not the
+//! spatial search.
+//!
+//! For the dense TBMD engines the O(N³) diagonalization makes list cost
+//! irrelevant, but for the O(N) engine and for classical-repulsion-only
+//! passes the skin list removes the per-step linked-cell rebuild.
+//!
+//! Restriction: requires the *unique-image* regime `cutoff + skin ≤ L/2` on
+//! periodic axes (asserted), because refreshed displacements use the
+//! minimum-image convention. Small multi-image cells should rebuild plain
+//! [`NeighborList`]s instead.
+
+use crate::neighbors::NeighborList;
+use crate::structure::Structure;
+use tbmd_linalg::Vec3;
+
+/// A self-maintaining skin neighbour list.
+#[derive(Debug, Clone)]
+pub struct VerletNeighborList {
+    cutoff: f64,
+    skin: f64,
+    list: NeighborList,
+    reference_positions: Vec<Vec3>,
+    rebuild_count: usize,
+}
+
+impl VerletNeighborList {
+    /// Build the initial list.
+    ///
+    /// # Panics
+    /// Panics if `cutoff + skin` violates the unique-image condition of the
+    /// structure's cell.
+    pub fn new(s: &Structure, cutoff: f64, skin: f64) -> Self {
+        assert!(cutoff > 0.0 && skin >= 0.0);
+        assert!(
+            s.cell().supports_cutoff(cutoff + skin),
+            "cutoff+skin exceeds half the smallest periodic edge; use NeighborList::build per step"
+        );
+        VerletNeighborList {
+            cutoff,
+            skin,
+            list: NeighborList::build(s, cutoff + skin),
+            reference_positions: s.positions().to_vec(),
+            rebuild_count: 1,
+        }
+    }
+
+    /// The true interaction cutoff.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Number of full rebuilds performed so far (including the initial one).
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuild_count
+    }
+
+    /// Whether the current positions invalidate the skin guarantee.
+    pub fn needs_rebuild(&self, s: &Structure) -> bool {
+        let half_skin_sq = (0.5 * self.skin) * (0.5 * self.skin);
+        s.positions()
+            .iter()
+            .zip(&self.reference_positions)
+            .any(|(&now, &then)| s.cell().displacement(then, now).norm_sq() > half_skin_sq)
+    }
+
+    /// Bring the list up to date with the structure: full rebuild if the
+    /// skin is exhausted, otherwise an O(entries) displacement refresh.
+    /// Returns `true` when a full rebuild happened.
+    pub fn update(&mut self, s: &Structure) -> bool {
+        if self.needs_rebuild(s) {
+            self.list = NeighborList::build(s, self.cutoff + self.skin);
+            self.reference_positions = s.positions().to_vec();
+            self.rebuild_count += 1;
+            true
+        } else {
+            self.refresh_displacements(s);
+            false
+        }
+    }
+
+    /// Recompute each entry's displacement/distance from current positions
+    /// (minimum image — valid under the constructor's unique-image
+    /// restriction).
+    fn refresh_displacements(&mut self, s: &Structure) {
+        let cell = *s.cell();
+        let positions = s.positions().to_vec();
+        for i in 0..self.list.n_atoms() {
+            let ri = positions[i];
+            // Safety of indices: the list was built for this structure size;
+            // NeighborList has no mutation API for entries, so rebuild them
+            // through the internal accessor.
+            for nb in self.list.neighbors_mut(i) {
+                let d = cell.displacement(ri, positions[nb.j]);
+                nb.disp = d;
+                nb.dist = d.norm();
+            }
+        }
+    }
+
+    /// Entries of atom `i` **within the skin radius**; consumers must filter
+    /// by `entry.dist <= cutoff()` (the radial cutoff functions of the TB
+    /// models already vanish beyond the cutoff, so the filter is usually
+    /// implicit).
+    pub fn neighbors(&self, i: usize) -> &[crate::neighbors::Neighbor] {
+        self.list.neighbors(i)
+    }
+
+    /// Access the underlying (skin-radius) list.
+    pub fn as_neighbor_list(&self) -> &NeighborList {
+        &self.list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::bulk_diamond;
+    use crate::species::Species;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Sets of (i, j) pairs within the true cutoff must agree between a
+    /// fresh build and an updated skin list.
+    fn assert_equivalent_within_cutoff(s: &Structure, skin_list: &VerletNeighborList, cutoff: f64) {
+        // In the unique-image regime a pair (i, j) has at most one image
+        // within the cutoff, so `j` alone identifies an entry. (The stored
+        // `shift` labels depend on the wrapping at build time and may
+        // legitimately differ between builds after atoms drift.)
+        let fresh = NeighborList::build(s, cutoff);
+        for i in 0..s.n_atoms() {
+            let mut a: Vec<usize> = fresh.neighbors(i).iter().map(|n| n.j).collect();
+            let mut b: Vec<usize> = skin_list
+                .neighbors(i)
+                .iter()
+                .filter(|n| n.dist <= cutoff)
+                .map(|n| n.j)
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "pair sets differ at atom {i}");
+            // Distances and displacements agree too.
+            for nb in skin_list.neighbors(i).iter().filter(|n| n.dist <= cutoff) {
+                let want = fresh
+                    .neighbors(i)
+                    .iter()
+                    .find(|m| m.j == nb.j)
+                    .expect("matching entry");
+                assert!((nb.dist - want.dist).abs() < 1e-10);
+                assert!((nb.disp - want.disp).norm() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_to_fresh_builds_during_random_walk() {
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let cutoff = 3.2;
+        let mut vl = VerletNeighborList::new(&s, cutoff, 0.6);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _step in 0..12 {
+            // Random displacements comparable to an MD step.
+            for r in s.positions_mut() {
+                *r += Vec3::new(
+                    rng.gen_range(-0.06..0.06),
+                    rng.gen_range(-0.06..0.06),
+                    rng.gen_range(-0.06..0.06),
+                );
+            }
+            vl.update(&s);
+            assert_equivalent_within_cutoff(&s, &vl, cutoff);
+        }
+    }
+
+    #[test]
+    fn no_rebuild_for_small_motion() {
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut vl = VerletNeighborList::new(&s, 3.2, 1.0);
+        assert_eq!(vl.rebuild_count(), 1);
+        for r in s.positions_mut() {
+            *r += Vec3::new(0.05, 0.0, 0.0);
+        }
+        assert!(!vl.needs_rebuild(&s));
+        assert!(!vl.update(&s));
+        assert_eq!(vl.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn rebuild_triggered_by_large_motion() {
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut vl = VerletNeighborList::new(&s, 3.2, 0.4);
+        s.positions_mut()[3] += Vec3::new(0.3, 0.0, 0.0); // > skin/2 = 0.2
+        assert!(vl.needs_rebuild(&s));
+        assert!(vl.update(&s));
+        assert_eq!(vl.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn displacement_refresh_without_rebuild_is_exact() {
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let cutoff = 3.0;
+        let mut vl = VerletNeighborList::new(&s, cutoff, 0.8);
+        for r in s.positions_mut() {
+            *r += Vec3::new(0.1, -0.05, 0.02);
+        }
+        assert!(!vl.update(&s), "uniform translation must not trigger rebuild");
+        assert_equivalent_within_cutoff(&s, &vl, cutoff);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_multi_image_regime() {
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1); // edge 5.43 Å
+        let _ = VerletNeighborList::new(&s, 3.5, 0.5); // 4.0 > L/2
+    }
+}

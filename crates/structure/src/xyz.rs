@@ -1,0 +1,61 @@
+//! Minimal XYZ trajectory output — the lingua franca of MD visualization
+//! tools, and enough to inspect every simulation this project runs.
+
+use crate::structure::Structure;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Format a single XYZ frame (atom count, comment line, one `symbol x y z`
+/// line per atom).
+pub fn format_xyz_frame(s: &Structure, comment: &str) -> String {
+    let mut out = String::with_capacity(s.n_atoms() * 48 + 64);
+    let comment = comment.replace('\n', " ");
+    let _ = writeln!(out, "{}", s.n_atoms());
+    let _ = writeln!(out, "{comment}");
+    for i in 0..s.n_atoms() {
+        let r = s.position(i);
+        let _ = writeln!(out, "{:<2} {:>14.8} {:>14.8} {:>14.8}", s.species(i).symbol(), r.x, r.y, r.z);
+    }
+    out
+}
+
+/// Append one frame to a writer (e.g. an open trajectory file).
+pub fn write_xyz_frame<W: Write>(w: &mut W, s: &Structure, comment: &str) -> io::Result<()> {
+    w.write_all(format_xyz_frame(s, comment).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::dimer;
+    use crate::species::Species;
+
+    #[test]
+    fn frame_layout() {
+        let s = dimer(Species::Silicon, 2.35);
+        let f = format_xyz_frame(&s, "test frame");
+        let lines: Vec<&str> = f.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "2");
+        assert_eq!(lines[1], "test frame");
+        assert!(lines[2].starts_with("Si"));
+        assert!(lines[3].contains("2.35"));
+    }
+
+    #[test]
+    fn newlines_in_comment_sanitized() {
+        let s = dimer(Species::Carbon, 1.3);
+        let f = format_xyz_frame(&s, "bad\ncomment");
+        assert_eq!(f.lines().count(), 4, "embedded newline must not add a line");
+    }
+
+    #[test]
+    fn write_to_buffer() {
+        let s = dimer(Species::Carbon, 1.3);
+        let mut buf = Vec::new();
+        write_xyz_frame(&mut buf, &s, "c").unwrap();
+        write_xyz_frame(&mut buf, &s, "c").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 8);
+    }
+}

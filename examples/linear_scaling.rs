@@ -1,0 +1,55 @@
+//! O(N) versus O(N³): the Chebyshev Fermi-operator engine against exact
+//! diagonalization across system sizes — the 1994 linear-scaling frontier.
+//!
+//! For each Si supercell size the example measures wall-clock per force
+//! evaluation for the dense serial engine and the localized O(N) engine,
+//! along with the O(N) energy error per atom. The crossover where the
+//! linear method wins moves down as machines slow down — on the era
+//! hardware it sat at a few hundred atoms.
+//!
+//! Run with: `cargo run --release --example linear_scaling [-- max_reps]`
+
+use std::time::Instant;
+use tbmd::{silicon_gsp, ForceProvider, LinearScalingTb, OccupationScheme, Species, TbCalculator};
+
+fn main() {
+    let max_reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let kt = 0.3;
+    let model = silicon_gsp();
+    let dense = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt });
+
+    println!("engine comparison on Si diamond supercells (kT = {kt} eV):\n");
+    println!("    N    dense t/s    O(N) t/s    |ΔE|/atom/eV   ops/atom");
+    for reps in 1..=max_reps {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+        let n = s.n_atoms();
+
+        let t0 = Instant::now();
+        let dense_result = dense.compute(&s).expect("dense evaluation");
+        let t_dense = t0.elapsed().as_secs_f64();
+        let e_dense = dense_result.band_energy + dense_result.repulsive_energy;
+
+        let engine = LinearScalingTb::new(&model)
+            .with_kt(kt)
+            .with_order(200)
+            .with_r_loc(5.0);
+        let t0 = Instant::now();
+        let on_result = engine.evaluate(&s).expect("O(N) evaluation");
+        let t_on = t0.elapsed().as_secs_f64();
+        let report = engine.last_report().expect("report");
+
+        println!(
+            "  {:4}   {:9.3}   {:9.3}    {:12.4}   {:9.0}",
+            n,
+            t_dense,
+            t_on,
+            (on_result.energy - e_dense).abs() / n as f64,
+            report.total_matvec_ops as f64 / n as f64,
+        );
+    }
+    println!("\nReading the table:");
+    println!("  · dense time grows ~N³ (diagonalization), O(N) time ~N at fixed radius;");
+    println!("  · ops/atom is flat for the O(N) engine — the linear-scaling signature;");
+    println!("  · the energy error is the density-matrix truncation error (gapped Si");
+    println!("    converges exponentially in the localization radius).");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: tight-binding molecular dynamics of a silicon crystal in
+//! five minutes.
+//!
+//! Builds an 8-atom Si diamond cell, runs 50 fs of microcanonical (NVE)
+//! dynamics at 300 K with the serial engine, and prints the energy ledger
+//! every 10 steps — watch the total stay flat while kinetic and potential
+//! trade places.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tbmd::{
+    maxwell_boltzmann, silicon_gsp, MdState, Species, TbCalculator, VelocityVerlet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A structure: the 8-atom conventional diamond cell of silicon.
+    let structure = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+    println!(
+        "system: {} Si atoms, {} orbitals, {} valence electrons",
+        structure.n_atoms(),
+        structure.n_orbitals(),
+        structure.n_electrons()
+    );
+
+    // 2. A model + engine: the GSP/Kwon silicon parametrization, serial.
+    let model = silicon_gsp();
+    let calc = TbCalculator::new(&model);
+
+    // 3. Maxwell–Boltzmann velocities at 300 K and an MD state.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let velocities = maxwell_boltzmann(&structure, 300.0, &mut rng);
+    let mut state = MdState::new(structure, velocities, &calc).expect("initial forces");
+
+    // 4. Velocity-Verlet NVE dynamics, 1 fs timestep.
+    let integrator = VelocityVerlet::new(1.0);
+    let e0 = state.total_energy();
+    println!("\n  step   time/fs     T/K     E_pot/eV     E_kin/eV     E_tot/eV    drift/meV");
+    for step in 1..=50 {
+        integrator.step(&mut state, &calc).expect("md step");
+        if step % 10 == 0 {
+            println!(
+                "  {:4}   {:7.1}  {:7.1}   {:10.4}   {:10.4}   {:10.4}   {:9.3}",
+                step,
+                state.time_fs,
+                state.temperature(),
+                state.potential_energy,
+                state.kinetic_energy(),
+                state.total_energy(),
+                (state.total_energy() - e0) * 1e3,
+            );
+        }
+    }
+    println!("\nNVE total-energy drift over 50 fs: {:.3} meV", (state.total_energy() - e0) * 1e3);
+}

@@ -1,0 +1,8 @@
+//! # tbmd-repro
+//!
+//! Reproduction package for the `tbmd` workspace: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//! All functionality lives in the `tbmd` facade crate and its components —
+//! this crate only re-exports it for the examples' convenience.
+
+pub use tbmd::*;

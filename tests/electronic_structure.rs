@@ -1,0 +1,100 @@
+//! Integration tests for the electronic-structure extensions: band
+//! structures, k-point sampling, stress, non-orthogonal TB and phonons used
+//! together through the public API.
+
+use tbmd::model::{
+    band_energies, band_gap, folding_grid, monkhorst_pack, stress_tensor, KPointCalculator,
+    NonOrthoCalculator,
+};
+use tbmd::{
+    normal_modes, pressure, silicon_gsp, silicon_nonortho_demo, ForceProvider, OccupationScheme,
+    Species, TbCalculator, Vec3,
+};
+
+/// The k-sampled calculator, the Γ supercell calculator and the band-energy
+/// API must tell one consistent story about the same crystal.
+#[test]
+fn kpoints_bands_and_supercells_agree() {
+    let model = silicon_gsp();
+    let primitive = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+    // Folding identity via the public facade.
+    let grid = folding_grid(&primitive, [2, 2, 2]);
+    let e_k = KPointCalculator::new(&model, grid, 0.1)
+        .evaluate(&primitive)
+        .unwrap()
+        .energy
+        / 8.0;
+    let supercell = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+    let e_g = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 })
+        .evaluate(&supercell)
+        .unwrap()
+        .energy
+        / 64.0;
+    assert!((e_k - e_g).abs() < 1e-7, "folding identity: {e_k} vs {e_g}");
+
+    // The occupied bandwidth from band_energies at Γ matches the supercell
+    // spectrum's span.
+    let gamma_bands = band_energies(&primitive, &model, Vec3::ZERO).unwrap();
+    assert_eq!(gamma_bands.len(), 32);
+    assert!(gamma_bands[0] < -10.0 && *gamma_bands.last().unwrap() > 3.0);
+}
+
+/// Band gap from a sampled path is stable against adding more k-points
+/// (can only shrink or hold as sampling refines).
+#[test]
+fn gap_monotone_under_refinement() {
+    let model = silicon_gsp();
+    let s = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+    let g = 2.0 * std::f64::consts::PI / s.cell().lengths.x;
+    let coarse: Vec<Vec3> = (0..4).map(|i| Vec3::new(g * i as f64 / 8.0, 0.0, 0.0)).collect();
+    let fine: Vec<Vec3> = (0..16).map(|i| Vec3::new(g * i as f64 / 32.0, 0.0, 0.0)).collect();
+    let bands_of = |ks: &[Vec3]| -> f64 {
+        let bands: Vec<Vec<f64>> = ks
+            .iter()
+            .map(|&k| band_energies(&s, &model, k).unwrap())
+            .collect();
+        band_gap(&bands, s.n_electrons()).unwrap()
+    };
+    let gap_coarse = bands_of(&coarse);
+    let gap_fine = bands_of(&fine);
+    assert!(gap_fine <= gap_coarse + 1e-9);
+    assert!(gap_fine > 0.0, "Si must stay gapped on this line");
+}
+
+/// Stress from the public API: equilibrium ≈ 0, and the k-point-free Γ
+/// result responds correctly to strain sign.
+#[test]
+fn stress_signs_through_facade() {
+    let model = silicon_gsp();
+    let kt = OccupationScheme::Fermi { kt: 0.1 };
+    let squeezed = tbmd::structure::bulk_diamond_with_bond(Species::Silicon, 2.25, 1, 1, 1);
+    let stretched = tbmd::structure::bulk_diamond_with_bond(Species::Silicon, 2.45, 1, 1, 1);
+    assert!(pressure(&stress_tensor(&squeezed, &model, kt).unwrap()) > 0.0);
+    assert!(pressure(&stress_tensor(&stretched, &model, kt).unwrap()) < 0.0);
+}
+
+/// The non-orthogonal calculator drives relaxation like any other engine.
+#[test]
+fn nonortho_engine_relaxes_dimer() {
+    let model = silicon_nonortho_demo();
+    let calc = NonOrthoCalculator::new(&model);
+    let mut s = tbmd::structure::dimer(Species::Silicon, 2.9);
+    let opts = tbmd::RelaxOptions { force_tolerance: 5e-3, ..Default::default() };
+    let result = tbmd::md::relax(&mut s, &calc, &opts).unwrap();
+    assert!(result.converged);
+    let d = s.distance(0, 1);
+    assert!(d > 2.0 && d < 2.8, "non-ortho dimer relaxed to {d} Å");
+}
+
+/// Phonons of a k-point-converged structure: the MP-sampled calculator can
+/// feed the normal-mode machinery (any ForceProvider works).
+#[test]
+fn phonons_from_kpoint_calculator() {
+    let model = silicon_gsp();
+    let s = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+    let kcalc = KPointCalculator::new(&model, monkhorst_pack(&s, [2, 2, 2]), 0.1);
+    let modes = normal_modes(&s, &kcalc, 1e-3).unwrap();
+    assert_eq!(modes.frequencies_thz.len(), 24);
+    assert_eq!(modes.n_zero_modes(0.8), 3, "{:?}", &modes.frequencies_thz[..5]);
+    assert!(modes.is_stable(1e-2));
+}

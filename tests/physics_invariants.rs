@@ -1,0 +1,108 @@
+//! Property-based integration tests on physical invariants of the full
+//! stack: translation/rotation symmetry of energies, Newton's third law,
+//! and engine equivalence under random perturbations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species, TbCalculator, Vec3};
+
+fn perturbed_cell(seed: u64, amplitude: f64) -> tbmd::Structure {
+    let mut s = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    s.perturb(&mut rng, amplitude);
+    s
+}
+
+fn free_cluster(seed: u64) -> tbmd::Structure {
+    // A 5-atom Si cluster: tetrahedron + centre, perturbed.
+    let d = 2.35;
+    let mut s = tbmd::Structure::homogeneous(
+        Species::Silicon,
+        vec![
+            Vec3::ZERO,
+            Vec3::new(d, d, 0.0) / 3.0f64.sqrt(),
+            Vec3::new(d, 0.0, d) / 3.0f64.sqrt(),
+            Vec3::new(0.0, d, d) / 3.0f64.sqrt(),
+            Vec3::new(d, d, d) * (2.0 / 3.0f64.sqrt() / 2.0),
+        ],
+        tbmd::Cell::cluster(),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    s.perturb(&mut rng, 0.1);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn energy_invariant_under_translation(seed in 0u64..50, dx in -2.0f64..2.0, dy in -2.0f64..2.0, dz in -2.0f64..2.0) {
+        let model = silicon_gsp();
+        let calc = TbCalculator::new(&model);
+        let s = free_cluster(seed);
+        let e0 = calc.energy_only(&s).unwrap();
+        let mut t = s.clone();
+        for r in t.positions_mut() {
+            *r += Vec3::new(dx, dy, dz);
+        }
+        let e1 = calc.energy_only(&t).unwrap();
+        prop_assert!((e0 - e1).abs() < 1e-8, "translation changed energy: {} vs {}", e0, e1);
+    }
+
+    #[test]
+    fn energy_invariant_under_rotation(seed in 0u64..50, angle in 0.0f64..6.28) {
+        let model = silicon_gsp();
+        let calc = TbCalculator::new(&model);
+        let s = free_cluster(seed);
+        let e0 = calc.energy_only(&s).unwrap();
+        let (c, sn) = (angle.cos(), angle.sin());
+        let mut t = s.clone();
+        for r in t.positions_mut() {
+            *r = Vec3::new(c * r.x - sn * r.y, sn * r.x + c * r.y, r.z);
+        }
+        let e1 = calc.energy_only(&t).unwrap();
+        prop_assert!((e0 - e1).abs() < 1e-7, "rotation changed energy: {} vs {}", e0, e1);
+    }
+
+    #[test]
+    fn forces_sum_to_zero(seed in 0u64..50, amplitude in 0.0f64..0.15) {
+        let model = silicon_gsp();
+        let calc = TbCalculator::new(&model);
+        let s = perturbed_cell(seed, amplitude);
+        let eval = calc.evaluate(&s).unwrap();
+        let net: Vec3 = eval.forces.iter().copied().sum();
+        prop_assert!(net.max_abs() < 1e-7, "net force {:?}", net);
+    }
+
+    #[test]
+    fn torque_free_cluster(seed in 0u64..30) {
+        // Free clusters must also have zero net torque (rotational
+        // invariance of the potential).
+        let model = silicon_gsp();
+        let calc = TbCalculator::new(&model);
+        let s = free_cluster(seed);
+        let eval = calc.evaluate(&s).unwrap();
+        let torque: Vec3 = s
+            .positions()
+            .iter()
+            .zip(&eval.forces)
+            .map(|(&r, &f)| r.cross(f))
+            .sum();
+        prop_assert!(torque.max_abs() < 1e-7, "net torque {:?}", torque);
+    }
+
+    #[test]
+    fn distributed_engine_matches_serial_on_random_cells(seed in 0u64..20, ranks in 1usize..5) {
+        let model = silicon_gsp();
+        let serial = TbCalculator::new(&model);
+        let dist = DistributedTb::new(&model, ranks);
+        let s = perturbed_cell(seed + 1000, 0.1);
+        let a = serial.evaluate(&s).unwrap();
+        let b = dist.evaluate(&s).unwrap();
+        prop_assert!((a.energy - b.energy).abs() < 1e-6);
+        for (fa, fb) in a.forces.iter().zip(&b.forces) {
+            prop_assert!((*fa - *fb).max_abs() < 1e-5);
+        }
+    }
+}
