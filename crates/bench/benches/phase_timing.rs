@@ -32,7 +32,11 @@ fn bench_phases(c: &mut Criterion) {
             b.iter(|| tbmd::linalg::eigh((*h).clone()).unwrap())
         });
         let eig = tbmd::linalg::eigh(h.clone()).unwrap();
-        let occ = occupations(&eig.values, s.n_electrons(), OccupationScheme::Fermi { kt: 0.1 });
+        let occ = occupations(
+            &eig.values,
+            s.n_electrons(),
+            OccupationScheme::Fermi { kt: 0.1 },
+        );
         group.bench_with_input(BenchmarkId::new("density_matrix", n), &eig, |b, eig| {
             b.iter(|| density_matrix(&eig.vectors, &occ.f))
         });

@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_ablation`
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 use tbmd::parallel::{Eigensolver, SharedMemoryTb};
 use tbmd::{
@@ -19,8 +21,6 @@ use tbmd::{
 use tbmd_bench::{fmt_e, fmt_ms, fmt_s, print_table};
 use tbmd_model::TbModel;
 use tbmd_structure::NeighborList;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let model = silicon_gsp();
@@ -92,7 +92,11 @@ fn main() {
         let t0 = Instant::now();
         let eval = engine.evaluate(&s).expect("evaluation");
         let t = t0.elapsed();
-        rows.push(vec![label.to_string(), fmt_ms(t), format!("{:.6}", eval.energy)]);
+        rows.push(vec![
+            label.to_string(),
+            fmt_ms(t),
+            format!("{:.6}", eval.energy),
+        ]);
     }
     print_table(
         "Ablation (c): eigensolver in the shared-memory engine, Si-64",

@@ -18,7 +18,10 @@ fn main() {
     let model = carbon_xwch();
     let systems: Vec<(&str, tbmd::Structure)> = vec![
         ("C60 fullerene", tbmd_structure::fullerene_c60(1.44)),
-        ("(10,0) tube x2 (80 C)", tbmd_structure::nanotube(10, 0, 2, 1.42)),
+        (
+            "(10,0) tube x2 (80 C)",
+            tbmd_structure::nanotube(10, 0, 2, 1.42),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -55,13 +58,26 @@ fn main() {
             fmt_s(t_shared),
             fmt_s(t_dist),
             fmt_s(t_on),
-            fmt_e((sh_eval.energy - ref_eval.energy).abs().max((d_eval.energy - ref_eval.energy).abs())),
+            fmt_e(
+                (sh_eval.energy - ref_eval.energy)
+                    .abs()
+                    .max((d_eval.energy - ref_eval.energy).abs()),
+            ),
             fmt_e((on_eval.energy - e_band_rep).abs() / s.n_atoms() as f64),
         ]);
     }
     print_table(
         "F6: per-force-evaluation wall time by engine, carbon applications (this host)",
-        &["system", "N", "serial/s", "shared/s", "dist(P=4)/s", "O(N)/s", "max dense |ΔE|/eV", "O(N) |ΔE|/atom"],
+        &[
+            "system",
+            "N",
+            "serial/s",
+            "shared/s",
+            "dist(P=4)/s",
+            "O(N)/s",
+            "max dense |ΔE|/eV",
+            "O(N) |ΔE|/atom",
+        ],
         &rows,
     );
     println!("\nShape check: dense engines agree to round-off; the O(N) per-atom");

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p tbmd-bench --bin report_bands`
 
 use tbmd::model::{band_energies, band_gap, band_structure, density_of_states, k_path};
-use tbmd::{silicon_gsp, carbon_xwch, Species, Vec3};
+use tbmd::{carbon_xwch, silicon_gsp, Species, Vec3};
 use tbmd_bench::{fmt_f, print_table};
 
 fn main() {
@@ -54,7 +54,11 @@ fn main() {
         0.0,
     );
     let mut rows = Vec::new();
-    for (label, k) in [("Γ", Vec3::ZERO), ("K (Dirac)", k_dirac), ("K/2", k_dirac * 0.5)] {
+    for (label, k) in [
+        ("Γ", Vec3::ZERO),
+        ("K (Dirac)", k_dirac),
+        ("K/2", k_dirac * 0.5),
+    ] {
         let b = band_energies(&sheet, &c, k).expect("bands");
         let gap = band_gap(&[b], sheet.n_electrons()).expect("gap");
         rows.push(vec![label.to_string(), fmt_f(gap.abs(), 3)]);
@@ -72,7 +76,7 @@ fn main() {
     let dos = density_of_states(&eig, 0.4, 36);
     println!("\n== F7c: Si-64 electronic DOS (Gaussian σ = 0.4 eV) ==");
     for (e, d) in dos.iter().step_by(2) {
-        let bar: String = std::iter::repeat('#').take((d * 1.2) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (d * 1.2) as usize).collect();
         println!("  {e:7.2} eV  {d:6.2}  {bar}");
     }
     println!("\nShape check: valence band ~12 eV wide with the s/p gap structure of");

@@ -63,11 +63,13 @@ fn main() {
         let t_ql = t0.elapsed();
         // Cyclic Jacobi.
         let t0 = Instant::now();
-        let (cyc, cyc_stats) = jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).expect("Jacobi");
+        let (cyc, cyc_stats) =
+            jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).expect("Jacobi");
         let t_cyc = t0.elapsed();
         // Parallel-ordered Jacobi.
         let t0 = Instant::now();
-        let (par, _) = par_jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).expect("parallel Jacobi");
+        let (par, _) =
+            par_jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).expect("parallel Jacobi");
         let t_par = t0.elapsed();
         // Distributed ring Jacobi on 4 virtual ranks.
         let t0 = Instant::now();
@@ -95,7 +97,17 @@ fn main() {
     }
     print_table(
         "T4: symmetric eigensolver comparison (vectors included)",
-        &["matrix", "QL/ms", "cycJac/ms", "parJac/ms", "ringJac(P=4)/ms", "sweeps", "QL residual", "max |Δλ|", "ring msgs"],
+        &[
+            "matrix",
+            "QL/ms",
+            "cycJac/ms",
+            "parJac/ms",
+            "ringJac(P=4)/ms",
+            "sweeps",
+            "QL residual",
+            "max |Δλ|",
+            "ring msgs",
+        ],
         &rows,
     );
     println!("\nShape check: QL fastest serially; Jacobi ~6–10 sweeps; all solvers");

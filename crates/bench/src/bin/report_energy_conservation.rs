@@ -51,7 +51,13 @@ fn main() {
     }
     print_table(
         "F3: NVE energy conservation, Si 8 atoms (velocity Verlet)",
-        &["T/K", "dt/fs", "span/fs", "peak |ΔE|/eV", "secular drift/eV"],
+        &[
+            "T/K",
+            "dt/fs",
+            "span/fs",
+            "peak |ΔE|/eV",
+            "secular drift/eV",
+        ],
         &rows,
     );
     println!("\nShape check: peak |ΔE| scales ≈ Δt² (16× from 0.25→1.0 fs);");

@@ -27,7 +27,10 @@ fn main() {
     let mut rows = Vec::new();
     let gamma_only = KPointCalculator::new(
         &model,
-        vec![KPoint { k: Vec3::ZERO, weight: 1.0 }],
+        vec![KPoint {
+            k: Vec3::ZERO,
+            weight: 1.0,
+        }],
         kt,
     )
     .evaluate(&primitive)

@@ -14,7 +14,10 @@ use tbmd::{silicon_gsp, ForceProvider, LinearScalingTb, OccupationScheme, Specie
 use tbmd_bench::{arg_usize, fmt_e, fmt_f, fmt_s, print_table};
 
 fn max_force_dev(a: &[tbmd::Vec3], b: &[tbmd::Vec3]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (*x - *y).max_abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).max_abs())
+        .fold(0.0, f64::max)
 }
 
 fn main() {
@@ -60,7 +63,10 @@ fn main() {
     let e_ref64 = ref64.band_energy + ref64.repulsive_energy;
     let mut rows = Vec::new();
     for r_loc in [3.0f64, 4.0, 5.2, 6.5] {
-        let engine = LinearScalingTb::new(&model).with_kt(kt).with_order(250).with_r_loc(r_loc);
+        let engine = LinearScalingTb::new(&model)
+            .with_kt(kt)
+            .with_order(250)
+            .with_r_loc(r_loc);
         let eval = engine.evaluate(&s64).expect("O(N)");
         let report = engine.last_report().expect("report");
         rows.push(vec![
@@ -72,7 +78,12 @@ fn main() {
     }
     print_table(
         "F5b: localization-radius convergence (Si 64 atoms, order 250)",
-        &["r_loc/Å", "orbitals/region", "|ΔE|/atom/eV", "max |ΔF|/eV/Å"],
+        &[
+            "r_loc/Å",
+            "orbitals/region",
+            "|ΔE|/atom/eV",
+            "max |ΔF|/eV/Å",
+        ],
         &rows,
     );
 
@@ -84,7 +95,10 @@ fn main() {
         let t0 = Instant::now();
         let _ = dense.compute(&s).expect("dense");
         let t_dense = t0.elapsed().as_secs_f64();
-        let engine = LinearScalingTb::new(&model).with_kt(kt).with_order(200).with_r_loc(5.0);
+        let engine = LinearScalingTb::new(&model)
+            .with_kt(kt)
+            .with_order(200)
+            .with_r_loc(5.0);
         let t0 = Instant::now();
         let _ = engine.evaluate(&s).expect("O(N)");
         let t_on = t0.elapsed().as_secs_f64();

@@ -39,7 +39,10 @@ fn main() {
     }
 
     // Ramp at 0.5 K/fs to t_hot. (5400 steps for 300→3000 K.)
-    let ramp = TemperatureRamp { rate_k_per_fs: 0.5, target_k: t_hot };
+    let ramp = TemperatureRamp {
+        rate_k_per_fs: 0.5,
+        target_k: t_hot,
+    };
     while ramp.advance(&mut nh) {
         nh.step(&mut state, &calc).expect("step");
     }

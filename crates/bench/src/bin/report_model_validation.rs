@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_model_validation`
 
-use tbmd::{silicon_gsp, carbon_xwch, ForceProvider, OccupationScheme, Species, TbCalculator};
+use tbmd::{carbon_xwch, silicon_gsp, ForceProvider, OccupationScheme, Species, TbCalculator};
 use tbmd_bench::{fmt_f, print_table};
 use tbmd_model::TbModel;
 use tbmd_structure::Structure;
@@ -83,7 +83,12 @@ fn main() {
         fmt_f(e, 3),
     ]);
 
-    let (b, e) = eos_minimum(&c, |bond| tbmd_structure::graphene_sheet(bond, 2, 2), 1.42, 0.08);
+    let (b, e) = eos_minimum(
+        &c,
+        |bond| tbmd_structure::graphene_sheet(bond, 2, 2),
+        1.42,
+        0.08,
+    );
     rows.push(vec![
         "graphene".into(),
         fmt_f(b, 3),
@@ -92,7 +97,12 @@ fn main() {
         fmt_f(e, 3),
     ]);
 
-    let (b, e) = eos_minimum(&si, |bond| tbmd_structure::dimer(Species::Silicon, bond), 2.4, 0.3);
+    let (b, e) = eos_minimum(
+        &si,
+        |bond| tbmd_structure::dimer(Species::Silicon, bond),
+        2.4,
+        0.3,
+    );
     rows.push(vec![
         "Si dimer (bulk-fit model)".into(),
         fmt_f(b, 3),
@@ -103,7 +113,13 @@ fn main() {
 
     print_table(
         "T5a: equilibrium geometries (eV, Å); * molecular reference outside the bulk fit",
-        &["phase", "bond (model)", "bond (ref)", "dev %", "E/atom at min"],
+        &[
+            "phase",
+            "bond (model)",
+            "bond (ref)",
+            "dev %",
+            "E/atom at min",
+        ],
         &rows,
     );
 
@@ -131,13 +147,20 @@ fn main() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         c60.perturb(&mut rng, 0.1);
     }
-    let opts = tbmd::RelaxOptions { force_tolerance: 5e-3, max_iterations: 300, ..Default::default() };
+    let opts = tbmd::RelaxOptions {
+        force_tolerance: 5e-3,
+        max_iterations: 300,
+        ..Default::default()
+    };
     let calc_c = TbCalculator::new(&c);
     let result = tbmd::md::relax(&mut c60, &calc_c, &opts).expect("relaxation");
     let three_fold = (0..60).filter(|&i| c60.coordination(i, 1.65) == 3).count();
     rows2.push(vec![
         "C60 CG relax: 3-fold atoms".into(),
-        format!("{three_fold}/60 (converged={}, {} iters)", result.converged, result.iterations),
+        format!(
+            "{three_fold}/60 (converged={}, {} iters)",
+            result.converged, result.iterations
+        ),
         "60/60".into(),
     ]);
 

@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tbmd::md::RunningStats;
-use tbmd::{maxwell_boltzmann, silicon_gsp, carbon_xwch, MdState, NoseHoover, TbCalculator};
+use tbmd::{carbon_xwch, maxwell_boltzmann, silicon_gsp, MdState, NoseHoover, TbCalculator};
 use tbmd_bench::{arg_usize, fmt_e, fmt_f, print_table};
 use tbmd_model::TbModel;
 
@@ -18,8 +18,18 @@ fn main() {
     let c = carbon_xwch();
 
     let cases: Vec<(&str, &dyn TbModel, tbmd::Structure, f64)> = vec![
-        ("Si-8", &si, tbmd::structure::bulk_diamond(tbmd::Species::Silicon, 1, 1, 1), 300.0),
-        ("Si-8", &si, tbmd::structure::bulk_diamond(tbmd::Species::Silicon, 1, 1, 1), 1500.0),
+        (
+            "Si-8",
+            &si,
+            tbmd::structure::bulk_diamond(tbmd::Species::Silicon, 1, 1, 1),
+            300.0,
+        ),
+        (
+            "Si-8",
+            &si,
+            tbmd::structure::bulk_diamond(tbmd::Species::Silicon, 1, 1, 1),
+            1500.0,
+        ),
         ("C60", &c, tbmd::structure::fullerene_c60(1.44), 1000.0),
         ("C60", &c, tbmd::structure::fullerene_c60(1.44), 3000.0),
     ];
@@ -54,8 +64,17 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("T3: Nosé–Hoover NVT validation ({steps} steps, 1 fs, τ = 25 fs, mean over 2nd half)"),
-        &["system", "target T/K", "mean T/K", "σ(T)/K", "peak |ΔH'|/eV", "relative"],
+        &format!(
+            "T3: Nosé–Hoover NVT validation ({steps} steps, 1 fs, τ = 25 fs, mean over 2nd half)"
+        ),
+        &[
+            "system",
+            "target T/K",
+            "mean T/K",
+            "σ(T)/K",
+            "peak |ΔH'|/eV",
+            "relative",
+        ],
         &rows,
     );
     println!("\nShape check: mean T within a few σ/√steps of target; relative");

@@ -54,7 +54,14 @@ fn main() {
     }
     print_table(
         "F8: weak scaling — dense O(N³) vs distributed O(N) TBMD step (est. era seconds)",
-        &["P", "N", "dense/s", "O(N)/s", "dense/O(N)", "O(N) comm frac"],
+        &[
+            "P",
+            "N",
+            "dense/s",
+            "O(N)/s",
+            "dense/O(N)",
+            "O(N) comm frac",
+        ],
         &rows,
     );
     println!("\nShape check: the dense column RISES with P at fixed N/P; the O(N)");

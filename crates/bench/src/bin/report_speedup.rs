@@ -61,7 +61,17 @@ fn main() {
     }
     print_table(
         "T2: strong scaling of one TBMD step (distributed engine, era cost model)",
-        &["P", "|ΔE|/eV", "msgs", "MB", "comp/s", "comm/s", "total/s", "speedup", "efficiency"],
+        &[
+            "P",
+            "|ΔE|/eV",
+            "msgs",
+            "MB",
+            "comp/s",
+            "comm/s",
+            "total/s",
+            "speedup",
+            "efficiency",
+        ],
         &rows,
     );
     println!("\nShape check: efficiency decays monotonically with P; |ΔE| at round-off.");

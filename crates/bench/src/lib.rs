@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(fmt_ms(Duration::from_millis(1500)), "1500.000");
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_e(0.000123), "1.23e-4");
         assert_eq!(fmt_s(1.23456), "1.235");
     }

@@ -3,15 +3,16 @@
 use serde::{Deserialize, Serialize};
 use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb};
 use tbmd_model::{
-    ForceEvaluation, ForceProvider, GspTbModel, OccupationScheme, TbCalculator, TbError,
+    ForceEvaluation, ForceProvider, OccupationScheme, TbCalculator, TbError, TbModel, Workspace,
 };
 use tbmd_parallel::{DistributedTb, Eigensolver, SharedMemoryTb};
 use tbmd_structure::Structure;
 
 /// Which engine evaluates energies and forces.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum EngineKind {
     /// Serial reference calculator (Householder+QL).
+    #[default]
     Serial,
     /// Shared-memory Rayon engine with the QL eigensolver.
     Shared,
@@ -23,13 +24,11 @@ pub enum EngineKind {
     /// expansion order.
     LinearScaling { r_loc: f64, order: usize },
     /// Message-passing O(N) engine (see DESIGN.md experiment F8).
-    DistributedLinearScaling { ranks: usize, r_loc: f64, order: usize },
-}
-
-impl Default for EngineKind {
-    fn default() -> Self {
-        EngineKind::Serial
-    }
+    DistributedLinearScaling {
+        ranks: usize,
+        r_loc: f64,
+        order: usize,
+    },
 }
 
 /// A constructed engine borrowing its model.
@@ -42,10 +41,14 @@ pub enum Engine<'m> {
 }
 
 impl<'m> Engine<'m> {
-    /// Build an engine of the requested kind over a model, with the given
-    /// electronic smearing (eV; 0 selects zero-temperature filling where the
-    /// engine supports it).
-    pub fn build(kind: EngineKind, model: &'m GspTbModel, kt: f64) -> Engine<'m> {
+    /// Build an engine of the requested kind over any tight-binding model,
+    /// with the given electronic smearing (eV; 0 selects zero-temperature
+    /// filling where the engine supports it).
+    ///
+    /// Accepts `&dyn TbModel`, so concrete references like
+    /// `&GspTbModel` (what [`crate::SystemSpec::model`] returns) coerce at
+    /// the call site.
+    pub fn build(kind: EngineKind, model: &'m dyn TbModel, kt: f64) -> Engine<'m> {
         let occ = if kt > 0.0 {
             OccupationScheme::Fermi { kt }
         } else {
@@ -53,9 +56,7 @@ impl<'m> Engine<'m> {
         };
         match kind {
             EngineKind::Serial => Engine::Serial(TbCalculator::with_occupation(model, occ)),
-            EngineKind::Shared => {
-                Engine::Shared(SharedMemoryTb::new(model).with_occupation(occ))
-            }
+            EngineKind::Shared => Engine::Shared(SharedMemoryTb::new(model).with_occupation(occ)),
             EngineKind::SharedJacobi => Engine::Shared(
                 SharedMemoryTb::new(model)
                     .with_occupation(occ)
@@ -70,14 +71,16 @@ impl<'m> Engine<'m> {
                     .with_order(order)
                     .with_kt(kt.max(0.05)),
             ),
-            EngineKind::DistributedLinearScaling { ranks, r_loc, order } => {
-                Engine::DistributedLinearScaling(
-                    DistributedLinearScalingTb::new(model, ranks)
-                        .with_r_loc(r_loc)
-                        .with_order(order)
-                        .with_kt(kt.max(0.05)),
-                )
-            }
+            EngineKind::DistributedLinearScaling {
+                ranks,
+                r_loc,
+                order,
+            } => Engine::DistributedLinearScaling(
+                DistributedLinearScalingTb::new(model, ranks)
+                    .with_r_loc(r_loc)
+                    .with_order(order)
+                    .with_kt(kt.max(0.05)),
+            ),
         }
     }
 }
@@ -90,6 +93,16 @@ impl ForceProvider for Engine<'_> {
             Engine::Distributed(e) => e.evaluate(s),
             Engine::LinearScaling(e) => e.evaluate(s),
             Engine::DistributedLinearScaling(e) => e.evaluate(s),
+        }
+    }
+
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
+        match self {
+            Engine::Serial(e) => e.evaluate_with(s, ws),
+            Engine::Shared(e) => e.evaluate_with(s, ws),
+            Engine::Distributed(e) => e.evaluate_with(s, ws),
+            Engine::LinearScaling(e) => e.evaluate_with(s, ws),
+            Engine::DistributedLinearScaling(e) => e.evaluate_with(s, ws),
         }
     }
 
@@ -137,32 +150,29 @@ mod tests {
         for kind in kinds {
             let engine = Engine::build(kind, &model, 0.1);
             let e = engine.evaluate(&s).unwrap().energy;
-            assert!(
-                (e - reference).abs() < 1e-6,
-                "{kind:?}: {e} vs {reference}"
-            );
+            assert!((e - reference).abs() < 1e-6, "{kind:?}: {e} vs {reference}");
         }
     }
 
     #[test]
-    fn linear_scaling_engine_close_on_band_plus_rep() {
-        // The O(N) engine omits the entropy term, so compare with a fresh
-        // serial run decomposition.
+    fn linear_scaling_engine_close_on_mermin_free_energy() {
+        // The O(N) engine computes the full Mermin free energy (band +
+        // repulsive + entropy) from Chebyshev moments; at infinite r_loc and
+        // high order it must match the dense-diagonalization serial result.
         let model = silicon_gsp();
         let s = bulk_diamond(Species::Silicon, 1, 1, 1);
         let serial = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.3 });
         let r = serial.compute(&s).unwrap();
         let engine = Engine::build(
-            EngineKind::LinearScaling { r_loc: f64::INFINITY, order: 400 },
+            EngineKind::LinearScaling {
+                r_loc: f64::INFINITY,
+                order: 400,
+            },
             &model,
             0.3,
         );
         let e = engine.evaluate(&s).unwrap().energy;
-        assert!(
-            (e - (r.band_energy + r.repulsive_energy)).abs() < 1e-2,
-            "{e} vs {}",
-            r.band_energy + r.repulsive_energy
-        );
+        assert!((e - r.energy).abs() < 1e-2, "{e} vs {}", r.energy);
     }
 
     #[test]
@@ -170,12 +180,19 @@ mod tests {
         let model = silicon_gsp();
         let s = bulk_diamond(Species::Silicon, 1, 1, 1);
         let shared = Engine::build(
-            EngineKind::LinearScaling { r_loc: 5.0, order: 120 },
+            EngineKind::LinearScaling {
+                r_loc: 5.0,
+                order: 120,
+            },
             &model,
             0.3,
         );
         let dist = Engine::build(
-            EngineKind::DistributedLinearScaling { ranks: 2, r_loc: 5.0, order: 120 },
+            EngineKind::DistributedLinearScaling {
+                ranks: 2,
+                r_loc: 5.0,
+                order: 120,
+            },
             &model,
             0.3,
         );
@@ -203,7 +220,10 @@ mod tests {
         );
         assert_eq!(
             Engine::build(
-                EngineKind::LinearScaling { r_loc: 5.0, order: 64 },
+                EngineKind::LinearScaling {
+                    r_loc: 5.0,
+                    order: 64
+                },
                 &model,
                 0.2
             )

@@ -40,7 +40,7 @@ pub use tbmd_md::{
 };
 pub use tbmd_model::{
     band_structure, carbon_xwch, pressure, silicon_gsp, silicon_nonortho_demo, stress_tensor,
-    ForceProvider, NonOrthoCalculator, OccupationScheme, TbCalculator, TbError, TbModel,
+    ForceProvider, NonOrthoCalculator, OccupationScheme, TbCalculator, TbError, TbModel, Workspace,
 };
 pub use tbmd_parallel::{DistributedTb, MachineProfile, SharedMemoryTb};
 pub use tbmd_structure::{Cell, NeighborList, Species, Structure, VerletNeighborList};

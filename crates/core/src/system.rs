@@ -68,13 +68,29 @@ mod tests {
 
     #[test]
     fn builds_expected_sizes() {
-        assert_eq!(SystemSpec::SiliconDiamond { reps: 2 }.build(0.0, 0).n_atoms(), 64);
+        assert_eq!(
+            SystemSpec::SiliconDiamond { reps: 2 }
+                .build(0.0, 0)
+                .n_atoms(),
+            64
+        );
         assert_eq!(SystemSpec::C60.build(0.0, 0).n_atoms(), 60);
         assert_eq!(
-            SystemSpec::Nanotube { n: 10, m: 0, cells: 3 }.build(0.0, 0).n_atoms(),
+            SystemSpec::Nanotube {
+                n: 10,
+                m: 0,
+                cells: 3
+            }
+            .build(0.0, 0)
+            .n_atoms(),
             120
         );
-        assert_eq!(SystemSpec::Graphene { nx: 2, ny: 2 }.build(0.0, 0).n_atoms(), 16);
+        assert_eq!(
+            SystemSpec::Graphene { nx: 2, ny: 2 }
+                .build(0.0, 0)
+                .n_atoms(),
+            16
+        );
     }
 
     #[test]
@@ -97,7 +113,18 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(SystemSpec::SiliconDiamond { reps: 3 }.label(), "Si-diamond 3x3x3");
-        assert_eq!(SystemSpec::Nanotube { n: 10, m: 0, cells: 2 }.label(), "(10,0) tube x2");
+        assert_eq!(
+            SystemSpec::SiliconDiamond { reps: 3 }.label(),
+            "Si-diamond 3x3x3"
+        );
+        assert_eq!(
+            SystemSpec::Nanotube {
+                n: 10,
+                m: 0,
+                cells: 2
+            }
+            .label(),
+            "(10,0) tube x2"
+        );
     }
 }

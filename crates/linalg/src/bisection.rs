@@ -38,7 +38,9 @@ pub fn sturm_count(d: &[f64], e: &[f64], x: f64) -> usize {
         // Safeguarded division: if q underflows to ~0 the standard trick
         // replaces it with a tiny number of the same sign.
         let denom = if q.abs() < f64::MIN_POSITIVE.sqrt() {
-            f64::MIN_POSITIVE.sqrt().copysign(if q < 0.0 { -1.0 } else { 1.0 })
+            f64::MIN_POSITIVE
+                .sqrt()
+                .copysign(if q < 0.0 { -1.0 } else { 1.0 })
         } else {
             q
         };
@@ -97,7 +99,10 @@ pub fn tridiagonal_kth_eigenvalue(d: &[f64], e: &[f64], k: usize) -> f64 {
 /// [`EigError::NotSquare`] for rectangular input.
 pub fn eigvalsh_partial(a: Matrix, k: usize) -> Result<Vec<f64>, EigError> {
     if !a.is_square() {
-        return Err(EigError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(EigError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     let k = k.min(n);
@@ -106,7 +111,9 @@ pub fn eigvalsh_partial(a: Matrix, k: usize) -> Result<Vec<f64>, EigError> {
     }
     let mut a = a;
     let (d, e) = tridiagonalize(&mut a, false);
-    Ok((0..k).map(|i| tridiagonal_kth_eigenvalue(&d, &e, i)).collect())
+    Ok((0..k)
+        .map(|i| tridiagonal_kth_eigenvalue(&d, &e, i))
+        .collect())
 }
 
 #[cfg(test)]
@@ -117,7 +124,9 @@ mod tests {
     fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut a = Matrix::zeros(n, n);
@@ -164,8 +173,8 @@ mod tests {
         e[0] = 0.0;
         for k in 0..n {
             let found = tridiagonal_kth_eigenvalue(&d, &e, k);
-            let expect = 2.0
-                - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!((found - expect).abs() < 1e-10, "k={k}: {found} vs {expect}");
         }
     }

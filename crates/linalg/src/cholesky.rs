@@ -7,14 +7,17 @@
 //! symmetric problem for `L⁻¹ H L⁻ᵀ`; [`generalized_eigh`] packages the whole
 //! pipeline on top of [`crate::eigh::eigh`].
 
-use crate::eigh::{eigh, Eigh, EigError};
+use crate::eigh::{eigh, EigError, Eigh};
 use crate::matrix::Matrix;
 
 /// Errors from the Cholesky factorization.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CholeskyError {
     /// A pivot was non-positive: the matrix is not positive definite.
-    NotPositiveDefinite { pivot_index: usize, pivot_value: f64 },
+    NotPositiveDefinite {
+        pivot_index: usize,
+        pivot_value: f64,
+    },
     /// The input matrix is not square.
     NotSquare { rows: usize, cols: usize },
 }
@@ -22,7 +25,10 @@ pub enum CholeskyError {
 impl std::fmt::Display for CholeskyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CholeskyError::NotPositiveDefinite { pivot_index, pivot_value } => write!(
+            CholeskyError::NotPositiveDefinite {
+                pivot_index,
+                pivot_value,
+            } => write!(
                 f,
                 "matrix is not positive definite (pivot {pivot_index} = {pivot_value:.3e})"
             ),
@@ -47,7 +53,10 @@ impl Cholesky {
     /// Only the lower triangle of `a` is read.
     pub fn factor(a: &Matrix) -> Result<Self, CholeskyError> {
         if !a.is_square() {
-            return Err(CholeskyError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(CholeskyError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -93,10 +102,11 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
+            let lrow = self.l.row(i);
+            for (lv, yv) in lrow.iter().zip(&y).take(i) {
+                s -= lv * yv;
             }
-            y[i] = s / self.l[(i, i)];
+            y[i] = s / lrow[i];
         }
         y
     }
@@ -108,8 +118,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, xv) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xv;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -191,7 +201,10 @@ pub fn generalized_eigh(h: &Matrix, s: &Matrix) -> Result<Eigh, GeneralizedEigEr
     let red = eigh(c).map_err(GeneralizedEigError::Eig)?;
     // Back-transform eigenvectors: x = L⁻ᵀ y.
     let vectors = chol.solve_lower_t_matrix(&red.vectors);
-    Ok(Eigh { values: red.values, vectors })
+    Ok(Eigh {
+        values: red.values,
+        vectors,
+    })
 }
 
 #[cfg(test)]
@@ -202,7 +215,9 @@ mod tests {
         // AᵀA + n·I is comfortably SPD.
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let a = Matrix::from_fn(n, n, |_, _| next());

@@ -61,35 +61,76 @@ const MAX_QL_ITERS: usize = 64;
 /// # Errors
 /// [`EigError::NotSquare`] for rectangular input, [`EigError::NoConvergence`]
 /// if the QL iteration stalls (non-finite input).
-pub fn eigh(a: Matrix) -> Result<Eigh, EigError> {
-    eigh_impl(a, true)
+pub fn eigh(mut a: Matrix) -> Result<Eigh, EigError> {
+    let mut values = Vec::new();
+    let mut ws = EighWorkspace::default();
+    eigh_into(&mut a, &mut values, &mut ws)?;
+    Ok(Eigh { values, vectors: a })
 }
 
 /// Eigenvalues only (skips accumulating the orthogonal transformation and the
 /// eigenvector updates — roughly 3× cheaper than [`eigh`]).
-pub fn eigvalsh(a: Matrix) -> Result<Vec<f64>, EigError> {
-    Ok(eigh_impl(a, false)?.values)
-}
-
-fn eigh_impl(mut a: Matrix, want_vectors: bool) -> Result<Eigh, EigError> {
+pub fn eigvalsh(mut a: Matrix) -> Result<Vec<f64>, EigError> {
     if !a.is_square() {
-        return Err(EigError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(EigError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let n = a.rows();
     if n == 0 {
-        return Ok(Eigh { values: vec![], vectors: Matrix::zeros(0, 0) });
+        return Ok(vec![]);
     }
-    let (mut d, mut e) = tridiagonalize(&mut a, want_vectors);
-    if !want_vectors {
-        // `a` is garbage in this mode; hand tqli a dummy 0-row matrix so the
-        // rotation loop body is a no-op.
-        let mut dummy = Matrix::zeros(0, n);
-        tqli(&mut d, &mut e, &mut dummy)?;
-    } else {
-        tqli(&mut d, &mut e, &mut a)?;
+    let (mut d, mut e) = tridiagonalize(&mut a, false);
+    // `a` is garbage in this mode; hand tqli a dummy 0-row matrix so the
+    // rotation loop body is a no-op.
+    let mut dummy = Matrix::zeros(0, n);
+    tqli(&mut d, &mut e, &mut dummy)?;
+    d.sort_by(|a, b| a.partial_cmp(b).expect("NaN eigenvalue"));
+    Ok(d)
+}
+
+/// Reusable scratch for [`eigh_into`]: the subdiagonal buffer and the sort
+/// permutation. Buffers grow to the largest `n` seen and are then reused, so
+/// repeated solves (one per MD step) perform no allocation after warmup.
+#[derive(Debug, Default, Clone)]
+pub struct EighWorkspace {
+    e: Vec<f64>,
+    order: Vec<usize>,
+}
+
+/// Allocation-free eigendecomposition.
+///
+/// On success `a` is overwritten with the eigenvector matrix (column `k`
+/// pairs with `values[k]`, ascending — the same invariants as [`eigh`], which
+/// is now a thin wrapper over this). Only `values` and the workspace grow,
+/// and only up to the largest `n` seen across calls.
+///
+/// # Errors
+/// Same as [`eigh`].
+pub fn eigh_into(
+    a: &mut Matrix,
+    values: &mut Vec<f64>,
+    ws: &mut EighWorkspace,
+) -> Result<(), EigError> {
+    if !a.is_square() {
+        return Err(EigError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
-    sort_eigenpairs(&mut d, &mut a, want_vectors);
-    Ok(Eigh { values: d, vectors: if want_vectors { a } else { Matrix::zeros(0, 0) } })
+    let n = a.rows();
+    values.clear();
+    values.resize(n, 0.0);
+    if n == 0 {
+        return Ok(());
+    }
+    ws.e.clear();
+    ws.e.resize(n, 0.0);
+    tridiagonalize_into(a, true, values, &mut ws.e);
+    tqli(values, &mut ws.e, a)?;
+    sort_eigenpairs(values, a, &mut ws.order);
+    Ok(())
 }
 
 /// Householder reduction of a symmetric matrix to tridiagonal form
@@ -102,10 +143,20 @@ pub fn tridiagonalize(a: &mut Matrix, accumulate: bool) -> (Vec<f64>, Vec<f64>) 
     let n = a.rows();
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
+    tridiagonalize_into(a, accumulate, &mut d, &mut e);
+    (d, e)
+}
+
+/// [`tridiagonalize`] writing into caller-provided buffers (`d.len() == e.len()
+/// == a.rows() >= 1`) — the allocation-free path used by [`eigh_into`].
+pub fn tridiagonalize_into(a: &mut Matrix, accumulate: bool, d: &mut [f64], e: &mut [f64]) {
+    let n = a.rows();
+    assert!(n >= 1 && d.len() == n && e.len() == n);
     if n == 1 {
         d[0] = a[(0, 0)];
+        e[0] = 0.0;
         a[(0, 0)] = 1.0;
-        return (d, e);
+        return;
     }
     for i in (1..n).rev() {
         let l = i - 1;
@@ -191,7 +242,6 @@ pub fn tridiagonalize(a: &mut Matrix, accumulate: bool) -> (Vec<f64>, Vec<f64>) 
             d[i] = a[(i, i)];
         }
     }
-    (d, e)
 }
 
 /// Implicit-shift QL iteration on a symmetric tridiagonal matrix
@@ -230,7 +280,10 @@ pub fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), EigError
             }
             iter += 1;
             if iter > MAX_QL_ITERS {
-                return Err(EigError::NoConvergence { index: l, iterations: iter });
+                return Err(EigError::NoConvergence {
+                    index: l,
+                    iterations: iter,
+                });
             }
             // Wilkinson shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -276,19 +329,25 @@ pub fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), EigError
     Ok(())
 }
 
-/// Sort eigenvalues ascending and permute eigenvector columns to match.
-fn sort_eigenpairs(d: &mut [f64], z: &mut Matrix, with_vectors: bool) {
+/// Sort eigenvalues ascending and permute eigenvector columns to match,
+/// in place: the permutation is applied by cycle-following column swaps, so
+/// no copy of the (n²-sized) eigenvector matrix is made. `order` is reusable
+/// scratch.
+fn sort_eigenpairs(d: &mut [f64], z: &mut Matrix, order: &mut Vec<usize>) {
     let n = d.len();
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("NaN eigenvalue"));
-    let sorted_d: Vec<f64> = order.iter().map(|&k| d[k]).collect();
-    d.copy_from_slice(&sorted_d);
-    if with_vectors {
-        let old = z.clone();
-        for (new_col, &old_col) in order.iter().enumerate() {
-            for r in 0..z.rows() {
-                z[(r, new_col)] = old[(r, old_col)];
-            }
+    for i in 0..n {
+        // order[i] is where position i's final value currently sits; chase
+        // the chain past slots already fixed by earlier swaps.
+        let mut src = order[i];
+        while src < i {
+            src = order[src];
+        }
+        if src != i {
+            d.swap(i, src);
+            z.swap_cols(i, src);
         }
     }
 }
@@ -329,7 +388,9 @@ mod tests {
     fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut a = Matrix::zeros(n, n);
@@ -461,11 +522,37 @@ mod tests {
         }
         let eig = eigh(m).unwrap();
         let mut expected: Vec<f64> = (1..=n)
-            .map(|k| a_diag + 2.0 * b_off * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .map(|k| {
+                a_diag + 2.0 * b_off * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos()
+            })
             .collect();
         expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (got, want) in eig.values.iter().zip(&expected) {
             assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn eigh_into_reuses_workspace_across_sizes() {
+        let mut ws = EighWorkspace::default();
+        let mut values = Vec::new();
+        // Alternate sizes to exercise buffer shrink/grow reuse.
+        for &(n, seed) in &[(18usize, 3u64), (6, 5), (25, 8), (1, 11)] {
+            let a = symmetric_test_matrix(n, seed);
+            let mut vectors = a.clone();
+            eigh_into(&mut vectors, &mut values, &mut ws).unwrap();
+            let reference = eigh(a.clone()).unwrap();
+            assert_eq!(values, reference.values, "values differ at n={n}");
+            assert_eq!(vectors, reference.vectors, "vectors differ at n={n}");
+            assert!(
+                eig_residual(
+                    &a,
+                    &Eigh {
+                        values: values.clone(),
+                        vectors
+                    }
+                ) < 1e-10
+            );
         }
     }
 

@@ -16,7 +16,7 @@
 //! the method of choice for parallel machines because every round exposes
 //! `n/2` independent rotations — the property the parallel engines exploit.
 
-use crate::eigh::{Eigh, EigError};
+use crate::eigh::{EigError, Eigh};
 use crate::matrix::Matrix;
 use rayon::prelude::*;
 
@@ -39,7 +39,7 @@ pub fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
     if n < 2 {
         return vec![];
     }
-    let m = if n % 2 == 0 { n } else { n + 1 }; // phantom index m-1 when odd
+    let m = if n.is_multiple_of(2) { n } else { n + 1 }; // phantom index m-1 when odd
     let rounds = m - 1;
     let mut schedule = Vec::with_capacity(rounds);
     // players[0] is fixed, the rest rotate each round.
@@ -110,7 +110,11 @@ pub struct JacobiStats {
 /// # Errors
 /// [`EigError::NoConvergence`] if the off-diagonal norm has not dropped below
 /// `tol · ‖A‖_F` after `max_sweeps` sweeps.
-pub fn jacobi_eigh(mut a: Matrix, tol: f64, max_sweeps: usize) -> Result<(Eigh, JacobiStats), EigError> {
+pub fn jacobi_eigh(
+    mut a: Matrix,
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<(Eigh, JacobiStats), EigError> {
     assert!(a.is_square(), "Jacobi requires a square matrix");
     let n = a.rows();
     let mut v = Matrix::identity(n);
@@ -141,10 +145,17 @@ pub fn jacobi_eigh(mut a: Matrix, tol: f64, max_sweeps: usize) -> Result<(Eigh, 
         }
         let off = off_diagonal_norm(&a);
         if off > tol * fro * 10.0 {
-            return Err(EigError::NoConvergence { index: 0, iterations: sweeps });
+            return Err(EigError::NoConvergence {
+                index: 0,
+                iterations: sweeps,
+            });
         }
     }
-    let stats = JacobiStats { sweeps, rotations, final_off: off_diagonal_norm(&a) / fro };
+    let stats = JacobiStats {
+        sweeps,
+        rotations,
+        final_off: off_diagonal_norm(&a) / fro,
+    };
     Ok((finish(a, v), stats))
 }
 
@@ -163,7 +174,11 @@ pub fn par_jacobi_eigh(
     assert!(a.is_square(), "Jacobi requires a square matrix");
     let n = a.rows();
     if n <= 1 {
-        let stats = JacobiStats { sweeps: 0, rotations: 0, final_off: 0.0 };
+        let stats = JacobiStats {
+            sweeps: 0,
+            rotations: 0,
+            final_off: 0.0,
+        };
         return Ok((finish(a, Matrix::identity(n)), stats));
     }
     let fro = a.frobenius_norm().max(f64::MIN_POSITIVE);
@@ -247,7 +262,10 @@ pub fn par_jacobi_eigh(
     }
     let final_off = off_norm_cols(&cols);
     if final_off > tol * fro * 10.0 {
-        return Err(EigError::NoConvergence { index: 0, iterations: sweeps });
+        return Err(EigError::NoConvergence {
+            index: 0,
+            iterations: sweeps,
+        });
     }
     // Reassemble row-major matrices.
     let mut am = Matrix::zeros(n, n);
@@ -258,7 +276,11 @@ pub fn par_jacobi_eigh(
             vm[(i, j)] = vcols[j][i];
         }
     }
-    let stats = JacobiStats { sweeps, rotations, final_off: final_off / fro };
+    let stats = JacobiStats {
+        sweeps,
+        rotations,
+        final_off: final_off / fro,
+    };
     Ok((finish(am, vm), stats))
 }
 
@@ -330,7 +352,9 @@ mod tests {
     fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut a = Matrix::zeros(n, n);
@@ -379,7 +403,11 @@ mod tests {
             let a = symmetric_test_matrix(n, 42 + n as u64);
             let reference = eigh(a.clone()).unwrap();
             let (jac, stats) = jacobi_eigh(a.clone(), JACOBI_TOL, JACOBI_MAX_SWEEPS).unwrap();
-            assert!(stats.sweeps <= 15, "too many sweeps at n={n}: {}", stats.sweeps);
+            assert!(
+                stats.sweeps <= 15,
+                "too many sweeps at n={n}: {}",
+                stats.sweeps
+            );
             for (x, y) in jac.values.iter().zip(&reference.values) {
                 assert!((x - y).abs() < 1e-9, "n={n}: {x} vs {y}");
             }
@@ -398,7 +426,10 @@ mod tests {
                 assert!((x - y).abs() < 1e-9, "n={n}: {x} vs {y}");
             }
             assert!(eig_residual(&a, &jac) < 1e-9, "residual at n={n}");
-            assert!(orthogonality_defect(&jac.vectors) < 1e-10, "orthogonality at n={n}");
+            assert!(
+                orthogonality_defect(&jac.vectors) < 1e-10,
+                "orthogonality at n={n}"
+            );
         }
     }
 

@@ -28,7 +28,10 @@ pub mod vec3;
 
 pub use bisection::{eigvalsh_partial, sturm_count, tridiagonal_kth_eigenvalue};
 pub use cholesky::{generalized_eigh, Cholesky, CholeskyError, GeneralizedEigError};
-pub use eigh::{eig_residual, eigh, eigvalsh, orthogonality_defect, tqli, tridiagonalize, EigError, Eigh};
+pub use eigh::{
+    eig_residual, eigh, eigh_into, eigvalsh, orthogonality_defect, tqli, tridiagonalize,
+    tridiagonalize_into, EigError, Eigh, EighWorkspace,
+};
 pub use jacobi::{
     jacobi_eigh, jacobi_rotation, off_diagonal_norm, par_jacobi_eigh, round_robin_rounds,
     JacobiStats, JACOBI_MAX_SWEEPS, JACOBI_TOL,

@@ -25,7 +25,11 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -53,7 +57,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length does not match dimensions");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length does not match dimensions"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -192,14 +200,13 @@ impl Matrix {
         for p in 0..k {
             let arow = self.row(p);
             let brow = other.row(p);
-            for i in 0..n {
-                let a = arow[i];
+            for (i, &a) in arow.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
                 let orow = out.row_mut(i);
-                for j in 0..m {
-                    orow[j] += a * brow[j];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
                 }
             }
         }
@@ -261,6 +268,63 @@ impl Matrix {
         }
     }
 
+    /// Symmetric rank-k product `self · selfᵀ` (SYRK).
+    ///
+    /// Only the lower triangle is computed — each entry is a dot product of
+    /// two contiguous rows, accumulated over the inner index in ascending
+    /// order exactly like the blocked [`Matrix::matmul`] — and then mirrored,
+    /// so the result matches `self.matmul(&self.transpose())` to round-off at
+    /// half the flops, with no materialized transpose.
+    pub fn syrk(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        syrk_into(self, &mut out, false);
+        out
+    }
+
+    /// [`Matrix::syrk`] with row-parallelism over Rayon.
+    ///
+    /// Bitwise identical to the serial variant: each output entry is one
+    /// independent row-dot, so the partition cannot change any summation
+    /// order.
+    pub fn par_syrk(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        syrk_into(self, &mut out, true);
+        out
+    }
+
+    /// SYRK into a caller-owned output, reusing its allocation when the
+    /// capacity suffices (the workspace path: zero large allocations after
+    /// warmup). Returns `true` if `out` had to grow its allocation.
+    pub fn syrk_reuse(&self, out: &mut Matrix, parallel: bool) -> bool {
+        let grew = out.resize_zeroed(self.rows, self.rows);
+        syrk_into(self, out, parallel);
+        grew
+    }
+
+    /// Swap columns `i` and `j` in place.
+    pub fn swap_cols(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + i, r * self.cols + j);
+        }
+    }
+
+    /// Reshape to `rows × cols` and zero-fill, reusing the existing
+    /// allocation when possible (no new allocation unless the element count
+    /// grows beyond the current capacity). Returns `true` if the backing
+    /// storage had to grow — the allocation counter the evaluation
+    /// workspaces expose.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) -> bool {
+        let cap = self.data.capacity();
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.data.capacity() != cap
+    }
+
     /// Quadratic form `xᵀ A y`.
     pub fn quadratic_form(&self, x: &[f64], y: &[f64]) -> f64 {
         assert_eq!(x.len(), self.rows);
@@ -287,8 +351,7 @@ fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, parallel: bool) {
             for i in i0..i1 {
                 let arow = a.row(i);
                 let orow = &mut out_band[(i - i0) * n..(i - i0 + 1) * n];
-                for p in p0..p1 {
-                    let av = arow[p];
+                for (p, &av) in arow.iter().enumerate().take(p1).skip(p0) {
                     if av == 0.0 {
                         continue;
                     }
@@ -301,9 +364,56 @@ fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, parallel: bool) {
         }
     };
     if parallel {
-        out.data.par_chunks_mut(MATMUL_BLOCK * n).enumerate().for_each(band);
+        out.data
+            .par_chunks_mut(MATMUL_BLOCK * n)
+            .enumerate()
+            .for_each(band);
     } else {
-        out.data.chunks_mut(MATMUL_BLOCK * n).enumerate().for_each(band);
+        out.data
+            .chunks_mut(MATMUL_BLOCK * n)
+            .enumerate()
+            .for_each(band);
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the initial state of reusable buffers.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+/// SYRK kernel shared by the serial and parallel entry points: fill the
+/// lower triangle with row-dots, then mirror. `out` must already be
+/// `a.rows × a.rows`.
+fn syrk_into(a: &Matrix, out: &mut Matrix, parallel: bool) {
+    let n = a.rows;
+    debug_assert_eq!((out.rows, out.cols), (n, n));
+    let lower = |(i, orow): (usize, &mut [f64])| {
+        let arow = a.row(i);
+        for (j, o) in orow.iter_mut().enumerate().take(i + 1) {
+            let brow = a.row(j);
+            let mut acc = 0.0;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    };
+    if parallel {
+        out.data
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(lower);
+    } else {
+        out.data.chunks_mut(n.max(1)).enumerate().for_each(lower);
+    }
+    // Mirror the strict lower triangle onto the upper one.
+    for i in 1..n {
+        for j in 0..i {
+            let v = out.data[i * n + j];
+            out.data[j * n + i] = v;
+        }
     }
 }
 
@@ -311,7 +421,10 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -319,7 +432,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -329,7 +445,11 @@ impl Add<&Matrix> for &Matrix {
     fn add(self, o: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (o.rows, o.cols));
         let data = self.data.iter().zip(&o.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -338,7 +458,11 @@ impl Sub<&Matrix> for &Matrix {
     fn sub(self, o: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (o.rows, o.cols));
         let data = self.data.iter().zip(&o.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -401,7 +525,9 @@ mod tests {
         // Simple deterministic LCG fill; avoids pulling rand into unit tests.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         })
     }
@@ -419,7 +545,13 @@ mod tests {
     #[test]
     fn blocked_matmul_matches_naive() {
         // Sizes straddling the block edge exercise all remainder paths.
-        for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (64, 64, 64), (65, 63, 70), (130, 17, 129)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (5, 7, 3),
+            (64, 64, 64),
+            (65, 63, 70),
+            (130, 17, 129),
+        ] {
             let a = test_matrix(m, k, 11);
             let b = test_matrix(k, n, 23);
             let blocked = a.matmul(&b);
@@ -519,6 +651,56 @@ mod tests {
         let a = Matrix::zeros(3, 4);
         let b = Matrix::zeros(5, 2);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn syrk_matches_matmul_with_transpose() {
+        for &(n, k, seed) in &[
+            (1usize, 1usize, 3u64),
+            (7, 5, 47),
+            (16, 16, 53),
+            (33, 20, 59),
+        ] {
+            let a = test_matrix(n, k, seed);
+            let reference = a.matmul(&a.transpose());
+            let s = a.syrk();
+            assert_eq!(s.rows(), n);
+            assert_eq!(s.cols(), n);
+            assert!(
+                (&s - &reference).max_abs() < 1e-12,
+                "n={n} k={k}: syrk deviates from matmul"
+            );
+            assert_eq!(s.asymmetry(), 0.0, "syrk output must be exactly symmetric");
+        }
+    }
+
+    #[test]
+    fn par_syrk_matches_serial() {
+        let a = test_matrix(70, 24, 61);
+        assert_eq!(a.par_syrk(), a.syrk());
+    }
+
+    #[test]
+    fn syrk_reuse_reshapes_and_matches() {
+        let mut out = Matrix::zeros(3, 3);
+        let big = test_matrix(25, 10, 67);
+        big.syrk_reuse(&mut out, false);
+        assert_eq!(out, big.syrk());
+        // Shrinking back must not leave stale entries behind.
+        let small = test_matrix(4, 6, 71);
+        small.syrk_reuse(&mut out, true);
+        assert_eq!(out, small.syrk());
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_capacity() {
+        let mut m = Matrix::zeros(20, 20);
+        let cap = m.data.capacity();
+        assert!(!m.resize_zeroed(10, 15), "shrink must not reallocate");
+        assert_eq!((m.rows(), m.cols()), (10, 15));
+        assert_eq!(m.data.capacity(), cap);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(m.resize_zeroed(40, 40), "growth must be reported");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use tbmd_linalg::{
-    eig_residual, eigh, jacobi_eigh, orthogonality_defect, par_jacobi_eigh, Cholesky, Matrix,
-    Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL,
+    eig_residual, eigh, jacobi_eigh, orthogonality_defect, par_jacobi_eigh, Cholesky, Matrix, Vec3,
+    JACOBI_MAX_SWEEPS, JACOBI_TOL,
 };
 
 /// Strategy: a random symmetric n×n matrix with entries in [-1, 1].
@@ -119,6 +119,51 @@ proptest! {
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         prop_assert!((&left - &right).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn syrk_matches_matmul_transpose(m in 1usize..12, k in 1usize..12, seed in 0u64..200) {
+        let fill = |rows: usize, cols: usize, s: u64| {
+            let mut state = s.wrapping_mul(0xA24BAED4963EE407) | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        };
+        let w = fill(m, k, seed);
+        let reference = w.matmul(&w.transpose());
+        let serial = w.syrk();
+        let parallel = w.par_syrk();
+        prop_assert!((&serial - &reference).max_abs() < 1e-12);
+        // The parallel partition must not change any summation order:
+        // bitwise agreement, not just tolerance.
+        for i in 0..m {
+            for j in 0..m {
+                prop_assert_eq!(serial[(i, j)], parallel[(i, j)]);
+                // Mirrored halves are exact copies.
+                prop_assert_eq!(serial[(i, j)], serial[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_reuse_tracks_growth(m in 1usize..10, k in 1usize..10, seed in 0u64..50) {
+        let fill = |rows: usize, cols: usize, s: u64| {
+            let mut state = s.wrapping_mul(0xD1342543DE82EF95) | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        };
+        let w = fill(m, k, seed);
+        let mut out = Matrix::zeros(0, 0);
+        let grew_first = w.syrk_reuse(&mut out, false);
+        prop_assert!(grew_first || m == 0);
+        prop_assert!((&out - &w.syrk()).max_abs() == 0.0);
+        // Second pass into the warm buffer: no growth, same answer.
+        let grew_again = w.syrk_reuse(&mut out, true);
+        prop_assert!(!grew_again);
+        prop_assert!((&out - &w.syrk()).max_abs() == 0.0);
     }
 
     #[test]

@@ -89,6 +89,39 @@ pub fn fermi_coefficients(
     (shift, scale, coeffs)
 }
 
+/// The entropy density `g(ε) = f ln f + (1−f) ln(1−f)` of the Fermi
+/// occupation at `(μ, kT)` — non-positive, vanishing away from μ. The
+/// Mermin correction is `−T_e S = 2·kT·Tr g(H)` (spin factor 2).
+pub fn entropy_density(eps: f64, mu: f64, kt: f64) -> f64 {
+    let f = fermi_function(eps, mu, kt);
+    if f <= 0.0 || f >= 1.0 {
+        0.0
+    } else {
+        f * f.ln() + (1.0 - f) * (1.0 - f).ln()
+    }
+}
+
+/// Coefficients of the entropy-density operator on the same padded window as
+/// [`fermi_coefficients`]; returns `(shift, scale, coefficients)`. Combined
+/// with the diagonal Chebyshev moments this yields the electronic-entropy
+/// correction at O(order) extra cost — no additional matvecs.
+pub fn entropy_coefficients(
+    e_min: f64,
+    e_max: f64,
+    mu: f64,
+    kt: f64,
+    order: usize,
+) -> (f64, f64, Vec<f64>) {
+    assert!(e_max > e_min && kt > 0.0 && order >= 2);
+    let pad = 0.05 * (e_max - e_min).max(1e-6);
+    let lo = e_min - pad;
+    let hi = e_max + pad;
+    let shift = 0.5 * (hi + lo);
+    let scale = 0.5 * (hi - lo);
+    let coeffs = chebyshev_coefficients(|x| entropy_density(scale * x + shift, mu, kt), order);
+    (shift, scale, coeffs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +176,34 @@ mod tests {
         let e50 = err_at(50);
         let e150 = err_at(150);
         assert!(e150 < e50 / 10.0, "orders 50/150: {e50} vs {e150}");
+    }
+
+    #[test]
+    fn entropy_series_accurate_on_window() {
+        let (shift, scale, c) = entropy_coefficients(-15.0, 20.0, 1.3, 0.3, 400);
+        for k in 0..100 {
+            let eps = -15.0 + 35.0 * k as f64 / 99.0;
+            let x = (eps - shift) / scale;
+            let approx = chebyshev_eval(&c, x);
+            let exact = entropy_density(eps, 1.3, 0.3);
+            assert!(
+                (approx - exact).abs() < 1e-6,
+                "eps={eps}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_density_properties() {
+        // Non-positive everywhere, equal to ln ½ = −ln 2 at ε = μ (where
+        // f = ½), and zero far from μ.
+        assert_eq!(entropy_density(100.0, 0.0, 0.1), 0.0);
+        assert_eq!(entropy_density(-100.0, 0.0, 0.1), 0.0);
+        let at_mu = entropy_density(0.0, 0.0, 0.1);
+        assert!((at_mu - (-std::f64::consts::LN_2)).abs() < 1e-12);
+        for &eps in &[-0.5, -0.1, 0.0, 0.2, 0.7] {
+            assert!(entropy_density(eps, 0.0, 0.2) <= 0.0);
+        }
     }
 
     #[test]

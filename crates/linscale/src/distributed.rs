@@ -11,14 +11,13 @@
 //! all independent of the O(N³) wall that throttled the dense engine's
 //! scaled speedup (experiments F1 vs F8).
 
-use crate::chebyshev::{chebyshev_coefficients, fermi_function};
-use crate::engine::{LinearScalingTb, LinScaleReport};
+use crate::chebyshev::{chebyshev_coefficients, entropy_density, fermi_function};
+use crate::engine::{LinScaleReport, LinearScalingTb};
 use crate::sparse::{LocalRegion, SparseH};
 use parking_lot::Mutex;
 use tbmd_linalg::Vec3;
 use tbmd_model::{
-    sk_block_gradient, ForceEvaluation, ForceProvider, OrbitalIndex, PhaseTimings, TbError,
-    TbModel,
+    sk_block_gradient, ForceEvaluation, ForceProvider, OrbitalIndex, PhaseTimings, TbError, TbModel,
 };
 use tbmd_parallel::{partition_range, vmp_run, VmpStats};
 use tbmd_structure::{NeighborList, Structure};
@@ -126,7 +125,10 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             rank.broadcast(0, 300, &mut pos_flat);
             let mut local = s.clone();
             local.set_positions(
-                pos_flat.chunks_exact(3).map(|c| Vec3::new(c[0], c[1], c[2])).collect(),
+                pos_flat
+                    .chunks_exact(3)
+                    .map(|c| Vec3::new(c[0], c[1], c[2]))
+                    .collect(),
             );
             let nl = NeighborList::build(&local, model.cutoff());
             let index = OrbitalIndex::new(&local);
@@ -176,7 +178,8 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             // ---- μ bisection on the replicated global moments.
             let n_target = local.n_electrons() as f64;
             let count_at = |mu: f64| -> f64 {
-                let c = chebyshev_coefficients(|x| fermi_function(scale * x + shift, mu, kt), order);
+                let c =
+                    chebyshev_coefficients(|x| fermi_function(scale * x + shift, mu, kt), order);
                 let mut acc = 0.5 * c[0] * moments[0];
                 for k in 1..order {
                     acc += c[k] * moments[k];
@@ -195,10 +198,24 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             let mu = 0.5 * (lo + hi);
             let coeffs =
                 chebyshev_coefficients(|x| fermi_function(scale * x + shift, mu, kt), order);
+            // Mermin correction −T_e S from the replicated global moments
+            // (identical on every rank, so no further communication).
+            let s_coeffs =
+                chebyshev_coefficients(|x| entropy_density(scale * x + shift, mu, kt), order);
+            let mut tr_g = 0.5 * s_coeffs[0] * moments[0];
+            for k in 1..order {
+                tr_g += s_coeffs[k] * moments[k];
+            }
+            let entropy_term = 2.0 * kt * tr_g;
 
             // ---- Density + forces for my atoms.
             let x_embed: Vec<f64> = (0..n_atoms)
-                .map(|i| nl.neighbors(i).iter().map(|nb| model.repulsion(nb.dist).0).sum())
+                .map(|i| {
+                    nl.neighbors(i)
+                        .iter()
+                        .map(|nb| model.repulsion(nb.dist).0)
+                        .sum()
+                })
                 .collect();
             let fx: Vec<(f64, f64)> = x_embed.iter().map(|&xi| model.embedding(xi)).collect();
             let mut band_partial = 0.0;
@@ -207,8 +224,12 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             for (slot, a) in my_atoms.clone().enumerate() {
                 let region = &regions[slot];
                 rep_partial += fx[a].0;
-                let mut neighbor_atoms: Vec<usize> =
-                    nl.neighbors(a).iter().map(|nb| nb.j).filter(|&j| j != a).collect();
+                let mut neighbor_atoms: Vec<usize> = nl
+                    .neighbors(a)
+                    .iter()
+                    .map(|nb| nb.j)
+                    .filter(|&j| j != a)
+                    .collect();
                 neighbor_atoms.sort_unstable();
                 neighbor_atoms.dedup();
                 let mut blocks = vec![[[0.0; 4]; 4]; neighbor_atoms.len()];
@@ -246,11 +267,11 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                             band_partial += rho_col[lc] * hval;
                         }
                     }
-                    for (e, &j) in neighbor_atoms.iter().enumerate() {
+                    for (block, &j) in blocks.iter_mut().zip(&neighbor_atoms) {
                         let oj = index.offset(j);
-                        for beta in 0..4 {
+                        for (beta, brow) in block.iter_mut().enumerate() {
                             if let Some(lb) = region.local_index(oj + beta) {
-                                blocks[e][beta][nu] = rho_col[lb];
+                                brow[nu] = rho_col[lb];
                             }
                         }
                     }
@@ -298,16 +319,23 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                         forces.push(Vec3::new(c[0], c[1], c[2]));
                     }
                 }
-                Some((energy_parts[0] + energy_parts[1], forces, mu))
+                Some((energy_parts[0] + energy_parts[1] + entropy_term, forces, mu))
             } else {
                 None
             }
         });
 
         let (energy, forces, mu) = results.remove(0).expect("rank 0 result");
-        *self.last_report.lock() =
-            Some(DistributedLinScaleReport { stats, mu, n_ranks: p });
-        Ok(ForceEvaluation { energy, forces, timings: PhaseTimings::default() })
+        *self.last_report.lock() = Some(DistributedLinScaleReport {
+            stats,
+            mu,
+            n_ranks: p,
+        });
+        Ok(ForceEvaluation {
+            energy,
+            forces,
+            timings: PhaseTimings::default(),
+        })
     }
 
     fn provider_name(&self) -> &str {
@@ -384,8 +412,14 @@ mod tests {
             .with_order(60)
             .with_r_loc(4.0);
         dist.evaluate(&s).unwrap();
-        let flops: Vec<u64> =
-            dist.last_report().unwrap().stats.ranks.iter().map(|r| r.flops).collect();
+        let flops: Vec<u64> = dist
+            .last_report()
+            .unwrap()
+            .stats
+            .ranks
+            .iter()
+            .map(|r| r.flops)
+            .collect();
         let max = *flops.iter().max().unwrap() as f64;
         let min = *flops.iter().min().unwrap() as f64;
         assert!(min > 0.0);

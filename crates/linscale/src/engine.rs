@@ -14,12 +14,15 @@
 //! (exponentially convergent for gapped systems — Si diamond is the
 //! friendly case, metals are not; that is the method's physics, not a bug).
 //!
-//! Unlike the dense engines, the reported energy omits the electronic
-//! entropy term `−T_e S` (it has no convenient linear-scaling estimator);
-//! comparisons in the tests therefore pin `E_band + E_rep` against the
-//! dense engine's identical decomposition.
+//! Like the dense engines, the reported energy includes the Mermin
+//! electronic-entropy term `−T_e S`: the entropy is a spectral trace
+//! `S = −2 k_B Tr[f ln f + (1−f) ln(1−f)](H)`, so it comes from the *same
+//! diagonal Chebyshev moments* as the electron count — O(order) extra work,
+//! no additional matvecs. Without it the reported potential is not the
+//! quantity the Hellmann–Feynman forces conserve, and NVE trajectories show
+//! a spurious drift proportional to the variation of `T_e S`.
 
-use crate::chebyshev::fermi_coefficients;
+use crate::chebyshev::{entropy_coefficients, fermi_coefficients};
 use crate::sparse::{LocalRegion, SparseH};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -27,9 +30,9 @@ use std::time::Instant;
 use tbmd_linalg::Vec3;
 use tbmd_model::{
     sk_block_gradient, ForceEvaluation, ForceProvider, OrbitalIndex, PhaseTimings, TbError,
-    TbModel,
+    TbModel, Workspace,
 };
-use tbmd_structure::{NeighborList, Structure};
+use tbmd_structure::Structure;
 
 /// Diagnostics of the most recent evaluation (for experiment F5).
 #[derive(Debug, Clone)]
@@ -38,6 +41,8 @@ pub struct LinScaleReport {
     pub mu: f64,
     /// Electron count reproduced at that μ.
     pub electron_count: f64,
+    /// Mermin correction `−T_e S` included in the reported energy (eV).
+    pub entropy_term: f64,
     /// Sum of localization-region orbital counts (the memory footprint).
     pub total_region_orbitals: usize,
     /// Total restricted-matvec multiply-adds — the O(N) cost metric.
@@ -128,18 +133,28 @@ struct AtomDensity {
 
 impl ForceProvider for LinearScalingTb<'_> {
     fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        self.evaluate_with(s, &mut Workspace::new())
+    }
+
+    /// Workspace-threaded evaluation. Only the neighbour machinery is
+    /// amortized here (the Chebyshev recurrence buffers are per-column and
+    /// per-thread); skin entries beyond the cutoff are dropped by the
+    /// sparse-Hamiltonian build, so results are identical to the cold path.
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
         let mut timings = PhaseTimings::default();
         let model = self.model;
         let n_atoms = s.n_atoms();
 
         let t0 = Instant::now();
-        let nl = NeighborList::build(s, model.cutoff());
+        let outcome = ws.neighbors.update(s, model.cutoff());
         timings.neighbors = t0.elapsed();
+        timings.note_neighbors(outcome);
+        let nl = ws.neighbors.list();
 
         let t0 = Instant::now();
         let index = OrbitalIndex::new(s);
-        let h = SparseH::build(s, &nl, model, &index);
+        let h = SparseH::build(s, nl, model, &index);
         let (e_min, e_max) = h.gershgorin_bounds();
         // Localization regions, one per atom (shared by its 4 columns).
         let regions: Vec<LocalRegion> = (0..n_atoms)
@@ -168,12 +183,12 @@ impl ForceProvider for LinearScalingTb<'_> {
                     if order > 1 {
                         local_moments[1] += t_cur[lj];
                     }
-                    for k in 2..order {
+                    for lm in local_moments.iter_mut().take(order).skip(2) {
                         let mut t_next = region.matvec_scaled(&t_cur, shift, scale);
                         for (tn, &tp) in t_next.iter_mut().zip(&t_prev) {
                             *tn = 2.0 * *tn - tp;
                         }
-                        local_moments[k] += t_next[lj];
+                        *lm += t_next[lj];
                         t_prev = t_cur;
                         t_cur = t_next;
                     }
@@ -212,6 +227,14 @@ impl ForceProvider for LinearScalingTb<'_> {
         let mu = 0.5 * (lo + hi);
         let electron_count = count_at(mu);
         let (_, _, coeffs) = fermi_coefficients(e_min, e_max, mu, self.kt, order);
+        // Mermin correction −T_e S from the same diagonal moments:
+        // −T_e S = 2·kT·Tr g(H), g = f ln f + (1−f) ln(1−f).
+        let (_, _, s_coeffs) = entropy_coefficients(e_min, e_max, mu, self.kt, order);
+        let mut tr_g = 0.5 * s_coeffs[0] * moments[0];
+        for k in 1..order {
+            tr_g += s_coeffs[k] * moments[k];
+        }
+        let entropy_term = 2.0 * self.kt * tr_g;
         timings.diagonalize = t0.elapsed();
 
         // ---- Density pass: ρ columns, band energy, local ρ blocks.
@@ -274,11 +297,11 @@ impl ForceProvider for LinearScalingTb<'_> {
                         }
                     }
                     // ρ blocks for the force pass: ρ[o_j+β, o_a+ν].
-                    for (e, &j) in neighbor_atoms.iter().enumerate() {
+                    for (block, &j) in blocks.iter_mut().zip(&neighbor_atoms) {
                         let oj = index.offset(j);
-                        for beta in 0..4 {
+                        for (beta, brow) in block.iter_mut().enumerate() {
                             if let Some(lb) = region.local_index(oj + beta) {
-                                blocks[e][beta][nu] = rho_col[lb];
+                                brow[nu] = rho_col[lb];
                             }
                         }
                     }
@@ -299,7 +322,12 @@ impl ForceProvider for LinearScalingTb<'_> {
         let t0 = Instant::now();
         let x: Vec<f64> = (0..n_atoms)
             .into_par_iter()
-            .map(|i| nl.neighbors(i).iter().map(|nb| model.repulsion(nb.dist).0).sum())
+            .map(|i| {
+                nl.neighbors(i)
+                    .iter()
+                    .map(|nb| model.repulsion(nb.dist).0)
+                    .sum()
+            })
             .collect();
         let fx: Vec<(f64, f64)> = x.par_iter().map(|&xi| model.embedding(xi)).collect();
         let e_rep: f64 = fx.iter().map(|&(f, _)| f).sum();
@@ -347,10 +375,15 @@ impl ForceProvider for LinearScalingTb<'_> {
         *self.last_report.lock() = Some(LinScaleReport {
             mu,
             electron_count,
+            entropy_term,
             total_region_orbitals: densities.iter().map(|d| d.region_orbitals).sum(),
             total_matvec_ops: densities.iter().map(|d| d.matvec_ops).sum(),
         });
-        Ok(ForceEvaluation { energy: band_energy + e_rep, forces, timings })
+        Ok(ForceEvaluation {
+            energy: band_energy + e_rep + entropy_term,
+            forces,
+            timings,
+        })
     }
 
     fn provider_name(&self) -> &str {
@@ -366,12 +399,15 @@ mod tests {
     use tbmd_model::{silicon_gsp, OccupationScheme, TbCalculator};
     use tbmd_structure::{bulk_diamond, Species};
 
-    /// Dense reference with the same smearing, returning band+rep (without
-    /// the entropy term, to match the O(N) energy definition).
+    /// Dense reference with the same smearing, returning the full Mermin
+    /// energy band + rep − T_e S (the O(N) engine's energy definition).
     fn dense_reference(s: &Structure, model: &dyn TbModel, kt: f64) -> (f64, Vec<Vec3>) {
         let calc = TbCalculator::with_occupation(model, OccupationScheme::Fermi { kt });
         let r = calc.compute(s).unwrap();
-        (r.band_energy + r.repulsive_energy, r.forces)
+        (
+            r.band_energy + r.repulsive_energy + r.entropy_term,
+            r.forces,
+        )
     }
 
     #[test]
@@ -473,6 +509,9 @@ mod tests {
     #[test]
     fn provider_name() {
         let model = silicon_gsp();
-        assert_eq!(LinearScalingTb::new(&model).provider_name(), "linear-scaling-tb");
+        assert_eq!(
+            LinearScalingTb::new(&model).provider_name(),
+            "linear-scaling-tb"
+        );
     }
 }

@@ -63,7 +63,12 @@ impl SparseH {
             }
             row_ptr.push(col_idx.len());
         }
-        SparseH { n, row_ptr, col_idx, values }
+        SparseH {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Dimension.
@@ -80,12 +85,13 @@ impl SparseH {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yo) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
             let mut acc = 0.0;
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
+            for (v, &c) in self.values[lo..hi].iter().zip(&self.col_idx[lo..hi]) {
+                acc += v * x[c];
             }
-            y[i] = acc;
+            *yo = acc;
         }
         y
     }
@@ -104,7 +110,10 @@ impl SparseH {
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Gershgorin bounds `(min, max)` on the spectrum.
@@ -200,7 +209,11 @@ impl LocalRegion {
                     .collect()
             })
             .collect();
-        LocalRegion { orbitals, local_of, rows }
+        LocalRegion {
+            orbitals,
+            local_of,
+            rows,
+        }
     }
 
     /// Number of orbitals in the region.
@@ -251,7 +264,13 @@ mod tests {
     use tbmd_model::{build_hamiltonian, silicon_gsp, TbModel};
     use tbmd_structure::{bulk_diamond, NeighborList, Species};
 
-    fn setup() -> (tbmd_structure::Structure, NeighborList, OrbitalIndex, SparseH, Matrix) {
+    fn setup() -> (
+        tbmd_structure::Structure,
+        NeighborList,
+        OrbitalIndex,
+        SparseH,
+        Matrix,
+    ) {
         let s = bulk_diamond(Species::Silicon, 2, 2, 2);
         let model = silicon_gsp();
         let nl = NeighborList::build(&s, model.cutoff());
@@ -334,7 +353,9 @@ mod tests {
     fn scaled_matvec_shifts_spectrum() {
         let (s, _, index, sparse, _) = setup();
         let region = LocalRegion::build(&s, &index, &sparse, 0, 1e9);
-        let x: Vec<f64> = (0..sparse.n()).map(|i| if i == 5 { 1.0 } else { 0.0 }).collect();
+        let x: Vec<f64> = (0..sparse.n())
+            .map(|i| if i == 5 { 1.0 } else { 0.0 })
+            .collect();
         let y = region.matvec_scaled(&x, 2.0, 4.0);
         let y_raw = sparse.matvec(&x);
         for i in 0..sparse.n() {

@@ -23,7 +23,11 @@ impl Berendsen {
     /// Construct; `tau_fs` must exceed the timestep for stability.
     pub fn new(dt: f64, target_k: f64, tau_fs: f64) -> Self {
         assert!(tau_fs >= dt, "Berendsen tau must be >= dt");
-        Berendsen { verlet: VelocityVerlet::new(dt), target_k, tau_fs }
+        Berendsen {
+            verlet: VelocityVerlet::new(dt),
+            target_k,
+            tau_fs,
+        }
     }
 
     /// One Verlet step followed by the weak-coupling rescale.
@@ -31,8 +35,9 @@ impl Berendsen {
         self.verlet.step(state, provider)?;
         let t = state.temperature();
         if t > 0.0 {
-            let lambda =
-                (1.0 + self.verlet.dt / self.tau_fs * (self.target_k / t - 1.0)).max(0.0).sqrt();
+            let lambda = (1.0 + self.verlet.dt / self.tau_fs * (self.target_k / t - 1.0))
+                .max(0.0)
+                .sqrt();
             for v in &mut state.velocities {
                 *v *= lambda;
             }
@@ -91,9 +96,13 @@ mod tests {
         let v = maxwell_boltzmann(&s, 300.0, &mut rng);
         let mut nve_state = MdState::new(s.clone(), v.clone(), &calc).unwrap();
         let mut ber_state = MdState::new(s, v, &calc).unwrap();
-        VelocityVerlet::new(1.0).step(&mut nve_state, &calc).unwrap();
+        VelocityVerlet::new(1.0)
+            .step(&mut nve_state, &calc)
+            .unwrap();
         // Huge tau → λ ≈ 1.
-        Berendsen::new(1.0, 300.0, 1e9).step(&mut ber_state, &calc).unwrap();
+        Berendsen::new(1.0, 300.0, 1e9)
+            .step(&mut ber_state, &calc)
+            .unwrap();
         for (a, b) in nve_state.velocities.iter().zip(&ber_state.velocities) {
             assert!((*a - *b).norm() < 1e-9);
         }

@@ -23,8 +23,7 @@ pub mod verlet;
 pub use berendsen::Berendsen;
 pub use nose_hoover::{NoseHoover, TemperatureRamp};
 pub use observables::{
-    diffusion_coefficient, mean_square_displacement, RdfAccumulator, RunningStats,
-    VacfAccumulator,
+    diffusion_coefficient, mean_square_displacement, RdfAccumulator, RunningStats, VacfAccumulator,
 };
 pub use phonons::{normal_modes, vibrational_dos, NormalModes};
 pub use relax::{max_force_component, relax, RelaxOptions, RelaxResult};

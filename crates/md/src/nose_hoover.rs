@@ -16,7 +16,7 @@
 
 use crate::state::MdState;
 use tbmd_model::units::KB_EV;
-use tbmd_model::{ForceProvider, TbError};
+use tbmd_model::{ForceProvider, TbError, Workspace};
 
 /// Nosé–Hoover NVT integrator.
 #[derive(Debug, Clone)]
@@ -37,7 +37,13 @@ impl NoseHoover {
     /// Construct with an explicit thermostat mass.
     pub fn new(dt: f64, target_k: f64, q: f64) -> Self {
         assert!(dt > 0.0 && target_k >= 0.0 && q > 0.0);
-        NoseHoover { dt, target_k, q, xi: 0.0, eta: 0.0 }
+        NoseHoover {
+            dt,
+            target_k,
+            q,
+            xi: 0.0,
+            eta: 0.0,
+        }
     }
 
     /// Construct with the standard choice `Q = g·k_B·T·τ²` for a thermostat
@@ -76,8 +82,23 @@ impl NoseHoover {
         self.eta += dt2 * self.xi;
     }
 
-    /// Advance one NVT step.
-    pub fn step(&mut self, state: &mut MdState, provider: &dyn ForceProvider) -> Result<(), TbError> {
+    /// Advance one NVT step (cold force path).
+    pub fn step(
+        &mut self,
+        state: &mut MdState,
+        provider: &dyn ForceProvider,
+    ) -> Result<(), TbError> {
+        self.step_with(state, provider, &mut Workspace::new())
+    }
+
+    /// Advance one NVT step evaluating forces through a persistent
+    /// workspace.
+    pub fn step_with(
+        &mut self,
+        state: &mut MdState,
+        provider: &dyn ForceProvider,
+        ws: &mut Workspace,
+    ) -> Result<(), TbError> {
         let dt = self.dt;
         self.thermostat_half(state);
         let n = state.structure.n_atoms();
@@ -89,7 +110,7 @@ impl NoseHoover {
             let v = state.velocities[i];
             state.structure.positions_mut()[i] += v * dt;
         }
-        state.refresh_forces(provider)?;
+        state.refresh_forces_with(provider, ws)?;
         for i in 0..n {
             let a = state.acceleration(i);
             state.velocities[i] += a * (0.5 * dt);
@@ -99,7 +120,8 @@ impl NoseHoover {
         Ok(())
     }
 
-    /// Advance `n_steps`, calling `observer` after each step.
+    /// Advance `n_steps`, calling `observer` after each step. One workspace
+    /// is threaded through the whole run.
     pub fn run(
         &mut self,
         state: &mut MdState,
@@ -107,8 +129,9 @@ impl NoseHoover {
         n_steps: usize,
         mut observer: impl FnMut(&MdState, &NoseHoover),
     ) -> Result<(), TbError> {
+        let mut ws = Workspace::new();
         for _ in 0..n_steps {
-            self.step(state, provider)?;
+            self.step_with(state, provider, &mut ws)?;
             observer(state, self);
         }
         Ok(())
@@ -131,7 +154,11 @@ impl TemperatureRamp {
     /// while still ramping.
     pub fn advance(&self, nh: &mut NoseHoover) -> bool {
         let next = nh.target_k + self.rate_k_per_fs * nh.dt;
-        let done = if self.rate_k_per_fs >= 0.0 { next >= self.target_k } else { next <= self.target_k };
+        let done = if self.rate_k_per_fs >= 0.0 {
+            next >= self.target_k
+        } else {
+            next <= self.target_k
+        };
         nh.target_k = if done { self.target_k } else { next };
         !done
     }
@@ -191,7 +218,10 @@ mod tests {
     #[test]
     fn ramp_advances_and_saturates() {
         let mut nh = NoseHoover::new(1.0, 1000.0, 1.0);
-        let ramp = TemperatureRamp { rate_k_per_fs: 0.5, target_k: 1002.0 };
+        let ramp = TemperatureRamp {
+            rate_k_per_fs: 0.5,
+            target_k: 1002.0,
+        };
         assert!(ramp.advance(&mut nh));
         assert!((nh.target_k - 1000.5).abs() < 1e-12);
         assert!(ramp.advance(&mut nh));
@@ -206,7 +236,10 @@ mod tests {
     #[test]
     fn cooling_ramp() {
         let mut nh = NoseHoover::new(2.0, 500.0, 1.0);
-        let ramp = TemperatureRamp { rate_k_per_fs: -1.0, target_k: 497.0 };
+        let ramp = TemperatureRamp {
+            rate_k_per_fs: -1.0,
+            target_k: 497.0,
+        };
         assert!(ramp.advance(&mut nh));
         assert!((nh.target_k - 498.0).abs() < 1e-12);
         assert!(!ramp.advance(&mut nh));

@@ -17,7 +17,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Add one sample.
@@ -89,7 +95,13 @@ impl RdfAccumulator {
     /// Histogram out to `r_max` with `n_bins` bins.
     pub fn new(r_max: f64, n_bins: usize) -> Self {
         assert!(r_max > 0.0 && n_bins > 0);
-        RdfAccumulator { r_max, bins: vec![0.0; n_bins], snapshots: 0, n_atoms: 0, volume: None }
+        RdfAccumulator {
+            r_max,
+            bins: vec![0.0; n_bins],
+            snapshots: 0,
+            n_atoms: 0,
+            volume: None,
+        }
     }
 
     /// Bin width.
@@ -196,7 +208,9 @@ pub fn diffusion_coefficient(series: &[(f64, f64)]) -> Option<f64> {
         return None;
     }
     let n = series.len() as f64;
-    let (st, sm): (f64, f64) = series.iter().fold((0.0, 0.0), |(a, b), &(t, m)| (a + t, b + m));
+    let (st, sm): (f64, f64) = series
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(t, m)| (a + t, b + m));
     let (tbar, mbar) = (st / n, sm / n);
     let mut num = 0.0;
     let mut den = 0.0;
@@ -246,7 +260,9 @@ impl VacfAccumulator {
         let mut counts = vec![0usize; lags];
         for t0 in 0..m {
             for lag in 0..lags {
-                let Some(later) = self.snapshots.get(t0 + lag) else { break };
+                let Some(later) = self.snapshots.get(t0 + lag) else {
+                    break;
+                };
                 let dot: f64 = self.snapshots[t0]
                     .iter()
                     .zip(later)
@@ -330,8 +346,9 @@ mod tests {
     #[test]
     fn diffusion_coefficient_recovers_slope() {
         // MSD = 6·0.25·t + 1.0 → D = 0.25.
-        let series: Vec<(f64, f64)> =
-            (0..20).map(|i| (i as f64 * 2.0, 6.0 * 0.25 * i as f64 * 2.0 + 1.0)).collect();
+        let series: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 2.0, 6.0 * 0.25 * i as f64 * 2.0 + 1.0))
+            .collect();
         let d = diffusion_coefficient(&series).unwrap();
         assert!((d - 0.25).abs() < 1e-12);
         // Flat series → zero diffusion.
@@ -365,7 +382,11 @@ mod tests {
         }
         let c = acc.finish(2);
         assert!((c[0] - 1.0).abs() < 1e-12);
-        assert!((c[1] + 1.0).abs() < 1e-12, "lag-1 should be −1, got {}", c[1]);
+        assert!(
+            (c[1] + 1.0).abs() < 1e-12,
+            "lag-1 should be −1, got {}",
+            c[1]
+        );
         assert!((c[2] - 1.0).abs() < 1e-12);
     }
 

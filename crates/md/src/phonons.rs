@@ -119,7 +119,11 @@ pub fn normal_modes(
             }
         })
         .collect();
-    Ok(NormalModes { eigenvalues: eig.values, frequencies_thz, modes: eig.vectors })
+    Ok(NormalModes {
+        eigenvalues: eig.values,
+        frequencies_thz,
+        modes: eig.vectors,
+    })
 }
 
 /// Histogram of the vibrational density of states from mode frequencies.
@@ -149,7 +153,10 @@ mod tests {
         let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
         // Relax first so the Hessian is evaluated at the minimum.
         let mut s = dimer(Species::Silicon, 2.47);
-        let opts = crate::relax::RelaxOptions { force_tolerance: 1e-4, ..Default::default() };
+        let opts = crate::relax::RelaxOptions {
+            force_tolerance: 1e-4,
+            ..Default::default()
+        };
         crate::relax::relax(&mut s, &calc, &opts).unwrap();
         let modes = normal_modes(&s, &calc, 1e-3).unwrap();
         assert_eq!(modes.frequencies_thz.len(), 6);
@@ -172,8 +179,17 @@ mod tests {
         let modes = normal_modes(&s, &calc, 1e-3).unwrap();
         assert_eq!(modes.frequencies_thz.len(), 24);
         // Exactly 3 acoustic zero modes at Γ.
-        assert_eq!(modes.n_zero_modes(0.8), 3, "{:?}", &modes.frequencies_thz[..6]);
-        assert!(modes.is_stable(1e-2), "unstable crystal: {:?}", &modes.eigenvalues[..4]);
+        assert_eq!(
+            modes.n_zero_modes(0.8),
+            3,
+            "{:?}",
+            &modes.frequencies_thz[..6]
+        );
+        assert!(
+            modes.is_stable(1e-2),
+            "unstable crystal: {:?}",
+            &modes.eigenvalues[..4]
+        );
         // Folded optical branch: Si Raman mode is 15.5 THz; TB models land
         // within a few THz.
         let top = modes.max_frequency_thz();

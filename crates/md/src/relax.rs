@@ -88,7 +88,12 @@ pub fn relax(
         }
         let unit: Vec<Vec3> = direction.iter().map(|&d| d / dir_norm).collect();
         // Directional derivative of E along `unit` (= −F·unit).
-        let slope: f64 = -eval.forces.iter().zip(&unit).map(|(f, u)| f.dot(*u)).sum::<f64>();
+        let slope: f64 = -eval
+            .forces
+            .iter()
+            .zip(&unit)
+            .map(|(f, u)| f.dot(*u))
+            .sum::<f64>();
         if slope >= 0.0 {
             // Not a descent direction (CG went stale): restart on the
             // gradient.
@@ -135,8 +140,8 @@ pub fn relax(
             .sum();
         let den: f64 = prev_forces.iter().map(|f| f.norm_sq()).sum();
         let beta = if den > 0.0 { (num / den).max(0.0) } else { 0.0 };
-        for i in 0..n {
-            direction[i] = eval.forces[i] + direction[i] * beta;
+        for (dir, &f) in direction.iter_mut().zip(&eval.forces) {
+            *dir = f + *dir * beta;
         }
         prev_forces = eval.forces.clone();
     }
@@ -164,7 +169,10 @@ mod tests {
         let model = silicon_gsp();
         let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
         let mut s = dimer(Species::Silicon, 2.8);
-        let opts = RelaxOptions { force_tolerance: 5e-3, ..Default::default() };
+        let opts = RelaxOptions {
+            force_tolerance: 5e-3,
+            ..Default::default()
+        };
         let result = relax(&mut s, &calc, &opts).unwrap();
         assert!(result.converged, "did not converge: {result:?}");
         let d = s.distance(0, 1);
@@ -184,7 +192,11 @@ mod tests {
         s.perturb(&mut rng, 0.12);
         let e_perturbed = calc.energy_only(&s).unwrap();
         assert!(e_perturbed > e_ideal + 0.1);
-        let opts = RelaxOptions { force_tolerance: 2e-2, max_iterations: 200, ..Default::default() };
+        let opts = RelaxOptions {
+            force_tolerance: 2e-2,
+            max_iterations: 200,
+            ..Default::default()
+        };
         let result = relax(&mut s, &calc, &opts).unwrap();
         assert!(result.converged, "relaxation failed: {result:?}");
         // Should recover (a translate of) the crystal energy.
@@ -201,7 +213,10 @@ mod tests {
         let model = silicon_gsp();
         let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
         let mut s = bulk_diamond(Species::Silicon, 1, 1, 1);
-        let opts = RelaxOptions { force_tolerance: 1e-4, ..Default::default() };
+        let opts = RelaxOptions {
+            force_tolerance: 1e-4,
+            ..Default::default()
+        };
         let result = relax(&mut s, &calc, &opts).unwrap();
         assert!(result.converged);
         assert_eq!(result.iterations, 0);

@@ -2,7 +2,7 @@
 
 use tbmd_linalg::Vec3;
 use tbmd_model::units::ACCEL_CONV;
-use tbmd_model::{ForceProvider, TbError};
+use tbmd_model::{ForceProvider, TbError, Workspace};
 use tbmd_structure::Structure;
 
 use crate::velocities::{dof_with_com_removed, instantaneous_temperature, kinetic_energy};
@@ -32,8 +32,23 @@ impl MdState {
         velocities: Vec<Vec3>,
         provider: &dyn ForceProvider,
     ) -> Result<Self, TbError> {
-        assert_eq!(structure.n_atoms(), velocities.len(), "velocity count mismatch");
-        let eval = provider.evaluate(&structure)?;
+        Self::new_with(structure, velocities, provider, &mut Workspace::new())
+    }
+
+    /// [`MdState::new`] evaluating the initial forces through a persistent
+    /// workspace, so the warmup allocation is shared with the MD loop.
+    pub fn new_with(
+        structure: Structure,
+        velocities: Vec<Vec3>,
+        provider: &dyn ForceProvider,
+        ws: &mut Workspace,
+    ) -> Result<Self, TbError> {
+        assert_eq!(
+            structure.n_atoms(),
+            velocities.len(),
+            "velocity count mismatch"
+        );
+        let eval = provider.evaluate_with(&structure, ws)?;
         let masses = structure.masses();
         let n_dof = dof_with_com_removed(structure.n_atoms());
         Ok(MdState {
@@ -83,6 +98,19 @@ impl MdState {
     /// Re-evaluate forces and potential energy at the current positions.
     pub fn refresh_forces(&mut self, provider: &dyn ForceProvider) -> Result<(), TbError> {
         let eval = provider.evaluate(&self.structure)?;
+        self.forces = eval.forces;
+        self.potential_energy = eval.energy;
+        Ok(())
+    }
+
+    /// [`MdState::refresh_forces`] through a persistent workspace — the
+    /// amortized path the integrators' `step_with` variants use.
+    pub fn refresh_forces_with(
+        &mut self,
+        provider: &dyn ForceProvider,
+        ws: &mut Workspace,
+    ) -> Result<(), TbError> {
+        let eval = provider.evaluate_with(&self.structure, ws)?;
         self.forces = eval.forces;
         self.potential_energy = eval.energy;
         Ok(())

@@ -30,12 +30,16 @@ impl Trajectory {
     /// Record every `stride`-th call to [`Trajectory::observe`].
     pub fn new(stride: usize) -> Self {
         assert!(stride > 0);
-        Trajectory { stride, counter: 0, frames: Vec::new() }
+        Trajectory {
+            stride,
+            counter: 0,
+            frames: Vec::new(),
+        }
     }
 
     /// Offer a state for recording (call once per MD step).
     pub fn observe(&mut self, state: &MdState) {
-        if self.counter % self.stride == 0 {
+        if self.counter.is_multiple_of(self.stride) {
             self.frames.push(Frame {
                 time_fs: state.time_fs,
                 structure: state.structure.clone(),

@@ -54,7 +54,12 @@ pub fn remove_com_velocity(masses: &[f64], velocities: &mut [Vec3]) {
 }
 
 /// Rescale velocities so the instantaneous temperature equals `target_k`.
-pub fn rescale_to_temperature(masses: &[f64], velocities: &mut [Vec3], n_dof: usize, target_k: f64) {
+pub fn rescale_to_temperature(
+    masses: &[f64],
+    velocities: &mut [Vec3],
+    n_dof: usize,
+    target_k: f64,
+) {
     let t = instantaneous_temperature(masses, velocities, n_dof);
     if t <= 0.0 {
         return;
@@ -157,7 +162,10 @@ mod tests {
         let (vx, vy, vz) = (var(|v| v.x), var(|v| v.y), var(|v| v.z));
         let mean = (vx + vy + vz) / 3.0;
         for c in [vx, vy, vz] {
-            assert!((c - mean).abs() < 0.35 * mean, "anisotropic: {vx} {vy} {vz}");
+            assert!(
+                (c - mean).abs() < 0.35 * mean,
+                "anisotropic: {vx} {vy} {vz}"
+            );
         }
     }
 

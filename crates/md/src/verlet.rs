@@ -5,7 +5,7 @@
 //! quantifies this for the TB models.
 
 use crate::state::MdState;
-use tbmd_model::{ForceProvider, TbError};
+use tbmd_model::{ForceProvider, TbError, Workspace};
 
 /// Velocity-Verlet integrator with a fixed timestep in fs.
 #[derive(Debug, Clone, Copy)]
@@ -21,8 +21,18 @@ impl VelocityVerlet {
         VelocityVerlet { dt }
     }
 
-    /// Advance the state by one step.
+    /// Advance the state by one step (cold force path).
     pub fn step(&self, state: &mut MdState, provider: &dyn ForceProvider) -> Result<(), TbError> {
+        self.step_with(state, provider, &mut Workspace::new())
+    }
+
+    /// Advance one step evaluating forces through a persistent workspace.
+    pub fn step_with(
+        &self,
+        state: &mut MdState,
+        provider: &dyn ForceProvider,
+        ws: &mut Workspace,
+    ) -> Result<(), TbError> {
         let dt = self.dt;
         let n = state.structure.n_atoms();
         // Half-kick + drift.
@@ -35,7 +45,7 @@ impl VelocityVerlet {
             state.structure.positions_mut()[i] += v * dt;
         }
         // New forces, then the second half-kick.
-        state.refresh_forces(provider)?;
+        state.refresh_forces_with(provider, ws)?;
         for i in 0..n {
             let a = state.acceleration(i);
             state.velocities[i] += a * (0.5 * dt);
@@ -44,7 +54,9 @@ impl VelocityVerlet {
         Ok(())
     }
 
-    /// Advance `n_steps` steps, calling `observer` after each one.
+    /// Advance `n_steps` steps, calling `observer` after each one. One
+    /// workspace is threaded through the whole run, so every step after the
+    /// first reuses the neighbour list and matrix buffers.
     pub fn run(
         &self,
         state: &mut MdState,
@@ -52,8 +64,9 @@ impl VelocityVerlet {
         n_steps: usize,
         mut observer: impl FnMut(&MdState),
     ) -> Result<(), TbError> {
+        let mut ws = Workspace::new();
         for _ in 0..n_steps {
-            self.step(state, provider)?;
+            self.step_with(state, provider, &mut ws)?;
             observer(state);
         }
         Ok(())
@@ -66,9 +79,9 @@ mod tests {
     use crate::velocities::maxwell_boltzmann;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use tbmd_linalg::Vec3;
     use tbmd_model::{silicon_gsp, OccupationScheme, TbCalculator};
     use tbmd_structure::{bulk_diamond, dimer, Species};
-    use tbmd_linalg::Vec3;
 
     #[test]
     fn energy_conserved_in_small_crystal() {

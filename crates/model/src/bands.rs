@@ -82,15 +82,18 @@ pub fn bloch_hamiltonian(
 pub fn hermitian_eigenvalues(a: &Matrix, b: &Matrix) -> Result<Vec<f64>, EigError> {
     let n = a.rows();
     debug_assert!(a.asymmetry() < 1e-9, "A not symmetric");
-    debug_assert!({
-        let mut worst = 0.0f64;
-        for i in 0..n {
-            for j in 0..n {
-                worst = worst.max((b[(i, j)] + b[(j, i)]).abs());
+    debug_assert!(
+        {
+            let mut worst = 0.0f64;
+            for i in 0..n {
+                for j in 0..n {
+                    worst = worst.max((b[(i, j)] + b[(j, i)]).abs());
+                }
             }
-        }
-        worst < 1e-9
-    }, "B not antisymmetric");
+            worst < 1e-9
+        },
+        "B not antisymmetric"
+    );
     let mut m = Matrix::zeros(2 * n, 2 * n);
     for i in 0..n {
         for j in 0..n {
@@ -106,11 +109,7 @@ pub fn hermitian_eigenvalues(a: &Matrix, b: &Matrix) -> Result<Vec<f64>, EigErro
 }
 
 /// Band energies (ascending, `n_orbitals` of them) at one k-point.
-pub fn band_energies(
-    s: &Structure,
-    model: &dyn TbModel,
-    k: Vec3,
-) -> Result<Vec<f64>, EigError> {
+pub fn band_energies(s: &Structure, model: &dyn TbModel, k: Vec3) -> Result<Vec<f64>, EigError> {
     let nl = NeighborList::build(s, model.cutoff());
     let index = OrbitalIndex::new(s);
     let (a, b) = bloch_hamiltonian(s, &nl, model, &index, k);
@@ -174,17 +173,17 @@ pub fn band_gap(bands_per_k: &[Vec<f64>], n_electrons: usize) -> Option<f64> {
 
 /// Gaussian-broadened electronic density of states from a set of
 /// eigenvalues; returns `(energy, dos)` samples.
-pub fn density_of_states(
-    eigenvalues: &[f64],
-    sigma: f64,
-    n_points: usize,
-) -> Vec<(f64, f64)> {
+pub fn density_of_states(eigenvalues: &[f64], sigma: f64, n_points: usize) -> Vec<(f64, f64)> {
     assert!(sigma > 0.0 && n_points >= 2);
     if eigenvalues.is_empty() {
         return vec![];
     }
     let lo = eigenvalues.iter().cloned().fold(f64::INFINITY, f64::min) - 4.0 * sigma;
-    let hi = eigenvalues.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 4.0 * sigma;
+    let hi = eigenvalues
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 4.0 * sigma;
     let norm = 1.0 / (sigma * (2.0 * std::f64::consts::PI).sqrt());
     (0..n_points)
         .map(|p| {

@@ -45,12 +45,26 @@ pub const C_REPULSION_SCALE: f64 = 1.0;
 /// Build the carbon model.
 pub fn carbon_xwch() -> GspTbModel {
     let tail = CutoffTail::new(C_TAIL_INNER, C_TAIL_OUTER);
-    let hop_scaling = GspScaling { r0: C_R0, n: 2.0, rc: 2.18, nc: 6.5 };
+    let hop_scaling = GspScaling {
+        r0: C_R0,
+        n: 2.0,
+        rc: 2.18,
+        nc: 6.5,
+    };
     let amplitudes = [-5.0, 4.7, 5.5, -1.55];
-    let hop = amplitudes.map(|a| RadialFunction { amplitude: a, scaling: hop_scaling, tail });
+    let hop = amplitudes.map(|a| RadialFunction {
+        amplitude: a,
+        scaling: hop_scaling,
+        tail,
+    });
     let rep = RadialFunction {
         amplitude: 8.18555,
-        scaling: GspScaling { r0: C_D0, n: 3.30304, rc: 2.1052, nc: 8.6655 },
+        scaling: GspScaling {
+            r0: C_D0,
+            n: 3.30304,
+            rc: 2.1052,
+            nc: 8.6655,
+        },
         tail,
     };
     let embed = EmbeddingPolynomial {
@@ -124,7 +138,10 @@ mod tests {
         for &r in &[1.3, 1.54, 1.9, 2.3, 2.5] {
             let (_, dphi) = m.repulsion(r);
             let fd = (m.repulsion(r + h).0 - m.repulsion(r - h).0) / (2.0 * h);
-            assert!((fd - dphi).abs() < 1e-4 * (1.0 + dphi.abs()), "r={r}: {fd} vs {dphi}");
+            assert!(
+                (fd - dphi).abs() < 1e-4 * (1.0 + dphi.abs()),
+                "r={r}: {fd} vs {dphi}"
+            );
         }
     }
 

@@ -56,8 +56,22 @@ pub fn build_hamiltonian(
     model: &dyn TbModel,
     index: &OrbitalIndex,
 ) -> Matrix {
+    let mut h = Matrix::zeros(0, 0);
+    build_hamiltonian_into(s, nl, model, index, &mut h);
+    h
+}
+
+/// [`build_hamiltonian`] into a caller-owned buffer, reusing its allocation
+/// when the capacity suffices. Returns `true` if the buffer had to grow.
+pub fn build_hamiltonian_into(
+    s: &Structure,
+    nl: &NeighborList,
+    model: &dyn TbModel,
+    index: &OrbitalIndex,
+    h: &mut Matrix,
+) -> bool {
     let n = index.total();
-    let mut h = Matrix::zeros(n, n);
+    let grew = h.resize_zeroed(n, n);
     // On-site energies.
     for i in 0..s.n_atoms() {
         let e = model.on_site(s.species(i));
@@ -84,7 +98,7 @@ pub fn build_hamiltonian(
             }
         }
     }
-    h
+    grew
 }
 
 #[cfg(test)]
@@ -198,7 +212,10 @@ mod tests {
             .fold(0.0f64, f64::max);
         let bound = 5.25 + 3.71 + 16.0 * vmax;
         for &e in &vals {
-            assert!(e.abs() < bound, "eigenvalue {e} outside Gershgorin-ish bound");
+            assert!(
+                e.abs() < bound,
+                "eigenvalue {e} outside Gershgorin-ish bound"
+            );
         }
     }
 }

@@ -36,7 +36,12 @@ pub struct KPoint {
 /// Monkhorst–Pack grid for an orthorhombic cell: fractional coordinates
 /// `u_r = (2r − q − 1)/(2q)`, `r = 1..q` per periodic axis.
 pub fn monkhorst_pack(s: &Structure, q: [usize; 3]) -> Vec<KPoint> {
-    grid_from_fractions(s, q, |r, qa| (2.0 * r as f64 - qa as f64 - 1.0) / (2.0 * qa as f64), 1)
+    grid_from_fractions(
+        s,
+        q,
+        |r, qa| (2.0 * r as f64 - qa as f64 - 1.0) / (2.0 * qa as f64),
+        1,
+    )
 }
 
 /// Supercell-folding grid: `u_r = r/n`, `r = 0..n-1` — exactly the k-set a
@@ -67,11 +72,26 @@ fn grid_from_fractions(
         for ry in start..start + counts[1] {
             for rz in start..start + counts[2] {
                 let k = Vec3::new(
-                    if s.cell().periodic[0] { frac(rx, counts[0]) * recip(0) } else { 0.0 },
-                    if s.cell().periodic[1] { frac(ry, counts[1]) * recip(1) } else { 0.0 },
-                    if s.cell().periodic[2] { frac(rz, counts[2]) * recip(2) } else { 0.0 },
+                    if s.cell().periodic[0] {
+                        frac(rx, counts[0]) * recip(0)
+                    } else {
+                        0.0
+                    },
+                    if s.cell().periodic[1] {
+                        frac(ry, counts[1]) * recip(1)
+                    } else {
+                        0.0
+                    },
+                    if s.cell().periodic[2] {
+                        frac(rz, counts[2]) * recip(2)
+                    } else {
+                        0.0
+                    },
                 );
-                points.push(KPoint { k, weight: 1.0 / total });
+                points.push(KPoint {
+                    k,
+                    weight: 1.0 / total,
+                });
             }
         }
     }
@@ -199,18 +219,22 @@ impl<'m> KPointCalculator<'m> {
                 .iter()
                 .zip(&self.kpoints)
                 .map(|(eps, kp)| {
-                    kp.weight
-                        * 2.0
-                        * eps
-                            .iter()
-                            .map(|&e| fermi((e - mu) / self.kt))
-                            .sum::<f64>()
+                    kp.weight * 2.0 * eps.iter().map(|&e| fermi((e - mu) / self.kt)).sum::<f64>()
                 })
                 .sum()
         };
-        let lo0 = spectra.iter().flatten().cloned().fold(f64::INFINITY, f64::min) - 30.0 * self.kt;
-        let hi0 =
-            spectra.iter().flatten().cloned().fold(f64::NEG_INFINITY, f64::max) + 30.0 * self.kt;
+        let lo0 = spectra
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            - 30.0 * self.kt;
+        let hi0 = spectra
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + 30.0 * self.kt;
         let (mut lo, mut hi) = (lo0, hi0);
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);
@@ -273,7 +297,7 @@ impl ForceProvider for KPointCalculator<'_> {
                     .sum::<f64>();
             let (re, im) = complex_density(a, b, &f)?;
             // Forces: F_i += 2 w_k Σ_entries Σ_{μν} Re{ρ*_{(oi+μ)(oj+ν)} e^{ik·T}} G_γ[μν].
-            for i in 0..s.n_atoms() {
+            for (i, fo) in forces.iter_mut().enumerate() {
                 let oi = index.offset(i);
                 let mut fi = Vec3::ZERO;
                 for nb in nl.neighbors(i) {
@@ -299,15 +323,15 @@ impl ForceProvider for KPointCalculator<'_> {
                         for (mu2, grow) in grad[gamma].iter().enumerate() {
                             for (nu, &g) in grow.iter().enumerate() {
                                 // Re{ρ* e^{ikT}} = Re ρ·cos + Im ρ·sin.
-                                let rho_eff = re[(oi + mu2, oj + nu)] * cp
-                                    + im[(oi + mu2, oj + nu)] * sp;
+                                let rho_eff =
+                                    re[(oi + mu2, oj + nu)] * cp + im[(oi + mu2, oj + nu)] * sp;
                                 acc += rho_eff * g;
                             }
                         }
                         fi[gamma] += 2.0 * kp.weight * acc;
                     }
                 }
-                forces[i] += fi;
+                *fo += fi;
             }
         }
         let (e_rep, rep_forces) = repulsive_energy_forces(s, &nl, self.model, true);
@@ -346,12 +370,20 @@ mod tests {
         let gamma = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
         let kcalc = KPointCalculator::new(
             &model,
-            vec![KPoint { k: Vec3::ZERO, weight: 1.0 }],
+            vec![KPoint {
+                k: Vec3::ZERO,
+                weight: 1.0,
+            }],
             0.1,
         );
         let a = gamma.evaluate(&s).unwrap();
         let b = kcalc.evaluate(&s).unwrap();
-        assert!((a.energy - b.energy).abs() < 1e-8, "{} vs {}", a.energy, b.energy);
+        assert!(
+            (a.energy - b.energy).abs() < 1e-8,
+            "{} vs {}",
+            a.energy,
+            b.energy
+        );
         for (fa, fb) in a.forces.iter().zip(&b.forces) {
             assert!((*fa - *fb).max_abs() < 1e-8);
         }
@@ -390,8 +422,8 @@ mod tests {
             sp.positions_mut()[i][gamma] += h;
             let mut sm = s.clone();
             sm.positions_mut()[i][gamma] -= h;
-            let fd = -(kcalc.energy_only(&sp).unwrap() - kcalc.energy_only(&sm).unwrap())
-                / (2.0 * h);
+            let fd =
+                -(kcalc.energy_only(&sp).unwrap() - kcalc.energy_only(&sm).unwrap()) / (2.0 * h);
             let an = eval.forces[i][gamma];
             assert!(
                 (fd - an).abs() < 3e-4 * (1.0 + an.abs()),
@@ -442,7 +474,10 @@ mod tests {
         };
         let gamma_only = KPointCalculator::new(
             &model,
-            vec![KPoint { k: Vec3::ZERO, weight: 1.0 }],
+            vec![KPoint {
+                k: Vec3::ZERO,
+                weight: 1.0,
+            }],
             0.1,
         )
         .evaluate(&primitive)

@@ -21,17 +21,18 @@ pub mod silicon;
 pub mod slater_koster;
 pub mod stress;
 pub mod units;
+pub mod workspace;
 
 pub use bands::{
     band_energies, band_gap, band_structure, bloch_hamiltonian, density_of_states,
     hermitian_eigenvalues, k_path,
 };
 pub use calculator::{
-    density_matrix, electronic_forces, repulsive_energy_forces, PhaseTimings, TbCalculator,
-    TbError, TbResult,
+    density_matrix, density_matrix_into, electronic_forces, repulsive_energy_forces, PhaseTimings,
+    TbCalculator, TbError, TbResult,
 };
 pub use carbon::carbon_xwch;
-pub use hamiltonian::{build_hamiltonian, OrbitalIndex};
+pub use hamiltonian::{build_hamiltonian, build_hamiltonian_into, OrbitalIndex};
 pub use kpoints::{folding_grid, monkhorst_pack, KPoint, KPointCalculator};
 pub use model::{EmbeddingPolynomial, GspTbModel, TbModel};
 pub use nonortho::{
@@ -45,3 +46,4 @@ pub use silicon::silicon_gsp;
 pub use slater_koster::{sk_block, sk_block_gradient, sk_transpose, Hoppings, SkBlock};
 pub use stress::{pressure, stress_from_density, stress_tensor, StressTensor, EV_PER_A3_TO_GPA};
 pub use units::{ACCEL_CONV, KB_EV};
+pub use workspace::{NeighborOutcome, NeighborStats, NeighborWorkspace, Workspace, DEFAULT_SKIN};

@@ -119,7 +119,11 @@ impl TbModel for GspTbModel {
     }
 
     fn on_site(&self, sp: Species) -> [f64; 4] {
-        debug_assert!(self.supports(sp), "species {sp} not parametrized by {}", self.name);
+        debug_assert!(
+            self.supports(sp),
+            "species {sp} not parametrized by {}",
+            self.name
+        );
         [self.e_s, self.e_p, self.e_p, self.e_p]
     }
 
@@ -158,7 +162,9 @@ mod tests {
     #[test]
     fn polynomial_eval_and_derivative() {
         // f(x) = 1 + 2x + 3x² → f(2) = 17, f'(2) = 14.
-        let p = EmbeddingPolynomial { coefficients: vec![1.0, 2.0, 3.0] };
+        let p = EmbeddingPolynomial {
+            coefficients: vec![1.0, 2.0, 3.0],
+        };
         let (f, df) = p.eval(2.0);
         assert!((f - 17.0).abs() < 1e-14);
         assert!((df - 14.0).abs() < 1e-14);
@@ -166,9 +172,13 @@ mod tests {
 
     #[test]
     fn polynomial_empty_and_constant() {
-        let zero = EmbeddingPolynomial { coefficients: vec![] };
+        let zero = EmbeddingPolynomial {
+            coefficients: vec![],
+        };
         assert_eq!(zero.eval(3.0), (0.0, 0.0));
-        let c = EmbeddingPolynomial { coefficients: vec![4.5] };
+        let c = EmbeddingPolynomial {
+            coefficients: vec![4.5],
+        };
         assert_eq!(c.eval(-2.0), (4.5, 0.0));
     }
 

@@ -20,12 +20,12 @@
 //! formalism, clearly not a published fit; see DESIGN.md's substitution
 //! policy.
 
+use crate::calculator::{repulsive_energy_forces, PhaseTimings, TbError};
+use crate::hamiltonian::{build_hamiltonian, OrbitalIndex};
 use crate::model::{GspTbModel, TbModel};
 use crate::occupations::{occupations, OccupationScheme};
 use crate::provider::{ForceEvaluation, ForceProvider};
 use crate::slater_koster::{sk_block, sk_block_gradient, Hoppings};
-use crate::calculator::{repulsive_energy_forces, PhaseTimings, TbError};
-use crate::hamiltonian::{build_hamiltonian, OrbitalIndex};
 use tbmd_linalg::{generalized_eigh, Matrix, Vec3};
 use tbmd_structure::{NeighborList, Species, Structure};
 
@@ -160,7 +160,10 @@ pub struct NonOrthoCalculator<'m> {
 impl<'m> NonOrthoCalculator<'m> {
     /// Default calculator.
     pub fn new(model: &'m dyn NonOrthogonalTbModel) -> Self {
-        NonOrthoCalculator { model, occupation: OccupationScheme::Fermi { kt: 0.1 } }
+        NonOrthoCalculator {
+            model,
+            occupation: OccupationScheme::Fermi { kt: 0.1 },
+        }
     }
 
     fn validate(&self, s: &Structure) -> Result<(), TbError> {
@@ -214,14 +217,14 @@ impl ForceProvider for NonOrthoCalculator<'_> {
         // w = 2 Σ f ε c cᵀ: reuse density_matrix with signed weights via
         // explicit accumulation (weights can be negative).
         let mut w = Matrix::zeros(n, n);
-        for k in 0..n {
-            let fe = 2.0 * w_diag[k];
+        for (k, &wd) in w_diag.iter().enumerate() {
+            let fe = 2.0 * wd;
             if fe.abs() < 1e-14 {
                 continue;
             }
             let col = eig.vectors.col(k);
-            for i in 0..n {
-                let ci = fe * col[i];
+            for (i, &cv) in col.iter().enumerate() {
+                let ci = fe * cv;
                 for (j, &cj) in col.iter().enumerate() {
                     w[(i, j)] += ci * cj;
                 }
@@ -230,7 +233,7 @@ impl ForceProvider for NonOrthoCalculator<'_> {
 
         // Forces: electronic −ρ:∂H + w:∂S per directed entry, plus repulsion.
         let mut forces = vec![Vec3::ZERO; s.n_atoms()];
-        for i in 0..s.n_atoms() {
+        for (i, fo) in forces.iter_mut().enumerate() {
             let oi = index.offset(i);
             let mut fi = Vec3::ZERO;
             for nb in nl.neighbors(i) {
@@ -255,7 +258,7 @@ impl ForceProvider for NonOrthoCalculator<'_> {
                     fi[gamma] += 2.0 * acc;
                 }
             }
-            forces[i] = fi;
+            *fo = fi;
         }
         let (e_rep, rep_forces) = repulsive_energy_forces(s, &nl, self.model, true);
         for (f, rf) in forces.iter_mut().zip(rep_forces.expect("forces")) {
@@ -305,7 +308,12 @@ mod tests {
         s.perturb(&mut rng, 0.06);
         let a = ortho.evaluate(&s).unwrap();
         let b = nonortho.evaluate(&s).unwrap();
-        assert!((a.energy - b.energy).abs() < 1e-8, "{} vs {}", a.energy, b.energy);
+        assert!(
+            (a.energy - b.energy).abs() < 1e-8,
+            "{} vs {}",
+            a.energy,
+            b.energy
+        );
         for (fa, fb) in a.forces.iter().zip(&b.forces) {
             assert!((*fa - *fb).max_abs() < 1e-7);
         }
@@ -321,7 +329,10 @@ mod tests {
         let index = OrbitalIndex::new(&s);
         let sm = build_overlap(&s, &nl, &model, &index);
         assert!(sm.asymmetry() < 1e-12);
-        assert!(Cholesky::factor(&sm).is_ok(), "overlap not positive definite");
+        assert!(
+            Cholesky::factor(&sm).is_ok(),
+            "overlap not positive definite"
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ const DEGENERACY_TOL: f64 = 1e-8;
 /// # Panics
 /// Panics if more electrons are requested than `2 × n_states` can hold, or
 /// if the eigenvalues are not sorted.
-pub fn occupations(eigenvalues: &[f64], n_electrons: usize, scheme: OccupationScheme) -> Occupations {
+pub fn occupations(
+    eigenvalues: &[f64],
+    n_electrons: usize,
+    scheme: OccupationScheme,
+) -> Occupations {
     let n = eigenvalues.len();
     assert!(
         n_electrons <= 2 * n,
@@ -137,7 +141,11 @@ fn zero_temperature(eigenvalues: &[f64], n_electrons: usize) -> Occupations {
     } else {
         eigenvalues[homo_idx]
     };
-    Occupations { f, fermi_level, entropy: 0.0 }
+    Occupations {
+        f,
+        fermi_level,
+        entropy: 0.0,
+    }
 }
 
 fn fermi(eigenvalues: &[f64], n_electrons: usize, kt: f64) -> Occupations {
@@ -164,7 +172,10 @@ fn fermi(eigenvalues: &[f64], n_electrons: usize, kt: f64) -> Occupations {
         }
     }
     let mu = 0.5 * (lo + hi);
-    let f: Vec<f64> = eigenvalues.iter().map(|&e| fermi_occ((e - mu) / kt)).collect();
+    let f: Vec<f64> = eigenvalues
+        .iter()
+        .map(|&e| fermi_occ((e - mu) / kt))
+        .collect();
     // Electronic entropy S = −2 k_B Σ [f ln f + (1−f) ln(1−f)].
     let entropy = -2.0
         * KB_EV
@@ -176,7 +187,11 @@ fn fermi(eigenvalues: &[f64], n_electrons: usize, kt: f64) -> Occupations {
                 a + b
             })
             .sum::<f64>();
-    Occupations { f, fermi_level: mu, entropy }
+    Occupations {
+        f,
+        fermi_level: mu,
+        entropy,
+    }
 }
 
 /// Overflow-safe Fermi function of the reduced energy `x = (ε − μ)/kT`.

@@ -7,6 +7,7 @@
 //! `tbmd-linscale` are all drop-in interchangeable.
 
 use crate::calculator::{PhaseTimings, TbCalculator, TbError, TbResult};
+use crate::workspace::Workspace;
 use tbmd_linalg::Vec3;
 use tbmd_structure::Structure;
 
@@ -23,14 +24,30 @@ pub struct ForceEvaluation {
 
 impl From<TbResult> for ForceEvaluation {
     fn from(r: TbResult) -> Self {
-        ForceEvaluation { energy: r.energy, forces: r.forces, timings: r.timings }
+        ForceEvaluation {
+            energy: r.energy,
+            forces: r.forces,
+            timings: r.timings,
+        }
     }
 }
 
 /// An engine that evaluates energies and forces for a structure.
 pub trait ForceProvider {
-    /// Evaluate energy and forces.
+    /// Evaluate energy and forces (cold path: engines that support
+    /// workspaces allocate a fresh one per call).
     fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError>;
+
+    /// Evaluate through a persistent [`Workspace`], amortizing neighbour
+    /// lists and matrix buffers across calls. The MD drivers hold one
+    /// workspace for the whole run and call this every step.
+    ///
+    /// Engines without workspace support ignore `ws` and fall back to
+    /// [`ForceProvider::evaluate`]; results must be identical either way.
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
+        let _ = ws;
+        self.evaluate(s)
+    }
 
     /// Energy only; engines may override with a cheaper path.
     fn energy_only(&self, s: &Structure) -> Result<f64, TbError> {
@@ -46,6 +63,10 @@ pub trait ForceProvider {
 impl ForceProvider for TbCalculator<'_> {
     fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
         Ok(self.compute(s)?.into())
+    }
+
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
+        Ok(self.compute_with(s, ws)?.into())
     }
 
     fn energy_only(&self, s: &Structure) -> Result<f64, TbError> {

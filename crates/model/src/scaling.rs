@@ -125,7 +125,12 @@ mod tests {
     use super::*;
 
     fn si_like() -> GspScaling {
-        GspScaling { r0: 2.360352, n: 2.0, rc: 3.67, nc: 6.48 }
+        GspScaling {
+            r0: 2.360352,
+            n: 2.0,
+            rc: 3.67,
+            nc: 6.48,
+        }
     }
 
     #[test]
@@ -153,7 +158,10 @@ mod tests {
         for &r in &[1.9, 2.36, 2.8, 3.3, 3.9] {
             let fd = (s.value(r + h) - s.value(r - h)) / (2.0 * h);
             let an = s.derivative(r);
-            assert!((fd - an).abs() < 1e-7 * (1.0 + an.abs()), "r={r}: fd={fd}, an={an}");
+            assert!(
+                (fd - an).abs() < 1e-7 * (1.0 + an.abs()),
+                "r={r}: fd={fd}, an={an}"
+            );
         }
     }
 
@@ -217,7 +225,10 @@ mod tests {
         for &r in &[2.0, 2.36, 3.0, 3.7, 3.9, 4.1] {
             let fd = (g.value(r + h) - g.value(r - h)) / (2.0 * h);
             let an = g.derivative(r);
-            assert!((fd - an).abs() < 1e-6 * (1.0 + an.abs()), "r={r}: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 1e-6 * (1.0 + an.abs()),
+                "r={r}: fd={fd} an={an}"
+            );
         }
     }
 

@@ -45,12 +45,26 @@ pub const SI_REPULSION_SCALE: f64 = 1.124;
 /// Build the silicon model.
 pub fn silicon_gsp() -> GspTbModel {
     let tail = CutoffTail::new(SI_TAIL_INNER, SI_TAIL_OUTER);
-    let hop_scaling = GspScaling { r0: SI_R0, n: 2.0, rc: 3.67, nc: 6.48 };
+    let hop_scaling = GspScaling {
+        r0: SI_R0,
+        n: 2.0,
+        rc: 3.67,
+        nc: 6.48,
+    };
     let amplitudes = [-2.038, 1.745, 2.75, -1.075];
-    let hop = amplitudes.map(|a| RadialFunction { amplitude: a, scaling: hop_scaling, tail });
+    let hop = amplitudes.map(|a| RadialFunction {
+        amplitude: a,
+        scaling: hop_scaling,
+        tail,
+    });
     let rep = RadialFunction {
         amplitude: 1.0,
-        scaling: GspScaling { r0: SI_R0, n: 6.8755, rc: 3.66995, nc: 13.017 },
+        scaling: GspScaling {
+            r0: SI_R0,
+            n: 6.8755,
+            rc: 3.66995,
+            nc: 13.017,
+        },
         tail,
     };
     let embed = EmbeddingPolynomial {
@@ -144,7 +158,10 @@ mod tests {
             let vm = m.hoppings(r - h);
             for k in 0..4 {
                 let fd = (vp[k] - vm[k]) / (2.0 * h);
-                assert!((fd - d[k]).abs() < 1e-5 * (1.0 + d[k].abs()), "r={r}, k={k}");
+                assert!(
+                    (fd - d[k]).abs() < 1e-5 * (1.0 + d[k].abs()),
+                    "r={r}, k={k}"
+                );
             }
         }
     }

@@ -66,7 +66,7 @@ pub fn sk_block_gradient(d: [f64; 3], v: Hoppings, dv: Hoppings) -> [SkBlock; 3]
     let mut out = [[[0.0; 4]; 4]; 3];
     for (g, grad) in out.iter_mut().enumerate() {
         let drdg = l[g]; // ∂r/∂d_γ
-        // ss
+                         // ss
         grad[0][0] = dv[SS_SIGMA] * drdg;
         for a in 0..3 {
             // sp and ps
@@ -136,11 +136,16 @@ mod tests {
         // The 4x4 block's singular values must not depend on bond direction,
         // only on |d| (the hoppings are evaluated externally).
         // Compare invariants: trace of BᵀB for two directions of equal length.
-        let frob = |b: &SkBlock| -> f64 {
-            b.iter().flatten().map(|x| x * x).sum::<f64>()
-        };
+        let frob = |b: &SkBlock| -> f64 { b.iter().flatten().map(|x| x * x).sum::<f64>() };
         let b1 = sk_block([2.0, 0.0, 0.0], V);
-        let b2 = sk_block([2.0 / 3.0f64.sqrt(), 2.0 / 3.0f64.sqrt(), 2.0 / 3.0f64.sqrt()], V);
+        let b2 = sk_block(
+            [
+                2.0 / 3.0f64.sqrt(),
+                2.0 / 3.0f64.sqrt(),
+                2.0 / 3.0f64.sqrt(),
+            ],
+            V,
+        );
         assert!((frob(&b1) - frob(&b2)).abs() < 1e-12);
     }
 
@@ -148,9 +153,9 @@ mod tests {
     fn pp_block_is_symmetric_within_itself() {
         // p–p sub-block is symmetric in (α, β) for any direction.
         let b = sk_block([0.4, -1.9, 0.8], V);
-        for a in 1..4 {
-            for c in 1..4 {
-                assert!((b[a][c] - b[c][a]).abs() < 1e-14);
+        for (a, row) in b.iter().enumerate().skip(1) {
+            for (c, &v) in row.iter().enumerate().skip(1) {
+                assert!((v - b[c][a]).abs() < 1e-14);
             }
         }
     }

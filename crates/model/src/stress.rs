@@ -18,11 +18,11 @@
 //! lattice constant has `σ ≈ 0`.
 
 use crate::calculator::density_matrix;
+use crate::calculator::TbError;
 use crate::hamiltonian::{build_hamiltonian, OrbitalIndex};
 use crate::model::TbModel;
 use crate::occupations::{occupations, OccupationScheme};
 use crate::slater_koster::sk_block_gradient;
-use crate::calculator::TbError;
 use tbmd_linalg::{eigh, Matrix};
 use tbmd_structure::{NeighborList, Structure};
 
@@ -78,11 +78,16 @@ pub fn stress_from_density(
     let mut sigma = [[0.0; 3]; 3];
     // Embedding derivatives for the repulsive part.
     let x: Vec<f64> = (0..n)
-        .map(|i| nl.neighbors(i).iter().map(|nb| model.repulsion(nb.dist).0).sum())
+        .map(|i| {
+            nl.neighbors(i)
+                .iter()
+                .map(|nb| model.repulsion(nb.dist).0)
+                .sum()
+        })
         .collect();
     let dfdx: Vec<f64> = x.iter().map(|&xi| model.embedding(xi).1).collect();
 
-    for i in 0..n {
+    for (i, &dfdx_i) in dfdx.iter().enumerate() {
         let oi = index.offset(i);
         for nb in nl.neighbors(i) {
             let d = nb.disp;
@@ -109,10 +114,10 @@ pub fn stress_from_density(
             // Repulsive part: f'(x_i) φ'(r) d̂_a d_b per directed entry.
             let (_, dphi) = model.repulsion(nb.dist);
             if dphi != 0.0 {
-                let scale = dfdx[i] * dphi / nb.dist;
-                for a in 0..3 {
-                    for b in 0..3 {
-                        sigma[a][b] += scale * d[a] * d[b];
+                let scale = dfdx_i * dphi / nb.dist;
+                for (a, srow) in sigma.iter_mut().enumerate() {
+                    for (sv, db) in srow.iter_mut().zip(d.to_array()) {
+                        *sv += scale * d[a] * db;
                     }
                 }
             }
@@ -124,12 +129,10 @@ pub fn stress_from_density(
         }
     }
     // Enforce exact symmetry (round-off level asymmetry from the block sums).
-    for a in 0..3 {
-        for b in (a + 1)..3 {
-            let avg = 0.5 * (sigma[a][b] + sigma[b][a]);
-            sigma[a][b] = avg;
-            sigma[b][a] = avg;
-        }
+    for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+        let avg = 0.5 * (sigma[a][b] + sigma[b][a]);
+        sigma[a][b] = avg;
+        sigma[b][a] = avg;
     }
     sigma
 }
@@ -225,8 +228,22 @@ mod tests {
         // B = −V dp/dV ≈ 98 GPa for Si; estimate from two pressures.
         let model = silicon_gsp();
         let (b1, b2) = (2.33, 2.37);
-        let p1 = pressure(&stress_tensor(&bulk_diamond_with_bond(Species::Silicon, b1, 1, 1, 1), &model, KT).unwrap());
-        let p2 = pressure(&stress_tensor(&bulk_diamond_with_bond(Species::Silicon, b2, 1, 1, 1), &model, KT).unwrap());
+        let p1 = pressure(
+            &stress_tensor(
+                &bulk_diamond_with_bond(Species::Silicon, b1, 1, 1, 1),
+                &model,
+                KT,
+            )
+            .unwrap(),
+        );
+        let p2 = pressure(
+            &stress_tensor(
+                &bulk_diamond_with_bond(Species::Silicon, b2, 1, 1, 1),
+                &model,
+                KT,
+            )
+            .unwrap(),
+        );
         // V ∝ bond³ → dV/V = 3 db/b.
         let dv_over_v = 3.0 * (b2 - b1) / 2.35;
         let bulk_modulus = -(p2 - p1) / dv_over_v * EV_PER_A3_TO_GPA;

@@ -1,0 +1,246 @@
+//! Persistent evaluation workspaces: the allocation-amortization layer of
+//! the force engines.
+//!
+//! A naive TBMD loop rebuilds the neighbour list and allocates the
+//! Hamiltonian, eigenvector and density matrices (all `n_orb²`-sized) at
+//! every step. A [`Workspace`] owns all of that state and is threaded
+//! through [`crate::provider::ForceProvider::evaluate_with`], so a
+//! 1000-step MD run performs O(1) large allocations after the first step:
+//!
+//! * **neighbours** — a Verlet skin list built at `cutoff + skin` is kept as
+//!   long as no atom has moved more than `skin/2`; between rebuilds only the
+//!   cached displacements are refreshed (O(entries), no spatial search).
+//!   When the cell is too small for the unique-image condition at
+//!   `cutoff + skin` (e.g. the 8-atom Si cell), the workspace transparently
+//!   falls back to a per-step [`NeighborList::build`].
+//! * **matrices** — the H/eigenvector buffer (diagonalized in place), the
+//!   scaled-eigenvector factor `W` and the density matrix `ρ` are reused
+//!   across steps via [`Matrix::resize_zeroed`].
+//! * **eigensolver scratch** — subdiagonal and sort-permutation buffers for
+//!   [`tbmd_linalg::eigh_into`].
+//!
+//! The workspace also keeps counters (rebuilds vs refreshes vs fallback
+//! builds, buffer-growth events) that the benchmark reports surface.
+
+use tbmd_linalg::{EighWorkspace, Matrix};
+use tbmd_structure::{NeighborList, Structure, VerletNeighborList};
+
+/// Default Verlet skin in Å. Half an ångström keeps the list valid for many
+/// steps of near-melting silicon MD while adding only ~40% more candidate
+/// pairs (all beyond the radial cutoff, where the model terms vanish).
+pub const DEFAULT_SKIN: f64 = 0.5;
+
+/// What [`NeighborWorkspace::update`] did for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborOutcome {
+    /// Full spatial (re)build of the skin list.
+    Rebuilt,
+    /// Skin intact: only cached displacements were recomputed.
+    Refreshed,
+    /// Unique-image condition failed at `cutoff + skin`; a plain per-step
+    /// list was built at the bare cutoff.
+    Fallback,
+}
+
+/// Cumulative neighbour-list accounting across a workspace's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeighborStats {
+    /// Full skin-list builds (including the initial one).
+    pub rebuilds: usize,
+    /// O(entries) displacement refreshes.
+    pub refreshes: usize,
+    /// Per-step plain builds taken on the fallback path.
+    pub fallback_builds: usize,
+}
+
+enum NeighborMode {
+    Verlet(VerletNeighborList),
+    PerStep(NeighborList),
+}
+
+/// Amortized neighbour-list state: a Verlet skin list when the cell permits
+/// it, a per-step plain build otherwise.
+pub struct NeighborWorkspace {
+    skin: f64,
+    mode: Option<NeighborMode>,
+    stats: NeighborStats,
+}
+
+impl Default for NeighborWorkspace {
+    fn default() -> Self {
+        NeighborWorkspace {
+            skin: DEFAULT_SKIN,
+            mode: None,
+            stats: NeighborStats::default(),
+        }
+    }
+}
+
+impl NeighborWorkspace {
+    /// Workspace with a custom skin width (Å). `skin = 0` degenerates to a
+    /// rebuild every step.
+    pub fn with_skin(skin: f64) -> Self {
+        assert!(skin >= 0.0);
+        NeighborWorkspace {
+            skin,
+            mode: None,
+            stats: NeighborStats::default(),
+        }
+    }
+
+    /// Bring the list up to date with `s` at the given interaction cutoff.
+    ///
+    /// Reuses the existing Verlet list when possible (same cutoff and atom
+    /// count, no atom moved beyond `skin/2`); otherwise rebuilds, preferring
+    /// the skin list whenever `cutoff + skin` satisfies the cell's
+    /// unique-image condition.
+    pub fn update(&mut self, s: &Structure, cutoff: f64) -> NeighborOutcome {
+        if let Some(NeighborMode::Verlet(vl)) = &mut self.mode {
+            if vl.cutoff() == cutoff && vl.as_neighbor_list().n_atoms() == s.n_atoms() {
+                return if vl.update(s) {
+                    self.stats.rebuilds += 1;
+                    NeighborOutcome::Rebuilt
+                } else {
+                    self.stats.refreshes += 1;
+                    NeighborOutcome::Refreshed
+                };
+            }
+        }
+        if s.cell().supports_cutoff(cutoff + self.skin) {
+            self.mode = Some(NeighborMode::Verlet(VerletNeighborList::new(
+                s, cutoff, self.skin,
+            )));
+            self.stats.rebuilds += 1;
+            NeighborOutcome::Rebuilt
+        } else {
+            self.mode = Some(NeighborMode::PerStep(NeighborList::build(s, cutoff)));
+            self.stats.fallback_builds += 1;
+            NeighborOutcome::Fallback
+        }
+    }
+
+    /// The current list. Entries may extend into the skin; the tight-binding
+    /// radial functions vanish beyond the cutoff, so consumers need no
+    /// explicit filter.
+    ///
+    /// # Panics
+    /// Panics if [`NeighborWorkspace::update`] has never been called.
+    pub fn list(&self) -> &NeighborList {
+        match self
+            .mode
+            .as_ref()
+            .expect("NeighborWorkspace::update not called")
+        {
+            NeighborMode::Verlet(vl) => vl.as_neighbor_list(),
+            NeighborMode::PerStep(nl) => nl,
+        }
+    }
+
+    /// Whether the Verlet path is currently active (vs per-step fallback).
+    pub fn is_verlet(&self) -> bool {
+        matches!(self.mode, Some(NeighborMode::Verlet(_)))
+    }
+
+    /// Cumulative rebuild/refresh/fallback counts.
+    pub fn stats(&self) -> NeighborStats {
+        self.stats
+    }
+}
+
+/// Persistent evaluation state for the dense engines: neighbour machinery,
+/// all `n_orb²`-sized matrix buffers and eigensolver scratch. Construct once
+/// per MD run and thread it through
+/// [`crate::provider::ForceProvider::evaluate_with`].
+#[derive(Default)]
+pub struct Workspace {
+    /// Amortized neighbour lists.
+    pub neighbors: NeighborWorkspace,
+    /// Hamiltonian buffer; the in-place eigensolve overwrites it with the
+    /// eigenvector matrix.
+    pub h: Matrix,
+    /// Scaled-eigenvector factor `W = C·diag(√(2f))`, occupied columns only.
+    pub w: Matrix,
+    /// Density matrix `ρ = W·Wᵀ`.
+    pub rho: Matrix,
+    /// Eigenvalues of the last evaluation (ascending).
+    pub values: Vec<f64>,
+    /// Eigensolver scratch (subdiagonal + sort permutation).
+    pub eigh: EighWorkspace,
+    /// Count of large-buffer capacity growths (see
+    /// [`Workspace::large_alloc_events`]).
+    pub grown: usize,
+}
+
+impl Workspace {
+    /// Fresh workspace with the default Verlet skin.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Fresh workspace with a custom Verlet skin (Å).
+    pub fn with_skin(skin: f64) -> Self {
+        Workspace {
+            neighbors: NeighborWorkspace::with_skin(skin),
+            ..Workspace::default()
+        }
+    }
+
+    /// Number of times any of the `n_orb²`-sized buffers had to grow its
+    /// allocation. Stays constant after the first evaluation of the largest
+    /// system seen — the O(1)-allocations guarantee the MD loop relies on.
+    pub fn large_alloc_events(&self) -> usize {
+        self.grown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn verlet_path_engages_in_large_cell() {
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut nw = NeighborWorkspace::default();
+        // silicon_gsp-like cutoff: 4.16 + 0.5 < L/2 = 5.43.
+        assert_eq!(nw.update(&s, 4.16), NeighborOutcome::Rebuilt);
+        assert!(nw.is_verlet());
+        assert_eq!(nw.update(&s, 4.16), NeighborOutcome::Refreshed);
+        assert_eq!(
+            nw.stats(),
+            NeighborStats {
+                rebuilds: 1,
+                refreshes: 1,
+                fallback_builds: 0
+            }
+        );
+    }
+
+    #[test]
+    fn fallback_in_small_cell() {
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1); // L/2 = 2.715
+        let mut nw = NeighborWorkspace::default();
+        assert_eq!(nw.update(&s, 4.16), NeighborOutcome::Fallback);
+        assert!(!nw.is_verlet());
+        assert_eq!(nw.update(&s, 4.16), NeighborOutcome::Fallback);
+        assert_eq!(nw.stats().fallback_builds, 2);
+    }
+
+    #[test]
+    fn cutoff_change_forces_rebuild() {
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut nw = NeighborWorkspace::default();
+        assert_eq!(nw.update(&s, 3.0), NeighborOutcome::Rebuilt);
+        assert_eq!(nw.update(&s, 4.0), NeighborOutcome::Rebuilt);
+        assert_eq!(nw.stats().rebuilds, 2);
+    }
+
+    #[test]
+    fn fallback_list_matches_plain_build() {
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut nw = NeighborWorkspace::default();
+        nw.update(&s, 4.16);
+        let plain = NeighborList::build(&s, 4.16);
+        assert_eq!(nw.list().n_entries(), plain.n_entries());
+    }
+}

@@ -8,11 +8,7 @@ use tbmd_model::{OccupationScheme, TbCalculator, TbModel};
 use tbmd_structure::{bulk_diamond_with_bond, Species};
 
 /// Scan E(bond) on a coarse grid and return (best_bond, energies).
-fn eos_scan(
-    model: &dyn TbModel,
-    sp: Species,
-    bonds: &[f64],
-) -> (f64, Vec<f64>) {
+fn eos_scan(model: &dyn TbModel, sp: Species, bonds: &[f64]) -> (f64, Vec<f64>) {
     let calc = TbCalculator::with_occupation(model, OccupationScheme::Fermi { kt: 0.05 });
     let energies: Vec<f64> = bonds
         .iter()

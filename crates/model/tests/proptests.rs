@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use tbmd_linalg::Vec3;
 use tbmd_model::{
-    occupations, sk_block, sk_block_gradient, sk_transpose, silicon_gsp, OccupationScheme,
-    TbModel,
+    occupations, silicon_gsp, sk_block, sk_block_gradient, sk_transpose, OccupationScheme, TbModel,
 };
 
 proptest! {
@@ -33,7 +32,7 @@ proptest! {
     /// |d| through the externally supplied hoppings).
     #[test]
     fn sk_rotation_invariance(
-        r in 0.5f64..4.0, theta in 0.0f64..6.28, phi in 0.0f64..3.14,
+        r in 0.5f64..4.0, theta in 0.0f64..std::f64::consts::TAU, phi in 0.0f64..std::f64::consts::PI,
         v0 in -6.0f64..6.0, v1 in -6.0f64..6.0, v2 in -6.0f64..6.0, v3 in -6.0f64..6.0,
     ) {
         let v = [v0, v1, v2, v3];

@@ -126,7 +126,10 @@ pub struct Scaling {
 /// Compute modelled speedup/efficiency from two cost estimates.
 pub fn scaling(serial: &CostEstimate, parallel: &CostEstimate, n_ranks: usize) -> Scaling {
     let speedup = serial.total_s() / parallel.total_s();
-    Scaling { speedup, efficiency: speedup / n_ranks as f64 }
+    Scaling {
+        speedup,
+        efficiency: speedup / n_ranks as f64,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +143,11 @@ mod tests {
                 .iter()
                 .zip(msgs)
                 .zip(bytes)
-                .map(|((&f, &m), &b)| RankStats { messages_sent: m, bytes_sent: b, flops: f })
+                .map(|((&f, &m), &b)| RankStats {
+                    messages_sent: m,
+                    bytes_sent: b,
+                    flops: f,
+                })
                 .collect(),
         }
     }
@@ -172,8 +179,16 @@ mod tests {
 
     #[test]
     fn perfect_scaling_efficiency_one() {
-        let serial = CostEstimate { machine: "x".into(), comp_s: 8.0, comm_s: 0.0 };
-        let parallel = CostEstimate { machine: "x".into(), comp_s: 1.0, comm_s: 0.0 };
+        let serial = CostEstimate {
+            machine: "x".into(),
+            comp_s: 8.0,
+            comm_s: 0.0,
+        };
+        let parallel = CostEstimate {
+            machine: "x".into(),
+            comp_s: 1.0,
+            comm_s: 0.0,
+        };
         let s = scaling(&serial, &parallel, 8);
         assert!((s.speedup - 8.0).abs() < 1e-12);
         assert!((s.efficiency - 1.0).abs() < 1e-12);
@@ -181,8 +196,16 @@ mod tests {
 
     #[test]
     fn communication_erodes_efficiency() {
-        let serial = CostEstimate { machine: "x".into(), comp_s: 8.0, comm_s: 0.0 };
-        let parallel = CostEstimate { machine: "x".into(), comp_s: 1.0, comm_s: 1.0 };
+        let serial = CostEstimate {
+            machine: "x".into(),
+            comp_s: 8.0,
+            comm_s: 0.0,
+        };
+        let parallel = CostEstimate {
+            machine: "x".into(),
+            comp_s: 1.0,
+            comm_s: 1.0,
+        };
         let s = scaling(&serial, &parallel, 8);
         assert!(s.speedup < 8.0);
         assert!(s.efficiency < 1.0);

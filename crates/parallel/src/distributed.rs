@@ -233,7 +233,12 @@ impl ForceProvider for DistributedTb<'_> {
             let my_atoms = partition_range(n_atoms, rank.size(), me);
             // Embedding arguments for all atoms (cheap, replicated).
             let x: Vec<f64> = (0..n_atoms)
-                .map(|i| nl.neighbors(i).iter().map(|nb| model.repulsion(nb.dist).0).sum())
+                .map(|i| {
+                    nl.neighbors(i)
+                        .iter()
+                        .map(|nb| model.repulsion(nb.dist).0)
+                        .sum()
+                })
                 .collect();
             let fx: Vec<(f64, f64)> = x.iter().map(|&xi| model.embedding(xi)).collect();
             rank.count_flops(30 * n_atoms as u64);
@@ -296,7 +301,11 @@ impl ForceProvider for DistributedTb<'_> {
             jacobi_sweeps: sweeps,
             n_ranks: p,
         });
-        Ok(ForceEvaluation { energy, forces, timings: PhaseTimings::default() })
+        Ok(ForceEvaluation {
+            energy,
+            forces,
+            timings: PhaseTimings::default(),
+        })
     }
 
     fn provider_name(&self) -> &str {

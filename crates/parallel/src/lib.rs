@@ -17,8 +17,7 @@ pub mod vmp;
 pub use cost_model::{estimate_cost, scaling, CostEstimate, MachineProfile, Scaling};
 pub use distributed::{DistributedReport, DistributedTb};
 pub use ring_jacobi::{
-    initial_column_owners, ring_jacobi_eigh, ring_jacobi_worker, DistributedEigh,
-    RingJacobiReport,
+    initial_column_owners, ring_jacobi_eigh, ring_jacobi_worker, DistributedEigh, RingJacobiReport,
 };
 pub use shared::{par_build_hamiltonian, par_forces, Eigensolver, SharedMemoryTb};
 pub use vmp::{partition_range, vmp_run, Rank, RankStats, VmpStats};

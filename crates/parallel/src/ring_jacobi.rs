@@ -48,7 +48,7 @@ pub struct DistributedEigh {
 /// slots (players `>= n` are phantoms when `n` is odd). Pair `k` of a round
 /// is `(players[k], players[m2-1-k])`.
 fn arrangements(n: usize) -> (usize, Vec<Vec<usize>>) {
-    let m2 = if n % 2 == 0 { n } else { n + 1 };
+    let m2 = if n.is_multiple_of(2) { n } else { n + 1 };
     if n < 2 {
         return (m2, vec![]);
     }
@@ -206,8 +206,11 @@ pub fn ring_jacobi_worker(
                     for store in [&mut cols, &mut vcols] {
                         let colp = store[&cp].clone();
                         let colq = store.get_mut(&cq).expect("pair columns co-owned");
-                        let newp: Vec<f64> =
-                            colp.iter().zip(colq.iter()).map(|(&x, &y)| c * x - s * y).collect();
+                        let newp: Vec<f64> = colp
+                            .iter()
+                            .zip(colq.iter())
+                            .map(|(&x, &y)| c * x - s * y)
+                            .collect();
                         for (yq, &xp) in colq.iter_mut().zip(&colp) {
                             *yq = s * xp + c * *yq;
                         }
@@ -241,7 +244,11 @@ pub fn ring_jacobi_worker(
             values_by_column[rec[0] as usize] = rec[1];
         }
     }
-    DistributedEigh { values_by_column, owned_vectors: vcols, sweeps: sweeps_done }
+    DistributedEigh {
+        values_by_column,
+        owned_vectors: vcols,
+        sweeps: sweeps_done,
+    }
 }
 
 /// Distributed symmetric eigendecomposition, standalone driver: scatters `a`
@@ -263,7 +270,13 @@ pub fn ring_jacobi_eigh(
             values: (0..n).map(|i| a[(i, i)]).collect(),
             vectors: Matrix::identity(n),
         };
-        return (eig, RingJacobiReport { sweeps: 0, stats: VmpStats::default() });
+        return (
+            eig,
+            RingJacobiReport {
+                sweeps: 0,
+                stats: VmpStats::default(),
+            },
+        );
     }
     let fro = a.frobenius_norm();
     let owner0 = initial_column_owners(n, n_ranks);
@@ -273,17 +286,17 @@ pub fn ring_jacobi_eigh(
         // Initial scatter: rank 0 sends each column to its round-0 owner.
         let mut cols: HashMap<usize, Vec<f64>> = HashMap::new();
         if me == 0 {
-            for c in 0..n {
+            for (c, &owner) in owner0.iter().enumerate() {
                 let col = a.col(c);
-                if owner0[c] == 0 {
+                if owner == 0 {
                     cols.insert(c, col);
                 } else {
-                    rank.send(owner0[c], 1_000_000 + c as u64, &col);
+                    rank.send(owner, 1_000_000 + c as u64, &col);
                 }
             }
         } else {
-            for c in 0..n {
-                if owner0[c] == me {
+            for (c, &owner) in owner0.iter().enumerate() {
+                if owner == me {
                     cols.insert(c, rank.recv(0, 1_000_000 + c as u64));
                 }
             }
@@ -324,7 +337,10 @@ pub fn ring_jacobi_eigh(
         }
     }
     (
-        Eigh { values: sorted_values, vectors: sorted_vectors },
+        Eigh {
+            values: sorted_values,
+            vectors: sorted_vectors,
+        },
         RingJacobiReport { sweeps, stats },
     )
 }
@@ -337,7 +353,9 @@ mod tests {
     fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         let mut a = Matrix::zeros(n, n);
@@ -395,13 +413,13 @@ mod tests {
                 let reference = eigh(a.clone()).unwrap();
                 let (dist, report) = ring_jacobi_eigh(&a, p, 1e-12, 40);
                 for (x, y) in dist.values.iter().zip(&reference.values) {
-                    assert!(
-                        (x - y).abs() < 1e-8,
-                        "n={n} p={p}: eigenvalue {x} vs {y}"
-                    );
+                    assert!((x - y).abs() < 1e-8, "n={n} p={p}: eigenvalue {x} vs {y}");
                 }
                 assert!(eig_residual(&a, &dist) < 1e-8, "residual n={n} p={p}");
-                assert!(orthogonality_defect(&dist.vectors) < 1e-9, "orthogonality n={n} p={p}");
+                assert!(
+                    orthogonality_defect(&dist.vectors) < 1e-9,
+                    "orthogonality n={n} p={p}"
+                );
                 assert!(report.sweeps <= 20);
             }
         }

@@ -11,10 +11,10 @@
 
 use rayon::prelude::*;
 use std::time::Instant;
-use tbmd_linalg::{eigh, par_jacobi_eigh, Eigh, Matrix, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL};
+use tbmd_linalg::{eigh_into, par_jacobi_eigh, Matrix, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL};
 use tbmd_model::{
-    density_matrix, occupations, sk_block, ForceEvaluation, ForceProvider, OccupationScheme,
-    OrbitalIndex, PhaseTimings, TbError, TbModel,
+    density_matrix_into, occupations, sk_block, ForceEvaluation, ForceProvider, OccupationScheme,
+    OrbitalIndex, PhaseTimings, TbError, TbModel, Workspace,
 };
 use tbmd_structure::{NeighborList, Structure};
 
@@ -76,14 +76,21 @@ impl<'m> SharedMemoryTb<'m> {
         Ok(())
     }
 
-    fn solve(&self, h: Matrix) -> Result<Eigh, TbError> {
+    /// Diagonalize the workspace's Hamiltonian buffer in place: `ws.h`
+    /// becomes the eigenvector matrix, `ws.values` the eigenvalues. The
+    /// QL path is fully allocation-free; the Jacobi path moves the buffer
+    /// through the solver and back.
+    fn solve_in_place(&self, ws: &mut Workspace) -> Result<(), TbError> {
         match self.eigensolver {
-            Eigensolver::HouseholderQl => Ok(eigh(h)?),
+            Eigensolver::HouseholderQl => eigh_into(&mut ws.h, &mut ws.values, &mut ws.eigh)?,
             Eigensolver::ParallelJacobi => {
+                let h = std::mem::take(&mut ws.h);
                 let (eig, _) = par_jacobi_eigh(h, JACOBI_TOL, JACOBI_MAX_SWEEPS)?;
-                Ok(eig)
+                ws.h = eig.vectors;
+                ws.values = eig.values;
             }
         }
+        Ok(())
     }
 }
 
@@ -95,8 +102,22 @@ pub fn par_build_hamiltonian(
     model: &dyn TbModel,
     index: &OrbitalIndex,
 ) -> Matrix {
+    let mut h = Matrix::default();
+    par_build_hamiltonian_into(s, nl, model, index, &mut h);
+    h
+}
+
+/// [`par_build_hamiltonian`] into a caller-owned buffer, reusing its
+/// allocation. Returns `true` if the buffer had to grow.
+pub fn par_build_hamiltonian_into(
+    s: &Structure,
+    nl: &NeighborList,
+    model: &dyn TbModel,
+    index: &OrbitalIndex,
+    h: &mut Matrix,
+) -> bool {
     let n_orb = index.total();
-    let mut h = Matrix::zeros(n_orb, n_orb);
+    let grew = h.resize_zeroed(n_orb, n_orb);
     // All bundled models have 4 orbitals/atom, which makes the band layout
     // uniform; assert so a future heteronuclear model fails loudly here.
     assert!(
@@ -126,7 +147,7 @@ pub fn par_build_hamiltonian(
                 }
             }
         });
-    h
+    grew
 }
 
 /// Parallel electronic + repulsive forces in gather form: each atom's force
@@ -143,7 +164,12 @@ pub fn par_forces(
     // Per-atom embedding arguments and derivatives (cheap, parallel).
     let x: Vec<f64> = (0..n)
         .into_par_iter()
-        .map(|i| nl.neighbors(i).iter().map(|nb| model.repulsion(nb.dist).0).sum())
+        .map(|i| {
+            nl.neighbors(i)
+                .iter()
+                .map(|nb| model.repulsion(nb.dist).0)
+                .sum()
+        })
         .collect();
     let fx: Vec<(f64, f64)> = x.par_iter().map(|&xi| model.embedding(xi)).collect();
     let e_rep: f64 = fx.iter().map(|&(f, _)| f).sum();
@@ -189,40 +215,49 @@ pub fn par_forces(
 
 impl ForceProvider for SharedMemoryTb<'_> {
     fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        self.evaluate_with(s, &mut Workspace::new())
+    }
+
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
         let mut timings = PhaseTimings::default();
 
         let t0 = Instant::now();
-        let nl = NeighborList::build(s, self.model.cutoff());
+        let outcome = ws.neighbors.update(s, self.model.cutoff());
         timings.neighbors = t0.elapsed();
+        timings.note_neighbors(outcome);
 
         let t0 = Instant::now();
         let index = OrbitalIndex::new(s);
-        let h = par_build_hamiltonian(s, &nl, self.model, &index);
+        ws.grown +=
+            par_build_hamiltonian_into(s, ws.neighbors.list(), self.model, &index, &mut ws.h)
+                as usize;
         timings.hamiltonian = t0.elapsed();
 
         let t0 = Instant::now();
-        let eig = self.solve(h)?;
+        self.solve_in_place(ws)?;
         timings.diagonalize = t0.elapsed();
 
-        let occ = occupations(&eig.values, s.n_electrons(), self.occupation);
-        let band = occ.band_energy(&eig.values);
+        let occ = occupations(&ws.values, s.n_electrons(), self.occupation);
+        let band = occ.band_energy(&ws.values);
         let entropy_term = match self.occupation {
-            OccupationScheme::Fermi { kt } if kt > 0.0 => {
-                -(kt / tbmd_model::KB_EV) * occ.entropy
-            }
+            OccupationScheme::Fermi { kt } if kt > 0.0 => -(kt / tbmd_model::KB_EV) * occ.entropy,
             _ => 0.0,
         };
 
         let t0 = Instant::now();
-        let rho = density_matrix(&eig.vectors, &occ.f);
+        ws.grown += density_matrix_into(&ws.h, &occ.f, &mut ws.w, &mut ws.rho);
         timings.density = t0.elapsed();
 
         let t0 = Instant::now();
-        let (e_rep, forces) = par_forces(s, &nl, self.model, &index, &rho);
+        let (e_rep, forces) = par_forces(s, ws.neighbors.list(), self.model, &index, &ws.rho);
         timings.forces = t0.elapsed();
 
-        Ok(ForceEvaluation { energy: band + e_rep + entropy_term, forces, timings })
+        Ok(ForceEvaluation {
+            energy: band + e_rep + entropy_term,
+            forces,
+            timings,
+        })
     }
 
     fn provider_name(&self) -> &str {
@@ -317,6 +352,9 @@ mod tests {
     #[test]
     fn provider_name() {
         let model = silicon_gsp();
-        assert_eq!(SharedMemoryTb::new(&model).provider_name(), "shared-memory-tb");
+        assert_eq!(
+            SharedMemoryTb::new(&model).provider_name(),
+            "shared-memory-tb"
+        );
     }
 }

@@ -72,7 +72,11 @@ impl VmpStats {
 
     /// Largest per-rank message count.
     pub fn max_messages(&self) -> u64 {
-        self.ranks.iter().map(|r| r.messages_sent).max().unwrap_or(0)
+        self.ranks
+            .iter()
+            .map(|r| r.messages_sent)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-rank byte count.
@@ -109,7 +113,9 @@ impl Rank {
     /// accounting used by the cost model).
     #[inline]
     pub fn count_flops(&self, flops: u64) {
-        self.counters[self.id].flops.fetch_add(flops, Ordering::Relaxed);
+        self.counters[self.id]
+            .flops
+            .fetch_add(flops, Ordering::Relaxed);
     }
 
     /// Blocking tagged send of an `f64` payload.
@@ -118,16 +124,25 @@ impl Rank {
         assert_ne!(to, self.id, "self-sends are not modelled (copy locally)");
         let c = &self.counters[self.id];
         c.messages_sent.fetch_add(1, Ordering::Relaxed);
-        c.bytes_sent.fetch_add(8 * payload.len() as u64, Ordering::Relaxed);
+        c.bytes_sent
+            .fetch_add(8 * payload.len() as u64, Ordering::Relaxed);
         self.senders[to]
-            .send(Message { from: self.id, tag, payload: payload.to_vec() })
+            .send(Message {
+                from: self.id,
+                tag,
+                payload: payload.to_vec(),
+            })
             .expect("peer rank hung up");
     }
 
     /// Blocking tagged receive from a specific source rank.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         // Check the stash for an already-arrived match.
-        if let Some(pos) = self.stash.iter().position(|m| m.from == from && m.tag == tag) {
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
             return self.stash.remove(pos).expect("position valid").payload;
         }
         loop {
@@ -201,10 +216,9 @@ impl Rank {
         if self.id == root {
             let mut all: Vec<Vec<f64>> = vec![Vec::new(); self.size];
             all[root] = chunk.to_vec();
-            for r in 0..self.size {
-                if r != root {
-                    all[r] = self.recv(r, tag);
-                }
+            for r in (0..self.size).filter(|&r| r != root) {
+                let received = self.recv(r, tag);
+                all[r] = received;
             }
             Some(all)
         } else {
@@ -310,7 +324,13 @@ where
             })
             .collect(),
     };
-    (results.into_iter().map(|r| r.expect("rank result")).collect(), stats)
+    (
+        results
+            .into_iter()
+            .map(|r| r.expect("rank result"))
+            .collect(),
+        stats,
+    )
 }
 
 /// Evenly partition `n` items over `size` ranks; returns rank `r`'s
@@ -430,8 +450,7 @@ mod tests {
             let ag = rank.allgather(62, &chunk);
             (g, ag)
         });
-        let expected: Vec<Vec<f64>> =
-            (0..4).map(|r| vec![r as f64; r + 1]).collect();
+        let expected: Vec<Vec<f64>> = (0..4).map(|r| vec![r as f64; r + 1]).collect();
         assert_eq!(results[0].0.as_ref().unwrap(), &expected);
         assert!(results[1].0.is_none());
         for (g, ag) in &results {

@@ -3,8 +3,8 @@
 //! roots and payloads.
 
 use proptest::prelude::*;
-use tbmd_parallel::{partition_range, ring_jacobi_eigh, vmp_run};
 use tbmd_linalg::{eigh, Matrix};
+use tbmd_parallel::{partition_range, ring_jacobi_eigh, vmp_run};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

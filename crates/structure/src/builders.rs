@@ -27,8 +27,17 @@ pub fn bulk_diamond(sp: Species, nx: usize, ny: usize, nz: usize) -> Structure {
 
 /// Diamond supercell with an explicit bond length (used for equation-of-state
 /// scans around equilibrium).
-pub fn bulk_diamond_with_bond(sp: Species, bond: f64, nx: usize, ny: usize, nz: usize) -> Structure {
-    assert!(nx > 0 && ny > 0 && nz > 0, "supercell repeats must be positive");
+pub fn bulk_diamond_with_bond(
+    sp: Species,
+    bond: f64,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) -> Structure {
+    assert!(
+        nx > 0 && ny > 0 && nz > 0,
+        "supercell repeats must be positive"
+    );
     let a = diamond_lattice_constant(bond);
     // 8-atom conventional cell: FCC + basis (0,0,0) and (1/4,1/4,1/4).
     let frac = [
@@ -81,7 +90,11 @@ pub fn graphene_sheet(bond: f64, nx: usize, ny: usize) -> Structure {
             }
         }
     }
-    Structure::homogeneous(Species::Carbon, positions, Cell::slab_xy(nx as f64 * lx, ny as f64 * ly))
+    Structure::homogeneous(
+        Species::Carbon,
+        positions,
+        Cell::slab_xy(nx as f64 * lx, ny as f64 * ly),
+    )
 }
 
 /// Geometry data for an `(n,m)` single-wall nanotube.
@@ -105,7 +118,11 @@ pub fn nanotube_geometry(n: u32, m: u32, bond: f64) -> NanotubeGeometry {
     let dr = gcd(2 * n as u64 + m as u64, 2 * m as u64 + n as u64) as f64;
     let period = 3.0f64.sqrt() * ch / dr;
     let atoms = (4.0 * (nn * nn + nn * mm + mm * mm) / dr).round() as usize;
-    NanotubeGeometry { radius: ch / (2.0 * PI), period, atoms_per_cell: atoms }
+    NanotubeGeometry {
+        radius: ch / (2.0 * PI),
+        period,
+        atoms_per_cell: atoms,
+    }
 }
 
 /// Build an `(n,m)` single-wall carbon nanotube of `cells` translational unit
@@ -129,8 +146,14 @@ pub fn nanotube(n: u32, m: u32, cells: usize, bond: f64) -> Structure {
     let dr = gcd((2 * nn + mm) as u64, (2 * mm + nn) as u64) as i64;
     let t1 = (2 * mm + nn) / dr;
     let t2 = -(2 * nn + mm) / dr;
-    let ch = [nn as f64 * a1[0] + mm as f64 * a2[0], nn as f64 * a1[1] + mm as f64 * a2[1]];
-    let tv = [t1 as f64 * a1[0] + t2 as f64 * a2[0], t1 as f64 * a1[1] + t2 as f64 * a2[1]];
+    let ch = [
+        nn as f64 * a1[0] + mm as f64 * a2[0],
+        nn as f64 * a1[1] + mm as f64 * a2[1],
+    ];
+    let tv = [
+        t1 as f64 * a1[0] + t2 as f64 * a2[0],
+        t1 as f64 * a1[1] + t2 as f64 * a2[1],
+    ];
     let ch_len2 = ch[0] * ch[0] + ch[1] * ch[1];
     let tv_len2 = tv[0] * tv[0] + tv[1] * tv[1];
     let tv_len = tv_len2.sqrt();
@@ -138,7 +161,7 @@ pub fn nanotube(n: u32, m: u32, cells: usize, bond: f64) -> Structure {
 
     // Sweep a generous index window and keep points whose (ξ, η) projections
     // fall inside the unit cell of the (C_h, T) parallelogram.
-    let range = (nn.abs() + mm.abs() + t1.abs() + t2.abs() + 2) as i64;
+    let range = nn.abs() + mm.abs() + t1.abs() + t2.abs() + 2;
     let mut positions: Vec<Vec3> = Vec::with_capacity(geom.atoms_per_cell * cells);
     let eps = 1e-9;
     for i in -range..=range {
@@ -214,7 +237,11 @@ pub fn fullerene_c60(bond: f64) -> Structure {
             }
         }
     }
-    assert_eq!(base.len(), 60, "truncated icosahedron must have 60 vertices");
+    assert_eq!(
+        base.len(),
+        60,
+        "truncated icosahedron must have 60 vertices"
+    );
     let scale = bond / 2.0;
     let positions: Vec<Vec3> = base
         .into_iter()
@@ -225,7 +252,11 @@ pub fn fullerene_c60(bond: f64) -> Structure {
 
 /// A homonuclear dimer along x.
 pub fn dimer(sp: Species, bond: f64) -> Structure {
-    Structure::homogeneous(sp, vec![Vec3::ZERO, Vec3::new(bond, 0.0, 0.0)], Cell::cluster())
+    Structure::homogeneous(
+        sp,
+        vec![Vec3::ZERO, Vec3::new(bond, 0.0, 0.0)],
+        Cell::cluster(),
+    )
 }
 
 /// A linear chain of `n` atoms with spacing `d`, as a free cluster.
@@ -281,7 +312,11 @@ mod tests {
         let expect_r = 3.0f64.sqrt() * 1.42 * 10.0 / (2.0 * PI);
         assert!((geom.radius - expect_r).abs() < 1e-9);
         // zig-zag period = 3 a_cc
-        assert!((geom.period - 3.0 * 1.42).abs() < 1e-9, "period {}", geom.period);
+        assert!(
+            (geom.period - 3.0 * 1.42).abs() < 1e-9,
+            "period {}",
+            geom.period
+        );
         let tube = nanotube(10, 0, 3, 1.42);
         assert_eq!(tube.n_atoms(), 120);
         // All atoms sit on the cylinder.

@@ -29,13 +29,22 @@ pub struct Cell {
 impl Cell {
     /// A free cluster: nothing is periodic.
     pub fn cluster() -> Self {
-        Cell { lengths: Vec3::ZERO, periodic: [false; 3] }
+        Cell {
+            lengths: Vec3::ZERO,
+            periodic: [false; 3],
+        }
     }
 
     /// A fully periodic orthorhombic box.
     pub fn orthorhombic(lx: f64, ly: f64, lz: f64) -> Self {
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "box edges must be positive");
-        Cell { lengths: Vec3::new(lx, ly, lz), periodic: [true; 3] }
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "box edges must be positive"
+        );
+        Cell {
+            lengths: Vec3::new(lx, ly, lz),
+            periodic: [true; 3],
+        }
     }
 
     /// A cubic periodic box.
@@ -46,13 +55,19 @@ impl Cell {
     /// Periodic along z only (wire/nanotube geometry).
     pub fn wire_z(lz: f64) -> Self {
         assert!(lz > 0.0);
-        Cell { lengths: Vec3::new(0.0, 0.0, lz), periodic: [false, false, true] }
+        Cell {
+            lengths: Vec3::new(0.0, 0.0, lz),
+            periodic: [false, false, true],
+        }
     }
 
     /// Periodic in the xy plane (slab/sheet geometry).
     pub fn slab_xy(lx: f64, ly: f64) -> Self {
         assert!(lx > 0.0 && ly > 0.0);
-        Cell { lengths: Vec3::new(lx, ly, 0.0), periodic: [true, true, false] }
+        Cell {
+            lengths: Vec3::new(lx, ly, 0.0),
+            periodic: [true, true, false],
+        }
     }
 
     /// `true` if no axis is periodic.
@@ -141,7 +156,11 @@ mod tests {
         let a = Vec3::new(0.5, 0.5, 0.5);
         let b = Vec3::new(9.5, 0.5, 0.5);
         let d = c.displacement(a, b);
-        assert!((d.x - -1.0).abs() < 1e-12, "wrapped displacement should be -1, got {}", d.x);
+        assert!(
+            (d.x - -1.0).abs() < 1e-12,
+            "wrapped displacement should be -1, got {}",
+            d.x
+        );
         assert!((c.distance(a, b) - 1.0).abs() < 1e-12);
     }
 

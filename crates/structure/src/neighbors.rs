@@ -58,7 +58,7 @@ impl NeighborList {
         let cell = s.cell();
         let mut lists = vec![Vec::new(); n];
         let ranges = image_ranges(cell, cutoff);
-        for i in 0..n {
+        for (i, list) in lists.iter_mut().enumerate() {
             let ri = s.position(i);
             for j in 0..n {
                 let rj = s.position(j);
@@ -72,7 +72,12 @@ impl NeighborList {
                             let d = rj + shift_vector(cell, shift) - ri;
                             let dist = d.norm();
                             if dist <= cutoff {
-                                lists[i].push(Neighbor { j, disp: d, dist, shift });
+                                list.push(Neighbor {
+                                    j,
+                                    disp: d,
+                                    dist,
+                                    shift,
+                                });
                             }
                         }
                     }
@@ -178,7 +183,12 @@ impl NeighborList {
                             let d = wrapped[j] + sv - ri;
                             let dist = d.norm();
                             if dist <= cutoff {
-                                lists[i].push(Neighbor { j, disp: d, dist, shift });
+                                lists[i].push(Neighbor {
+                                    j,
+                                    disp: d,
+                                    dist,
+                                    shift,
+                                });
                             }
                         }
                     }
@@ -245,9 +255,9 @@ fn shift_vector(cell: &Cell, shift: [i32; 3]) -> Vec3 {
 /// How many periodic images per axis the brute-force builder must scan.
 fn image_ranges(cell: &Cell, cutoff: f64) -> [i32; 3] {
     let mut r = [0i32; 3];
-    for a in 0..3 {
+    for (a, ra) in r.iter_mut().enumerate() {
         if cell.periodic[a] {
-            r[a] = (cutoff / cell.lengths[a]).ceil() as i32;
+            *ra = (cutoff / cell.lengths[a]).ceil() as i32;
         }
     }
     r
@@ -354,7 +364,9 @@ mod tests {
             for nb in nl.neighbors(i) {
                 let rev = [-nb.shift[0], -nb.shift[1], -nb.shift[2]];
                 assert!(
-                    nl.neighbors(nb.j).iter().any(|m| m.j == i && m.shift == rev),
+                    nl.neighbors(nb.j)
+                        .iter()
+                        .any(|m| m.j == i && m.shift == rev),
                     "missing reverse entry for {i}->{}",
                     nb.j
                 );
@@ -406,7 +418,11 @@ mod tests {
         for i in 0..3 {
             assert_eq!(nl.neighbors(i).len(), 2, "atom {i}");
         }
-        let crossing: Vec<_> = nl.neighbors(0).iter().filter(|n| n.shift != [0, 0, 0]).collect();
+        let crossing: Vec<_> = nl
+            .neighbors(0)
+            .iter()
+            .filter(|n| n.shift != [0, 0, 0])
+            .collect();
         assert_eq!(crossing.len(), 1);
         assert_eq!(crossing[0].j, 2);
         assert!((crossing[0].disp.z - -2.0).abs() < 1e-12);

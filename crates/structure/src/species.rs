@@ -93,7 +93,12 @@ mod tests {
 
     #[test]
     fn symbol_roundtrip() {
-        for sp in [Species::Hydrogen, Species::Boron, Species::Carbon, Species::Silicon] {
+        for sp in [
+            Species::Hydrogen,
+            Species::Boron,
+            Species::Carbon,
+            Species::Silicon,
+        ] {
             assert_eq!(Species::from_symbol(sp.symbol()), Some(sp));
         }
         assert_eq!(Species::from_symbol("si"), Some(Species::Silicon));

@@ -22,14 +22,26 @@ impl Structure {
     /// # Panics
     /// Panics if the arrays differ in length.
     pub fn new(species: Vec<Species>, positions: Vec<Vec3>, cell: Cell) -> Self {
-        assert_eq!(species.len(), positions.len(), "species/position length mismatch");
-        Structure { species, positions, cell }
+        assert_eq!(
+            species.len(),
+            positions.len(),
+            "species/position length mismatch"
+        );
+        Structure {
+            species,
+            positions,
+            cell,
+        }
     }
 
     /// A single-species structure.
     pub fn homogeneous(sp: Species, positions: Vec<Vec3>, cell: Cell) -> Self {
         let species = vec![sp; positions.len()];
-        Structure { species, positions, cell }
+        Structure {
+            species,
+            positions,
+            cell,
+        }
     }
 
     /// Number of atoms.
@@ -291,7 +303,11 @@ mod tests {
     fn remove_atom_swaps_last_in() {
         let mut s = Structure::new(
             vec![Species::Carbon, Species::Silicon, Species::Hydrogen],
-            vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0)],
+            vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(2.0, 0.0, 0.0),
+            ],
             Cell::cluster(),
         );
         s.remove_atom(0);

@@ -209,7 +209,10 @@ mod tests {
         for r in s.positions_mut() {
             *r += Vec3::new(0.1, -0.05, 0.02);
         }
-        assert!(!vl.update(&s), "uniform translation must not trigger rebuild");
+        assert!(
+            !vl.update(&s),
+            "uniform translation must not trigger rebuild"
+        );
         assert_equivalent_within_cutoff(&s, &vl, cutoff);
     }
 

@@ -14,7 +14,14 @@ pub fn format_xyz_frame(s: &Structure, comment: &str) -> String {
     let _ = writeln!(out, "{comment}");
     for i in 0..s.n_atoms() {
         let r = s.position(i);
-        let _ = writeln!(out, "{:<2} {:>14.8} {:>14.8} {:>14.8}", s.species(i).symbol(), r.x, r.y, r.z);
+        let _ = writeln!(
+            out,
+            "{:<2} {:>14.8} {:>14.8} {:>14.8}",
+            s.species(i).symbol(),
+            r.x,
+            r.y,
+            r.z
+        );
     }
     out
 }

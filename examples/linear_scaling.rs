@@ -13,7 +13,10 @@ use std::time::Instant;
 use tbmd::{silicon_gsp, ForceProvider, LinearScalingTb, OccupationScheme, Species, TbCalculator};
 
 fn main() {
-    let max_reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let max_reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let kt = 0.3;
     let model = silicon_gsp();
     let dense = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt });

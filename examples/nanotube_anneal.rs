@@ -11,9 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tbmd::{
-    maxwell_boltzmann, carbon_xwch, MdState, NoseHoover, TbCalculator,
-};
+use tbmd::{carbon_xwch, maxwell_boltzmann, MdState, NoseHoover, TbCalculator};
 
 fn coordination_histogram(s: &tbmd::Structure, cutoff: f64) -> [usize; 6] {
     let mut hist = [0usize; 6];
@@ -66,10 +64,17 @@ fn main() {
     let drift = (nh.conserved_quantity(&state) - h0).abs() / h0.abs();
     let hist = coordination_histogram(&state.structure, 1.85);
     let three_fold_fraction = hist[3] as f64 / state.structure.n_atoms() as f64;
-    println!("\n  final 3-fold coordinated fraction: {:.1}%", 100.0 * three_fold_fraction);
+    println!(
+        "\n  final 3-fold coordinated fraction: {:.1}%",
+        100.0 * three_fold_fraction
+    );
     println!("  Nosé–Hoover conserved-quantity relative drift: {drift:.2e}");
     println!(
         "  verdict: the sp² network {} at {temperature} K on this timescale",
-        if three_fold_fraction > 0.95 { "survives" } else { "is breaking up" }
+        if three_fold_fraction > 0.95 {
+            "survives"
+        } else {
+            "is breaking up"
+        }
     );
 }

@@ -13,7 +13,10 @@ use tbmd::parallel::{estimate_cost, scaling, MachineProfile};
 use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species, TbCalculator};
 
 fn main() {
-    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
     println!(
         "workload: one TBMD force evaluation, Si diamond {}×{}×{} = {} atoms ({} orbitals)\n",
@@ -30,8 +33,10 @@ fn main() {
     println!("serial reference energy: {:.6} eV", reference.energy);
 
     let machine = MachineProfile::intel_paragon();
-    println!("\ncost model: {} ({} µs latency, {} MB/s, {} Mflop/s per node)",
-        machine.name, machine.latency_us, machine.bandwidth_mb_s, machine.mflops_per_node);
+    println!(
+        "\ncost model: {} ({} µs latency, {} MB/s, {} Mflop/s per node)",
+        machine.name, machine.latency_us, machine.bandwidth_mb_s, machine.mflops_per_node
+    );
     println!("\n  P    max|ΔE|/eV   messages      MB sent   est. T/step   speedup   efficiency");
 
     let mut baseline = None;

@@ -8,11 +8,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use tbmd::{
-    maxwell_boltzmann, silicon_gsp, MdState, Species, TbCalculator, VelocityVerlet,
-};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tbmd::{maxwell_boltzmann, silicon_gsp, MdState, Species, TbCalculator, VelocityVerlet};
 
 fn main() {
     // 1. A structure: the 8-atom conventional diamond cell of silicon.
@@ -52,5 +50,8 @@ fn main() {
             );
         }
     }
-    println!("\nNVE total-energy drift over 50 fs: {:.3} meV", (state.total_energy() - e0) * 1e3);
+    println!(
+        "\nNVE total-energy drift over 50 fs: {:.3} meV",
+        (state.total_energy() - e0) * 1e3
+    );
 }

@@ -13,13 +13,20 @@ use rand::SeedableRng;
 use tbmd::{carbon_xwch, ForceProvider, RelaxOptions, TbCalculator};
 
 fn main() {
-    let amplitude: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.12);
+    let amplitude: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.12);
 
     let ideal = tbmd::structure::fullerene_c60(1.44);
     let model = carbon_xwch();
     let calc = TbCalculator::new(&model);
     let e_ideal = calc.energy_only(&ideal).expect("ideal energy");
-    println!("C60: {} atoms, ideal energy {:.4} eV", ideal.n_atoms(), e_ideal);
+    println!(
+        "C60: {} atoms, ideal energy {:.4} eV",
+        ideal.n_atoms(),
+        e_ideal
+    );
 
     let mut scrambled = ideal.clone();
     let mut rng = StdRng::seed_from_u64(99);
@@ -31,7 +38,11 @@ fn main() {
         e_scrambled - e_ideal
     );
 
-    let opts = RelaxOptions { force_tolerance: 5e-3, max_iterations: 400, ..Default::default() };
+    let opts = RelaxOptions {
+        force_tolerance: 5e-3,
+        max_iterations: 400,
+        ..Default::default()
+    };
     let result = tbmd::md::relax(&mut scrambled, &calc, &opts).expect("relaxation");
     println!(
         "\nCG relaxation: converged={} after {} iterations ({} energy evaluations)",
@@ -41,7 +52,11 @@ fn main() {
         "final energy {:.4} eV, residual max force {:.2e} eV/Å",
         result.energy, result.max_force
     );
-    println!("strain recovered: {:.3} of {:.3} eV", e_scrambled - result.energy, e_scrambled - e_ideal);
+    println!(
+        "strain recovered: {:.3} of {:.3} eV",
+        e_scrambled - result.energy,
+        e_scrambled - e_ideal
+    );
 
     // Bond statistics of the relaxed cage.
     let bonds: Vec<f64> = scrambled

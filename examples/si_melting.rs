@@ -21,7 +21,7 @@ fn print_rdf(label: &str, rdf: &RdfAccumulator) {
     println!("\n  g(r) {label}:");
     println!("    r/Å    g(r)   ");
     for (r, g) in rdf.finish().into_iter().step_by(5) {
-        let bar: String = std::iter::repeat('#').take((g * 8.0).min(60.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (g * 8.0).min(60.0) as usize).collect();
         println!("    {r:5.2}  {g:6.2}  {bar}");
     }
     if let Some((r, g)) = rdf.first_peak() {
@@ -56,19 +56,26 @@ fn main() {
     print_rdf("solid, 300 K", &rdf_cold);
 
     // Ramp to t_hot at the literature heating rate of 0.5 K/fs.
-    let ramp = TemperatureRamp { rate_k_per_fs: 0.5, target_k: t_hot };
+    let ramp = TemperatureRamp {
+        rate_k_per_fs: 0.5,
+        target_k: t_hot,
+    };
     let mut ramp_steps = 0usize;
     while ramp.advance(&mut nh) {
         nh.step(&mut state, &calc).expect("md step");
         ramp_steps += 1;
-        if ramp_steps % 1000 == 0 {
+        if ramp_steps.is_multiple_of(1000) {
             println!(
                 "  ramping: t = {:.0} fs, thermostat {:.0} K, kinetic T {:.0} K",
-                state.time_fs, nh.target_k, state.temperature()
+                state.time_fs,
+                nh.target_k,
+                state.temperature()
             );
         }
     }
-    println!("\n  ramp complete after {ramp_steps} steps; holding at {t_hot} K for {hold_steps} steps");
+    println!(
+        "\n  ramp complete after {ramp_steps} steps; holding at {t_hot} K for {hold_steps} steps"
+    );
 
     // Hot RDF.
     let mut rdf_hot = RdfAccumulator::new(5.4, 108);
@@ -91,5 +98,12 @@ fn main() {
     let cold2 = shell_height(&rdf_cold, 3.84);
     let hot2 = shell_height(&rdf_hot, 3.84);
     println!("\n  second-shell g(3.84 Å): {cold2:.2} (cold) → {hot2:.2} (hot)");
-    println!("  crystalline order {}", if hot2 < 0.7 * cold2 { "lost — melted" } else { "partially retained" });
+    println!(
+        "  crystalline order {}",
+        if hot2 < 0.7 * cold2 {
+            "lost — melted"
+        } else {
+            "partially retained"
+        }
+    );
 }

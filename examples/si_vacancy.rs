@@ -24,7 +24,10 @@ fn main() {
     let perfect = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
     let n = perfect.n_atoms();
     let e_perfect = calc.energy_only(&perfect).expect("perfect-crystal energy");
-    println!("perfect crystal: {n} atoms, E = {e_perfect:.4} eV ({:.4} eV/atom)", e_perfect / n as f64);
+    println!(
+        "perfect crystal: {n} atoms, E = {e_perfect:.4} eV ({:.4} eV/atom)",
+        e_perfect / n as f64
+    );
 
     // Create the vacancy.
     let mut defective = perfect.clone();
@@ -38,7 +41,11 @@ fn main() {
     );
 
     // Relax the neighbours into the vacancy.
-    let opts = RelaxOptions { force_tolerance: 1e-2, max_iterations: 300, ..Default::default() };
+    let opts = RelaxOptions {
+        force_tolerance: 1e-2,
+        max_iterations: 300,
+        ..Default::default()
+    };
     let result = tbmd::md::relax(&mut defective, &calc, &opts).expect("relaxation");
     let e_f = result.energy - reference;
     println!(
@@ -57,6 +64,10 @@ fn main() {
     );
     println!(
         "verdict: E_f in the physical few-eV window: {}",
-        if (1.5..7.0).contains(&e_f) { "yes" } else { "NO — investigate" }
+        if (1.5..7.0).contains(&e_f) {
+            "yes"
+        } else {
+            "NO — investigate"
+        }
     );
 }

@@ -18,7 +18,10 @@ fn main() {
 
     // --- Si2 dimer.
     let mut dimer = tbmd::structure::dimer(Species::Silicon, 2.47);
-    let opts = RelaxOptions { force_tolerance: 1e-4, ..Default::default() };
+    let opts = RelaxOptions {
+        force_tolerance: 1e-4,
+        ..Default::default()
+    };
     tbmd::md::relax(&mut dimer, &calc, &opts).expect("dimer relaxation");
     println!("Si2 dimer (relaxed to {:.3} Å):", dimer.distance(0, 1));
     let modes = normal_modes(&dimer, &calc, 1e-3).expect("dimer modes");
@@ -29,7 +32,10 @@ fn main() {
         "  zero modes: {} (expect 5: 3 translations + 2 rotations)",
         modes.n_zero_modes(1.0)
     );
-    println!("  stretch: {:.2} THz (expt. Si2: ~15.3 THz)\n", modes.max_frequency_thz());
+    println!(
+        "  stretch: {:.2} THz (expt. Si2: ~15.3 THz)\n",
+        modes.max_frequency_thz()
+    );
 
     // --- 8-atom Si crystal at Γ.
     let crystal = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
@@ -46,7 +52,7 @@ fn main() {
     println!("\n  vibrational DOS (2 THz bins):");
     let dos = vibrational_dos(&modes.frequencies_thz, 13, 26.0);
     for (f, count) in dos {
-        let bar: String = std::iter::repeat('#').take(count as usize).collect();
+        let bar: String = std::iter::repeat_n('#', count as usize).collect();
         println!("  {f:5.1} THz  {count:3.0}  {bar}");
     }
     println!("\n  stable: {}", modes.is_stable(1e-3));

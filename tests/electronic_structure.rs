@@ -46,8 +46,12 @@ fn gap_monotone_under_refinement() {
     let model = silicon_gsp();
     let s = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
     let g = 2.0 * std::f64::consts::PI / s.cell().lengths.x;
-    let coarse: Vec<Vec3> = (0..4).map(|i| Vec3::new(g * i as f64 / 8.0, 0.0, 0.0)).collect();
-    let fine: Vec<Vec3> = (0..16).map(|i| Vec3::new(g * i as f64 / 32.0, 0.0, 0.0)).collect();
+    let coarse: Vec<Vec3> = (0..4)
+        .map(|i| Vec3::new(g * i as f64 / 8.0, 0.0, 0.0))
+        .collect();
+    let fine: Vec<Vec3> = (0..16)
+        .map(|i| Vec3::new(g * i as f64 / 32.0, 0.0, 0.0))
+        .collect();
     let bands_of = |ks: &[Vec3]| -> f64 {
         let bands: Vec<Vec<f64>> = ks
             .iter()
@@ -79,7 +83,10 @@ fn nonortho_engine_relaxes_dimer() {
     let model = silicon_nonortho_demo();
     let calc = NonOrthoCalculator::new(&model);
     let mut s = tbmd::structure::dimer(Species::Silicon, 2.9);
-    let opts = tbmd::RelaxOptions { force_tolerance: 5e-3, ..Default::default() };
+    let opts = tbmd::RelaxOptions {
+        force_tolerance: 5e-3,
+        ..Default::default()
+    };
     let result = tbmd::md::relax(&mut s, &calc, &opts).unwrap();
     assert!(result.converged);
     let d = s.distance(0, 1);
@@ -95,6 +102,11 @@ fn phonons_from_kpoint_calculator() {
     let kcalc = KPointCalculator::new(&model, monkhorst_pack(&s, [2, 2, 2]), 0.1);
     let modes = normal_modes(&s, &kcalc, 1e-3).unwrap();
     assert_eq!(modes.frequencies_thz.len(), 24);
-    assert_eq!(modes.n_zero_modes(0.8), 3, "{:?}", &modes.frequencies_thz[..5]);
+    assert_eq!(
+        modes.n_zero_modes(0.8),
+        3,
+        "{:?}",
+        &modes.frequencies_thz[..5]
+    );
     assert!(modes.is_stable(1e-2));
 }

@@ -50,10 +50,7 @@ fn engines_produce_identical_trajectories() {
 /// NVE with the high-level driver conserves energy on every system type.
 #[test]
 fn nve_conserves_energy_across_systems() {
-    for system in [
-        SystemSpec::SiliconDiamond { reps: 1 },
-        SystemSpec::C60,
-    ] {
+    for system in [SystemSpec::SiliconDiamond { reps: 1 }, SystemSpec::C60] {
         let config = SimulationConfig::nve(system, 300.0, 15);
         let summary = run_simulation(&config).unwrap();
         assert!(
@@ -70,7 +67,12 @@ fn nvt_conserved_quantity_via_driver() {
     let config = SimulationConfig {
         system: SystemSpec::SiliconDiamond { reps: 1 },
         engine: EngineKind::Serial,
-        protocol: Protocol::Nvt { temperature_k: 800.0, steps: 40, dt_fs: 1.0, tau_fs: 50.0 },
+        protocol: Protocol::Nvt {
+            temperature_k: 800.0,
+            steps: 40,
+            dt_fs: 1.0,
+            tau_fs: 50.0,
+        },
         electronic_kt: 0.1,
         perturb: 0.0,
         seed: 11,
@@ -91,7 +93,10 @@ fn driver_relaxation_recovers_crystal() {
     let ideal = SimulationConfig {
         system: SystemSpec::SiliconDiamond { reps: 1 },
         engine: EngineKind::Serial,
-        protocol: Protocol::Relax { force_tolerance: 1e-3, max_iterations: 10 },
+        protocol: Protocol::Relax {
+            force_tolerance: 1e-3,
+            max_iterations: 10,
+        },
         electronic_kt: 0.1,
         perturb: 0.0,
         seed: 0,
@@ -101,7 +106,10 @@ fn driver_relaxation_recovers_crystal() {
 
     let rattled = SimulationConfig {
         perturb: 0.1,
-        protocol: Protocol::Relax { force_tolerance: 2e-2, max_iterations: 300 },
+        protocol: Protocol::Relax {
+            force_tolerance: 2e-2,
+            max_iterations: 300,
+        },
         ..ideal
     };
     let summary = run_simulation(&rattled).unwrap();

@@ -51,7 +51,7 @@ proptest! {
     }
 
     #[test]
-    fn energy_invariant_under_rotation(seed in 0u64..50, angle in 0.0f64..6.28) {
+    fn energy_invariant_under_rotation(seed in 0u64..50, angle in 0.0f64..std::f64::consts::TAU) {
         let model = silicon_gsp();
         let calc = TbCalculator::new(&model);
         let s = free_cluster(seed);

@@ -1,0 +1,119 @@
+//! Trajectory-equivalence regression tests for the persistent evaluation
+//! workspace (ISSUE 1).
+//!
+//! The workspace path amortizes neighbor-list construction with a Verlet
+//! skin list and reuses every n_orb²-sized buffer across MD steps. Physics
+//! must not notice: a trajectory driven through one persistent workspace has
+//! to match the cold path (a fresh workspace — and hence a fresh neighbor
+//! list and fresh buffers — on every step) to 1e-10 in energies, forces and
+//! positions, on both the serial and the shared-memory engines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbmd_md::{maxwell_boltzmann, MdState, VelocityVerlet};
+use tbmd_model::{silicon_gsp, ForceProvider, OccupationScheme, TbCalculator, Workspace};
+use tbmd_parallel::SharedMemoryTb;
+use tbmd_structure::{bulk_diamond, Species, Structure};
+
+/// 2×2×2 Si diamond: 64 atoms, L/2 = 5.43 Å > cutoff + skin ≈ 4.66 Å, so
+/// the Verlet skin list engages instead of the small-cell fallback.
+fn si64() -> Structure {
+    bulk_diamond(Species::Silicon, 2, 2, 2)
+}
+
+fn velocities(s: &Structure, seed: u64) -> Vec<tbmd_linalg::Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    maxwell_boltzmann(s, 300.0, &mut rng)
+}
+
+/// Drive `steps` NVE steps through one persistent workspace and through a
+/// fresh-workspace-per-step cold path, and assert per-step agreement.
+fn assert_trajectories_match(provider: &dyn ForceProvider, steps: usize) {
+    let vv = VelocityVerlet::new(1.0);
+
+    let mut ws = Workspace::new();
+    let mut warm = MdState::new_with(si64(), velocities(&si64(), 11), provider, &mut ws).unwrap();
+    let mut cold = MdState::new(si64(), velocities(&si64(), 11), provider).unwrap();
+
+    for step in 0..steps {
+        vv.step_with(&mut warm, provider, &mut ws).unwrap();
+        vv.step(&mut cold, provider).unwrap();
+
+        let de = (warm.potential_energy - cold.potential_energy).abs();
+        assert!(de < 1e-10, "step {step}: potential energy differs by {de}");
+        for i in 0..warm.structure.n_atoms() {
+            let df = (warm.forces[i] - cold.forces[i]).max_abs();
+            assert!(df < 1e-10, "step {step}, atom {i}: force differs by {df}");
+            let dx = (warm.structure.positions()[i] - cold.structure.positions()[i]).max_abs();
+            assert!(
+                dx < 1e-10,
+                "step {step}, atom {i}: position differs by {dx}"
+            );
+        }
+    }
+
+    // The warm path must actually have exercised the amortized machinery:
+    // a Verlet list (not the small-cell fallback) refreshed in place on most
+    // steps instead of being rebuilt.
+    assert!(
+        ws.neighbors.is_verlet(),
+        "expected the Verlet path in a 64-atom cell"
+    );
+    let stats = ws.neighbors.stats();
+    assert_eq!(stats.fallback_builds, 0);
+    assert!(
+        stats.refreshes > stats.rebuilds,
+        "amortization never engaged: {stats:?}"
+    );
+}
+
+#[test]
+fn serial_engine_workspace_trajectory_matches_cold_path() {
+    let model = silicon_gsp();
+    let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
+    assert_trajectories_match(&calc, 22);
+}
+
+#[test]
+fn shared_engine_workspace_trajectory_matches_cold_path() {
+    let model = silicon_gsp();
+    let shared = SharedMemoryTb::new(&model).with_occupation(OccupationScheme::Fermi { kt: 0.1 });
+    assert_trajectories_match(&shared, 20);
+}
+
+/// Acceptance criterion: a 64-atom Si NVE run of ≥100 steps performs O(1)
+/// allocations of n_orb²-sized buffers after warmup. `Workspace` counts
+/// every capacity growth of its H/W/ρ buffers in `large_alloc_events()`.
+#[test]
+fn hundred_step_nve_run_allocates_once() {
+    let model = silicon_gsp();
+    let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
+    let s = si64();
+    let v = velocities(&s, 23);
+
+    let mut ws = Workspace::new();
+    let mut state = MdState::new_with(s, v, &calc, &mut ws).unwrap();
+    let after_warmup = ws.large_alloc_events();
+    assert!(after_warmup > 0, "warmup should have grown the buffers");
+
+    let vv = VelocityVerlet::new(1.0);
+    for _ in 0..100 {
+        vv.step_with(&mut state, &calc, &mut ws).unwrap();
+    }
+    assert_eq!(
+        ws.large_alloc_events(),
+        after_warmup,
+        "matrix buffers grew after warmup"
+    );
+
+    // Neighbor amortization over the same run: exactly one Verlet build at
+    // warmup, refreshes (not rebuilds) afterwards at 300 K.
+    let stats = ws.neighbors.stats();
+    assert_eq!(stats.fallback_builds, 0);
+    assert!(
+        stats.rebuilds <= 3,
+        "neighbor list rebuilt {} times in 100 gentle steps",
+        stats.rebuilds
+    );
+    assert_eq!(stats.rebuilds + stats.refreshes, 101);
+}

@@ -1,0 +1,211 @@
+//! Vendored minimal harness with a [criterion](https://crates.io/crates/criterion)-
+//! compatible API (offline build).
+//!
+//! Behavior mirrors criterion's two modes:
+//!
+//! - `cargo bench` passes `--bench`: each routine is warmed up once and then
+//!   timed over a small adaptive number of iterations; mean wall time per
+//!   iteration is printed to stdout.
+//! - `cargo test` runs the same binary *without* `--bench`: every routine
+//!   executes exactly once as a smoke test, so benches stay covered by the
+//!   test suite without inflating its runtime.
+//!
+//! No statistics, plots, or baselines — the report binaries in `tbmd-bench`
+//! own the paper-style measurement tables; these benches exist for quick
+//! relative timing and compile/run coverage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean wall time of one routine iteration, recorded by `iter`.
+    last_mean: Option<Duration>,
+    sample_size: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure and report.
+    Measure,
+    /// `cargo test`: run once, report nothing.
+    Smoke,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warmup, then time `sample_size` iterations in one block.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / self.sample_size as u32);
+    }
+}
+
+/// Identifier `function_name/parameter` as in criterion.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.run(&full, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.run(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            last_mean: None,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if self.criterion.mode == Mode::Measure {
+            match b.last_mean {
+                Some(mean) => println!("{full_id:<48} {:>12.3?}/iter", mean),
+                None => println!("{full_id:<48} (no measurement)"),
+            }
+        }
+    }
+}
+
+/// Harness entry point; construct via `Default` (done by `criterion_main!`).
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench` under `cargo bench` and
+        // without it under `cargo test`.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        let mut f = f;
+        let mut run = |b: &mut Bencher| f(b);
+        group.run(id, &mut run);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut count = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("f", |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_iterations() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+        };
+        let mut count = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+                b.iter(|| count += x)
+            });
+            g.finish();
+        }
+        // 1 warmup + 5 samples, each adding 3.
+        assert_eq!(count, 18);
+    }
+}

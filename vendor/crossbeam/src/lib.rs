@@ -1,0 +1,242 @@
+//! Vendored subset of [crossbeam](https://crates.io/crates/crossbeam)
+//! backed by `std::sync` and `std::thread::scope` (offline build).
+//!
+//! Two pieces are provided, matching the workspace's virtual message-passing
+//! machine (`tbmd-parallel::vmp`):
+//!
+//! - [`channel::unbounded`] — an MPSC-style unbounded channel with cloneable
+//!   senders, blocking `recv`, and crossbeam's disconnect semantics (`recv`
+//!   errors once every sender is dropped and the queue is drained; `send`
+//!   errors once the receiver is gone).
+//! - [`thread::scope`] — scoped spawning where the closure receives the scope
+//!   handle as an argument (crossbeam's 0.8 signature, hence the `|_|` at
+//!   call sites), returning `Result` like the original.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries
+    /// the rejected value like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if !inner.receiver_alive {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.shared.inner.lock().expect("channel lock");
+                inner.senders -= 1;
+                inner.senders
+            };
+            if remaining == 0 {
+                // Wake a receiver blocked on an empty queue so it can report
+                // disconnection instead of sleeping forever.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).expect("channel wait");
+            }
+        }
+
+        /// Non-blocking receive; `None` if the queue is currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel lock")
+                .queue
+                .pop_front()
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel lock")
+                .receiver_alive = false;
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed both to the `scope` closure and to each spawned
+    /// closure (crossbeam 0.8 lets children spawn grandchildren).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. `Err` carries the payload if `f` (or an unjoined child,
+    /// which std re-raises here) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+    use super::thread;
+
+    #[test]
+    fn channel_roundtrip_and_clone() {
+        let (tx, rx) = unbounded::<i32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<i32>();
+        tx.send(5).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn blocking_recv_across_threads() {
+        let (tx, rx) = unbounded::<u64>();
+        thread::scope(|scope| {
+            scope.spawn(move |_| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.send(42).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(42));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u32; 8];
+        let r = thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in data.iter_mut().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                    i
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(r, 28);
+        assert_eq!(data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

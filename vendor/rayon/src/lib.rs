@@ -1,0 +1,385 @@
+//! Vendored, API-compatible subset of [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no network access, so the workspace vendors the
+//! slice/range parallel-iterator surface it actually uses. Parallelism is
+//! real: work is partitioned into contiguous chunks and executed on scoped OS
+//! threads (`std::thread::scope`), one spawn per call site. There is no
+//! work-stealing pool; for the coarse-grained loops in this workspace
+//! (per-atom maps, matrix row bands) static partitioning is within noise of
+//! pool-based scheduling, and determinism of the *output ordering* is
+//! preserved exactly: element `i` of a parallel map always lands at index `i`.
+//!
+//! Supported patterns:
+//! - `slice.par_iter().map(f).collect::<Vec<_>>()` (+ `.sum()`)
+//! - `slice.par_iter_mut().for_each(f)`
+//! - `slice.par_chunks_mut(k).enumerate().for_each(f)`
+//! - `(a..b).into_par_iter().map(f).collect()` / `.reduce(id, op)`
+
+/// Number of worker threads for one parallel call.
+fn thread_count(work_items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(work_items)
+        .max(1)
+}
+
+/// Ordered parallel map over `0..len`: element `i` of the result is `f(i)`.
+fn par_map_indexed<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let nt = thread_count(len);
+    if nt <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(nt);
+    let fref = &f;
+    let parts: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nt)
+            .map(|t| {
+                scope.spawn(move || {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(len);
+                    (start..end).map(fref).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for mut part in parts {
+        out.append(&mut part);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the `prelude` surface).
+// ---------------------------------------------------------------------------
+
+/// `par_iter` / `par_iter_mut` / `par_chunks_mut` on slices (and anything
+/// that derefs to a slice, e.g. `Vec`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// `into_par_iter` on integer ranges.
+pub trait IntoParallelIterator {
+    type ParIter;
+    fn into_par_iter(self) -> Self::ParIter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type ParIter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-reference slice iterator.
+// ---------------------------------------------------------------------------
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParIterMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_indexed(self.slice.len(), |i| f(&self.slice[i]));
+    }
+}
+
+pub struct ParIterMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParIterMap<'a, T, F> {
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let f = &self.f;
+        par_map_indexed(self.slice.len(), |i| f(&self.slice[i]))
+            .into_iter()
+            .collect()
+    }
+
+    pub fn sum<U>(self) -> U
+    where
+        U: Send + std::iter::Sum<U>,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        self.collect::<U, Vec<U>>().into_iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable slice iterator.
+// ---------------------------------------------------------------------------
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.slice.len();
+        let nt = thread_count(len);
+        if nt <= 1 {
+            self.slice.iter_mut().for_each(f);
+            return;
+        }
+        let chunk = len.div_ceil(nt);
+        let fref = &f;
+        std::thread::scope(|scope| {
+            for part in self.slice.chunks_mut(chunk) {
+                scope.spawn(move || part.iter_mut().for_each(fref));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutable chunk iterator (matrix row bands).
+// ---------------------------------------------------------------------------
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let mut chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
+        let total = chunks.len();
+        let nt = thread_count(total);
+        if nt <= 1 {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let per = total.div_ceil(nt);
+        let fref = &f;
+        std::thread::scope(|scope| {
+            for (group_idx, group) in chunks.chunks_mut(per).enumerate() {
+                scope.spawn(move || {
+                    for (offset, chunk) in group.iter_mut().enumerate() {
+                        fref((group_idx * per + offset, &mut **chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range iterator.
+// ---------------------------------------------------------------------------
+
+pub struct RangeParIter {
+    range: std::ops::Range<usize>,
+}
+
+impl RangeParIter {
+    pub fn map<U, F>(self, f: F) -> RangeParMap<F>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        RangeParMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        par_map_indexed(self.range.len(), |i| f(start + i));
+    }
+}
+
+pub struct RangeParMap<F> {
+    range: std::ops::Range<usize>,
+    f: F,
+}
+
+impl<F> RangeParMap<F> {
+    pub fn collect<U, C>(self) -> C
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+        C: FromIterator<U>,
+    {
+        let start = self.range.start;
+        let f = &self.f;
+        par_map_indexed(self.range.len(), |i| f(start + i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Rayon-compatible reduce: folds each worker's portion from `identity()`
+    /// and combines partials left to right.
+    pub fn reduce<U, ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+        ID: Fn() -> U + Sync,
+        OP: Fn(U, U) -> U + Sync,
+    {
+        let items: Vec<U> = self.collect();
+        items.into_iter().fold(identity(), &op)
+    }
+
+    pub fn sum<U>(self) -> U
+    where
+        U: Send + std::iter::Sum<U>,
+        F: Fn(usize) -> U + Sync,
+    {
+        self.collect::<U, Vec<U>>().into_iter().sum()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+/// Number of threads a parallel call may use (compatibility shim).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, (0..1000).map(|x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_and_reduce() {
+        let squares: Vec<u64> = (0..257usize)
+            .into_par_iter()
+            .map(|i| (i * i) as u64)
+            .collect();
+        assert_eq!(squares[256], 65536);
+        let total = (0..100usize)
+            .into_par_iter()
+            .map(|i| vec![i as f64])
+            .reduce(
+                || vec![0.0],
+                |mut a, b| {
+                    a[0] += b[0];
+                    a
+                },
+            );
+        assert_eq!(total[0], 4950.0);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[15], 1);
+        assert_eq!(data[102], 10);
+    }
+
+    #[test]
+    fn iter_mut_for_each() {
+        let mut data: Vec<i64> = (0..500).collect();
+        data.par_iter_mut().for_each(|x| *x = -*x);
+        assert_eq!(data[499], -499);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<i32> = vec![];
+        let out: Vec<i32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let out2: Vec<i32> = (0..0usize).into_par_iter().map(|_| 1).collect();
+        assert!(out2.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Vendored marker-trait subset of [serde](https://crates.io/crates/serde).
+//!
+//! Nothing in this workspace actually serializes data — types carry the
+//! derives only as forward-looking API surface. With no network access to
+//! fetch the real crate, `Serialize`/`Deserialize` are blanket-implemented
+//! marker traits and the re-exported derives (from the vendored
+//! `serde_derive`) expand to nothing. Any bound of the form `T: Serialize`
+//! is therefore always satisfied.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,21 @@
+//! Vendored no-op `#[derive(Serialize, Deserialize)]`.
+//!
+//! The workspace tags types with serde derives for downstream consumers but
+//! never serializes anything in-tree, and the build container has no network
+//! access to fetch the real `serde_derive` (which pulls `syn`/`quote`). These
+//! derives accept the same attribute grammar (`#[serde(...)]` is registered so
+//! field attributes don't error) and expand to nothing: the marker traits in
+//! the vendored `serde` are blanket-implemented, so an empty expansion is a
+//! valid implementation.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
