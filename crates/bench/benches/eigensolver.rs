@@ -1,8 +1,12 @@
 //! Criterion bench behind experiment **T4**: serial QL versus the Jacobi
-//! family on random symmetric matrices.
+//! family versus the two-stage blocked solver (full and partial spectrum)
+//! on random symmetric matrices.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tbmd::linalg::{eigh, jacobi_eigh, par_jacobi_eigh, Matrix, JACOBI_MAX_SWEEPS, JACOBI_TOL};
+use tbmd::linalg::{
+    eigh, eigh_blocked_into, eigh_partial_into, jacobi_eigh, par_jacobi_eigh, EighWorkspace,
+    Matrix, JACOBI_MAX_SWEEPS, JACOBI_TOL,
+};
 use tbmd::parallel::ring_jacobi_eigh;
 
 fn random_symmetric(n: usize, seed: u64) -> Matrix {
@@ -38,6 +42,28 @@ fn bench_eigensolvers(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("ring_jacobi_p4", n), &a, |b, a| {
             b.iter(|| ring_jacobi_eigh(a, 4, JACOBI_TOL, JACOBI_MAX_SWEEPS))
+        });
+        // Two-stage blocked solver, full spectrum (workspace reused across
+        // iterations, matching the MD calling convention).
+        group.bench_with_input(BenchmarkId::new("blocked_full", n), &a, |b, a| {
+            let mut ws = EighWorkspace::default();
+            let mut values = Vec::new();
+            b.iter(|| {
+                let mut m = a.clone();
+                eigh_blocked_into(&mut m, &mut values, &mut ws).unwrap();
+                m
+            })
+        });
+        // Partial spectrum at half filling — the TBMD occupied window.
+        group.bench_with_input(BenchmarkId::new("partial_half", n), &a, |b, a| {
+            let mut ws = EighWorkspace::default();
+            let mut values = Vec::new();
+            let mut vectors = Matrix::default();
+            b.iter(|| {
+                let mut m = a.clone();
+                eigh_partial_into(&mut m, n / 2, &mut values, &mut vectors, &mut ws).unwrap();
+                vectors.rows()
+            })
         });
     }
     group.finish();

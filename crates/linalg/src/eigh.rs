@@ -90,13 +90,17 @@ pub fn eigvalsh(mut a: Matrix) -> Result<Vec<f64>, EigError> {
     Ok(d)
 }
 
-/// Reusable scratch for [`eigh_into`]: the subdiagonal buffer and the sort
-/// permutation. Buffers grow to the largest `n` seen and are then reused, so
-/// repeated solves (one per MD step) perform no allocation after warmup.
+/// Reusable scratch for [`eigh_into`] and the blocked/partial solvers in
+/// [`crate::blocked`] and [`crate::inverse_iteration`]: the subdiagonal
+/// buffer, the sort permutation, and the blocked-pipeline scratch. Buffers
+/// grow to the largest `n` seen and are then reused, so repeated solves (one
+/// per MD step) perform no allocation after warmup.
 #[derive(Debug, Default, Clone)]
 pub struct EighWorkspace {
-    e: Vec<f64>,
-    order: Vec<usize>,
+    pub(crate) e: Vec<f64>,
+    pub(crate) order: Vec<usize>,
+    pub(crate) blocked: crate::blocked::BlockedScratch,
+    pub(crate) inviter: crate::inverse_iteration::InverseIterScratch,
 }
 
 /// Allocation-free eigendecomposition.
@@ -333,7 +337,7 @@ pub fn tqli(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), EigError
 /// in place: the permutation is applied by cycle-following column swaps, so
 /// no copy of the (n²-sized) eigenvector matrix is made. `order` is reusable
 /// scratch.
-fn sort_eigenpairs(d: &mut [f64], z: &mut Matrix, order: &mut Vec<usize>) {
+pub(crate) fn sort_eigenpairs(d: &mut [f64], z: &mut Matrix, order: &mut Vec<usize>) {
     let n = d.len();
     order.clear();
     order.extend(0..n);

@@ -1,0 +1,339 @@
+//! Inverse iteration for selected eigenvectors of a symmetric tridiagonal
+//! matrix — stage two of the two-stage eigensolver.
+//!
+//! Given eigenvalues isolated to machine precision (Sturm bisection or QL on
+//! the tridiagonal factor, see [`crate::bisection`] and [`crate::blocked`]),
+//! each eigenvector follows from a handful of `O(n)` solves against the
+//! shifted matrix `T − λI`, factored once per eigenvalue as `PLU` with
+//! partial pivoting (LAPACK `stein`/`gttrf` style). Members of a *cluster*
+//! of near-equal eigenvalues would all converge to the same dominant
+//! direction, so inside a cluster every iterate is Gram–Schmidt
+//! reorthogonalized against the finished cluster members, and the whole
+//! cluster is finished with a Rayleigh–Ritz rotation (diagonalize
+//! `Zᵀ T Z` in the cluster subspace) so near-degenerate — not exactly
+//! degenerate — levels still receive accurate individual eigenvectors. That
+//! accuracy matters downstream: under Fermi smearing, members of a
+//! near-degenerate frontier cluster can carry *different* occupations, and
+//! a mixed basis would leak those differences into the density matrix.
+//!
+//! Total cost is `O(k · n)` per solve sweep plus `O(c³)` per cluster of size
+//! `c` — negligible next to the reduction — and all scratch lives in
+//! [`InverseIterScratch`], reused across MD steps.
+
+use crate::eigh::{sort_eigenpairs, tqli, tridiagonalize_into};
+use crate::matrix::Matrix;
+
+/// Maximum inverse-iteration sweeps per eigenvector. With shifts accurate to
+/// machine precision one solve usually suffices; degenerate-cluster members
+/// need a couple more after reorthogonalization.
+const MAX_SWEEPS: usize = 5;
+
+/// Cluster threshold relative to the matrix scale: consecutive eigenvalues
+/// closer than this are reorthogonalized (and Rayleigh–Ritz-rotated) as one
+/// group. Over-clustering is safe — the rotation recovers the individual
+/// eigenvectors — so the threshold errs wide.
+const CLUSTER_RTOL: f64 = 1e-6;
+
+/// Reusable scratch of [`tridiagonal_eigenvectors_into`]: the `PLU` factor
+/// arrays, the iterate, the row-major eigenvector staging area and the
+/// per-cluster Rayleigh–Ritz buffers.
+#[derive(Debug, Default, Clone)]
+pub struct InverseIterScratch {
+    /// Diagonal of `U`.
+    du: Vec<f64>,
+    /// First superdiagonal of `U`.
+    u1: Vec<f64>,
+    /// Second superdiagonal of `U` (filled in by row swaps).
+    u2: Vec<f64>,
+    /// Elimination multipliers.
+    lmul: Vec<f64>,
+    /// Row-swap flags of the partial pivoting.
+    swapped: Vec<bool>,
+    /// Current iterate.
+    x: Vec<f64>,
+    /// `T · z` scratch for Rayleigh quotients.
+    tz: Vec<f64>,
+    /// Finished eigenvectors, one *row* each (contiguous per vector for the
+    /// Gram–Schmidt sweeps); transposed into the caller's column layout at
+    /// the end.
+    zrows: Matrix,
+    /// Cluster Gram matrix `Zᵀ T Z` / its eigenvector basis.
+    cl_b: Matrix,
+    /// Rotated cluster rows.
+    cl_rot: Matrix,
+    cl_d: Vec<f64>,
+    cl_e: Vec<f64>,
+    cl_order: Vec<usize>,
+}
+
+/// Factor `T − shift·I = P L U` with partial pivoting (`gttrf` for a
+/// symmetric tridiagonal). `d`/`e` use the crate convention (`e[0]` unused,
+/// `e[i]` couples rows `i−1` and `i`).
+fn factor_shifted(d: &[f64], e: &[f64], shift: f64, tiny: f64, s: &mut InverseIterScratch) {
+    let n = d.len();
+    s.du.clear();
+    s.du.extend(d.iter().map(|&x| x - shift));
+    s.u1.clear();
+    s.u1.resize(n, 0.0);
+    s.u2.clear();
+    s.u2.resize(n, 0.0);
+    s.lmul.clear();
+    s.lmul.resize(n, 0.0);
+    s.swapped.clear();
+    s.swapped.resize(n, false);
+    let m = n.saturating_sub(1);
+    if m > 0 {
+        s.u1[..m].copy_from_slice(&e[1..n]);
+    }
+    for i in 0..m {
+        let b = e[i + 1];
+        if s.du[i].abs() >= b.abs() {
+            // No swap; guard an exactly-singular pivot.
+            if s.du[i] == 0.0 {
+                s.du[i] = tiny;
+            }
+            let l = b / s.du[i];
+            s.lmul[i] = l;
+            s.du[i + 1] -= l * s.u1[i];
+            s.u1[i + 1] -= l * s.u2[i];
+        } else {
+            // Swap rows i and i+1 (|b| > |du[i]| ≥ 0, so b ≠ 0).
+            s.swapped[i] = true;
+            let (odd, ou1, ou2) = (s.du[i], s.u1[i], s.u2[i]);
+            let l = odd / b;
+            s.lmul[i] = l;
+            s.du[i] = b;
+            s.u1[i] = s.du[i + 1];
+            s.u2[i] = s.u1[i + 1];
+            s.du[i + 1] = ou1 - l * s.u1[i];
+            s.u1[i + 1] = ou2 - l * s.u2[i];
+        }
+    }
+    if s.du[n - 1] == 0.0 {
+        s.du[n - 1] = tiny;
+    }
+}
+
+/// Solve `(T − shift·I) x = b` in place using the current factorization.
+fn solve_in_place(s: &InverseIterScratch, x: &mut [f64]) {
+    let n = x.len();
+    for i in 0..n.saturating_sub(1) {
+        if s.swapped[i] {
+            x.swap(i, i + 1);
+        }
+        x[i + 1] -= s.lmul[i] * x[i];
+    }
+    x[n - 1] /= s.du[n - 1];
+    if n >= 2 {
+        x[n - 2] = (x[n - 2] - s.u1[n - 2] * x[n - 1]) / s.du[n - 2];
+    }
+    for i in (0..n.saturating_sub(2)).rev() {
+        x[i] = (x[i] - s.u1[i] * x[i + 1] - s.u2[i] * x[i + 2]) / s.du[i];
+    }
+}
+
+/// Deterministic start vector: a splitmix-style hash of `(index, position)`
+/// so repeated runs (and resumed workspaces) are bitwise identical.
+#[inline]
+fn seeded_entry(idx: usize, pos: usize) -> f64 {
+    let mut z = (idx as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(pos as u64)
+        .wrapping_add(0x632BE59BD9B4E019);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+#[inline]
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Rayleigh–Ritz rotation of the cluster rows `[r0, r1)` of `zrows`:
+/// diagonalize `B = Zᵀ T Z` in the cluster subspace and rotate the rows into
+/// the Ritz basis, recovering the true eigenvectors of near-degenerate (not
+/// exactly degenerate) levels from the arbitrary orthonormal basis inverse
+/// iteration produces.
+fn rayleigh_ritz_rotate(d: &[f64], e: &[f64], r0: usize, r1: usize, s: &mut InverseIterScratch) {
+    let c = r1 - r0;
+    let n = d.len();
+    if c < 2 {
+        return;
+    }
+    s.cl_b.resize_zeroed(c, c);
+    for q in 0..c {
+        let zq = s.zrows.row(r0 + q);
+        // tz = T z_q.
+        s.tz.clear();
+        s.tz.resize(n, 0.0);
+        for i in 0..n {
+            let mut acc = d[i] * zq[i];
+            if i > 0 {
+                acc += e[i] * zq[i - 1];
+            }
+            if i + 1 < n {
+                acc += e[i + 1] * zq[i + 1];
+            }
+            s.tz[i] = acc;
+        }
+        for p in 0..c {
+            let zp = s.zrows.row(r0 + p);
+            let acc: f64 = zp.iter().zip(&s.tz).map(|(&z, &t)| z * t).sum();
+            s.cl_b[(p, q)] = acc;
+        }
+    }
+    s.cl_b.symmetrize();
+    // Small dense eigh of B: Householder + QL on the c×c cluster matrix.
+    s.cl_d.clear();
+    s.cl_d.resize(c, 0.0);
+    s.cl_e.clear();
+    s.cl_e.resize(c, 0.0);
+    tridiagonalize_into(&mut s.cl_b, true, &mut s.cl_d, &mut s.cl_e);
+    if tqli(&mut s.cl_d, &mut s.cl_e, &mut s.cl_b).is_err() {
+        // Non-finite cluster matrix: leave the MGS basis untouched.
+        return;
+    }
+    sort_eigenpairs(&mut s.cl_d, &mut s.cl_b, &mut s.cl_order);
+    // Rotate: new row p = Σ_q U[q, p] · old row q.
+    s.cl_rot.resize_zeroed(c, n);
+    for p in 0..c {
+        for q in 0..c {
+            let u = s.cl_b[(q, p)];
+            if u == 0.0 {
+                continue;
+            }
+            let src = s.zrows.row(r0 + q);
+            let dst = s.cl_rot.row_mut(p);
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o += u * v;
+            }
+        }
+    }
+    for p in 0..c {
+        s.zrows.row_mut(r0 + p).copy_from_slice(s.cl_rot.row(p));
+    }
+}
+
+/// Eigenvectors of the symmetric tridiagonal matrix `(d, e)` for the
+/// pre-computed eigenvalues `lambda` (ascending), written column-wise into
+/// `z` (`n × lambda.len()`, column `j` pairs with `lambda[j]`), by inverse
+/// iteration with Gram–Schmidt reorthogonalization and Rayleigh–Ritz
+/// rotation inside clusters.
+///
+/// `z` is reshaped with [`Matrix::resize_zeroed`]; after warmup no
+/// allocation survives in the hot path.
+///
+/// # Panics
+/// Panics if `d.len() != e.len()`, `lambda.len() > d.len()` or `lambda` is
+/// not sorted ascending.
+pub fn tridiagonal_eigenvectors_into(
+    d: &[f64],
+    e: &[f64],
+    lambda: &[f64],
+    z: &mut Matrix,
+    s: &mut InverseIterScratch,
+) {
+    let n = d.len();
+    let k = lambda.len();
+    assert_eq!(e.len(), n, "d/e length mismatch");
+    assert!(k <= n, "more eigenvalues requested than the matrix has");
+    assert!(
+        lambda.windows(2).all(|w| w[0] <= w[1]),
+        "eigenvalues must be sorted ascending"
+    );
+    z.resize_zeroed(n, k);
+    if n == 0 || k == 0 {
+        return;
+    }
+    if n == 1 {
+        z[(0, 0)] = 1.0;
+        return;
+    }
+    let tnorm = (0..n)
+        .map(|i| d[i].abs() + e[i].abs() + if i + 1 < n { e[i + 1].abs() } else { 0.0 })
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let tiny = f64::EPSILON * tnorm;
+    let ctol = CLUSTER_RTOL * tnorm;
+    let sep = 10.0 * f64::EPSILON * tnorm;
+
+    s.zrows.resize_zeroed(k, n);
+    s.x.clear();
+    s.x.resize(n, 0.0);
+
+    let mut cluster_start = 0usize;
+    let mut prev_shift = f64::NEG_INFINITY;
+    for j in 0..k {
+        // Perturb coincident shifts so successive factorizations differ.
+        let mut shift = lambda[j];
+        if shift <= prev_shift + sep {
+            shift = prev_shift + sep;
+        }
+        prev_shift = shift;
+        if j > 0 && lambda[j] - lambda[j - 1] > ctol {
+            cluster_start = j;
+        }
+        factor_shifted(d, e, shift, tiny, s);
+        for (pos, xv) in s.x.iter_mut().enumerate() {
+            *xv = seeded_entry(j, pos);
+        }
+        let inv = 1.0 / norm(&s.x);
+        s.x.iter_mut().for_each(|v| *v *= inv);
+        // Inverse-iteration sweeps with in-cluster reorthogonalization. The
+        // iterate is moved out of the scratch so the factor arrays stay
+        // borrowable; it is moved back after the sweeps.
+        let mut x = std::mem::take(&mut s.x);
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            solve_in_place(s, &mut x);
+            let growth = norm(&x);
+            // Orthogonalize against the finished members of this cluster.
+            for p in cluster_start..j {
+                let zp = s.zrows.row(p);
+                let mut dot = 0.0;
+                for (xv, &zv) in x.iter().zip(zp) {
+                    dot += xv * zv;
+                }
+                for (xv, &zv) in x.iter_mut().zip(zp) {
+                    *xv -= dot * zv;
+                }
+            }
+            let nrm = norm(&x);
+            if nrm == 0.0 {
+                // Fully projected out: restart from fresh noise.
+                for (pos, xv) in x.iter_mut().enumerate() {
+                    *xv = seeded_entry(j.wrapping_add(0x5bd1), pos);
+                }
+                let inv = 1.0 / norm(&x);
+                x.iter_mut().for_each(|v| *v *= inv);
+                continue;
+            }
+            let inv = 1.0 / nrm;
+            x.iter_mut().for_each(|v| *v *= inv);
+            if converged {
+                break;
+            }
+            // One solve amplifies the target component by ~1/|λ−shift|;
+            // once the growth hits the shift accuracy floor, do one final
+            // polish sweep and stop.
+            if growth >= 0.01 / tiny {
+                converged = true;
+            }
+        }
+        s.zrows.row_mut(j).copy_from_slice(&x);
+        s.x = x;
+        // Cluster finished (next value far, or last index): rotate it.
+        let cluster_ends = j + 1 == k || lambda[j + 1] - lambda[j] > ctol;
+        if cluster_ends && j > cluster_start {
+            rayleigh_ritz_rotate(d, e, cluster_start, j + 1, s);
+        }
+    }
+    // Transpose the row-staged vectors into the caller's column layout.
+    for j in 0..k {
+        let row = s.zrows.row(j);
+        for i in 0..n {
+            z[(i, j)] = row[i];
+        }
+    }
+}

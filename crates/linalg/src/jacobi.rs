@@ -159,82 +159,136 @@ pub fn jacobi_eigh(
     Ok((finish(a, v), stats))
 }
 
+/// Reusable scratch of [`par_jacobi_eigh_into`]: double-buffered column
+/// storage for the matrix and the accumulated rotations, the per-round pivot
+/// tables, and the round-robin schedule (cached per matrix size). Buffers
+/// grow to the largest `n` seen and are then reused, so one solve per MD
+/// step performs no allocation after warmup.
+#[derive(Debug, Default, Clone)]
+pub struct JacobiWorkspace {
+    cols: Vec<Vec<f64>>,
+    cols_next: Vec<Vec<f64>>,
+    vcols: Vec<Vec<f64>>,
+    vcols_next: Vec<Vec<f64>>,
+    partner: Vec<Option<(usize, f64, f64, bool)>>,
+    rots: Vec<(usize, usize, f64, f64)>,
+    schedule: Vec<Vec<(usize, usize)>>,
+    schedule_n: usize,
+    order: Vec<usize>,
+}
+
+impl JacobiWorkspace {
+    /// Size a `Vec<Vec<f64>>` column store to `n` columns of length `n`,
+    /// reusing the inner allocations.
+    fn size_store(store: &mut Vec<Vec<f64>>, n: usize) {
+        store.resize_with(n, Vec::new);
+        for col in store.iter_mut() {
+            col.clear();
+            col.resize(n, 0.0);
+        }
+    }
+}
+
 /// Parallel-ordered Jacobi eigendecomposition (round-robin rounds, Rayon).
+///
+/// Allocating convenience wrapper around [`par_jacobi_eigh_into`].
+pub fn par_jacobi_eigh(
+    mut a: Matrix,
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<(Eigh, JacobiStats), EigError> {
+    let mut ws = JacobiWorkspace::default();
+    let mut values = Vec::new();
+    let stats = par_jacobi_eigh_into(&mut a, &mut values, &mut ws, tol, max_sweeps)?;
+    Ok((Eigh { values, vectors: a }, stats))
+}
+
+/// Allocation-free parallel-ordered Jacobi eigendecomposition.
 ///
 /// All `n/2` rotations of a round are computed from the same matrix snapshot
 /// and applied as one orthogonal factor `J = Π J_k` (the pairs are disjoint,
 /// so the product is order-independent). Column and row updates are each
 /// embarrassingly parallel in a column-major layout — exactly the structure
 /// the distributed ring-Jacobi in `tbmd-parallel` communicates around.
-pub fn par_jacobi_eigh(
-    a: Matrix,
+///
+/// On success `a` holds the eigenvector matrix (column `k` pairs with
+/// `values[k]`, ascending — the [`crate::eigh::eigh_into`] contract) and all
+/// working storage lives in `ws`, reused across calls.
+///
+/// # Errors
+/// [`EigError::NoConvergence`] if the off-diagonal norm has not dropped below
+/// `tol · ‖A‖_F` after `max_sweeps` sweeps.
+pub fn par_jacobi_eigh_into(
+    a: &mut Matrix,
+    values: &mut Vec<f64>,
+    ws: &mut JacobiWorkspace,
     tol: f64,
     max_sweeps: usize,
-) -> Result<(Eigh, JacobiStats), EigError> {
+) -> Result<JacobiStats, EigError> {
     assert!(a.is_square(), "Jacobi requires a square matrix");
     let n = a.rows();
+    values.clear();
     if n <= 1 {
-        let stats = JacobiStats {
+        if n == 1 {
+            values.push(a[(0, 0)]);
+            a[(0, 0)] = 1.0;
+        }
+        return Ok(JacobiStats {
             sweeps: 0,
             rotations: 0,
             final_off: 0.0,
-        };
-        return Ok((finish(a, Matrix::identity(n)), stats));
+        });
     }
     let fro = a.frobenius_norm().max(f64::MIN_POSITIVE);
-    // Column-major working storage.
-    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
-    let mut vcols: Vec<Vec<f64>> = (0..n)
-        .map(|j| (0..n).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
-        .collect();
-    let schedule = round_robin_rounds(n);
+    // Column-major working storage, double-buffered across rounds.
+    JacobiWorkspace::size_store(&mut ws.cols, n);
+    JacobiWorkspace::size_store(&mut ws.cols_next, n);
+    JacobiWorkspace::size_store(&mut ws.vcols, n);
+    JacobiWorkspace::size_store(&mut ws.vcols_next, n);
+    for (j, col) in ws.cols.iter_mut().enumerate() {
+        for (i, v) in col.iter_mut().enumerate() {
+            *v = a[(i, j)];
+        }
+    }
+    for (j, col) in ws.vcols.iter_mut().enumerate() {
+        col[j] = 1.0;
+    }
+    if ws.schedule_n != n {
+        ws.schedule = round_robin_rounds(n);
+        ws.schedule_n = n;
+    }
     let mut rotations = 0usize;
     let mut sweeps = 0usize;
     'outer: while sweeps < max_sweeps {
-        if off_norm_cols(&cols) <= tol * fro {
+        if off_norm_cols(&ws.cols) <= tol * fro {
             break 'outer;
         }
         sweeps += 1;
-        for round in &schedule {
+        for round in &ws.schedule {
             // 1. Rotation angles from the current snapshot (disjoint pivots).
-            let rots: Vec<(usize, usize, f64, f64)> = round
-                .iter()
-                .map(|&(p, q)| {
-                    let (c, s) = jacobi_rotation(cols[p][p], cols[q][q], cols[q][p]);
-                    (p, q, c, s)
-                })
-                .collect();
-            rotations += rots.len();
+            ws.rots.clear();
+            ws.rots.extend(round.iter().map(|&(p, q)| {
+                let (c, s) = jacobi_rotation(ws.cols[p][p], ws.cols[q][q], ws.cols[q][p]);
+                (p, q, c, s)
+            }));
+            rotations += ws.rots.len();
             // partner[j] = (other index, c, s, is_p_side) for paired columns.
-            let mut partner: Vec<Option<(usize, f64, f64, bool)>> = vec![None; n];
-            for &(p, q, c, s) in &rots {
-                partner[p] = Some((q, c, s, true));
-                partner[q] = Some((p, c, s, false));
+            ws.partner.clear();
+            ws.partner.resize(n, None);
+            for &(p, q, c, s) in &ws.rots {
+                ws.partner[p] = Some((q, c, s, true));
+                ws.partner[q] = Some((p, c, s, false));
             }
             // 2. Column update  B = A·J : col_p ← c·col_p − s·col_q,
             //    col_q ← s·col_p + c·col_q.  Each new column reads only its
-            //    partner, so building into fresh storage is race-free.
-            let cols_ref = &cols;
-            let new_cols: Vec<Vec<f64>> = (0..n)
-                .into_par_iter()
-                .map(|j| match partner[j] {
-                    None => cols_ref[j].clone(),
-                    Some((k, c, s, is_p)) => {
-                        let (cj, ck) = (&cols_ref[j], &cols_ref[k]);
-                        if is_p {
-                            cj.iter().zip(ck).map(|(&x, &y)| c * x - s * y).collect()
-                        } else {
-                            ck.iter().zip(cj).map(|(&x, &y)| s * x + c * y).collect()
-                        }
-                    }
-                })
-                .collect();
-            cols = new_cols;
+            //    partner, so writing into the second buffer is race-free.
+            rotate_columns(&ws.cols, &mut ws.cols_next, &ws.partner);
+            std::mem::swap(&mut ws.cols, &mut ws.cols_next);
             // 3. Row update  A' = Jᵀ·B : rows p and q mix. In column storage
             //    this touches only elements (p, j) and (q, j) of each column,
             //    so it is parallel over columns.
-            let rots_ref = &rots;
-            cols.par_iter_mut().for_each(|col| {
+            let rots_ref = &ws.rots;
+            ws.cols.par_iter_mut().for_each(|col| {
                 for &(p, q, c, s) in rots_ref {
                     let (xp, xq) = (col[p], col[q]);
                     col[p] = c * xp - s * xq;
@@ -242,46 +296,66 @@ pub fn par_jacobi_eigh(
                 }
             });
             // 4. Eigenvector update V ← V·J (columns rotate like A's).
-            let vref = &vcols;
-            let new_v: Vec<Vec<f64>> = (0..n)
-                .into_par_iter()
-                .map(|j| match partner[j] {
-                    None => vref[j].clone(),
-                    Some((k, c, s, is_p)) => {
-                        let (vj, vk) = (&vref[j], &vref[k]);
-                        if is_p {
-                            vj.iter().zip(vk).map(|(&x, &y)| c * x - s * y).collect()
-                        } else {
-                            vk.iter().zip(vj).map(|(&x, &y)| s * x + c * y).collect()
-                        }
-                    }
-                })
-                .collect();
-            vcols = new_v;
+            rotate_columns(&ws.vcols, &mut ws.vcols_next, &ws.partner);
+            std::mem::swap(&mut ws.vcols, &mut ws.vcols_next);
         }
     }
-    let final_off = off_norm_cols(&cols);
+    let final_off = off_norm_cols(&ws.cols);
     if final_off > tol * fro * 10.0 {
         return Err(EigError::NoConvergence {
             index: 0,
             iterations: sweeps,
         });
     }
-    // Reassemble row-major matrices.
-    let mut am = Matrix::zeros(n, n);
-    let mut vm = Matrix::zeros(n, n);
-    for j in 0..n {
+    // Sorted eigenpairs: diagonal entries ascending, eigenvector columns
+    // permuted to match, written straight into `a`.
+    ws.order.clear();
+    ws.order.extend(0..n);
+    ws.order.sort_by(|&x, &y| {
+        ws.cols[x][x]
+            .partial_cmp(&ws.cols[y][y])
+            .expect("NaN eigenvalue")
+    });
+    values.extend(ws.order.iter().map(|&k| ws.cols[k][k]));
+    for (new_col, &old_col) in ws.order.iter().enumerate() {
+        let src = &ws.vcols[old_col];
         for i in 0..n {
-            am[(i, j)] = cols[j][i];
-            vm[(i, j)] = vcols[j][i];
+            a[(i, new_col)] = src[i];
         }
     }
-    let stats = JacobiStats {
+    Ok(JacobiStats {
         sweeps,
         rotations,
         final_off: final_off / fro,
-    };
-    Ok((finish(am, vm), stats))
+    })
+}
+
+/// Apply one round's disjoint column rotations, reading `src` and writing
+/// `dst` (same arithmetic, element order and results as the original
+/// per-round rebuild, without its allocations).
+fn rotate_columns(
+    src: &[Vec<f64>],
+    dst: &mut [Vec<f64>],
+    partner: &[Option<(usize, f64, f64, bool)>],
+) {
+    dst.par_chunks_mut(1).enumerate().for_each(|(j, slot)| {
+        let out = &mut slot[0];
+        match partner[j] {
+            None => out.copy_from_slice(&src[j]),
+            Some((k, c, s, is_p)) => {
+                let (cj, ck) = (&src[j], &src[k]);
+                if is_p {
+                    for ((o, &x), &y) in out.iter_mut().zip(cj).zip(ck) {
+                        *o = c * x - s * y;
+                    }
+                } else {
+                    for ((o, &x), &y) in out.iter_mut().zip(ck).zip(cj) {
+                        *o = s * x + c * y;
+                    }
+                }
+            }
+        }
+    });
 }
 
 /// Apply the two-sided rotation `Jᵀ A J` in place, exploiting symmetry.

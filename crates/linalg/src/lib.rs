@@ -20,21 +20,30 @@
 //!   `H c = ε S c` reduction used by non-orthogonal tight binding.
 
 pub mod bisection;
+pub mod blocked;
 pub mod cholesky;
 pub mod eigh;
+pub mod inverse_iteration;
 pub mod jacobi;
 pub mod matrix;
 pub mod vec3;
 
-pub use bisection::{eigvalsh_partial, sturm_count, tridiagonal_kth_eigenvalue};
+pub use bisection::{
+    eigvalsh_partial, sturm_count, tridiagonal_kth_eigenvalue, tridiagonal_lowest_eigenvalues_into,
+};
+pub use blocked::{
+    apply_q_blocked, eigh_blocked_into, eigh_partial_into, reduced_eigenvalues_into,
+    reduced_eigenvectors_into, tridiagonalize_blocked_into, TRIDIAG_BLOCK,
+};
 pub use cholesky::{generalized_eigh, Cholesky, CholeskyError, GeneralizedEigError};
 pub use eigh::{
     eig_residual, eigh, eigh_into, eigvalsh, orthogonality_defect, tqli, tridiagonalize,
     tridiagonalize_into, EigError, Eigh, EighWorkspace,
 };
+pub use inverse_iteration::tridiagonal_eigenvectors_into;
 pub use jacobi::{
-    jacobi_eigh, jacobi_rotation, off_diagonal_norm, par_jacobi_eigh, round_robin_rounds,
-    JacobiStats, JACOBI_MAX_SWEEPS, JACOBI_TOL,
+    jacobi_eigh, jacobi_rotation, off_diagonal_norm, par_jacobi_eigh, par_jacobi_eigh_into,
+    round_robin_rounds, JacobiStats, JacobiWorkspace, JACOBI_MAX_SWEEPS, JACOBI_TOL,
 };
 pub use matrix::Matrix;
 pub use vec3::Vec3;

@@ -15,11 +15,14 @@
 
 use crate::hamiltonian::{build_hamiltonian_into, OrbitalIndex};
 use crate::model::TbModel;
-use crate::occupations::{occupations, OccupationScheme, Occupations};
+use crate::occupations::{occupations, occupied_count, OccupationScheme, Occupations};
 use crate::slater_koster::sk_block_gradient;
 use crate::workspace::{NeighborOutcome, Workspace};
 use std::time::{Duration, Instant};
-use tbmd_linalg::{eigh_into, eigvalsh, EigError, Matrix, Vec3};
+use tbmd_linalg::{
+    eigh_into, eigvalsh, reduced_eigenvalues_into, reduced_eigenvectors_into,
+    tridiagonalize_blocked_into, EigError, Matrix, Vec3,
+};
 use tbmd_structure::{NeighborList, Species, Structure};
 
 /// Errors from a tight-binding calculation.
@@ -129,6 +132,31 @@ pub struct TbResult {
     pub timings: PhaseTimings,
 }
 
+/// Matrix dimension below which [`DenseSolver::TwoStage`] falls back to the
+/// one-stage QL solve: the blocked reduction, Sturm/inverse-iteration and
+/// back-transform stages carry fixed overheads that only amortize once the
+/// matrix outgrows the cache-friendly scalar path (measured crossover
+/// between n = 64 and n = 128 on the reference host; T4b table of
+/// `report_eigensolvers`).
+pub const TWO_STAGE_MIN_DIM: usize = 96;
+
+/// Which dense symmetric eigensolver [`TbCalculator::compute_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DenseSolver {
+    /// Two-stage blocked solver: blocked Householder reduction, full
+    /// tridiagonal spectrum (bisection or QL depending on core count), then
+    /// eigenvectors by inverse iteration for the *occupied* states only,
+    /// back-transformed with blocked compact-WY sweeps. The eigenvector
+    /// count `k` comes from the occupations (`f > 10⁻¹²`), so the density
+    /// matrix is bit-for-bit complete; `k = n` degenerates to a full solve.
+    #[default]
+    TwoStage,
+    /// Classic one-stage path: scalar Householder + implicit-QL with full
+    /// eigenvector accumulation ([`tbmd_linalg::eigh_into`]). Kept as the
+    /// reference implementation and for cross-checks.
+    FullQl,
+}
+
 /// Serial tight-binding calculator.
 ///
 /// Borrows a model; construct one per simulation and reuse it (it is
@@ -138,6 +166,9 @@ pub struct TbCalculator<'m> {
     /// Occupation scheme; defaults to a small Fermi smearing (0.1 eV) which
     /// keeps forces continuous through level crossings during MD.
     pub occupation: OccupationScheme,
+    /// Dense eigensolver selection; defaults to the two-stage blocked
+    /// solver with occupied-subspace spectrum slicing.
+    pub solver: DenseSolver,
 }
 
 impl<'m> TbCalculator<'m> {
@@ -146,12 +177,25 @@ impl<'m> TbCalculator<'m> {
         TbCalculator {
             model,
             occupation: OccupationScheme::Fermi { kt: 0.1 },
+            solver: DenseSolver::default(),
         }
     }
 
     /// Calculator with an explicit occupation scheme.
     pub fn with_occupation(model: &'m dyn TbModel, occupation: OccupationScheme) -> Self {
-        TbCalculator { model, occupation }
+        TbCalculator {
+            model,
+            occupation,
+            solver: DenseSolver::default(),
+        }
+    }
+
+    /// Calculator with an explicit eigensolver selection.
+    pub fn with_solver(model: &'m dyn TbModel, solver: DenseSolver) -> Self {
+        TbCalculator {
+            solver,
+            ..TbCalculator::new(model)
+        }
     }
 
     /// The underlying model.
@@ -219,16 +263,41 @@ impl<'m> TbCalculator<'m> {
             build_hamiltonian_into(s, ws.neighbors.list(), self.model, &index, &mut ws.h) as usize;
         timings.hamiltonian = t0.elapsed();
 
-        // Diagonalize in place: ws.h becomes the eigenvector matrix.
+        // Diagonalize. FullQl overwrites ws.h with all n eigenvectors in
+        // place; TwoStage reduces ws.h to tridiagonal form (reflectors stay
+        // packed in it), takes the complete eigenvalue spectrum from the
+        // tridiagonal factor, and defers eigenvectors until the occupations
+        // say how many states actually matter. Below the crossover size the
+        // two-stage overheads don't pay and QL handles everything.
+        let two_stage = self.solver == DenseSolver::TwoStage && ws.h.rows() >= TWO_STAGE_MIN_DIM;
         let t0 = Instant::now();
-        eigh_into(&mut ws.h, &mut ws.values, &mut ws.eigh)?;
+        if two_stage {
+            tridiagonalize_blocked_into(&mut ws.h, &mut ws.eigh);
+            reduced_eigenvalues_into(&mut ws.eigh, &mut ws.values)?;
+        } else {
+            eigh_into(&mut ws.h, &mut ws.values, &mut ws.eigh)?;
+        }
         timings.diagonalize = t0.elapsed();
 
         let occ = occupations(&ws.values, s.n_electrons(), self.occupation);
         let band = occ.band_energy(&ws.values);
 
+        // TwoStage eigenvector stage: inverse iteration for the k occupied
+        // states only (f > 10⁻¹² — exactly the set the density-matrix filter
+        // keeps), back-transformed through the blocked reflectors. k = n
+        // (window covering the whole spectrum) is simply a full solve.
+        let (vectors, f_window) = if two_stage {
+            let t0 = Instant::now();
+            let k = occupied_count(&occ.f);
+            reduced_eigenvectors_into(&ws.h, &ws.values[..k], &mut ws.c, &mut ws.eigh);
+            timings.diagonalize += t0.elapsed();
+            (&ws.c, &occ.f[..k])
+        } else {
+            (&ws.h, &occ.f[..])
+        };
+
         let t0 = Instant::now();
-        ws.grown += density_matrix_into(&ws.h, &occ.f, &mut ws.w, &mut ws.rho);
+        ws.grown += density_matrix_into(vectors, f_window, &mut ws.w, &mut ws.rho);
         timings.density = t0.elapsed();
 
         let t0 = Instant::now();
@@ -282,7 +351,9 @@ pub fn density_matrix(vectors: &Matrix, f: &[f64]) -> Matrix {
 /// Returns the number of buffers that had to grow.
 pub fn density_matrix_into(vectors: &Matrix, f: &[f64], w: &mut Matrix, rho: &mut Matrix) -> usize {
     let n = vectors.rows();
-    let occupied: Vec<usize> = (0..f.len()).filter(|&k| f[k] > 1e-12).collect();
+    let occupied: Vec<usize> = (0..f.len())
+        .filter(|&k| f[k] > crate::occupations::OCCUPATION_DROP_TOL)
+        .collect();
     let mut grown = w.resize_zeroed(n, occupied.len()) as usize;
     for (col, &k) in occupied.iter().enumerate() {
         let scale = (2.0 * f[k]).sqrt();

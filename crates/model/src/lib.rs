@@ -28,8 +28,8 @@ pub use bands::{
     hermitian_eigenvalues, k_path,
 };
 pub use calculator::{
-    density_matrix, density_matrix_into, electronic_forces, repulsive_energy_forces, PhaseTimings,
-    TbCalculator, TbError, TbResult,
+    density_matrix, density_matrix_into, electronic_forces, repulsive_energy_forces, DenseSolver,
+    PhaseTimings, TbCalculator, TbError, TbResult, TWO_STAGE_MIN_DIM,
 };
 pub use carbon::carbon_xwch;
 pub use hamiltonian::{build_hamiltonian, build_hamiltonian_into, OrbitalIndex};
@@ -39,7 +39,9 @@ pub use nonortho::{
     build_overlap, silicon_nonortho_demo, NonOrthoCalculator, NonOrthogonalTbModel,
     SiliconNonOrthoDemo,
 };
-pub use occupations::{occupations, OccupationScheme, Occupations};
+pub use occupations::{
+    occupations, occupied_count, OccupationScheme, Occupations, OCCUPATION_DROP_TOL,
+};
 pub use provider::{ForceEvaluation, ForceProvider};
 pub use scaling::{CutoffTail, GspScaling, RadialFunction};
 pub use silicon::silicon_gsp;

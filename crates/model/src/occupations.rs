@@ -80,6 +80,21 @@ impl Occupations {
 /// Degeneracy tolerance for the zero-temperature frontier multiplet (eV).
 const DEGENERACY_TOL: f64 = 1e-8;
 
+/// Occupations at or below this threshold are treated as exactly empty by
+/// the density-matrix builder and by the partial-spectrum eigensolver's
+/// subspace selection: a state with `f ≤ OCCUPATION_DROP_TOL` contributes
+/// `< 2·10⁻¹²` electrons, below every force/energy tolerance in the suite.
+pub const OCCUPATION_DROP_TOL: f64 = 1e-12;
+
+/// Number of states with non-negligible occupation — the `k` of the
+/// occupied-subspace eigensolver path: eigenvectors beyond this index carry
+/// Fermi weights `≤` [`OCCUPATION_DROP_TOL`] and are provably dropped by
+/// [`crate::calculator::density_matrix_into`]'s occupation filter, so
+/// skipping them changes nothing downstream.
+pub fn occupied_count(f: &[f64]) -> usize {
+    f.iter().filter(|&&fk| fk > OCCUPATION_DROP_TOL).count()
+}
+
 /// Compute occupations for sorted-ascending `eigenvalues` and a total of
 /// `n_electrons` electrons.
 ///

@@ -22,7 +22,7 @@
 //! The workspace also keeps counters (rebuilds vs refreshes vs fallback
 //! builds, buffer-growth events) that the benchmark reports surface.
 
-use tbmd_linalg::{EighWorkspace, Matrix};
+use tbmd_linalg::{EighWorkspace, JacobiWorkspace, Matrix};
 use tbmd_structure::{NeighborList, Structure, VerletNeighborList};
 
 /// Default Verlet skin in Å. Half an ångström keeps the list valid for many
@@ -155,17 +155,25 @@ impl NeighborWorkspace {
 pub struct Workspace {
     /// Amortized neighbour lists.
     pub neighbors: NeighborWorkspace,
-    /// Hamiltonian buffer; the in-place eigensolve overwrites it with the
-    /// eigenvector matrix.
+    /// Hamiltonian buffer. The full-QL path overwrites it in place with the
+    /// eigenvector matrix; the two-stage path leaves the packed Householder
+    /// reflectors of the blocked reduction in it.
     pub h: Matrix,
+    /// Occupied-subspace eigenvector block (`n_orb × k`) produced by the
+    /// two-stage solver's inverse-iteration + back-transform stage.
+    pub c: Matrix,
     /// Scaled-eigenvector factor `W = C·diag(√(2f))`, occupied columns only.
     pub w: Matrix,
     /// Density matrix `ρ = W·Wᵀ`.
     pub rho: Matrix,
     /// Eigenvalues of the last evaluation (ascending).
     pub values: Vec<f64>,
-    /// Eigensolver scratch (subdiagonal + sort permutation).
+    /// Eigensolver scratch (subdiagonal + sort permutation, blocked-reduction
+    /// panels, inverse-iteration buffers).
     pub eigh: EighWorkspace,
+    /// Parallel-Jacobi scratch (double-buffered column stores, rotation
+    /// tables, round-robin schedule) for engines that select that solver.
+    pub jacobi: JacobiWorkspace,
     /// Count of large-buffer capacity growths (see
     /// [`Workspace::large_alloc_events`]).
     pub grown: usize,

@@ -11,18 +11,27 @@
 
 use rayon::prelude::*;
 use std::time::Instant;
-use tbmd_linalg::{eigh_into, par_jacobi_eigh, Matrix, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL};
+use tbmd_linalg::{
+    eigh_into, par_jacobi_eigh_into, reduced_eigenvalues_into, reduced_eigenvectors_into,
+    tridiagonalize_blocked_into, Matrix, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL,
+};
 use tbmd_model::{
-    density_matrix_into, occupations, sk_block, ForceEvaluation, ForceProvider, OccupationScheme,
-    OrbitalIndex, PhaseTimings, TbError, TbModel, Workspace,
+    density_matrix_into, occupations, occupied_count, sk_block, ForceEvaluation, ForceProvider,
+    OccupationScheme, OrbitalIndex, PhaseTimings, TbError, TbModel, Workspace, TWO_STAGE_MIN_DIM,
 };
 use tbmd_structure::{NeighborList, Structure};
 
 /// Which symmetric eigensolver the shared-memory engine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Eigensolver {
-    /// Serial Householder tridiagonalization + implicit QL (fastest on one
-    /// core; the diagonalization phase then does not parallelize).
+    /// Two-stage blocked solver with occupied-subspace spectrum slicing:
+    /// blocked Householder reduction, full tridiagonal spectrum, then
+    /// inverse-iteration eigenvectors for the occupied window only,
+    /// back-transformed with compact-WY sweeps.
+    #[default]
+    TwoStageSliced,
+    /// Serial Householder tridiagonalization + implicit QL with full
+    /// eigenvector accumulation (the reference path).
     HouseholderQl,
     /// Parallel-ordered cyclic Jacobi (slower serially, but every round
     /// exposes n/2 independent rotations).
@@ -40,12 +49,13 @@ pub struct SharedMemoryTb<'m> {
 }
 
 impl<'m> SharedMemoryTb<'m> {
-    /// Engine with the default smearing and the QL eigensolver.
+    /// Engine with the default smearing and the two-stage sliced
+    /// eigensolver.
     pub fn new(model: &'m dyn TbModel) -> Self {
         SharedMemoryTb {
             model,
             occupation: OccupationScheme::Fermi { kt: 0.1 },
-            eigensolver: Eigensolver::HouseholderQl,
+            eigensolver: Eigensolver::default(),
         }
     }
 
@@ -76,21 +86,40 @@ impl<'m> SharedMemoryTb<'m> {
         Ok(())
     }
 
-    /// Diagonalize the workspace's Hamiltonian buffer in place: `ws.h`
-    /// becomes the eigenvector matrix, `ws.values` the eigenvalues. The
-    /// QL path is fully allocation-free; the Jacobi path moves the buffer
-    /// through the solver and back.
-    fn solve_in_place(&self, ws: &mut Workspace) -> Result<(), TbError> {
+    /// Eigenvalue stage. `HouseholderQl` and `ParallelJacobi` overwrite
+    /// `ws.h` with the full eigenvector matrix in place (allocation-free
+    /// through `ws.eigh` / `ws.jacobi`); `TwoStageSliced` reduces `ws.h` to
+    /// tridiagonal form and computes the complete spectrum, deferring
+    /// eigenvectors to [`SharedMemoryTb::solve_vectors`].
+    fn solve_values(&self, ws: &mut Workspace) -> Result<(), TbError> {
+        if self.slices_spectrum(ws.h.rows()) {
+            tridiagonalize_blocked_into(&mut ws.h, &mut ws.eigh);
+            reduced_eigenvalues_into(&mut ws.eigh, &mut ws.values)?;
+            return Ok(());
+        }
         match self.eigensolver {
-            Eigensolver::HouseholderQl => eigh_into(&mut ws.h, &mut ws.values, &mut ws.eigh)?,
+            Eigensolver::TwoStageSliced | Eigensolver::HouseholderQl => {
+                eigh_into(&mut ws.h, &mut ws.values, &mut ws.eigh)?
+            }
             Eigensolver::ParallelJacobi => {
-                let h = std::mem::take(&mut ws.h);
-                let (eig, _) = par_jacobi_eigh(h, JACOBI_TOL, JACOBI_MAX_SWEEPS)?;
-                ws.h = eig.vectors;
-                ws.values = eig.values;
+                par_jacobi_eigh_into(
+                    &mut ws.h,
+                    &mut ws.values,
+                    &mut ws.jacobi,
+                    JACOBI_TOL,
+                    JACOBI_MAX_SWEEPS,
+                )?;
             }
         }
         Ok(())
+    }
+
+    /// Whether the eigenvalue stage defers eigenvectors to the sliced
+    /// inverse-iteration path. Below [`TWO_STAGE_MIN_DIM`] the two-stage
+    /// overheads don't amortize and the one-stage QL solve wins, so small
+    /// systems fall back to it even under `TwoStageSliced`.
+    fn slices_spectrum(&self, n: usize) -> bool {
+        self.eigensolver == Eigensolver::TwoStageSliced && n >= TWO_STAGE_MIN_DIM
     }
 }
 
@@ -235,7 +264,7 @@ impl ForceProvider for SharedMemoryTb<'_> {
         timings.hamiltonian = t0.elapsed();
 
         let t0 = Instant::now();
-        self.solve_in_place(ws)?;
+        self.solve_values(ws)?;
         timings.diagonalize = t0.elapsed();
 
         let occ = occupations(&ws.values, s.n_electrons(), self.occupation);
@@ -245,8 +274,21 @@ impl ForceProvider for SharedMemoryTb<'_> {
             _ => 0.0,
         };
 
+        // Two-stage eigenvector stage: inverse iteration for the occupied
+        // window only (`f > 10⁻¹²`), back-transformed through the blocked
+        // reflectors left in ws.h.
+        let (vectors, f_window) = if self.slices_spectrum(ws.h.rows()) {
+            let t0 = Instant::now();
+            let k = occupied_count(&occ.f);
+            reduced_eigenvectors_into(&ws.h, &ws.values[..k], &mut ws.c, &mut ws.eigh);
+            timings.diagonalize += t0.elapsed();
+            (&ws.c, &occ.f[..k])
+        } else {
+            (&ws.h, &occ.f[..])
+        };
+
         let t0 = Instant::now();
-        ws.grown += density_matrix_into(&ws.h, &occ.f, &mut ws.w, &mut ws.rho);
+        ws.grown += density_matrix_into(vectors, f_window, &mut ws.w, &mut ws.rho);
         timings.density = t0.elapsed();
 
         let t0 = Instant::now();
@@ -301,6 +343,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         s.perturb(&mut rng, 0.08);
         assert_engines_agree(&s, &model, Eigensolver::HouseholderQl);
+    }
+
+    #[test]
+    fn matches_serial_on_silicon_two_stage() {
+        let model = silicon_gsp();
+        // 2x2x2 cell: 64 atoms / 256 orbitals, above TWO_STAGE_MIN_DIM so
+        // the sliced path (not the small-size QL fallback) is exercised.
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        s.perturb(&mut rng, 0.08);
+        assert_engines_agree(&s, &model, Eigensolver::TwoStageSliced);
     }
 
     #[test]

@@ -27,7 +27,20 @@ pub struct VerletNeighborList {
     skin: f64,
     list: NeighborList,
     reference_positions: Vec<Vec3>,
+    /// Positions at the previous [`VerletNeighborList::update`] call, for
+    /// the per-step raw displacement increments.
+    prev_positions: Vec<Vec3>,
+    /// Per-atom upper bound on the minimum-image displacement from the
+    /// reference positions, accrued by the triangle inequality from raw
+    /// (no-cell-math) per-step deltas: `|d_min-image(ref→now)| ≤
+    /// Σ_steps |Δr_raw|`. While every bound stays below `skin/2` the skin
+    /// guarantee provably holds and `update` skips the minimum-image scan
+    /// entirely; a tripped bound is first re-checked exactly (and
+    /// tightened), so periodic wrap-around of coordinates — which inflates a
+    /// raw delta — costs a re-check, never a wrong answer.
+    accrued_bound: Vec<f64>,
     rebuild_count: usize,
+    exact_checks: usize,
 }
 
 impl VerletNeighborList {
@@ -47,7 +60,10 @@ impl VerletNeighborList {
             skin,
             list: NeighborList::build(s, cutoff + skin),
             reference_positions: s.positions().to_vec(),
+            prev_positions: s.positions().to_vec(),
+            accrued_bound: vec![0.0; s.n_atoms()],
             rebuild_count: 1,
+            exact_checks: 0,
         }
     }
 
@@ -61,7 +77,17 @@ impl VerletNeighborList {
         self.rebuild_count
     }
 
-    /// Whether the current positions invalidate the skin guarantee.
+    /// Number of exact per-atom minimum-image displacement computations the
+    /// bound-maintenance path had to fall back to. Stays near zero during
+    /// ordinary MD: the running bounds answer "nobody moved far" with one
+    /// multiply-add and one compare per atom, no cell math.
+    pub fn exact_check_count(&self) -> usize {
+        self.exact_checks
+    }
+
+    /// Whether the current positions invalidate the skin guarantee (exact,
+    /// minimum-image — the definitive O(N·cell-math) check; `update` uses
+    /// the accrued bounds to avoid it on the common path).
     pub fn needs_rebuild(&self, s: &Structure) -> bool {
         let half_skin_sq = (0.5 * self.skin) * (0.5 * self.skin);
         s.positions()
@@ -73,16 +99,61 @@ impl VerletNeighborList {
     /// Bring the list up to date with the structure: full rebuild if the
     /// skin is exhausted, otherwise an O(entries) displacement refresh.
     /// Returns `true` when a full rebuild happened.
+    ///
+    /// The skin check runs off the running per-atom displacement bounds:
+    /// each atom pays one raw-coordinate delta per step, and only atoms
+    /// whose *accumulated* bound exceeds `skin/2` get an exact minimum-image
+    /// re-check (which tightens their bound back to the true displacement).
+    /// A rebuild happens only when an exact displacement really exceeds
+    /// `skin/2`.
     pub fn update(&mut self, s: &Structure) -> bool {
-        if self.needs_rebuild(s) {
+        debug_assert_eq!(s.n_atoms(), self.accrued_bound.len());
+        let half_skin = 0.5 * self.skin;
+        // Accrue the raw per-step deltas (no minimum-image math). The raw
+        // delta upper-bounds the true step displacement, so the running sum
+        // upper-bounds the total minimum-image drift from the reference.
+        let mut any_tripped = false;
+        for ((bound, prev), &now) in self
+            .accrued_bound
+            .iter_mut()
+            .zip(&mut self.prev_positions)
+            .zip(s.positions())
+        {
+            *bound += (now - *prev).norm();
+            *prev = now;
+            any_tripped |= *bound > half_skin;
+        }
+        if any_tripped && self.recheck_tripped_bounds(s, half_skin) {
             self.list = NeighborList::build(s, self.cutoff + self.skin);
             self.reference_positions = s.positions().to_vec();
+            self.accrued_bound.iter_mut().for_each(|b| *b = 0.0);
             self.rebuild_count += 1;
             true
         } else {
             self.refresh_displacements(s);
             false
         }
+    }
+
+    /// Exact minimum-image displacement check for the atoms whose accrued
+    /// bound tripped, tightening their bounds to the true displacement.
+    /// Returns `true` if any atom genuinely exhausted the skin.
+    fn recheck_tripped_bounds(&mut self, s: &Structure, half_skin: f64) -> bool {
+        let cell = s.cell();
+        for (i, bound) in self.accrued_bound.iter_mut().enumerate() {
+            if *bound <= half_skin {
+                continue;
+            }
+            self.exact_checks += 1;
+            let exact = cell
+                .displacement(self.reference_positions[i], s.positions()[i])
+                .norm();
+            if exact > half_skin {
+                return true;
+            }
+            *bound = exact;
+        }
+        false
     }
 
     /// Recompute each entry's displacement/distance from current positions
@@ -214,6 +285,64 @@ mod tests {
             "uniform translation must not trigger rebuild"
         );
         assert_equivalent_within_cutoff(&s, &vl, cutoff);
+    }
+
+    #[test]
+    fn small_motion_skips_exact_checks() {
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut vl = VerletNeighborList::new(&s, 3.2, 1.0);
+        for _ in 0..10 {
+            for r in s.positions_mut() {
+                *r += Vec3::new(0.004, -0.003, 0.002);
+            }
+            assert!(!vl.update(&s));
+        }
+        // Total drift ≈ 0.054 < skin/2 = 0.5: the accrued bounds never trip,
+        // so the minimum-image scan never ran.
+        assert_eq!(vl.exact_check_count(), 0);
+        assert_eq!(vl.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn oscillation_tightens_bounds_without_rebuild() {
+        // An atom oscillating ±0.15 Å accrues raw deltas far past
+        // skin/2 = 0.2, but its true displacement from the reference stays
+        // ~0: the exact re-check must tighten the bound instead of
+        // rebuilding.
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut vl = VerletNeighborList::new(&s, 3.2, 0.4);
+        let cutoff = 3.2;
+        for step in 0..8 {
+            let sign = if step % 2 == 0 { 1.0 } else { -1.0 };
+            s.positions_mut()[5] += Vec3::new(0.15 * sign, 0.0, 0.0);
+            vl.update(&s);
+            assert_equivalent_within_cutoff(&s, &vl, cutoff);
+        }
+        assert_eq!(
+            vl.rebuild_count(),
+            1,
+            "oscillation within the skin must never rebuild"
+        );
+        assert!(vl.exact_check_count() > 0, "the bound should have tripped");
+    }
+
+    #[test]
+    fn bound_stays_sound_after_tightening() {
+        // After a tighten, further real drift must still trigger the
+        // rebuild at the right time.
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut vl = VerletNeighborList::new(&s, 3.2, 0.4);
+        // Trip the bound with a zero-sum oscillation (tightens to ~0)…
+        s.positions_mut()[3] += Vec3::new(0.15, 0.0, 0.0);
+        assert!(!vl.update(&s));
+        s.positions_mut()[3] -= Vec3::new(0.15, 0.0, 0.0);
+        assert!(!vl.update(&s));
+        assert_eq!(vl.rebuild_count(), 1);
+        // …then genuinely exhaust the skin.
+        s.positions_mut()[3] += Vec3::new(0.25, 0.0, 0.0);
+        assert!(vl.needs_rebuild(&s));
+        assert!(vl.update(&s));
+        assert_eq!(vl.rebuild_count(), 2);
     }
 
     #[test]
