@@ -42,5 +42,5 @@ pub use tbmd_model::{
     band_structure, carbon_xwch, pressure, silicon_gsp, silicon_nonortho_demo, stress_tensor,
     ForceProvider, NonOrthoCalculator, OccupationScheme, TbCalculator, TbError, TbModel, Workspace,
 };
-pub use tbmd_parallel::{DistributedTb, MachineProfile, SharedMemoryTb};
+pub use tbmd_parallel::{DistributedSolver, DistributedTb, MachineProfile, SharedMemoryTb};
 pub use tbmd_structure::{Cell, NeighborList, Species, Structure, VerletNeighborList};

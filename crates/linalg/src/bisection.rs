@@ -131,6 +131,71 @@ pub fn tridiagonal_lowest_eigenvalues_into(d: &[f64], e: &[f64], k: usize, out: 
     });
 }
 
+/// Rank-shardable spectrum slicing: eigenvalues with (0-based, ascending)
+/// indices in `range` written into `out`, reusing its allocation.
+///
+/// Each index is isolated by an independent Sturm bisection inside the same
+/// widened Gershgorin bracket, so disjoint ranges computed on different
+/// message-passing ranks concatenate to exactly the vector a single
+/// full-spectrum call would produce — the bisection is deterministic per
+/// index and carries no cross-index state. This is the distributed-slicing
+/// entry point: `partition_range(n, p, r)` hands each rank its index window
+/// and the concatenated `allgather` of the per-rank outputs is ascending by
+/// construction.
+///
+/// # Panics
+/// Panics if `range.end > d.len()`.
+pub fn tridiagonal_eigenvalues_range_into(
+    d: &[f64],
+    e: &[f64],
+    range: std::ops::Range<usize>,
+    out: &mut Vec<f64>,
+) {
+    let n = d.len();
+    assert!(
+        range.end <= n,
+        "eigenvalue range {range:?} out of bounds for size {n}"
+    );
+    out.clear();
+    out.resize(range.len(), 0.0);
+    if range.is_empty() {
+        return;
+    }
+    let (lo, hi) = widened_bounds(d, e);
+    let start = range.start;
+    out.par_chunks_mut(1).enumerate().for_each(|(i, v)| {
+        v[0] = kth_eigenvalue_bounded(d, e, start + i, lo, hi);
+    });
+}
+
+/// Snap an index `range` over the sorted eigenvalues `lambda` forward to
+/// cluster boundaries: both endpoints move up to the first index whose gap
+/// from its predecessor exceeds `ctol`, so no cluster of near-degenerate
+/// eigenvalues straddles a range boundary.
+///
+/// Used to assign each degenerate cluster to exactly one owner rank in the
+/// distributed two-stage solver — the per-cluster Gram–Schmidt and
+/// Rayleigh–Ritz work of inverse iteration (see
+/// [`crate::inverse_iteration`]) then stays local to that rank. Applying
+/// this to every boundary of a `partition_range` tiling yields ranges that
+/// still tile `0..lambda.len()` exactly (snapping is monotone and depends
+/// only on the boundary index, not on the rank).
+pub fn snap_range_to_clusters(
+    lambda: &[f64],
+    ctol: f64,
+    range: std::ops::Range<usize>,
+) -> std::ops::Range<usize> {
+    let snap = |mut i: usize| {
+        while i > 0 && i < lambda.len() && lambda[i] - lambda[i - 1] <= ctol {
+            i += 1;
+        }
+        i.min(lambda.len())
+    };
+    let start = snap(range.start);
+    let end = snap(range.end.max(start));
+    start..end
+}
+
 /// The lowest `k` eigenvalues (ascending) of a symmetric matrix, via
 /// Householder reduction + Sturm bisection — the "occupied states only"
 /// path of the era's TBMD band-energy computations.
@@ -255,6 +320,51 @@ mod tests {
             eigvalsh_partial(Matrix::zeros(2, 3), 1),
             Err(EigError::NotSquare { .. })
         ));
+    }
+
+    #[test]
+    fn range_slices_concatenate_to_full_spectrum() {
+        let n = 21;
+        let a = symmetric_test_matrix(n, 7);
+        let mut a = a;
+        let (d, e) = tridiagonalize(&mut a, false);
+        let mut full = Vec::new();
+        tridiagonal_lowest_eigenvalues_into(&d, &e, n, &mut full);
+        // Three disjoint ranges must reproduce the full call bitwise.
+        let mut out = Vec::new();
+        let mut concat = Vec::new();
+        for r in [0..7usize, 7..15, 15..21] {
+            tridiagonal_eigenvalues_range_into(&d, &e, r, &mut out);
+            concat.extend_from_slice(&out);
+        }
+        assert_eq!(concat.len(), n);
+        for (i, (c, f)) in concat.iter().zip(&full).enumerate() {
+            assert!(c == f, "λ_{i}: sliced {c} != full {f}");
+        }
+        // Empty range.
+        tridiagonal_eigenvalues_range_into(&d, &e, 4..4, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn snapping_keeps_clusters_whole() {
+        let lambda = [0.0, 1.0, 1.0 + 1e-9, 1.0 + 2e-9, 2.0, 3.0];
+        let ctol = 1e-6;
+        // Boundary inside the triple cluster at 1.0 moves past it.
+        assert_eq!(snap_range_to_clusters(&lambda, ctol, 0..2), 0..4);
+        assert_eq!(snap_range_to_clusters(&lambda, ctol, 2..5), 4..5);
+        assert_eq!(snap_range_to_clusters(&lambda, ctol, 3..6), 4..6);
+        // Boundaries on gaps are untouched.
+        assert_eq!(snap_range_to_clusters(&lambda, ctol, 1..5), 1..5);
+        // Snapped partition_range-style tiling still tiles exactly.
+        let cuts: Vec<usize> = [0usize, 2, 4, 6]
+            .iter()
+            .map(|&c| snap_range_to_clusters(&lambda, ctol, c..lambda.len()).start)
+            .collect();
+        assert_eq!(cuts.last(), Some(&lambda.len()));
+        for w in cuts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
     }
 
     #[test]

@@ -553,10 +553,29 @@ pub fn reduced_eigenvectors_into(
     z: &mut Matrix,
     ws: &mut EighWorkspace,
 ) {
-    crate::inverse_iteration::tridiagonal_eigenvectors_into(
+    reduced_eigenvectors_offset_into(a, lambda, 0, z, ws);
+}
+
+/// Offset-aware form of [`reduced_eigenvectors_into`] for distributed
+/// spectrum slicing: `lambda` is a contiguous shard of the globally sorted
+/// spectrum starting at global eigenvalue index `seed_offset`. With shard
+/// boundaries snapped to cluster boundaries
+/// ([`crate::bisection::snap_range_to_clusters`] with
+/// [`crate::inverse_iteration::cluster_tolerance`]), the columns each rank
+/// produces are bitwise identical to the corresponding columns of a single
+/// full-window [`reduced_eigenvectors_into`] call.
+pub fn reduced_eigenvectors_offset_into(
+    a: &Matrix,
+    lambda: &[f64],
+    seed_offset: usize,
+    z: &mut Matrix,
+    ws: &mut EighWorkspace,
+) {
+    crate::inverse_iteration::tridiagonal_eigenvectors_offset_into(
         &ws.blocked.d,
         &ws.blocked.e,
         lambda,
+        seed_offset,
         z,
         &mut ws.inviter,
     );
@@ -666,6 +685,49 @@ mod tests {
         for n in [1usize, 2, 3, 4, 5, 8, 31, 32, 33, 64, 65, 100] {
             let a = symmetric_test_matrix(n, 11 + n as u64);
             assert_reconstructs(&a, 1e-12 * n as f64);
+        }
+    }
+
+    #[test]
+    fn offset_sliced_eigenvectors_match_full_window_bitwise() {
+        // The distributed-slicing contract: disjoint cluster-snapped shards
+        // with global seed offsets reproduce the full-window columns exactly.
+        let n = 48;
+        let a = symmetric_test_matrix(n, 23);
+        let mut packed = a.clone();
+        let mut ws = EighWorkspace::default();
+        tridiagonalize_blocked_into(&mut packed, &mut ws);
+        let mut values = Vec::new();
+        reduced_eigenvalues_into(&mut ws, &mut values).unwrap();
+        let k = n / 2;
+        let mut full = Matrix::zeros(0, 0);
+        reduced_eigenvectors_into(&packed, &values[..k], &mut full, &mut ws);
+        let ctol = crate::inverse_iteration::cluster_tolerance(
+            ws.blocked.diagonal(),
+            ws.blocked.subdiagonal(),
+        );
+        for r in 0..3usize {
+            let raw = {
+                let per = k / 3;
+                let lo = r * per;
+                let hi = if r == 2 { k } else { (r + 1) * per };
+                lo..hi
+            };
+            let lo =
+                crate::bisection::snap_range_to_clusters(&values[..k], ctol, raw.start..k).start;
+            let hi = crate::bisection::snap_range_to_clusters(&values[..k], ctol, raw.end..k).start;
+            let mut z = Matrix::zeros(0, 0);
+            reduced_eigenvectors_offset_into(&packed, &values[lo..hi], lo, &mut z, &mut ws);
+            for (jj, j) in (lo..hi).enumerate() {
+                for i in 0..n {
+                    assert!(
+                        z[(i, jj)] == full[(i, j)],
+                        "column {j} row {i}: sliced {} != full {}",
+                        z[(i, jj)],
+                        full[(i, j)]
+                    );
+                }
+            }
         }
     }
 

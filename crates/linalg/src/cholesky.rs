@@ -7,7 +7,7 @@
 //! symmetric problem for `L⁻¹ H L⁻ᵀ`; [`generalized_eigh`] packages the whole
 //! pipeline on top of [`crate::eigh::eigh`].
 
-use crate::eigh::{eigh, EigError, Eigh};
+use crate::eigh::{eigh, eigh_into, EigError, Eigh, EighWorkspace};
 use crate::matrix::Matrix;
 
 /// Errors from the Cholesky factorization.
@@ -52,35 +52,8 @@ impl Cholesky {
     ///
     /// Only the lower triangle of `a` is read.
     pub fn factor(a: &Matrix) -> Result<Self, CholeskyError> {
-        if !a.is_square() {
-            return Err(CholeskyError::NotSquare {
-                rows: a.rows(),
-                cols: a.cols(),
-            });
-        }
-        let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            let mut diag = a[(j, j)];
-            for k in 0..j {
-                diag -= l[(j, k)] * l[(j, k)];
-            }
-            if diag <= 0.0 || !diag.is_finite() {
-                return Err(CholeskyError::NotPositiveDefinite {
-                    pivot_index: j,
-                    pivot_value: diag,
-                });
-            }
-            let djj = diag.sqrt();
-            l[(j, j)] = djj;
-            for i in (j + 1)..n {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
-                }
-                l[(i, j)] = s / djj;
-            }
-        }
+        let mut l = Matrix::zeros(0, 0);
+        factor_lower_into(a, &mut l)?;
         Ok(Cholesky { l })
     }
 
@@ -159,6 +132,153 @@ impl Cholesky {
         }
         d
     }
+}
+
+/// Factor `A = L Lᵀ` into a caller-owned lower-triangular matrix, reusing
+/// its allocation — the kernel behind [`Cholesky::factor`] and the
+/// allocation-free [`generalized_eigh_into`] pipeline. Returns whether the
+/// output buffer had to grow.
+fn factor_lower_into(a: &Matrix, l: &mut Matrix) -> Result<bool, CholeskyError> {
+    if !a.is_square() {
+        return Err(CholeskyError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let grew = l.resize_zeroed(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(CholeskyError::NotPositiveDefinite {
+                pivot_index: j,
+                pivot_value: diag,
+            });
+        }
+        let djj = diag.sqrt();
+        l[(j, j)] = djj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / djj;
+        }
+    }
+    Ok(grew)
+}
+
+/// In-place `L⁻¹ M`: forward-substitute every column of `m`, staging each in
+/// the contiguous `col` buffer so the inner dot products run over contiguous
+/// rows of `L`.
+fn solve_lower_in_place(l: &Matrix, m: &mut Matrix, col: &mut Vec<f64>) {
+    let n = l.rows();
+    assert_eq!(m.rows(), n);
+    for j in 0..m.cols() {
+        col.clear();
+        col.extend((0..n).map(|i| m[(i, j)]));
+        for i in 0..n {
+            let lrow = l.row(i);
+            let mut s = col[i];
+            for k in 0..i {
+                s -= lrow[k] * col[k];
+            }
+            col[i] = s / lrow[i];
+        }
+        for (i, &v) in col.iter().enumerate() {
+            m[(i, j)] = v;
+        }
+    }
+}
+
+/// In-place `L⁻ᵀ M`: backward-substitute every column of `m` against `Lᵀ`.
+fn solve_lower_t_in_place(l: &Matrix, m: &mut Matrix, col: &mut Vec<f64>) {
+    let n = l.rows();
+    assert_eq!(m.rows(), n);
+    for j in 0..m.cols() {
+        col.clear();
+        col.extend((0..n).map(|i| m[(i, j)]));
+        for i in (0..n).rev() {
+            let mut s = col[i];
+            for (k, cv) in col.iter().enumerate().skip(i + 1) {
+                s -= l[(k, i)] * cv;
+            }
+            col[i] = s / l[(i, i)];
+        }
+        for (i, &v) in col.iter().enumerate() {
+            m[(i, j)] = v;
+        }
+    }
+}
+
+/// Reusable scratch of [`generalized_eigh_into`]: the overlap Cholesky
+/// factor, the reduced-problem matrix, the transposition staging buffer, a
+/// substitution column, and the dense-eigensolver workspace. Everything
+/// grows to the largest `n` seen and is then reused across MD steps — the
+/// overlap factorization is recomputed each call (S moves with the atoms)
+/// but into the same allocation.
+#[derive(Debug, Default, Clone)]
+pub struct GeneralizedEighWorkspace {
+    l: Matrix,
+    red: Matrix,
+    tmp: Matrix,
+    col: Vec<f64>,
+    eigh: EighWorkspace,
+    grown: usize,
+}
+
+impl GeneralizedEighWorkspace {
+    /// Buffer-growth events observed so far (O(1) after warmup).
+    pub fn large_alloc_events(&self) -> usize {
+        self.grown
+    }
+}
+
+/// Allocation-free symmetric-definite generalized eigensolver
+/// `H c = ε S c`, the workspace-threaded form of [`generalized_eigh`]:
+/// factor `S = L Lᵀ`, reduce to the ordinary symmetric problem for
+/// `L⁻¹ H L⁻ᵀ`, solve with [`eigh_into`], and back-transform
+/// `x = L⁻ᵀ y`. On success `values` is ascending and `vectors` is
+/// S-orthonormal column-wise; only the workspace buffers grow, and only up
+/// to the largest `n` seen.
+///
+/// # Errors
+/// Same as [`generalized_eigh`].
+pub fn generalized_eigh_into(
+    h: &Matrix,
+    s: &Matrix,
+    values: &mut Vec<f64>,
+    vectors: &mut Matrix,
+    ws: &mut GeneralizedEighWorkspace,
+) -> Result<(), GeneralizedEigError> {
+    if h.rows() != s.rows() || h.cols() != s.cols() || !h.is_square() {
+        return Err(GeneralizedEigError::DimensionMismatch);
+    }
+    let n = h.rows();
+    let grew = factor_lower_into(s, &mut ws.l).map_err(GeneralizedEigError::Overlap)?;
+    ws.grown += grew as usize;
+    // tmp = L⁻¹ H.
+    ws.grown += ws.tmp.resize_zeroed(n, n) as usize;
+    ws.tmp.as_mut_slice().copy_from_slice(h.as_slice());
+    solve_lower_in_place(&ws.l, &mut ws.tmp, &mut ws.col);
+    // red = L⁻¹ (L⁻¹ H)ᵀ = L⁻¹ H L⁻ᵀ (H symmetric).
+    ws.grown += ws.red.resize_zeroed(n, n) as usize;
+    for i in 0..n {
+        for j in 0..n {
+            ws.red[(i, j)] = ws.tmp[(j, i)];
+        }
+    }
+    solve_lower_in_place(&ws.l, &mut ws.red, &mut ws.col);
+    ws.red.symmetrize();
+    eigh_into(&mut ws.red, values, &mut ws.eigh).map_err(GeneralizedEigError::Eig)?;
+    // Back-transform eigenvectors: x = L⁻ᵀ y.
+    ws.grown += vectors.resize_zeroed(n, n) as usize;
+    vectors.as_mut_slice().copy_from_slice(ws.red.as_slice());
+    solve_lower_t_in_place(&ws.l, vectors, &mut ws.col);
+    Ok(())
 }
 
 /// Errors from the generalized eigenproblem driver.
@@ -318,6 +438,35 @@ mod tests {
                 assert!((ctsc[(i, j)] - target).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn generalized_into_matches_allocating_path() {
+        let n = 8;
+        let mut h = spd_test_matrix(n, 11);
+        h.scale(0.05);
+        let mut s = spd_test_matrix(n, 13);
+        s.scale(0.01 / n as f64);
+        for i in 0..n {
+            s[(i, i)] += 1.0;
+        }
+        let reference = generalized_eigh(&h, &s).unwrap();
+        let mut ws = GeneralizedEighWorkspace::default();
+        let mut values = Vec::new();
+        let mut vectors = Matrix::zeros(0, 0);
+        generalized_eigh_into(&h, &s, &mut values, &mut vectors, &mut ws).unwrap();
+        for (a, b) in values.iter().zip(&reference.values) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for i in 0..n {
+            for k in 0..n {
+                assert!((vectors[(i, k)] - reference.vectors[(i, k)]).abs() < 1e-12);
+            }
+        }
+        // Warm second solve must not grow any buffer.
+        let warm = ws.large_alloc_events();
+        generalized_eigh_into(&h, &s, &mut values, &mut vectors, &mut ws).unwrap();
+        assert_eq!(ws.large_alloc_events(), warm);
     }
 
     #[test]

@@ -103,6 +103,19 @@ pub struct EighWorkspace {
     pub(crate) inviter: crate::inverse_iteration::InverseIterScratch,
 }
 
+impl EighWorkspace {
+    /// The tridiagonal factor `(d, e)` left in the workspace by
+    /// [`crate::blocked::tridiagonalize_blocked_into`] (`e[0]` unused,
+    /// `e[i]` couples rows `i−1` and `i`).
+    ///
+    /// Distributed spectrum slicing needs this to run the rank-shardable
+    /// bisection ([`crate::bisection::tridiagonal_eigenvalues_range_into`])
+    /// and cluster snapping directly on the factor.
+    pub fn tridiagonal_factor(&self) -> (&[f64], &[f64]) {
+        (&self.blocked.d, &self.blocked.e)
+    }
+}
+
 /// Allocation-free eigendecomposition.
 ///
 /// On success `a` is overwritten with the eigenvector matrix (column `k`

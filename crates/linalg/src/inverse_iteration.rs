@@ -215,6 +215,23 @@ fn rayleigh_ritz_rotate(d: &[f64], e: &[f64], r0: usize, r1: usize, s: &mut Inve
     }
 }
 
+/// The cluster-detection tolerance [`tridiagonal_eigenvectors_into`] uses
+/// for the tridiagonal matrix `(d, e)`: consecutive eigenvalues closer than
+/// this are treated as one degenerate cluster.
+///
+/// Exposed so distributed callers can snap their eigenvalue-index shards to
+/// the *same* cluster boundaries the inverse iteration will see (via
+/// [`crate::bisection::snap_range_to_clusters`]), guaranteeing each cluster
+/// a single owner rank.
+pub fn cluster_tolerance(d: &[f64], e: &[f64]) -> f64 {
+    let n = d.len();
+    let tnorm = (0..n)
+        .map(|i| d[i].abs() + e[i].abs() + if i + 1 < n { e[i + 1].abs() } else { 0.0 })
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    CLUSTER_RTOL * tnorm
+}
+
 /// Eigenvectors of the symmetric tridiagonal matrix `(d, e)` for the
 /// pre-computed eigenvalues `lambda` (ascending), written column-wise into
 /// `z` (`n × lambda.len()`, column `j` pairs with `lambda[j]`), by inverse
@@ -231,6 +248,28 @@ pub fn tridiagonal_eigenvectors_into(
     d: &[f64],
     e: &[f64],
     lambda: &[f64],
+    z: &mut Matrix,
+    s: &mut InverseIterScratch,
+) {
+    tridiagonal_eigenvectors_offset_into(d, e, lambda, 0, z, s);
+}
+
+/// Offset-aware form of [`tridiagonal_eigenvectors_into`] for distributed
+/// spectrum slicing: `lambda` is a contiguous sub-slice of a globally sorted
+/// spectrum starting at global index `seed_offset`, and the deterministic
+/// start vectors are keyed on the *global* index `seed_offset + j`.
+///
+/// With shard boundaries snapped to cluster boundaries (so no cluster
+/// straddles ranks and the shift-separation perturbation never crosses a
+/// boundary — boundary gaps exceed the cluster tolerance, which dwarfs the
+/// `10ε` shift separation), the columns produced by disjoint shards are
+/// bitwise identical to the corresponding columns of a single full-window
+/// call.
+pub fn tridiagonal_eigenvectors_offset_into(
+    d: &[f64],
+    e: &[f64],
+    lambda: &[f64],
+    seed_offset: usize,
     z: &mut Matrix,
     s: &mut InverseIterScratch,
 ) {
@@ -276,7 +315,7 @@ pub fn tridiagonal_eigenvectors_into(
         }
         factor_shifted(d, e, shift, tiny, s);
         for (pos, xv) in s.x.iter_mut().enumerate() {
-            *xv = seeded_entry(j, pos);
+            *xv = seeded_entry(seed_offset + j, pos);
         }
         let inv = 1.0 / norm(&s.x);
         s.x.iter_mut().for_each(|v| *v *= inv);
@@ -303,7 +342,7 @@ pub fn tridiagonal_eigenvectors_into(
             if nrm == 0.0 {
                 // Fully projected out: restart from fresh noise.
                 for (pos, xv) in x.iter_mut().enumerate() {
-                    *xv = seeded_entry(j.wrapping_add(0x5bd1), pos);
+                    *xv = seeded_entry((seed_offset + j).wrapping_add(0x5bd1), pos);
                 }
                 let inv = 1.0 / norm(&x);
                 x.iter_mut().for_each(|v| *v *= inv);

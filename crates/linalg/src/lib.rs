@@ -29,18 +29,25 @@ pub mod matrix;
 pub mod vec3;
 
 pub use bisection::{
-    eigvalsh_partial, sturm_count, tridiagonal_kth_eigenvalue, tridiagonal_lowest_eigenvalues_into,
+    eigvalsh_partial, snap_range_to_clusters, sturm_count, tridiagonal_eigenvalues_range_into,
+    tridiagonal_kth_eigenvalue, tridiagonal_lowest_eigenvalues_into,
 };
 pub use blocked::{
     apply_q_blocked, eigh_blocked_into, eigh_partial_into, reduced_eigenvalues_into,
-    reduced_eigenvectors_into, tridiagonalize_blocked_into, TRIDIAG_BLOCK,
+    reduced_eigenvectors_into, reduced_eigenvectors_offset_into, tridiagonalize_blocked_into,
+    TRIDIAG_BLOCK,
 };
-pub use cholesky::{generalized_eigh, Cholesky, CholeskyError, GeneralizedEigError};
+pub use cholesky::{
+    generalized_eigh, generalized_eigh_into, Cholesky, CholeskyError, GeneralizedEigError,
+    GeneralizedEighWorkspace,
+};
 pub use eigh::{
     eig_residual, eigh, eigh_into, eigvalsh, orthogonality_defect, tqli, tridiagonalize,
     tridiagonalize_into, EigError, Eigh, EighWorkspace,
 };
-pub use inverse_iteration::tridiagonal_eigenvectors_into;
+pub use inverse_iteration::{
+    cluster_tolerance, tridiagonal_eigenvectors_into, tridiagonal_eigenvectors_offset_into,
+};
 pub use jacobi::{
     jacobi_eigh, jacobi_rotation, off_diagonal_norm, par_jacobi_eigh, par_jacobi_eigh_into,
     round_robin_rounds, JacobiStats, JacobiWorkspace, JACOBI_MAX_SWEEPS, JACOBI_TOL,

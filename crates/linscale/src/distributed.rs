@@ -15,12 +15,14 @@ use crate::chebyshev::{chebyshev_coefficients, entropy_density, fermi_function};
 use crate::engine::{LinScaleReport, LinearScalingTb};
 use crate::sparse::{LocalRegion, SparseH};
 use parking_lot::Mutex;
+use std::time::Instant;
 use tbmd_linalg::Vec3;
 use tbmd_model::{
-    sk_block_gradient, ForceEvaluation, ForceProvider, OrbitalIndex, PhaseTimings, TbError, TbModel,
+    sk_block_gradient, ForceEvaluation, ForceProvider, NeighborWorkspace, OrbitalIndex,
+    PhaseTimings, TbError, TbModel, Workspace,
 };
-use tbmd_parallel::{partition_range, vmp_run, VmpStats};
-use tbmd_structure::{NeighborList, Structure};
+use tbmd_parallel::{partition_range, vmp_run, RankWorkspacePool, VmpStats};
+use tbmd_structure::Structure;
 
 /// Report of the most recent distributed O(N) evaluation.
 #[derive(Debug, Clone)]
@@ -31,6 +33,30 @@ pub struct DistributedLinScaleReport {
     pub mu: f64,
     /// Ranks used.
     pub n_ranks: usize,
+}
+
+/// Per-rank persistent buffers of the O(N) engine: the replicated geometry,
+/// the amortized neighbour list, the Chebyshev three-term recurrence
+/// vectors, and the moment/embedding/force accumulators.
+#[derive(Default)]
+struct LinScaleRankSlot {
+    local: Option<Structure>,
+    neighbors: NeighborWorkspace,
+    /// Chebyshev recurrence ping-pong vectors (region-sized).
+    t_prev: Vec<f64>,
+    t_cur: Vec<f64>,
+    t_next: Vec<f64>,
+    /// Density-matrix column accumulator (region-sized).
+    rho_col: Vec<f64>,
+    /// Chebyshev moments μ_m = Σ_owned ⟨g|T_m|g⟩ before the allreduce.
+    moments: Vec<f64>,
+    /// Per-atom embedding arguments / values+derivatives.
+    x_embed: Vec<f64>,
+    fx: Vec<(f64, f64)>,
+    /// This rank's force block.
+    forces_block: Vec<f64>,
+    /// Buffer-growth events (slot creation covers the warmup burst).
+    grown: usize,
 }
 
 /// Message-passing O(N) TBMD engine.
@@ -45,6 +71,8 @@ pub struct DistributedLinearScalingTb<'m> {
     /// Localization radius (Å).
     pub r_loc: f64,
     last_report: Mutex<Option<DistributedLinScaleReport>>,
+    /// Per-rank workspace slots, persisted across steps.
+    pool: Mutex<RankWorkspacePool<LinScaleRankSlot>>,
 }
 
 impl<'m> DistributedLinearScalingTb<'m> {
@@ -59,6 +87,7 @@ impl<'m> DistributedLinearScalingTb<'m> {
             order: 350,
             r_loc: f64::INFINITY,
             last_report: Mutex::new(None),
+            pool: Mutex::new(RankWorkspacePool::new()),
         }
     }
 
@@ -99,6 +128,10 @@ impl<'m> DistributedLinearScalingTb<'m> {
 
 impl ForceProvider for DistributedLinearScalingTb<'_> {
     fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        self.evaluate_with(s, &mut Workspace::new())
+    }
+
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         for i in 0..s.n_atoms() {
             if !self.model.supports(s.species(i)) {
                 return Err(TbError::UnsupportedSpecies {
@@ -114,8 +147,15 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
         let n_atoms = s.n_atoms();
         let (kt, order, r_loc, p) = (self.kt, self.order, self.r_loc, self.n_ranks);
 
+        let mut pool = self.pool.lock();
+        pool.ensure(p);
+        let alloc_before = pool.created() + pool.total(|sl| sl.grown);
+        let pool_ref = &*pool;
+
         let (mut results, stats) = vmp_run(p, |mut rank| {
             let me = rank.id();
+            let mut timings = PhaseTimings::default();
+            let mut mark = Instant::now();
             // ---- Positions broadcast (geometry replication).
             let mut pos_flat: Vec<f64> = if me == 0 {
                 s.positions().iter().flat_map(|r| r.to_array()).collect()
@@ -123,19 +163,37 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                 vec![]
             };
             rank.broadcast(0, 300, &mut pos_flat);
-            let mut local = s.clone();
-            local.set_positions(
-                pos_flat
-                    .chunks_exact(3)
-                    .map(|c| Vec3::new(c[0], c[1], c[2]))
-                    .collect(),
-            );
-            let nl = NeighborList::build(&local, model.cutoff());
-            let index = OrbitalIndex::new(&local);
-            let h = SparseH::build(&local, &nl, model, &index);
-            let (e_min, e_max) = h.gershgorin_bounds();
+            let mut slot_guard = pool_ref.slot(me).lock();
+            let slot = &mut *slot_guard;
+            let stale = slot.local.as_ref().is_none_or(|l| {
+                l.n_atoms() != n_atoms
+                    || l.cell() != s.cell()
+                    || (0..n_atoms).any(|i| l.species(i) != s.species(i))
+            });
+            if stale {
+                slot.local = Some(s.clone());
+            }
+            let local = slot.local.as_mut().expect("slot.local just ensured");
+            for (r, c) in local
+                .positions_mut()
+                .iter_mut()
+                .zip(pos_flat.chunks_exact(3))
+            {
+                *r = Vec3::new(c[0], c[1], c[2]);
+            }
+            let outcome = slot.neighbors.update(local, model.cutoff());
+            timings.note_neighbors(outcome);
+            let local = slot.local.as_ref().expect("slot.local just ensured");
+            let nl = slot.neighbors.list();
             rank.count_flops(10 * nl.n_entries() as u64);
+            timings.neighbors = mark.elapsed();
+            mark = Instant::now();
+            let index = OrbitalIndex::new(local);
+            let h = SparseH::build(local, nl, model, &index);
+            let (e_min, e_max) = h.gershgorin_bounds();
             let my_atoms = partition_range(n_atoms, rank.size(), me);
+            timings.hamiltonian = mark.elapsed();
+            mark = Instant::now();
 
             // Spectrum mapping shared by all ranks.
             let pad = 0.05 * (e_max - e_min).max(1e-6);
@@ -145,35 +203,38 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             // ---- Moment pass over my atoms.
             let regions: Vec<LocalRegion> = my_atoms
                 .clone()
-                .map(|a| LocalRegion::build(&local, &index, &h, a, r_loc))
+                .map(|a| LocalRegion::build(local, &index, &h, a, r_loc))
                 .collect();
-            let mut moments = vec![0.0; order];
-            for (slot, a) in my_atoms.clone().enumerate() {
-                let region = &regions[slot];
+            slot.moments.clear();
+            slot.moments.resize(order, 0.0);
+            for (ri, a) in my_atoms.clone().enumerate() {
+                let region = &regions[ri];
                 for nu in 0..local.species(a).n_orbitals() {
                     let g = index.offset(a) + nu;
                     let lj = region.local_index(g).expect("centre in region");
-                    let mut t_prev = vec![0.0; region.len()];
-                    t_prev[lj] = 1.0;
-                    let mut t_cur = region.matvec_scaled(&t_prev, shift, scale);
+                    slot.t_prev.clear();
+                    slot.t_prev.resize(region.len(), 0.0);
+                    slot.t_prev[lj] = 1.0;
+                    region.matvec_scaled_into(&slot.t_prev, shift, scale, &mut slot.t_cur);
                     rank.count_flops(2 * region.nnz() as u64);
-                    moments[0] += 1.0;
+                    slot.moments[0] += 1.0;
                     if order > 1 {
-                        moments[1] += t_cur[lj];
+                        slot.moments[1] += slot.t_cur[lj];
                     }
-                    for m in moments.iter_mut().take(order).skip(2) {
-                        let mut t_next = region.matvec_scaled(&t_cur, shift, scale);
+                    for m in 2..order {
+                        region.matvec_scaled_into(&slot.t_cur, shift, scale, &mut slot.t_next);
                         rank.count_flops(2 * region.nnz() as u64);
-                        for (tn, &tp) in t_next.iter_mut().zip(&t_prev) {
+                        for (tn, &tp) in slot.t_next.iter_mut().zip(&slot.t_prev) {
                             *tn = 2.0 * *tn - tp;
                         }
-                        *m += t_next[lj];
-                        t_prev = t_cur;
-                        t_cur = t_next;
+                        slot.moments[m] += slot.t_next[lj];
+                        std::mem::swap(&mut slot.t_prev, &mut slot.t_cur);
+                        std::mem::swap(&mut slot.t_cur, &mut slot.t_next);
                     }
                 }
             }
-            rank.allreduce_sum(301, &mut moments);
+            rank.allreduce_sum(301, &mut slot.moments);
+            let moments = &slot.moments;
 
             // ---- μ bisection on the replicated global moments.
             let n_target = local.n_electrons() as f64;
@@ -207,22 +268,26 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                 tr_g += s_coeffs[k] * moments[k];
             }
             let entropy_term = 2.0 * kt * tr_g;
+            timings.diagonalize = mark.elapsed();
+            mark = Instant::now();
 
             // ---- Density + forces for my atoms.
-            let x_embed: Vec<f64> = (0..n_atoms)
-                .map(|i| {
-                    nl.neighbors(i)
-                        .iter()
-                        .map(|nb| model.repulsion(nb.dist).0)
-                        .sum()
-                })
-                .collect();
-            let fx: Vec<(f64, f64)> = x_embed.iter().map(|&xi| model.embedding(xi)).collect();
+            slot.x_embed.clear();
+            slot.x_embed.extend((0..n_atoms).map(|i| {
+                nl.neighbors(i)
+                    .iter()
+                    .map(|nb| model.repulsion(nb.dist).0)
+                    .sum::<f64>()
+            }));
+            slot.fx.clear();
+            slot.fx
+                .extend(slot.x_embed.iter().map(|&xi| model.embedding(xi)));
+            let fx = &slot.fx;
             let mut band_partial = 0.0;
             let mut rep_partial = 0.0;
-            let mut my_forces: Vec<f64> = Vec::with_capacity(3 * regions.len());
-            for (slot, a) in my_atoms.clone().enumerate() {
-                let region = &regions[slot];
+            slot.forces_block.clear();
+            for (ri, a) in my_atoms.clone().enumerate() {
+                let region = &regions[ri];
                 rep_partial += fx[a].0;
                 let mut neighbor_atoms: Vec<usize> = nl
                     .neighbors(a)
@@ -236,42 +301,44 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                 for nu in 0..local.species(a).n_orbitals() {
                     let g = index.offset(a) + nu;
                     let lj = region.local_index(g).expect("centre in region");
-                    let mut t_prev = vec![0.0; region.len()];
-                    t_prev[lj] = 1.0;
-                    let mut rho_col = vec![0.0; region.len()];
-                    rho_col[lj] = 0.5 * coeffs[0];
-                    let mut t_cur = region.matvec_scaled(&t_prev, shift, scale);
+                    slot.t_prev.clear();
+                    slot.t_prev.resize(region.len(), 0.0);
+                    slot.t_prev[lj] = 1.0;
+                    slot.rho_col.clear();
+                    slot.rho_col.resize(region.len(), 0.0);
+                    slot.rho_col[lj] = 0.5 * coeffs[0];
+                    region.matvec_scaled_into(&slot.t_prev, shift, scale, &mut slot.t_cur);
                     rank.count_flops(2 * region.nnz() as u64);
                     if order > 1 {
-                        for (r, &t) in rho_col.iter_mut().zip(&t_cur) {
+                        for (r, &t) in slot.rho_col.iter_mut().zip(&slot.t_cur) {
                             *r += coeffs[1] * t;
                         }
                     }
                     for ck in coeffs.iter().take(order).skip(2) {
-                        let mut t_next = region.matvec_scaled(&t_cur, shift, scale);
+                        region.matvec_scaled_into(&slot.t_cur, shift, scale, &mut slot.t_next);
                         rank.count_flops(2 * region.nnz() as u64);
-                        for (tn, &tp) in t_next.iter_mut().zip(&t_prev) {
+                        for (tn, &tp) in slot.t_next.iter_mut().zip(&slot.t_prev) {
                             *tn = 2.0 * *tn - tp;
                         }
-                        for (r, &t) in rho_col.iter_mut().zip(&t_next) {
+                        for (r, &t) in slot.rho_col.iter_mut().zip(&slot.t_next) {
                             *r += ck * t;
                         }
-                        t_prev = t_cur;
-                        t_cur = t_next;
+                        std::mem::swap(&mut slot.t_prev, &mut slot.t_cur);
+                        std::mem::swap(&mut slot.t_cur, &mut slot.t_next);
                     }
-                    for r in &mut rho_col {
+                    for r in &mut slot.rho_col {
                         *r *= 2.0;
                     }
                     for (col, hval) in h.row(g) {
                         if let Some(lc) = region.local_index(col) {
-                            band_partial += rho_col[lc] * hval;
+                            band_partial += slot.rho_col[lc] * hval;
                         }
                     }
                     for (block, &j) in blocks.iter_mut().zip(&neighbor_atoms) {
                         let oj = index.offset(j);
                         for (beta, brow) in block.iter_mut().enumerate() {
                             if let Some(lb) = region.local_index(oj + beta) {
-                                brow[nu] = rho_col[lb];
+                                brow[nu] = slot.rho_col[lb];
                             }
                         }
                     }
@@ -306,11 +373,12 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                     }
                 }
                 rank.count_flops(400 * nl.neighbors(a).len() as u64);
-                my_forces.extend_from_slice(&fi.to_array());
+                slot.forces_block.extend_from_slice(&fi.to_array());
             }
             let mut energy_parts = vec![band_partial, rep_partial];
             rank.allreduce_sum(302, &mut energy_parts);
-            let all_forces = rank.allgather(303, &my_forces);
+            let all_forces = rank.allgather(303, &slot.forces_block);
+            timings.forces = mark.elapsed();
 
             if me == 0 {
                 let mut forces: Vec<Vec3> = Vec::with_capacity(n_atoms);
@@ -319,13 +387,21 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                         forces.push(Vec3::new(c[0], c[1], c[2]));
                     }
                 }
-                Some((energy_parts[0] + energy_parts[1] + entropy_term, forces, mu))
+                Some((
+                    energy_parts[0] + energy_parts[1] + entropy_term,
+                    forces,
+                    mu,
+                    timings,
+                ))
             } else {
                 None
             }
         });
 
-        let (energy, forces, mu) = results.remove(0).expect("rank 0 result");
+        let alloc_after = pool.created() + pool.total(|sl| sl.grown);
+        ws.grown += alloc_after - alloc_before;
+
+        let (energy, forces, mu, timings) = results.remove(0).expect("rank 0 result");
         *self.last_report.lock() = Some(DistributedLinScaleReport {
             stats,
             mu,
@@ -334,7 +410,7 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
         Ok(ForceEvaluation {
             energy,
             forces,
-            timings: PhaseTimings::default(),
+            timings,
         })
     }
 

@@ -250,6 +250,22 @@ impl LocalRegion {
             .collect()
     }
 
+    /// [`LocalRegion::matvec_scaled`] into a caller-owned buffer — the
+    /// allocation-free form the per-rank workspace pools thread through the
+    /// Chebyshev recurrence.
+    pub fn matvec_scaled_into(&self, x: &[f64], shift: f64, scale: f64, y: &mut Vec<f64>) {
+        debug_assert_eq!(x.len(), self.rows.len());
+        let inv = 1.0 / scale;
+        y.clear();
+        y.extend(self.rows.iter().enumerate().map(|(l, row)| {
+            let mut acc = 0.0;
+            for &(c, v) in row {
+                acc += v * x[c];
+            }
+            (acc - shift * x[l]) * inv
+        }));
+    }
+
     /// Number of restricted non-zeros (cost metric for the O(N) scaling
     /// experiment).
     pub fn nnz(&self) -> usize {

@@ -14,15 +14,17 @@
 //!   sampled on the `n×n×n` folding grid equals the Γ-point energy per atom
 //!   of the `n×n×n` supercell to round-off.
 
-use crate::bands::bloch_hamiltonian;
+use crate::bands::bloch_hamiltonian_into;
 use crate::calculator::{repulsive_energy_forces, PhaseTimings, TbError};
 use crate::hamiltonian::OrbitalIndex;
 use crate::model::TbModel;
 use crate::provider::{ForceEvaluation, ForceProvider};
 use crate::slater_koster::sk_block_gradient;
 use crate::units::KB_EV;
-use tbmd_linalg::{eigh, Matrix, Vec3};
-use tbmd_structure::{NeighborList, Structure};
+use crate::workspace::{KPointSlot, Workspace};
+use std::time::Instant;
+use tbmd_linalg::{eigh_into, Matrix, Vec3};
+use tbmd_structure::Structure;
 
 /// A k-point with its quadrature weight (weights sum to 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,14 +100,13 @@ fn grid_from_fractions(
     points
 }
 
-/// Complex Hermitian eigen-solve returning eigenvalues and the complex
-/// eigenvectors `c = u + iv` (each physical state once), via the real
-/// embedding: every real eigenvector `(u; v)` of `M = [[A,−B],[B,A]]` maps
-/// to a complex eigenvector, and the artificial doubling is collapsed by
-/// taking every second (sorted) eigenpair.
-fn hermitian_eigh(a: &Matrix, b: &Matrix) -> Result<(Vec<f64>, Matrix, Matrix), TbError> {
+/// Build the real `2n×2n` Hermitian embedding `M = [[A,−B],[B,A]]` of
+/// `A + iB` into a reusable buffer. Every real eigenvector `(u; v)` of `M`
+/// maps to a complex eigenvector `u + iv`, each physical state appearing
+/// twice in the sorted embedded spectrum. Returns `true` if the buffer grew.
+fn embed_hermitian(a: &Matrix, b: &Matrix, m: &mut Matrix) -> bool {
     let n = a.rows();
-    let mut m = Matrix::zeros(2 * n, 2 * n);
+    let grew = m.resize_zeroed(2 * n, 2 * n);
     for i in 0..n {
         for j in 0..n {
             m[(i, j)] = a[(i, j)];
@@ -114,67 +115,7 @@ fn hermitian_eigh(a: &Matrix, b: &Matrix) -> Result<(Vec<f64>, Matrix, Matrix), 
             m[(n + i, j)] = b[(i, j)];
         }
     }
-    let eig = eigh(m)?;
-    let mut values = Vec::with_capacity(n);
-    let mut re = Matrix::zeros(n, n);
-    let mut im = Matrix::zeros(n, n);
-    for p in 0..n {
-        let col = 2 * p; // sorted pairs: take the first of each
-        values.push(eig.values[col]);
-        for i in 0..n {
-            re[(i, p)] = eig.vectors[(i, col)];
-            im[(i, p)] = eig.vectors[(n + i, col)];
-        }
-    }
-    Ok((values, re, im))
-}
-
-/// Complex density matrix `ρ = 2 Σ_n f_n c_n c_n†` as `(Re ρ, Im ρ)`.
-///
-/// Built through the *real projector* over both members of each embedded
-/// pair, which is degeneracy-safe: any orthonormal basis of a degenerate
-/// eigenspace produces the same projector, so we never rely on the
-/// individual complex vectors being independent.
-fn complex_density(
-    a: &Matrix,
-    b: &Matrix,
-    f_per_state: &[f64],
-) -> Result<(Matrix, Matrix), TbError> {
-    let n = a.rows();
-    let mut m = Matrix::zeros(2 * n, 2 * n);
-    for i in 0..n {
-        for j in 0..n {
-            m[(i, j)] = a[(i, j)];
-            m[(n + i, n + j)] = a[(i, j)];
-            m[(i, n + j)] = -b[(i, j)];
-            m[(n + i, j)] = b[(i, j)];
-        }
-    }
-    let eig = eigh(m)?;
-    // Real projector with each physical occupation applied to both embedded
-    // partners; P = [[Re ρ, −Im ρ], [Im ρ, Re ρ]] (×2 spin folded into f).
-    let mut w = Matrix::zeros(2 * n, 2 * n);
-    for col in 0..2 * n {
-        let f = f_per_state[col / 2];
-        if f <= 1e-14 {
-            continue;
-        }
-        let scale = (2.0 * f).sqrt();
-        for rix in 0..2 * n {
-            w[(rix, col)] = scale * eig.vectors[(rix, col)];
-        }
-    }
-    let p = w.par_matmul(&w.transpose());
-    let mut re = Matrix::zeros(n, n);
-    let mut im = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            // Average the redundant blocks for round-off symmetry.
-            re[(i, j)] = 0.5 * (p[(i, j)] + p[(n + i, n + j)]);
-            im[(i, j)] = 0.5 * (p[(n + i, j)] - p[(i, n + j)]);
-        }
-    }
-    Ok((re, im))
+    grew
 }
 
 /// k-sampled tight-binding calculator (energies + forces). Fermi smearing is
@@ -212,26 +153,33 @@ impl<'m> KPointCalculator<'m> {
         Ok(())
     }
 
-    /// Weighted Fermi level for the combined spectrum.
-    fn fermi_level(&self, spectra: &[Vec<f64>], n_electrons: usize) -> f64 {
+    /// Weighted Fermi level for the combined spectrum held in the per-k
+    /// workspace slots.
+    fn fermi_level(&self, slots: &[KPointSlot], n_electrons: usize) -> f64 {
         let count = |mu: f64| -> f64 {
-            spectra
+            slots
                 .iter()
                 .zip(&self.kpoints)
-                .map(|(eps, kp)| {
-                    kp.weight * 2.0 * eps.iter().map(|&e| fermi((e - mu) / self.kt)).sum::<f64>()
+                .map(|(slot, kp)| {
+                    kp.weight
+                        * 2.0
+                        * slot
+                            .values
+                            .iter()
+                            .map(|&e| fermi((e - mu) / self.kt))
+                            .sum::<f64>()
                 })
                 .sum()
         };
-        let lo0 = spectra
+        let lo0 = slots
             .iter()
-            .flatten()
+            .flat_map(|slot| slot.values.iter())
             .cloned()
             .fold(f64::INFINITY, f64::min)
             - 30.0 * self.kt;
-        let hi0 = spectra
+        let hi0 = slots
             .iter()
-            .flatten()
+            .flat_map(|slot| slot.values.iter())
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max)
             + 30.0 * self.kt;
@@ -261,33 +209,72 @@ fn fermi(x: f64) -> f64 {
 
 impl ForceProvider for KPointCalculator<'_> {
     fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        self.evaluate_with(s, &mut Workspace::new())
+    }
+
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
-        let nl = NeighborList::build(s, self.model.cutoff());
+        let mut timings = PhaseTimings::default();
+        let mut mark = Instant::now();
+        let outcome = ws.neighbors.update(s, self.model.cutoff());
+        timings.note_neighbors(outcome);
+        let nl = ws.neighbors.list();
         let index = OrbitalIndex::new(s);
+        let n = index.total();
         let lengths = s.cell().lengths;
+        timings.neighbors = mark.elapsed();
 
-        // Pass 1: spectra at every k for the global Fermi level.
-        let mut blochs = Vec::with_capacity(self.kpoints.len());
-        let mut spectra = Vec::with_capacity(self.kpoints.len());
-        for kp in &self.kpoints {
-            let (a, b) = bloch_hamiltonian(s, &nl, self.model, &index, kp.k);
-            let (values, _, _) = hermitian_eigh(&a, &b)?;
-            spectra.push(values);
-            blochs.push((a, b));
+        let kws = &mut ws.kspace;
+        let mut grew = 0usize;
+        while kws.slots.len() < self.kpoints.len() {
+            kws.slots.push(KPointSlot::default());
+            grew += 1;
         }
-        let mu = self.fermi_level(&spectra, s.n_electrons());
 
-        // Pass 2: per-k density matrices, band energy, entropy, forces.
+        // Pass 1: one Bloch build + one embedded eigen-solve per k (the
+        // solve leaves the embedded eigenvectors in `slot.m`, so pass 2
+        // never re-diagonalizes).
+        for (kp, slot) in self.kpoints.iter().zip(kws.slots.iter_mut()) {
+            mark = Instant::now();
+            grew +=
+                bloch_hamiltonian_into(s, nl, self.model, &index, kp.k, &mut slot.a, &mut slot.b)
+                    as usize;
+            timings.hamiltonian += mark.elapsed();
+            mark = Instant::now();
+            grew += embed_hermitian(&slot.a, &slot.b, &mut slot.m) as usize;
+            eigh_into(&mut slot.m, &mut slot.values2, &mut kws.eigh)
+                .map_err(TbError::Eigensolver)?;
+            // Sorted embedded pairs: every second value is one physical state.
+            slot.values.clear();
+            slot.values.extend(slot.values2.iter().step_by(2));
+            timings.diagonalize += mark.elapsed();
+        }
+        let mu = self.fermi_level(&kws.slots, s.n_electrons());
+
+        // Pass 2: per-k occupations, density matrices and forces from the
+        // stored embedded eigenvectors.
         let mut band = 0.0;
         let mut entropy = 0.0;
         let mut forces = vec![Vec3::ZERO; s.n_atoms()];
-        for ((kp, eps), (a, b)) in self.kpoints.iter().zip(&spectra).zip(&blochs) {
-            let f: Vec<f64> = eps.iter().map(|&e| fermi((e - mu) / self.kt)).collect();
-            band += kp.weight * 2.0 * f.iter().zip(eps).map(|(fk, e)| fk * e).sum::<f64>();
+        for (kp, slot) in self.kpoints.iter().zip(kws.slots.iter_mut()) {
+            mark = Instant::now();
+            slot.f.clear();
+            slot.f
+                .extend(slot.values.iter().map(|&e| fermi((e - mu) / self.kt)));
+            band += kp.weight
+                * 2.0
+                * slot
+                    .f
+                    .iter()
+                    .zip(&slot.values)
+                    .map(|(fk, e)| fk * e)
+                    .sum::<f64>();
             entropy += kp.weight
                 * -2.0
                 * KB_EV
-                * f.iter()
+                * slot
+                    .f
+                    .iter()
                     .map(|&fk| {
                         let x = if fk > 1e-300 { fk * fk.ln() } else { 0.0 };
                         let g = 1.0 - fk;
@@ -295,7 +282,30 @@ impl ForceProvider for KPointCalculator<'_> {
                         x + y
                     })
                     .sum::<f64>();
-            let (re, im) = complex_density(a, b, &f)?;
+            // Real projector over both members of each embedded pair —
+            // degeneracy-safe: any orthonormal basis of a degenerate
+            // eigenspace yields the same projector. Occupied columns only:
+            // P = [[Re ρ, −Im ρ], [Im ρ, Re ρ]] (×2 spin folded into f).
+            let occupied: Vec<usize> = (0..2 * n).filter(|&c| slot.f[c / 2] > 1e-14).collect();
+            grew += kws.w.resize_zeroed(2 * n, occupied.len()) as usize;
+            for (wcol, &col) in occupied.iter().enumerate() {
+                let scale = (2.0 * slot.f[col / 2]).sqrt();
+                for rix in 0..2 * n {
+                    kws.w[(rix, wcol)] = scale * slot.m[(rix, col)];
+                }
+            }
+            grew += kws.w.syrk_reuse(&mut kws.p, true) as usize;
+            grew += kws.re.resize_zeroed(n, n) as usize;
+            grew += kws.im.resize_zeroed(n, n) as usize;
+            for i in 0..n {
+                for j in 0..n {
+                    // Average the redundant blocks for round-off symmetry.
+                    kws.re[(i, j)] = 0.5 * (kws.p[(i, j)] + kws.p[(n + i, n + j)]);
+                    kws.im[(i, j)] = 0.5 * (kws.p[(n + i, j)] - kws.p[(i, n + j)]);
+                }
+            }
+            timings.density += mark.elapsed();
+            mark = Instant::now();
             // Forces: F_i += 2 w_k Σ_entries Σ_{μν} Re{ρ*_{(oi+μ)(oj+ν)} e^{ik·T}} G_γ[μν].
             for (i, fo) in forces.iter_mut().enumerate() {
                 let oi = index.offset(i);
@@ -323,8 +333,8 @@ impl ForceProvider for KPointCalculator<'_> {
                         for (mu2, grow) in grad[gamma].iter().enumerate() {
                             for (nu, &g) in grow.iter().enumerate() {
                                 // Re{ρ* e^{ikT}} = Re ρ·cos + Im ρ·sin.
-                                let rho_eff =
-                                    re[(oi + mu2, oj + nu)] * cp + im[(oi + mu2, oj + nu)] * sp;
+                                let rho_eff = kws.re[(oi + mu2, oj + nu)] * cp
+                                    + kws.im[(oi + mu2, oj + nu)] * sp;
                                 acc += rho_eff * g;
                             }
                         }
@@ -333,16 +343,20 @@ impl ForceProvider for KPointCalculator<'_> {
                 }
                 *fo += fi;
             }
+            timings.forces += mark.elapsed();
         }
-        let (e_rep, rep_forces) = repulsive_energy_forces(s, &nl, self.model, true);
+        mark = Instant::now();
+        let (e_rep, rep_forces) = repulsive_energy_forces(s, nl, self.model, true);
         for (f, rf) in forces.iter_mut().zip(rep_forces.expect("forces")) {
             *f += rf;
         }
+        timings.forces += mark.elapsed();
+        ws.grown += grew;
         let entropy_term = -(self.kt / KB_EV) * entropy;
         Ok(ForceEvaluation {
             energy: band + e_rep + entropy_term,
             forces,
-            timings: PhaseTimings::default(),
+            timings,
         })
     }
 

@@ -24,8 +24,8 @@ pub mod units;
 pub mod workspace;
 
 pub use bands::{
-    band_energies, band_gap, band_structure, bloch_hamiltonian, density_of_states,
-    hermitian_eigenvalues, k_path,
+    band_energies, band_gap, band_structure, bloch_hamiltonian, bloch_hamiltonian_into,
+    density_of_states, hermitian_eigenvalues, k_path,
 };
 pub use calculator::{
     density_matrix, density_matrix_into, electronic_forces, repulsive_energy_forces, DenseSolver,
@@ -36,8 +36,8 @@ pub use hamiltonian::{build_hamiltonian, build_hamiltonian_into, OrbitalIndex};
 pub use kpoints::{folding_grid, monkhorst_pack, KPoint, KPointCalculator};
 pub use model::{EmbeddingPolynomial, GspTbModel, TbModel};
 pub use nonortho::{
-    build_overlap, silicon_nonortho_demo, NonOrthoCalculator, NonOrthogonalTbModel,
-    SiliconNonOrthoDemo,
+    build_overlap, build_overlap_into, silicon_nonortho_demo, NonOrthoCalculator,
+    NonOrthogonalTbModel, SiliconNonOrthoDemo,
 };
 pub use occupations::{
     occupations, occupied_count, OccupationScheme, Occupations, OCCUPATION_DROP_TOL,
@@ -48,4 +48,7 @@ pub use silicon::silicon_gsp;
 pub use slater_koster::{sk_block, sk_block_gradient, sk_transpose, Hoppings, SkBlock};
 pub use stress::{pressure, stress_from_density, stress_tensor, StressTensor, EV_PER_A3_TO_GPA};
 pub use units::{ACCEL_CONV, KB_EV};
-pub use workspace::{NeighborOutcome, NeighborStats, NeighborWorkspace, Workspace, DEFAULT_SKIN};
+pub use workspace::{
+    KPointSlot, KPointWorkspace, NeighborOutcome, NeighborStats, NeighborWorkspace, Workspace,
+    DEFAULT_SKIN,
+};

@@ -20,13 +20,15 @@
 //! formalism, clearly not a published fit; see DESIGN.md's substitution
 //! policy.
 
-use crate::calculator::{repulsive_energy_forces, PhaseTimings, TbError};
-use crate::hamiltonian::{build_hamiltonian, OrbitalIndex};
+use crate::calculator::{density_matrix_into, repulsive_energy_forces, PhaseTimings, TbError};
+use crate::hamiltonian::{build_hamiltonian, build_hamiltonian_into, OrbitalIndex};
 use crate::model::{GspTbModel, TbModel};
 use crate::occupations::{occupations, OccupationScheme};
 use crate::provider::{ForceEvaluation, ForceProvider};
 use crate::slater_koster::{sk_block, sk_block_gradient, Hoppings};
-use tbmd_linalg::{generalized_eigh, Matrix, Vec3};
+use crate::workspace::Workspace;
+use std::time::Instant;
+use tbmd_linalg::{generalized_eigh, generalized_eigh_into, GeneralizedEigError, Matrix, Vec3};
 use tbmd_structure::{NeighborList, Species, Structure};
 
 /// A tight-binding model with an explicit overlap table.
@@ -128,8 +130,25 @@ pub fn build_overlap(
     model: &dyn NonOrthogonalTbModel,
     index: &OrbitalIndex,
 ) -> Matrix {
+    let mut sm = Matrix::zeros(0, 0);
+    build_overlap_into(s, nl, model, index, &mut sm);
+    sm
+}
+
+/// [`build_overlap`] into a caller-owned buffer, reusing its allocation when
+/// the capacity suffices. Returns `true` if the buffer had to grow.
+pub fn build_overlap_into(
+    s: &Structure,
+    nl: &NeighborList,
+    model: &dyn NonOrthogonalTbModel,
+    index: &OrbitalIndex,
+    sm: &mut Matrix,
+) -> bool {
     let n = index.total();
-    let mut sm = Matrix::identity(n);
+    let grew = sm.resize_zeroed(n, n);
+    for i in 0..n {
+        sm[(i, i)] = 1.0;
+    }
     for i in 0..s.n_atoms() {
         let oi = index.offset(i);
         for nb in nl.neighbors(i) {
@@ -146,7 +165,7 @@ pub fn build_overlap(
             }
         }
     }
-    sm
+    grew
 }
 
 /// Non-orthogonal tight-binding calculator (generalized eigenproblem +
@@ -189,47 +208,81 @@ impl<'m> NonOrthoCalculator<'m> {
         let index = OrbitalIndex::new(s);
         let h = build_hamiltonian(s, &nl, self.model, &index);
         let sm = build_overlap(s, &nl, self.model, &index);
-        let eig = generalized_eigh(&h, &sm).map_err(|e| match e {
-            tbmd_linalg::GeneralizedEigError::Eig(inner) => TbError::Eigensolver(inner),
-            _ => TbError::OverlapNotPositiveDefinite,
-        })?;
+        let eig = generalized_eigh(&h, &sm).map_err(map_gen_err)?;
         Ok((nl, index, eig))
+    }
+}
+
+fn map_gen_err(e: GeneralizedEigError) -> TbError {
+    match e {
+        GeneralizedEigError::Eig(inner) => TbError::Eigensolver(inner),
+        _ => TbError::OverlapNotPositiveDefinite,
     }
 }
 
 impl ForceProvider for NonOrthoCalculator<'_> {
     fn evaluate(&self, s: &Structure) -> Result<ForceEvaluation, TbError> {
+        self.evaluate_with(s, &mut Workspace::new())
+    }
+
+    fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
-        let (nl, index, eig) = self.solve(s)?;
-        let occ = occupations(&eig.values, s.n_electrons(), self.occupation);
-        let band = occ.band_energy(&eig.values);
+        let mut timings = PhaseTimings::default();
+        let mut mark = Instant::now();
+        let outcome = ws.neighbors.update(s, self.model.cutoff());
+        timings.note_neighbors(outcome);
+        let nl = ws.neighbors.list();
+        let index = OrbitalIndex::new(s);
+        let n = index.total();
+        timings.neighbors = mark.elapsed();
+        mark = Instant::now();
+
+        let mut grew = build_hamiltonian_into(s, nl, self.model, &index, &mut ws.h) as usize;
+        grew += build_overlap_into(s, nl, self.model, &index, &mut ws.overlap) as usize;
+        timings.hamiltonian = mark.elapsed();
+        mark = Instant::now();
+
+        // Generalized solve H C = S C ε through the persistent Cholesky
+        // sub-workspace (the factor of S and the congruence-reduced matrix
+        // are reused across steps).
+        let gen_before = ws.geneigh.large_alloc_events();
+        generalized_eigh_into(
+            &ws.h,
+            &ws.overlap,
+            &mut ws.values,
+            &mut ws.c,
+            &mut ws.geneigh,
+        )
+        .map_err(map_gen_err)?;
+        grew += ws.geneigh.large_alloc_events() - gen_before;
+        timings.diagonalize = mark.elapsed();
+        mark = Instant::now();
+
+        let occ = occupations(&ws.values, s.n_electrons(), self.occupation);
+        let band = occ.band_energy(&ws.values);
         let entropy_term = match self.occupation {
             OccupationScheme::Fermi { kt } if kt > 0.0 => -(kt / crate::units::KB_EV) * occ.entropy,
             _ => 0.0,
         };
-        // Density and energy-weighted density matrices.
-        let n = index.total();
-        let mut w_diag: Vec<f64> = Vec::with_capacity(n);
+        // Density matrix via the shared SYRK kernel; energy-weighted density
+        // w = 2 Σ f ε c cᵀ by explicit accumulation (weights can be
+        // negative, so no √-scaling factorization applies).
+        grew += density_matrix_into(&ws.c, &occ.f, &mut ws.w, &mut ws.rho);
+        grew += ws.wrho.resize_zeroed(n, n) as usize;
         for (k, &f) in occ.f.iter().enumerate() {
-            w_diag.push(f * eig.values[k]);
-        }
-        let rho = crate::calculator::density_matrix(&eig.vectors, &occ.f);
-        // w = 2 Σ f ε c cᵀ: reuse density_matrix with signed weights via
-        // explicit accumulation (weights can be negative).
-        let mut w = Matrix::zeros(n, n);
-        for (k, &wd) in w_diag.iter().enumerate() {
-            let fe = 2.0 * wd;
+            let fe = 2.0 * f * ws.values[k];
             if fe.abs() < 1e-14 {
                 continue;
             }
-            let col = eig.vectors.col(k);
-            for (i, &cv) in col.iter().enumerate() {
-                let ci = fe * cv;
-                for (j, &cj) in col.iter().enumerate() {
-                    w[(i, j)] += ci * cj;
+            for i in 0..n {
+                let ci = fe * ws.c[(i, k)];
+                for j in 0..n {
+                    ws.wrho[(i, j)] += ci * ws.c[(j, k)];
                 }
             }
         }
+        timings.density = mark.elapsed();
+        mark = Instant::now();
 
         // Forces: electronic −ρ:∂H + w:∂S per directed entry, plus repulsion.
         let mut forces = vec![Vec3::ZERO; s.n_atoms()];
@@ -251,8 +304,8 @@ impl ForceProvider for NonOrthoCalculator<'_> {
                     let mut acc = 0.0;
                     for mu in 0..4 {
                         for nu in 0..4 {
-                            acc += rho[(oi + mu, oj + nu)] * grad_h[gamma][mu][nu]
-                                - w[(oi + mu, oj + nu)] * grad_s[gamma][mu][nu];
+                            acc += ws.rho[(oi + mu, oj + nu)] * grad_h[gamma][mu][nu]
+                                - ws.wrho[(oi + mu, oj + nu)] * grad_s[gamma][mu][nu];
                         }
                     }
                     fi[gamma] += 2.0 * acc;
@@ -260,14 +313,16 @@ impl ForceProvider for NonOrthoCalculator<'_> {
             }
             *fo = fi;
         }
-        let (e_rep, rep_forces) = repulsive_energy_forces(s, &nl, self.model, true);
+        let (e_rep, rep_forces) = repulsive_energy_forces(s, nl, self.model, true);
         for (f, rf) in forces.iter_mut().zip(rep_forces.expect("forces")) {
             *f += rf;
         }
+        timings.forces = mark.elapsed();
+        ws.grown += grew;
         Ok(ForceEvaluation {
             energy: band + e_rep + entropy_term,
             forces,
-            timings: PhaseTimings::default(),
+            timings,
         })
     }
 

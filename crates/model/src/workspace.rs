@@ -22,7 +22,7 @@
 //! The workspace also keeps counters (rebuilds vs refreshes vs fallback
 //! builds, buffer-growth events) that the benchmark reports surface.
 
-use tbmd_linalg::{EighWorkspace, JacobiWorkspace, Matrix};
+use tbmd_linalg::{EighWorkspace, GeneralizedEighWorkspace, JacobiWorkspace, Matrix};
 use tbmd_structure::{NeighborList, Structure, VerletNeighborList};
 
 /// Default Verlet skin in Å. Half an ångström keeps the list valid for many
@@ -174,9 +174,60 @@ pub struct Workspace {
     /// Parallel-Jacobi scratch (double-buffered column stores, rotation
     /// tables, round-robin schedule) for engines that select that solver.
     pub jacobi: JacobiWorkspace,
+    /// Overlap matrix buffer (non-orthogonal engine).
+    pub overlap: Matrix,
+    /// Energy-weighted density matrix `2 Σ_n f_n ε_n c_n c_nᵀ` for the Pulay
+    /// force term (non-orthogonal engine).
+    pub wrho: Matrix,
+    /// Generalized-eigenproblem scratch: the Cholesky factor of the overlap
+    /// and the congruence-reduced matrix (non-orthogonal engine).
+    pub geneigh: GeneralizedEighWorkspace,
+    /// Complex-Hermitian sub-workspace: per-k Bloch/embedding/eigenvector
+    /// buffers plus shared density scratch (k-point engine).
+    pub kspace: KPointWorkspace,
     /// Count of large-buffer capacity growths (see
     /// [`Workspace::large_alloc_events`]).
     pub grown: usize,
+}
+
+/// Per-k persistent buffers of the k-sampled engine: the Bloch Hamiltonian
+/// parts, the `2n×2n` real Hermitian embedding (overwritten in place with
+/// its eigenvectors by the solve), and the physical spectrum/occupations.
+#[derive(Default)]
+pub struct KPointSlot {
+    /// Re H(k).
+    pub a: Matrix,
+    /// Im H(k).
+    pub b: Matrix,
+    /// Real embedding `[[A,−B],[B,A]]`; holds the embedded eigenvectors
+    /// after the solve.
+    pub m: Matrix,
+    /// All `2n` embedded eigenvalues (ascending, physical states doubled).
+    pub values2: Vec<f64>,
+    /// Physical spectrum (every second embedded value).
+    pub values: Vec<f64>,
+    /// Per-state occupations at the shared Fermi level.
+    pub f: Vec<f64>,
+}
+
+/// Complex-Hermitian sub-workspace of [`Workspace`]: one [`KPointSlot`] per
+/// k-point plus density scratch shared across k. Lets the k-sampled engine
+/// run a single embedded eigen-solve per k per step with zero steady-state
+/// allocations.
+#[derive(Default)]
+pub struct KPointWorkspace {
+    /// Per-k slots, grown to the grid size on first use.
+    pub slots: Vec<KPointSlot>,
+    /// Scaled embedded-eigenvector factor (`2n × n_occ`), shared across k.
+    pub w: Matrix,
+    /// Real projector `W·Wᵀ` (`2n×2n`), shared across k.
+    pub p: Matrix,
+    /// Re ρ(k) extracted from the projector.
+    pub re: Matrix,
+    /// Im ρ(k) extracted from the projector.
+    pub im: Matrix,
+    /// Eigensolver scratch shared across k.
+    pub eigh: EighWorkspace,
 }
 
 impl Workspace {

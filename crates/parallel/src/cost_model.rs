@@ -108,6 +108,13 @@ impl CostEstimate {
 /// Price a measured Vmp run on a machine profile. Uses the busiest rank for
 /// compute and the busiest rank's traffic for communication (a slightly
 /// pessimistic but standard critical-path model).
+///
+/// Message-count terms reflect the tree collectives in [`crate::vmp`]: both
+/// sides of `allreduce_sum` (binomial reduce + binomial broadcast) and
+/// `broadcast` itself are ⌈log₂ P⌉-round trees, so the critical rank of a
+/// collective sends at most ⌈log₂ P⌉ messages — the latency term of the
+/// model scales as `log P` per collective, not `P`, matching what the
+/// measured `max_messages` counter reports.
 pub fn estimate_cost(profile: &MachineProfile, stats: &VmpStats) -> CostEstimate {
     CostEstimate {
         machine: profile.name.clone(),

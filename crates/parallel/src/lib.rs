@@ -10,12 +10,14 @@
 
 pub mod cost_model;
 pub mod distributed;
+pub mod pool;
 pub mod ring_jacobi;
 pub mod shared;
 pub mod vmp;
 
 pub use cost_model::{estimate_cost, scaling, CostEstimate, MachineProfile, Scaling};
-pub use distributed::{DistributedReport, DistributedTb};
+pub use distributed::{DistributedReport, DistributedSolver, DistributedTb};
+pub use pool::RankWorkspacePool;
 pub use ring_jacobi::{
     initial_column_owners, ring_jacobi_eigh, ring_jacobi_worker, DistributedEigh, RingJacobiReport,
 };

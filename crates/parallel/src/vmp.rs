@@ -194,18 +194,31 @@ impl Rank {
         }
     }
 
-    /// Element-wise sum-allreduce (reduce to 0, broadcast back).
+    /// Element-wise sum-allreduce: binomial-tree reduce to rank 0
+    /// (⌈log₂ P⌉ rounds, the mirror image of [`Rank::broadcast`]) followed
+    /// by the binomial broadcast back. Every non-root rank still sends
+    /// exactly one reduce message, but the root's P − 1 sequential receives
+    /// of the linear gather collapse into at most ⌈log₂ P⌉, with the other
+    /// partial sums formed concurrently down the tree.
+    ///
+    /// Reduction order is deterministic: rank `id` absorbs children
+    /// `id + 1, id + 2, id + 4, …` in ascending order, so repeated runs sum
+    /// in the same sequence bit-for-bit.
     pub fn allreduce_sum(&mut self, tag: u64, data: &mut Vec<f64>) {
-        if self.id == 0 {
-            for r in 1..self.size {
-                let other = self.recv(r, tag);
-                assert_eq!(other.len(), data.len(), "allreduce length mismatch");
-                for (a, b) in data.iter_mut().zip(&other) {
-                    *a += b;
-                }
+        let top = lowest_set_bit_or_size(self.id, self.size);
+        let mut m = 1;
+        while m < top && self.id + m < self.size {
+            let other = self.recv(self.id + m, tag);
+            assert_eq!(other.len(), data.len(), "allreduce length mismatch");
+            for (a, b) in data.iter_mut().zip(&other) {
+                *a += b;
             }
-        } else {
-            self.send(0, tag, data);
+            m <<= 1;
+        }
+        if self.id != 0 {
+            // `top` is the lowest set bit of a non-zero id: the parent in
+            // the binomial tree is the id with that bit cleared.
+            self.send(self.id - top, tag, data);
         }
         self.broadcast(0, tag.wrapping_add(1), data);
     }
@@ -438,6 +451,60 @@ mod tests {
             let expect0 = (0..p).map(|r| r as f64).sum::<f64>();
             for v in results {
                 assert_eq!(v, vec![expect0, p as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_reduce_side_is_binomial() {
+        // Structural pin of the tree reduce: every non-root rank sends
+        // exactly one reduce message (same as the old linear gather, so the
+        // engine traffic assertions are unchanged), and the number of reduce
+        // messages a rank *receives* equals its binomial child count — rank
+        // 0 absorbs only ⌈log₂ P⌉ partial sums instead of P − 1.
+        for p in [2usize, 3, 4, 5, 7, 8] {
+            let (received, stats) = vmp_run(p, move |mut rank| {
+                let mut data = vec![1.0];
+                let id = rank.id();
+                let top = lowest_set_bit_or_size(id, rank.size());
+                let mut children = 0usize;
+                let mut m = 1;
+                while m < top && id + m < p {
+                    children += 1;
+                    m <<= 1;
+                }
+                rank.allreduce_sum(90, &mut data);
+                assert_eq!(data, vec![p as f64]);
+                children
+            });
+            // Root's receive count is logarithmic, not linear.
+            assert_eq!(
+                received[0],
+                (usize::BITS - (p - 1).leading_zeros()) as usize
+            );
+            // Total reduce+broadcast messages: (P − 1) each.
+            assert_eq!(stats.total_messages(), 2 * (p as u64 - 1));
+            // Each non-root sends exactly one reduce message plus its
+            // broadcast fan-out; root sends only broadcast messages.
+            let bcast_children = |id: usize| {
+                let top = lowest_set_bit_or_size(id, p);
+                let mut n = 0u64;
+                let mut m = top >> 1;
+                while m >= 1 {
+                    if id + m < p {
+                        n += 1;
+                    }
+                    m >>= 1;
+                }
+                n
+            };
+            for (id, r) in stats.ranks.iter().enumerate() {
+                let reduce_sends = u64::from(id != 0);
+                assert_eq!(
+                    r.messages_sent,
+                    reduce_sends + bcast_children(id),
+                    "p={p} rank={id}"
+                );
             }
         }
     }

@@ -11,8 +11,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tbmd_md::{maxwell_boltzmann, MdState, VelocityVerlet};
-use tbmd_model::{silicon_gsp, ForceProvider, OccupationScheme, TbCalculator, Workspace};
-use tbmd_parallel::SharedMemoryTb;
+use tbmd_model::{
+    monkhorst_pack, silicon_gsp, silicon_nonortho_demo, ForceProvider, KPointCalculator,
+    NonOrthoCalculator, OccupationScheme, TbCalculator, Workspace,
+};
+use tbmd_parallel::{DistributedTb, SharedMemoryTb};
 use tbmd_structure::{bulk_diamond, Species, Structure};
 
 /// 2×2×2 Si diamond: 64 atoms, L/2 = 5.43 Å > cutoff + skin ≈ 4.66 Å, so
@@ -116,4 +119,83 @@ fn hundred_step_nve_run_allocates_once() {
         stats.rebuilds
     );
     assert_eq!(stats.rebuilds + stats.refreshes, 101);
+}
+
+/// Drive `warm_in` MD steps so every persistent buffer reaches its
+/// steady-state capacity, then `steps` more and assert the workspace's
+/// large-allocation counter never moves again. Finally cross-check the
+/// warm trajectory endpoint against a cold evaluation (`cold` is a fresh
+/// engine of the same physics) to 1e-10.
+fn assert_engine_allocates_once(
+    provider: &dyn ForceProvider,
+    cold: &dyn ForceProvider,
+    structure: Structure,
+    warm_in: usize,
+    steps: usize,
+) {
+    let v = velocities(&structure, 23);
+    let vv = VelocityVerlet::new(1.0);
+
+    let mut ws = Workspace::new();
+    let mut state = MdState::new_with(structure, v, provider, &mut ws).unwrap();
+    assert!(
+        ws.large_alloc_events() > 0,
+        "warmup should have grown the buffers"
+    );
+    for _ in 0..warm_in {
+        vv.step_with(&mut state, provider, &mut ws).unwrap();
+    }
+    let after_warmup = ws.large_alloc_events();
+
+    for _ in 0..steps {
+        vv.step_with(&mut state, provider, &mut ws).unwrap();
+    }
+    assert_eq!(
+        ws.large_alloc_events(),
+        after_warmup,
+        "persistent buffers grew after warm-in"
+    );
+
+    // Warm/cold equivalence at the trajectory endpoint: a fresh engine with
+    // fresh buffers sees the same structure and must agree to 1e-10.
+    let reference = cold.evaluate(&state.structure).unwrap();
+    let de = (state.potential_energy - reference.energy).abs();
+    assert!(de < 1e-10, "warm vs cold energy differs by {de}");
+    for (i, (a, b)) in state.forces.iter().zip(&reference.forces).enumerate() {
+        let df = (*a - *b).max_abs();
+        assert!(df < 1e-10, "atom {i}: warm vs cold force differs by {df}");
+    }
+}
+
+/// ISSUE 3 acceptance: the message-passing engine's per-rank workspace
+/// pool makes warm evaluations O(1)-allocation — the pool persists behind
+/// the engine and no rank grows a buffer after the warm-in.
+#[test]
+fn distributed_engine_workspace_allocates_once() {
+    let model = silicon_gsp();
+    let dist = DistributedTb::new(&model, 3);
+    let cold = DistributedTb::new(&model, 3);
+    assert_engine_allocates_once(&dist, &cold, si64(), 5, 10);
+}
+
+/// Same guarantee for the k-sampled engine: per-k Bloch/embedding slots and
+/// the shared density scratch reach steady state and stay there.
+#[test]
+fn kpoint_engine_workspace_allocates_once() {
+    let model = silicon_gsp();
+    let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+    let grid = monkhorst_pack(&s, [2, 2, 2]);
+    let kcalc = KPointCalculator::new(&model, grid.clone(), 0.1);
+    let cold = KPointCalculator::new(&model, grid, 0.1);
+    assert_engine_allocates_once(&kcalc, &cold, s, 5, 10);
+}
+
+/// Same guarantee for the non-orthogonal engine: H, S, the generalized
+/// (Cholesky) sub-workspace and both density matrices are reused in place.
+#[test]
+fn nonortho_engine_workspace_allocates_once() {
+    let model = silicon_nonortho_demo();
+    let calc = NonOrthoCalculator::new(&model);
+    let cold = NonOrthoCalculator::new(&model);
+    assert_engine_allocates_once(&calc, &cold, si64(), 5, 10);
 }
