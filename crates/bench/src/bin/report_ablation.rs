@@ -18,16 +18,21 @@ use tbmd::{
     maxwell_boltzmann, silicon_gsp, ForceProvider, MdState, OccupationScheme, Species,
     TbCalculator, VelocityVerlet,
 };
-use tbmd_bench::{fmt_e, fmt_ms, fmt_s, print_table};
+use tbmd_bench::{fmt_e, fmt_ms, fmt_s, BenchArgs, Report, ReportTable};
 use tbmd_model::TbModel;
 use tbmd_structure::NeighborList;
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = silicon_gsp();
+    let mut report = Report::new("ablation");
 
     // (a) occupation-scheme ablation: NVE drift at high temperature, where
     // level crossings occur.
-    let mut rows = Vec::new();
+    let mut occ_table = ReportTable::new(
+        "Ablation (a): occupation scheme vs NVE drift, Si-8 at 2000 K, 40 fs",
+        &["occupations", "peak |ΔE|/eV", "relative"],
+    );
     for (label, occ) in [
         ("zero-temperature", OccupationScheme::ZeroTemperature),
         ("Fermi kT=0.05 eV", OccupationScheme::Fermi { kt: 0.05 }),
@@ -46,18 +51,17 @@ fn main() {
             vv.step(&mut state, &calc).expect("step");
             peak = peak.max((state.total_energy() - e0).abs());
         }
-        rows.push(vec![label.to_string(), fmt_e(peak), fmt_e(peak / e0.abs())]);
+        occ_table.row(vec![label.to_string(), fmt_e(peak), fmt_e(peak / e0.abs())]);
     }
-    print_table(
-        "Ablation (a): occupation scheme vs NVE drift, Si-8 at 2000 K, 40 fs",
-        &["occupations", "peak |ΔE|/eV", "relative"],
-        &rows,
-    );
-    println!("\n  Reading: smearing does not degrade (and near crossings improves)");
-    println!("  conservation; it is the default for force continuity.");
+    report.table(occ_table);
+    report.note("Reading (a): smearing does not degrade (and near crossings improves)");
+    report.note("conservation; it is the default for force continuity.");
 
     // (b) neighbour-list strategy timing.
-    let mut rows = Vec::new();
+    let mut nl_table = ReportTable::new(
+        "Ablation (b): neighbour-list strategy (identical entry sets asserted)",
+        &["N", "brute O(N²)/ms", "linked O(N)/ms", "speedup"],
+    );
     for reps in [3usize, 4, 5] {
         let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
         let cutoff = model.cutoff();
@@ -68,21 +72,20 @@ fn main() {
         let linked = NeighborList::build_linked_cell(&s, cutoff);
         let t_linked = t0.elapsed();
         assert_eq!(brute.n_entries(), linked.n_entries());
-        rows.push(vec![
+        nl_table.row(vec![
             s.n_atoms().to_string(),
             fmt_ms(t_brute),
             fmt_ms(t_linked),
             fmt_s(t_brute.as_secs_f64() / t_linked.as_secs_f64()),
         ]);
     }
-    print_table(
-        "Ablation (b): neighbour-list strategy (identical entry sets asserted)",
-        &["N", "brute O(N²)/ms", "linked O(N)/ms", "speedup"],
-        &rows,
-    );
+    report.table(nl_table);
 
     // (c) eigensolver choice inside the shared-memory engine.
-    let mut rows = Vec::new();
+    let mut solver_table = ReportTable::new(
+        "Ablation (c): eigensolver in the shared-memory engine, Si-64",
+        &["solver", "t/ms (serial host)", "energy/eV"],
+    );
     let s = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
     for (label, solver) in [
         ("Householder+QL", Eigensolver::HouseholderQl),
@@ -92,17 +95,14 @@ fn main() {
         let t0 = Instant::now();
         let eval = engine.evaluate(&s).expect("evaluation");
         let t = t0.elapsed();
-        rows.push(vec![
+        solver_table.row(vec![
             label.to_string(),
             fmt_ms(t),
             format!("{:.6}", eval.energy),
         ]);
     }
-    print_table(
-        "Ablation (c): eigensolver in the shared-memory engine, Si-64",
-        &["solver", "t/ms (serial host)", "energy/eV"],
-        &rows,
-    );
-    println!("\n  Reading: QL wins on one core; Jacobi's n/2-way rotation parallelism");
-    println!("  is why the distributed engine uses it anyway (see T2/T4).");
+    report.table(solver_table);
+    report.note("Reading (c): QL wins on one core; Jacobi's n/2-way rotation parallelism");
+    report.note("is why the distributed engine uses it anyway (see T2/T4).");
+    report.emit(&args);
 }

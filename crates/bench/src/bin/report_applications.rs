@@ -12,9 +12,10 @@ use std::time::Instant;
 use tbmd::{
     carbon_xwch, DistributedTb, ForceProvider, LinearScalingTb, SharedMemoryTb, TbCalculator,
 };
-use tbmd_bench::{fmt_e, fmt_s, print_table};
+use tbmd_bench::{fmt_e, fmt_s, BenchArgs, Report, ReportTable};
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = carbon_xwch();
     let systems: Vec<(&str, tbmd::Structure)> = vec![
         ("C60 fullerene", tbmd_structure::fullerene_c60(1.44)),
@@ -24,7 +25,19 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
+    let mut table = ReportTable::new(
+        "F6: per-force-evaluation wall time by engine, carbon applications (this host)",
+        &[
+            "system",
+            "N",
+            "serial/s",
+            "shared/s",
+            "dist(P=4)/s",
+            "O(N)/s",
+            "max dense |ΔE|/eV",
+            "O(N) |ΔE|/atom",
+        ],
+    );
     for (label, s) in &systems {
         let serial = TbCalculator::new(&model);
         let t0 = Instant::now();
@@ -51,7 +64,7 @@ fn main() {
         let r = serial_smeared.compute(s).expect("dense smeared");
         let e_band_rep = r.band_energy + r.repulsive_energy;
 
-        rows.push(vec![
+        table.row(vec![
             label.to_string(),
             s.n_atoms().to_string(),
             fmt_s(t_serial),
@@ -66,21 +79,11 @@ fn main() {
             fmt_e((on_eval.energy - e_band_rep).abs() / s.n_atoms() as f64),
         ]);
     }
-    print_table(
-        "F6: per-force-evaluation wall time by engine, carbon applications (this host)",
-        &[
-            "system",
-            "N",
-            "serial/s",
-            "shared/s",
-            "dist(P=4)/s",
-            "O(N)/s",
-            "max dense |ΔE|/eV",
-            "O(N) |ΔE|/atom",
-        ],
-        &rows,
-    );
-    println!("\nShape check: dense engines agree to round-off; the O(N) per-atom");
-    println!("error is larger here than for gapped Si (near-metallic π system) —");
-    println!("the documented domain boundary of Fermi-operator truncation.");
+    let mut report = Report::new("applications");
+    report
+        .table(table)
+        .note("Shape check: dense engines agree to round-off; the O(N) per-atom")
+        .note("error is larger here than for gapped Si (near-metallic π system) —")
+        .note("the documented domain boundary of Fermi-operator truncation.");
+    report.emit(&args);
 }

@@ -10,9 +10,12 @@
 
 use tbmd::model::{band_energies, band_gap, band_structure, density_of_states, k_path};
 use tbmd::{carbon_xwch, silicon_gsp, Species, Vec3};
-use tbmd_bench::{fmt_f, print_table};
+use tbmd_bench::{fmt_f, BenchArgs, Report, ReportTable};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut report = Report::new("bands");
+
     // --- Si bands along Γ–X and Γ–L of the conventional cubic cell.
     let si = silicon_gsp();
     let s = tbmd_structure::bulk_diamond(Species::Silicon, 1, 1, 1);
@@ -24,10 +27,13 @@ fn main() {
     let bands = band_structure(&s, &si, &path).expect("bands");
     let n_filled = s.n_electrons() / 2;
 
-    let mut rows = Vec::new();
+    let mut f7a = ReportTable::new(
+        "F7a: Si bands along L–Γ–X (k in units of 2π/a)",
+        &["k", "bottom/eV", "VBM/eV", "CBM/eV", "top/eV"],
+    );
     for (i, (k, b)) in path.iter().zip(&bands).enumerate() {
         if i % 4 == 0 || i + 1 == path.len() {
-            rows.push(vec![
+            f7a.row(vec![
                 format!("({:.2},{:.2},{:.2})", k.x / g, k.y / g, k.z / g),
                 fmt_f(b[0], 2),
                 fmt_f(b[n_filled - 1], 2),
@@ -36,13 +42,11 @@ fn main() {
             ]);
         }
     }
-    print_table(
-        "F7a: Si bands along L–Γ–X (k in units of 2π/a)",
-        &["k", "bottom/eV", "VBM/eV", "CBM/eV", "top/eV"],
-        &rows,
-    );
+    report.table(f7a);
     let gap = band_gap(&bands, s.n_electrons()).expect("gap");
-    println!("\n  fundamental gap on this path: {gap:.2} eV (expt. 1.17 eV; TB-family models land within a factor ~2)");
+    report.note(format!(
+        "fundamental gap on this path: {gap:.2} eV (expt. 1.17 eV; TB-family models land within a factor ~2)"
+    ));
 
     // --- Graphene Dirac point.
     let c = carbon_xwch();
@@ -53,7 +57,7 @@ fn main() {
         2.0 * std::f64::consts::PI / (3.0 * 3.0f64.sqrt() * acc),
         0.0,
     );
-    let mut rows = Vec::new();
+    let mut f7b = ReportTable::new("F7b: graphene π gap vs k", &["k-point", "|gap|/eV"]);
     for (label, k) in [
         ("Γ", Vec3::ZERO),
         ("K (Dirac)", k_dirac),
@@ -61,9 +65,9 @@ fn main() {
     ] {
         let b = band_energies(&sheet, &c, k).expect("bands");
         let gap = band_gap(&[b], sheet.n_electrons()).expect("gap");
-        rows.push(vec![label.to_string(), fmt_f(gap.abs(), 3)]);
+        f7b.row(vec![label.to_string(), fmt_f(gap.abs(), 3)]);
     }
-    print_table("F7b: graphene π gap vs k", &["k-point", "|gap|/eV"], &rows);
+    report.table(f7b);
 
     // --- Si DOS.
     let s64 = tbmd_structure::bulk_diamond(Species::Silicon, 2, 2, 2);
@@ -74,11 +78,15 @@ fn main() {
         tbmd::linalg::eigvalsh(h).expect("eigenvalues")
     };
     let dos = density_of_states(&eig, 0.4, 36);
-    println!("\n== F7c: Si-64 electronic DOS (Gaussian σ = 0.4 eV) ==");
+    let mut f7c = ReportTable::new(
+        "F7c: Si-64 electronic DOS (Gaussian σ = 0.4 eV)",
+        &["E/eV", "DOS"],
+    );
     for (e, d) in dos.iter().step_by(2) {
-        let bar: String = std::iter::repeat_n('#', (d * 1.2) as usize).collect();
-        println!("  {e:7.2} eV  {d:6.2}  {bar}");
+        f7c.row(vec![format!("{e:.2}"), format!("{d:.2}")]);
     }
-    println!("\nShape check: valence band ~12 eV wide with the s/p gap structure of");
-    println!("diamond-phase Si; graphene gap collapses at K and only there.");
+    report.table(f7c);
+    report.note("Shape check: valence band ~12 eV wide with the s/p gap structure of");
+    report.note("diamond-phase Si; graphene gap collapses at K and only there.");
+    report.emit(&args);
 }

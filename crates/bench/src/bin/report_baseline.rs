@@ -1,0 +1,331 @@
+//! **Baseline** — the machine-readable headline record of the whole bench
+//! suite: per-phase timings (including the distributed `communication`
+//! phase), wire traffic, eigensolver quality and physics-watchdog verdicts,
+//! aggregated into one `BENCH_phase.json`.
+//!
+//! Sections:
+//! * `engines` — T1/T1b condensed: per-phase wall time of one warm force
+//!   evaluation for the serial, shared-memory and distributed engines at
+//!   two system sizes, with the distributed engine's measured wire bytes.
+//! * `eigensolver` — T4b condensed: QL vs two-stage blocked vs partial
+//!   solve on the Si-64 Hamiltonian, with residual/orthogonality defects.
+//! * `comm_solvers` — F2b condensed: sliced vs ring-Jacobi wire bytes at
+//!   N = 64, P = 4.
+//! * `watchdogs` — short recorded NVE runs per engine; the JSONL recorder's
+//!   drift-watchdog verdict and warn count.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_baseline [-- [--json path]]`
+//!
+//! Check mode (CI gate): `-- check` regenerates the file, parses it back,
+//! and exits non-zero unless every section is present and healthy: ≥ 6
+//! engine rows each carrying a `communication` phase, sliced traffic below
+//! ring-Jacobi, and every watchdog green.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tbmd::linalg::{
+    eig_residual, eigh, eigh_blocked_into, eigh_partial_into, orthogonality_defect, EighWorkspace,
+};
+use tbmd::model::PhaseTimings;
+use tbmd::trace::{git_describe, JsonValue, Phase};
+use tbmd::{
+    run_manifest, run_simulation_recorded, silicon_gsp, DistributedSolver, DistributedTb,
+    EngineKind, ForceProvider, RecorderConfig, RunRecorder, SharedMemoryTb, SimulationConfig,
+    Species, Structure, SystemSpec, TbCalculator, Workspace,
+};
+use tbmd_bench::{check_gate, fmt_ms, write_json, BenchArgs, ReportTable};
+use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
+use tbmd_structure::NeighborList;
+
+/// One warm force evaluation through a persistent workspace — the steady
+/// state an MD loop sees.
+fn warm_timings(engine: &dyn ForceProvider, s: &Structure) -> PhaseTimings {
+    let mut ws = Workspace::new();
+    engine.evaluate_with(s, &mut ws).expect("warmup");
+    engine
+        .evaluate_with(s, &mut ws)
+        .expect("evaluation")
+        .timings
+}
+
+fn phases_json(t: &PhaseTimings) -> JsonValue {
+    let mut v = JsonValue::object();
+    for p in Phase::ALL {
+        v.set(p.name(), t.phase(p).as_secs_f64() * 1e3);
+    }
+    v
+}
+
+#[allow(clippy::too_many_arguments)]
+fn engine_entry(
+    engines: &mut Vec<JsonValue>,
+    table: &mut ReportTable,
+    label: &str,
+    s: &Structure,
+    ranks: usize,
+    t: &PhaseTimings,
+    wire_bytes: u64,
+    wire_messages: u64,
+) {
+    let mut v = JsonValue::object();
+    v.set("engine", label)
+        .set("n_atoms", s.n_atoms())
+        .set("n_ranks", ranks)
+        .set("phase_ms", phases_json(t))
+        .set("total_ms", t.total().as_secs_f64() * 1e3)
+        .set("wire_bytes", wire_bytes)
+        .set("wire_messages", wire_messages);
+    engines.push(v);
+    table.row(vec![
+        label.to_string(),
+        s.n_atoms().to_string(),
+        ranks.to_string(),
+        fmt_ms(t.neighbors),
+        fmt_ms(t.hamiltonian),
+        fmt_ms(t.diagonalize),
+        fmt_ms(t.density),
+        fmt_ms(t.forces),
+        fmt_ms(t.communication),
+        fmt_ms(t.total()),
+        wire_bytes.to_string(),
+    ]);
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_phase.json"));
+    let model = silicon_gsp();
+    let mut root = JsonValue::object();
+    root.set("report", "baseline")
+        .set("git_describe", git_describe());
+
+    // --- Engines: per-phase breakdown at two sizes (T1/T1b condensed).
+    let mut engines: Vec<JsonValue> = Vec::new();
+    let mut engine_table = ReportTable::new(
+        "Baseline: warm per-phase time per force evaluation (this host)",
+        &[
+            "engine",
+            "N",
+            "P",
+            "nbrs/ms",
+            "H/ms",
+            "diag/ms",
+            "density/ms",
+            "forces/ms",
+            "comm/ms",
+            "total/ms",
+            "wire B",
+        ],
+    );
+    for reps in [1usize, 2] {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+        let serial = TbCalculator::new(&model);
+        let t = warm_timings(&serial, &s);
+        engine_entry(&mut engines, &mut engine_table, "serial", &s, 1, &t, 0, 0);
+
+        let shared = SharedMemoryTb::new(&model);
+        let t = warm_timings(&shared, &s);
+        engine_entry(&mut engines, &mut engine_table, "shared", &s, 1, &t, 0, 0);
+
+        let dist = DistributedTb::new(&model, 4);
+        let t = warm_timings(&dist, &s);
+        let rep = dist.last_report().expect("distributed report");
+        engine_entry(
+            &mut engines,
+            &mut engine_table,
+            "distributed",
+            &s,
+            4,
+            &t,
+            rep.stats.total_bytes(),
+            rep.stats.total_messages(),
+        );
+    }
+    root.set("engines", engines);
+
+    // --- Eigensolver headline (T4b condensed): Si-64 Hamiltonian.
+    let h = {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+        let nl = NeighborList::build(&s, model.cutoff());
+        let index = OrbitalIndex::new(&s);
+        build_hamiltonian(&s, &nl, &model, &index)
+    };
+    let n = h.rows();
+    let t0 = Instant::now();
+    let ql = eigh(h.clone()).expect("QL");
+    let t_ql = t0.elapsed();
+    let mut ws = EighWorkspace::default();
+    let mut blk = h.clone();
+    let mut blk_values = Vec::new();
+    let t0 = Instant::now();
+    eigh_blocked_into(&mut blk, &mut blk_values, &mut ws).expect("blocked");
+    let t_blk = t0.elapsed();
+    let blk_eig = tbmd::linalg::Eigh {
+        values: blk_values,
+        vectors: blk,
+    };
+    let k = n / 2;
+    let mut part_a = h.clone();
+    let mut part_values = Vec::new();
+    let mut part_vectors = tbmd::Matrix::default();
+    let t0 = Instant::now();
+    eigh_partial_into(&mut part_a, k, &mut part_values, &mut part_vectors, &mut ws)
+        .expect("partial");
+    let t_part = t0.elapsed();
+    let part_eig = tbmd::linalg::Eigh {
+        values: part_values[..k].to_vec(),
+        vectors: part_vectors,
+    };
+    let worst_resid = eig_residual(&h, &blk_eig).max(eig_residual(&h, &part_eig));
+    let worst_orth =
+        orthogonality_defect(&blk_eig.vectors).max(orthogonality_defect(&part_eig.vectors));
+    let max_dev = ql
+        .values
+        .iter()
+        .zip(&blk_eig.values)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    let mut eig = JsonValue::object();
+    eig.set("matrix", format!("Si-64 H ({n})"))
+        .set("ql_ms", t_ql.as_secs_f64() * 1e3)
+        .set("blocked_ms", t_blk.as_secs_f64() * 1e3)
+        .set("partial_ms", t_part.as_secs_f64() * 1e3)
+        .set("partial_k", k)
+        .set("worst_residual", worst_resid)
+        .set("worst_orthogonality", worst_orth)
+        .set("max_eigenvalue_dev", max_dev);
+    root.set("eigensolver", eig);
+    let mut eig_table = ReportTable::new(
+        "Baseline: two-stage eigensolver headline (Si-64 H)",
+        &[
+            "QL/ms",
+            "blocked/ms",
+            "partial/ms",
+            "worst resid",
+            "worst orth",
+        ],
+    );
+    eig_table.row(vec![
+        fmt_ms(t_ql),
+        fmt_ms(t_blk),
+        fmt_ms(t_part),
+        format!("{worst_resid:.2e}"),
+        format!("{worst_orth:.2e}"),
+    ]);
+
+    // --- Communication headline (F2b condensed): sliced vs ring at P = 4.
+    let s64 = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+    let sliced = DistributedTb::new(&model, 4);
+    sliced.evaluate(&s64).expect("sliced");
+    let sliced_bytes = sliced.last_report().expect("report").stats.total_bytes();
+    let ring = DistributedTb::new(&model, 4).with_solver(DistributedSolver::RingJacobi);
+    ring.evaluate(&s64).expect("ring");
+    let ring_bytes = ring.last_report().expect("report").stats.total_bytes();
+    let mut comm = JsonValue::object();
+    comm.set("n_atoms", s64.n_atoms())
+        .set("n_ranks", 4usize)
+        .set("sliced_bytes", sliced_bytes)
+        .set("ring_jacobi_bytes", ring_bytes)
+        .set("ratio", ring_bytes as f64 / sliced_bytes.max(1) as f64);
+    root.set("comm_solvers", comm);
+
+    // --- Watchdogs: short recorded NVE runs per engine (Si-8, 15 steps).
+    let mut watchdogs: Vec<JsonValue> = Vec::new();
+    let mut wd_table = ReportTable::new(
+        "Baseline: drift-watchdog verdicts, 15-step recorded NVE (Si-8, 300 K)",
+        &["engine", "steps", "warns", "ok", "worst drift/eV"],
+    );
+    for (label, engine) in [
+        ("serial", EngineKind::Serial),
+        ("shared", EngineKind::Shared),
+        ("distributed", EngineKind::Distributed { ranks: 2 }),
+    ] {
+        let mut config = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 15);
+        config.engine = engine;
+        let manifest = run_manifest(&config);
+        let mut rec = RunRecorder::in_memory(&manifest);
+        run_simulation_recorded(&config, &mut rec, RecorderConfig { health_stride: 5 })
+            .expect("recorded run");
+        let summary = rec.finish().expect("summary");
+        let mut v = summary.watchdog.to_json();
+        v.set("engine", label)
+            .set("steps", summary.steps)
+            .set("warns", summary.warns);
+        wd_table.row(vec![
+            label.to_string(),
+            summary.steps.to_string(),
+            summary.warns.to_string(),
+            summary.watchdog.ok.to_string(),
+            format!("{:.2e}", summary.watchdog.worst_drift_ev),
+        ]);
+        watchdogs.push(v);
+    }
+    root.set("watchdogs", watchdogs);
+
+    engine_table.print();
+    eig_table.print();
+    wd_table.print();
+    println!(
+        "\nsliced vs ring-Jacobi wire bytes at N = {}, P = 4: {} vs {} ({:.1}x)",
+        s64.n_atoms(),
+        sliced_bytes,
+        ring_bytes,
+        ring_bytes as f64 / sliced_bytes.max(1) as f64
+    );
+    write_json(&path, &root);
+
+    if args.check {
+        let text = std::fs::read_to_string(&path).expect("read baseline json");
+        let v = JsonValue::parse(&text).expect("parse baseline json");
+        let engines_ok = v
+            .get("engines")
+            .and_then(|e| e.as_array())
+            .is_some_and(|rows| {
+                rows.len() >= 6
+                    && rows.iter().all(|r| {
+                        r.get("phase_ms")
+                            .and_then(|p| p.get("communication"))
+                            .and_then(|c| c.as_f64())
+                            .is_some()
+                    })
+            });
+        let comm_ok = v
+            .get("comm_solvers")
+            .map(|c| {
+                let sliced = c
+                    .get("sliced_bytes")
+                    .and_then(|x| x.as_f64())
+                    .unwrap_or(f64::MAX);
+                let ring = c
+                    .get("ring_jacobi_bytes")
+                    .and_then(|x| x.as_f64())
+                    .unwrap_or(0.0);
+                sliced < ring
+            })
+            .unwrap_or(false);
+        let watchdogs_ok = v
+            .get("watchdogs")
+            .and_then(|w| w.as_array())
+            .is_some_and(|rows| {
+                rows.len() >= 3
+                    && rows
+                        .iter()
+                        .all(|r| r.get("ok").and_then(|o| o.as_bool()) == Some(true))
+            });
+        let eig_ok = v
+            .get("eigensolver")
+            .and_then(|e| e.get("worst_residual"))
+            .and_then(|r| r.as_f64())
+            .is_some_and(|r| r.is_finite() && r < 1e-6 * n as f64);
+        check_gate(
+            engines_ok && comm_ok && watchdogs_ok && eig_ok,
+            &format!(
+                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}"
+            ),
+        );
+    }
+}

@@ -10,7 +10,7 @@
 //! sliced solver replaces O(sweeps·N²)-byte column rotations with one O(N²)
 //! ρ allreduce plus an O(N) spectrum allgather.
 //!
-//! Run: `cargo run --release -p tbmd-bench --bin report_comm_model [-- reps]`
+//! Run: `cargo run --release -p tbmd-bench --bin report_comm_model [-- reps] [--json path]`
 //!
 //! Check mode (CI gate): `-- 2 check` asserts that the sliced solver moves
 //! strictly fewer total bytes than ring-Jacobi at N = 64, P = 4 and exits
@@ -18,17 +18,23 @@
 
 use tbmd::parallel::{estimate_cost, MachineProfile};
 use tbmd::{silicon_gsp, DistributedSolver, DistributedTb, ForceProvider, Species};
-use tbmd_bench::{arg_usize, fmt_f, fmt_s, print_table};
+use tbmd_bench::{check_gate, fmt_f, fmt_s, BenchArgs, Report, ReportTable};
 
 fn main() {
-    let reps = arg_usize(1, 2);
-    let check_mode = std::env::args().nth(2).as_deref() == Some("check");
+    let args = BenchArgs::parse();
+    let reps = args.pos_usize(0, 2);
     let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
     let model = silicon_gsp();
     println!("workload: one TBMD step, Si N = {} atoms", s.n_atoms());
 
-    let mut rows = Vec::new();
-    let mut solver_rows = Vec::new();
+    let mut machines = ReportTable::new(
+        "F2: communication share of one TBMD step across era machines (sliced solver)",
+        &["P", "machine", "comp/s", "comm/s", "comm fraction"],
+    );
+    let mut solvers = ReportTable::new(
+        "F2b: total wire bytes, two-stage sliced vs ring-Jacobi reference",
+        &["P", "sliced/B", "ring-Jacobi/B", "ratio", "ring sweeps"],
+    );
     let mut check_result: Option<(u64, u64)> = None;
     for p in [2usize, 4, 8] {
         let engine = DistributedTb::new(&model, p);
@@ -36,7 +42,7 @@ fn main() {
         let report = engine.last_report().expect("report");
         for machine in MachineProfile::all() {
             let est = estimate_cost(&machine, &report.stats);
-            rows.push(vec![
+            machines.row(vec![
                 p.to_string(),
                 machine.name.clone(),
                 fmt_s(est.comp_s),
@@ -49,7 +55,7 @@ fn main() {
         let ring_report = ring.last_report().expect("report");
         let sliced_bytes = report.stats.total_bytes();
         let ring_bytes = ring_report.stats.total_bytes();
-        solver_rows.push(vec![
+        solvers.row(vec![
             p.to_string(),
             sliced_bytes.to_string(),
             ring_bytes.to_string(),
@@ -63,35 +69,23 @@ fn main() {
             check_result = Some((sliced_bytes, ring_bytes));
         }
     }
-    print_table(
-        "F2: communication share of one TBMD step across era machines (sliced solver)",
-        &["P", "machine", "comp/s", "comm/s", "comm fraction"],
-        &rows,
-    );
-    print_table(
-        "F2b: total wire bytes, two-stage sliced vs ring-Jacobi reference",
-        &["P", "sliced/B", "ring-Jacobi/B", "ratio", "ring sweeps"],
-        &solver_rows,
-    );
-    println!("\nShape check: comm fraction grows with P on every machine and is");
-    println!("largest on the lowest-bandwidth network (Delta/CM-5 > Paragon).");
-    println!("The sliced solver's byte total sits far below ring-Jacobi at every P.");
+    let mut report = Report::new("comm_model");
+    report
+        .table(machines)
+        .table(solvers)
+        .note("Shape check: comm fraction grows with P on every machine and is")
+        .note("largest on the lowest-bandwidth network (Delta/CM-5 > Paragon).")
+        .note("The sliced solver's byte total sits far below ring-Jacobi at every P.");
+    report.emit(&args);
 
-    if check_mode {
+    if args.check {
         let (sliced, ring) = check_result.expect("P=4 row measured");
-        if sliced < ring {
-            println!(
-                "\nCHECK PASSED: sliced solver moved {sliced} bytes < ring-Jacobi {ring} bytes \
-                 (N = {}, P = 4)",
+        check_gate(
+            sliced < ring,
+            &format!(
+                "sliced solver moved {sliced} bytes, ring-Jacobi {ring} bytes (N = {}, P = 4)",
                 s.n_atoms()
-            );
-        } else {
-            println!(
-                "\nCHECK FAILED: sliced solver moved {sliced} bytes >= ring-Jacobi {ring} bytes \
-                 (N = {}, P = 4)",
-                s.n_atoms()
-            );
-            std::process::exit(1);
-        }
+            ),
+        );
     }
 }

@@ -14,9 +14,9 @@
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_eigensolvers [-- max_n [check]]`
 //!
-//! With `check` as the second argument the binary exits non-zero unless
-//! every residual, orthogonality defect and eigenvalue deviation is at
-//! round-off — the CI smoke gate for the eigensolver stack.
+//! With `check` anywhere on the command line the binary exits non-zero
+//! unless every residual, orthogonality defect and eigenvalue deviation is
+//! at round-off — the CI smoke gate for the eigensolver stack.
 
 use std::time::Instant;
 use tbmd::linalg::{
@@ -25,7 +25,7 @@ use tbmd::linalg::{
 };
 use tbmd::parallel::ring_jacobi_eigh;
 use tbmd::{silicon_gsp, Species};
-use tbmd_bench::{arg_usize, fmt_e, fmt_ms, print_table};
+use tbmd_bench::{check_gate, fmt_e, fmt_ms, BenchArgs, Report, ReportTable};
 use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
 use tbmd_structure::NeighborList;
 
@@ -55,11 +55,38 @@ fn tb_hamiltonian(reps: usize) -> Matrix {
 }
 
 fn main() {
-    let max_n = arg_usize(1, 256);
-    let check_mode = std::env::args().nth(2).as_deref() == Some("check");
+    let args = BenchArgs::parse();
+    let max_n = args.pos_usize(0, 256);
     let mut check_worst = 0.0f64;
-    let mut rows = Vec::new();
-    let mut rows2 = Vec::new();
+    let mut t4 = ReportTable::new(
+        "T4: symmetric eigensolver comparison (vectors included)",
+        &[
+            "matrix",
+            "QL/ms",
+            "cycJac/ms",
+            "parJac/ms",
+            "ringJac(P=4)/ms",
+            "sweeps",
+            "QL residual",
+            "max |Δλ|",
+            "ring msgs",
+        ],
+    );
+    let mut t4b = ReportTable::new(
+        "T4b: two-stage blocked solver (full + partial spectrum)",
+        &[
+            "matrix",
+            "QL/ms",
+            "blkFull/ms",
+            "partial/ms",
+            "k",
+            "blk resid",
+            "blk orth",
+            "part resid",
+            "part orth",
+            "max |Δλ|",
+        ],
+    );
     let mut matrices: Vec<(String, Matrix)> = Vec::new();
     let mut n = 64usize;
     while n <= max_n {
@@ -96,7 +123,7 @@ fn main() {
                 .map(|(x, y)| (x - y).abs())
                 .fold(0.0, f64::max)
         };
-        rows.push(vec![
+        t4.row(vec![
             label.clone(),
             fmt_ms(t_ql),
             fmt_ms(t_cyc),
@@ -157,7 +184,7 @@ fn main() {
         ] {
             check_worst = check_worst.max(q);
         }
-        rows2.push(vec![
+        t4b.row(vec![
             label.clone(),
             fmt_ms(t_ql),
             fmt_ms(t_blk),
@@ -170,50 +197,20 @@ fn main() {
             fmt_e(blk_dev.max(part_dev)),
         ]);
     }
-    print_table(
-        "T4: symmetric eigensolver comparison (vectors included)",
-        &[
-            "matrix",
-            "QL/ms",
-            "cycJac/ms",
-            "parJac/ms",
-            "ringJac(P=4)/ms",
-            "sweeps",
-            "QL residual",
-            "max |Δλ|",
-            "ring msgs",
-        ],
-        &rows,
-    );
-    print_table(
-        "T4b: two-stage blocked solver (full + partial spectrum)",
-        &[
-            "matrix",
-            "QL/ms",
-            "blkFull/ms",
-            "partial/ms",
-            "k",
-            "blk resid",
-            "blk orth",
-            "part resid",
-            "part orth",
-            "max |Δλ|",
-        ],
-        &rows2,
-    );
-    println!("\nShape check: QL fastest serially; Jacobi ~6–10 sweeps; all solvers");
-    println!("agree to ≲1e-8; ring traffic present only in the distributed solver.");
-    println!("Two-stage: partial path computes only the lowest k eigenvectors, so");
-    println!("it undercuts every full solve; residuals/orthogonality at round-off.");
-    if check_mode {
+    let mut report = Report::new("eigensolvers");
+    report
+        .table(t4)
+        .table(t4b)
+        .note("Shape check: QL fastest serially; Jacobi ~6–10 sweeps; all solvers")
+        .note("agree to ≲1e-8; ring traffic present only in the distributed solver.")
+        .note("Two-stage: partial path computes only the lowest k eigenvectors, so")
+        .note("it undercuts every full solve; residuals/orthogonality at round-off.");
+    report.emit(&args);
+    if args.check {
         const CHECK_TOL: f64 = 1e-8;
-        if check_worst < CHECK_TOL {
-            println!("\nCHECK PASSED: worst normalized defect {check_worst:.2e} < {CHECK_TOL:.0e}");
-        } else {
-            println!(
-                "\nCHECK FAILED: worst normalized defect {check_worst:.2e} >= {CHECK_TOL:.0e}"
-            );
-            std::process::exit(1);
-        }
+        check_gate(
+            check_worst < CHECK_TOL,
+            &format!("worst normalized defect {check_worst:.2e} (tolerance {CHECK_TOL:.0e})"),
+        );
     }
 }

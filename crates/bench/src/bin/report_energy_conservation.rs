@@ -10,14 +10,24 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tbmd::{maxwell_boltzmann, silicon_gsp, MdState, Species, TbCalculator, VelocityVerlet};
-use tbmd_bench::{arg_usize, fmt_e, print_table};
+use tbmd_bench::{fmt_e, BenchArgs, Report, ReportTable};
 
 fn main() {
-    let steps = arg_usize(1, 60);
+    let args = BenchArgs::parse();
+    let steps = args.pos_usize(0, 60);
     let model = silicon_gsp();
     let calc = TbCalculator::new(&model);
 
-    let mut rows = Vec::new();
+    let mut table = ReportTable::new(
+        "F3: NVE energy conservation, Si 8 atoms (velocity Verlet)",
+        &[
+            "T/K",
+            "dt/fs",
+            "span/fs",
+            "peak |ΔE|/eV",
+            "secular drift/eV",
+        ],
+    );
     for temperature in [300.0, 1500.0] {
         for dt in [0.25, 0.5, 1.0, 2.0] {
             let s = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
@@ -40,7 +50,7 @@ fn main() {
                 }
             }
             let drift = (second_half - first_half) / (steps / 2) as f64;
-            rows.push(vec![
+            table.row(vec![
                 format!("{temperature:.0}"),
                 format!("{dt:.2}"),
                 format!("{:.1}", dt * steps as f64),
@@ -49,17 +59,10 @@ fn main() {
             ]);
         }
     }
-    print_table(
-        "F3: NVE energy conservation, Si 8 atoms (velocity Verlet)",
-        &[
-            "T/K",
-            "dt/fs",
-            "span/fs",
-            "peak |ΔE|/eV",
-            "secular drift/eV",
-        ],
-        &rows,
-    );
-    println!("\nShape check: peak |ΔE| scales ≈ Δt² (16× from 0.25→1.0 fs);");
-    println!("secular drift stays far below the fluctuation at every Δt.");
+    let mut report = Report::new("energy_conservation");
+    report
+        .table(table)
+        .note("Shape check: peak |ΔE| scales ≈ Δt² (16× from 0.25→1.0 fs);")
+        .note("secular drift stays far below the fluctuation at every Δt.");
+    report.emit(&args);
 }

@@ -10,9 +10,10 @@
 
 use tbmd::model::{folding_grid, monkhorst_pack, KPoint, KPointCalculator};
 use tbmd::{silicon_gsp, ForceProvider, OccupationScheme, Species, TbCalculator, Vec3};
-use tbmd_bench::{fmt_e, fmt_f, print_table};
+use tbmd_bench::{fmt_e, fmt_f, BenchArgs, Report, ReportTable};
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = silicon_gsp();
     let primitive = tbmd::structure::bulk_diamond(Species::Silicon, 1, 1, 1);
     let kt = 0.1;
@@ -24,7 +25,10 @@ fn main() {
         .energy
         / primitive.n_atoms() as f64;
 
-    let mut rows = Vec::new();
+    let mut t6a = ReportTable::new(
+        "T6a: BZ convergence, Si 8-atom cell (E/atom, eV; reference = MP 4³)",
+        &["grid", "k-points", "E/atom", "|error|"],
+    );
     let gamma_only = KPointCalculator::new(
         &model,
         vec![KPoint {
@@ -37,7 +41,7 @@ fn main() {
     .expect("gamma")
     .energy
         / primitive.n_atoms() as f64;
-    rows.push(vec![
+    t6a.row(vec![
         "Γ only".into(),
         "1".into(),
         fmt_f(gamma_only, 5),
@@ -51,21 +55,19 @@ fn main() {
             .expect("mp")
             .energy
             / primitive.n_atoms() as f64;
-        rows.push(vec![
+        t6a.row(vec![
             format!("MP {q}x{q}x{q}"),
             n_k.to_string(),
             fmt_f(e, 5),
             fmt_e((e - reference).abs()),
         ]);
     }
-    print_table(
-        "T6a: BZ convergence, Si 8-atom cell (E/atom, eV; reference = MP 4³)",
-        &["grid", "k-points", "E/atom", "|error|"],
-        &rows,
-    );
 
     // Folding identity.
-    let mut rows = Vec::new();
+    let mut t6b = ReportTable::new(
+        "T6b: exact band-folding identity (primitive+k-grid ≡ supercell+Γ)",
+        &["comparison", "k-sampled E/atom", "supercell E/atom", "|Δ|"],
+    );
     for n in [2usize, 3] {
         let grid = folding_grid(&primitive, [n, n, n]);
         let e_k = KPointCalculator::new(&model, grid, kt)
@@ -79,19 +81,19 @@ fn main() {
             .expect("supercell")
             .energy
             / supercell.n_atoms() as f64;
-        rows.push(vec![
+        t6b.row(vec![
             format!("{n}³ folding grid vs {n}³ supercell Γ"),
             fmt_f(e_k, 6),
             fmt_f(e_super, 6),
             fmt_e((e_k - e_super).abs()),
         ]);
     }
-    print_table(
-        "T6b: exact band-folding identity (primitive+k-grid ≡ supercell+Γ)",
-        &["comparison", "k-sampled E/atom", "supercell E/atom", "|Δ|"],
-        &rows,
-    );
-    println!("\nShape check: MP error falls rapidly with grid density; the folding");
-    println!("identity holds to round-off — the Γ-point supercell error that the");
-    println!("MD engines carry is quantified (and removable) by this machinery.");
+    let mut report = Report::new("kpoints");
+    report
+        .table(t6a)
+        .table(t6b)
+        .note("Shape check: MP error falls rapidly with grid density; the folding")
+        .note("identity holds to round-off — the Γ-point supercell error that the")
+        .note("MD engines carry is quantified (and removable) by this machinery.");
+    report.emit(&args);
 }

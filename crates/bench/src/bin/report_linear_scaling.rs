@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 use tbmd::{silicon_gsp, ForceProvider, LinearScalingTb, OccupationScheme, Species, TbCalculator};
-use tbmd_bench::{arg_usize, fmt_e, fmt_f, fmt_s, print_table};
+use tbmd_bench::{fmt_e, fmt_f, fmt_s, BenchArgs, Report, ReportTable};
 
 fn max_force_dev(a: &[tbmd::Vec3], b: &[tbmd::Vec3]) -> f64 {
     a.iter()
@@ -21,7 +21,8 @@ fn max_force_dev(a: &[tbmd::Vec3], b: &[tbmd::Vec3]) -> f64 {
 }
 
 fn main() {
-    let max_reps = arg_usize(1, 3);
+    let args = BenchArgs::parse();
+    let max_reps = args.pos_usize(0, 3);
     let kt = 0.3;
     let model = silicon_gsp();
     let dense = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt });
@@ -36,21 +37,19 @@ fn main() {
     }
     let ref8 = dense.compute(&s8).expect("dense");
     let e_ref8 = ref8.band_energy + ref8.repulsive_energy;
-    let mut rows = Vec::new();
+    let mut f5a = ReportTable::new(
+        "F5a: Chebyshev-order convergence (Si 8 atoms, untruncated, kT = 0.3 eV)",
+        &["order", "|ΔE|/atom/eV", "max |ΔF|/eV/Å"],
+    );
     for order in [50usize, 100, 200, 400] {
         let engine = LinearScalingTb::new(&model).with_kt(kt).with_order(order);
         let eval = engine.evaluate(&s8).expect("O(N)");
-        rows.push(vec![
+        f5a.row(vec![
             order.to_string(),
             fmt_e((eval.energy - e_ref8).abs() / 8.0),
             fmt_e(max_force_dev(&eval.forces, &ref8.forces)),
         ]);
     }
-    print_table(
-        "F5a: Chebyshev-order convergence (Si 8 atoms, untruncated, kT = 0.3 eV)",
-        &["order", "|ΔE|/atom/eV", "max |ΔF|/eV/Å"],
-        &rows,
-    );
 
     // (b) radius convergence at order 250, 64 atoms (perturbed).
     let mut s64 = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
@@ -61,22 +60,7 @@ fn main() {
     }
     let ref64 = dense.compute(&s64).expect("dense");
     let e_ref64 = ref64.band_energy + ref64.repulsive_energy;
-    let mut rows = Vec::new();
-    for r_loc in [3.0f64, 4.0, 5.2, 6.5] {
-        let engine = LinearScalingTb::new(&model)
-            .with_kt(kt)
-            .with_order(250)
-            .with_r_loc(r_loc);
-        let eval = engine.evaluate(&s64).expect("O(N)");
-        let report = engine.last_report().expect("report");
-        rows.push(vec![
-            fmt_f(r_loc, 1),
-            (report.total_region_orbitals / s64.n_atoms()).to_string(),
-            fmt_e((eval.energy - e_ref64).abs() / 64.0),
-            fmt_e(max_force_dev(&eval.forces, &ref64.forces)),
-        ]);
-    }
-    print_table(
+    let mut f5b = ReportTable::new(
         "F5b: localization-radius convergence (Si 64 atoms, order 250)",
         &[
             "r_loc/Å",
@@ -84,11 +68,27 @@ fn main() {
             "|ΔE|/atom/eV",
             "max |ΔF|/eV/Å",
         ],
-        &rows,
     );
+    for r_loc in [3.0f64, 4.0, 5.2, 6.5] {
+        let engine = LinearScalingTb::new(&model)
+            .with_kt(kt)
+            .with_order(250)
+            .with_r_loc(r_loc);
+        let eval = engine.evaluate(&s64).expect("O(N)");
+        let report = engine.last_report().expect("report");
+        f5b.row(vec![
+            fmt_f(r_loc, 1),
+            (report.total_region_orbitals / s64.n_atoms()).to_string(),
+            fmt_e((eval.energy - e_ref64).abs() / 64.0),
+            fmt_e(max_force_dev(&eval.forces, &ref64.forces)),
+        ]);
+    }
 
     // (c) time vs N crossover.
-    let mut rows = Vec::new();
+    let mut f5c = ReportTable::new(
+        "F5c: dense O(N³) vs linear-scaling wall time per force evaluation (this host)",
+        &["N", "dense/s", "O(N)/s", "dense/O(N)", "Mops/atom (O(N))"],
+    );
     for reps in 1..=max_reps {
         let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
         let n = s.n_atoms();
@@ -103,7 +103,7 @@ fn main() {
         let _ = engine.evaluate(&s).expect("O(N)");
         let t_on = t0.elapsed().as_secs_f64();
         let report = engine.last_report().expect("report");
-        rows.push(vec![
+        f5c.row(vec![
             n.to_string(),
             fmt_s(t_dense),
             fmt_s(t_on),
@@ -111,12 +111,13 @@ fn main() {
             fmt_f(report.total_matvec_ops as f64 / n as f64 / 1e6, 2),
         ]);
     }
-    print_table(
-        "F5c: dense O(N³) vs linear-scaling wall time per force evaluation (this host)",
-        &["N", "dense/s", "O(N)/s", "dense/O(N)", "Mops/atom (O(N))"],
-        &rows,
-    );
-    println!("\nShape check: F5a error falls spectrally with order; F5b error falls");
-    println!("with radius; F5c Mops/atom flat while the dense/O(N) ratio grows with N");
-    println!("— the crossover the 1994 linear-scaling papers reported at a few hundred atoms.");
+    let mut report = Report::new("linear_scaling");
+    report
+        .table(f5a)
+        .table(f5b)
+        .table(f5c)
+        .note("Shape check: F5a error falls spectrally with order; F5b error falls")
+        .note("with radius; F5c Mops/atom flat while the dense/O(N) ratio grows with N")
+        .note("— the crossover the 1994 linear-scaling papers reported at a few hundred atoms.");
+    report.emit(&args);
 }

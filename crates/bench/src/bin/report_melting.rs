@@ -15,14 +15,15 @@ use tbmd::md::RdfAccumulator;
 use tbmd::{
     maxwell_boltzmann, silicon_gsp, MdState, NoseHoover, Species, TbCalculator, TemperatureRamp,
 };
-use tbmd_bench::{arg_usize, fmt_f, print_table};
+use tbmd_bench::{fmt_f, BenchArgs, Report, ReportTable};
 
 fn rdf_rows(rdf: &RdfAccumulator) -> Vec<(f64, f64)> {
     rdf.finish().into_iter().step_by(6).collect()
 }
 
 fn main() {
-    let hold_steps = arg_usize(1, 120);
+    let args = BenchArgs::parse();
+    let hold_steps = args.pos_usize(0, 120);
     let t_hot = 3000.0;
     let model = silicon_gsp();
     let calc = TbCalculator::new(&model);
@@ -56,16 +57,13 @@ fn main() {
 
     let cold = rdf_rows(&rdf_cold);
     let hot = rdf_rows(&rdf_hot);
-    let rows: Vec<Vec<String>> = cold
-        .iter()
-        .zip(&hot)
-        .map(|((r, gc), (_, gh))| vec![fmt_f(*r, 2), fmt_f(*gc, 2), fmt_f(*gh, 2)])
-        .collect();
-    print_table(
-        &format!("F4: Si g(r), 300 K vs {t_hot:.0} K (64 atoms, ramp 0.5 K/fs)"),
+    let mut table = ReportTable::new(
+        format!("F4: Si g(r), 300 K vs {t_hot:.0} K (64 atoms, ramp 0.5 K/fs)"),
         &["r/Å", "g(r) cold", "g(r) hot"],
-        &rows,
     );
+    for ((r, gc), (_, gh)) in cold.iter().zip(&hot) {
+        table.row(vec![fmt_f(*r, 2), fmt_f(*gc, 2), fmt_f(*gh, 2)]);
+    }
 
     let shell = |rdf: &RdfAccumulator, r0: f64| -> f64 {
         rdf.finish()
@@ -74,13 +72,17 @@ fn main() {
             .map(|(_, g)| g)
             .fold(0.0, f64::max)
     };
-    println!(
-        "\nsecond shell g(3.84 Å): {:.2} (cold) → {:.2} (hot); first-peak r: {:.2} → {:.2} Å",
-        shell(&rdf_cold, 3.84),
-        shell(&rdf_hot, 3.84),
-        rdf_cold.first_peak().map(|p| p.0).unwrap_or(0.0),
-        rdf_hot.first_peak().map(|p| p.0).unwrap_or(0.0),
-    );
-    println!("Shape check: crystalline shells sharp at 300 K; second shell strongly");
-    println!("suppressed and valleys filled at 3000 K (loss of long-range order).");
+    let mut report = Report::new("melting");
+    report
+        .table(table)
+        .note(format!(
+            "second shell g(3.84 Å): {:.2} (cold) → {:.2} (hot); first-peak r: {:.2} → {:.2} Å",
+            shell(&rdf_cold, 3.84),
+            shell(&rdf_hot, 3.84),
+            rdf_cold.first_peak().map(|p| p.0).unwrap_or(0.0),
+            rdf_hot.first_peak().map(|p| p.0).unwrap_or(0.0),
+        ))
+        .note("Shape check: crystalline shells sharp at 300 K; second shell strongly")
+        .note("suppressed and valleys filled at 3000 K (loss of long-range order).");
+    report.emit(&args);
 }

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p tbmd-bench --bin report_model_validation`
 
 use tbmd::{carbon_xwch, silicon_gsp, ForceProvider, OccupationScheme, Species, TbCalculator};
-use tbmd_bench::{fmt_f, print_table};
+use tbmd_bench::{fmt_f, BenchArgs, Report, ReportTable};
 use tbmd_model::TbModel;
 use tbmd_structure::Structure;
 
@@ -51,6 +51,7 @@ fn eos_minimum(
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let si = silicon_gsp();
     let c = carbon_xwch();
     let mut rows = Vec::new();
@@ -111,7 +112,7 @@ fn main() {
         fmt_f(e, 3),
     ]);
 
-    print_table(
+    let mut t5a = ReportTable::new(
         "T5a: equilibrium geometries (eV, Å); * molecular reference outside the bulk fit",
         &[
             "phase",
@@ -120,8 +121,10 @@ fn main() {
             "dev %",
             "E/atom at min",
         ],
-        &rows,
     );
+    for r in rows {
+        t5a.row(r);
+    }
 
     // Relative phase stability of carbon: graphene vs diamond per atom.
     let calc = TbCalculator::with_occupation(&c, OccupationScheme::Fermi { kt: 0.05 });
@@ -164,11 +167,19 @@ fn main() {
         "60/60".into(),
     ]);
 
-    print_table(
+    let mut t5b = ReportTable::new(
         "T5b: phase ordering and relaxation sanity",
         &["quantity", "model", "expected"],
-        &rows2,
     );
-    println!("\nShape check: bulk geometries within a few % of the fit references;");
-    println!("graphene and diamond nearly degenerate for carbon; C60 re-closes.");
+    for r in rows2 {
+        t5b.row(r);
+    }
+
+    let mut report = Report::new("model_validation");
+    report
+        .table(t5a)
+        .table(t5b)
+        .note("Shape check: bulk geometries within a few % of the fit references;")
+        .note("graphene and diamond nearly degenerate for carbon; C60 re-closes.");
+    report.emit(&args);
 }

@@ -9,11 +9,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tbmd::md::RunningStats;
 use tbmd::{carbon_xwch, maxwell_boltzmann, silicon_gsp, MdState, NoseHoover, TbCalculator};
-use tbmd_bench::{arg_usize, fmt_e, fmt_f, print_table};
+use tbmd_bench::{fmt_e, fmt_f, BenchArgs, Report, ReportTable};
 use tbmd_model::TbModel;
 
 fn main() {
-    let steps = arg_usize(1, 80);
+    let args = BenchArgs::parse();
+    let steps = args.pos_usize(0, 80);
     let si = silicon_gsp();
     let c = carbon_xwch();
 
@@ -34,7 +35,19 @@ fn main() {
         ("C60", &c, tbmd::structure::fullerene_c60(1.44), 3000.0),
     ];
 
-    let mut rows = Vec::new();
+    let mut table = ReportTable::new(
+        format!(
+            "T3: Nosé–Hoover NVT validation ({steps} steps, 1 fs, τ = 25 fs, mean over 2nd half)"
+        ),
+        &[
+            "system",
+            "target T/K",
+            "mean T/K",
+            "σ(T)/K",
+            "peak |ΔH'|/eV",
+            "relative",
+        ],
+    );
     for (label, model, structure, target) in cases {
         let calc = TbCalculator::new(model);
         let mut rng = StdRng::seed_from_u64(5);
@@ -54,7 +67,7 @@ fn main() {
             }
             peak_dh = peak_dh.max((nh.conserved_quantity(&state) - h0).abs());
         }
-        rows.push(vec![
+        table.row(vec![
             label.to_string(),
             format!("{target:.0}"),
             fmt_f(t_stats.mean(), 1),
@@ -63,20 +76,10 @@ fn main() {
             fmt_e(peak_dh / h0.abs()),
         ]);
     }
-    print_table(
-        &format!(
-            "T3: Nosé–Hoover NVT validation ({steps} steps, 1 fs, τ = 25 fs, mean over 2nd half)"
-        ),
-        &[
-            "system",
-            "target T/K",
-            "mean T/K",
-            "σ(T)/K",
-            "peak |ΔH'|/eV",
-            "relative",
-        ],
-        &rows,
-    );
-    println!("\nShape check: mean T within a few σ/√steps of target; relative");
-    println!("conserved-quantity excursion ≲ 1e-4 — the published TBMD criterion.");
+    let mut report = Report::new("nvt");
+    report
+        .table(table)
+        .note("Shape check: mean T within a few σ/√steps of target; relative")
+        .note("conserved-quantity excursion ≲ 1e-4 — the published TBMD criterion.");
+    report.emit(&args);
 }

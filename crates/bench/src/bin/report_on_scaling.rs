@@ -13,9 +13,10 @@
 use tbmd::linscale::DistributedLinearScalingTb;
 use tbmd::parallel::{estimate_cost, MachineProfile};
 use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species};
-use tbmd_bench::{fmt_f, fmt_s, print_table};
+use tbmd_bench::{fmt_f, fmt_s, BenchArgs, Report, ReportTable};
 
 fn main() {
+    let args = BenchArgs::parse();
     let machine = MachineProfile::intel_paragon();
     let model = silicon_gsp();
     println!(
@@ -23,7 +24,17 @@ fn main() {
         machine.name
     );
 
-    let mut rows = Vec::new();
+    let mut table = ReportTable::new(
+        "F8: weak scaling — dense O(N³) vs distributed O(N) TBMD step (est. era seconds)",
+        &[
+            "P",
+            "N",
+            "dense/s",
+            "O(N)/s",
+            "dense/O(N)",
+            "O(N) comm frac",
+        ],
+    );
     for (p, (nx, ny, nz)) in [
         (1usize, (1usize, 1usize, 1usize)),
         (2, (2, 1, 1)),
@@ -43,7 +54,7 @@ fn main() {
         on.evaluate(&s).expect("O(N) evaluation");
         let on_est = estimate_cost(&machine, &on.last_report().expect("report").stats);
 
-        rows.push(vec![
+        table.row(vec![
             p.to_string(),
             s.n_atoms().to_string(),
             fmt_s(dense_est.total_s()),
@@ -52,18 +63,10 @@ fn main() {
             format!("{}%", fmt_f(100.0 * on_est.comm_fraction(), 1)),
         ]);
     }
-    print_table(
-        "F8: weak scaling — dense O(N³) vs distributed O(N) TBMD step (est. era seconds)",
-        &[
-            "P",
-            "N",
-            "dense/s",
-            "O(N)/s",
-            "dense/O(N)",
-            "O(N) comm frac",
-        ],
-        &rows,
-    );
-    println!("\nShape check: the dense column RISES with P at fixed N/P; the O(N)");
-    println!("column stays near-flat — linear-scaling methods restore weak scaling.");
+    let mut report = Report::new("on_scaling");
+    report
+        .table(table)
+        .note("Shape check: the dense column RISES with P at fixed N/P; the O(N)")
+        .note("column stays near-flat — linear-scaling methods restore weak scaling.");
+    report.emit(&args);
 }

@@ -15,21 +15,35 @@
 //!
 //! A second table shows the same breakdown for the message-passing
 //! [`DistributedTb`] engine (rank 0's wall clock per phase, all virtual
-//! ranks time-sharing this host): the sliced solver's diagonalize column
-//! contains the replicated tridiagonalization plus this rank's eigenvalue
-//! and eigenvector shards.
+//! ranks time-sharing this host), with the collective windows carved out
+//! into a dedicated `comm` column.
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_phase_breakdown [-- max_reps]`
 
 use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species, TbCalculator, Workspace};
-use tbmd_bench::{arg_usize, fmt_f, fmt_ms, print_table};
+use tbmd_bench::{fmt_f, fmt_ms, BenchArgs, Report, ReportTable};
 
 fn main() {
-    let max_reps = arg_usize(1, 3);
+    let args = BenchArgs::parse();
+    let max_reps = args.pos_usize(0, 3);
     let model = silicon_gsp();
     let calc = TbCalculator::new(&model);
 
-    let mut rows = Vec::new();
+    let mut t1 = ReportTable::new(
+        "T1: per-phase time per TBMD force evaluation, Si diamond supercells (serial, this host)",
+        &[
+            "N",
+            "orbitals",
+            "nbrs/ms",
+            "H/ms",
+            "diag/ms",
+            "density/ms",
+            "forces/ms",
+            "total/ms",
+            "diag share",
+            "nl",
+        ],
+    );
     for reps in 1..=max_reps {
         let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
         // Warm once, then measure an averaged step through the same
@@ -63,7 +77,7 @@ fn main() {
         let t = |d: std::time::Duration| d.mul_f64(scale);
         let total = t(acc.total());
         let diag_share = acc.diagonalize.as_secs_f64() / acc.total().as_secs_f64();
-        rows.push(vec![
+        t1.row(vec![
             s.n_atoms().to_string(),
             s.n_orbitals().to_string(),
             fmt_ms(t(acc.neighbors)),
@@ -76,51 +90,10 @@ fn main() {
             format!("{}r/{}f", acc.nl_rebuilds, acc.nl_refreshes),
         ]);
     }
-    print_table(
-        "T1: per-phase time per TBMD force evaluation, Si diamond supercells (serial, this host)",
-        &[
-            "N",
-            "orbitals",
-            "nbrs/ms",
-            "H/ms",
-            "diag/ms",
-            "density/ms",
-            "forces/ms",
-            "total/ms",
-            "diag share",
-            "nl",
-        ],
-        &rows,
-    );
-    println!("\nShape check: diag/ms grows ~N³ and its share increases with N.");
-    println!("nl = neighbour-list rebuilds/refreshes over the measured samples (static atoms: all refreshes).");
 
     // Distributed engine: per-phase wall times measured on rank 0, through
     // the engine's persistent per-rank workspace pool (warm steady state).
-    let mut drows = Vec::new();
-    for reps in 1..=max_reps.min(2) {
-        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
-        for p in [2usize, 4] {
-            let mut ws = Workspace::new();
-            let dist = DistributedTb::new(&model, p);
-            dist.evaluate_with(&s, &mut ws).expect("evaluation"); // warmup
-            let eval = dist.evaluate_with(&s, &mut ws).expect("evaluation");
-            let t = &eval.timings;
-            let diag_share = t.diagonalize.as_secs_f64() / t.total().as_secs_f64();
-            drows.push(vec![
-                s.n_atoms().to_string(),
-                p.to_string(),
-                fmt_ms(t.neighbors),
-                fmt_ms(t.hamiltonian),
-                fmt_ms(t.diagonalize),
-                fmt_ms(t.density),
-                fmt_ms(t.forces),
-                fmt_ms(t.total()),
-                format!("{}%", fmt_f(100.0 * diag_share, 1)),
-            ]);
-        }
-    }
-    print_table(
+    let mut t1b = ReportTable::new(
         "T1b: per-phase time, distributed two-stage sliced engine (rank 0 wall clock)",
         &[
             "N",
@@ -130,11 +103,41 @@ fn main() {
             "diag/ms",
             "density/ms",
             "forces/ms",
+            "comm/ms",
             "total/ms",
             "diag share",
         ],
-        &drows,
     );
-    println!("\nAll P virtual ranks time-share this host, so distributed totals exceed");
-    println!("serial ones; the per-phase *shape* (diag dominating, density next) is the datum.");
+    for reps in 1..=max_reps.min(2) {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
+        for p in [2usize, 4] {
+            let mut ws = Workspace::new();
+            let dist = DistributedTb::new(&model, p);
+            dist.evaluate_with(&s, &mut ws).expect("evaluation"); // warmup
+            let eval = dist.evaluate_with(&s, &mut ws).expect("evaluation");
+            let t = &eval.timings;
+            let diag_share = t.diagonalize.as_secs_f64() / t.total().as_secs_f64();
+            t1b.row(vec![
+                s.n_atoms().to_string(),
+                p.to_string(),
+                fmt_ms(t.neighbors),
+                fmt_ms(t.hamiltonian),
+                fmt_ms(t.diagonalize),
+                fmt_ms(t.density),
+                fmt_ms(t.forces),
+                fmt_ms(t.communication),
+                fmt_ms(t.total()),
+                format!("{}%", fmt_f(100.0 * diag_share, 1)),
+            ]);
+        }
+    }
+    let mut report = Report::new("phase_breakdown");
+    report
+        .table(t1)
+        .table(t1b)
+        .note("Shape check: diag/ms grows ~N³ and its share increases with N.")
+        .note("nl = neighbour-list rebuilds/refreshes over the measured samples (static atoms: all refreshes).")
+        .note("All P virtual ranks time-share this host, so distributed totals exceed")
+        .note("serial ones; the per-phase *shape* (diag dominating, density next) is the datum.");
+    report.emit(&args);
 }

@@ -11,11 +11,12 @@
 
 use tbmd::parallel::{estimate_cost, MachineProfile};
 use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species};
-use tbmd_bench::{arg_usize, fmt_f, fmt_s, print_table};
+use tbmd_bench::{fmt_f, fmt_s, BenchArgs, Report, ReportTable};
 
 fn main() {
+    let args = BenchArgs::parse();
     // Grain: one diamond cell (8 atoms) per rank by default.
-    let grain_reps = arg_usize(1, 1);
+    let grain_reps = args.pos_usize(0, 1);
     let machine = MachineProfile::intel_paragon();
     let model = silicon_gsp();
 
@@ -25,7 +26,10 @@ fn main() {
         machine.name
     );
 
-    let mut rows = Vec::new();
+    let mut table = ReportTable::new(
+        "F1: isogranular (scaled) TBMD step time, fixed atoms/rank",
+        &["P", "N", "N/P", "comp/s", "comm/s", "total/s", "comm frac"],
+    );
     // P = k³ so the supercell stays cubic: 1, 8 ranks (k=1,2) plus an
     // elongated 2-cell step for k between.
     for (p, (nx, ny, nz)) in [
@@ -44,7 +48,7 @@ fn main() {
         engine.evaluate(&s).expect("distributed evaluation");
         let report = engine.last_report().expect("report");
         let est = estimate_cost(&machine, &report.stats);
-        rows.push(vec![
+        table.row(vec![
             p.to_string(),
             s.n_atoms().to_string(),
             (s.n_atoms() / p).to_string(),
@@ -54,11 +58,10 @@ fn main() {
             format!("{}%", fmt_f(100.0 * est.comm_fraction(), 1)),
         ]);
     }
-    print_table(
-        "F1: isogranular (scaled) TBMD step time, fixed atoms/rank",
-        &["P", "N", "N/P", "comp/s", "comm/s", "total/s", "comm frac"],
-        &rows,
-    );
-    println!("\nShape check: total/s RISES with P at fixed N/P — the O(N³) wall;");
-    println!("the O(N) engine (report_linear_scaling) is how 1994 broke it.");
+    let mut report = Report::new("scaled_speedup");
+    report
+        .table(table)
+        .note("Shape check: total/s RISES with P at fixed N/P — the O(N³) wall;")
+        .note("the O(N) engine (report_linear_scaling) is how 1994 broke it.");
+    report.emit(&args);
 }

@@ -10,11 +10,12 @@
 
 use tbmd::parallel::{estimate_cost, scaling, MachineProfile};
 use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species, TbCalculator};
-use tbmd_bench::{arg_usize, fmt_e, fmt_f, fmt_s, print_table};
+use tbmd_bench::{fmt_e, fmt_f, fmt_s, BenchArgs, Report, ReportTable};
 
 fn main() {
-    let reps = arg_usize(1, 2);
-    let max_p = arg_usize(2, 16);
+    let args = BenchArgs::parse();
+    let reps = args.pos_usize(0, 2);
+    let max_p = args.pos_usize(1, 16);
     let s = tbmd::structure::bulk_diamond(Species::Silicon, reps, reps, reps);
     let model = silicon_gsp();
     let serial = TbCalculator::new(&model);
@@ -28,7 +29,20 @@ fn main() {
         machine.name
     );
 
-    let mut rows = Vec::new();
+    let mut table = ReportTable::new(
+        "T2: strong scaling of one TBMD step (distributed engine, era cost model)",
+        &[
+            "P",
+            "|ΔE|/eV",
+            "msgs",
+            "MB",
+            "comp/s",
+            "comm/s",
+            "total/s",
+            "speedup",
+            "efficiency",
+        ],
+    );
     let mut baseline = None;
     let mut p = 1usize;
     while p <= max_p {
@@ -46,7 +60,7 @@ fn main() {
                 (sc.speedup, sc.efficiency)
             }
         };
-        rows.push(vec![
+        table.row(vec![
             p.to_string(),
             fmt_e((eval.energy - reference.energy).abs()),
             report.stats.total_messages().to_string(),
@@ -59,20 +73,9 @@ fn main() {
         ]);
         p *= 2;
     }
-    print_table(
-        "T2: strong scaling of one TBMD step (distributed engine, era cost model)",
-        &[
-            "P",
-            "|ΔE|/eV",
-            "msgs",
-            "MB",
-            "comp/s",
-            "comm/s",
-            "total/s",
-            "speedup",
-            "efficiency",
-        ],
-        &rows,
-    );
-    println!("\nShape check: efficiency decays monotonically with P; |ΔE| at round-off.");
+    let mut report = Report::new("speedup");
+    report
+        .table(table)
+        .note("Shape check: efficiency decays monotonically with P; |ΔE| at round-off.");
+    report.emit(&args);
 }

@@ -20,7 +20,10 @@ pub mod simulation;
 pub mod system;
 
 pub use engine::{Engine, EngineKind};
-pub use simulation::{run_simulation, Protocol, SimulationConfig, SimulationSummary};
+pub use simulation::{
+    run_manifest, run_simulation, run_simulation_recorded, Protocol, RecorderConfig,
+    SimulationConfig, SimulationSummary,
+};
 pub use system::SystemSpec;
 
 // Re-export the component crates under stable names.
@@ -30,6 +33,7 @@ pub use tbmd_md as md;
 pub use tbmd_model as model;
 pub use tbmd_parallel as parallel;
 pub use tbmd_structure as structure;
+pub use tbmd_trace as trace;
 
 // The most common types at the top level.
 pub use tbmd_linalg::{Matrix, Vec3};
@@ -44,3 +48,4 @@ pub use tbmd_model::{
 };
 pub use tbmd_parallel::{DistributedSolver, DistributedTb, MachineProfile, SharedMemoryTb};
 pub use tbmd_structure::{Cell, NeighborList, Species, Structure, VerletNeighborList};
+pub use tbmd_trace::{RunManifest, RunRecorder, TraceSink, WatchdogStatus};

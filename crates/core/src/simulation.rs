@@ -12,7 +12,10 @@ use tbmd_md::{
     maxwell_boltzmann, relax, MdState, NoseHoover, RelaxOptions, RunningStats, TemperatureRamp,
     Trajectory, VelocityVerlet,
 };
-use tbmd_model::{TbError, Workspace};
+use tbmd_model::{eigensolver_health, DenseSolver, OccupationScheme, TbError, TbModel, Workspace};
+use tbmd_trace::{
+    git_describe, Counter, RunManifest, RunRecorder, StepRecord, TraceSink, TraceSnapshot,
+};
 
 /// What to do with the system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,8 +112,137 @@ pub struct SimulationSummary {
     pub final_structure: tbmd_structure::Structure,
 }
 
+/// Knobs of the recorded-run path ([`run_simulation_recorded`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderConfig {
+    /// Eigensolver health-probe stride in MD steps (0 disables the probe).
+    /// Probes run only on dense-diagonalization engines; the O(N) Chebyshev
+    /// engines have no eigenpairs to check.
+    pub health_stride: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig { health_stride: 25 }
+    }
+}
+
+/// The manifest line identifying a run of `config`
+/// (`RunRecorder::to_path`/`in_memory` want it up front).
+pub fn run_manifest(config: &SimulationConfig) -> RunManifest {
+    let structure = config.system.build(config.perturb, config.seed);
+    let n_ranks = match config.engine {
+        EngineKind::Distributed { ranks } => ranks,
+        EngineKind::DistributedLinearScaling { ranks, .. } => ranks,
+        _ => 1,
+    };
+    RunManifest {
+        model: config.system.model().name().to_string(),
+        engine: format!("{:?}", config.engine),
+        n_atoms: structure.n_atoms(),
+        n_ranks,
+        protocol: format!("{:?}", config.protocol),
+        seed: config.seed,
+        git_describe: git_describe(),
+    }
+}
+
+/// Per-step recording state threaded through the MD loops.
+struct Recording<'r> {
+    recorder: &'r mut RunRecorder,
+    health_stride: usize,
+    /// Counter snapshot at the previous step boundary (for per-step deltas).
+    prev: TraceSnapshot,
+    /// Dense engines get the eigensolver probe; O(N) engines do not.
+    probe_health: bool,
+    occupation: OccupationScheme,
+}
+
+impl Recording<'_> {
+    /// Record one completed MD step (and, on the stride, a health probe).
+    fn observe(
+        &mut self,
+        step: usize,
+        state: &MdState,
+        conserved_ev: f64,
+        model: &dyn TbModel,
+    ) -> Result<(), TbError> {
+        let snap = tbmd_trace::snapshot();
+        let delta = snap.since(&self.prev);
+        self.prev = snap;
+        let record = StepRecord {
+            step,
+            time_fs: state.time_fs,
+            potential_ev: state.potential_energy,
+            conserved_ev,
+            temperature_k: state.temperature(),
+            phase_ns: state.last_timings.phase_ns(),
+            comm_bytes: delta.counter(Counter::WireBytes),
+            alloc_events: delta.counter(Counter::AllocGrowth),
+        };
+        self.recorder
+            .record_step(&record)
+            .map_err(|e| TbError::Recorder(e.to_string()))?;
+        if self.probe_health && self.health_stride > 0 && step.is_multiple_of(self.health_stride) {
+            let health = eigensolver_health(
+                model,
+                &state.structure,
+                self.occupation,
+                DenseSolver::TwoStage,
+                step,
+            )?;
+            self.recorder
+                .record_health(&health)
+                .map_err(|e| TbError::Recorder(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
 /// Run a configured simulation to completion.
 pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, TbError> {
+    run_simulation_impl(config, None)
+}
+
+/// [`run_simulation`] streaming one JSONL `step` record per MD step (plus
+/// watchdog `warn` lines and periodic `eig_health` probes) into `recorder`.
+///
+/// Installs a collecting [`TraceSink`] if tracing is still disabled, so the
+/// records carry wire-byte and allocation counters. The caller keeps
+/// ownership of the recorder and calls [`RunRecorder::finish`] when done.
+pub fn run_simulation_recorded(
+    config: &SimulationConfig,
+    recorder: &mut RunRecorder,
+    options: RecorderConfig,
+) -> Result<SimulationSummary, TbError> {
+    if !tbmd_trace::enabled() {
+        tbmd_trace::install(TraceSink::collecting());
+    }
+    let probe_health = !matches!(
+        config.engine,
+        EngineKind::LinearScaling { .. } | EngineKind::DistributedLinearScaling { .. }
+    );
+    let occupation = if config.electronic_kt > 0.0 {
+        OccupationScheme::Fermi {
+            kt: config.electronic_kt,
+        }
+    } else {
+        OccupationScheme::ZeroTemperature
+    };
+    let recording = Recording {
+        recorder,
+        health_stride: options.health_stride,
+        prev: tbmd_trace::snapshot(),
+        probe_health,
+        occupation,
+    };
+    run_simulation_impl(config, Some(recording))
+}
+
+fn run_simulation_impl(
+    config: &SimulationConfig,
+    mut recording: Option<Recording<'_>>,
+) -> Result<SimulationSummary, TbError> {
     let model = config.system.model();
     let engine = Engine::build(config.engine, &model, config.electronic_kt);
     let mut structure = config.system.build(config.perturb, config.seed);
@@ -151,12 +283,15 @@ pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, Tb
             let e0 = state.total_energy();
             let mut t_stats = RunningStats::new();
             let mut drift: f64 = 0.0;
-            for _ in 0..steps {
+            for step in 1..=steps {
                 integrator.step_with(&mut state, &engine, &mut ws)?;
                 t_stats.push(state.temperature());
                 drift = drift.max((state.total_energy() - e0).abs());
                 if let Some(tr) = trajectory.as_mut() {
                     tr.observe(&state);
+                }
+                if let Some(rec) = recording.as_mut() {
+                    rec.observe(step, &state, state.total_energy(), &model)?;
                 }
             }
             Ok(SimulationSummary {
@@ -184,12 +319,15 @@ pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, Tb
             let h0 = nh.conserved_quantity(&state);
             let mut t_stats = RunningStats::new();
             let mut drift: f64 = 0.0;
-            for _ in 0..steps {
+            for step in 1..=steps {
                 nh.step_with(&mut state, &engine, &mut ws)?;
                 t_stats.push(state.temperature());
                 drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
                 if let Some(tr) = trajectory.as_mut() {
                     tr.observe(&state);
+                }
+                if let Some(rec) = recording.as_mut() {
+                    rec.observe(step, &state, nh.conserved_quantity(&state), &model)?;
                 }
             }
             Ok(SimulationSummary {
@@ -241,13 +379,19 @@ pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, Tb
             // conserved quantity again — measure its peak excursion.
             let h0 = nh.conserved_quantity(&state);
             let mut drift: f64 = 0.0;
-            for _ in 0..hold_steps {
+            // Step records (and the drift watchdog) start here too: during
+            // the ramp the extended energy is not conserved, so feeding it
+            // to the watchdog would only produce spurious warns.
+            for hold_step in 1..=hold_steps {
                 nh.step_with(&mut state, &engine, &mut ws)?;
                 steps_total += 1;
                 t_stats.push(state.temperature());
                 drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
                 if let Some(tr) = trajectory.as_mut() {
                     tr.observe(&state);
+                }
+                if let Some(rec) = recording.as_mut() {
+                    rec.observe(hold_step, &state, nh.conserved_quantity(&state), &model)?;
                 }
             }
             Ok(SimulationSummary {

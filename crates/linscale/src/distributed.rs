@@ -15,7 +15,7 @@ use crate::chebyshev::{chebyshev_coefficients, entropy_density, fermi_function};
 use crate::engine::{LinScaleReport, LinearScalingTb};
 use crate::sparse::{LocalRegion, SparseH};
 use parking_lot::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tbmd_linalg::Vec3;
 use tbmd_model::{
     sk_block_gradient, ForceEvaluation, ForceProvider, NeighborWorkspace, OrbitalIndex,
@@ -156,13 +156,18 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             let me = rank.id();
             let mut timings = PhaseTimings::default();
             let mut mark = Instant::now();
+            // Collective windows inside each phase are carved out into the
+            // dedicated communication bucket (satellite 1).
+            let mut comm_in_phase = Duration::ZERO;
             // ---- Positions broadcast (geometry replication).
             let mut pos_flat: Vec<f64> = if me == 0 {
                 s.positions().iter().flat_map(|r| r.to_array()).collect()
             } else {
                 vec![]
             };
+            let c0 = Instant::now();
             rank.broadcast(0, 300, &mut pos_flat);
+            comm_in_phase += c0.elapsed();
             let mut slot_guard = pool_ref.slot(me).lock();
             let slot = &mut *slot_guard;
             let stale = slot.local.as_ref().is_none_or(|l| {
@@ -186,7 +191,9 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             let local = slot.local.as_ref().expect("slot.local just ensured");
             let nl = slot.neighbors.list();
             rank.count_flops(10 * nl.n_entries() as u64);
-            timings.neighbors = mark.elapsed();
+            timings.neighbors = mark.elapsed() - comm_in_phase;
+            timings.communication += comm_in_phase;
+            comm_in_phase = Duration::ZERO;
             mark = Instant::now();
             let index = OrbitalIndex::new(local);
             let h = SparseH::build(local, nl, model, &index);
@@ -233,7 +240,9 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                     }
                 }
             }
+            let c0 = Instant::now();
             rank.allreduce_sum(301, &mut slot.moments);
+            comm_in_phase += c0.elapsed();
             let moments = &slot.moments;
 
             // ---- μ bisection on the replicated global moments.
@@ -268,8 +277,18 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                 tr_g += s_coeffs[k] * moments[k];
             }
             let entropy_term = 2.0 * kt * tr_g;
-            timings.diagonalize = mark.elapsed();
+            timings.diagonalize = mark.elapsed() - comm_in_phase;
+            timings.communication += comm_in_phase;
+            comm_in_phase = Duration::ZERO;
             mark = Instant::now();
+            let my_orbitals: usize = my_atoms
+                .clone()
+                .map(|a| local.species(a).n_orbitals())
+                .sum();
+            tbmd_trace::add(
+                tbmd_trace::Counter::ChebyshevMatvecs,
+                (my_orbitals * order.saturating_sub(1)) as u64,
+            );
 
             // ---- Density + forces for my atoms.
             slot.x_embed.clear();
@@ -375,10 +394,19 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                 rank.count_flops(400 * nl.neighbors(a).len() as u64);
                 slot.forces_block.extend_from_slice(&fi.to_array());
             }
+            // The density/force pass repeats the order-1 recurrence matvecs
+            // per owned orbital column.
+            tbmd_trace::add(
+                tbmd_trace::Counter::ChebyshevMatvecs,
+                (my_orbitals * order.saturating_sub(1)) as u64,
+            );
             let mut energy_parts = vec![band_partial, rep_partial];
+            let c0 = Instant::now();
             rank.allreduce_sum(302, &mut energy_parts);
             let all_forces = rank.allgather(303, &slot.forces_block);
-            timings.forces = mark.elapsed();
+            comm_in_phase += c0.elapsed();
+            timings.forces = mark.elapsed() - comm_in_phase;
+            timings.communication += comm_in_phase;
 
             if me == 0 {
                 let mut forces: Vec<Vec3> = Vec::with_capacity(n_atoms);
@@ -400,8 +428,15 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
 
         let alloc_after = pool.created() + pool.total(|sl| sl.grown);
         ws.grown += alloc_after - alloc_before;
+        tbmd_trace::add(
+            tbmd_trace::Counter::AllocGrowth,
+            (alloc_after - alloc_before) as u64,
+        );
 
         let (energy, forces, mu, timings) = results.remove(0).expect("rank 0 result");
+        // The rank-0 view is the canonical per-phase wall clock (per-rank
+        // spans would sum time-shared threads); feed it to the registry once.
+        timings.export_to_trace();
         *self.last_report.lock() = Some(DistributedLinScaleReport {
             stats,
             mu,

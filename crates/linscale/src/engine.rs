@@ -26,7 +26,6 @@ use crate::chebyshev::{entropy_coefficients, fermi_coefficients};
 use crate::sparse::{LocalRegion, SparseH};
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use std::time::Instant;
 use tbmd_linalg::Vec3;
 use tbmd_model::{
     sk_block_gradient, ForceEvaluation, ForceProvider, OrbitalIndex, PhaseTimings, TbError,
@@ -146,13 +145,13 @@ impl ForceProvider for LinearScalingTb<'_> {
         let model = self.model;
         let n_atoms = s.n_atoms();
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Neighbors);
         let outcome = ws.neighbors.update(s, model.cutoff());
-        timings.neighbors = t0.elapsed();
+        timings.neighbors = sp.finish();
         timings.note_neighbors(outcome);
         let nl = ws.neighbors.list();
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Hamiltonian);
         let index = OrbitalIndex::new(s);
         let h = SparseH::build(s, nl, model, &index);
         let (e_min, e_max) = h.gershgorin_bounds();
@@ -161,10 +160,10 @@ impl ForceProvider for LinearScalingTb<'_> {
             .into_par_iter()
             .map(|a| LocalRegion::build(s, &index, &h, a, self.r_loc))
             .collect();
-        timings.hamiltonian = t0.elapsed();
+        timings.hamiltonian = sp.finish();
 
         // ---- Moment pass: diagonal Chebyshev moments M_k = Σ_j T_k(H̃)_jj.
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Diagonalize);
         // shift/scale chosen once (μ enters only through coefficients).
         let (shift, scale, _) = fermi_coefficients(e_min, e_max, 0.0, self.kt, self.order);
         let order = self.order;
@@ -235,10 +234,15 @@ impl ForceProvider for LinearScalingTb<'_> {
             tr_g += s_coeffs[k] * moments[k];
         }
         let entropy_term = 2.0 * self.kt * tr_g;
-        timings.diagonalize = t0.elapsed();
+        timings.diagonalize = sp.finish();
+        // Moment pass: order − 1 Chebyshev matvecs per orbital column.
+        tbmd_trace::add(
+            tbmd_trace::Counter::ChebyshevMatvecs,
+            (index.total() * order.saturating_sub(1)) as u64,
+        );
 
         // ---- Density pass: ρ columns, band energy, local ρ blocks.
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Density);
         let coeffs_ref = &coeffs;
         let densities: Vec<AtomDensity> = (0..n_atoms)
             .into_par_iter()
@@ -316,10 +320,15 @@ impl ForceProvider for LinearScalingTb<'_> {
             })
             .collect();
         let band_energy: f64 = densities.iter().map(|d| d.band).sum();
-        timings.density = t0.elapsed();
+        timings.density = sp.finish();
+        // Density pass: order − 1 matvecs per orbital column again.
+        tbmd_trace::add(
+            tbmd_trace::Counter::ChebyshevMatvecs,
+            (index.total() * order.saturating_sub(1)) as u64,
+        );
 
         // ---- Forces: electronic from local ρ blocks + repulsive gather.
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Forces);
         let x: Vec<f64> = (0..n_atoms)
             .into_par_iter()
             .map(|i| {
@@ -370,7 +379,7 @@ impl ForceProvider for LinearScalingTb<'_> {
                 fi
             })
             .collect();
-        timings.forces = t0.elapsed();
+        timings.forces = sp.finish();
 
         *self.last_report.lock() = Some(LinScaleReport {
             mu,

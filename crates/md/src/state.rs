@@ -2,7 +2,7 @@
 
 use tbmd_linalg::Vec3;
 use tbmd_model::units::ACCEL_CONV;
-use tbmd_model::{ForceProvider, TbError, Workspace};
+use tbmd_model::{ForceProvider, PhaseTimings, TbError, Workspace};
 use tbmd_structure::Structure;
 
 use crate::velocities::{dof_with_com_removed, instantaneous_temperature, kinetic_energy};
@@ -20,6 +20,8 @@ pub struct MdState {
     pub potential_energy: f64,
     /// Simulation clock (fs).
     pub time_fs: f64,
+    /// Per-phase wall-clock breakdown of the most recent force evaluation.
+    pub last_timings: PhaseTimings,
     masses: Vec<f64>,
     n_dof: usize,
 }
@@ -57,6 +59,7 @@ impl MdState {
             forces: eval.forces,
             potential_energy: eval.energy,
             time_fs: 0.0,
+            last_timings: eval.timings,
             masses,
             n_dof,
         })
@@ -100,6 +103,7 @@ impl MdState {
         let eval = provider.evaluate(&self.structure)?;
         self.forces = eval.forces;
         self.potential_energy = eval.energy;
+        self.last_timings = eval.timings;
         Ok(())
     }
 
@@ -113,6 +117,7 @@ impl MdState {
         let eval = provider.evaluate_with(&self.structure, ws)?;
         self.forces = eval.forces;
         self.potential_energy = eval.energy;
+        self.last_timings = eval.timings;
         Ok(())
     }
 }

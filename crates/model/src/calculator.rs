@@ -18,7 +18,7 @@ use crate::model::TbModel;
 use crate::occupations::{occupations, occupied_count, OccupationScheme, Occupations};
 use crate::slater_koster::sk_block_gradient;
 use crate::workspace::{NeighborOutcome, Workspace};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use tbmd_linalg::{
     eigh_into, eigvalsh, reduced_eigenvalues_into, reduced_eigenvectors_into,
     tridiagonalize_blocked_into, EigError, Matrix, Vec3,
@@ -38,6 +38,8 @@ pub enum TbError {
     OverlapNotPositiveDefinite,
     /// The structure has no atoms.
     EmptyStructure,
+    /// A run recorder failed to write its JSONL stream (I/O error text).
+    Recorder(String),
 }
 
 impl std::fmt::Display for TbError {
@@ -54,6 +56,7 @@ impl std::fmt::Display for TbError {
                 )
             }
             TbError::EmptyStructure => write!(f, "structure contains no atoms"),
+            TbError::Recorder(msg) => write!(f, "run recorder I/O failure: {msg}"),
         }
     }
 }
@@ -75,6 +78,10 @@ pub struct PhaseTimings {
     pub diagonalize: Duration,
     pub density: Duration,
     pub forces: Duration,
+    /// Time blocked in collectives (broadcast/allreduce/allgather) on the
+    /// distributed engines. The compute phases above exclude it; serial and
+    /// shared-memory engines leave it zero.
+    pub communication: Duration,
     /// Full neighbour-list builds: Verlet skin rebuilds plus per-step
     /// fallback builds (every cold evaluation counts one).
     pub nl_rebuilds: usize,
@@ -84,9 +91,14 @@ pub struct PhaseTimings {
 }
 
 impl PhaseTimings {
-    /// Sum of all phases.
+    /// Sum of all phases, communication included.
     pub fn total(&self) -> Duration {
-        self.neighbors + self.hamiltonian + self.diagonalize + self.density + self.forces
+        self.neighbors
+            + self.hamiltonian
+            + self.diagonalize
+            + self.density
+            + self.forces
+            + self.communication
     }
 
     /// Accumulate another evaluation's timings (for per-step averages).
@@ -96,15 +108,58 @@ impl PhaseTimings {
         self.diagonalize += other.diagonalize;
         self.density += other.density;
         self.forces += other.forces;
+        self.communication += other.communication;
         self.nl_rebuilds += other.nl_rebuilds;
         self.nl_refreshes += other.nl_refreshes;
     }
 
-    /// Record one neighbour-phase outcome in the counters.
+    /// Record one neighbour-phase outcome in the counters (mirrored into
+    /// the trace registry when a collecting sink is installed).
     pub fn note_neighbors(&mut self, outcome: NeighborOutcome) {
         match outcome {
-            NeighborOutcome::Rebuilt | NeighborOutcome::Fallback => self.nl_rebuilds += 1,
-            NeighborOutcome::Refreshed => self.nl_refreshes += 1,
+            NeighborOutcome::Rebuilt | NeighborOutcome::Fallback => {
+                self.nl_rebuilds += 1;
+                tbmd_trace::add(tbmd_trace::Counter::NlRebuilds, 1);
+            }
+            NeighborOutcome::Refreshed => {
+                self.nl_refreshes += 1;
+                tbmd_trace::add(tbmd_trace::Counter::NlRefreshes, 1);
+            }
+        }
+    }
+
+    /// Duration of one phase by its trace key.
+    pub fn phase(&self, phase: tbmd_trace::Phase) -> Duration {
+        match phase {
+            tbmd_trace::Phase::Neighbors => self.neighbors,
+            tbmd_trace::Phase::Hamiltonian => self.hamiltonian,
+            tbmd_trace::Phase::Diagonalize => self.diagonalize,
+            tbmd_trace::Phase::Density => self.density,
+            tbmd_trace::Phase::Forces => self.forces,
+            tbmd_trace::Phase::Communication => self.communication,
+        }
+    }
+
+    /// Per-phase nanoseconds in [`tbmd_trace::Phase`] index order — the
+    /// layout `StepRecord` and the JSONL schema use.
+    pub fn phase_ns(&self) -> [u64; tbmd_trace::Phase::COUNT] {
+        let mut out = [0u64; tbmd_trace::Phase::COUNT];
+        for p in tbmd_trace::Phase::ALL {
+            out[p.index()] = self.phase(p).as_nanos() as u64;
+        }
+        out
+    }
+
+    /// Feed this evaluation's per-phase durations into the global trace
+    /// registry. Engines that assemble timings outside span guards (the
+    /// Vmp-distributed paths, whose rank-0 view is the canonical one) call
+    /// this once per evaluation; a disabled sink makes it free.
+    pub fn export_to_trace(&self) {
+        if !tbmd_trace::enabled() {
+            return;
+        }
+        for p in tbmd_trace::Phase::ALL {
+            tbmd_trace::add_phase_ns(p, self.phase(p).as_nanos() as u64);
         }
     }
 }
@@ -251,17 +306,18 @@ impl<'m> TbCalculator<'m> {
     pub fn compute_with(&self, s: &Structure, ws: &mut Workspace) -> Result<TbResult, TbError> {
         self.validate(s)?;
         let mut timings = PhaseTimings::default();
+        let grown_before = ws.grown;
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Neighbors);
         let outcome = ws.neighbors.update(s, self.model.cutoff());
-        timings.neighbors = t0.elapsed();
+        timings.neighbors = sp.finish();
         timings.note_neighbors(outcome);
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Hamiltonian);
         let index = OrbitalIndex::new(s);
         ws.grown +=
             build_hamiltonian_into(s, ws.neighbors.list(), self.model, &index, &mut ws.h) as usize;
-        timings.hamiltonian = t0.elapsed();
+        timings.hamiltonian = sp.finish();
 
         // Diagonalize. FullQl overwrites ws.h with all n eigenvectors in
         // place; TwoStage reduces ws.h to tridiagonal form (reflectors stay
@@ -270,14 +326,15 @@ impl<'m> TbCalculator<'m> {
         // say how many states actually matter. Below the crossover size the
         // two-stage overheads don't pay and QL handles everything.
         let two_stage = self.solver == DenseSolver::TwoStage && ws.h.rows() >= TWO_STAGE_MIN_DIM;
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Diagonalize);
         if two_stage {
             tridiagonalize_blocked_into(&mut ws.h, &mut ws.eigh);
             reduced_eigenvalues_into(&mut ws.eigh, &mut ws.values)?;
+            tbmd_trace::add(tbmd_trace::Counter::SturmBisections, ws.values.len() as u64);
         } else {
             eigh_into(&mut ws.h, &mut ws.values, &mut ws.eigh)?;
         }
-        timings.diagonalize = t0.elapsed();
+        timings.diagonalize = sp.finish();
 
         let occ = occupations(&ws.values, s.n_electrons(), self.occupation);
         let band = occ.band_energy(&ws.values);
@@ -287,28 +344,32 @@ impl<'m> TbCalculator<'m> {
         // keeps), back-transformed through the blocked reflectors. k = n
         // (window covering the whole spectrum) is simply a full solve.
         let (vectors, f_window) = if two_stage {
-            let t0 = Instant::now();
+            let sp = tbmd_trace::span(tbmd_trace::Phase::Diagonalize);
             let k = occupied_count(&occ.f);
             reduced_eigenvectors_into(&ws.h, &ws.values[..k], &mut ws.c, &mut ws.eigh);
-            timings.diagonalize += t0.elapsed();
+            timings.diagonalize += sp.finish();
             (&ws.c, &occ.f[..k])
         } else {
             (&ws.h, &occ.f[..])
         };
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Density);
         ws.grown += density_matrix_into(vectors, f_window, &mut ws.w, &mut ws.rho);
-        timings.density = t0.elapsed();
+        timings.density = sp.finish();
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Forces);
         let nl = ws.neighbors.list();
         let mut forces = electronic_forces(s, nl, self.model, &index, &ws.rho);
         let (rep, rep_forces) = repulsive_energy_forces(s, nl, self.model, true);
         for (f, rf) in forces.iter_mut().zip(rep_forces.expect("forces requested")) {
             *f += rf;
         }
-        timings.forces = t0.elapsed();
+        timings.forces = sp.finish();
 
+        tbmd_trace::add(
+            tbmd_trace::Counter::AllocGrowth,
+            (ws.grown - grown_before) as u64,
+        );
         let entropy_term = entropy_correction(&occ, self.occupation);
         Ok(TbResult {
             energy: band + rep + entropy_term,

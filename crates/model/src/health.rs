@@ -1,0 +1,140 @@
+//! Eigensolver health probe: the physics watchdog behind the periodic
+//! `eig_health` JSONL records.
+//!
+//! MD only ever consumes the density matrix, so a slowly degrading
+//! eigensolve (lost orthogonality under heavy deflation, inverse-iteration
+//! stagnation on a pathological cluster) shows up as silently wrong forces
+//! long before anything crashes. The probe re-derives an independent check:
+//! rebuild a pristine `H` for the current structure, run the *production*
+//! solver path on a copy, then measure `‖Hv − λv‖∞` against the untouched
+//! `H` and spot-check orthogonality on a sampled occupied eigenpair. Cost
+//! is one extra evaluation-sized solve, so it runs on a stride (see
+//! `RecorderConfig` in `tbmd-core`), not every step.
+
+use crate::calculator::{DenseSolver, TbError, TWO_STAGE_MIN_DIM};
+use crate::hamiltonian::{build_hamiltonian_into, OrbitalIndex};
+use crate::model::TbModel;
+use crate::occupations::{occupations, occupied_count, OccupationScheme};
+use crate::workspace::Workspace;
+use tbmd_linalg::{
+    eigh_into, reduced_eigenvalues_into, reduced_eigenvectors_into, tridiagonalize_blocked_into,
+};
+use tbmd_structure::Structure;
+use tbmd_trace::HealthRecord;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solve the structure's eigenproblem with the production solver path and
+/// report residual + orthogonality of a sampled occupied eigenpair.
+///
+/// `step` is carried through into the [`HealthRecord`] so the JSONL line
+/// lands at the right place in the run stream. The probe allocates its own
+/// workspace: it must not perturb the MD loop's persistent buffers (the
+/// disabled-sink bitwise guarantee covers runs without a recorder; probing
+/// is explicitly an extra-work path).
+pub fn eigensolver_health(
+    model: &dyn TbModel,
+    s: &Structure,
+    occupation: OccupationScheme,
+    solver: DenseSolver,
+    step: usize,
+) -> Result<HealthRecord, TbError> {
+    let mut ws = Workspace::new();
+    ws.neighbors.update(s, model.cutoff());
+    let index = OrbitalIndex::new(s);
+    build_hamiltonian_into(s, ws.neighbors.list(), model, &index, &mut ws.h);
+    // Pristine copy: the solvers overwrite their input in place.
+    let h0 = ws.h.clone();
+
+    let two_stage = solver == DenseSolver::TwoStage && ws.h.rows() >= TWO_STAGE_MIN_DIM;
+    let k;
+    if two_stage {
+        tridiagonalize_blocked_into(&mut ws.h, &mut ws.eigh);
+        reduced_eigenvalues_into(&mut ws.eigh, &mut ws.values)?;
+        let occ = occupations(&ws.values, s.n_electrons(), occupation);
+        k = occupied_count(&occ.f).max(1);
+        reduced_eigenvectors_into(&ws.h, &ws.values[..k], &mut ws.c, &mut ws.eigh);
+    } else {
+        eigh_into(&mut ws.h, &mut ws.values, &mut ws.eigh)?;
+        k = ws.h.cols();
+    }
+    let vectors = if two_stage { &ws.c } else { &ws.h };
+
+    // Middle of the occupied window: clear of both the deflation-prone
+    // band edges and the Fermi-window boundary.
+    let sampled = k / 2;
+    let v = vectors.col(sampled);
+    let lambda = ws.values[sampled];
+    let hv = h0.matvec(&v);
+    let residual_inf = hv
+        .iter()
+        .zip(&v)
+        .map(|(hv_i, v_i)| (hv_i - lambda * v_i).abs())
+        .fold(0.0_f64, f64::max);
+
+    let mut orthogonality = (dot(&v, &v) - 1.0).abs();
+    if k > 1 {
+        let j = if sampled + 1 < k {
+            sampled + 1
+        } else {
+            sampled - 1
+        };
+        orthogonality = orthogonality.max(dot(&v, &vectors.col(j)).abs());
+    }
+
+    Ok(HealthRecord {
+        step,
+        residual_inf,
+        orthogonality,
+        sampled_index: sampled,
+        n_orbitals: h0.rows(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silicon::silicon_gsp;
+    use tbmd_structure::{bulk_diamond, Species};
+
+    #[test]
+    fn healthy_solve_has_tiny_residual() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2); // 64 atoms, 256 orbitals
+        let health = eigensolver_health(
+            &model,
+            &s,
+            OccupationScheme::Fermi { kt: 0.1 },
+            DenseSolver::TwoStage,
+            0,
+        )
+        .expect("probe");
+        assert_eq!(health.n_orbitals, 256);
+        assert!(health.sampled_index > 0 && health.sampled_index < 256);
+        assert!(
+            health.residual_inf < 1e-8,
+            "residual {:.3e}",
+            health.residual_inf
+        );
+        assert!(
+            health.orthogonality < 1e-10,
+            "orthogonality {:.3e}",
+            health.orthogonality
+        );
+    }
+
+    #[test]
+    fn probe_agrees_across_solvers() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        for solver in [DenseSolver::TwoStage, DenseSolver::FullQl] {
+            let health =
+                eigensolver_health(&model, &s, OccupationScheme::Fermi { kt: 0.1 }, solver, 3)
+                    .expect("probe");
+            assert_eq!(health.step, 3);
+            assert!(health.residual_inf < 1e-8, "{solver:?}");
+        }
+    }
+}

@@ -11,6 +11,7 @@ pub mod bands;
 pub mod calculator;
 pub mod carbon;
 pub mod hamiltonian;
+pub mod health;
 pub mod kpoints;
 pub mod model;
 pub mod nonortho;
@@ -33,6 +34,7 @@ pub use calculator::{
 };
 pub use carbon::carbon_xwch;
 pub use hamiltonian::{build_hamiltonian, build_hamiltonian_into, OrbitalIndex};
+pub use health::eigensolver_health;
 pub use kpoints::{folding_grid, monkhorst_pack, KPoint, KPointCalculator};
 pub use model::{EmbeddingPolynomial, GspTbModel, TbModel};
 pub use nonortho::{

@@ -36,7 +36,7 @@ use crate::ring_jacobi::{initial_column_owners, ring_jacobi_worker};
 use crate::vmp::{partition_range, vmp_run, VmpStats};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tbmd_linalg::{
     cluster_tolerance, reduced_eigenvectors_offset_into, snap_range_to_clusters,
     tridiagonal_eigenvalues_range_into, tridiagonalize_blocked_into, EighWorkspace, Matrix, Vec3,
@@ -305,6 +305,10 @@ impl ForceProvider for DistributedTb<'_> {
                 let psize = rank.size();
                 let mut timings = PhaseTimings::default();
                 let mut mark = Instant::now();
+                // Time blocked in collectives since the last phase boundary;
+                // subtracted from the surrounding compute phase and
+                // accumulated into `timings.communication` instead.
+                let mut comm_in_phase = Duration::ZERO;
 
                 // ---- Phase 1: positions broadcast (geometry replication).
                 let mut pos_flat: Vec<f64> = if me == 0 {
@@ -312,7 +316,9 @@ impl ForceProvider for DistributedTb<'_> {
                 } else {
                     vec![]
                 };
+                let c0 = Instant::now();
                 rank.broadcast(0, 100, &mut pos_flat);
+                comm_in_phase += c0.elapsed();
                 let mut slot_guard = pool_ref.slot(me).lock();
                 let slot = &mut *slot_guard;
                 let stale = slot.local.as_ref().is_none_or(|l| {
@@ -336,7 +342,9 @@ impl ForceProvider for DistributedTb<'_> {
                 let local = slot.local.as_ref().expect("slot.local just ensured");
                 let nl = slot.neighbors.list();
                 rank.count_flops(10 * nl.n_entries() as u64);
-                timings.neighbors = mark.elapsed();
+                timings.neighbors = mark.elapsed() - comm_in_phase;
+                timings.communication += comm_in_phase;
+                comm_in_phase = Duration::ZERO;
                 mark = Instant::now();
 
                 // ---- Phase 2: full replicated H (0 wire bytes; cheaper
@@ -360,10 +368,13 @@ impl ForceProvider for DistributedTb<'_> {
                     rank.count_flops(600 * (n_orb * my_idx.len()) as u64);
                     ctol = cluster_tolerance(d, e);
                 }
+                tbmd_trace::add(tbmd_trace::Counter::SturmBisections, my_idx.len() as u64);
                 // Deterministic per-index bisection ⇒ the concatenation of
                 // the rank shards is the ascending full spectrum, identical
                 // on every rank.
+                let c0 = Instant::now();
                 let parts = rank.allgather(101, &slot.evals_mine);
+                comm_in_phase += c0.elapsed();
                 slot.values.clear();
                 for part in &parts {
                     slot.values.extend_from_slice(part);
@@ -396,7 +407,9 @@ impl ForceProvider for DistributedTb<'_> {
                     &mut slot.eigh,
                 );
                 rank.count_flops(4 * ((hi - lo) * n_orb * n_orb) as u64);
-                timings.diagonalize = mark.elapsed();
+                timings.diagonalize = mark.elapsed() - comm_in_phase;
+                timings.communication += comm_in_phase;
+                comm_in_phase = Duration::ZERO;
                 mark = Instant::now();
 
                 // ---- Phase 4c: partial ρ from the owned columns (the same
@@ -410,8 +423,12 @@ impl ForceProvider for DistributedTb<'_> {
                 rank.count_flops((n_occ_mine * n_orb * n_orb) as u64);
                 slot.rho_flat.clear();
                 slot.rho_flat.extend_from_slice(slot.rho.as_slice());
+                let c0 = Instant::now();
                 rank.allreduce_sum(102, &mut slot.rho_flat);
-                timings.density = mark.elapsed();
+                comm_in_phase += c0.elapsed();
+                timings.density = mark.elapsed() - comm_in_phase;
+                timings.communication += comm_in_phase;
+                comm_in_phase = Duration::ZERO;
                 mark = Instant::now();
 
                 // ---- Phase 5: forces for my atom block; allgather.
@@ -426,11 +443,14 @@ impl ForceProvider for DistributedTb<'_> {
                     rank.count_flops(400 * nl.neighbors(i).len() as u64);
                     slot.forces_block.extend_from_slice(&fi.to_array());
                 }
+                let c0 = Instant::now();
                 let all_forces = rank.allgather(103, &slot.forces_block);
                 let mut e_parts = vec![my_rep_energy];
                 rank.allreduce_sum(104, &mut e_parts);
+                comm_in_phase += c0.elapsed();
                 let e_rep = e_parts[0];
-                timings.forces = mark.elapsed();
+                timings.forces = mark.elapsed() - comm_in_phase;
+                timings.communication += comm_in_phase;
 
                 if me == 0 {
                     let mut forces: Vec<Vec3> = Vec::with_capacity(n_atoms);
@@ -450,13 +470,19 @@ impl ForceProvider for DistributedTb<'_> {
                     let me = rank.id();
                     let mut timings = PhaseTimings::default();
                     let mut mark = Instant::now();
+                    // Collective wait since the last phase boundary. The ring
+                    // rotation inside `ring_jacobi_worker` is point-to-point,
+                    // not a collective, and stays inside `diagonalize`.
+                    let mut comm_in_phase = Duration::ZERO;
                     // ---- Phase 1: positions broadcast (geometry replication).
                     let mut pos_flat: Vec<f64> = if me == 0 {
                         s.positions().iter().flat_map(|r| r.to_array()).collect()
                     } else {
                         vec![]
                     };
+                    let c0 = Instant::now();
                     rank.broadcast(0, 100, &mut pos_flat);
+                    comm_in_phase += c0.elapsed();
                     // All ranks now hold the geometry; rebuild the structure/NL
                     // locally (replicated data).
                     let positions: Vec<Vec3> = pos_flat
@@ -468,7 +494,9 @@ impl ForceProvider for DistributedTb<'_> {
                     let nl = NeighborList::build(&local, model.cutoff());
                     rank.count_flops(10 * nl.n_entries() as u64);
                     timings.nl_rebuilds += 1;
-                    timings.neighbors = mark.elapsed();
+                    timings.neighbors = mark.elapsed() - comm_in_phase;
+                    timings.communication += comm_in_phase;
+                    comm_in_phase = Duration::ZERO;
                     mark = Instant::now();
 
                     // ---- Phase 2: assemble owned H columns.
@@ -493,7 +521,9 @@ impl ForceProvider for DistributedTb<'_> {
                     let local_fro2: f64 =
                         cols.values().flat_map(|c| c.iter()).map(|&x| x * x).sum();
                     let mut buf = vec![local_fro2];
+                    let c0 = Instant::now();
                     rank.allreduce_sum(101, &mut buf);
+                    comm_in_phase += c0.elapsed();
                     let fro = buf[0].sqrt();
                     let deig = ring_jacobi_worker(
                         &mut rank,
@@ -504,7 +534,9 @@ impl ForceProvider for DistributedTb<'_> {
                         JACOBI_MAX_SWEEPS,
                         200,
                     );
-                    timings.diagonalize = mark.elapsed();
+                    timings.diagonalize = mark.elapsed() - comm_in_phase;
+                    timings.communication += comm_in_phase;
+                    comm_in_phase = Duration::ZERO;
                     mark = Instant::now();
 
                     // ---- Phase 4: occupations (replicated) + distributed ρ.
@@ -543,8 +575,12 @@ impl ForceProvider for DistributedTb<'_> {
                             }
                         }
                     }
+                    let c0 = Instant::now();
                     rank.allreduce_sum(102, &mut rho_flat);
-                    timings.density = mark.elapsed();
+                    comm_in_phase += c0.elapsed();
+                    timings.density = mark.elapsed() - comm_in_phase;
+                    timings.communication += comm_in_phase;
+                    comm_in_phase = Duration::ZERO;
                     mark = Instant::now();
 
                     // ---- Phase 5: forces for my atom block; allgather.
@@ -560,11 +596,14 @@ impl ForceProvider for DistributedTb<'_> {
                         rank.count_flops(400 * nl.neighbors(i).len() as u64);
                         my_forces.extend_from_slice(&fi.to_array());
                     }
+                    let c0 = Instant::now();
                     let all_forces = rank.allgather(103, &my_forces);
                     let mut e_parts = vec![my_rep_energy];
                     rank.allreduce_sum(104, &mut e_parts);
+                    comm_in_phase += c0.elapsed();
                     let e_rep = e_parts[0];
-                    timings.forces = mark.elapsed();
+                    timings.forces = mark.elapsed() - comm_in_phase;
+                    timings.communication += comm_in_phase;
 
                     if me == 0 {
                         let mut forces: Vec<Vec3> = Vec::with_capacity(n_atoms);
@@ -586,10 +625,17 @@ impl ForceProvider for DistributedTb<'_> {
         // observable through the uniform `Workspace::large_alloc_events`.
         let alloc_after = pool.created() + pool.total(|sl| sl.grown);
         ws.grown += alloc_after - alloc_before;
+        tbmd_trace::add(
+            tbmd_trace::Counter::AllocGrowth,
+            (alloc_after - alloc_before) as u64,
+        );
 
         let (energy, forces, sweeps, timings) = results
             .remove(0)
             .expect("rank 0 returns the assembled result");
+        // The rank-0 view is the canonical per-phase wall clock (per-rank
+        // spans would sum time-shared threads); feed it to the registry once.
+        timings.export_to_trace();
         *self.last_report.lock() = Some(DistributedReport {
             stats,
             jacobi_sweeps: sweeps,

@@ -10,7 +10,6 @@
 //! or the parallel-ordered Jacobi.
 
 use rayon::prelude::*;
-use std::time::Instant;
 use tbmd_linalg::{
     eigh_into, par_jacobi_eigh_into, reduced_eigenvalues_into, reduced_eigenvectors_into,
     tridiagonalize_blocked_into, Matrix, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL,
@@ -95,6 +94,7 @@ impl<'m> SharedMemoryTb<'m> {
         if self.slices_spectrum(ws.h.rows()) {
             tridiagonalize_blocked_into(&mut ws.h, &mut ws.eigh);
             reduced_eigenvalues_into(&mut ws.eigh, &mut ws.values)?;
+            tbmd_trace::add(tbmd_trace::Counter::SturmBisections, ws.values.len() as u64);
             return Ok(());
         }
         match self.eigensolver {
@@ -250,22 +250,23 @@ impl ForceProvider for SharedMemoryTb<'_> {
     fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
         let mut timings = PhaseTimings::default();
+        let grown_before = ws.grown;
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Neighbors);
         let outcome = ws.neighbors.update(s, self.model.cutoff());
-        timings.neighbors = t0.elapsed();
+        timings.neighbors = sp.finish();
         timings.note_neighbors(outcome);
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Hamiltonian);
         let index = OrbitalIndex::new(s);
         ws.grown +=
             par_build_hamiltonian_into(s, ws.neighbors.list(), self.model, &index, &mut ws.h)
                 as usize;
-        timings.hamiltonian = t0.elapsed();
+        timings.hamiltonian = sp.finish();
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Diagonalize);
         self.solve_values(ws)?;
-        timings.diagonalize = t0.elapsed();
+        timings.diagonalize = sp.finish();
 
         let occ = occupations(&ws.values, s.n_electrons(), self.occupation);
         let band = occ.band_energy(&ws.values);
@@ -278,23 +279,27 @@ impl ForceProvider for SharedMemoryTb<'_> {
         // window only (`f > 10⁻¹²`), back-transformed through the blocked
         // reflectors left in ws.h.
         let (vectors, f_window) = if self.slices_spectrum(ws.h.rows()) {
-            let t0 = Instant::now();
+            let sp = tbmd_trace::span(tbmd_trace::Phase::Diagonalize);
             let k = occupied_count(&occ.f);
             reduced_eigenvectors_into(&ws.h, &ws.values[..k], &mut ws.c, &mut ws.eigh);
-            timings.diagonalize += t0.elapsed();
+            timings.diagonalize += sp.finish();
             (&ws.c, &occ.f[..k])
         } else {
             (&ws.h, &occ.f[..])
         };
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Density);
         ws.grown += density_matrix_into(vectors, f_window, &mut ws.w, &mut ws.rho);
-        timings.density = t0.elapsed();
+        timings.density = sp.finish();
 
-        let t0 = Instant::now();
+        let sp = tbmd_trace::span(tbmd_trace::Phase::Forces);
         let (e_rep, forces) = par_forces(s, ws.neighbors.list(), self.model, &index, &ws.rho);
-        timings.forces = t0.elapsed();
+        timings.forces = sp.finish();
 
+        tbmd_trace::add(
+            tbmd_trace::Counter::AllocGrowth,
+            (ws.grown - grown_before) as u64,
+        );
         Ok(ForceEvaluation {
             energy: band + e_rep + entropy_term,
             forces,

@@ -337,6 +337,10 @@ where
             })
             .collect(),
     };
+    // Every wire byte the virtual machine moved lands in the global trace
+    // registry (no-op when tracing is disabled).
+    tbmd_trace::add(tbmd_trace::Counter::WireBytes, stats.total_bytes());
+    tbmd_trace::add(tbmd_trace::Counter::WireMessages, stats.total_messages());
     (
         results
             .into_iter()

@@ -1,0 +1,45 @@
+//! # tbmd-trace — unified observability for the tbmd workspace
+//!
+//! One registry for everything the paper's evaluation cares about:
+//!
+//! - **Spans** ([`span`], [`PhaseSpan`]): RAII wall-clock guards keyed by
+//!   [`Phase`]. Engines open a span per phase; `finish()` returns the
+//!   measured [`std::time::Duration`] (so `PhaseTimings` stays a plain
+//!   value type — it is now a *view* over span measurements) and feeds the
+//!   registry's monotonic per-phase nanosecond accumulators when a
+//!   collecting sink is installed.
+//! - **Counters** ([`Counter`]): monotonic event counts — wire bytes and
+//!   messages from the Vmp machine, workspace growth events, neighbour-list
+//!   rebuilds/refreshes, Sturm bisections, Chebyshev matvecs. Totals across
+//!   all threads and ranks of the process.
+//! - **Gauges** ([`Gauge`]): last-written physics values — conserved-quantity
+//!   drift, eigensolver residual/orthogonality, instantaneous temperature.
+//!
+//! The global sink defaults to [`TraceSink::disabled()`]: every hot-path
+//! hook is then a single relaxed atomic load and no allocation, so an MD
+//! run with tracing disabled is bitwise-identical to an uninstrumented one
+//! (pinned by `tests/trace_overhead.rs` at the workspace root).
+//!
+//! On top of the registry sit the run records ([`RunRecorder`]): a JSONL
+//! stream with one manifest line, one record per MD step (phase times, comm
+//! bytes, drift, temperature), warn lines from the physics watchdogs
+//! ([`DriftWatchdog`]), periodic eigensolver health lines, and a closing
+//! summary. [`json`] is the tiny self-contained JSON layer the records and
+//! the machine-readable bench output share (the workspace vendors no JSON
+//! crate).
+
+pub mod json;
+mod metrics;
+mod record;
+mod sink;
+mod watchdog;
+
+pub use json::JsonValue;
+pub use metrics::{Counter, Gauge, Phase, TraceSnapshot};
+pub use record::{
+    git_describe, HealthRecord, RecorderSummary, RunManifest, RunRecorder, StepRecord,
+};
+pub use sink::{
+    add, add_phase_ns, enabled, handle, install, set_gauge, snapshot, span, PhaseSpan, TraceSink,
+};
+pub use watchdog::{DriftWatchdog, WatchdogStatus};

@@ -1,0 +1,169 @@
+//! Metric taxonomy: the fixed sets of phases, counters and gauges the
+//! registry tracks. Fixed enums (not string keys) keep the hot path to an
+//! array index + atomic add and make snapshots `Copy`.
+
+/// One phase of a force evaluation. Mirrors `PhaseTimings` in `tbmd-model`
+/// plus the distributed-only `Communication` window (collective wait time,
+/// excluded from the compute phases since PR 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Neighbors,
+    Hamiltonian,
+    Diagonalize,
+    Density,
+    Forces,
+    Communication,
+}
+
+impl Phase {
+    pub const COUNT: usize = 6;
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Neighbors,
+        Phase::Hamiltonian,
+        Phase::Diagonalize,
+        Phase::Density,
+        Phase::Forces,
+        Phase::Communication,
+    ];
+
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case name used as the JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Neighbors => "neighbors",
+            Phase::Hamiltonian => "hamiltonian",
+            Phase::Diagonalize => "diagonalize",
+            Phase::Density => "density",
+            Phase::Forces => "forces",
+            Phase::Communication => "communication",
+        }
+    }
+}
+
+/// Monotonic event counters. Totals over every thread and rank of the
+/// process since the sink was installed (or last [`reset`](crate::TraceSink::reset)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Payload bytes moved through `Vmp` point-to-point sends (collectives
+    /// decompose into sends, so they are covered).
+    WireBytes,
+    /// `Vmp` point-to-point messages.
+    WireMessages,
+    /// Workspace large-allocation growth events (buffer (re)allocations).
+    AllocGrowth,
+    /// Full neighbour-list builds (Verlet rebuilds + fallback builds).
+    NlRebuilds,
+    /// O(entries) Verlet displacement refreshes.
+    NlRefreshes,
+    /// Eigenvalues extracted by Sturm bisection (two-stage sliced solvers).
+    SturmBisections,
+    /// Sparse H·v products in the Chebyshev Fermi-operator engines.
+    ChebyshevMatvecs,
+}
+
+impl Counter {
+    pub const COUNT: usize = 7;
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::WireBytes,
+        Counter::WireMessages,
+        Counter::AllocGrowth,
+        Counter::NlRebuilds,
+        Counter::NlRefreshes,
+        Counter::SturmBisections,
+        Counter::ChebyshevMatvecs,
+    ];
+
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used as the JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::WireBytes => "wire_bytes",
+            Counter::WireMessages => "wire_messages",
+            Counter::AllocGrowth => "alloc_growth",
+            Counter::NlRebuilds => "nl_rebuilds",
+            Counter::NlRefreshes => "nl_refreshes",
+            Counter::SturmBisections => "sturm_bisections",
+            Counter::ChebyshevMatvecs => "chebyshev_matvecs",
+        }
+    }
+}
+
+/// Last-value gauges for physics health quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// |E_cons(t) − E_cons(0)| of the current run (eV).
+    EnergyDrift,
+    /// ‖Hv − λv‖∞ from the latest eigensolver health probe (eV).
+    EigResidual,
+    /// Orthogonality defect from the latest health probe.
+    EigOrthogonality,
+    /// Instantaneous kinetic temperature (K).
+    Temperature,
+}
+
+impl Gauge {
+    pub const COUNT: usize = 4;
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::EnergyDrift,
+        Gauge::EigResidual,
+        Gauge::EigOrthogonality,
+        Gauge::Temperature,
+    ];
+
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used as the JSON key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::EnergyDrift => "energy_drift_ev",
+            Gauge::EigResidual => "eig_residual",
+            Gauge::EigOrthogonality => "eig_orthogonality",
+            Gauge::Temperature => "temperature_k",
+        }
+    }
+}
+
+/// Point-in-time copy of every registry value. Subtract two snapshots to
+/// get per-interval (e.g. per-MD-step) deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceSnapshot {
+    pub counters: [u64; Counter::COUNT],
+    pub phase_ns: [u64; Phase::COUNT],
+    pub gauges: [f64; Gauge::COUNT],
+}
+
+impl TraceSnapshot {
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    pub fn phase_ns(&self, p: Phase) -> u64 {
+        self.phase_ns[p.index()]
+    }
+
+    pub fn gauge(&self, g: Gauge) -> f64 {
+        self.gauges[g.index()]
+    }
+
+    /// Counter/timer deltas since `earlier` (gauges keep `self`'s values;
+    /// they are not monotonic). Saturates rather than wrapping if `earlier`
+    /// post-dates `self`.
+    pub fn since(&self, earlier: &TraceSnapshot) -> TraceSnapshot {
+        let mut out = *self;
+        for i in 0..Counter::COUNT {
+            out.counters[i] = self.counters[i].saturating_sub(earlier.counters[i]);
+        }
+        for i in 0..Phase::COUNT {
+            out.phase_ns[i] = self.phase_ns[i].saturating_sub(earlier.phase_ns[i]);
+        }
+        out
+    }
+}

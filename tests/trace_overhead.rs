@@ -1,0 +1,162 @@
+//! Observability must be free when it is off and faithful when it is on
+//! (ISSUE 4).
+//!
+//! The trace registry's contract: with [`TraceSink::disabled`] every hook is
+//! one relaxed atomic load — an instrumented MD trajectory is bitwise
+//! identical to an uninstrumented one and performs no extra allocations.
+//! With a live sink the same trajectory still produces bitwise-identical
+//! physics while the counters fill in. The JSONL recorder parses line by
+//! line, and the drift watchdog trips when an artificially large timestep
+//! destroys energy conservation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbmd::trace::{Counter, JsonValue};
+use tbmd::{
+    run_manifest, run_simulation_recorded, Protocol, RecorderConfig, RunRecorder, SimulationConfig,
+    SystemSpec, TraceSink,
+};
+use tbmd_md::{maxwell_boltzmann, MdState, VelocityVerlet};
+use tbmd_model::{silicon_gsp, OccupationScheme, TbCalculator, Workspace};
+use tbmd_structure::{bulk_diamond, Species, Structure};
+
+/// 2×2×2 Si diamond, as in `workspace_equivalence`: large enough for the
+/// Verlet skin path, small enough for a 50-step run in test time.
+fn si64() -> Structure {
+    bulk_diamond(Species::Silicon, 2, 2, 2)
+}
+
+fn velocities(s: &Structure, seed: u64) -> Vec<tbmd_linalg::Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    maxwell_boltzmann(s, 300.0, &mut rng)
+}
+
+/// Bit-exact fingerprint of a 50-step NVE trajectory: the per-step potential
+/// energies and the final positions, as raw f64 bits. Also returns the
+/// workspace allocation-event count after a 5-step warm-in, so the caller
+/// can assert the remaining 45 steps allocated nothing.
+fn trajectory_bits(steps: usize) -> (Vec<u64>, Vec<u64>, bool) {
+    let model = silicon_gsp();
+    let calc = TbCalculator::with_occupation(&model, OccupationScheme::Fermi { kt: 0.1 });
+    let vv = VelocityVerlet::new(1.0);
+    let mut ws = Workspace::new();
+    let mut state = MdState::new_with(si64(), velocities(&si64(), 31), &calc, &mut ws).unwrap();
+
+    let mut energies = Vec::with_capacity(steps);
+    let mut allocated_after_warm_in = false;
+    let mut after_warm_in = 0;
+    for step in 0..steps {
+        vv.step_with(&mut state, &calc, &mut ws).unwrap();
+        energies.push(state.potential_energy.to_bits());
+        if step == 4 {
+            after_warm_in = ws.large_alloc_events();
+        } else if step > 4 && ws.large_alloc_events() != after_warm_in {
+            allocated_after_warm_in = true;
+        }
+    }
+    let positions = state
+        .structure
+        .positions()
+        .iter()
+        .flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
+        .collect();
+    (energies, positions, allocated_after_warm_in)
+}
+
+/// The tentpole acceptance test: a 50-step MD run with the disabled sink is
+/// bitwise identical to the same run with a live collecting sink, and the
+/// disabled run allocates nothing after warm-in. Both runs execute inside
+/// one test so no parallel test can flip the process-global sink mid-run.
+#[test]
+fn disabled_sink_md_is_bitwise_identical_and_allocation_free() {
+    tbmd::trace::install(TraceSink::disabled());
+    let before = tbmd::trace::snapshot();
+    let (e_off, x_off, allocated_off) = trajectory_bits(50);
+    let after_off = tbmd::trace::snapshot().since(&before);
+    assert!(
+        !allocated_off,
+        "disabled-sink run grew workspace buffers after warm-in"
+    );
+    assert_eq!(
+        after_off.counter(Counter::NlRebuilds) + after_off.counter(Counter::AllocGrowth),
+        0,
+        "disabled sink accumulated counters"
+    );
+
+    tbmd::trace::install(TraceSink::collecting());
+    let before = tbmd::trace::snapshot();
+    let (e_on, x_on, _) = trajectory_bits(50);
+    let delta = tbmd::trace::snapshot().since(&before);
+    tbmd::trace::install(TraceSink::disabled());
+
+    assert_eq!(e_off, e_on, "per-step energies differ with tracing on");
+    assert_eq!(x_off, x_on, "final positions differ with tracing on");
+    // The live sink actually observed the run it did not perturb.
+    assert!(
+        delta.counter(Counter::NlRebuilds) + delta.counter(Counter::NlRefreshes) >= 50,
+        "collecting sink saw no neighbor-list activity"
+    );
+    assert!(
+        delta.counter(Counter::SturmBisections) > 0,
+        "collecting sink saw no eigensolver activity"
+    );
+}
+
+/// The recorder emits parseable JSONL (manifest first, then step records,
+/// then a summary), and the microcanonical drift watchdog trips when a
+/// 12 fs timestep wrecks conservation (Si-8 at 300 K holds ~0.02 eV drift
+/// up to 8 fs; at 12 fs Verlet is unstable and the energy explodes).
+#[test]
+fn recorder_jsonl_parses_and_drift_watchdog_trips() {
+    let mut config = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 40);
+    config.protocol = Protocol::Nve {
+        temperature_k: 300.0,
+        steps: 40,
+        dt_fs: 12.0,
+    };
+    let manifest = run_manifest(&config);
+    assert_eq!(manifest.n_atoms, 8);
+    let mut recorder = RunRecorder::in_memory(&manifest).with_drift_budget(0.05);
+    run_simulation_recorded(&config, &mut recorder, RecorderConfig { health_stride: 10 })
+        .expect("recorded run");
+    let summary = recorder.finish().expect("summary");
+
+    assert_eq!(summary.steps, 40);
+    assert!(
+        !summary.watchdog.ok,
+        "12 fs NVE should trip the drift watchdog"
+    );
+    assert!(summary.watchdog.tripped_at.is_some());
+    assert!(summary.warns >= 1, "tripping must emit a warn line");
+
+    let mut kinds = Vec::new();
+    for line in &summary.lines {
+        let v = JsonValue::parse(line).expect("every JSONL line parses");
+        let kind = v.get("type").and_then(|t| t.as_str()).expect("type field");
+        if kind == "step" {
+            for key in [
+                "step",
+                "conserved_ev",
+                "drift_ev",
+                "temperature_k",
+                "comm_bytes",
+            ] {
+                assert!(v.get(key).is_some(), "step record missing `{key}`");
+            }
+            let phases = v.get("phase_ns").expect("phase_ns object");
+            assert!(
+                phases.get("communication").is_some(),
+                "step record missing the communication phase"
+            );
+        }
+        kinds.push(kind.to_string());
+    }
+    assert_eq!(kinds.first().map(String::as_str), Some("manifest"));
+    assert_eq!(kinds.last().map(String::as_str), Some("summary"));
+    assert!(kinds.iter().filter(|k| *k == "step").count() == 40);
+    assert!(kinds.iter().any(|k| k == "warn"));
+    assert!(
+        kinds.iter().any(|k| k == "eig_health"),
+        "health probe at stride 10 never fired"
+    );
+}
