@@ -28,13 +28,14 @@ use tbmd::linalg::{
     eig_residual, eigh, eigh_blocked_into, eigh_partial_into, orthogonality_defect, EighWorkspace,
 };
 use tbmd::model::PhaseTimings;
-use tbmd::trace::{git_describe, JsonValue, Phase};
+use tbmd::trace::{git_describe, Counter, JsonValue, Phase};
 use tbmd::{
-    run_manifest, run_simulation_recorded, silicon_gsp, DistributedSolver, DistributedTb,
-    EngineKind, ForceProvider, RecorderConfig, RunRecorder, SharedMemoryTb, SimulationConfig,
-    Species, Structure, SystemSpec, TbCalculator, Workspace,
+    run_manifest, run_simulation_checkpointed, run_simulation_recorded, silicon_gsp,
+    CheckpointConfig, CheckpointStore, DistributedSolver, DistributedTb, EngineKind, ForceProvider,
+    RecorderConfig, RunRecorder, SharedMemoryTb, SimulationConfig, Species, Structure, SystemSpec,
+    TbCalculator, TraceSink, Workspace,
 };
-use tbmd_bench::{check_gate, fmt_ms, write_json, BenchArgs, ReportTable};
+use tbmd_bench::{check_gate, compare_baselines, fmt_ms, write_json, BenchArgs, ReportTable};
 use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
 use tbmd_structure::NeighborList;
 
@@ -248,8 +249,15 @@ fn main() {
         config.engine = engine;
         let manifest = run_manifest(&config);
         let mut rec = RunRecorder::in_memory(&manifest);
-        run_simulation_recorded(&config, &mut rec, RecorderConfig { health_stride: 5 })
-            .expect("recorded run");
+        run_simulation_recorded(
+            &config,
+            &mut rec,
+            RecorderConfig {
+                health_stride: 5,
+                ..RecorderConfig::standard()
+            },
+        )
+        .expect("recorded run");
         let summary = rec.finish().expect("summary");
         let mut v = summary.watchdog.to_json();
         v.set("engine", label)
@@ -266,9 +274,64 @@ fn main() {
     }
     root.set("watchdogs", watchdogs);
 
+    // --- Checkpoint subsystem headline: snapshot write/load cost for a
+    // Si-64 NVE run, with the write cost amortized to an interval-100
+    // cadence against the measured step time (`report_checkpoint` runs the
+    // full size sweep; this keeps the headline in BENCH_phase.json).
+    let ckpt_dir = std::env::temp_dir().join(format!("tbmd_bench_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let ckpt_cfg = CheckpointConfig {
+        dir: ckpt_dir.clone(),
+        interval: 3,
+        retain: 0,
+    };
+    let mut config = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 2 }, 300.0, 6);
+    config.perturb = 0.02;
+    tbmd::trace::install(TraceSink::collecting());
+    let before = tbmd::trace::snapshot();
+    let t0 = Instant::now();
+    run_simulation_checkpointed(&config, &ckpt_cfg).expect("checkpointed run");
+    let wall = t0.elapsed();
+    let delta = tbmd::trace::snapshot().since(&before);
+    tbmd::trace::install(TraceSink::disabled());
+    let writes = delta.counter(Counter::CkptWrites).max(1);
+    let write_ms = delta.counter(Counter::CkptNanos) as f64 / writes as f64 / 1e6;
+    let snapshot_bytes = delta.counter(Counter::CkptBytes) / writes;
+    let store = CheckpointStore::open(&ckpt_dir, 0).expect("store");
+    let t0 = Instant::now();
+    let latest = store.latest().expect("load").expect("snapshot present");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let step_ms = wall.as_secs_f64() * 1e3 / 6.0;
+    // One write per 100 steps, as a fraction of 100 steps of MD.
+    let overhead_pct = write_ms / (100.0 * step_ms) * 100.0;
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut ckpt = JsonValue::object();
+    ckpt.set("n_atoms", 64usize)
+        .set("snapshot_step", latest.step)
+        .set("writes", writes)
+        .set("snapshot_bytes", snapshot_bytes)
+        .set("write_ms", write_ms)
+        .set("load_ms", load_ms)
+        .set("step_ms", step_ms)
+        .set("overhead_pct_interval100", overhead_pct);
+    root.set("checkpoint", ckpt);
+    let mut ckpt_table = ReportTable::new(
+        "Baseline: checkpoint write/load cost (Si-64 NVE)",
+        &["N", "bytes", "write/ms", "load/ms", "step/ms", "ovh@100/%"],
+    );
+    ckpt_table.row(vec![
+        "64".to_string(),
+        snapshot_bytes.to_string(),
+        fmt_ms(std::time::Duration::from_secs_f64(write_ms / 1e3)),
+        fmt_ms(std::time::Duration::from_secs_f64(load_ms / 1e3)),
+        fmt_ms(std::time::Duration::from_secs_f64(step_ms / 1e3)),
+        format!("{overhead_pct:.3}"),
+    ]);
+
     engine_table.print();
     eig_table.print();
     wd_table.print();
+    ckpt_table.print();
     println!(
         "\nsliced vs ring-Jacobi wire bytes at N = {}, P = 4: {} vs {} ({:.1}x)",
         s64.n_atoms(),
@@ -321,10 +384,42 @@ fn main() {
             .and_then(|e| e.get("worst_residual"))
             .and_then(|r| r.as_f64())
             .is_some_and(|r| r.is_finite() && r < 1e-6 * n as f64);
+        let ckpt_ok = v
+            .get("checkpoint")
+            .and_then(|c| c.get("overhead_pct_interval100"))
+            .and_then(|o| o.as_f64())
+            .is_some_and(|o| o.is_finite() && o < 5.0);
+
+        // Regression gate against the previous CI artifact: loose on wall
+        // times (noisy hosts), near-exact on wire bytes. A missing artifact
+        // (first run, expired retention) passes with a note.
+        let mut prev_ok = true;
+        let mut prev_note = "no --prev artifact given".to_string();
+        if let Some(prev_path) = &args.prev {
+            match std::fs::read_to_string(prev_path) {
+                Ok(text) => {
+                    let prev = JsonValue::parse(&text).expect("parse previous baseline");
+                    let ratio = args.threshold_or(1.6);
+                    let violations = compare_baselines(&v, &prev, ratio);
+                    prev_ok = violations.is_empty();
+                    prev_note = if prev_ok {
+                        format!("within {ratio:.2}x of previous artifact")
+                    } else {
+                        violations.join("; ")
+                    };
+                }
+                Err(_) => {
+                    prev_note = format!(
+                        "previous artifact {} missing — skipping diff",
+                        prev_path.display()
+                    );
+                }
+            }
+        }
         check_gate(
-            engines_ok && comm_ok && watchdogs_ok && eig_ok,
+            engines_ok && comm_ok && watchdogs_ok && eig_ok && ckpt_ok && prev_ok,
             &format!(
-                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}"
+                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, regression: {prev_note}"
             ),
         );
     }

@@ -1,0 +1,731 @@
+//! # tbmd-ckpt
+//!
+//! Checkpoint/restart subsystem: a versioned binary snapshot format for the
+//! full resumable MD state, and an atomic on-disk store with retain-last-K
+//! rotation. Zero external dependencies (like `tbmd-trace`) so every crate
+//! in the workspace can depend on it without cycles.
+//!
+//! ## Format (`TBCK` version 1)
+//!
+//! ```text
+//! magic "TBCK" | version u32 LE | section*
+//! section := tag [u8;4] | payload_len u64 LE | payload | crc32(payload) u32 LE
+//! ```
+//!
+//! All integers are little-endian; every `f64` is stored as its IEEE-754
+//! bit pattern (`to_bits`), so a decoded snapshot is **bit-exact** — resumed
+//! trajectories reproduce the uninterrupted run to the last ulp. Sections:
+//!
+//! | tag    | payload                                                      |
+//! |--------|--------------------------------------------------------------|
+//! | `HEAD` | step, seed, config fingerprint, RNG state, recorded steps,   |
+//! |        | n_atoms (u64); time_fs, potential, conserved ref, drift (f64)|
+//! | `POSN` | 3·n_atoms positions (f64)                                    |
+//! | `VELO` | 3·n_atoms velocities (f64)                                   |
+//! | `FRCE` | 3·n_atoms forces (f64) — restored verbatim so the resumed    |
+//! |        | state needs no re-evaluation                                 |
+//! | `STAT` | temperature running stats: n (u64); mean, m2, min, max (f64) |
+//! | `THRM` | optional Nosé–Hoover internals: xi, eta, target_k, q (f64)   |
+//! | `RAMP` | optional ramp phase: holding, hold_step, steps_total (u64)   |
+//!
+//! Decoding is total: truncated, bit-flipped, or otherwise malformed input
+//! yields a typed [`CkptError`], never a panic or silent garbage.
+
+use std::fmt;
+
+mod store;
+
+pub use store::{CheckpointStore, WriteReceipt};
+
+/// File magic of a snapshot.
+pub const MAGIC: [u8; 4] = *b"TBCK";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const TAG_HEAD: [u8; 4] = *b"HEAD";
+const TAG_POSN: [u8; 4] = *b"POSN";
+const TAG_VELO: [u8; 4] = *b"VELO";
+const TAG_FRCE: [u8; 4] = *b"FRCE";
+const TAG_STAT: [u8; 4] = *b"STAT";
+const TAG_THRM: [u8; 4] = *b"THRM";
+const TAG_RAMP: [u8; 4] = *b"RAMP";
+
+/// Everything that can go wrong reading or writing a snapshot.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with `TBCK`.
+    BadMagic,
+    /// The file claims a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The byte stream ended mid-header or mid-section.
+    Truncated,
+    /// A section payload does not match its stored CRC32.
+    CrcMismatch { section: [u8; 4] },
+    /// A section tag this version does not define.
+    UnknownSection { tag: [u8; 4] },
+    /// A required section is absent.
+    MissingSection { tag: [u8; 4] },
+    /// Structurally invalid content (wrong section size, duplicate section,
+    /// array length inconsistent with the header, …).
+    Malformed { detail: String },
+    /// The snapshot belongs to a different simulation configuration.
+    ConfigMismatch { detail: String },
+    /// No snapshot available to resume from.
+    NoSnapshot,
+}
+
+fn tag_str(tag: &[u8; 4]) -> String {
+    String::from_utf8_lossy(tag).into_owned()
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic => write!(f, "not a TBCK snapshot (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {VERSION})"
+                )
+            }
+            CkptError::Truncated => write!(f, "snapshot truncated"),
+            CkptError::CrcMismatch { section } => {
+                write!(f, "CRC mismatch in section {}", tag_str(section))
+            }
+            CkptError::UnknownSection { tag } => {
+                write!(f, "unknown section tag {}", tag_str(tag))
+            }
+            CkptError::MissingSection { tag } => {
+                write!(f, "missing required section {}", tag_str(tag))
+            }
+            CkptError::Malformed { detail } => write!(f, "malformed snapshot: {detail}"),
+            CkptError::ConfigMismatch { detail } => {
+                write!(f, "snapshot/config mismatch: {detail}")
+            }
+            CkptError::NoSnapshot => write!(f, "no snapshot found to resume from"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Nosé–Hoover thermostat internals (`THRM` section).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermostatSnapshot {
+    /// Friction coefficient ξ (fs⁻¹).
+    pub xi: f64,
+    /// Integrated friction η (for the conserved quantity).
+    pub eta: f64,
+    /// Current thermostat set-point (K) — mid-ramp this differs from the
+    /// protocol's endpoints.
+    pub target_k: f64,
+    /// Thermostat mass Q.
+    pub q: f64,
+}
+
+/// Welford running-statistics internals (`STAT` section).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    pub n: u64,
+    pub mean: f64,
+    pub m2: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// Where a ramp protocol stands (`RAMP` section).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampSnapshot {
+    /// `false` while the set-point is still ramping; `true` in the hold
+    /// phase (where the conserved reference is meaningful).
+    pub holding: bool,
+    /// Completed steps of the hold phase (0 while ramping).
+    pub hold_step: u64,
+    /// Completed steps across ramp + hold.
+    pub steps_total: u64,
+}
+
+/// One complete resumable state, ready for [`Snapshot::encode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Completed protocol steps (for ramps: of the current phase — see
+    /// [`RampSnapshot`]).
+    pub step: u64,
+    /// Simulation clock (fs).
+    pub time_fs: f64,
+    /// The run's RNG seed (identity check on resume).
+    pub seed: u64,
+    /// Fingerprint of the step-count-independent configuration; a resume
+    /// against a different system/engine/protocol shape is rejected.
+    pub config_fingerprint: u64,
+    /// Generator state after initialization draws.
+    pub rng_state: u64,
+    /// Potential energy at `step` (restored without re-evaluation).
+    pub potential_energy: f64,
+    /// Conserved-quantity reference (E₀ for NVE, H'₀ for NVT/hold).
+    pub conserved_ref: f64,
+    /// Peak |conserved − reference| so far.
+    pub drift: f64,
+    /// JSONL step records emitted so far (recorder linkage).
+    pub recorded_steps: u64,
+    /// Flattened positions `[x0,y0,z0, x1,…]` (Å).
+    pub positions: Vec<f64>,
+    /// Flattened velocities (Å/fs).
+    pub velocities: Vec<f64>,
+    /// Flattened forces (eV/Å).
+    pub forces: Vec<f64>,
+    /// Temperature running statistics.
+    pub temp_stats: StatsSnapshot,
+    /// Thermostat internals (NVT/ramp protocols).
+    pub thermostat: Option<ThermostatSnapshot>,
+    /// Ramp phase (NvtRamp protocol).
+    pub ramp: Option<RampSnapshot>,
+}
+
+impl Snapshot {
+    /// Atom count implied by the position array.
+    pub fn n_atoms(&self) -> usize {
+        self.positions.len() / 3
+    }
+
+    /// Serialize to the `TBCK` byte format (deterministic: equal snapshots
+    /// encode to identical bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.positions.len();
+        debug_assert_eq!(n % 3, 0);
+        debug_assert_eq!(self.velocities.len(), n);
+        debug_assert_eq!(self.forces.len(), n);
+        let mut out = Vec::with_capacity(64 + 3 * (8 * n + 16) + 160);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+
+        let mut head = Vec::with_capacity(80);
+        for v in [
+            self.step,
+            self.seed,
+            self.config_fingerprint,
+            self.rng_state,
+            self.recorded_steps,
+            (n / 3) as u64,
+        ] {
+            head.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [
+            self.time_fs,
+            self.potential_energy,
+            self.conserved_ref,
+            self.drift,
+        ] {
+            head.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        push_section(&mut out, TAG_HEAD, &head);
+
+        push_section(&mut out, TAG_POSN, &f64_bytes(&self.positions));
+        push_section(&mut out, TAG_VELO, &f64_bytes(&self.velocities));
+        push_section(&mut out, TAG_FRCE, &f64_bytes(&self.forces));
+
+        let mut stat = Vec::with_capacity(40);
+        stat.extend_from_slice(&self.temp_stats.n.to_le_bytes());
+        for v in [
+            self.temp_stats.mean,
+            self.temp_stats.m2,
+            self.temp_stats.min,
+            self.temp_stats.max,
+        ] {
+            stat.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        push_section(&mut out, TAG_STAT, &stat);
+
+        if let Some(t) = &self.thermostat {
+            let mut thrm = Vec::with_capacity(32);
+            for v in [t.xi, t.eta, t.target_k, t.q] {
+                thrm.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            push_section(&mut out, TAG_THRM, &thrm);
+        }
+        if let Some(r) = &self.ramp {
+            let mut ramp = Vec::with_capacity(24);
+            for v in [r.holding as u64, r.hold_step, r.steps_total] {
+                ramp.extend_from_slice(&v.to_le_bytes());
+            }
+            push_section(&mut out, TAG_RAMP, &ramp);
+        }
+        out
+    }
+
+    /// Parse a `TBCK` byte stream; every malformation maps to a typed
+    /// [`CkptError`].
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, CkptError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+
+        let mut head: Option<Vec<u8>> = None;
+        let mut posn: Option<Vec<f64>> = None;
+        let mut velo: Option<Vec<f64>> = None;
+        let mut frce: Option<Vec<f64>> = None;
+        let mut stat: Option<Vec<u8>> = None;
+        let mut thrm: Option<Vec<u8>> = None;
+        let mut ramp: Option<Vec<u8>> = None;
+
+        while !r.done() {
+            let tag: [u8; 4] = r.take(4)?.try_into().expect("4 bytes");
+            let len = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+            let len = usize::try_from(len).map_err(|_| CkptError::Truncated)?;
+            let payload = r.take(len)?.to_vec();
+            let stored = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+            if crc32(&payload) != stored {
+                return Err(CkptError::CrcMismatch { section: tag });
+            }
+            let slot = match tag {
+                TAG_HEAD => &mut head,
+                TAG_STAT => &mut stat,
+                TAG_THRM => &mut thrm,
+                TAG_RAMP => &mut ramp,
+                TAG_POSN | TAG_VELO | TAG_FRCE => {
+                    let arr = match tag {
+                        TAG_POSN => &mut posn,
+                        TAG_VELO => &mut velo,
+                        _ => &mut frce,
+                    };
+                    if arr.is_some() {
+                        return Err(dup(tag));
+                    }
+                    *arr = Some(f64_vec(&payload, tag)?);
+                    continue;
+                }
+                _ => return Err(CkptError::UnknownSection { tag }),
+            };
+            if slot.is_some() {
+                return Err(dup(tag));
+            }
+            *slot = Some(payload);
+        }
+
+        let head = head.ok_or(CkptError::MissingSection { tag: TAG_HEAD })?;
+        if head.len() != 80 {
+            return Err(CkptError::Malformed {
+                detail: format!("HEAD is {} bytes, expected 80", head.len()),
+            });
+        }
+        let u = |i: usize| u64::from_le_bytes(head[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+        let f = |i: usize| f64::from_bits(u(i));
+        let n_atoms = u(5);
+
+        let positions = posn.ok_or(CkptError::MissingSection { tag: TAG_POSN })?;
+        let velocities = velo.ok_or(CkptError::MissingSection { tag: TAG_VELO })?;
+        let forces = frce.ok_or(CkptError::MissingSection { tag: TAG_FRCE })?;
+        for (name, arr) in [
+            ("POSN", &positions),
+            ("VELO", &velocities),
+            ("FRCE", &forces),
+        ] {
+            if arr.len() as u64 != 3 * n_atoms {
+                return Err(CkptError::Malformed {
+                    detail: format!(
+                        "{name} holds {} values, HEAD claims {} atoms",
+                        arr.len(),
+                        n_atoms
+                    ),
+                });
+            }
+        }
+
+        let stat = stat.ok_or(CkptError::MissingSection { tag: TAG_STAT })?;
+        if stat.len() != 40 {
+            return Err(CkptError::Malformed {
+                detail: format!("STAT is {} bytes, expected 40", stat.len()),
+            });
+        }
+        let su = |i: usize| u64::from_le_bytes(stat[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+        let temp_stats = StatsSnapshot {
+            n: su(0),
+            mean: f64::from_bits(su(1)),
+            m2: f64::from_bits(su(2)),
+            min: f64::from_bits(su(3)),
+            max: f64::from_bits(su(4)),
+        };
+
+        let thermostat = match thrm {
+            None => None,
+            Some(t) => {
+                if t.len() != 32 {
+                    return Err(CkptError::Malformed {
+                        detail: format!("THRM is {} bytes, expected 32", t.len()),
+                    });
+                }
+                let tu =
+                    |i: usize| u64::from_le_bytes(t[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+                Some(ThermostatSnapshot {
+                    xi: f64::from_bits(tu(0)),
+                    eta: f64::from_bits(tu(1)),
+                    target_k: f64::from_bits(tu(2)),
+                    q: f64::from_bits(tu(3)),
+                })
+            }
+        };
+        let ramp = match ramp {
+            None => None,
+            Some(rp) => {
+                if rp.len() != 24 {
+                    return Err(CkptError::Malformed {
+                        detail: format!("RAMP is {} bytes, expected 24", rp.len()),
+                    });
+                }
+                let ru = |i: usize| {
+                    u64::from_le_bytes(rp[8 * i..8 * i + 8].try_into().expect("8 bytes"))
+                };
+                match ru(0) {
+                    0 | 1 => {}
+                    other => {
+                        return Err(CkptError::Malformed {
+                            detail: format!("RAMP holding flag is {other}, expected 0/1"),
+                        })
+                    }
+                }
+                Some(RampSnapshot {
+                    holding: ru(0) == 1,
+                    hold_step: ru(1),
+                    steps_total: ru(2),
+                })
+            }
+        };
+
+        Ok(Snapshot {
+            step: u(0),
+            seed: u(1),
+            config_fingerprint: u(2),
+            rng_state: u(3),
+            recorded_steps: u(4),
+            time_fs: f(6),
+            potential_energy: f(7),
+            conserved_ref: f(8),
+            drift: f(9),
+            positions,
+            velocities,
+            forces,
+            temp_stats,
+            thermostat,
+            ramp,
+        })
+    }
+}
+
+fn dup(tag: [u8; 4]) -> CkptError {
+    CkptError::Malformed {
+        detail: format!("duplicate section {}", tag_str(&tag)),
+    }
+}
+
+fn push_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
+    out.extend_from_slice(&tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+fn f64_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * values.len());
+    for v in values {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn f64_vec(payload: &[u8], tag: [u8; 4]) -> Result<Vec<f64>, CkptError> {
+    if !payload.len().is_multiple_of(8) {
+        return Err(CkptError::Malformed {
+            detail: format!("{} payload is not a multiple of 8 bytes", tag_str(&tag)),
+        });
+    }
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+        .collect())
+}
+
+/// Bounds-checked byte cursor; running off the end is [`CkptError::Truncated`].
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self.pos.checked_add(n).ok_or(CkptError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// FNV-1a over a byte string — used by callers to fingerprint the
+/// step-count-independent part of a run configuration.
+pub fn fingerprint(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(n_atoms: usize, with_thermo: bool, with_ramp: bool) -> Snapshot {
+        let n = 3 * n_atoms;
+        Snapshot {
+            step: 120,
+            time_fs: 120.0,
+            seed: 42,
+            config_fingerprint: 0xDEAD_BEEF_1234_5678,
+            rng_state: 991,
+            potential_energy: -321.0625,
+            conserved_ref: -320.5,
+            drift: 1.25e-3,
+            recorded_steps: 120,
+            positions: (0..n).map(|i| 0.1 * i as f64 - 3.0).collect(),
+            velocities: (0..n).map(|i| 1e-3 * i as f64).collect(),
+            forces: (0..n).map(|i| -(i as f64) * 2.5e-2).collect(),
+            temp_stats: StatsSnapshot {
+                n: 120,
+                mean: 297.5,
+                m2: 41.0,
+                min: 250.0,
+                max: 330.0,
+            },
+            thermostat: with_thermo.then_some(ThermostatSnapshot {
+                xi: 2.0e-4,
+                eta: -1.5e-2,
+                target_k: 300.0,
+                q: 12.5,
+            }),
+            ramp: with_ramp.then_some(RampSnapshot {
+                holding: true,
+                hold_step: 20,
+                steps_total: 120,
+            }),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_section_combinations() {
+        for (t, r) in [(false, false), (true, false), (true, true), (false, true)] {
+            let snap = sample(8, t, r);
+            let bytes = snap.encode();
+            let back = Snapshot::decode(&bytes).expect("decode");
+            assert_eq!(back, snap);
+            // Deterministic encoding: re-encoding is byte-identical.
+            assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_typed() {
+        let bytes = sample(4, true, true).encode();
+        for cut in 0..bytes.len() {
+            match Snapshot::decode(&bytes[..cut]) {
+                // Typed rejection (not a panic) is the required behavior for
+                // torn writes.
+                Err(e) => {
+                    let _ = format!("{e}");
+                }
+                // A cut exactly at a section boundary past the required
+                // sections is a legitimate shorter document (the optional
+                // THRM/RAMP tail absent) — it must round-trip the prefix.
+                Ok(s) => assert_eq!(s.encode(), &bytes[..cut], "cut at {cut}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = sample(2, false, false).encode();
+        bytes[0] ^= 0x40;
+        assert!(matches!(Snapshot::decode(&bytes), Err(CkptError::BadMagic)));
+        let mut bytes = sample(2, false, false).encode();
+        bytes[4] = 0xFE;
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CkptError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_crc_mismatch() {
+        let snap = sample(4, true, false);
+        let bytes = snap.encode();
+        // Flip one bit inside the POSN payload (after HEAD's 96-byte
+        // section record + the 12-byte POSN section header).
+        let posn_payload_start = 8 + (4 + 8 + 80 + 4) + (4 + 8);
+        let mut corrupt = bytes.clone();
+        corrupt[posn_payload_start + 17] ^= 0x01;
+        assert!(matches!(
+            Snapshot::decode(&corrupt),
+            Err(CkptError::CrcMismatch { section } ) if section == TAG_POSN
+        ));
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let mut bytes = sample(2, false, false).encode();
+        let payload = [1u8, 2, 3];
+        bytes.extend_from_slice(b"XXXX");
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CkptError::UnknownSection { tag }) if &tag == b"XXXX"
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = fingerprint(b"si-216/serial/nve");
+        assert_eq!(a, fingerprint(b"si-216/serial/nve"));
+        assert_ne!(a, fingerprint(b"si-216/serial/nvt"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+        (
+            (1usize..6, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+            (-1e9..1e9, -1e9..1e9, -1e9..1e9, -1e9..1e9),
+            (0u64..1_000_000, -1e9..1e9, 0.0..1e9, -1e9..1e9, -1e9..1e9),
+            (0u64..4, 0u64..1_000_000, 0u64..1_000_000),
+        )
+            .prop_map(
+                |(
+                    (n_atoms, step, seed, rng_state),
+                    (time_fs, potential, conserved, drift),
+                    (sn, mean, m2, min, max),
+                    (variant, hold_step, steps_total),
+                )| {
+                    let (with_thermo, with_ramp) = (variant & 1 == 1, variant & 2 == 2);
+                    let n = 3 * n_atoms;
+                    Snapshot {
+                        step,
+                        time_fs,
+                        seed,
+                        config_fingerprint: seed.rotate_left(17) ^ 0xA5A5,
+                        rng_state,
+                        potential_energy: potential,
+                        conserved_ref: conserved,
+                        drift,
+                        recorded_steps: step / 2,
+                        positions: (0..n).map(|i| time_fs + i as f64).collect(),
+                        velocities: (0..n).map(|i| drift * i as f64).collect(),
+                        forces: (0..n).map(|i| conserved - i as f64).collect(),
+                        temp_stats: StatsSnapshot {
+                            n: sn,
+                            mean,
+                            m2,
+                            min,
+                            max,
+                        },
+                        thermostat: with_thermo.then_some(ThermostatSnapshot {
+                            xi: mean,
+                            eta: m2,
+                            target_k: min,
+                            q: max,
+                        }),
+                        ramp: with_ramp.then_some(RampSnapshot {
+                            holding: hold_step % 2 == 0,
+                            hold_step,
+                            steps_total,
+                        }),
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// encode → decode → encode is byte-identical (payloads are stored
+        /// as raw IEEE-754 bit patterns).
+        #[test]
+        fn roundtrip_reencodes_identically(snap in arb_snapshot()) {
+            let bytes = snap.encode();
+            let back = Snapshot::decode(&bytes).expect("decode");
+            prop_assert_eq!(back.encode(), bytes);
+        }
+
+        /// Any single flipped bit is rejected with a typed error — no panic,
+        /// no silently different state.
+        #[test]
+        fn single_bit_flip_never_decodes(
+            snap in arb_snapshot(),
+            pos_seed in 0u64..u64::MAX,
+            bit in 0usize..8,
+        ) {
+            let mut bytes = snap.encode();
+            let idx = (pos_seed as usize) % bytes.len();
+            bytes[idx] ^= 1 << bit;
+            prop_assert!(Snapshot::decode(&bytes).is_err());
+        }
+
+        /// Random garbage never panics the decoder.
+        #[test]
+        fn arbitrary_bytes_never_panic(words in prop::collection::vec(0u64..u64::MAX, 0..32)) {
+            let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+            let _ = Snapshot::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! On-disk snapshot store: step-numbered files, atomic publication
+//! (tmp + fsync + rename), and retain-last-K rotation.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::{CkptError, Snapshot};
+
+const EXT: &str = "tbck";
+
+/// What a successful [`CheckpointStore::write`] produced.
+#[derive(Debug, Clone)]
+pub struct WriteReceipt {
+    /// Final (renamed-into-place) path of the snapshot.
+    pub path: PathBuf,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+}
+
+/// A directory of `ckpt_<step>.tbck` snapshots.
+///
+/// Writes are atomic with respect to crashes: the encoded snapshot is
+/// written to a dot-prefixed temporary in the same directory, flushed with
+/// `fsync`, renamed into place, and the directory itself is fsynced (on
+/// Unix) so the rename survives a power loss. A reader therefore never
+/// observes a half-written `.tbck` file; a torn temporary is ignored by
+/// [`list`] and cleaned up by the next write.
+///
+/// [`list`]: CheckpointStore::list
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store at `dir`, keeping the newest
+    /// `retain` snapshots (0 = keep everything).
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<CheckpointStore, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, retain })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a snapshot of `step` lives at.
+    pub fn path_for(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("ckpt_{step:010}.{EXT}"))
+    }
+
+    /// Atomically publish `snap`, then rotate out snapshots beyond the
+    /// retention count.
+    pub fn write(&self, snap: &Snapshot) -> Result<WriteReceipt, CkptError> {
+        let bytes = snap.encode();
+        let path = self.path_for(snap.step);
+        let tmp = self.dir.join(format!(".ckpt_{:010}.{EXT}.tmp", snap.step));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Persist the rename itself. Directory fsync is Unix-specific;
+        // elsewhere the rename alone is the best available guarantee.
+        #[cfg(unix)]
+        {
+            let _ = fs::File::open(&self.dir).and_then(|d| d.sync_all());
+        }
+        self.rotate()?;
+        Ok(WriteReceipt {
+            path,
+            bytes: bytes.len() as u64,
+        })
+    }
+
+    /// All snapshots present, as `(step, path)` sorted oldest → newest.
+    pub fn list(&self) -> Result<Vec<(u64, PathBuf)>, CkptError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n,
+                None => continue,
+            };
+            let step = match name
+                .strip_prefix("ckpt_")
+                .and_then(|rest| rest.strip_suffix(&format!(".{EXT}")))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                Some(s) => s,
+                None => continue,
+            };
+            out.push((step, path));
+        }
+        out.sort_unstable_by_key(|(step, _)| *step);
+        Ok(out)
+    }
+
+    /// Load one snapshot file.
+    pub fn load(path: &Path) -> Result<Snapshot, CkptError> {
+        Snapshot::decode(&fs::read(path)?)
+    }
+
+    /// The newest snapshot that decodes cleanly. Corrupt newer files are
+    /// skipped (that is the point of keeping K of them); `Ok(None)` if the
+    /// store holds no usable snapshot at all.
+    pub fn latest(&self) -> Result<Option<Snapshot>, CkptError> {
+        for (_, path) in self.list()?.into_iter().rev() {
+            if let Ok(snap) = Self::load(&path) {
+                return Ok(Some(snap));
+            }
+        }
+        Ok(None)
+    }
+
+    fn rotate(&self) -> Result<(), CkptError> {
+        // Also sweep stale temporaries from a previous crashed writer.
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if name.starts_with(".ckpt_") && name.ends_with(".tmp") {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        if self.retain == 0 {
+            return Ok(());
+        }
+        let listed = self.list()?;
+        if listed.len() > self.retain {
+            let excess = listed.len() - self.retain;
+            for (_, path) in &listed[..excess] {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::sample;
+
+    fn tmp_store(tag: &str, retain: usize) -> CheckpointStore {
+        let dir =
+            std::env::temp_dir().join(format!("tbmd_ckpt_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::open(&dir, retain).expect("open store")
+    }
+
+    #[test]
+    fn write_load_latest_roundtrip() {
+        let store = tmp_store("roundtrip", 0);
+        let mut snap = sample(4, true, false);
+        snap.step = 7;
+        let receipt = store.write(&snap).expect("write");
+        assert!(receipt.path.ends_with("ckpt_0000000007.tbck"));
+        assert_eq!(receipt.bytes, snap.encode().len() as u64);
+        let back = CheckpointStore::load(&receipt.path).expect("load");
+        assert_eq!(back, snap);
+        assert_eq!(store.latest().expect("latest"), Some(snap));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn retention_keeps_exactly_k_newest() {
+        let store = tmp_store("retention", 3);
+        for step in (10..=80).step_by(10) {
+            let mut snap = sample(2, false, false);
+            snap.step = step;
+            store.write(&snap).expect("write");
+        }
+        let listed = store.list().expect("list");
+        let steps: Vec<u64> = listed.iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![60, 70, 80]);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn latest_skips_corrupt_newest() {
+        let store = tmp_store("corrupt", 0);
+        let mut good = sample(2, false, false);
+        good.step = 10;
+        store.write(&good).expect("write good");
+        let mut newer = sample(2, false, false);
+        newer.step = 20;
+        let receipt = store.write(&newer).expect("write newer");
+        // Truncate the newest file to simulate a torn write that somehow
+        // survived (e.g. rename of a partial file by an older writer).
+        let bytes = fs::read(&receipt.path).expect("read");
+        fs::write(&receipt.path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert_eq!(store.latest().expect("latest"), Some(good));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stale_temporaries_are_swept() {
+        let store = tmp_store("sweep", 2);
+        fs::write(store.dir().join(".ckpt_0000000001.tbck.tmp"), b"partial").expect("tmp");
+        let mut snap = sample(2, false, false);
+        snap.step = 5;
+        store.write(&snap).expect("write");
+        let leftovers: Vec<_> = fs::read_dir(store.dir())
+            .expect("read_dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temporaries not cleaned");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -5,7 +5,7 @@ use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb};
 use tbmd_model::{
     ForceEvaluation, ForceProvider, OccupationScheme, TbCalculator, TbError, TbModel, Workspace,
 };
-use tbmd_parallel::{DistributedTb, Eigensolver, SharedMemoryTb};
+use tbmd_parallel::{DistributedTb, Eigensolver, FaultPlan, SharedMemoryTb};
 use tbmd_structure::Structure;
 
 /// Which engine evaluates energies and forces.
@@ -81,6 +81,23 @@ impl<'m> Engine<'m> {
                     .with_order(order)
                     .with_kt(kt.max(0.05)),
             ),
+        }
+    }
+
+    /// Arm a fault-injection plan on the underlying distributed engine.
+    /// Returns `false` (and arms nothing) for engines without virtual
+    /// ranks — serial and shared-memory paths have no rank to kill.
+    pub fn inject_fault(&self, plan: FaultPlan) -> bool {
+        match self {
+            Engine::Distributed(e) => {
+                e.set_fault_plan(plan);
+                true
+            }
+            Engine::DistributedLinearScaling(e) => {
+                e.set_fault_plan(plan);
+                true
+            }
+            Engine::Serial(_) | Engine::Shared(_) | Engine::LinearScaling(_) => false,
         }
     }
 }

@@ -21,8 +21,9 @@ pub mod system;
 
 pub use engine::{Engine, EngineKind};
 pub use simulation::{
-    run_manifest, run_simulation, run_simulation_recorded, Protocol, RecorderConfig,
-    SimulationConfig, SimulationSummary,
+    resume_simulation, resume_simulation_recorded, run_manifest, run_simulation,
+    run_simulation_checkpointed, run_simulation_recorded, run_simulation_resilient,
+    CheckpointConfig, Protocol, RecorderConfig, SimulationConfig, SimulationSummary,
 };
 pub use system::SystemSpec;
 
@@ -36,6 +37,7 @@ pub use tbmd_structure as structure;
 pub use tbmd_trace as trace;
 
 // The most common types at the top level.
+pub use tbmd_ckpt::{CheckpointStore, CkptError, Snapshot};
 pub use tbmd_linalg::{Matrix, Vec3};
 pub use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb};
 pub use tbmd_md::{
@@ -46,6 +48,8 @@ pub use tbmd_model::{
     band_structure, carbon_xwch, pressure, silicon_gsp, silicon_nonortho_demo, stress_tensor,
     ForceProvider, NonOrthoCalculator, OccupationScheme, TbCalculator, TbError, TbModel, Workspace,
 };
-pub use tbmd_parallel::{DistributedSolver, DistributedTb, MachineProfile, SharedMemoryTb};
+pub use tbmd_parallel::{
+    DistributedSolver, DistributedTb, FaultKind, FaultPlan, MachineProfile, SharedMemoryTb,
+};
 pub use tbmd_structure::{Cell, NeighborList, Species, Structure, VerletNeighborList};
 pub use tbmd_trace::{RunManifest, RunRecorder, TraceSink, WatchdogStatus};

@@ -8,11 +8,21 @@ use crate::system::SystemSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+use tbmd_ckpt::{
+    CheckpointStore, CkptError, RampSnapshot, Snapshot, StatsSnapshot, ThermostatSnapshot,
+};
+use tbmd_linalg::Vec3;
 use tbmd_md::{
     maxwell_boltzmann, relax, MdState, NoseHoover, RelaxOptions, RunningStats, TemperatureRamp,
     Trajectory, VelocityVerlet,
 };
-use tbmd_model::{eigensolver_health, DenseSolver, OccupationScheme, TbError, TbModel, Workspace};
+use tbmd_model::{
+    cached_eigensolver_health, eigensolver_health, DenseSolver, OccupationScheme, TbError, TbModel,
+    Workspace,
+};
+use tbmd_parallel::FaultPlan;
 use tbmd_trace::{
     git_describe, Counter, RunManifest, RunRecorder, StepRecord, TraceSink, TraceSnapshot,
 };
@@ -89,6 +99,30 @@ impl SimulationConfig {
     }
 }
 
+/// Periodic-snapshot policy for a checkpointed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory the `TBCK` snapshots live in (created if missing).
+    pub dir: PathBuf,
+    /// Steps between snapshots (0 disables writing; resume still works
+    /// against whatever the directory already holds).
+    pub interval: usize,
+    /// Keep only the newest `retain` snapshots (0 keeps all). Keeping a few
+    /// lets [`resume_simulation`] fall back past a torn newest file.
+    pub retain: usize,
+}
+
+impl CheckpointConfig {
+    /// Snapshot into `dir` every `interval` steps, keeping the newest 3.
+    pub fn every(dir: impl Into<PathBuf>, interval: usize) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            interval,
+            retain: 3,
+        }
+    }
+}
+
 /// Summary statistics of a finished simulation.
 #[derive(Debug, Clone)]
 pub struct SimulationSummary {
@@ -106,24 +140,46 @@ pub struct SimulationSummary {
     pub steps: usize,
     /// Whether a relaxation converged (always true for MD).
     pub converged: bool,
-    /// Recorded trajectory, when requested.
+    /// Recorded trajectory, when requested. A resumed run records only the
+    /// frames since the snapshot (earlier frames live in the original run).
     pub trajectory: Option<Trajectory>,
     /// Final configuration.
     pub final_structure: tbmd_structure::Structure,
+    /// Final velocities (Å/fs; empty for relaxations). Together with
+    /// `final_structure` this pins a trajectory endpoint bit-for-bit, which
+    /// is what the kill-and-resume equivalence tests compare.
+    pub final_velocities: Vec<Vec3>,
 }
 
 /// Knobs of the recorded-run path ([`run_simulation_recorded`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RecorderConfig {
     /// Eigensolver health-probe stride in MD steps (0 disables the probe).
     /// Probes run only on dense-diagonalization engines; the O(N) Chebyshev
     /// engines have no eigenpairs to check.
     pub health_stride: usize,
+    /// Periodic snapshots alongside the JSONL stream (`ckpt` lines record
+    /// each write).
+    pub checkpoint: Option<CheckpointConfig>,
+}
+
+impl RecorderConfig {
+    /// The default health-probe stride (every 25 steps).
+    pub const DEFAULT_HEALTH_STRIDE: usize = 25;
+
+    /// The default recorded-run knobs (health probe every 25 steps, no
+    /// checkpointing).
+    pub fn standard() -> Self {
+        RecorderConfig {
+            health_stride: Self::DEFAULT_HEALTH_STRIDE,
+            checkpoint: None,
+        }
+    }
 }
 
 impl Default for RecorderConfig {
     fn default() -> Self {
-        RecorderConfig { health_stride: 25 }
+        RecorderConfig::standard()
     }
 }
 
@@ -156,16 +212,23 @@ struct Recording<'r> {
     /// Dense engines get the eigensolver probe; O(N) engines do not.
     probe_health: bool,
     occupation: OccupationScheme,
+    /// Step records emitted so far (carried into snapshots so a resumed
+    /// recorder knows where the original stream ended).
+    recorded: u64,
 }
 
 impl Recording<'_> {
-    /// Record one completed MD step (and, on the stride, a health probe).
+    /// Record one completed MD step plus an eigensolver health check: the
+    /// cheap incremental probe on the solve's cached eigenpairs every step
+    /// when the engine leaves them in `ws`, else the independent full-solve
+    /// probe on the stride.
     fn observe(
         &mut self,
         step: usize,
         state: &MdState,
         conserved_ev: f64,
         model: &dyn TbModel,
+        ws: &mut Workspace,
     ) -> Result<(), TbError> {
         let snap = tbmd_trace::snapshot();
         let delta = snap.since(&self.prev);
@@ -183,25 +246,295 @@ impl Recording<'_> {
         self.recorder
             .record_step(&record)
             .map_err(|e| TbError::Recorder(e.to_string()))?;
-        if self.probe_health && self.health_stride > 0 && step.is_multiple_of(self.health_stride) {
-            let health = eigensolver_health(
-                model,
-                &state.structure,
-                self.occupation,
-                DenseSolver::TwoStage,
-                step,
-            )?;
-            self.recorder
-                .record_health(&health)
-                .map_err(|e| TbError::Recorder(e.to_string()))?;
+        self.recorded += 1;
+        if self.probe_health && self.health_stride > 0 {
+            let health = match cached_eigensolver_health(model, &state.structure, ws, step)? {
+                Some(h) => Some(h),
+                // No consumable cache (distributed/per-rank solves): pay for
+                // the independent full-solve probe, but only on the stride.
+                None if step.is_multiple_of(self.health_stride) => Some(eigensolver_health(
+                    model,
+                    &state.structure,
+                    self.occupation,
+                    DenseSolver::TwoStage,
+                    step,
+                )?),
+                None => None,
+            };
+            if let Some(health) = &health {
+                self.recorder
+                    .record_health(health)
+                    .map_err(|e| TbError::Recorder(e.to_string()))?;
+            }
         }
         Ok(())
     }
 }
 
+/// Map a checkpoint-subsystem error into the driver's error type.
+fn ckpt_err(e: CkptError) -> TbError {
+    TbError::Checkpoint(e.to_string())
+}
+
+/// Fingerprint of the step-count-independent part of a configuration. Two
+/// configs that differ only in how *long* they run fingerprint identically,
+/// so a run interrupted at step 40 of 100 resumes cleanly into a 500-step
+/// request; anything that changes the dynamics (system, engine, timestep,
+/// set-points, seed) changes the fingerprint and is rejected on resume.
+fn config_fingerprint(config: &SimulationConfig) -> u64 {
+    let protocol = match config.protocol {
+        Protocol::Nve {
+            temperature_k,
+            dt_fs,
+            ..
+        } => format!("nve:{temperature_k:?}:{dt_fs:?}"),
+        Protocol::Nvt {
+            temperature_k,
+            dt_fs,
+            tau_fs,
+            ..
+        } => format!("nvt:{temperature_k:?}:{dt_fs:?}:{tau_fs:?}"),
+        Protocol::NvtRamp {
+            from_k,
+            to_k,
+            rate_k_per_fs,
+            dt_fs,
+            tau_fs,
+            ..
+        } => format!("ramp:{from_k:?}:{to_k:?}:{rate_k_per_fs:?}:{dt_fs:?}:{tau_fs:?}"),
+        Protocol::Relax { .. } => "relax".to_string(),
+    };
+    let canon = format!(
+        "{:?}|{:?}|{}|{:?}|{:?}|{}|{}",
+        config.system,
+        config.engine,
+        protocol,
+        config.electronic_kt,
+        config.perturb,
+        config.seed,
+        config.record_stride
+    );
+    tbmd_ckpt::fingerprint(canon.as_bytes())
+}
+
+fn flatten(v: &[Vec3]) -> Vec<f64> {
+    v.iter().flat_map(|x| x.to_array()).collect()
+}
+
+fn unflatten(v: &[f64]) -> Vec<Vec3> {
+    v.chunks_exact(3)
+        .map(|c| Vec3 {
+            x: c[0],
+            y: c[1],
+            z: c[2],
+        })
+        .collect()
+}
+
+/// Open store + identity data threaded through the MD loops when
+/// checkpointing is on.
+struct CkptCtx {
+    store: CheckpointStore,
+    interval: usize,
+    fingerprint: u64,
+    seed: u64,
+}
+
+impl CkptCtx {
+    fn open(ckpt: &CheckpointConfig, config: &SimulationConfig) -> Result<CkptCtx, TbError> {
+        Ok(CkptCtx {
+            store: CheckpointStore::open(&ckpt.dir, ckpt.retain).map_err(ckpt_err)?,
+            interval: ckpt.interval,
+            fingerprint: config_fingerprint(config),
+            seed: config.seed,
+        })
+    }
+
+    fn due(&self, step: usize) -> bool {
+        self.interval > 0 && step.is_multiple_of(self.interval)
+    }
+
+    /// Encode + atomically publish one snapshot, routing the receipt into
+    /// the recorder's `ckpt` line (which also bumps the trace counters) or
+    /// straight into the trace registry when no recorder is attached.
+    #[allow(clippy::too_many_arguments)]
+    fn write(
+        &self,
+        step: u64,
+        state: &MdState,
+        rng_state: u64,
+        conserved_ref: f64,
+        drift: f64,
+        t_stats: &RunningStats,
+        thermostat: Option<ThermostatSnapshot>,
+        ramp: Option<RampSnapshot>,
+        recording: &mut Option<Recording<'_>>,
+    ) -> Result<(), TbError> {
+        let (n, mean, m2, min, max) = t_stats.to_raw();
+        let snap = Snapshot {
+            step,
+            time_fs: state.time_fs,
+            seed: self.seed,
+            config_fingerprint: self.fingerprint,
+            rng_state,
+            potential_energy: state.potential_energy,
+            conserved_ref,
+            drift,
+            recorded_steps: recording.as_ref().map_or(0, |r| r.recorded),
+            positions: flatten(state.structure.positions()),
+            velocities: flatten(&state.velocities),
+            forces: flatten(&state.forces),
+            temp_stats: StatsSnapshot {
+                n,
+                mean,
+                m2,
+                min,
+                max,
+            },
+            thermostat,
+            ramp,
+        };
+        let started = Instant::now();
+        let receipt = self.store.write(&snap).map_err(ckpt_err)?;
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        match recording.as_mut() {
+            Some(rec) => rec
+                .recorder
+                .record_ckpt(
+                    step as usize,
+                    receipt.bytes,
+                    wall_ns,
+                    &receipt.path.display().to_string(),
+                )
+                .map_err(|e| TbError::Recorder(e.to_string()))?,
+            None => {
+                tbmd_trace::add(Counter::CkptWrites, 1);
+                tbmd_trace::add(Counter::CkptBytes, receipt.bytes);
+                tbmd_trace::add(Counter::CkptNanos, wall_ns);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rebuild an [`MdState`] from a snapshot without re-evaluating forces.
+/// Cell, species and masses come from the (deterministic) config build;
+/// positions, velocities, forces, potential and clock are restored verbatim
+/// so the continued trajectory is bitwise the uninterrupted one.
+fn restore_state(
+    mut structure: tbmd_structure::Structure,
+    snap: &Snapshot,
+) -> Result<MdState, TbError> {
+    if snap.n_atoms() != structure.n_atoms() {
+        return Err(TbError::Checkpoint(format!(
+            "snapshot holds {} atoms but the configured system builds {}",
+            snap.n_atoms(),
+            structure.n_atoms()
+        )));
+    }
+    structure.set_positions(unflatten(&snap.positions));
+    Ok(MdState::from_snapshot_parts(
+        structure,
+        unflatten(&snap.velocities),
+        unflatten(&snap.forces),
+        snap.potential_energy,
+        snap.time_fs,
+    ))
+}
+
+/// Check a loaded snapshot against the resuming configuration.
+fn validate_resume(config: &SimulationConfig, snap: &Snapshot) -> Result<(), TbError> {
+    let expect = config_fingerprint(config);
+    if snap.config_fingerprint != expect {
+        return Err(TbError::Checkpoint(format!(
+            "config mismatch: snapshot fingerprint {:#018x} != configured {:#018x} \
+             (system/engine/protocol/seed changed since the snapshot was written)",
+            snap.config_fingerprint, expect
+        )));
+    }
+    Ok(())
+}
+
+/// Load the newest usable snapshot of `ckpt.dir` for `config`, or a typed
+/// error if the store is empty or the snapshot belongs to a different run.
+fn load_resume_snapshot(
+    config: &SimulationConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<Snapshot, TbError> {
+    let store = CheckpointStore::open(&ckpt.dir, ckpt.retain).map_err(ckpt_err)?;
+    let snap = store
+        .latest()
+        .map_err(ckpt_err)?
+        .ok_or_else(|| ckpt_err(CkptError::NoSnapshot))?;
+    validate_resume(config, &snap)?;
+    Ok(snap)
+}
+
 /// Run a configured simulation to completion.
 pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, TbError> {
-    run_simulation_impl(config, None)
+    run_simulation_impl(config, None, None, None, None)
+}
+
+/// [`run_simulation`] writing a `TBCK` snapshot every `ckpt.interval` steps
+/// (atomic publish, newest-`retain` rotation). A run killed at any point can
+/// be continued with [`resume_simulation`]; the continuation is bitwise the
+/// uninterrupted trajectory.
+pub fn run_simulation_checkpointed(
+    config: &SimulationConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<SimulationSummary, TbError> {
+    run_simulation_impl(config, None, Some(ckpt), None, None)
+}
+
+/// Continue an interrupted run from the newest usable snapshot in
+/// `ckpt.dir`. The snapshot must have been written by the same
+/// configuration (modulo step counts — resuming into a longer run is fine);
+/// anything else is a typed [`TbError::Checkpoint`]. Checkpointing stays on,
+/// so the resumed run keeps extending the same store.
+pub fn resume_simulation(
+    config: &SimulationConfig,
+    ckpt: &CheckpointConfig,
+) -> Result<SimulationSummary, TbError> {
+    let snap = load_resume_snapshot(config, ckpt)?;
+    run_simulation_impl(config, None, Some(ckpt), Some(snap), None)
+}
+
+/// Drive a (possibly fault-injected) run to completion, recovering from the
+/// newest snapshot after every distributed rank failure — the
+/// kill-and-resume loop of a batch scheduler, in miniature.
+///
+/// `fault` is armed on the *first* attempt only (it models one crash);
+/// recovery attempts run clean. A failure before the first snapshot restarts
+/// from scratch. Gives up after `max_recoveries` recoveries and returns the
+/// last [`TbError::RankFailure`]. On success returns the summary and how
+/// many recoveries it took.
+pub fn run_simulation_resilient(
+    config: &SimulationConfig,
+    ckpt: &CheckpointConfig,
+    mut fault: Option<FaultPlan>,
+    max_recoveries: usize,
+) -> Result<(SimulationSummary, usize), TbError> {
+    let mut recoveries = 0usize;
+    loop {
+        let armed = fault.take();
+        let resume = match load_resume_snapshot(config, ckpt) {
+            Ok(snap) => Some(snap),
+            Err(TbError::Checkpoint(_)) => None,
+            Err(e) => return Err(e),
+        };
+        match run_simulation_impl(config, None, Some(ckpt), resume, armed) {
+            Ok(summary) => return Ok((summary, recoveries)),
+            Err(TbError::RankFailure(msg)) => {
+                if recoveries >= max_recoveries {
+                    return Err(TbError::RankFailure(format!(
+                        "gave up after {max_recoveries} recoveries: {msg}"
+                    )));
+                }
+                recoveries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// [`run_simulation`] streaming one JSONL `step` record per MD step (plus
@@ -215,6 +548,37 @@ pub fn run_simulation_recorded(
     recorder: &mut RunRecorder,
     options: RecorderConfig,
 ) -> Result<SimulationSummary, TbError> {
+    let recording = build_recording(config, recorder, &options);
+    run_simulation_impl(
+        config,
+        Some(recording),
+        options.checkpoint.as_ref(),
+        None,
+        None,
+    )
+}
+
+/// [`resume_simulation`] with a JSONL recorder attached: continues from the
+/// newest snapshot of `options.checkpoint` (required) and opens the stream
+/// with a `restore` line.
+pub fn resume_simulation_recorded(
+    config: &SimulationConfig,
+    recorder: &mut RunRecorder,
+    options: RecorderConfig,
+) -> Result<SimulationSummary, TbError> {
+    let ckpt = options.checkpoint.as_ref().ok_or_else(|| {
+        TbError::Checkpoint("resume_simulation_recorded needs options.checkpoint".into())
+    })?;
+    let snap = load_resume_snapshot(config, ckpt)?;
+    let recording = build_recording(config, recorder, &options);
+    run_simulation_impl(config, Some(recording), Some(ckpt), Some(snap), None)
+}
+
+fn build_recording<'r>(
+    config: &SimulationConfig,
+    recorder: &'r mut RunRecorder,
+    options: &RecorderConfig,
+) -> Recording<'r> {
     if !tbmd_trace::enabled() {
         tbmd_trace::install(TraceSink::collecting());
     }
@@ -229,22 +593,49 @@ pub fn run_simulation_recorded(
     } else {
         OccupationScheme::ZeroTemperature
     };
-    let recording = Recording {
+    Recording {
         recorder,
         health_stride: options.health_stride,
         prev: tbmd_trace::snapshot(),
         probe_health,
         occupation,
-    };
-    run_simulation_impl(config, Some(recording))
+        recorded: 0,
+    }
 }
 
 fn run_simulation_impl(
     config: &SimulationConfig,
     mut recording: Option<Recording<'_>>,
+    checkpoint: Option<&CheckpointConfig>,
+    resume: Option<Snapshot>,
+    fault: Option<FaultPlan>,
 ) -> Result<SimulationSummary, TbError> {
     let model = config.system.model();
     let engine = Engine::build(config.engine, &model, config.electronic_kt);
+    if let Some(plan) = fault {
+        engine.inject_fault(plan);
+    }
+    let ckpt = match checkpoint {
+        Some(c) => Some(CkptCtx::open(c, config)?),
+        None => None,
+    };
+    // Announce a restore before any stepping: a `restore` JSONL line when a
+    // recorder is attached, a bare counter bump otherwise.
+    if let Some(snap) = resume.as_ref() {
+        let path = ckpt
+            .as_ref()
+            .map(|c| c.store.path_for(snap.step).display().to_string())
+            .unwrap_or_default();
+        match recording.as_mut() {
+            Some(rec) => {
+                rec.recorded = snap.recorded_steps;
+                rec.recorder
+                    .record_restore(snap.step as usize, "resume", &path)
+                    .map_err(|e| TbError::Recorder(e.to_string()))?;
+            }
+            None => tbmd_trace::add(Counter::CkptRestores, 1),
+        }
+    }
     let mut structure = config.system.build(config.perturb, config.seed);
     let mut trajectory = (config.record_stride > 0).then(|| Trajectory::new(config.record_stride));
 
@@ -268,6 +659,7 @@ fn run_simulation_impl(
                 converged: result.converged,
                 trajectory: None,
                 final_structure: structure,
+                final_velocities: Vec::new(),
             })
         }
         Protocol::Nve {
@@ -276,14 +668,29 @@ fn run_simulation_impl(
             dt_fs,
         } => {
             let mut rng = StdRng::seed_from_u64(config.seed);
-            let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
             let mut ws = Workspace::new();
-            let mut state = MdState::new_with(structure, v, &engine, &mut ws)?;
             let integrator = VelocityVerlet::new(dt_fs);
-            let e0 = state.total_energy();
-            let mut t_stats = RunningStats::new();
-            let mut drift: f64 = 0.0;
-            for step in 1..=steps {
+            let (mut state, e0, mut t_stats, mut drift, start) = match resume.as_ref() {
+                Some(snap) => {
+                    rng = StdRng::from_state(snap.rng_state);
+                    let state = restore_state(structure, snap)?;
+                    let ts = snap.temp_stats;
+                    (
+                        state,
+                        snap.conserved_ref,
+                        RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
+                        snap.drift,
+                        snap.step as usize,
+                    )
+                }
+                None => {
+                    let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+                    let state = MdState::new_with(structure, v, &engine, &mut ws)?;
+                    let e0 = state.total_energy();
+                    (state, e0, RunningStats::new(), 0.0f64, 0usize)
+                }
+            };
+            for step in (start + 1)..=steps {
                 integrator.step_with(&mut state, &engine, &mut ws)?;
                 t_stats.push(state.temperature());
                 drift = drift.max((state.total_energy() - e0).abs());
@@ -291,7 +698,22 @@ fn run_simulation_impl(
                     tr.observe(&state);
                 }
                 if let Some(rec) = recording.as_mut() {
-                    rec.observe(step, &state, state.total_energy(), &model)?;
+                    rec.observe(step, &state, state.total_energy(), &model, &mut ws)?;
+                }
+                if let Some(c) = ckpt.as_ref() {
+                    if c.due(step) {
+                        c.write(
+                            step as u64,
+                            &state,
+                            rng.state(),
+                            e0,
+                            drift,
+                            &t_stats,
+                            None,
+                            None,
+                            &mut recording,
+                        )?;
+                    }
                 }
             }
             Ok(SimulationSummary {
@@ -302,6 +724,7 @@ fn run_simulation_impl(
                 steps,
                 converged: true,
                 trajectory,
+                final_velocities: state.velocities.clone(),
                 final_structure: state.structure,
             })
         }
@@ -312,14 +735,38 @@ fn run_simulation_impl(
             tau_fs,
         } => {
             let mut rng = StdRng::seed_from_u64(config.seed);
-            let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
             let mut ws = Workspace::new();
-            let mut state = MdState::new_with(structure, v, &engine, &mut ws)?;
-            let mut nh = NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
-            let h0 = nh.conserved_quantity(&state);
-            let mut t_stats = RunningStats::new();
-            let mut drift: f64 = 0.0;
-            for step in 1..=steps {
+            let (mut state, mut nh, h0, mut t_stats, mut drift, start) = match resume.as_ref() {
+                Some(snap) => {
+                    rng = StdRng::from_state(snap.rng_state);
+                    let thermo = snap.thermostat.ok_or_else(|| {
+                        TbError::Checkpoint("NVT resume needs a THRM section".into())
+                    })?;
+                    let state = restore_state(structure, snap)?;
+                    let mut nh =
+                        NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
+                    nh.target_k = thermo.target_k;
+                    nh.q = thermo.q;
+                    nh.restore_thermostat_state(thermo.xi, thermo.eta);
+                    let ts = snap.temp_stats;
+                    (
+                        state,
+                        nh,
+                        snap.conserved_ref,
+                        RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
+                        snap.drift,
+                        snap.step as usize,
+                    )
+                }
+                None => {
+                    let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+                    let state = MdState::new_with(structure, v, &engine, &mut ws)?;
+                    let nh = NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
+                    let h0 = nh.conserved_quantity(&state);
+                    (state, nh, h0, RunningStats::new(), 0.0f64, 0usize)
+                }
+            };
+            for step in (start + 1)..=steps {
                 nh.step_with(&mut state, &engine, &mut ws)?;
                 t_stats.push(state.temperature());
                 drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
@@ -327,7 +774,28 @@ fn run_simulation_impl(
                     tr.observe(&state);
                 }
                 if let Some(rec) = recording.as_mut() {
-                    rec.observe(step, &state, nh.conserved_quantity(&state), &model)?;
+                    rec.observe(step, &state, nh.conserved_quantity(&state), &model, &mut ws)?;
+                }
+                if let Some(c) = ckpt.as_ref() {
+                    if c.due(step) {
+                        let (xi, eta) = nh.thermostat_state();
+                        c.write(
+                            step as u64,
+                            &state,
+                            rng.state(),
+                            h0,
+                            drift,
+                            &t_stats,
+                            Some(ThermostatSnapshot {
+                                xi,
+                                eta,
+                                target_k: nh.target_k,
+                                q: nh.q,
+                            }),
+                            None,
+                            &mut recording,
+                        )?;
+                    }
                 }
             }
             Ok(SimulationSummary {
@@ -338,6 +806,7 @@ fn run_simulation_impl(
                 steps,
                 converged: true,
                 trajectory,
+                final_velocities: state.velocities.clone(),
                 final_structure: state.structure,
             })
         }
@@ -350,39 +819,108 @@ fn run_simulation_impl(
             tau_fs,
         } => {
             let mut rng = StdRng::seed_from_u64(config.seed);
-            let v = maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng);
             let mut ws = Workspace::new();
-            let mut state = MdState::new_with(structure, v, &engine, &mut ws)?;
-            let mut nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
+            // `(hold_step_done, h0, drift)` when the snapshot was taken in
+            // (or at the boundary of) the hold phase.
+            let mut resume_hold: Option<(u64, f64, f64)> = None;
+            let (mut state, mut nh, mut t_stats, mut steps_total) = match resume.as_ref() {
+                Some(snap) => {
+                    rng = StdRng::from_state(snap.rng_state);
+                    let thermo = snap.thermostat.ok_or_else(|| {
+                        TbError::Checkpoint("ramp resume needs a THRM section".into())
+                    })?;
+                    let phase = snap.ramp.ok_or_else(|| {
+                        TbError::Checkpoint("ramp resume needs a RAMP section".into())
+                    })?;
+                    let state = restore_state(structure, snap)?;
+                    let mut nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
+                    nh.target_k = thermo.target_k;
+                    nh.q = thermo.q;
+                    nh.restore_thermostat_state(thermo.xi, thermo.eta);
+                    if phase.holding {
+                        resume_hold = Some((phase.hold_step, snap.conserved_ref, snap.drift));
+                    }
+                    let ts = snap.temp_stats;
+                    (
+                        state,
+                        nh,
+                        RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
+                        phase.steps_total as usize,
+                    )
+                }
+                None => {
+                    let v = maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng);
+                    let state = MdState::new_with(structure, v, &engine, &mut ws)?;
+                    let nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
+                    (state, nh, RunningStats::new(), 0usize)
+                }
+            };
             let ramp = TemperatureRamp {
                 rate_k_per_fs: rate_k_per_fs.abs() * (to_k - from_k).signum(),
                 target_k: to_k,
             };
-            let mut t_stats = RunningStats::new();
-            let mut steps_total = 0usize;
-            // Ramp phase. The extended-system quantity is not conserved here
-            // (the thermostat set-point changes every step), so the drift
-            // monitor only starts once the ramp reaches its target.
-            loop {
-                let still_ramping = ramp.advance(&mut nh);
-                nh.step_with(&mut state, &engine, &mut ws)?;
-                steps_total += 1;
-                t_stats.push(state.temperature());
-                if let Some(tr) = trajectory.as_mut() {
-                    tr.observe(&state);
-                }
-                if !still_ramping {
-                    break;
+            // Ramp phase (skipped when resuming into the hold phase). The
+            // extended-system quantity is not conserved here (the thermostat
+            // set-point changes every step), so the drift monitor only
+            // starts once the ramp reaches its target.
+            if resume_hold.is_none() {
+                loop {
+                    let still_ramping = ramp.advance(&mut nh);
+                    nh.step_with(&mut state, &engine, &mut ws)?;
+                    steps_total += 1;
+                    t_stats.push(state.temperature());
+                    if let Some(tr) = trajectory.as_mut() {
+                        tr.observe(&state);
+                    }
+                    if let Some(c) = ckpt.as_ref() {
+                        if c.due(steps_total) {
+                            let (xi, eta) = nh.thermostat_state();
+                            // At the ramp→hold boundary the hold phase's
+                            // conserved reference is already a pure function
+                            // of this state; store it so a resume lands in
+                            // the hold with the right H'₀.
+                            let h_ref = if still_ramping {
+                                0.0
+                            } else {
+                                nh.conserved_quantity(&state)
+                            };
+                            c.write(
+                                steps_total as u64,
+                                &state,
+                                rng.state(),
+                                h_ref,
+                                0.0,
+                                &t_stats,
+                                Some(ThermostatSnapshot {
+                                    xi,
+                                    eta,
+                                    target_k: nh.target_k,
+                                    q: nh.q,
+                                }),
+                                Some(RampSnapshot {
+                                    holding: !still_ramping,
+                                    hold_step: 0,
+                                    steps_total: steps_total as u64,
+                                }),
+                                &mut recording,
+                            )?;
+                        }
+                    }
+                    if !still_ramping {
+                        break;
+                    }
                 }
             }
             // Hold phase: the set-point is fixed at `to_k`, so H' is a real
             // conserved quantity again — measure its peak excursion.
-            let h0 = nh.conserved_quantity(&state);
-            let mut drift: f64 = 0.0;
+            let (hold_start, h0, mut drift) = match resume_hold {
+                Some((done, h_ref, drift)) => (done as usize, h_ref, drift),
+                None => (0usize, nh.conserved_quantity(&state), 0.0f64),
+            };
             // Step records (and the drift watchdog) start here too: during
             // the ramp the extended energy is not conserved, so feeding it
             // to the watchdog would only produce spurious warns.
-            for hold_step in 1..=hold_steps {
+            for hold_step in (hold_start + 1)..=hold_steps {
                 nh.step_with(&mut state, &engine, &mut ws)?;
                 steps_total += 1;
                 t_stats.push(state.temperature());
@@ -391,7 +929,38 @@ fn run_simulation_impl(
                     tr.observe(&state);
                 }
                 if let Some(rec) = recording.as_mut() {
-                    rec.observe(hold_step, &state, nh.conserved_quantity(&state), &model)?;
+                    rec.observe(
+                        hold_step,
+                        &state,
+                        nh.conserved_quantity(&state),
+                        &model,
+                        &mut ws,
+                    )?;
+                }
+                if let Some(c) = ckpt.as_ref() {
+                    if c.due(steps_total) {
+                        let (xi, eta) = nh.thermostat_state();
+                        c.write(
+                            steps_total as u64,
+                            &state,
+                            rng.state(),
+                            h0,
+                            drift,
+                            &t_stats,
+                            Some(ThermostatSnapshot {
+                                xi,
+                                eta,
+                                target_k: nh.target_k,
+                                q: nh.q,
+                            }),
+                            Some(RampSnapshot {
+                                holding: true,
+                                hold_step: hold_step as u64,
+                                steps_total: steps_total as u64,
+                            }),
+                            &mut recording,
+                        )?;
+                    }
                 }
             }
             Ok(SimulationSummary {
@@ -402,6 +971,7 @@ fn run_simulation_impl(
                 steps: steps_total,
                 converged: true,
                 trajectory,
+                final_velocities: state.velocities.clone(),
                 final_structure: state.structure,
             })
         }

@@ -15,13 +15,16 @@ use crate::chebyshev::{chebyshev_coefficients, entropy_density, fermi_function};
 use crate::engine::{LinScaleReport, LinearScalingTb};
 use crate::sparse::{LocalRegion, SparseH};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use tbmd_linalg::Vec3;
 use tbmd_model::{
     sk_block_gradient, ForceEvaluation, ForceProvider, NeighborWorkspace, OrbitalIndex,
     PhaseTimings, TbError, TbModel, Workspace,
 };
-use tbmd_parallel::{partition_range, vmp_run, RankWorkspacePool, VmpStats};
+use tbmd_parallel::{
+    partition_range, vmp_run_opts, FaultPlan, RankWorkspacePool, VmpFault, VmpOptions, VmpStats,
+};
 use tbmd_structure::Structure;
 
 /// Report of the most recent distributed O(N) evaluation.
@@ -73,6 +76,10 @@ pub struct DistributedLinearScalingTb<'m> {
     last_report: Mutex<Option<DistributedLinScaleReport>>,
     /// Per-rank workspace slots, persisted across steps.
     pool: Mutex<RankWorkspacePool<LinScaleRankSlot>>,
+    /// Armed fault-injection plan; fires once at its target evaluation.
+    fault_plan: Mutex<Option<FaultPlan>>,
+    /// Evaluations performed by this engine instance (plans are 1-based).
+    evals: AtomicU64,
 }
 
 impl<'m> DistributedLinearScalingTb<'m> {
@@ -88,6 +95,8 @@ impl<'m> DistributedLinearScalingTb<'m> {
             r_loc: f64::INFINITY,
             last_report: Mutex::new(None),
             pool: Mutex::new(RankWorkspacePool::new()),
+            fault_plan: Mutex::new(None),
+            evals: AtomicU64::new(0),
         }
     }
 
@@ -117,6 +126,37 @@ impl<'m> DistributedLinearScalingTb<'m> {
         self.last_report.lock().clone()
     }
 
+    /// Arm a fault-injection plan: the chosen rank is killed or stalled at
+    /// the plan's (1-based) evaluation and the failure surfaces as
+    /// [`TbError::RankFailure`] instead of a hang. Fires exactly once.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        assert!(plan.rank < self.n_ranks, "fault rank out of range");
+        *self.fault_plan.lock() = Some(plan);
+    }
+
+    /// Builder form of [`set_fault_plan`](Self::set_fault_plan).
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Count this evaluation and take the armed fault if it is due (fires
+    /// on `at_evaluation` or the first evaluation after it).
+    fn take_due_fault(&self) -> Option<VmpFault> {
+        let eval_no = self.evals.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut armed = self.fault_plan.lock();
+        match *armed {
+            Some(plan) if eval_no >= plan.at_evaluation => {
+                armed.take();
+                Some(VmpFault {
+                    rank: plan.rank,
+                    kind: plan.kind,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// The matching shared-memory engine (for equivalence tests).
     pub fn shared_memory_equivalent(&self) -> LinearScalingTb<'m> {
         LinearScalingTb::new(self.model)
@@ -143,16 +183,24 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
         if s.n_atoms() == 0 {
             return Err(TbError::EmptyStructure);
         }
+        // Per-rank workspaces hold the solve state; the caller's workspace
+        // only carries growth accounting, never dense eigenpairs.
+        ws.dense_cache = tbmd_model::DenseCache::None;
         let model = self.model;
         let n_atoms = s.n_atoms();
         let (kt, order, r_loc, p) = (self.kt, self.order, self.r_loc, self.n_ranks);
+
+        let opts = VmpOptions {
+            recv_timeout: None,
+            fault: self.take_due_fault(),
+        };
 
         let mut pool = self.pool.lock();
         pool.ensure(p);
         let alloc_before = pool.created() + pool.total(|sl| sl.grown);
         let pool_ref = &*pool;
 
-        let (mut results, stats) = vmp_run(p, |mut rank| {
+        let run = vmp_run_opts(p, opts, |mut rank| {
             let me = rank.id();
             let mut timings = PhaseTimings::default();
             let mut mark = Instant::now();
@@ -425,6 +473,8 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
                 None
             }
         });
+
+        let (mut results, stats) = run.map_err(|e| TbError::RankFailure(e.to_string()))?;
 
         let alloc_after = pool.created() + pool.total(|sl| sl.grown);
         ws.grown += alloc_after - alloc_before;

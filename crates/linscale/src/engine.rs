@@ -141,6 +141,8 @@ impl ForceProvider for LinearScalingTb<'_> {
     /// sparse-Hamiltonian build, so results are identical to the cold path.
     fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
+        // O(N) path: no dense eigenpairs ever land in this workspace.
+        ws.dense_cache = tbmd_model::DenseCache::None;
         let mut timings = PhaseTimings::default();
         let model = self.model;
         let n_atoms = s.n_atoms();

@@ -58,6 +58,20 @@ impl NoseHoover {
         self.xi
     }
 
+    /// Checkpointable internals `(ξ, η)`.
+    pub fn thermostat_state(&self) -> (f64, f64) {
+        (self.xi, self.eta)
+    }
+
+    /// Restore `(ξ, η)` captured by [`thermostat_state`] — together with the
+    /// public `target_k`/`q` fields this resumes the extended system exactly.
+    ///
+    /// [`thermostat_state`]: NoseHoover::thermostat_state
+    pub fn restore_thermostat_state(&mut self, xi: f64, eta: f64) {
+        self.xi = xi;
+        self.eta = eta;
+    }
+
     /// Conserved quantity of the extended system (eV).
     pub fn conserved_quantity(&self, state: &MdState) -> f64 {
         state.total_energy()

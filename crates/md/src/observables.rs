@@ -41,6 +41,25 @@ impl RunningStats {
         self.n
     }
 
+    /// Raw Welford internals `(n, mean, m2, min, max)` for checkpointing.
+    pub fn to_raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`to_raw`] parts; pushing the same
+    /// subsequent samples then reproduces the uninterrupted stream exactly.
+    ///
+    /// [`to_raw`]: RunningStats::to_raw
+    pub fn from_raw(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        RunningStats {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Sample mean (0 for an empty accumulator).
     pub fn mean(&self) -> f64 {
         if self.n == 0 {

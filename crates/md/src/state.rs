@@ -65,6 +65,38 @@ impl MdState {
         })
     }
 
+    /// Rebuild a state from checkpointed parts **without** re-evaluating
+    /// forces. Restoring forces and potential energy verbatim (instead of
+    /// recomputing them) keeps a resumed trajectory bitwise identical to the
+    /// uninterrupted run even when a fresh neighbor-list build would order
+    /// the force summation differently.
+    pub fn from_snapshot_parts(
+        structure: Structure,
+        velocities: Vec<Vec3>,
+        forces: Vec<Vec3>,
+        potential_energy: f64,
+        time_fs: f64,
+    ) -> Self {
+        assert_eq!(
+            structure.n_atoms(),
+            velocities.len(),
+            "velocity count mismatch"
+        );
+        assert_eq!(structure.n_atoms(), forces.len(), "force count mismatch");
+        let masses = structure.masses();
+        let n_dof = dof_with_com_removed(structure.n_atoms());
+        MdState {
+            structure,
+            velocities,
+            forces,
+            potential_energy,
+            time_fs,
+            last_timings: PhaseTimings::default(),
+            masses,
+            n_dof,
+        }
+    }
+
     /// Atomic masses (amu), cached.
     #[inline]
     pub fn masses(&self) -> &[f64] {

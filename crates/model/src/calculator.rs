@@ -17,7 +17,7 @@ use crate::hamiltonian::{build_hamiltonian_into, OrbitalIndex};
 use crate::model::TbModel;
 use crate::occupations::{occupations, occupied_count, OccupationScheme, Occupations};
 use crate::slater_koster::sk_block_gradient;
-use crate::workspace::{NeighborOutcome, Workspace};
+use crate::workspace::{DenseCache, NeighborOutcome, Workspace};
 use std::time::Duration;
 use tbmd_linalg::{
     eigh_into, eigvalsh, reduced_eigenvalues_into, reduced_eigenvectors_into,
@@ -40,6 +40,13 @@ pub enum TbError {
     EmptyStructure,
     /// A run recorder failed to write its JSONL stream (I/O error text).
     Recorder(String),
+    /// One or more ranks of a distributed engine died or timed out
+    /// mid-collective (fault injection or a real crash). The evaluation's
+    /// partial state is discarded; callers may recover from a checkpoint.
+    RankFailure(String),
+    /// The checkpoint subsystem failed: an unwritable store, a snapshot
+    /// that does not decode, or a resume against a mismatched configuration.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for TbError {
@@ -57,6 +64,8 @@ impl std::fmt::Display for TbError {
             }
             TbError::EmptyStructure => write!(f, "structure contains no atoms"),
             TbError::Recorder(msg) => write!(f, "run recorder I/O failure: {msg}"),
+            TbError::RankFailure(msg) => write!(f, "distributed rank failure: {msg}"),
+            TbError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
@@ -348,8 +357,12 @@ impl<'m> TbCalculator<'m> {
             let k = occupied_count(&occ.f);
             reduced_eigenvectors_into(&ws.h, &ws.values[..k], &mut ws.c, &mut ws.eigh);
             timings.diagonalize += sp.finish();
+            ws.dense_cache = DenseCache::Sliced { occupied: k };
             (&ws.c, &occ.f[..k])
         } else {
+            ws.dense_cache = DenseCache::Full {
+                occupied: occupied_count(&occ.f),
+            };
             (&ws.h, &occ.f[..])
         };
 

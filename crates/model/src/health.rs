@@ -15,7 +15,7 @@ use crate::calculator::{DenseSolver, TbError, TWO_STAGE_MIN_DIM};
 use crate::hamiltonian::{build_hamiltonian_into, OrbitalIndex};
 use crate::model::TbModel;
 use crate::occupations::{occupations, occupied_count, OccupationScheme};
-use crate::workspace::Workspace;
+use crate::workspace::{DenseCache, Workspace};
 use tbmd_linalg::{
     eigh_into, reduced_eigenvalues_into, reduced_eigenvectors_into, tridiagonalize_blocked_into,
 };
@@ -93,6 +93,86 @@ pub fn eigensolver_health(
     })
 }
 
+/// Incremental health probe on the *cached* eigenpairs of the last dense
+/// solve — cheap enough to run every step.
+///
+/// Where [`eigensolver_health`] pays for an independent full solve, this
+/// checks the production solve's own output: it rebuilds a pristine `H`
+/// into the [`Workspace::health_h`] scratch (one `O(n²)` assembly, reusing
+/// the workspace's current neighbour list) and measures `‖Hv − λv‖∞` plus
+/// an orthogonality spot-check on a sampled occupied eigenpair left behind
+/// by the last `evaluate_with`. No eigensolve happens, so the cost is a
+/// Hamiltonian build and one matvec.
+///
+/// Returns `Ok(None)` when the workspace holds no consumable eigenpairs —
+/// a fresh workspace, or a last evaluation by an engine that solves in
+/// per-rank/embedded buffers (distributed, k-sampled, non-orthogonal,
+/// O(N)). Callers fall back to the strided [`eigensolver_health`] probe.
+pub fn cached_eigensolver_health(
+    model: &dyn TbModel,
+    s: &Structure,
+    ws: &mut Workspace,
+    step: usize,
+) -> Result<Option<HealthRecord>, TbError> {
+    let (sliced, occupied) = match ws.dense_cache {
+        DenseCache::None => return Ok(None),
+        DenseCache::Sliced { occupied } => (true, occupied),
+        DenseCache::Full { occupied } => (false, occupied),
+    };
+    let index = OrbitalIndex::new(s);
+    let n = index.total();
+    // Defensive shape checks: a cache marker is only trustworthy if the
+    // buffers it points at still match the structure being probed.
+    {
+        let vectors = if sliced { &ws.c } else { &ws.h };
+        let k = if sliced { occupied } else { vectors.cols() };
+        if n == 0
+            || k == 0
+            || vectors.rows() != n
+            || vectors.cols() < k
+            || ws.values.len() < k
+            || occupied > k
+        {
+            return Ok(None);
+        }
+    }
+    // The last evaluation updated `ws.neighbors` for exactly these
+    // positions; skin entries beyond the cutoff contribute nothing to `H`.
+    ws.grown +=
+        build_hamiltonian_into(s, ws.neighbors.list(), model, &index, &mut ws.health_h) as usize;
+
+    let vectors = if sliced { &ws.c } else { &ws.h };
+    let k = if sliced { occupied } else { vectors.cols() };
+    // Middle of the occupied window, as in the full probe.
+    let sampled = occupied.max(1).min(k) / 2;
+    let v = vectors.col(sampled);
+    let lambda = ws.values[sampled];
+    let hv = ws.health_h.matvec(&v);
+    let residual_inf = hv
+        .iter()
+        .zip(&v)
+        .map(|(hv_i, v_i)| (hv_i - lambda * v_i).abs())
+        .fold(0.0_f64, f64::max);
+
+    let mut orthogonality = (dot(&v, &v) - 1.0).abs();
+    if k > 1 {
+        let j = if sampled + 1 < k {
+            sampled + 1
+        } else {
+            sampled - 1
+        };
+        orthogonality = orthogonality.max(dot(&v, &vectors.col(j)).abs());
+    }
+
+    Ok(Some(HealthRecord {
+        step,
+        residual_inf,
+        orthogonality,
+        sampled_index: sampled,
+        n_orbitals: n,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +216,56 @@ mod tests {
             assert_eq!(health.step, 3);
             assert!(health.residual_inf < 1e-8, "{solver:?}");
         }
+    }
+
+    /// The incremental probe consumes what the production solve left behind
+    /// — both cache layouts (sliced two-stage, full QL) — and reports the
+    /// same tiny residuals the independent full probe would.
+    #[test]
+    fn cached_probe_checks_production_eigenpairs() {
+        use crate::calculator::TbCalculator;
+
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 2, 2, 2); // 256 orbitals
+        for solver in [DenseSolver::TwoStage, DenseSolver::FullQl] {
+            let calc = TbCalculator::with_solver(&model, solver);
+            let mut ws = Workspace::new();
+            calc.compute_with(&s, &mut ws).expect("evaluation");
+            match (solver, ws.dense_cache) {
+                (DenseSolver::TwoStage, DenseCache::Sliced { occupied }) => {
+                    assert!(occupied > 0 && occupied <= 256)
+                }
+                (DenseSolver::FullQl, DenseCache::Full { occupied }) => {
+                    assert!(occupied > 0 && occupied <= 256)
+                }
+                (solver, cache) => panic!("{solver:?} left unexpected cache {cache:?}"),
+            }
+            let health = cached_eigensolver_health(&model, &s, &mut ws, 7)
+                .expect("probe")
+                .expect("cache present");
+            assert_eq!(health.step, 7);
+            assert_eq!(health.n_orbitals, 256);
+            assert!(
+                health.residual_inf < 1e-8,
+                "{solver:?}: residual {:.3e}",
+                health.residual_inf
+            );
+            assert!(
+                health.orthogonality < 1e-10,
+                "{solver:?}: orthogonality {:.3e}",
+                health.orthogonality
+            );
+        }
+    }
+
+    /// No cached eigenpairs → `None`, never a bogus record.
+    #[test]
+    fn cached_probe_declines_without_a_cache() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut ws = Workspace::new();
+        assert!(cached_eigensolver_health(&model, &s, &mut ws, 0)
+            .expect("probe")
+            .is_none());
     }
 }

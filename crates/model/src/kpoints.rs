@@ -21,8 +21,9 @@ use crate::model::TbModel;
 use crate::provider::{ForceEvaluation, ForceProvider};
 use crate::slater_koster::sk_block_gradient;
 use crate::units::KB_EV;
-use crate::workspace::{KPointSlot, Workspace};
-use std::time::Instant;
+use crate::workspace::{DenseCache, KPointSlot, Workspace};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
 use tbmd_linalg::{eigh_into, Matrix, Vec3};
 use tbmd_structure::Structure;
 
@@ -120,12 +121,19 @@ fn embed_hermitian(a: &Matrix, b: &Matrix, m: &mut Matrix) -> bool {
 
 /// k-sampled tight-binding calculator (energies + forces). Fermi smearing is
 /// required: a shared chemical potential couples the k-points.
+///
+/// The per-k solves and density/force builds are independent (each touches
+/// only its own [`KPointSlot`]), so they fan out across the Rayon pool by
+/// default; energies and forces are reduced serially in grid order either
+/// way, making the parallel sweep bitwise identical to the serial one.
 pub struct KPointCalculator<'m> {
     model: &'m dyn TbModel,
     /// Sampling grid.
     pub kpoints: Vec<KPoint>,
     /// Electronic temperature (eV), > 0.
     pub kt: f64,
+    /// Fan the per-k work out across threads (on by default).
+    pub parallel: bool,
 }
 
 impl<'m> KPointCalculator<'m> {
@@ -135,7 +143,19 @@ impl<'m> KPointCalculator<'m> {
         assert!(kt > 0.0, "k-sampling requires Fermi smearing");
         let wsum: f64 = kpoints.iter().map(|k| k.weight).sum();
         assert!((wsum - 1.0).abs() < 1e-9, "k-point weights must sum to 1");
-        KPointCalculator { model, kpoints, kt }
+        KPointCalculator {
+            model,
+            kpoints,
+            kt,
+            parallel: true,
+        }
+    }
+
+    /// Toggle the per-k thread fan-out (results are bitwise identical
+    /// either way; serial mode exists for profiling and pinning tests).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     fn validate(&self, s: &Structure) -> Result<(), TbError> {
@@ -196,6 +216,44 @@ impl<'m> KPointCalculator<'m> {
     }
 }
 
+/// Run `f` over each (k-point, slot) pair — across the thread pool when
+/// `parallel`, serially in grid order otherwise — and hand the per-k
+/// outputs back in grid order either way. Each call owns its slot
+/// exclusively, so scheduling cannot change any result bit.
+fn fan_out<T, F>(parallel: bool, kpoints: &[KPoint], slots: &mut [KPointSlot], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&KPoint, &mut KPointSlot) -> T + Sync,
+{
+    struct Cell<'s, T> {
+        kp: KPoint,
+        slot: &'s mut KPointSlot,
+        out: Option<T>,
+    }
+    let mut cells: Vec<Cell<'_, T>> = kpoints
+        .iter()
+        .zip(slots.iter_mut())
+        .map(|(kp, slot)| Cell {
+            kp: *kp,
+            slot,
+            out: None,
+        })
+        .collect();
+    if parallel {
+        cells
+            .par_iter_mut()
+            .for_each(|c| c.out = Some(f(&c.kp, c.slot)));
+    } else {
+        for c in &mut cells {
+            c.out = Some(f(&c.kp, c.slot));
+        }
+    }
+    cells
+        .into_iter()
+        .map(|c| c.out.expect("fan_out ran every cell"))
+        .collect()
+}
+
 #[inline]
 fn fermi(x: f64) -> f64 {
     if x > 40.0 {
@@ -214,6 +272,8 @@ impl ForceProvider for KPointCalculator<'_> {
 
     fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
+        // Eigenvectors live in the per-k embedded slots, not the dense cache.
+        ws.dense_cache = DenseCache::None;
         let mut timings = PhaseTimings::default();
         let mut mark = Instant::now();
         let outcome = ws.neighbors.update(s, self.model.cutoff());
@@ -230,120 +290,154 @@ impl ForceProvider for KPointCalculator<'_> {
             kws.slots.push(KPointSlot::default());
             grew += 1;
         }
+        let slots = &mut kws.slots[..self.kpoints.len()];
 
         // Pass 1: one Bloch build + one embedded eigen-solve per k (the
         // solve leaves the embedded eigenvectors in `slot.m`, so pass 2
-        // never re-diagonalizes).
-        for (kp, slot) in self.kpoints.iter().zip(kws.slots.iter_mut()) {
-            mark = Instant::now();
+        // never re-diagonalizes). Each k touches only its own slot, so the
+        // sweep fans out across threads; per-slot growth counts and phase
+        // durations come back with the result and are folded in serially.
+        let solve_one = |kp: &KPoint,
+                         slot: &mut KPointSlot|
+         -> Result<(usize, Duration, Duration), TbError> {
+            let mut grew = 0usize;
+            let mut mark = Instant::now();
             grew +=
                 bloch_hamiltonian_into(s, nl, self.model, &index, kp.k, &mut slot.a, &mut slot.b)
                     as usize;
-            timings.hamiltonian += mark.elapsed();
+            let t_hamiltonian = mark.elapsed();
             mark = Instant::now();
             grew += embed_hermitian(&slot.a, &slot.b, &mut slot.m) as usize;
-            eigh_into(&mut slot.m, &mut slot.values2, &mut kws.eigh)
+            eigh_into(&mut slot.m, &mut slot.values2, &mut slot.eigh)
                 .map_err(TbError::Eigensolver)?;
             // Sorted embedded pairs: every second value is one physical state.
             slot.values.clear();
             slot.values.extend(slot.values2.iter().step_by(2));
-            timings.diagonalize += mark.elapsed();
+            Ok((grew, t_hamiltonian, mark.elapsed()))
+        };
+        let solved = fan_out(self.parallel, &self.kpoints, slots, solve_one);
+        for out in solved {
+            let (g, t_h, t_d) = out?;
+            grew += g;
+            timings.hamiltonian += t_h;
+            timings.diagonalize += t_d;
         }
-        let mu = self.fermi_level(&kws.slots, s.n_electrons());
+        let mu = self.fermi_level(slots, s.n_electrons());
 
         // Pass 2: per-k occupations, density matrices and forces from the
-        // stored embedded eigenvectors.
+        // stored embedded eigenvectors, again slot-local and fanned out.
+        // Band/entropy terms and per-atom forces accumulate inside the slot
+        // and are reduced below in grid order, so the parallel sweep is
+        // bitwise identical to the serial one.
+        let density_one =
+            |kp: &KPoint, slot: &mut KPointSlot| -> (usize, f64, f64, Duration, Duration) {
+                let mut grew = 0usize;
+                let mut mark = Instant::now();
+                slot.f.clear();
+                slot.f
+                    .extend(slot.values.iter().map(|&e| fermi((e - mu) / self.kt)));
+                let band = kp.weight
+                    * 2.0
+                    * slot
+                        .f
+                        .iter()
+                        .zip(&slot.values)
+                        .map(|(fk, e)| fk * e)
+                        .sum::<f64>();
+                let entropy = kp.weight
+                    * -2.0
+                    * KB_EV
+                    * slot
+                        .f
+                        .iter()
+                        .map(|&fk| {
+                            let x = if fk > 1e-300 { fk * fk.ln() } else { 0.0 };
+                            let g = 1.0 - fk;
+                            let y = if g > 1e-300 { g * g.ln() } else { 0.0 };
+                            x + y
+                        })
+                        .sum::<f64>();
+                // Real projector over both members of each embedded pair —
+                // degeneracy-safe: any orthonormal basis of a degenerate
+                // eigenspace yields the same projector. Occupied columns only:
+                // P = [[Re ρ, −Im ρ], [Im ρ, Re ρ]] (×2 spin folded into f).
+                let occupied: Vec<usize> = (0..2 * n).filter(|&c| slot.f[c / 2] > 1e-14).collect();
+                grew += slot.w.resize_zeroed(2 * n, occupied.len()) as usize;
+                for (wcol, &col) in occupied.iter().enumerate() {
+                    let scale = (2.0 * slot.f[col / 2]).sqrt();
+                    for rix in 0..2 * n {
+                        slot.w[(rix, wcol)] = scale * slot.m[(rix, col)];
+                    }
+                }
+                grew += slot.w.syrk_reuse(&mut slot.p, true) as usize;
+                grew += slot.re.resize_zeroed(n, n) as usize;
+                grew += slot.im.resize_zeroed(n, n) as usize;
+                for i in 0..n {
+                    for j in 0..n {
+                        // Average the redundant blocks for round-off symmetry.
+                        slot.re[(i, j)] = 0.5 * (slot.p[(i, j)] + slot.p[(n + i, n + j)]);
+                        slot.im[(i, j)] = 0.5 * (slot.p[(n + i, j)] - slot.p[(i, n + j)]);
+                    }
+                }
+                let t_density = mark.elapsed();
+                mark = Instant::now();
+                // Forces: F_i += 2 w_k Σ_entries Σ_{μν} Re{ρ*_{(oi+μ)(oj+ν)} e^{ik·T}} G_γ[μν].
+                slot.force.clear();
+                slot.force.resize(s.n_atoms(), Vec3::ZERO);
+                for (i, fo) in slot.force.iter_mut().enumerate() {
+                    let oi = index.offset(i);
+                    let mut fi = Vec3::ZERO;
+                    for nb in nl.neighbors(i) {
+                        if nb.j == i {
+                            continue;
+                        }
+                        let v = self.model.hoppings(nb.dist);
+                        let dv = self.model.hoppings_deriv(nb.dist);
+                        if v.iter().all(|&x| x == 0.0) && dv.iter().all(|&x| x == 0.0) {
+                            continue;
+                        }
+                        let grad = sk_block_gradient(nb.disp.to_array(), v, dv);
+                        let t = Vec3::new(
+                            nb.shift[0] as f64 * lengths.x,
+                            nb.shift[1] as f64 * lengths.y,
+                            nb.shift[2] as f64 * lengths.z,
+                        );
+                        let phase = kp.k.dot(t);
+                        let (cp, sp) = (phase.cos(), phase.sin());
+                        let oj = index.offset(nb.j);
+                        for gamma in 0..3 {
+                            let mut acc = 0.0;
+                            for (mu2, grow) in grad[gamma].iter().enumerate() {
+                                for (nu, &g) in grow.iter().enumerate() {
+                                    // Re{ρ* e^{ikT}} = Re ρ·cos + Im ρ·sin.
+                                    let rho_eff = slot.re[(oi + mu2, oj + nu)] * cp
+                                        + slot.im[(oi + mu2, oj + nu)] * sp;
+                                    acc += rho_eff * g;
+                                }
+                            }
+                            fi[gamma] += 2.0 * kp.weight * acc;
+                        }
+                    }
+                    *fo += fi;
+                }
+                (grew, band, entropy, t_density, mark.elapsed())
+            };
+        let densities = fan_out(self.parallel, &self.kpoints, slots, density_one);
+
+        // Serial reduction in grid order: the same sequence of f64 adds no
+        // matter how the per-k work was scheduled.
         let mut band = 0.0;
         let mut entropy = 0.0;
         let mut forces = vec![Vec3::ZERO; s.n_atoms()];
-        for (kp, slot) in self.kpoints.iter().zip(kws.slots.iter_mut()) {
-            mark = Instant::now();
-            slot.f.clear();
-            slot.f
-                .extend(slot.values.iter().map(|&e| fermi((e - mu) / self.kt)));
-            band += kp.weight
-                * 2.0
-                * slot
-                    .f
-                    .iter()
-                    .zip(&slot.values)
-                    .map(|(fk, e)| fk * e)
-                    .sum::<f64>();
-            entropy += kp.weight
-                * -2.0
-                * KB_EV
-                * slot
-                    .f
-                    .iter()
-                    .map(|&fk| {
-                        let x = if fk > 1e-300 { fk * fk.ln() } else { 0.0 };
-                        let g = 1.0 - fk;
-                        let y = if g > 1e-300 { g * g.ln() } else { 0.0 };
-                        x + y
-                    })
-                    .sum::<f64>();
-            // Real projector over both members of each embedded pair —
-            // degeneracy-safe: any orthonormal basis of a degenerate
-            // eigenspace yields the same projector. Occupied columns only:
-            // P = [[Re ρ, −Im ρ], [Im ρ, Re ρ]] (×2 spin folded into f).
-            let occupied: Vec<usize> = (0..2 * n).filter(|&c| slot.f[c / 2] > 1e-14).collect();
-            grew += kws.w.resize_zeroed(2 * n, occupied.len()) as usize;
-            for (wcol, &col) in occupied.iter().enumerate() {
-                let scale = (2.0 * slot.f[col / 2]).sqrt();
-                for rix in 0..2 * n {
-                    kws.w[(rix, wcol)] = scale * slot.m[(rix, col)];
-                }
+        for (slot, (g, b, e, t_density, t_forces)) in slots.iter().zip(densities) {
+            grew += g;
+            band += b;
+            entropy += e;
+            timings.density += t_density;
+            timings.forces += t_forces;
+            for (fo, fi) in forces.iter_mut().zip(&slot.force) {
+                *fo += *fi;
             }
-            grew += kws.w.syrk_reuse(&mut kws.p, true) as usize;
-            grew += kws.re.resize_zeroed(n, n) as usize;
-            grew += kws.im.resize_zeroed(n, n) as usize;
-            for i in 0..n {
-                for j in 0..n {
-                    // Average the redundant blocks for round-off symmetry.
-                    kws.re[(i, j)] = 0.5 * (kws.p[(i, j)] + kws.p[(n + i, n + j)]);
-                    kws.im[(i, j)] = 0.5 * (kws.p[(n + i, j)] - kws.p[(i, n + j)]);
-                }
-            }
-            timings.density += mark.elapsed();
-            mark = Instant::now();
-            // Forces: F_i += 2 w_k Σ_entries Σ_{μν} Re{ρ*_{(oi+μ)(oj+ν)} e^{ik·T}} G_γ[μν].
-            for (i, fo) in forces.iter_mut().enumerate() {
-                let oi = index.offset(i);
-                let mut fi = Vec3::ZERO;
-                for nb in nl.neighbors(i) {
-                    if nb.j == i {
-                        continue;
-                    }
-                    let v = self.model.hoppings(nb.dist);
-                    let dv = self.model.hoppings_deriv(nb.dist);
-                    if v.iter().all(|&x| x == 0.0) && dv.iter().all(|&x| x == 0.0) {
-                        continue;
-                    }
-                    let grad = sk_block_gradient(nb.disp.to_array(), v, dv);
-                    let t = Vec3::new(
-                        nb.shift[0] as f64 * lengths.x,
-                        nb.shift[1] as f64 * lengths.y,
-                        nb.shift[2] as f64 * lengths.z,
-                    );
-                    let phase = kp.k.dot(t);
-                    let (cp, sp) = (phase.cos(), phase.sin());
-                    let oj = index.offset(nb.j);
-                    for gamma in 0..3 {
-                        let mut acc = 0.0;
-                        for (mu2, grow) in grad[gamma].iter().enumerate() {
-                            for (nu, &g) in grow.iter().enumerate() {
-                                // Re{ρ* e^{ikT}} = Re ρ·cos + Im ρ·sin.
-                                let rho_eff = kws.re[(oi + mu2, oj + nu)] * cp
-                                    + kws.im[(oi + mu2, oj + nu)] * sp;
-                                acc += rho_eff * g;
-                            }
-                        }
-                        fi[gamma] += 2.0 * kp.weight * acc;
-                    }
-                }
-                *fo += fi;
-            }
-            timings.forces += mark.elapsed();
         }
         mark = Instant::now();
         let (e_rep, rep_forces) = repulsive_energy_forces(s, nl, self.model, true);
@@ -456,6 +550,32 @@ mod tests {
         let eval = kcalc.evaluate(&s).unwrap();
         let net: Vec3 = eval.forces.iter().copied().sum();
         assert!(net.max_abs() < 1e-7, "net force {net:?}");
+    }
+
+    /// The thread fan-out must not change a single bit: per-k work is
+    /// slot-local and the reduction runs in grid order either way.
+    #[test]
+    fn parallel_fan_out_is_bitwise_identical_to_serial() {
+        let model = silicon_gsp();
+        let mut s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        s.perturb(&mut rng, 0.07);
+        let grid = monkhorst_pack(&s, [2, 2, 2]);
+        let par = KPointCalculator::new(&model, grid.clone(), 0.1);
+        let ser = KPointCalculator::new(&model, grid, 0.1).with_parallel(false);
+        assert!(par.parallel && !ser.parallel);
+        let a = par.evaluate(&s).unwrap();
+        let b = ser.evaluate(&s).unwrap();
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "energy diverged");
+        for (fa, fb) in a.forces.iter().zip(&b.forces) {
+            for gamma in 0..3 {
+                assert_eq!(
+                    fa[gamma].to_bits(),
+                    fb[gamma].to_bits(),
+                    "force bit diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use calculator::{
 };
 pub use carbon::carbon_xwch;
 pub use hamiltonian::{build_hamiltonian, build_hamiltonian_into, OrbitalIndex};
-pub use health::eigensolver_health;
+pub use health::{cached_eigensolver_health, eigensolver_health};
 pub use kpoints::{folding_grid, monkhorst_pack, KPoint, KPointCalculator};
 pub use model::{EmbeddingPolynomial, GspTbModel, TbModel};
 pub use nonortho::{
@@ -51,6 +51,6 @@ pub use slater_koster::{sk_block, sk_block_gradient, sk_transpose, Hoppings, SkB
 pub use stress::{pressure, stress_from_density, stress_tensor, StressTensor, EV_PER_A3_TO_GPA};
 pub use units::{ACCEL_CONV, KB_EV};
 pub use workspace::{
-    KPointSlot, KPointWorkspace, NeighborOutcome, NeighborStats, NeighborWorkspace, Workspace,
-    DEFAULT_SKIN,
+    DenseCache, KPointSlot, KPointWorkspace, NeighborOutcome, NeighborStats, NeighborWorkspace,
+    Workspace, DEFAULT_SKIN,
 };

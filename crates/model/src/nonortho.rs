@@ -26,7 +26,7 @@ use crate::model::{GspTbModel, TbModel};
 use crate::occupations::{occupations, OccupationScheme};
 use crate::provider::{ForceEvaluation, ForceProvider};
 use crate::slater_koster::{sk_block, sk_block_gradient, Hoppings};
-use crate::workspace::Workspace;
+use crate::workspace::{DenseCache, Workspace};
 use std::time::Instant;
 use tbmd_linalg::{generalized_eigh, generalized_eigh_into, GeneralizedEigError, Matrix, Vec3};
 use tbmd_structure::{NeighborList, Species, Structure};
@@ -227,6 +227,9 @@ impl ForceProvider for NonOrthoCalculator<'_> {
 
     fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
+        // The generalized solve leaves S-orthonormal vectors, which the
+        // plain-residual health probe cannot consume.
+        ws.dense_cache = DenseCache::None;
         let mut timings = PhaseTimings::default();
         let mut mark = Instant::now();
         let outcome = ws.neighbors.update(s, self.model.cutoff());

@@ -25,6 +25,33 @@
 use tbmd_linalg::{EighWorkspace, GeneralizedEighWorkspace, JacobiWorkspace, Matrix};
 use tbmd_structure::{NeighborList, Structure, VerletNeighborList};
 
+/// Where (if anywhere) the last evaluation left a consumable set of dense
+/// eigenpairs in this workspace. The incremental health probe
+/// (`crate::health::cached_eigensolver_health`) reads this marker to verify
+/// `‖Hv − λv‖∞` on the production solve's own output without re-solving.
+/// Engines that don't leave dense eigenvectors behind (k-sampled,
+/// non-orthogonal, O(N), distributed) reset it to [`DenseCache::None`] so a
+/// stale marker from an earlier engine can never be misread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DenseCache {
+    /// No cached eigenpairs (fresh workspace, or last engine left none).
+    #[default]
+    None,
+    /// Two-stage sliced solve: the `occupied` eigenvectors sit in
+    /// [`Workspace::c`], the full spectrum in [`Workspace::values`], and
+    /// [`Workspace::h`] holds packed reflectors (not `H`).
+    Sliced {
+        /// Number of occupied columns in [`Workspace::c`].
+        occupied: usize,
+    },
+    /// One-stage solve: all eigenvectors overwrote [`Workspace::h`] in
+    /// place; the spectrum is in [`Workspace::values`].
+    Full {
+        /// Number of occupied states at the head of the spectrum.
+        occupied: usize,
+    },
+}
+
 /// Default Verlet skin in Å. Half an ångström keeps the list valid for many
 /// steps of near-melting silicon MD while adding only ~40% more candidate
 /// pairs (all beyond the radial cutoff, where the model terms vanish).
@@ -185,6 +212,12 @@ pub struct Workspace {
     /// Complex-Hermitian sub-workspace: per-k Bloch/embedding/eigenvector
     /// buffers plus shared density scratch (k-point engine).
     pub kspace: KPointWorkspace,
+    /// Which eigenpairs (if any) the last evaluation left behind for the
+    /// incremental health probe.
+    pub dense_cache: DenseCache,
+    /// Pristine-Hamiltonian scratch for the incremental health probe (the
+    /// solve paths consume `h` in place, so the probe rebuilds `H` here).
+    pub health_h: Matrix,
     /// Count of large-buffer capacity growths (see
     /// [`Workspace::large_alloc_events`]).
     pub grown: usize,
@@ -192,7 +225,11 @@ pub struct Workspace {
 
 /// Per-k persistent buffers of the k-sampled engine: the Bloch Hamiltonian
 /// parts, the `2n×2n` real Hermitian embedding (overwritten in place with
-/// its eigenvectors by the solve), and the physical spectrum/occupations.
+/// its eigenvectors by the solve), the physical spectrum/occupations, and
+/// all per-k solve/density scratch. Every buffer a k-point's work touches
+/// lives in its own slot, so the engine can fan the per-k solves out across
+/// threads with no shared mutable state (and bitwise-identical results to
+/// the serial sweep).
 #[derive(Default)]
 pub struct KPointSlot {
     /// Re H(k).
@@ -208,26 +245,27 @@ pub struct KPointSlot {
     pub values: Vec<f64>,
     /// Per-state occupations at the shared Fermi level.
     pub f: Vec<f64>,
-}
-
-/// Complex-Hermitian sub-workspace of [`Workspace`]: one [`KPointSlot`] per
-/// k-point plus density scratch shared across k. Lets the k-sampled engine
-/// run a single embedded eigen-solve per k per step with zero steady-state
-/// allocations.
-#[derive(Default)]
-pub struct KPointWorkspace {
-    /// Per-k slots, grown to the grid size on first use.
-    pub slots: Vec<KPointSlot>,
-    /// Scaled embedded-eigenvector factor (`2n × n_occ`), shared across k.
+    /// Eigensolver scratch.
+    pub eigh: EighWorkspace,
+    /// Scaled embedded-eigenvector factor (`2n × n_occ`).
     pub w: Matrix,
-    /// Real projector `W·Wᵀ` (`2n×2n`), shared across k.
+    /// Real projector `W·Wᵀ` (`2n×2n`).
     pub p: Matrix,
     /// Re ρ(k) extracted from the projector.
     pub re: Matrix,
     /// Im ρ(k) extracted from the projector.
     pub im: Matrix,
-    /// Eigensolver scratch shared across k.
-    pub eigh: EighWorkspace,
+    /// This k-point's electronic force contribution (one entry per atom).
+    pub force: Vec<tbmd_linalg::Vec3>,
+}
+
+/// Complex-Hermitian sub-workspace of [`Workspace`]: one self-contained
+/// [`KPointSlot`] per k-point. Lets the k-sampled engine run a single
+/// embedded eigen-solve per k per step with zero steady-state allocations.
+#[derive(Default)]
+pub struct KPointWorkspace {
+    /// Per-k slots, grown to the grid size on first use.
+    pub slots: Vec<KPointSlot>,
 }
 
 impl Workspace {

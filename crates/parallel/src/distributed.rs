@@ -33,9 +33,10 @@
 
 use crate::pool::RankWorkspacePool;
 use crate::ring_jacobi::{initial_column_owners, ring_jacobi_worker};
-use crate::vmp::{partition_range, vmp_run, VmpStats};
+use crate::vmp::{partition_range, vmp_run_opts, FaultPlan, VmpFault, VmpOptions, VmpStats};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use tbmd_linalg::{
     cluster_tolerance, reduced_eigenvectors_offset_into, snap_range_to_clusters,
@@ -127,6 +128,10 @@ pub struct DistributedTb<'m> {
     last_report: Mutex<Option<DistributedReport>>,
     /// Per-rank workspace slots, persisted across steps.
     pool: Mutex<RankWorkspacePool<DenseRankSlot>>,
+    /// Armed fault-injection plan; fires once at its target evaluation.
+    fault_plan: Mutex<Option<FaultPlan>>,
+    /// Evaluations performed by this engine instance (plans are 1-based).
+    evals: AtomicU64,
 }
 
 impl<'m> DistributedTb<'m> {
@@ -140,6 +145,8 @@ impl<'m> DistributedTb<'m> {
             solver: DistributedSolver::default(),
             last_report: Mutex::new(None),
             pool: Mutex::new(RankWorkspacePool::new()),
+            fault_plan: Mutex::new(None),
+            evals: AtomicU64::new(0),
         }
     }
 
@@ -158,6 +165,39 @@ impl<'m> DistributedTb<'m> {
     /// Traffic/flop report of the most recent [`ForceProvider::evaluate`].
     pub fn last_report(&self) -> Option<DistributedReport> {
         self.last_report.lock().clone()
+    }
+
+    /// Arm a fault-injection plan: the chosen rank is killed or stalled at
+    /// the plan's (1-based) evaluation and the failure surfaces as
+    /// [`TbError::RankFailure`] instead of a hang. At most one plan is
+    /// armed; it fires exactly once.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        assert!(plan.rank < self.n_ranks, "fault rank out of range");
+        *self.fault_plan.lock() = Some(plan);
+    }
+
+    /// Builder form of [`set_fault_plan`](Self::set_fault_plan).
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Count this evaluation and take the armed fault if its target
+    /// evaluation is due (fires on `at_evaluation` or the first evaluation
+    /// after it, so a plan armed "in the past" still fires).
+    fn take_due_fault(&self) -> Option<VmpFault> {
+        let eval_no = self.evals.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut armed = self.fault_plan.lock();
+        match *armed {
+            Some(plan) if eval_no >= plan.at_evaluation => {
+                armed.take();
+                Some(VmpFault {
+                    rank: plan.rank,
+                    kind: plan.kind,
+                })
+            }
+            _ => None,
+        }
     }
 
     fn validate(&self, s: &Structure) -> Result<(), TbError> {
@@ -286,6 +326,9 @@ impl ForceProvider for DistributedTb<'_> {
 
     fn evaluate_with(&self, s: &Structure, ws: &mut Workspace) -> Result<ForceEvaluation, TbError> {
         self.validate(s)?;
+        // The solve happens in per-rank workspaces; the caller's workspace
+        // never receives dense eigenpairs.
+        ws.dense_cache = tbmd_model::DenseCache::None;
         let n_atoms = s.n_atoms();
         let index = OrbitalIndex::new(s);
         let n_orb = index.total();
@@ -294,13 +337,18 @@ impl ForceProvider for DistributedTb<'_> {
         let model = self.model;
         let p = self.n_ranks;
 
+        let opts = VmpOptions {
+            recv_timeout: None,
+            fault: self.take_due_fault(),
+        };
+
         let mut pool = self.pool.lock();
         pool.ensure(p);
         let alloc_before = pool.created() + pool.total(|sl| sl.grown);
         let pool_ref = &*pool;
 
-        let (mut results, stats) = match self.solver {
-            DistributedSolver::TwoStageSliced => vmp_run(p, |mut rank| {
+        let run = match self.solver {
+            DistributedSolver::TwoStageSliced => vmp_run_opts(p, opts, |mut rank| {
                 let me = rank.id();
                 let psize = rank.size();
                 let mut timings = PhaseTimings::default();
@@ -466,7 +514,7 @@ impl ForceProvider for DistributedTb<'_> {
             }),
             DistributedSolver::RingJacobi => {
                 let owner0 = initial_column_owners(n_orb, p);
-                vmp_run(p, |mut rank| {
+                vmp_run_opts(p, opts, |mut rank| {
                     let me = rank.id();
                     let mut timings = PhaseTimings::default();
                     let mut mark = Instant::now();
@@ -619,6 +667,8 @@ impl ForceProvider for DistributedTb<'_> {
                 })
             }
         };
+
+        let (mut results, stats) = run.map_err(|e| TbError::RankFailure(e.to_string()))?;
 
         // Surface pool growth (slot creation + per-slot buffer growth) into
         // the caller's workspace counter so the O(1)-allocation guarantee is
@@ -817,5 +867,28 @@ mod tests {
         let eval = dist.evaluate(&s).unwrap();
         assert!(eval.timings.total() > std::time::Duration::ZERO);
         assert!(eval.timings.diagonalize > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn injected_kill_surfaces_rank_failure_then_recovers() {
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let dist = DistributedTb::new(&model, 3).with_fault_plan(crate::vmp::FaultPlan {
+            rank: 1,
+            at_evaluation: 2,
+            kind: crate::vmp::FaultKind::Kill,
+        });
+        // Evaluation 1 is clean; evaluation 2 trips the armed plan and must
+        // return a typed error instead of hanging; evaluation 3 (plan
+        // consumed, pool re-ensured) succeeds and still matches the serial
+        // reference.
+        let clean = dist.evaluate(&s).unwrap();
+        let err = dist.evaluate(&s).unwrap_err();
+        match &err {
+            TbError::RankFailure(msg) => assert!(msg.contains("rank 1"), "{msg}"),
+            other => panic!("expected RankFailure, got {other:?}"),
+        }
+        let recovered = dist.evaluate(&s).unwrap();
+        assert!((clean.energy - recovered.energy).abs() < 1e-9);
     }
 }

@@ -22,4 +22,7 @@ pub use ring_jacobi::{
     initial_column_owners, ring_jacobi_eigh, ring_jacobi_worker, DistributedEigh, RingJacobiReport,
 };
 pub use shared::{par_build_hamiltonian, par_forces, Eigensolver, SharedMemoryTb};
-pub use vmp::{partition_range, vmp_run, Rank, RankStats, VmpStats};
+pub use vmp::{
+    partition_range, vmp_run, vmp_run_opts, FaultKind, FaultPlan, Rank, RankFault, RankStats,
+    VmpError, VmpFault, VmpOptions, VmpStats,
+};

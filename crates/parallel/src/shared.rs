@@ -15,8 +15,9 @@ use tbmd_linalg::{
     tridiagonalize_blocked_into, Matrix, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL,
 };
 use tbmd_model::{
-    density_matrix_into, occupations, occupied_count, sk_block, ForceEvaluation, ForceProvider,
-    OccupationScheme, OrbitalIndex, PhaseTimings, TbError, TbModel, Workspace, TWO_STAGE_MIN_DIM,
+    density_matrix_into, occupations, occupied_count, sk_block, DenseCache, ForceEvaluation,
+    ForceProvider, OccupationScheme, OrbitalIndex, PhaseTimings, TbError, TbModel, Workspace,
+    TWO_STAGE_MIN_DIM,
 };
 use tbmd_structure::{NeighborList, Structure};
 
@@ -283,8 +284,12 @@ impl ForceProvider for SharedMemoryTb<'_> {
             let k = occupied_count(&occ.f);
             reduced_eigenvectors_into(&ws.h, &ws.values[..k], &mut ws.c, &mut ws.eigh);
             timings.diagonalize += sp.finish();
+            ws.dense_cache = DenseCache::Sliced { occupied: k };
             (&ws.c, &occ.f[..k])
         } else {
+            ws.dense_cache = DenseCache::Full {
+                occupied: occupied_count(&occ.f),
+            };
             (&ws.h, &occ.f[..])
         };
 

@@ -14,10 +14,11 @@
 //! so that collective traffic is accounted at the same level the 1994 codes
 //! paid for it.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One message on the virtual wire.
 #[derive(Debug, Clone)]
@@ -25,6 +26,83 @@ struct Message {
     from: usize,
     tag: u64,
     payload: Vec<f64>,
+}
+
+/// How an injected fault manifests on the chosen rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank dies at the start of the run (its thread unwinds
+    /// immediately, mid-collective from its peers' point of view).
+    Kill,
+    /// The rank freezes for `ms` milliseconds before proceeding — long
+    /// enough, relative to the configured receive timeout, that its peers'
+    /// message windows expire first.
+    Stall { ms: u64 },
+}
+
+/// A scheduled rank failure: kill or stall `rank` at the `at_evaluation`-th
+/// engine evaluation (1-based; evaluation 1 is the warm-up forces of
+/// `MdState::new`, evaluation `s + 1` is MD step `s`). The distributed
+/// engines arm at most one plan and fire it exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub rank: usize,
+    pub at_evaluation: u64,
+    pub kind: FaultKind,
+}
+
+/// One fault to inject into a single [`vmp_run_opts`] launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmpFault {
+    pub rank: usize,
+    pub kind: FaultKind,
+}
+
+/// Failure-detection and fault-injection knobs of [`vmp_run_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmpOptions {
+    /// Collective-level failure detection: a blocking receive that sees no
+    /// matching message within this window panics (with a typed payload the
+    /// driver converts into [`VmpError`]) instead of hanging forever.
+    /// `None` keeps the classic infinite wait.
+    pub recv_timeout: Option<Duration>,
+    /// Inject this fault into the launch.
+    pub fault: Option<VmpFault>,
+}
+
+/// Receive window applied when a fault is injected without an explicit
+/// timeout: long enough for real Si-scale collectives between healthy ranks,
+/// short enough that tests detect the dead rank quickly.
+pub const DEFAULT_FAULT_RECV_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Typed panic payload raised inside a rank when it (or a peer) fails; the
+/// driver downcasts these when classifying a failed launch.
+#[derive(Debug, Clone)]
+pub struct RankFault {
+    pub rank: usize,
+    pub detail: String,
+}
+
+/// A failed virtual-machine launch: every rank that unwound, with its cause.
+#[derive(Debug)]
+pub struct VmpError {
+    pub faults: Vec<RankFault>,
+}
+
+impl std::fmt::Display for VmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rank(s) failed:", self.faults.len())?;
+        for fault in &self.faults {
+            write!(f, " [rank {}: {}]", fault.rank, fault.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VmpError {}
+
+fn rank_panic(rank: usize, detail: String) -> ! {
+    std::panic::panic_any(RankFault { rank, detail })
 }
 
 /// Per-rank traffic counters (monotonic; read after the run).
@@ -94,6 +172,8 @@ pub struct Rank {
     /// Out-of-order messages parked until a matching recv.
     stash: VecDeque<Message>,
     counters: Arc<Vec<RankCounters>>,
+    /// Failure-detection window for blocking receives (None = wait forever).
+    recv_timeout: Option<Duration>,
 }
 
 impl Rank {
@@ -126,16 +206,25 @@ impl Rank {
         c.messages_sent.fetch_add(1, Ordering::Relaxed);
         c.bytes_sent
             .fetch_add(8 * payload.len() as u64, Ordering::Relaxed);
-        self.senders[to]
+        if self.senders[to]
             .send(Message {
                 from: self.id,
                 tag,
                 payload: payload.to_vec(),
             })
-            .expect("peer rank hung up");
+            .is_err()
+        {
+            rank_panic(
+                self.id,
+                format!("send to rank {to} (tag {tag}) failed: peer rank hung up"),
+            );
+        }
     }
 
-    /// Blocking tagged receive from a specific source rank.
+    /// Blocking tagged receive from a specific source rank. With a
+    /// failure-detection window configured ([`VmpOptions::recv_timeout`]),
+    /// an expired wait unwinds with a typed [`RankFault`] instead of
+    /// hanging the collective forever.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         // Check the stash for an already-arrived match.
         if let Some(pos) = self
@@ -146,7 +235,29 @@ impl Rank {
             return self.stash.remove(pos).expect("position valid").payload;
         }
         loop {
-            let m = self.receiver.recv().expect("all peers hung up");
+            let m = match self.recv_timeout {
+                None => match self.receiver.recv() {
+                    Ok(m) => m,
+                    Err(_) => rank_panic(
+                        self.id,
+                        format!("recv from rank {from} (tag {tag}) failed: all peers hung up"),
+                    ),
+                },
+                Some(window) => match self.receiver.recv_timeout(window) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => rank_panic(
+                        self.id,
+                        format!(
+                            "recv from rank {from} (tag {tag}) timed out after {window:?} \
+                             (peer presumed dead)"
+                        ),
+                    ),
+                    Err(RecvTimeoutError::Disconnected) => rank_panic(
+                        self.id,
+                        format!("recv from rank {from} (tag {tag}) failed: all peers hung up"),
+                    ),
+                },
+            };
             if m.from == from && m.tag == tag {
                 return m.payload;
             }
@@ -291,13 +402,44 @@ fn lowest_set_bit_or_size(v: usize, size: usize) -> usize {
 }
 
 /// Run `f` on `n_ranks` virtual ranks (one OS thread each) and collect the
-/// per-rank return values plus the traffic statistics.
+/// per-rank return values plus the traffic statistics. Panics if any rank
+/// fails; [`vmp_run_opts`] is the fallible variant with failure detection.
 pub fn vmp_run<T, F>(n_ranks: usize, f: F) -> (Vec<T>, VmpStats)
 where
     T: Send,
     F: Fn(Rank) -> T + Sync,
 {
+    vmp_run_opts(n_ranks, VmpOptions::default(), f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`vmp_run`] with collective-level failure detection and optional fault
+/// injection. A rank that unwinds — killed by an injected fault, timed out
+/// waiting on a dead peer, or victim of a real bug — is collected at join
+/// time and reported as a typed [`VmpError`] instead of poisoning the whole
+/// process, so a driver can recover (e.g. resume from a checkpoint).
+pub fn vmp_run_opts<T, F>(
+    n_ranks: usize,
+    opts: VmpOptions,
+    f: F,
+) -> Result<(Vec<T>, VmpStats), VmpError>
+where
+    T: Send,
+    F: Fn(Rank) -> T + Sync,
+{
     assert!(n_ranks >= 1, "need at least one rank");
+    if let Some(fault) = &opts.fault {
+        assert!(
+            fault.rank < n_ranks,
+            "fault rank {} out of range for {n_ranks} ranks",
+            fault.rank
+        );
+    }
+    // Injecting a fault without a receive window would hang the healthy
+    // ranks forever — force failure detection on.
+    let recv_timeout = match (&opts.fault, opts.recv_timeout) {
+        (Some(_), None) => Some(DEFAULT_FAULT_RECV_TIMEOUT),
+        _ => opts.recv_timeout,
+    };
     let counters: Arc<Vec<RankCounters>> =
         Arc::new((0..n_ranks).map(|_| RankCounters::default()).collect());
     let mut senders = Vec::with_capacity(n_ranks);
@@ -308,6 +450,7 @@ where
         receivers.push(r);
     }
     let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
+    let mut faults: Vec<RankFault> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_ranks);
         for (id, receiver) in receivers.into_iter().enumerate() {
@@ -318,12 +461,29 @@ where
                 receiver,
                 stash: VecDeque::new(),
                 counters: Arc::clone(&counters),
+                recv_timeout,
             };
             let fref = &f;
-            handles.push(scope.spawn(move |_| fref(rank)));
+            let fault = opts.fault;
+            handles.push(scope.spawn(move |_| {
+                if let Some(fault) = fault {
+                    if fault.rank == id {
+                        match fault.kind {
+                            FaultKind::Kill => rank_panic(id, "injected fault: killed".to_string()),
+                            FaultKind::Stall { ms } => {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                        }
+                    }
+                }
+                fref(rank)
+            }));
         }
         for (id, h) in handles.into_iter().enumerate() {
-            results[id] = Some(h.join().expect("rank panicked"));
+            match h.join() {
+                Ok(value) => results[id] = Some(value),
+                Err(payload) => faults.push(classify_panic(id, payload)),
+            }
         }
     })
     .expect("vmp scope failed");
@@ -338,16 +498,37 @@ where
             .collect(),
     };
     // Every wire byte the virtual machine moved lands in the global trace
-    // registry (no-op when tracing is disabled).
+    // registry (no-op when tracing is disabled) — also for failed launches,
+    // where the traffic was still paid for.
     tbmd_trace::add(tbmd_trace::Counter::WireBytes, stats.total_bytes());
     tbmd_trace::add(tbmd_trace::Counter::WireMessages, stats.total_messages());
-    (
+    if !faults.is_empty() {
+        faults.sort_by_key(|f| f.rank);
+        return Err(VmpError { faults });
+    }
+    Ok((
         results
             .into_iter()
             .map(|r| r.expect("rank result"))
             .collect(),
         stats,
-    )
+    ))
+}
+
+/// Turn a joined thread's panic payload into a [`RankFault`], preserving
+/// typed payloads from [`rank_panic`] and stringifying everything else.
+fn classify_panic(id: usize, payload: Box<dyn std::any::Any + Send>) -> RankFault {
+    match payload.downcast::<RankFault>() {
+        Ok(fault) => *fault,
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "rank panicked".to_string());
+            RankFault { rank: id, detail }
+        }
+    }
 }
 
 /// Evenly partition `n` items over `size` ranks; returns rank `r`'s
@@ -511,6 +692,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn killed_rank_is_detected_not_hung() {
+        // Rank 1 dies before the collective; rank 0's recv window must
+        // expire and the launch must come back as a typed error instead of
+        // blocking forever.
+        let started = std::time::Instant::now();
+        let opts = VmpOptions {
+            recv_timeout: Some(Duration::from_millis(100)),
+            fault: Some(VmpFault {
+                rank: 1,
+                kind: FaultKind::Kill,
+            }),
+        };
+        let err = vmp_run_opts(2, opts, |mut rank| {
+            let mut data = vec![rank.id() as f64];
+            rank.allreduce_sum(7, &mut data);
+            data[0]
+        })
+        .expect_err("killed rank must fail the launch");
+        assert!(err.faults.iter().any(|f| f.rank == 1), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "failure detection took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn stalled_rank_trips_peer_timeouts() {
+        let opts = VmpOptions {
+            recv_timeout: Some(Duration::from_millis(60)),
+            fault: Some(VmpFault {
+                rank: 0,
+                kind: FaultKind::Stall { ms: 250 },
+            }),
+        };
+        let err = vmp_run_opts(3, opts, |mut rank| {
+            let mut data = vec![1.0];
+            rank.allreduce_sum(9, &mut data);
+            data[0]
+        })
+        .expect_err("stalled collective must fail");
+        // The healthy ranks time out waiting for rank 0's contribution.
+        assert!(
+            err.faults.iter().any(|f| f.detail.contains("timed out")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn timeout_alone_does_not_perturb_healthy_runs() {
+        let opts = VmpOptions {
+            recv_timeout: Some(Duration::from_secs(10)),
+            fault: None,
+        };
+        let (results, _) = vmp_run_opts(4, opts, |mut rank| {
+            let mut data = vec![rank.id() as f64];
+            rank.allreduce_sum(11, &mut data);
+            data[0]
+        })
+        .expect("healthy run");
+        assert_eq!(results, vec![6.0; 4]);
     }
 
     #[test]

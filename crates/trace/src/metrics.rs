@@ -62,10 +62,18 @@ pub enum Counter {
     SturmBisections,
     /// Sparse H·v products in the Chebyshev Fermi-operator engines.
     ChebyshevMatvecs,
+    /// Snapshots written by the checkpoint subsystem.
+    CkptWrites,
+    /// Encoded snapshot bytes written (before any rotation).
+    CkptBytes,
+    /// Snapshots restored (resume or fault recovery).
+    CkptRestores,
+    /// Wall time spent encoding + atomically publishing snapshots (ns).
+    CkptNanos,
 }
 
 impl Counter {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 11;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::WireBytes,
         Counter::WireMessages,
@@ -74,6 +82,10 @@ impl Counter {
         Counter::NlRefreshes,
         Counter::SturmBisections,
         Counter::ChebyshevMatvecs,
+        Counter::CkptWrites,
+        Counter::CkptBytes,
+        Counter::CkptRestores,
+        Counter::CkptNanos,
     ];
 
     pub const fn index(self) -> usize {
@@ -90,6 +102,10 @@ impl Counter {
             Counter::NlRefreshes => "nl_refreshes",
             Counter::SturmBisections => "sturm_bisections",
             Counter::ChebyshevMatvecs => "chebyshev_matvecs",
+            Counter::CkptWrites => "ckpt_writes",
+            Counter::CkptBytes => "ckpt_bytes",
+            Counter::CkptRestores => "ckpt_restores",
+            Counter::CkptNanos => "ckpt_nanos",
         }
     }
 }

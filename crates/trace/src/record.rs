@@ -246,6 +246,41 @@ impl RunRecorder {
         Ok(())
     }
 
+    /// Append a `ckpt` line: one snapshot published by the checkpoint
+    /// subsystem (also bumps the global ckpt counters).
+    pub fn record_ckpt(
+        &mut self,
+        step: usize,
+        bytes: u64,
+        wall_ns: u64,
+        path: &str,
+    ) -> io::Result<()> {
+        sink::add(Counter::CkptWrites, 1);
+        sink::add(Counter::CkptBytes, bytes);
+        sink::add(Counter::CkptNanos, wall_ns);
+        let mut v = JsonValue::object();
+        v.set("type", "ckpt")
+            .set("step", step)
+            .set("bytes", bytes)
+            .set("wall_ns", wall_ns)
+            .set("path", path);
+        self.write_line(&v)
+    }
+
+    /// Append a `restore` line: the run resumed from a snapshot, either at
+    /// startup ([`resume`]) or after a detected rank failure.
+    ///
+    /// [`resume`]: RunRecorder::record_restore
+    pub fn record_restore(&mut self, step: usize, reason: &str, path: &str) -> io::Result<()> {
+        sink::add(Counter::CkptRestores, 1);
+        let mut v = JsonValue::object();
+        v.set("type", "restore")
+            .set("step", step)
+            .set("reason", reason)
+            .set("path", path);
+        self.write_line(&v)
+    }
+
     /// Drift watchdog verdict so far.
     pub fn watchdog_status(&self) -> WatchdogStatus {
         self.drift.status()
@@ -358,6 +393,28 @@ mod tests {
         assert_eq!(
             parsed[3].get("watchdog").unwrap().as_str(),
             Some("energy_drift")
+        );
+    }
+
+    #[test]
+    fn ckpt_and_restore_lines_parse() {
+        let mut rec = RunRecorder::in_memory(&manifest());
+        rec.record_ckpt(10, 1536, 42_000, "ckpt/ckpt_0000000010.tbck")
+            .expect("ckpt");
+        rec.record_restore(10, "rank_failure", "ckpt/ckpt_0000000010.tbck")
+            .expect("restore");
+        let summary = rec.finish().expect("finish");
+        let parsed: Vec<JsonValue> = summary
+            .lines
+            .iter()
+            .map(|l| JsonValue::parse(l).expect("parses"))
+            .collect();
+        assert_eq!(parsed[1].get("type").unwrap().as_str(), Some("ckpt"));
+        assert_eq!(parsed[1].get("bytes").unwrap().as_f64(), Some(1536.0));
+        assert_eq!(parsed[2].get("type").unwrap().as_str(), Some("restore"));
+        assert_eq!(
+            parsed[2].get("reason").unwrap().as_str(),
+            Some("rank_failure")
         );
     }
 

@@ -1,0 +1,60 @@
+//! The k-point engine's thread fan-out must be invisible to the physics
+//! (ISSUE 5, satellite): an MD trajectory driven by the parallel per-k
+//! sweep is *bitwise* identical to one driven by the serial sweep. Per-k
+//! work is slot-local and the energy/force reduction runs in grid order
+//! either way, so any divergence here means shared mutable state leaked
+//! into the fan-out.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbmd_md::{maxwell_boltzmann, MdState, VelocityVerlet};
+use tbmd_model::{monkhorst_pack, KPointCalculator, Workspace};
+use tbmd_structure::{bulk_diamond, Species, Structure};
+
+fn perturbed_si8(seed: u64) -> Structure {
+    let mut s = bulk_diamond(Species::Silicon, 1, 1, 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    s.perturb(&mut rng, 0.05);
+    s
+}
+
+/// 12-step NVE trajectory under the k-sampled engine; returns per-step
+/// potential energies and final positions/velocities as raw f64 bits.
+fn trajectory_bits(parallel: bool) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let model = tbmd_model::silicon_gsp();
+    let s = perturbed_si8(17);
+    let calc =
+        KPointCalculator::new(&model, monkhorst_pack(&s, [2, 2, 2]), 0.1).with_parallel(parallel);
+    let mut rng = StdRng::seed_from_u64(23);
+    let v0 = maxwell_boltzmann(&s, 300.0, &mut rng);
+    let vv = VelocityVerlet::new(1.0);
+    let mut ws = Workspace::new();
+    let mut state = MdState::new_with(s, v0, &calc, &mut ws).unwrap();
+
+    let mut energies = Vec::new();
+    for _ in 0..12 {
+        vv.step_with(&mut state, &calc, &mut ws).unwrap();
+        energies.push(state.potential_energy.to_bits());
+    }
+    let positions = state
+        .structure
+        .positions()
+        .iter()
+        .flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
+        .collect();
+    let velocities = state
+        .velocities
+        .iter()
+        .flat_map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect();
+    (energies, positions, velocities)
+}
+
+#[test]
+fn kpoint_parallel_md_trajectory_is_bitwise_identical_to_serial() {
+    let (e_par, x_par, v_par) = trajectory_bits(true);
+    let (e_ser, x_ser, v_ser) = trajectory_bits(false);
+    assert_eq!(e_par, e_ser, "per-step energies diverged");
+    assert_eq!(x_par, x_ser, "final positions diverged");
+    assert_eq!(v_par, v_ser, "final velocities diverged");
+}

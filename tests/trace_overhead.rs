@@ -117,8 +117,15 @@ fn recorder_jsonl_parses_and_drift_watchdog_trips() {
     let manifest = run_manifest(&config);
     assert_eq!(manifest.n_atoms, 8);
     let mut recorder = RunRecorder::in_memory(&manifest).with_drift_budget(0.05);
-    run_simulation_recorded(&config, &mut recorder, RecorderConfig { health_stride: 10 })
-        .expect("recorded run");
+    run_simulation_recorded(
+        &config,
+        &mut recorder,
+        RecorderConfig {
+            health_stride: 10,
+            ..RecorderConfig::standard()
+        },
+    )
+    .expect("recorded run");
     let summary = recorder.finish().expect("summary");
 
     assert_eq!(summary.steps, 40);
