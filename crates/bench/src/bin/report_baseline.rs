@@ -30,10 +30,11 @@ use tbmd::linalg::{
 use tbmd::model::PhaseTimings;
 use tbmd::trace::{git_describe, Counter, JsonValue, Phase};
 use tbmd::{
-    run_manifest, run_simulation_checkpointed, run_simulation_recorded, silicon_gsp,
-    CheckpointConfig, CheckpointStore, DistributedSolver, DistributedTb, EngineKind, ForceProvider,
-    RecorderConfig, RunRecorder, SharedMemoryTb, SimulationConfig, Species, Structure, SystemSpec,
-    TbCalculator, TraceSink, Workspace,
+    live_vmp_workers, run_manifest, run_simulation_checkpointed, run_simulation_recorded,
+    run_simulation_resilient_with, silicon_gsp, CheckpointConfig, CheckpointStore,
+    DistributedSolver, DistributedTb, EngineKind, FaultKind, FaultPlan, ForceProvider,
+    RecorderConfig, ResilienceOptions, RunRecorder, SharedMemoryTb, SimulationConfig, Species,
+    Structure, SystemSpec, TbCalculator, TraceSink, Workspace,
 };
 use tbmd_bench::{check_gate, compare_baselines, fmt_ms, write_json, BenchArgs, ReportTable};
 use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
@@ -328,10 +329,75 @@ fn main() {
         format!("{overhead_pct:.3}"),
     ]);
 
+    // --- Elastic-recovery headline: a P=3 distributed NVE run loses a
+    // rank mid-trajectory; the resilient driver rewinds to the newest
+    // snapshot, respawns, and must land on the bitwise clean endpoint with
+    // zero leaked worker threads (`report_chaos` runs the full kill+stall
+    // suite; this keeps the headline in BENCH_phase.json).
+    let rec_dir = std::env::temp_dir().join(format!("tbmd_bench_recover_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rec_dir);
+    let rec_ckpt = CheckpointConfig {
+        dir: rec_dir.clone(),
+        interval: 4,
+        retain: 3,
+    };
+    let mut rec_config = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 12);
+    rec_config.engine = EngineKind::Distributed { ranks: 3 };
+    rec_config.perturb = 0.02;
+    let rec_clean = tbmd::run_simulation(&rec_config).expect("clean reference");
+    let kill = FaultPlan {
+        rank: 1,
+        at_evaluation: 8, // MD step 7: past the step-4 snapshot
+        kind: FaultKind::Kill,
+    };
+    let t0 = Instant::now();
+    let (recovered, rec_report) = run_simulation_resilient_with(
+        &rec_config,
+        &rec_ckpt,
+        &[kill],
+        ResilienceOptions::default(),
+    )
+    .expect("resilient run");
+    let recover_wall = t0.elapsed();
+    let _ = std::fs::remove_dir_all(&rec_dir);
+    let rec_bitwise = {
+        let bits = |v: &[tbmd::Vec3]| -> Vec<u64> {
+            v.iter()
+                .flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
+                .collect()
+        };
+        bits(rec_clean.final_structure.positions()) == bits(recovered.final_structure.positions())
+            && bits(&rec_clean.final_velocities) == bits(&recovered.final_velocities)
+    };
+    let rec_leaked = live_vmp_workers();
+    let mut recovery = JsonValue::object();
+    recovery
+        .set("engine", "distributed/3")
+        .set("steps", 12usize)
+        .set("recoveries", rec_report.recoveries)
+        .set("failed_ranks", format!("{:?}", rec_report.failed_ranks))
+        .set("final_ranks", rec_report.final_ranks)
+        .set("bitwise_equal", rec_bitwise)
+        .set("leaked_workers", rec_leaked as u64)
+        .set("recover_wall_ms", recover_wall.as_secs_f64() * 1e3);
+    root.set("recovery", recovery);
+    let mut rec_table = ReportTable::new(
+        "Baseline: elastic rank recovery (Si-8, P=3, kill at step 7, Respawn)",
+        &["recoveries", "final P", "bitwise", "leaked", "recover/ms"],
+    );
+    rec_table.row(vec![
+        rec_report.recoveries.to_string(),
+        rec_report.final_ranks.to_string(),
+        rec_bitwise.to_string(),
+        rec_leaked.to_string(),
+        format!("{:.1}", recover_wall.as_secs_f64() * 1e3),
+    ]);
+
     engine_table.print();
     eig_table.print();
     wd_table.print();
     ckpt_table.print();
+    rec_table.print();
     println!(
         "\nsliced vs ring-Jacobi wire bytes at N = {}, P = 4: {} vs {} ({:.1}x)",
         s64.n_atoms(),
@@ -389,6 +455,11 @@ fn main() {
             .and_then(|c| c.get("overhead_pct_interval100"))
             .and_then(|o| o.as_f64())
             .is_some_and(|o| o.is_finite() && o < 5.0);
+        let recovery_ok = v.get("recovery").is_some_and(|r| {
+            r.get("recoveries").and_then(|x| x.as_f64()) == Some(1.0)
+                && r.get("bitwise_equal").and_then(|x| x.as_bool()) == Some(true)
+                && r.get("leaked_workers").and_then(|x| x.as_f64()) == Some(0.0)
+        });
 
         // Regression gate against the previous CI artifact: loose on wall
         // times (noisy hosts), near-exact on wire bytes. A missing artifact
@@ -417,9 +488,9 @@ fn main() {
             }
         }
         check_gate(
-            engines_ok && comm_ok && watchdogs_ok && eig_ok && ckpt_ok && prev_ok,
+            engines_ok && comm_ok && watchdogs_ok && eig_ok && ckpt_ok && recovery_ok && prev_ok,
             &format!(
-                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, regression: {prev_note}"
+                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, recovery={recovery_ok}, regression: {prev_note}"
             ),
         );
     }

@@ -131,10 +131,21 @@ impl CheckpointStore {
         if self.retain == 0 {
             return Ok(());
         }
-        let listed = self.list()?;
-        if listed.len() > self.retain {
-            let excess = listed.len() - self.retain;
-            for (_, path) in &listed[..excess] {
+        // Retention counts only snapshots that decode cleanly: a torn or
+        // bit-flipped file must not push a valid fallback out of the
+        // window, or corrupting the newest K files would leave the store
+        // with nothing to resume from. Corrupt files are deleted without
+        // costing a slot (they can never be resumed anyway).
+        let (valid, corrupt): (Vec<_>, Vec<_>) = self
+            .list()?
+            .into_iter()
+            .partition(|(_, path)| Self::load(path).is_ok());
+        for (_, path) in &corrupt {
+            let _ = fs::remove_file(path);
+        }
+        if valid.len() > self.retain {
+            let excess = valid.len() - self.retain;
+            for (_, path) in &valid[..excess] {
                 fs::remove_file(path)?;
             }
         }
@@ -196,6 +207,37 @@ mod tests {
         let bytes = fs::read(&receipt.path).expect("read");
         fs::write(&receipt.path, &bytes[..bytes.len() / 2]).expect("truncate");
         assert_eq!(store.latest().expect("latest"), Some(good));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_files_do_not_consume_retention_slots() {
+        let store = tmp_store("corrupt_rotation", 2);
+        let corrupt_file = |path: &Path| {
+            let bytes = fs::read(path).expect("read");
+            fs::write(path, &bytes[..bytes.len() / 2]).expect("truncate");
+        };
+        let mut snap = sample(2, false, false);
+        snap.step = 10;
+        store.write(&snap).expect("write 10");
+        snap.step = 20;
+        let r20 = store.write(&snap).expect("write 20");
+        corrupt_file(&r20.path);
+        snap.step = 30;
+        let r30 = store.write(&snap).expect("write 30");
+        // The write-30 rotation saw [10 valid, 20 corrupt, 30 valid]: the
+        // corrupt 20 must be dropped without costing snap 10 its slot.
+        let steps: Vec<u64> = store
+            .list()
+            .expect("list")
+            .iter()
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(steps, vec![10, 30], "corrupt file consumed a retain slot");
+        // Now the newest survivor tears too: resume must still find 10.
+        corrupt_file(&r30.path);
+        let latest = store.latest().expect("latest").expect("usable snapshot");
+        assert_eq!(latest.step, 10, "valid fallback did not survive rotation");
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -5,7 +5,7 @@ use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb};
 use tbmd_model::{
     ForceEvaluation, ForceProvider, OccupationScheme, TbCalculator, TbError, TbModel, Workspace,
 };
-use tbmd_parallel::{DistributedTb, Eigensolver, FaultPlan, SharedMemoryTb};
+use tbmd_parallel::{DistributedTb, Eigensolver, FaultPlan, RecvTimeoutPolicy, SharedMemoryTb};
 use tbmd_structure::Structure;
 
 /// Which engine evaluates energies and forces.
@@ -98,6 +98,66 @@ impl<'m> Engine<'m> {
                 true
             }
             Engine::Serial(_) | Engine::Shared(_) | Engine::LinearScaling(_) => false,
+        }
+    }
+
+    /// Ranks the next evaluation will launch: the configured count minus
+    /// any dropped by [`Engine::shrink_ranks`]. 1 for engines without
+    /// virtual ranks.
+    pub fn active_ranks(&self) -> usize {
+        match self {
+            Engine::Distributed(e) => e.active_ranks(),
+            Engine::DistributedLinearScaling(e) => e.active_ranks(),
+            Engine::Serial(_) | Engine::Shared(_) | Engine::LinearScaling(_) => 1,
+        }
+    }
+
+    /// Shrink-to-fit re-sharding after a rank failure: drop `n_failed`
+    /// ranks from the active set (never below 1) and return the new count.
+    /// The next evaluation re-partitions every spectrum slice and atom
+    /// block over the survivors. No-op (returns 1) for rankless engines.
+    pub fn shrink_ranks(&self, n_failed: usize) -> usize {
+        match self {
+            Engine::Distributed(e) => e.shrink_ranks(n_failed),
+            Engine::DistributedLinearScaling(e) => e.shrink_ranks(n_failed),
+            Engine::Serial(_) | Engine::Shared(_) | Engine::LinearScaling(_) => 1,
+        }
+    }
+
+    /// Restore the full configured rank count (virtual ranks are threads,
+    /// so "respawning" is free) and return it.
+    pub fn respawn_full_ranks(&self) -> usize {
+        match self {
+            Engine::Distributed(e) => e.respawn_full_ranks(),
+            Engine::DistributedLinearScaling(e) => e.respawn_full_ranks(),
+            Engine::Serial(_) | Engine::Shared(_) | Engine::LinearScaling(_) => 1,
+        }
+    }
+
+    /// Set the failure-detection window policy on the underlying
+    /// distributed engine. Returns `false` (and sets nothing) for engines
+    /// without virtual ranks.
+    pub fn set_recv_timeout(&self, policy: RecvTimeoutPolicy) -> bool {
+        match self {
+            Engine::Distributed(e) => {
+                e.set_recv_timeout(policy);
+                true
+            }
+            Engine::DistributedLinearScaling(e) => {
+                e.set_recv_timeout(policy);
+                true
+            }
+            Engine::Serial(_) | Engine::Shared(_) | Engine::LinearScaling(_) => false,
+        }
+    }
+
+    /// Evaluations performed by this engine instance (fault plans are
+    /// 1-based against this count; 0 for engines that do not count).
+    pub fn evaluations(&self) -> u64 {
+        match self {
+            Engine::Distributed(e) => e.evaluations(),
+            Engine::DistributedLinearScaling(e) => e.evaluations(),
+            Engine::Serial(_) | Engine::Shared(_) | Engine::LinearScaling(_) => 0,
         }
     }
 }

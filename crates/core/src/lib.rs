@@ -23,7 +23,8 @@ pub use engine::{Engine, EngineKind};
 pub use simulation::{
     resume_simulation, resume_simulation_recorded, run_manifest, run_simulation,
     run_simulation_checkpointed, run_simulation_recorded, run_simulation_resilient,
-    CheckpointConfig, Protocol, RecorderConfig, SimulationConfig, SimulationSummary,
+    run_simulation_resilient_with, CheckpointConfig, Protocol, RecorderConfig, RecoveryReport,
+    ReshardPolicy, ResilienceOptions, SimulationConfig, SimulationSummary,
 };
 pub use system::SystemSpec;
 
@@ -49,7 +50,8 @@ pub use tbmd_model::{
     ForceProvider, NonOrthoCalculator, OccupationScheme, TbCalculator, TbError, TbModel, Workspace,
 };
 pub use tbmd_parallel::{
-    DistributedSolver, DistributedTb, FaultKind, FaultPlan, MachineProfile, SharedMemoryTb,
+    default_recv_timeout, live_vmp_workers, DistributedSolver, DistributedTb, FaultKind, FaultPlan,
+    MachineProfile, RecvTimeoutPolicy, SharedMemoryTb,
 };
 pub use tbmd_structure::{Cell, NeighborList, Species, Structure, VerletNeighborList};
 pub use tbmd_trace::{RunManifest, RunRecorder, TraceSink, WatchdogStatus};

@@ -472,7 +472,9 @@ fn load_resume_snapshot(
 
 /// Run a configured simulation to completion.
 pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, TbError> {
-    run_simulation_impl(config, None, None, None, None)
+    let model = config.system.model();
+    let engine = Engine::build(config.engine, &model, config.electronic_kt);
+    run_simulation_impl(config, &engine, &model, None, None, None)
 }
 
 /// [`run_simulation`] writing a `TBCK` snapshot every `ckpt.interval` steps
@@ -483,7 +485,9 @@ pub fn run_simulation_checkpointed(
     config: &SimulationConfig,
     ckpt: &CheckpointConfig,
 ) -> Result<SimulationSummary, TbError> {
-    run_simulation_impl(config, None, Some(ckpt), None, None)
+    let model = config.system.model();
+    let engine = Engine::build(config.engine, &model, config.electronic_kt);
+    run_simulation_impl(config, &engine, &model, None, Some(ckpt), None)
 }
 
 /// Continue an interrupted run from the newest usable snapshot in
@@ -496,45 +500,146 @@ pub fn resume_simulation(
     ckpt: &CheckpointConfig,
 ) -> Result<SimulationSummary, TbError> {
     let snap = load_resume_snapshot(config, ckpt)?;
-    run_simulation_impl(config, None, Some(ckpt), Some(snap), None)
+    let model = config.system.model();
+    let engine = Engine::build(config.engine, &model, config.electronic_kt);
+    run_simulation_impl(config, &engine, &model, None, Some(ckpt), Some(snap))
+}
+
+/// What a resilient driver does with the rank set after a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReshardPolicy {
+    /// Re-spawn the failed ranks and retry at the configured width.
+    /// Virtual ranks are threads, so respawning is free, and the retried
+    /// trajectory is *bitwise* the uninterrupted one: the same rank count
+    /// means the same reduction-tree grouping, hence the same
+    /// floating-point sums.
+    #[default]
+    Respawn,
+    /// Continue on the survivors: the next evaluation recomputes every
+    /// spectrum-slice boundary over P − f ranks via the same Sturm
+    /// partitioner, so the dead rank's shards are redistributed
+    /// automatically. The continued trajectory agrees with the
+    /// uninterrupted one only to summation accuracy (the allreduce
+    /// grouping changes with the rank count, and float addition is not
+    /// associative).
+    Shrink,
+}
+
+/// Knobs of [`run_simulation_resilient_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceOptions {
+    /// Rank-set policy after each failure.
+    pub policy: ReshardPolicy,
+    /// Give up after this many recoveries (the N+1st failure is returned).
+    pub max_recoveries: usize,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            policy: ReshardPolicy::Respawn,
+            max_recoveries: 2,
+        }
+    }
+}
+
+/// What it took to finish a resilient run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Rewind-and-retry cycles before the successful attempt.
+    pub recoveries: usize,
+    /// Every rank blamed across the failures, in failure order.
+    pub failed_ranks: Vec<usize>,
+    /// Active rank count of the engine at the end: the configured count
+    /// under [`ReshardPolicy::Respawn`], the survivor count under
+    /// [`ReshardPolicy::Shrink`], 1 for rankless engines.
+    pub final_ranks: usize,
 }
 
 /// Drive a (possibly fault-injected) run to completion, recovering from the
 /// newest snapshot after every distributed rank failure — the
-/// kill-and-resume loop of a batch scheduler, in miniature.
+/// kill-and-resume loop of an elastic batch scheduler, in miniature.
 ///
-/// `fault` is armed on the *first* attempt only (it models one crash);
-/// recovery attempts run clean. A failure before the first snapshot restarts
-/// from scratch. Gives up after `max_recoveries` recoveries and returns the
-/// last [`TbError::RankFailure`]. On success returns the summary and how
-/// many recoveries it took.
-pub fn run_simulation_resilient(
+/// One engine lives across all attempts, so `faults` are scheduled against
+/// a single monotone evaluation counter: the i-th plan is armed at the
+/// start of the i-th attempt and fires at most once (the rewind after a
+/// recovery finds the one-shot slot already empty). A failure before the
+/// first snapshot restarts from scratch. After each failure the rank set
+/// follows `options.policy`; gives up after `options.max_recoveries`
+/// recoveries and returns the last [`TbError::RankFailure`].
+pub fn run_simulation_resilient_with(
     config: &SimulationConfig,
     ckpt: &CheckpointConfig,
-    mut fault: Option<FaultPlan>,
-    max_recoveries: usize,
-) -> Result<(SimulationSummary, usize), TbError> {
-    let mut recoveries = 0usize;
+    faults: &[FaultPlan],
+    options: ResilienceOptions,
+) -> Result<(SimulationSummary, RecoveryReport), TbError> {
+    let model = config.system.model();
+    let engine = Engine::build(config.engine, &model, config.electronic_kt);
+    let mut queue = faults.iter().copied();
+    let mut report = RecoveryReport {
+        final_ranks: engine.active_ranks(),
+        ..RecoveryReport::default()
+    };
     loop {
-        let armed = fault.take();
+        if let Some(plan) = queue.next() {
+            engine.inject_fault(plan);
+        }
         let resume = match load_resume_snapshot(config, ckpt) {
             Ok(snap) => Some(snap),
             Err(TbError::Checkpoint(_)) => None,
             Err(e) => return Err(e),
         };
-        match run_simulation_impl(config, None, Some(ckpt), resume, armed) {
-            Ok(summary) => return Ok((summary, recoveries)),
-            Err(TbError::RankFailure(msg)) => {
-                if recoveries >= max_recoveries {
-                    return Err(TbError::RankFailure(format!(
-                        "gave up after {max_recoveries} recoveries: {msg}"
-                    )));
+        match run_simulation_impl(config, &engine, &model, None, Some(ckpt), resume) {
+            Ok(summary) => {
+                report.final_ranks = engine.active_ranks();
+                return Ok((summary, report));
+            }
+            Err(TbError::RankFailure {
+                detail,
+                failed_ranks,
+            }) => {
+                if report.recoveries >= options.max_recoveries {
+                    return Err(TbError::RankFailure {
+                        detail: format!(
+                            "gave up after {} recoveries: {detail}",
+                            options.max_recoveries
+                        ),
+                        failed_ranks,
+                    });
                 }
-                recoveries += 1;
+                report.recoveries += 1;
+                tbmd_trace::add(Counter::Recoveries, 1);
+                match options.policy {
+                    ReshardPolicy::Respawn => {
+                        engine.respawn_full_ranks();
+                    }
+                    ReshardPolicy::Shrink => {
+                        engine.shrink_ranks(failed_ranks.len().max(1));
+                    }
+                }
+                report.failed_ranks.extend(failed_ranks);
             }
             Err(e) => return Err(e),
         }
     }
+}
+
+/// [`run_simulation_resilient_with`] with the historical signature: at most
+/// one fault, the [`ReshardPolicy::Respawn`] policy (so the recovered
+/// endpoint is bitwise the clean one), and a plain recovery count.
+pub fn run_simulation_resilient(
+    config: &SimulationConfig,
+    ckpt: &CheckpointConfig,
+    fault: Option<FaultPlan>,
+    max_recoveries: usize,
+) -> Result<(SimulationSummary, usize), TbError> {
+    let faults: Vec<FaultPlan> = fault.into_iter().collect();
+    let options = ResilienceOptions {
+        policy: ReshardPolicy::Respawn,
+        max_recoveries,
+    };
+    run_simulation_resilient_with(config, ckpt, &faults, options)
+        .map(|(summary, report)| (summary, report.recoveries))
 }
 
 /// [`run_simulation`] streaming one JSONL `step` record per MD step (plus
@@ -549,11 +654,14 @@ pub fn run_simulation_recorded(
     options: RecorderConfig,
 ) -> Result<SimulationSummary, TbError> {
     let recording = build_recording(config, recorder, &options);
+    let model = config.system.model();
+    let engine = Engine::build(config.engine, &model, config.electronic_kt);
     run_simulation_impl(
         config,
+        &engine,
+        &model,
         Some(recording),
         options.checkpoint.as_ref(),
-        None,
         None,
     )
 }
@@ -571,7 +679,16 @@ pub fn resume_simulation_recorded(
     })?;
     let snap = load_resume_snapshot(config, ckpt)?;
     let recording = build_recording(config, recorder, &options);
-    run_simulation_impl(config, Some(recording), Some(ckpt), Some(snap), None)
+    let model = config.system.model();
+    let engine = Engine::build(config.engine, &model, config.electronic_kt);
+    run_simulation_impl(
+        config,
+        &engine,
+        &model,
+        Some(recording),
+        Some(ckpt),
+        Some(snap),
+    )
 }
 
 fn build_recording<'r>(
@@ -603,18 +720,20 @@ fn build_recording<'r>(
     }
 }
 
+/// One attempt of a configured simulation over an already-built engine.
+///
+/// The engine is borrowed, not built, so a resilient driver can keep one
+/// engine alive across rewinds: its evaluation counter (which fault plans
+/// are scheduled against) and its active rank count (which a shrink
+/// re-shard adjusts) both persist from attempt to attempt.
 fn run_simulation_impl(
     config: &SimulationConfig,
+    engine: &Engine<'_>,
+    model: &dyn TbModel,
     mut recording: Option<Recording<'_>>,
     checkpoint: Option<&CheckpointConfig>,
     resume: Option<Snapshot>,
-    fault: Option<FaultPlan>,
 ) -> Result<SimulationSummary, TbError> {
-    let model = config.system.model();
-    let engine = Engine::build(config.engine, &model, config.electronic_kt);
-    if let Some(plan) = fault {
-        engine.inject_fault(plan);
-    }
     let ckpt = match checkpoint {
         Some(c) => Some(CkptCtx::open(c, config)?),
         None => None,
@@ -649,7 +768,7 @@ fn run_simulation_impl(
                 max_iterations,
                 ..Default::default()
             };
-            let result = relax(&mut structure, &engine, &opts)?;
+            let result = relax(&mut structure, engine, &opts)?;
             Ok(SimulationSummary {
                 final_potential_energy: result.energy,
                 final_total_energy: result.energy,
@@ -685,20 +804,20 @@ fn run_simulation_impl(
                 }
                 None => {
                     let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
-                    let state = MdState::new_with(structure, v, &engine, &mut ws)?;
+                    let state = MdState::new_with(structure, v, engine, &mut ws)?;
                     let e0 = state.total_energy();
                     (state, e0, RunningStats::new(), 0.0f64, 0usize)
                 }
             };
             for step in (start + 1)..=steps {
-                integrator.step_with(&mut state, &engine, &mut ws)?;
+                integrator.step_with(&mut state, engine, &mut ws)?;
                 t_stats.push(state.temperature());
                 drift = drift.max((state.total_energy() - e0).abs());
                 if let Some(tr) = trajectory.as_mut() {
                     tr.observe(&state);
                 }
                 if let Some(rec) = recording.as_mut() {
-                    rec.observe(step, &state, state.total_energy(), &model, &mut ws)?;
+                    rec.observe(step, &state, state.total_energy(), model, &mut ws)?;
                 }
                 if let Some(c) = ckpt.as_ref() {
                     if c.due(step) {
@@ -760,21 +879,21 @@ fn run_simulation_impl(
                 }
                 None => {
                     let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
-                    let state = MdState::new_with(structure, v, &engine, &mut ws)?;
+                    let state = MdState::new_with(structure, v, engine, &mut ws)?;
                     let nh = NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
                     let h0 = nh.conserved_quantity(&state);
                     (state, nh, h0, RunningStats::new(), 0.0f64, 0usize)
                 }
             };
             for step in (start + 1)..=steps {
-                nh.step_with(&mut state, &engine, &mut ws)?;
+                nh.step_with(&mut state, engine, &mut ws)?;
                 t_stats.push(state.temperature());
                 drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
                 if let Some(tr) = trajectory.as_mut() {
                     tr.observe(&state);
                 }
                 if let Some(rec) = recording.as_mut() {
-                    rec.observe(step, &state, nh.conserved_quantity(&state), &model, &mut ws)?;
+                    rec.observe(step, &state, nh.conserved_quantity(&state), model, &mut ws)?;
                 }
                 if let Some(c) = ckpt.as_ref() {
                     if c.due(step) {
@@ -850,7 +969,7 @@ fn run_simulation_impl(
                 }
                 None => {
                     let v = maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng);
-                    let state = MdState::new_with(structure, v, &engine, &mut ws)?;
+                    let state = MdState::new_with(structure, v, engine, &mut ws)?;
                     let nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
                     (state, nh, RunningStats::new(), 0usize)
                 }
@@ -866,7 +985,7 @@ fn run_simulation_impl(
             if resume_hold.is_none() {
                 loop {
                     let still_ramping = ramp.advance(&mut nh);
-                    nh.step_with(&mut state, &engine, &mut ws)?;
+                    nh.step_with(&mut state, engine, &mut ws)?;
                     steps_total += 1;
                     t_stats.push(state.temperature());
                     if let Some(tr) = trajectory.as_mut() {
@@ -921,7 +1040,7 @@ fn run_simulation_impl(
             // the ramp the extended energy is not conserved, so feeding it
             // to the watchdog would only produce spurious warns.
             for hold_step in (hold_start + 1)..=hold_steps {
-                nh.step_with(&mut state, &engine, &mut ws)?;
+                nh.step_with(&mut state, engine, &mut ws)?;
                 steps_total += 1;
                 t_stats.push(state.temperature());
                 drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
@@ -933,7 +1052,7 @@ fn run_simulation_impl(
                         hold_step,
                         &state,
                         nh.conserved_quantity(&state),
-                        &model,
+                        model,
                         &mut ws,
                     )?;
                 }

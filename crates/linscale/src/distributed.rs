@@ -15,7 +15,7 @@ use crate::chebyshev::{chebyshev_coefficients, entropy_density, fermi_function};
 use crate::engine::{LinScaleReport, LinearScalingTb};
 use crate::sparse::{LocalRegion, SparseH};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tbmd_linalg::Vec3;
 use tbmd_model::{
@@ -23,7 +23,8 @@ use tbmd_model::{
     PhaseTimings, TbError, TbModel, Workspace,
 };
 use tbmd_parallel::{
-    partition_range, vmp_run_opts, FaultPlan, RankWorkspacePool, VmpFault, VmpOptions, VmpStats,
+    partition_range, vmp_run_opts, FaultPlan, RankWorkspacePool, RecvTimeoutPolicy, VmpFault,
+    VmpOptions, VmpStats,
 };
 use tbmd_structure::Structure;
 
@@ -80,6 +81,12 @@ pub struct DistributedLinearScalingTb<'m> {
     fault_plan: Mutex<Option<FaultPlan>>,
     /// Evaluations performed by this engine instance (plans are 1-based).
     evals: AtomicU64,
+    /// Failure-detection window policy (default: size-scaled `Auto`).
+    recv_timeout: Mutex<RecvTimeoutPolicy>,
+    /// Currently active rank count (shrinks on re-shard, restored by
+    /// [`DistributedLinearScalingTb::respawn_full_ranks`]); the per-atom
+    /// `partition_range` decomposition follows it each evaluation.
+    active: AtomicUsize,
 }
 
 impl<'m> DistributedLinearScalingTb<'m> {
@@ -97,7 +104,52 @@ impl<'m> DistributedLinearScalingTb<'m> {
             pool: Mutex::new(RankWorkspacePool::new()),
             fault_plan: Mutex::new(None),
             evals: AtomicU64::new(0),
+            recv_timeout: Mutex::new(RecvTimeoutPolicy::Auto),
+            active: AtomicUsize::new(n_ranks),
         }
+    }
+
+    /// Fix the failure-detection window (replacing the size-scaled `Auto`
+    /// default): a real stalled or dead rank is presumed dead after
+    /// `window` of collective silence.
+    pub fn with_recv_timeout(self, window: Duration) -> Self {
+        self.set_recv_timeout(RecvTimeoutPolicy::Fixed(window));
+        self
+    }
+
+    /// Set the failure-detection policy (shared-ref form).
+    pub fn set_recv_timeout(&self, policy: RecvTimeoutPolicy) {
+        *self.recv_timeout.lock() = policy;
+    }
+
+    /// Current failure-detection policy.
+    pub fn recv_timeout_policy(&self) -> RecvTimeoutPolicy {
+        *self.recv_timeout.lock()
+    }
+
+    /// Ranks the next evaluation will launch (≤ `n_ranks` after a shrink).
+    pub fn active_ranks(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Shrink-to-fit re-sharding: drop `n_failed` ranks (never below 1);
+    /// the next evaluation re-partitions the atoms over the survivors.
+    pub fn shrink_ranks(&self, n_failed: usize) -> usize {
+        let cur = self.active.load(Ordering::SeqCst);
+        let new = cur.saturating_sub(n_failed).max(1);
+        self.active.store(new, Ordering::SeqCst);
+        new
+    }
+
+    /// Restore the full configured rank count and return it.
+    pub fn respawn_full_ranks(&self) -> usize {
+        self.active.store(self.n_ranks, Ordering::SeqCst);
+        self.n_ranks
+    }
+
+    /// Engine evaluations performed so far (fault plans are 1-based).
+    pub fn evaluations(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
     }
 
     /// Set the localization radius (Å).
@@ -141,13 +193,19 @@ impl<'m> DistributedLinearScalingTb<'m> {
     }
 
     /// Count this evaluation and take the armed fault if it is due (fires
-    /// on `at_evaluation` or the first evaluation after it).
-    fn take_due_fault(&self) -> Option<VmpFault> {
+    /// on `at_evaluation` or the first evaluation after it). Taking the
+    /// plan before the launch keeps plans one-shot across resilient
+    /// rewinds; a due plan targeting a rank the engine has shrunk away is
+    /// consumed without firing.
+    fn take_due_fault(&self, active: usize) -> Option<VmpFault> {
         let eval_no = self.evals.fetch_add(1, Ordering::Relaxed) + 1;
         let mut armed = self.fault_plan.lock();
         match *armed {
             Some(plan) if eval_no >= plan.at_evaluation => {
                 armed.take();
+                if plan.rank >= active {
+                    return None;
+                }
                 Some(VmpFault {
                     rank: plan.rank,
                     kind: plan.kind,
@@ -188,11 +246,18 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
         ws.dense_cache = tbmd_model::DenseCache::None;
         let model = self.model;
         let n_atoms = s.n_atoms();
-        let (kt, order, r_loc, p) = (self.kt, self.order, self.r_loc, self.n_ranks);
+        let (kt, order, r_loc, p) = (self.kt, self.order, self.r_loc, self.active_ranks());
 
+        let fault = self.take_due_fault(p);
         let opts = VmpOptions {
-            recv_timeout: None,
-            fault: self.take_due_fault(),
+            // The Auto window scales on the orbital count like the dense
+            // engine's; for the O(N) engine this overestimates the skew
+            // (conservative = slower detection of real faults, never false
+            // positives), and it is capped either way.
+            recv_timeout: self
+                .recv_timeout_policy()
+                .resolve(4 * n_atoms, p, fault.is_some()),
+            fault,
         };
 
         let mut pool = self.pool.lock();
@@ -474,7 +539,10 @@ impl ForceProvider for DistributedLinearScalingTb<'_> {
             }
         });
 
-        let (mut results, stats) = run.map_err(|e| TbError::RankFailure(e.to_string()))?;
+        let (mut results, stats) = run.map_err(|e| TbError::RankFailure {
+            failed_ranks: e.failed_ranks(),
+            detail: e.to_string(),
+        })?;
 
         let alloc_after = pool.created() + pool.total(|sl| sl.grown);
         ws.grown += alloc_after - alloc_before;
@@ -585,6 +653,32 @@ mod tests {
         let min = *flops.iter().min().unwrap() as f64;
         assert!(min > 0.0);
         assert!(max / min < 1.5, "imbalance {flops:?}");
+    }
+
+    #[test]
+    fn shrink_resharding_matches_shared_memory() {
+        // Atoms re-partition over the survivors after a shrink; physics
+        // must still match the shared-memory reference to solver tolerance.
+        let model = silicon_gsp();
+        let mut s = bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut rng = StdRng::seed_from_u64(12);
+        s.perturb(&mut rng, 0.03);
+        let dist = DistributedLinearScalingTb::new(&model, 3)
+            .with_kt(0.3)
+            .with_order(120)
+            .with_r_loc(5.0);
+        let reference = dist.shared_memory_equivalent().evaluate(&s).unwrap();
+        dist.evaluate(&s).unwrap();
+        assert_eq!(dist.shrink_ranks(1), 2);
+        let shrunk = dist.evaluate(&s).unwrap();
+        assert_eq!(dist.last_report().unwrap().n_ranks, 2);
+        assert!((shrunk.energy - reference.energy).abs() < 1e-7);
+        for (fa, fb) in reference.forces.iter().zip(&shrunk.forces) {
+            assert!((*fa - *fb).max_abs() < 1e-7);
+        }
+        assert_eq!(dist.respawn_full_ranks(), 3);
+        dist.evaluate(&s).unwrap();
+        assert_eq!(dist.last_report().unwrap().n_ranks, 3);
     }
 
     #[test]

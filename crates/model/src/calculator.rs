@@ -42,8 +42,13 @@ pub enum TbError {
     Recorder(String),
     /// One or more ranks of a distributed engine died or timed out
     /// mid-collective (fault injection or a real crash). The evaluation's
-    /// partial state is discarded; callers may recover from a checkpoint.
-    RankFailure(String),
+    /// partial state is discarded; callers may recover from a checkpoint,
+    /// using `failed_ranks` (the blamed rank ids, deduplicated) to re-shard
+    /// the survivors or decide the run is unrecoverable.
+    RankFailure {
+        detail: String,
+        failed_ranks: Vec<usize>,
+    },
     /// The checkpoint subsystem failed: an unwritable store, a snapshot
     /// that does not decode, or a resume against a mismatched configuration.
     Checkpoint(String),
@@ -64,7 +69,9 @@ impl std::fmt::Display for TbError {
             }
             TbError::EmptyStructure => write!(f, "structure contains no atoms"),
             TbError::Recorder(msg) => write!(f, "run recorder I/O failure: {msg}"),
-            TbError::RankFailure(msg) => write!(f, "distributed rank failure: {msg}"),
+            TbError::RankFailure { detail, .. } => {
+                write!(f, "distributed rank failure: {detail}")
+            }
             TbError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }

@@ -33,10 +33,12 @@
 
 use crate::pool::RankWorkspacePool;
 use crate::ring_jacobi::{initial_column_owners, ring_jacobi_worker};
-use crate::vmp::{partition_range, vmp_run_opts, FaultPlan, VmpFault, VmpOptions, VmpStats};
+use crate::vmp::{
+    partition_range, vmp_run_opts, FaultPlan, RecvTimeoutPolicy, VmpFault, VmpOptions, VmpStats,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tbmd_linalg::{
     cluster_tolerance, reduced_eigenvectors_offset_into, snap_range_to_clusters,
@@ -132,6 +134,15 @@ pub struct DistributedTb<'m> {
     fault_plan: Mutex<Option<FaultPlan>>,
     /// Evaluations performed by this engine instance (plans are 1-based).
     evals: AtomicU64,
+    /// Failure-detection window policy (default: size-scaled `Auto`).
+    recv_timeout: Mutex<RecvTimeoutPolicy>,
+    /// Currently active rank count: starts at `n_ranks`, shrinks when a
+    /// resilient driver re-shards over the survivors after a rank failure,
+    /// restored by [`DistributedTb::respawn_full_ranks`]. Every slice
+    /// boundary (`partition_range` over eigenvalue indices, occupied
+    /// columns and atom blocks) is computed from this per evaluation, so a
+    /// shrunken engine redistributes the dead rank's shards automatically.
+    active: AtomicUsize,
 }
 
 impl<'m> DistributedTb<'m> {
@@ -147,6 +158,8 @@ impl<'m> DistributedTb<'m> {
             pool: Mutex::new(RankWorkspacePool::new()),
             fault_plan: Mutex::new(None),
             evals: AtomicU64::new(0),
+            recv_timeout: Mutex::new(RecvTimeoutPolicy::Auto),
+            active: AtomicUsize::new(n_ranks),
         }
     }
 
@@ -160,6 +173,56 @@ impl<'m> DistributedTb<'m> {
     pub fn with_solver(mut self, solver: DistributedSolver) -> Self {
         self.solver = solver;
         self
+    }
+
+    /// Fix the failure-detection window (replacing the size-scaled `Auto`
+    /// default). A *real* stalled or dead rank is then presumed dead after
+    /// `window` of collective silence instead of the scaled default.
+    pub fn with_recv_timeout(self, window: Duration) -> Self {
+        self.set_recv_timeout(RecvTimeoutPolicy::Fixed(window));
+        self
+    }
+
+    /// Set the failure-detection policy (shared-ref form for engines
+    /// already handed to a driver).
+    pub fn set_recv_timeout(&self, policy: RecvTimeoutPolicy) {
+        *self.recv_timeout.lock() = policy;
+    }
+
+    /// Current failure-detection policy.
+    pub fn recv_timeout_policy(&self) -> RecvTimeoutPolicy {
+        *self.recv_timeout.lock()
+    }
+
+    /// Ranks the next evaluation will launch (≤ `n_ranks` after a shrink).
+    pub fn active_ranks(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Shrink-to-fit re-sharding: drop `n_failed` ranks from the active
+    /// set (never below 1) and return the new count. The next evaluation
+    /// recomputes every `partition_range` slice boundary over the
+    /// survivors — the Sturm eigenvalue shards, the cluster-snapped
+    /// occupied-eigenvector shards and the atom force blocks all follow
+    /// the active rank count.
+    pub fn shrink_ranks(&self, n_failed: usize) -> usize {
+        let cur = self.active.load(Ordering::SeqCst);
+        let new = cur.saturating_sub(n_failed).max(1);
+        self.active.store(new, Ordering::SeqCst);
+        new
+    }
+
+    /// Re-spawn policy: restore the full configured rank count (virtual
+    /// ranks are plain threads, so "respawning" is free) and return it.
+    pub fn respawn_full_ranks(&self) -> usize {
+        self.active.store(self.n_ranks, Ordering::SeqCst);
+        self.n_ranks
+    }
+
+    /// Engine evaluations performed so far (fault plans are 1-based
+    /// against this count).
+    pub fn evaluations(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
     }
 
     /// Traffic/flop report of the most recent [`ForceProvider::evaluate`].
@@ -184,13 +247,20 @@ impl<'m> DistributedTb<'m> {
 
     /// Count this evaluation and take the armed fault if its target
     /// evaluation is due (fires on `at_evaluation` or the first evaluation
-    /// after it, so a plan armed "in the past" still fires).
-    fn take_due_fault(&self) -> Option<VmpFault> {
+    /// after it, so a plan armed "in the past" still fires). Taking the
+    /// plan out of the slot *before* the launch is what makes plans
+    /// one-shot across resilient rewinds: the retry after a recovery finds
+    /// the slot empty. A due plan whose target rank no longer exists
+    /// (the engine shrank below it) is consumed without firing.
+    fn take_due_fault(&self, active: usize) -> Option<VmpFault> {
         let eval_no = self.evals.fetch_add(1, Ordering::Relaxed) + 1;
         let mut armed = self.fault_plan.lock();
         match *armed {
             Some(plan) if eval_no >= plan.at_evaluation => {
                 armed.take();
+                if plan.rank >= active {
+                    return None;
+                }
                 Some(VmpFault {
                     rank: plan.rank,
                     kind: plan.kind,
@@ -335,11 +405,14 @@ impl ForceProvider for DistributedTb<'_> {
         let n_electrons = s.n_electrons();
         let occupation = self.occupation;
         let model = self.model;
-        let p = self.n_ranks;
+        let p = self.active_ranks();
 
+        let fault = self.take_due_fault(p);
         let opts = VmpOptions {
-            recv_timeout: None,
-            fault: self.take_due_fault(),
+            recv_timeout: self
+                .recv_timeout_policy()
+                .resolve(n_orb, p, fault.is_some()),
+            fault,
         };
 
         let mut pool = self.pool.lock();
@@ -668,7 +741,10 @@ impl ForceProvider for DistributedTb<'_> {
             }
         };
 
-        let (mut results, stats) = run.map_err(|e| TbError::RankFailure(e.to_string()))?;
+        let (mut results, stats) = run.map_err(|e| TbError::RankFailure {
+            failed_ranks: e.failed_ranks(),
+            detail: e.to_string(),
+        })?;
 
         // Surface pool growth (slot creation + per-slot buffer growth) into
         // the caller's workspace counter so the O(1)-allocation guarantee is
@@ -885,10 +961,103 @@ mod tests {
         let clean = dist.evaluate(&s).unwrap();
         let err = dist.evaluate(&s).unwrap_err();
         match &err {
-            TbError::RankFailure(msg) => assert!(msg.contains("rank 1"), "{msg}"),
+            TbError::RankFailure {
+                detail,
+                failed_ranks,
+            } => {
+                assert!(detail.contains("rank 1"), "{detail}");
+                assert_eq!(failed_ranks, &vec![1], "{detail}");
+            }
             other => panic!("expected RankFailure, got {other:?}"),
         }
         let recovered = dist.evaluate(&s).unwrap();
         assert!((clean.energy - recovered.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrink_resharding_matches_serial() {
+        // After a shrink the survivors recompute every slice boundary via
+        // partition_range over the new rank count; the physics must still
+        // match the serial reference (the binomial allreduce grouping
+        // changes, so agreement is to solver tolerance, not bitwise).
+        let model = silicon_gsp();
+        let mut s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        s.perturb(&mut rng, 0.05);
+        let serial = TbCalculator::new(&model);
+        let reference = serial.evaluate(&s).unwrap();
+        let dist = DistributedTb::new(&model, 3);
+        dist.evaluate(&s).unwrap();
+        assert_eq!(dist.shrink_ranks(1), 2);
+        let shrunk = dist.evaluate(&s).unwrap();
+        assert_eq!(dist.last_report().unwrap().n_ranks, 2);
+        assert!((shrunk.energy - reference.energy).abs() < 1e-8);
+        for (fa, fb) in reference.forces.iter().zip(&shrunk.forces) {
+            assert!((*fa - *fb).max_abs() < 1e-6);
+        }
+        // Respawn restores the configured width.
+        assert_eq!(dist.respawn_full_ranks(), 3);
+        dist.evaluate(&s).unwrap();
+        assert_eq!(dist.last_report().unwrap().n_ranks, 3);
+        // Never shrinks below one rank.
+        assert_eq!(dist.shrink_ranks(99), 1);
+        dist.evaluate(&s).unwrap();
+        assert_eq!(dist.last_report().unwrap().n_ranks, 1);
+    }
+
+    #[test]
+    fn due_fault_for_removed_rank_is_dropped_not_refired() {
+        // A plan targeting rank 2 armed before the engine shrank to 2 ranks
+        // must be consumed without firing (and without panicking on the
+        // out-of-range rank id).
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let dist = DistributedTb::new(&model, 3).with_fault_plan(crate::vmp::FaultPlan {
+            rank: 2,
+            at_evaluation: 1,
+            kind: crate::vmp::FaultKind::Kill,
+        });
+        dist.shrink_ranks(1);
+        dist.evaluate(&s).expect("dropped plan must not fire");
+        // The slot is empty now: later evaluations stay clean too.
+        dist.evaluate(&s).expect("plan must stay consumed");
+    }
+
+    #[test]
+    fn stall_detected_through_engine_window_not_forever() {
+        // The satellite bug: the engine used to build VmpOptions with
+        // `recv_timeout: None`, so a stalled rank hung the run forever
+        // unless the fault machinery forced a default on. Now the engine
+        // always resolves a window from its policy; a long freeze must
+        // surface as a typed RankFailure in ~the window, not the stall
+        // duration (the cancellation token reclaims the frozen worker).
+        let model = silicon_gsp();
+        let s = bulk_diamond(Species::Silicon, 1, 1, 1);
+        let dist = DistributedTb::new(&model, 3)
+            .with_recv_timeout(Duration::from_millis(80))
+            .with_fault_plan(crate::vmp::FaultPlan {
+                rank: 1,
+                at_evaluation: 1,
+                kind: crate::vmp::FaultKind::Stall { ms: 30_000 },
+            });
+        assert_eq!(
+            dist.recv_timeout_policy(),
+            RecvTimeoutPolicy::Fixed(Duration::from_millis(80))
+        );
+        let started = Instant::now();
+        let err = dist.evaluate(&s).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stall held the evaluation for {:?}",
+            started.elapsed()
+        );
+        match &err {
+            TbError::RankFailure { failed_ranks, .. } => assert_eq!(failed_ranks, &vec![1]),
+            other => panic!("expected RankFailure, got {other:?}"),
+        }
+        // Production (no armed fault) Auto policy resolves to a generous,
+        // finite window — never None.
+        let auto = RecvTimeoutPolicy::Auto.resolve(128, 2, false);
+        assert!(auto.expect("auto must detect real faults") >= Duration::from_secs(2));
     }
 }

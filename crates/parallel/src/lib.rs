@@ -23,6 +23,7 @@ pub use ring_jacobi::{
 };
 pub use shared::{par_build_hamiltonian, par_forces, Eigensolver, SharedMemoryTb};
 pub use vmp::{
-    partition_range, vmp_run, vmp_run_opts, FaultKind, FaultPlan, Rank, RankFault, RankStats,
-    VmpError, VmpFault, VmpOptions, VmpStats,
+    default_recv_timeout, live_vmp_workers, partition_range, vmp_run, vmp_run_opts, CancelToken,
+    FaultKind, FaultPlan, Rank, RankFault, RankStats, RecvTimeoutPolicy, VmpError, VmpFault,
+    VmpOptions, VmpStats,
 };

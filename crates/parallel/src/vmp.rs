@@ -16,9 +16,80 @@
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Shared cancellation flag of one [`vmp_run_opts`] launch.
+///
+/// Set by the first rank that detects a failure (receive timeout, hung-up
+/// peer, or its own unwinding) and observed by every blocked receive and
+/// every injected stall, so the surviving workers drain within one polling
+/// tick instead of each waiting out its own full window — or, with no
+/// window configured, blocking until process exit.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Latch the token; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Process-wide census of live Vmp worker threads. [`vmp_run_opts`] joins
+/// every worker before returning, so outside a launch this returns to its
+/// prior value — the invariant the chaos gates assert (no leaked stalled
+/// workers across recoveries).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of Vmp worker threads currently alive in this process.
+pub fn live_vmp_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Census + cancellation guard held by each worker for its whole lifetime:
+/// registers the thread on construction and, on drop, deregisters it and —
+/// if the worker is unwinding — latches the launch's cancellation token so
+/// the survivors drain. Catches every exit path, including panics in user
+/// closures that never reach a typed failure site.
+struct WorkerGuard {
+    cancel: CancelToken,
+}
+
+impl WorkerGuard {
+    fn new(cancel: CancelToken) -> Self {
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        WorkerGuard { cancel }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.cancel.cancel();
+        }
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Polling tick for cancellation checks while blocked in a windowed
+/// receive: small enough that survivors drain promptly after a peer
+/// failure, large enough that idle wakeups stay negligible.
+const CANCEL_POLL: Duration = Duration::from_millis(20);
+/// Tick while waiting with no window configured (classic infinite wait —
+/// only cancellation can interrupt it, so poll lazily).
+const CANCEL_POLL_IDLE: Duration = Duration::from_millis(100);
+/// Tick between cancellation checks inside an injected stall.
+const STALL_POLL: Duration = Duration::from_millis(10);
 
 /// One message on the virtual wire.
 #[derive(Debug, Clone)]
@@ -75,18 +146,106 @@ pub struct VmpOptions {
 /// short enough that tests detect the dead rank quickly.
 pub const DEFAULT_FAULT_RECV_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// Size-scaled failure-detection window for production (non-fault-injected)
+/// distributed runs: a 2 s floor covering scheduler hiccups plus a term
+/// proportional to the worst-case compute skew between ranks. The skew term
+/// scales as the replicated O(n³) dense work times the rank count, because
+/// the virtual ranks time-share physical cores and the slowest rank may run
+/// an entire evaluation's compute after its peers posted their receives.
+/// Since any arriving message restarts a rank's window, the window only has
+/// to outlast one compute+communication gap, not a whole evaluation chain.
+pub fn default_recv_timeout(n: usize, ranks: usize) -> Duration {
+    const FLOOR: Duration = Duration::from_secs(2);
+    // ~2 ns per dense flop of skew budget, times the oversubscription factor.
+    let n = n as u64;
+    let skew_ns = n
+        .saturating_mul(n)
+        .saturating_mul(n)
+        .saturating_mul(ranks.max(1) as u64)
+        .saturating_mul(2)
+        .min(600_000_000_000); // cap at 10 min
+    FLOOR + Duration::from_nanos(skew_ns)
+}
+
+/// Failure-detection window policy of a distributed engine. Resolved to a
+/// concrete [`VmpOptions::recv_timeout`] per launch, so the window can track
+/// the problem size and the active rank count across re-shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecvTimeoutPolicy {
+    /// Size-scaled default window from [`default_recv_timeout`]. When a
+    /// fault plan is armed, the short [`DEFAULT_FAULT_RECV_TIMEOUT`]
+    /// applies instead: injected faults are test/bench scenarios that want
+    /// fast detection, while production runs keep the generous window.
+    #[default]
+    Auto,
+    /// Fixed window regardless of problem size.
+    Fixed(Duration),
+    /// No failure detection: a blocking receive waits forever. (A launch
+    /// with an injected fault still forces the default window on, or the
+    /// healthy ranks could never report the failure.)
+    Disabled,
+}
+
+impl RecvTimeoutPolicy {
+    /// Concrete window for a launch of `ranks` ranks over an `n`-dimensional
+    /// problem, with or without an armed injected fault.
+    pub fn resolve(self, n: usize, ranks: usize, fault_armed: bool) -> Option<Duration> {
+        match self {
+            RecvTimeoutPolicy::Auto if fault_armed => Some(DEFAULT_FAULT_RECV_TIMEOUT),
+            RecvTimeoutPolicy::Auto => Some(default_recv_timeout(n, ranks)),
+            RecvTimeoutPolicy::Fixed(d) => Some(d),
+            RecvTimeoutPolicy::Disabled => None,
+        }
+    }
+}
+
 /// Typed panic payload raised inside a rank when it (or a peer) fails; the
 /// driver downcasts these when classifying a failed launch.
 #[derive(Debug, Clone)]
 pub struct RankFault {
     pub rank: usize,
     pub detail: String,
+    /// The rank this fault *blames*: the peer a receive timed out on, the
+    /// rank itself for an injected or real death, `None` when the cause
+    /// cannot be localised (disconnects, cancellation drains).
+    pub culprit: Option<usize>,
 }
 
 /// A failed virtual-machine launch: every rank that unwound, with its cause.
 #[derive(Debug)]
 pub struct VmpError {
     pub faults: Vec<RankFault>,
+}
+
+impl VmpError {
+    /// The distinct ranks actually *blamed* for the failure (deduplicated
+    /// culprits), as opposed to every rank that unwound — peers that merely
+    /// timed out or drained on cancellation are casualties, not causes.
+    ///
+    /// Self-blames (a rank that died or confessed a cancelled stall) are
+    /// the strongest evidence and, when present, suppress peer-blames: in a
+    /// near-simultaneous timeout cascade a healthy rank can wrongly blame
+    /// another healthy rank that was itself stuck on the true culprit.
+    /// Falls back to every faulted rank if no fault names a culprit at all.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let self_blames: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|f| f.culprit == Some(f.rank))
+            .map(|f| f.rank)
+            .collect();
+        let mut ranks = if self_blames.is_empty() {
+            self.faults.iter().filter_map(|f| f.culprit).collect()
+        } else {
+            self_blames
+        };
+        if ranks.is_empty() {
+            ranks = self.faults.iter().map(|f| f.rank).collect();
+        }
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
 }
 
 impl std::fmt::Display for VmpError {
@@ -101,8 +260,12 @@ impl std::fmt::Display for VmpError {
 
 impl std::error::Error for VmpError {}
 
-fn rank_panic(rank: usize, detail: String) -> ! {
-    std::panic::panic_any(RankFault { rank, detail })
+fn rank_panic(rank: usize, detail: String, culprit: Option<usize>) -> ! {
+    std::panic::panic_any(RankFault {
+        rank,
+        detail,
+        culprit,
+    })
 }
 
 /// Per-rank traffic counters (monotonic; read after the run).
@@ -174,9 +337,25 @@ pub struct Rank {
     counters: Arc<Vec<RankCounters>>,
     /// Failure-detection window for blocking receives (None = wait forever).
     recv_timeout: Option<Duration>,
+    /// Launch-wide cancellation flag; latched by the first failure.
+    cancel: CancelToken,
 }
 
 impl Rank {
+    /// Report a locally detected failure: latch the launch's cancellation
+    /// token so every peer drains, then unwind with a typed fault.
+    fn fail(&self, detail: String, culprit: Option<usize>) -> ! {
+        self.cancel.cancel();
+        rank_panic(self.id, detail, culprit)
+    }
+
+    /// Drain because some *other* rank already failed: unwind without
+    /// blaming anyone (the detecting rank recorded the culprit).
+    fn drain(&self, detail: String) -> ! {
+        tbmd_trace::add(tbmd_trace::Counter::WorkerCancellations, 1);
+        rank_panic(self.id, detail, None)
+    }
+
     /// This rank's id in `0..size`.
     #[inline]
     pub fn id(&self) -> usize {
@@ -214,9 +393,9 @@ impl Rank {
             })
             .is_err()
         {
-            rank_panic(
-                self.id,
+            self.fail(
                 format!("send to rank {to} (tag {tag}) failed: peer rank hung up"),
+                Some(to),
             );
         }
     }
@@ -224,7 +403,10 @@ impl Rank {
     /// Blocking tagged receive from a specific source rank. With a
     /// failure-detection window configured ([`VmpOptions::recv_timeout`]),
     /// an expired wait unwinds with a typed [`RankFault`] instead of
-    /// hanging the collective forever.
+    /// hanging the collective forever. The wait is chunked into short
+    /// polling ticks so a launch-wide cancellation (a peer's detected
+    /// failure) drains this rank within one tick — even with no window
+    /// configured, where the wait is otherwise unbounded.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         // Check the stash for an already-arrived match.
         if let Some(pos) = self
@@ -234,34 +416,61 @@ impl Rank {
         {
             return self.stash.remove(pos).expect("position valid").payload;
         }
+        let mut waited = Duration::ZERO;
         loop {
-            let m = match self.recv_timeout {
-                None => match self.receiver.recv() {
-                    Ok(m) => m,
-                    Err(_) => rank_panic(
-                        self.id,
-                        format!("recv from rank {from} (tag {tag}) failed: all peers hung up"),
-                    ),
-                },
-                Some(window) => match self.receiver.recv_timeout(window) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => rank_panic(
-                        self.id,
-                        format!(
-                            "recv from rank {from} (tag {tag}) timed out after {window:?} \
-                             (peer presumed dead)"
-                        ),
-                    ),
-                    Err(RecvTimeoutError::Disconnected) => rank_panic(
-                        self.id,
-                        format!("recv from rank {from} (tag {tag}) failed: all peers hung up"),
-                    ),
-                },
-            };
-            if m.from == from && m.tag == tag {
-                return m.payload;
+            if self.cancel.is_cancelled() {
+                self.drain(format!(
+                    "recv from rank {from} (tag {tag}) cancelled: peer failure detected, \
+                     draining"
+                ));
             }
-            self.stash.push_back(m);
+            let tick = match self.recv_timeout {
+                None => CANCEL_POLL_IDLE,
+                Some(window) => CANCEL_POLL
+                    .min(window.saturating_sub(waited))
+                    .max(Duration::from_millis(1)),
+            };
+            match self.receiver.recv_timeout(tick) {
+                Ok(m) => {
+                    if m.from == from && m.tag == tag {
+                        return m.payload;
+                    }
+                    self.stash.push_back(m);
+                    // Any arriving message restarts the failure-detection
+                    // window, matching the pre-cancellation semantics where
+                    // each blocking receive call got a fresh window.
+                    waited = Duration::ZERO;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    waited += tick;
+                    if let Some(window) = self.recv_timeout {
+                        if waited >= window {
+                            // If another rank already detected a failure,
+                            // this expiry is a downstream casualty of that
+                            // one — drain without issuing a second blame.
+                            if self.cancel.is_cancelled() {
+                                self.drain(format!(
+                                    "recv from rank {from} (tag {tag}) cancelled at window \
+                                     expiry: peer failure already detected, draining"
+                                ));
+                            }
+                            self.fail(
+                                format!(
+                                    "recv from rank {from} (tag {tag}) timed out after \
+                                     {window:?} (peer presumed dead)"
+                                ),
+                                Some(from),
+                            );
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.fail(
+                        format!("recv from rank {from} (tag {tag}) failed: all peers hung up"),
+                        None,
+                    );
+                }
+            }
         }
     }
 
@@ -451,6 +660,7 @@ where
     }
     let mut results: Vec<Option<T>> = (0..n_ranks).map(|_| None).collect();
     let mut faults: Vec<RankFault> = Vec::new();
+    let cancel = CancelToken::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_ranks);
         for (id, receiver) in receivers.into_iter().enumerate() {
@@ -462,16 +672,46 @@ where
                 stash: VecDeque::new(),
                 counters: Arc::clone(&counters),
                 recv_timeout,
+                cancel: cancel.clone(),
             };
             let fref = &f;
             let fault = opts.fault;
             handles.push(scope.spawn(move |_| {
+                // Held for the worker's whole lifetime: census + latch the
+                // cancellation token if this thread unwinds for any reason.
+                let _guard = WorkerGuard::new(rank.cancel.clone());
                 if let Some(fault) = fault {
                     if fault.rank == id {
                         match fault.kind {
-                            FaultKind::Kill => rank_panic(id, "injected fault: killed".to_string()),
+                            FaultKind::Kill => {
+                                rank_panic(id, "injected fault: killed".to_string(), Some(id))
+                            }
                             FaultKind::Stall { ms } => {
-                                std::thread::sleep(Duration::from_millis(ms));
+                                // Sleep in short ticks so a peer-side
+                                // timeout reclaims this worker promptly
+                                // instead of blocking the join for the full
+                                // stall duration.
+                                let total = Duration::from_millis(ms);
+                                let mut slept = Duration::ZERO;
+                                while slept < total {
+                                    if rank.cancel.is_cancelled() {
+                                        tbmd_trace::add(
+                                            tbmd_trace::Counter::WorkerCancellations,
+                                            1,
+                                        );
+                                        rank_panic(
+                                            id,
+                                            format!(
+                                                "injected stall cancelled after {slept:?} \
+                                                 (peers detected the freeze)"
+                                            ),
+                                            Some(id),
+                                        );
+                                    }
+                                    let tick = STALL_POLL.min(total - slept);
+                                    std::thread::sleep(tick);
+                                    slept += tick;
+                                }
                             }
                         }
                     }
@@ -504,7 +744,12 @@ where
     tbmd_trace::add(tbmd_trace::Counter::WireMessages, stats.total_messages());
     if !faults.is_empty() {
         faults.sort_by_key(|f| f.rank);
-        return Err(VmpError { faults });
+        let err = VmpError { faults };
+        tbmd_trace::add(
+            tbmd_trace::Counter::RankFailures,
+            err.failed_ranks().len() as u64,
+        );
+        return Err(err);
     }
     Ok((
         results
@@ -526,7 +771,12 @@ fn classify_panic(id: usize, payload: Box<dyn std::any::Any + Send>) -> RankFaul
                 .cloned()
                 .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                 .unwrap_or_else(|| "rank panicked".to_string());
-            RankFault { rank: id, detail }
+            // A raw (untyped) panic is the rank's own bug: blame itself.
+            RankFault {
+                rank: id,
+                detail,
+                culprit: Some(id),
+            }
         }
     }
 }
@@ -741,6 +991,106 @@ mod tests {
             err.faults.iter().any(|f| f.detail.contains("timed out")),
             "{err}"
         );
+        // Only the stalled rank is blamed; the timed-out peers are
+        // casualties, not causes.
+        assert_eq!(err.failed_ranks(), vec![0]);
+    }
+
+    #[test]
+    fn cancellation_reclaims_stalled_worker_promptly() {
+        // The stall is 30 s but the peers' windows expire after 80 ms; the
+        // cancellation token must reclaim the stalled worker within a few
+        // polling ticks, so the whole launch joins in well under a second
+        // instead of blocking for the full stall.
+        let started = std::time::Instant::now();
+        let opts = VmpOptions {
+            recv_timeout: Some(Duration::from_millis(80)),
+            fault: Some(VmpFault {
+                rank: 2,
+                kind: FaultKind::Stall { ms: 30_000 },
+            }),
+        };
+        let err = vmp_run_opts(3, opts, |mut rank| {
+            let mut data = vec![1.0];
+            rank.allreduce_sum(13, &mut data);
+            data[0]
+        })
+        .expect_err("stalled collective must fail");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "stalled worker blocked the join for {:?}",
+            started.elapsed()
+        );
+        assert!(
+            err.faults
+                .iter()
+                .any(|f| f.rank == 2 && f.detail.contains("stall cancelled")),
+            "{err}"
+        );
+        assert_eq!(err.failed_ranks(), vec![2]);
+    }
+
+    #[test]
+    fn cancellation_drains_unwindowed_waiters() {
+        // Rank 1 dies from a real (untyped) panic while its peers wait with
+        // NO receive window configured — the classic infinite wait. The
+        // unwinding worker's guard latches the cancellation token, so the
+        // survivors must drain instead of hanging forever. (An injected
+        // Kill cannot exercise this path: fault + no window forces the
+        // default window on.)
+        let started = std::time::Instant::now();
+        let err = vmp_run_opts(3, VmpOptions::default(), |mut rank| {
+            if rank.id() == 1 {
+                panic!("synthetic rank bug");
+            }
+            let mut data = vec![1.0];
+            rank.allreduce_sum(17, &mut data);
+            data[0]
+        })
+        .expect_err("dead rank must fail the launch");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "unwindowed waiters hung for {:?}",
+            started.elapsed()
+        );
+        assert_eq!(err.failed_ranks(), vec![1], "{err}");
+        assert!(
+            err.faults
+                .iter()
+                .any(|f| f.detail.contains("cancelled") || f.detail.contains("hung up")),
+            "survivors should drain via cancellation or disconnect: {err}"
+        );
+    }
+
+    #[test]
+    fn kill_blames_only_the_killed_rank() {
+        let opts = VmpOptions {
+            recv_timeout: Some(Duration::from_millis(100)),
+            fault: Some(VmpFault {
+                rank: 1,
+                kind: FaultKind::Kill,
+            }),
+        };
+        let err = vmp_run_opts(3, opts, |mut rank| {
+            let mut data = vec![1.0];
+            rank.allreduce_sum(19, &mut data);
+            data[0]
+        })
+        .expect_err("killed rank must fail the launch");
+        assert_eq!(err.failed_ranks(), vec![1], "{err}");
+    }
+
+    #[test]
+    fn default_recv_timeout_scales_with_problem_size() {
+        let floor = default_recv_timeout(0, 1);
+        assert!(floor >= Duration::from_secs(2));
+        let small = default_recv_timeout(32, 2);
+        let large = default_recv_timeout(864, 2);
+        let wider = default_recv_timeout(864, 8);
+        assert!(small <= large, "window must grow with n");
+        assert!(large <= wider, "window must grow with rank count");
+        // Never pathological: capped at floor + 10 min.
+        assert!(default_recv_timeout(usize::MAX, usize::MAX) <= Duration::from_secs(2 + 600));
     }
 
     #[test]

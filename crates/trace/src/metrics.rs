@@ -70,10 +70,18 @@ pub enum Counter {
     CkptRestores,
     /// Wall time spent encoding + atomically publishing snapshots (ns).
     CkptNanos,
+    /// Distinct rank failures detected by the virtual machine (injected or
+    /// real: kills, stalls tripping peer timeouts, disconnects).
+    RankFailures,
+    /// Rewind-and-retry recoveries performed by the resilient driver.
+    Recoveries,
+    /// Surviving workers drained via the cancellation token after a peer
+    /// failure (instead of blocking to process exit).
+    WorkerCancellations,
 }
 
 impl Counter {
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::WireBytes,
         Counter::WireMessages,
@@ -86,6 +94,9 @@ impl Counter {
         Counter::CkptBytes,
         Counter::CkptRestores,
         Counter::CkptNanos,
+        Counter::RankFailures,
+        Counter::Recoveries,
+        Counter::WorkerCancellations,
     ];
 
     pub const fn index(self) -> usize {
@@ -106,6 +117,9 @@ impl Counter {
             Counter::CkptBytes => "ckpt_bytes",
             Counter::CkptRestores => "ckpt_restores",
             Counter::CkptNanos => "ckpt_nanos",
+            Counter::RankFailures => "rank_failures",
+            Counter::Recoveries => "recoveries",
+            Counter::WorkerCancellations => "worker_cancellations",
         }
     }
 }

@@ -239,7 +239,7 @@ fn resilient_driver_edge_cases() {
     };
     let err = run_simulation_resilient(&config, &ckpt2, Some(fault), 0).unwrap_err();
     assert!(
-        matches!(err, TbError::RankFailure(_)),
+        matches!(err, TbError::RankFailure { .. }),
         "expected RankFailure, got {err:?}"
     );
 
