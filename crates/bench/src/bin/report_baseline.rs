@@ -45,10 +45,26 @@ use tbmd_structure::NeighborList;
 fn warm_timings(engine: &dyn ForceProvider, s: &Structure) -> PhaseTimings {
     let mut ws = Workspace::new();
     engine.evaluate_with(s, &mut ws).expect("warmup");
-    engine
+    // Per-phase minimum over a few warm samples: the noise-robust
+    // estimator of steady-state cost on a time-shared host (a mean or a
+    // single draw folds scheduler preemptions into the baseline).
+    let mut best = engine
         .evaluate_with(s, &mut ws)
         .expect("evaluation")
-        .timings
+        .timings;
+    for _ in 0..2 {
+        let t = engine
+            .evaluate_with(s, &mut ws)
+            .expect("evaluation")
+            .timings;
+        best.neighbors = best.neighbors.min(t.neighbors);
+        best.hamiltonian = best.hamiltonian.min(t.hamiltonian);
+        best.diagonalize = best.diagonalize.min(t.diagonalize);
+        best.density = best.density.min(t.density);
+        best.forces = best.forces.min(t.forces);
+        best.communication = best.communication.min(t.communication);
+    }
+    best
 }
 
 fn phases_json(t: &PhaseTimings) -> JsonValue {
@@ -218,6 +234,129 @@ fn main() {
         format!("{worst_resid:.2e}"),
         format!("{worst_orth:.2e}"),
     ]);
+
+    // --- Kernel-layer headline (K1 condensed): tiled GEMM throughput vs
+    // the naive i-k-j loop at n = 256, and the f32 vs f64 Chebyshev
+    // recurrence step on the untruncated Si-64 region. `report_kernels`
+    // runs the full sweep with the bitwise gates; this keeps the headline
+    // numbers in BENCH_phase.json.
+    let kernels = {
+        let n = 256usize;
+        let mut state = 0x9E3779B97F4A7C15u64 | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let a = tbmd::Matrix::from_fn(n, n, |_, _| next());
+        let b = tbmd::Matrix::from_fn(n, n, |_, _| next());
+        let flops = 2.0 * (n as f64).powi(3);
+        let t0 = Instant::now();
+        let mut naive = tbmd::Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..n {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                naive[(i, j)] = acc;
+            }
+        }
+        let t_naive = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let tiled = a.matmul(&b);
+        let t_tiled = t0.elapsed().as_secs_f64();
+        assert!(
+            (0..n).all(|i| (0..n).all(|j| tiled[(i, j)].to_bits() == naive[(i, j)].to_bits())),
+            "tiled GEMM diverged from the naive summation order"
+        );
+        let sr = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+        let nlr = NeighborList::build(&sr, model.cutoff());
+        let idx = OrbitalIndex::new(&sr);
+        let sh = tbmd::linscale::SparseH::build(&sr, &nlr, &model, &idx);
+        let region = tbmd::linscale::LocalRegion::build(&sr, &idx, &sh, 0, f64::INFINITY);
+        let region32 = tbmd::linscale::F32Region::from_region(&region);
+        let steps = 2000usize;
+        let x64: Vec<f64> = (0..region.len())
+            .map(|i| ((i % 7) as f64) * 0.1 - 0.3)
+            .collect();
+        let mut y64 = Vec::new();
+        let t0 = Instant::now();
+        {
+            let mut x = x64.clone();
+            for _ in 0..steps {
+                region.matvec_scaled_into(&x, 0.5, 10.0, &mut y64);
+                std::mem::swap(&mut x, &mut y64);
+            }
+        }
+        let cheb64_ns = t0.elapsed().as_secs_f64() / steps as f64 * 1e9;
+        let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+        let mut y32 = Vec::new();
+        let t0 = Instant::now();
+        {
+            let mut x = x32.clone();
+            for _ in 0..steps {
+                region32.matvec_scaled_into(&x, 0.5, 10.0, &mut y32);
+                std::mem::swap(&mut x, &mut y32);
+            }
+        }
+        let cheb32_ns = t0.elapsed().as_secs_f64() / steps as f64 * 1e9;
+        let mut k = JsonValue::object();
+        k.set("gemm_n", n)
+            .set("gemm_naive_gflops", flops / t_naive / 1e9)
+            .set("gemm_tiled_gflops", flops / t_tiled / 1e9)
+            .set("gemm_speedup", t_naive / t_tiled)
+            .set("gemm_bitwise", true)
+            .set("cheb_f64_ns_per_step", cheb64_ns)
+            .set("cheb_f32_ns_per_step", cheb32_ns)
+            .set("cheb_f32_vs_f64", cheb32_ns / cheb64_ns);
+        k
+    };
+    let mut kernel_table = ReportTable::new(
+        "Baseline: kernel-layer headline (GEMM n=256, Chebyshev step Si-64)",
+        &[
+            "naive GFLOP/s",
+            "tiled GFLOP/s",
+            "speedup",
+            "cheb f64 ns",
+            "cheb f32 ns",
+            "f32/f64",
+        ],
+    );
+    kernel_table.row(vec![
+        format!(
+            "{:.2}",
+            kernels.get("gemm_naive_gflops").unwrap().as_f64().unwrap()
+        ),
+        format!(
+            "{:.2}",
+            kernels.get("gemm_tiled_gflops").unwrap().as_f64().unwrap()
+        ),
+        format!(
+            "{:.2}",
+            kernels.get("gemm_speedup").unwrap().as_f64().unwrap()
+        ),
+        format!(
+            "{:.1}",
+            kernels
+                .get("cheb_f64_ns_per_step")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        ),
+        format!(
+            "{:.1}",
+            kernels
+                .get("cheb_f32_ns_per_step")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        ),
+        format!(
+            "{:.2}",
+            kernels.get("cheb_f32_vs_f64").unwrap().as_f64().unwrap()
+        ),
+    ]);
+    root.set("kernels", kernels);
 
     // --- Communication headline (F2b condensed): sliced vs ring at P = 4.
     let s64 = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
@@ -395,6 +534,7 @@ fn main() {
 
     engine_table.print();
     eig_table.print();
+    kernel_table.print();
     wd_table.print();
     ckpt_table.print();
     rec_table.print();

@@ -1,0 +1,217 @@
+//! **Experiment K1** — microkernel throughput: register-tiled GEMM/SYRK
+//! against the textbook triple loops, and the f32 versus f64 Chebyshev
+//! recurrence step on a real silicon localization region.
+//!
+//! Expected shape: the tiled kernels keep the exact naive i-k-j summation
+//! order (GEMM is *bitwise* equal to the reference) while the multi-lane
+//! panels autovectorize, so GFLOP/s should improve by well over the noise
+//! floor at N ≥ 128. The f32 sparse recurrence step halves the memory
+//! traffic of the f64 one and should never be slower.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_kernels [-- max_n [check]]`
+//!
+//! With `check` anywhere on the command line the binary exits non-zero
+//! unless (a) tiled GEMM reproduces the naive loop bitwise, (b) tiled GEMM
+//! at the largest size is no slower than 0.9× naive, and (c) the f32
+//! Chebyshev step is no slower than 1.3× the f64 step — the CI smoke gate
+//! for the kernel layer.
+
+use std::time::Instant;
+use tbmd::linalg::Matrix;
+use tbmd::{silicon_gsp, Species};
+use tbmd_bench::{check_gate, fmt_f, BenchArgs, Report, ReportTable};
+use tbmd_linscale::{F32Region, LocalRegion, SparseH};
+use tbmd_model::{OrbitalIndex, TbModel};
+use tbmd_structure::NeighborList;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+/// Naive i-k-j GEMM — the summation-order reference the tiled kernel must
+/// reproduce bitwise.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Naive lower-triangle SYRK (W·Wᵀ) with the same ascending-k order.
+fn naive_syrk(w: &Matrix) -> Matrix {
+    let (m, k) = (w.rows(), w.cols());
+    let mut out = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..=i {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += w[(i, p)] * w[(j, p)];
+            }
+            out[(i, j)] = acc;
+            out[(j, i)] = acc;
+        }
+    }
+    out
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.unwrap())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let max_n = args.pos_usize(0, 256).max(64);
+
+    // ---- K1a: GEMM / SYRK GFLOP/s, tiled vs naive. ----
+    let mut t_gemm = ReportTable::new(
+        "K1a: tiled vs naive dense kernels (f64)",
+        &[
+            "kernel",
+            "n",
+            "naive GFLOP/s",
+            "tiled GFLOP/s",
+            "speedup",
+            "bitwise",
+        ],
+    );
+    let mut gemm_speedup_last = 0.0;
+    let mut all_bitwise = true;
+    let mut n = 64usize;
+    while n <= max_n {
+        let a = random_matrix(n, n, n as u64);
+        let b = random_matrix(n, n, n as u64 + 1);
+        let reps = (256 / n).max(2);
+        let flops = 2.0 * (n as f64).powi(3);
+        let (t_naive, reference) = best_of(reps, || naive_matmul(&a, &b));
+        let (t_tiled, tiled) = best_of(reps, || a.matmul(&b));
+        let bitwise =
+            (0..n).all(|i| (0..n).all(|j| tiled[(i, j)].to_bits() == reference[(i, j)].to_bits()));
+        all_bitwise &= bitwise;
+        gemm_speedup_last = t_naive / t_tiled;
+        t_gemm.row(vec![
+            "GEMM".into(),
+            n.to_string(),
+            fmt_f(flops / t_naive / 1e9, 2),
+            fmt_f(flops / t_tiled / 1e9, 2),
+            fmt_f(gemm_speedup_last, 2),
+            bitwise.to_string(),
+        ]);
+
+        let w = random_matrix(n, n / 2, n as u64 + 2);
+        let flops = (n * (n + 1) * (n / 2)) as f64;
+        let (t_naive, reference) = best_of(reps, || naive_syrk(&w));
+        let (t_tiled, tiled) = best_of(reps, || w.syrk());
+        let close =
+            (0..n).all(|i| (0..n).all(|j| (tiled[(i, j)] - reference[(i, j)]).abs() < 1e-12));
+        t_gemm.row(vec![
+            "SYRK".into(),
+            n.to_string(),
+            fmt_f(flops / t_naive / 1e9, 2),
+            fmt_f(flops / t_tiled / 1e9, 2),
+            fmt_f(t_naive / t_tiled, 2),
+            format!("{close} (1e-12)"),
+        ]);
+        n *= 2;
+    }
+
+    // ---- K1b: Chebyshev recurrence step, f64 vs f32, on a real region. ----
+    let s = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+    let model = silicon_gsp();
+    let nl = NeighborList::build(&s, model.cutoff());
+    let index = OrbitalIndex::new(&s);
+    let h = SparseH::build(&s, &nl, &model, &index);
+    let region = LocalRegion::build(&s, &index, &h, 0, f64::INFINITY);
+    let region32 = F32Region::from_region(&region);
+    let rl = region.len();
+    let (shift, scale) = (0.5, 10.0);
+    let steps = 2000usize;
+
+    let x64: Vec<f64> = (0..rl).map(|i| ((i % 7) as f64) * 0.1 - 0.3).collect();
+    let mut y64 = Vec::with_capacity(rl);
+    let (t64, _) = best_of(5, || {
+        let mut x = x64.clone();
+        for _ in 0..steps {
+            region.matvec_scaled_into(&x, shift, scale, &mut y64);
+            std::mem::swap(&mut x, &mut y64);
+        }
+        x[0]
+    });
+    let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+    let mut y32 = Vec::with_capacity(rl);
+    let (t32, _) = best_of(5, || {
+        let mut x = x32.clone();
+        for _ in 0..steps {
+            region32.matvec_scaled_into(&x, shift as f32, scale as f32, &mut y32);
+            std::mem::swap(&mut x, &mut y32);
+        }
+        x[0]
+    });
+    let ns64 = t64 / steps as f64 * 1e9;
+    let ns32 = t32 / steps as f64 * 1e9;
+    let mut t_cheb = ReportTable::new(
+        "K1b: Chebyshev recurrence step, Si-64 untruncated region",
+        &["precision", "orbitals", "nnz", "ns/step", "vs f64"],
+    );
+    t_cheb.row(vec![
+        "f64".into(),
+        rl.to_string(),
+        region.nnz().to_string(),
+        fmt_f(ns64, 1),
+        "1.00".into(),
+    ]);
+    t_cheb.row(vec![
+        "f32".into(),
+        rl.to_string(),
+        region.nnz().to_string(),
+        fmt_f(ns32, 1),
+        fmt_f(t32 / t64, 2),
+    ]);
+
+    let mut report = Report::new("kernels");
+    report
+        .table(t_gemm)
+        .table(t_cheb)
+        .note("Shape check: tiled GEMM bitwise-equal to the naive i-k-j loop at every")
+        .note("size; throughput gains grow with n as panels stay cache-resident; the")
+        .note("f32 recurrence step moves half the bytes of the f64 one.");
+    report.emit(&args);
+
+    if args.check {
+        check_gate(
+            all_bitwise,
+            &format!("tiled GEMM bitwise-equal to naive reference: {all_bitwise}"),
+        );
+        check_gate(
+            gemm_speedup_last >= 0.9,
+            &format!("tiled GEMM at n={max_n} is {gemm_speedup_last:.2}x naive (floor 0.9x)"),
+        );
+        check_gate(
+            t32 <= 1.3 * t64,
+            &format!(
+                "f32 Chebyshev step {:.1} ns vs f64 {:.1} ns (ceiling 1.3x)",
+                ns32, ns64
+            ),
+        );
+    }
+}

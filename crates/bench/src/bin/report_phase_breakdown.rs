@@ -20,6 +20,8 @@
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_phase_breakdown [-- max_reps]`
 
+use tbmd::linscale::{LinearScalingTb, Precision};
+use tbmd::trace::{Counter, TraceSink};
 use tbmd::{silicon_gsp, DistributedTb, ForceProvider, Species, TbCalculator, Workspace};
 use tbmd_bench::{fmt_f, fmt_ms, BenchArgs, Report, ReportTable};
 
@@ -28,6 +30,9 @@ fn main() {
     let max_reps = args.pos_usize(0, 3);
     let model = silicon_gsp();
     let calc = TbCalculator::new(&model);
+    // Collecting sink so the kernel-layer counters (kernel_flops,
+    // f32_chebyshev_steps, precision_fallbacks) land in the tables below.
+    tbmd::trace::install(TraceSink::collecting());
 
     let mut t1 = ReportTable::new(
         "T1: per-phase time per TBMD force evaluation, Si diamond supercells (serial, this host)",
@@ -41,6 +46,7 @@ fn main() {
             "forces/ms",
             "total/ms",
             "diag share",
+            "kern GF/s",
             "nl",
         ],
     );
@@ -53,11 +59,15 @@ fn main() {
         let n_samples = if s.n_atoms() <= 64 { 3 } else { 1 };
         let mut acc = tbmd::model::PhaseTimings::default();
         let mut eval = None;
+        let before = tbmd::trace::snapshot();
         for _ in 0..n_samples {
             let e = calc.evaluate_with(&s, &mut ws).expect("evaluation");
             acc.accumulate(&e.timings);
             eval = Some(e);
         }
+        let kernel_flops = tbmd::trace::snapshot()
+            .since(&before)
+            .counter(Counter::KernelFlops);
         // Equivalence check: the cold path must agree to 1e-10.
         let warm = eval.expect("at least one sample");
         let de = (warm.energy - warmup.energy).abs();
@@ -87,6 +97,7 @@ fn main() {
             fmt_ms(t(acc.forces)),
             fmt_ms(total),
             format!("{}%", fmt_f(100.0 * diag_share, 1)),
+            fmt_f(kernel_flops as f64 / 1e9 / acc.total().as_secs_f64(), 2),
             format!("{}r/{}f", acc.nl_rebuilds, acc.nl_refreshes),
         ]);
     }
@@ -131,10 +142,43 @@ fn main() {
             ]);
         }
     }
+    // O(N) engine precision: the f64 reference against the gated mixed
+    // f32-tail path, surfacing the f32_chebyshev_steps and
+    // precision_fallbacks counters alongside the energy agreement.
+    let mut t1c = ReportTable::new(
+        "T1c: linear-scaling engine precision (Si-64, warm, order 350)",
+        &["precision", "eval/ms", "f32 steps", "fallbacks", "|ΔE|/eV"],
+    );
+    {
+        let s = tbmd::structure::bulk_diamond(Species::Silicon, 2, 2, 2);
+        let mut e_f64 = 0.0;
+        for (label, precision) in [("f64", Precision::F64), ("mixed-f32", Precision::MixedF32)] {
+            let engine = LinearScalingTb::new(&model).with_precision(precision);
+            let mut ws = Workspace::new();
+            engine.evaluate_with(&s, &mut ws).expect("warmup");
+            let before = tbmd::trace::snapshot();
+            let t0 = std::time::Instant::now();
+            let eval = engine.evaluate_with(&s, &mut ws).expect("evaluation");
+            let wall = t0.elapsed();
+            let delta = tbmd::trace::snapshot().since(&before);
+            if precision == Precision::F64 {
+                e_f64 = eval.energy;
+            }
+            t1c.row(vec![
+                label.to_string(),
+                fmt_ms(wall),
+                delta.counter(Counter::F32ChebyshevSteps).to_string(),
+                delta.counter(Counter::PrecisionFallbacks).to_string(),
+                format!("{:.2e}", (eval.energy - e_f64).abs()),
+            ]);
+        }
+    }
+
     let mut report = Report::new("phase_breakdown");
     report
         .table(t1)
         .table(t1b)
+        .table(t1c)
         .note("Shape check: diag/ms grows ~N³ and its share increases with N.")
         .note("nl = neighbour-list rebuilds/refreshes over the measured samples (static atoms: all refreshes).")
         .note("All P virtual ranks time-share this host, so distributed totals exceed")

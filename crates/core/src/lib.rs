@@ -40,7 +40,7 @@ pub use tbmd_trace as trace;
 // The most common types at the top level.
 pub use tbmd_ckpt::{CheckpointStore, CkptError, Snapshot};
 pub use tbmd_linalg::{Matrix, Vec3};
-pub use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb};
+pub use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb, Precision};
 pub use tbmd_md::{
     maxwell_boltzmann, normal_modes, relax, MdState, NormalModes, NoseHoover, RelaxOptions,
     TemperatureRamp, Trajectory, VelocityVerlet,

@@ -87,6 +87,93 @@ fn kth_eigenvalue_bounded(d: &[f64], e: &[f64], k: usize, mut lo: f64, mut hi: f
     0.5 * (lo + hi)
 }
 
+/// Shift lanes of the multi-shift Sturm pass: the recurrence is strictly
+/// sequential in the matrix index but embarrassingly parallel across
+/// shifts, so evaluating 8 shifts per sweep turns the latency-bound
+/// scalar division chain into one vector division per element.
+const STURM_LANES: usize = 8;
+
+/// Sturm counts for `STURM_LANES` shifts in one pass over `(d, e)`. Each
+/// lane performs exactly the arithmetic of [`sturm_count`] on its own
+/// shift (branchless select for the underflow safeguard, same operand
+/// order), so per-lane results never depend on what the other lanes hold.
+fn sturm_count_multi(d: &[f64], e: &[f64], x: &[f64; STURM_LANES]) -> [usize; STURM_LANES] {
+    let n = d.len();
+    let mut counts = [0usize; STURM_LANES];
+    if n == 0 {
+        return counts;
+    }
+    let tiny = f64::MIN_POSITIVE.sqrt();
+    let mut q = [0.0f64; STURM_LANES];
+    for l in 0..STURM_LANES {
+        q[l] = d[0] - x[l];
+        counts[l] += (q[l] < 0.0) as usize;
+    }
+    for i in 1..n {
+        let di = d[i];
+        let ei2 = e[i] * e[i];
+        for l in 0..STURM_LANES {
+            let sign = if q[l] < 0.0 { -1.0 } else { 1.0 };
+            let denom = if q[l].abs() < tiny { tiny * sign } else { q[l] };
+            q[l] = di - x[l] - ei2 / denom;
+            counts[l] += (q[l] < 0.0) as usize;
+        }
+    }
+    counts
+}
+
+/// Batched bisection: eigenvalue indices `start + i` for
+/// `i < out.len()`, all inside the shared pre-widened bracket, resolved
+/// `STURM_LANES` at a time. Converged lanes are frozen (their brackets
+/// stop moving), so every index follows exactly the midpoint sequence an
+/// independent scalar bisection would — the result is bitwise
+/// independent of how indices are grouped into lanes, which is what lets
+/// disjoint distributed ranges concatenate to the full-spectrum answer.
+fn kth_eigenvalues_batched(
+    d: &[f64],
+    e: &[f64],
+    start: usize,
+    lo0: f64,
+    hi0: f64,
+    out: &mut [f64],
+) {
+    for (c, chunk) in out.chunks_mut(STURM_LANES).enumerate() {
+        let m = chunk.len();
+        let mut lo = [lo0; STURM_LANES];
+        let mut hi = [hi0; STURM_LANES];
+        let mut done = [false; STURM_LANES];
+        let mut mid = [lo0; STURM_LANES];
+        for _ in 0..120 {
+            let mut all_done = true;
+            for l in 0..m {
+                mid[l] = 0.5 * (lo[l] + hi[l]);
+                all_done &= done[l];
+            }
+            if all_done {
+                break;
+            }
+            let counts = sturm_count_multi(d, e, &mid);
+            for l in 0..m {
+                if done[l] {
+                    continue;
+                }
+                let k = start + c * STURM_LANES + l;
+                if counts[l] <= k {
+                    lo[l] = mid[l];
+                } else {
+                    hi[l] = mid[l];
+                }
+                if hi[l] - lo[l] <= f64::EPSILON * (lo[l].abs() + hi[l].abs() + 1.0) {
+                    done[l] = true;
+                }
+            }
+        }
+        for l in 0..m {
+            chunk[l] = 0.5 * (lo[l] + hi[l]);
+        }
+    }
+}
+
 /// Gershgorin bounds widened by a safety margin so every eigenvalue lies
 /// strictly inside the bisection bracket.
 fn widened_bounds(d: &[f64], e: &[f64]) -> (f64, f64) {
@@ -126,9 +213,11 @@ pub fn tridiagonal_lowest_eigenvalues_into(d: &[f64], e: &[f64], k: usize, out: 
         return;
     }
     let (lo, hi) = widened_bounds(d, e);
-    out.par_chunks_mut(1).enumerate().for_each(|(i, v)| {
-        v[0] = kth_eigenvalue_bounded(d, e, i, lo, hi);
-    });
+    out.par_chunks_mut(STURM_LANES)
+        .enumerate()
+        .for_each(|(c, chunk)| {
+            kth_eigenvalues_batched(d, e, c * STURM_LANES, lo, hi, chunk);
+        });
 }
 
 /// Rank-shardable spectrum slicing: eigenvalues with (0-based, ascending)
@@ -163,9 +252,11 @@ pub fn tridiagonal_eigenvalues_range_into(
     }
     let (lo, hi) = widened_bounds(d, e);
     let start = range.start;
-    out.par_chunks_mut(1).enumerate().for_each(|(i, v)| {
-        v[0] = kth_eigenvalue_bounded(d, e, start + i, lo, hi);
-    });
+    out.par_chunks_mut(STURM_LANES)
+        .enumerate()
+        .for_each(|(c, chunk)| {
+            kth_eigenvalues_batched(d, e, start + c * STURM_LANES, lo, hi, chunk);
+        });
 }
 
 /// Snap an index `range` over the sorted eigenvalues `lambda` forward to

@@ -28,6 +28,7 @@
 //! after warmup.
 
 use crate::eigh::{tqli, EigError, EighWorkspace};
+use crate::kernels;
 use crate::matrix::Matrix;
 use rayon::prelude::*;
 
@@ -139,10 +140,8 @@ pub fn tridiagonalize_blocked_into(a: &mut Matrix, ws: &mut EighWorkspace) {
         s.d[0] = a[(0, 0)];
         return;
     }
-    // Mirror the lower triangle so full rows can be streamed by the
-    // symmetric matvec (the reduction maintains this invariant per panel).
-    mirror_lower_to_upper(a, 0);
-
+    // ~(4/3)n³ flops: the symmetric matvecs plus the rank-2k sweeps.
+    tbmd_trace::add(tbmd_trace::Counter::KernelFlops, 4 * (n as u64).pow(3) / 3);
     s.vpan.resize_zeroed(TRIDIAG_BLOCK, n);
     s.wpan.resize_zeroed(TRIDIAG_BLOCK, n);
     s.colbuf.clear();
@@ -164,9 +163,7 @@ pub fn tridiagonalize_blocked_into(a: &mut Matrix, ws: &mut EighWorkspace) {
                 let vp = s.vpan.row(p);
                 let wp = s.wpan.row(p);
                 let (wj, vj) = (wp[j], vp[j]);
-                for r in j..n {
-                    x[r] -= vp[r] * wj + wp[r] * vj;
-                }
+                kernels::axpy2(&mut x[j..n], -wj, &vp[j..n], -vj, &wp[j..n]);
             }
             s.d[j] = x[j];
             // --- 2. Householder reflector annihilating x[j+2..] -----------
@@ -189,43 +186,30 @@ pub fn tridiagonalize_blocked_into(a: &mut Matrix, ws: &mut EighWorkspace) {
                 continue;
             }
             // --- 3. w = τ(A v − V(Wᵀv) − W(Vᵀv)); w −= (τ/2)(wᵀv)v --------
-            // Symmetric matvec on the *panel-start* trailing block: rows are
-            // full (mirrored), the pending panel is subtracted explicitly.
+            // Symmetric matvec on the *panel-start* trailing block, reading
+            // only the lower triangle: row r contributes its dot to p[r] and
+            // its transpose (scaled by v[r]) to p[lo..r] while the row is
+            // hot. Half the memory traffic of the mirrored full-row form,
+            // and no mirror maintenance between panels at all.
             let v = s.vpan.row(jj);
             let p = &mut s.pvec;
             let lo = j + 1;
-            p[lo..n]
-                .par_chunks_mut(64)
-                .enumerate()
-                .for_each(|(chunk, pr)| {
-                    let r0 = lo + chunk * 64;
-                    for (ri, pv) in pr.iter_mut().enumerate() {
-                        let row = a.row(r0 + ri);
-                        let mut acc = 0.0;
-                        for c in lo..n {
-                            acc += row[c] * v[c];
-                        }
-                        *pv = acc;
-                    }
-                });
+            p[lo..n].fill(0.0);
+            for r in lo..n {
+                let row = a.row(r);
+                p[r] += kernels::dot(&row[lo..=r], &v[lo..=r]);
+                kernels::axpy(&mut p[lo..r], v[r], &row[lo..r]);
+            }
             for q in 0..jj {
                 let vq = s.vpan.row(q);
                 let wq = s.wpan.row(q);
-                let mut wv = 0.0;
-                let mut vv = 0.0;
-                for r in lo..n {
-                    wv += wq[r] * v[r];
-                    vv += vq[r] * v[r];
-                }
-                for r in lo..n {
-                    p[r] -= vq[r] * wv + wq[r] * vv;
-                }
+                let (wv, vv) = kernels::dot2(&v[lo..n], &wq[lo..n], &vq[lo..n]);
+                kernels::axpy2(&mut p[lo..n], -wv, &vq[lo..n], -vv, &wq[lo..n]);
             }
-            let mut wdotv = 0.0;
-            for r in lo..n {
-                p[r] *= tau;
-                wdotv += p[r] * v[r];
+            for pv in p[lo..n].iter_mut() {
+                *pv *= tau;
             }
+            let wdotv = kernels::dot(&p[lo..n], &v[lo..n]);
             let gamma = -0.5 * tau * wdotv;
             let wrow = s.wpan.row_mut(jj);
             wrow[..lo].fill(0.0);
@@ -250,12 +234,9 @@ pub fn tridiagonalize_blocked_into(a: &mut Matrix, ws: &mut EighWorkspace) {
                     if vr == 0.0 && wr == 0.0 {
                         continue;
                     }
-                    for c in t0..=r {
-                        row[c] -= vr * wp[c] + wr * vp[c];
-                    }
+                    kernels::axpy2(&mut row[t0..=r], -vr, &wp[t0..=r], -wr, &vp[t0..=r]);
                 }
             });
-        mirror_lower_to_upper(a, t0);
         j0 = t0;
     }
     // Remaining 2×2 (or smaller) trailing block: read directly.
@@ -263,28 +244,6 @@ pub fn tridiagonalize_blocked_into(a: &mut Matrix, ws: &mut EighWorkspace) {
         s.d[n - 2] = a[(n - 2, n - 2)];
         s.d[n - 1] = a[(n - 1, n - 1)];
         s.e[n - 1] = a[(n - 1, n - 2)];
-    }
-}
-
-/// Mirror the lower triangle of the trailing block `a[t0.., t0..]` onto its
-/// upper triangle, in cache-friendly tiles.
-fn mirror_lower_to_upper(a: &mut Matrix, t0: usize) {
-    const TILE: usize = 64;
-    let n = a.rows();
-    let mut bi = t0;
-    while bi < n {
-        let i1 = (bi + TILE).min(n);
-        let mut bj = bi;
-        while bj < n {
-            let j1 = (bj + TILE).min(n);
-            for i in bi..i1 {
-                for j in bj.max(i + 1)..j1 {
-                    a[(i, j)] = a[(j, i)];
-                }
-            }
-            bj = j1;
-        }
-        bi = i1;
     }
 }
 
@@ -305,10 +264,7 @@ fn build_t_factor(vpan: &Matrix, tau: &[f64], jb: usize, lo: usize, tmat: &mut M
         let vi = vpan.row(i);
         for p in 0..i {
             let vp = vpan.row(p);
-            let mut dot = 0.0;
-            for r in lo..n {
-                dot += vp[r] * vi[r];
-            }
+            let dot = kernels::dot(&vp[lo..n], &vi[lo..n]);
             tmat[(p, i)] = -ti * dot;
         }
         // T[0..i, i] = T[0..i, 0..i] · t, in place. Row p reads t[q] only
@@ -367,10 +323,7 @@ fn vt_z_into(vpan: &Matrix, z: &Matrix, lo: usize, out: &mut Matrix, partials: &
                     if vpr == 0.0 {
                         continue;
                     }
-                    let orow = part.row_mut(p);
-                    for (o, &zv) in orow.iter_mut().zip(zrow) {
-                        *o += vpr * zv;
-                    }
+                    kernels::axpy(part.row_mut(p), vpr, zrow);
                 }
             }
         });
@@ -396,6 +349,11 @@ pub fn apply_q_blocked(a: &Matrix, ws: &mut EighWorkspace, z: &mut Matrix) {
     }
     let s = &mut ws.blocked;
     let m = n - 2; // reflector count
+                   // ~4nk flops per reflector across the three GEMM-shaped sweeps.
+    tbmd_trace::add(
+        tbmd_trace::Counter::KernelFlops,
+        4 * (m * n * z.cols()) as u64,
+    );
     let nfull = m.div_ceil(TRIDIAG_BLOCK);
     // Panels in reverse order: Q Z = B_0 (B_1 (⋯ (B_last Z))).
     for panel in (0..nfull).rev() {
@@ -415,11 +373,7 @@ pub fn apply_q_blocked(a: &Matrix, ws: &mut EighWorkspace, z: &mut Matrix) {
                 if t == 0.0 {
                     continue;
                 }
-                let xrow = s.xmat.row(q);
-                let yrow = s.ymat.row_mut(p);
-                for (y, &x) in yrow.iter_mut().zip(xrow) {
-                    *y += t * x;
-                }
+                kernels::axpy(s.ymat.row_mut(p), t, s.xmat.row(q));
             }
         }
         // Z ← Z − V Y, row-parallel (each row written by one task).
@@ -436,10 +390,7 @@ pub fn apply_q_blocked(a: &Matrix, ws: &mut EighWorkspace, z: &mut Matrix) {
                     if vpr == 0.0 {
                         continue;
                     }
-                    let yrow = ymat.row(p);
-                    for (zv, &yv) in zrow.iter_mut().zip(yrow) {
-                        *zv -= vpr * yv;
-                    }
+                    kernels::axpy(zrow, -vpr, ymat.row(p));
                 }
             });
     }

@@ -21,6 +21,7 @@
 //! [`InverseIterScratch`], reused across MD steps.
 
 use crate::eigh::{sort_eigenpairs, tqli, tridiagonalize_into};
+use crate::kernels;
 use crate::matrix::Matrix;
 
 /// Maximum inverse-iteration sweeps per eigenvector. With shifts accurate to
@@ -147,7 +148,7 @@ fn seeded_entry(idx: usize, pos: usize) -> f64 {
 
 #[inline]
 fn norm(x: &[f64]) -> f64 {
-    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+    kernels::dot(x, x).sqrt()
 }
 
 /// Rayleigh–Ritz rotation of the cluster rows `[r0, r1)` of `zrows`:
@@ -179,8 +180,7 @@ fn rayleigh_ritz_rotate(d: &[f64], e: &[f64], r0: usize, r1: usize, s: &mut Inve
         }
         for p in 0..c {
             let zp = s.zrows.row(r0 + p);
-            let acc: f64 = zp.iter().zip(&s.tz).map(|(&z, &t)| z * t).sum();
-            s.cl_b[(p, q)] = acc;
+            s.cl_b[(p, q)] = kernels::dot(zp, &s.tz);
         }
     }
     s.cl_b.symmetrize();
@@ -203,11 +203,7 @@ fn rayleigh_ritz_rotate(d: &[f64], e: &[f64], r0: usize, r1: usize, s: &mut Inve
             if u == 0.0 {
                 continue;
             }
-            let src = s.zrows.row(r0 + q);
-            let dst = s.cl_rot.row_mut(p);
-            for (o, &v) in dst.iter_mut().zip(src) {
-                *o += u * v;
-            }
+            kernels::axpy(s.cl_rot.row_mut(p), u, s.zrows.row(r0 + q));
         }
     }
     for p in 0..c {
@@ -330,13 +326,8 @@ pub fn tridiagonal_eigenvectors_offset_into(
             // Orthogonalize against the finished members of this cluster.
             for p in cluster_start..j {
                 let zp = s.zrows.row(p);
-                let mut dot = 0.0;
-                for (xv, &zv) in x.iter().zip(zp) {
-                    dot += xv * zv;
-                }
-                for (xv, &zv) in x.iter_mut().zip(zp) {
-                    *xv -= dot * zv;
-                }
+                let dot = kernels::dot(&x, zp);
+                kernels::axpy(&mut x, -dot, zp);
             }
             let nrm = norm(&x);
             if nrm == 0.0 {

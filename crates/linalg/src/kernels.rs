@@ -1,0 +1,465 @@
+//! Register-tiled microkernels for the dense and sparse hot paths.
+//!
+//! Every routine here is written for autovectorization on a single core:
+//! fixed-width accumulator lanes break the latency chain of naive
+//! `acc += x*y` reductions (one add per 4–5 cycles) into independent
+//! streams the compiler can keep in vector registers, and the GEMM panel
+//! kernel unrolls the inner dimension so output rows are loaded and stored
+//! once per 4 rank-1 updates instead of once per update. No explicit SIMD
+//! intrinsics are used — the loops are shaped so LLVM's autovectorizer
+//! emits packed AVX/AVX-512 code — and rustc performs no FMA contraction
+//! or reassociation by default, so every kernel has a fixed, documented
+//! IEEE summation order. That makes the serial and Rayon-parallel callers
+//! bitwise identical by construction: each output element's accumulation
+//! order depends only on the inner index, never on the thread partition.
+//!
+//! All kernels are generic over [`Scalar`] so the f64 production path and
+//! the opt-in f32 Chebyshev path (`tbmd-linscale`) instantiate the same
+//! code.
+
+/// Crossover below which the blocked/tiled entry points in `matrix.rs` take
+/// the short naive loop instead. Register tiling pays panel-setup and
+/// remainder-handling overhead that a ≤16×16 product (tiny test cells,
+/// 4-orbital blocks) never amortizes — the same reasoning as
+/// `TWO_STAGE_MIN_DIM` in `tbmd-model`, which keeps small systems on the
+/// one-stage eigensolver. 16 keeps every matrix that fits in two cache
+/// lines per row on the naive path while letting real Hamiltonians
+/// (N ≥ 32) hit the tiled kernels.
+pub const KERNEL_MIN_DIM: usize = 16;
+
+/// Accumulator lanes in [`dot`]. Eight f64 lanes fill one AVX-512 register
+/// (or two AVX2 registers) and cover the ~4-cycle add latency at 2
+/// adds/cycle throughput.
+const DOT_LANES: usize = 8;
+
+/// Accumulator lanes in the shared-operand dots ([`dot2`], [`dot4`]) and
+/// the sparse gather dot — fewer lanes per output keeps the register
+/// budget bounded when several dots run in one pass.
+const DOT2_LANES: usize = 4;
+
+/// Scalar element type of a kernel: the f64 production precision or the
+/// f32 mixed-precision Chebyshev path.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+{
+    const ZERO: Self;
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    #[inline(always)]
+    fn from_f64(x: f64) -> f64 {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: f32 = 0.0;
+    #[inline(always)]
+    fn from_f64(x: f64) -> f32 {
+        x as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Eight-lane dot product of two contiguous slices.
+///
+/// Lane `l` accumulates elements `l, l+8, l+16, …`; the lanes are reduced
+/// pairwise `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` and the tail (< 8
+/// elements) is added last in ascending order. The order is fixed — the
+/// result is deterministic and identical from every caller — but it is a
+/// *different* fixed order than a single-accumulator loop, so replacing a
+/// naive dot with this one is a round-off-level (≤ ~n·ε relative) change.
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = [T::ZERO; DOT_LANES];
+    let mut xc = x.chunks_exact(DOT_LANES);
+    let mut yc = y.chunks_exact(DOT_LANES);
+    for (cx, cy) in xc.by_ref().zip(yc.by_ref()) {
+        for l in 0..DOT_LANES {
+            acc[l] += cx[l] * cy[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        s += a * b;
+    }
+    s
+}
+
+/// Two dots sharing the left operand: `(x·y, x·z)` in one pass.
+///
+/// Four lanes per output (eight live accumulators). Used where one vector
+/// is dotted against two others back to back — e.g. the `w·v` / `v·v`
+/// panel corrections in the blocked tridiagonalization — halving the loads
+/// of the shared operand.
+#[inline]
+pub fn dot2<T: Scalar>(x: &[T], y: &[T], z: &[T]) -> (T, T) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), z.len());
+    let mut ay = [T::ZERO; DOT2_LANES];
+    let mut az = [T::ZERO; DOT2_LANES];
+    let n = x.len();
+    let whole = n - n % DOT2_LANES;
+    let mut i = 0;
+    while i < whole {
+        for l in 0..DOT2_LANES {
+            let xv = x[i + l];
+            ay[l] += xv * y[i + l];
+            az[l] += xv * z[i + l];
+        }
+        i += DOT2_LANES;
+    }
+    let mut sy = (ay[0] + ay[1]) + (ay[2] + ay[3]);
+    let mut sz = (az[0] + az[1]) + (az[2] + az[3]);
+    while i < n {
+        sy += x[i] * y[i];
+        sz += x[i] * z[i];
+        i += 1;
+    }
+    (sy, sz)
+}
+
+/// Four dots sharing the left operand: `x·yj` for four right-hand sides.
+///
+/// The SYRK panel kernel uses this to price four output entries per pass
+/// over a row, so each element of `x` is loaded once per four entries
+/// instead of once per entry.
+#[inline]
+pub fn dot4<T: Scalar>(x: &[T], y0: &[T], y1: &[T], y2: &[T], y3: &[T]) -> [T; 4] {
+    let n = x.len();
+    debug_assert!(y0.len() == n && y1.len() == n && y2.len() == n && y3.len() == n);
+    let mut a0 = [T::ZERO; DOT2_LANES];
+    let mut a1 = [T::ZERO; DOT2_LANES];
+    let mut a2 = [T::ZERO; DOT2_LANES];
+    let mut a3 = [T::ZERO; DOT2_LANES];
+    let whole = n - n % DOT2_LANES;
+    let mut i = 0;
+    while i < whole {
+        for l in 0..DOT2_LANES {
+            let xv = x[i + l];
+            a0[l] += xv * y0[i + l];
+            a1[l] += xv * y1[i + l];
+            a2[l] += xv * y2[i + l];
+            a3[l] += xv * y3[i + l];
+        }
+        i += DOT2_LANES;
+    }
+    let mut s = [
+        (a0[0] + a0[1]) + (a0[2] + a0[3]),
+        (a1[0] + a1[1]) + (a1[2] + a1[3]),
+        (a2[0] + a2[1]) + (a2[2] + a2[3]),
+        (a3[0] + a3[1]) + (a3[2] + a3[3]),
+    ];
+    while i < n {
+        let xv = x[i];
+        s[0] += xv * y0[i];
+        s[1] += xv * y1[i];
+        s[2] += xv * y2[i];
+        s[3] += xv * y3[i];
+        i += 1;
+    }
+    s
+}
+
+/// `y += a * x`. A plain streaming update the autovectorizer already
+/// handles; exposed so call sites share one spelling (and one flop count).
+#[inline]
+pub fn axpy<T: Scalar>(y: &mut [T], a: T, x: &[T]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// `y += a * x + b * w`, evaluated left-to-right per element
+/// (`(y + a·x) + b·w`). This is the rank-2 trailing-update shape of the
+/// blocked tridiagonalization; fusing the two AXPYs halves the traffic on
+/// `y`.
+#[inline]
+pub fn axpy2<T: Scalar>(y: &mut [T], a: T, x: &[T], b: T, w: &[T]) {
+    debug_assert_eq!(y.len(), x.len());
+    debug_assert_eq!(y.len(), w.len());
+    for i in 0..y.len() {
+        y[i] = y[i] + a * x[i] + b * w[i];
+    }
+}
+
+/// How many `(p, j)` rank-1 updates the GEMM panel kernel fuses per pass
+/// over an output row: output rows are loaded/stored once per
+/// `GEMM_UNROLL` inner-index steps.
+pub const GEMM_UNROLL: usize = 4;
+
+/// GEMM panel kernel: `out_row += Σ_p a_row[p] · b[p][..]` for
+/// `p ∈ [p0, p1)`, with `b` given as a row-major slice of row stride
+/// `ldb ≥ n`.
+///
+/// The inner dimension is unrolled by [`GEMM_UNROLL`]: each output element
+/// receives `((o + a0·b0) + a1·b1) + a2·b2 + a3·b3`, i.e. the adds land in
+/// ascending-`p` order exactly as in a naive `i-k-j` loop, so the result
+/// is bitwise identical to that reference order regardless of how callers
+/// band the output rows.
+#[inline]
+pub fn gemm_row<T: Scalar>(orow: &mut [T], arow: &[T], b: &[T], ldb: usize, p0: usize, p1: usize) {
+    let n = orow.len();
+    let mut p = p0;
+    while p + GEMM_UNROLL <= p1 {
+        let a0 = arow[p];
+        let a1 = arow[p + 1];
+        let a2 = arow[p + 2];
+        let a3 = arow[p + 3];
+        let b0 = &b[p * ldb..p * ldb + n];
+        let b1 = &b[(p + 1) * ldb..(p + 1) * ldb + n];
+        let b2 = &b[(p + 2) * ldb..(p + 2) * ldb + n];
+        let b3 = &b[(p + 3) * ldb..(p + 3) * ldb + n];
+        for j in 0..n {
+            orow[j] = (((orow[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        p += GEMM_UNROLL;
+    }
+    while p < p1 {
+        let av = arow[p];
+        axpy(orow, av, &b[p * ldb..p * ldb + n]);
+        p += 1;
+    }
+}
+
+/// SYRK lower-triangle row block: fill `out[i][0..=i]` for one row `i`
+/// with dots of row `i` against rows `0..=i` of `a`, four entries per
+/// pass via [`dot4`].
+///
+/// Each entry's accumulation order depends only on the inner index, so the
+/// serial and row-parallel callers agree bitwise.
+#[inline]
+pub fn syrk_row<T: Scalar>(orow: &mut [T], i: usize, a: &[T], lda: usize) {
+    let arow = &a[i * lda..i * lda + lda];
+    let mut j = 0;
+    while j + 4 <= i + 1 {
+        let s = dot4(
+            arow,
+            &a[j * lda..j * lda + lda],
+            &a[(j + 1) * lda..(j + 1) * lda + lda],
+            &a[(j + 2) * lda..(j + 2) * lda + lda],
+            &a[(j + 3) * lda..(j + 3) * lda + lda],
+        );
+        orow[j] = s[0];
+        orow[j + 1] = s[1];
+        orow[j + 2] = s[2];
+        orow[j + 3] = s[3];
+        j += 4;
+    }
+    while j <= i {
+        orow[j] = dot(arow, &a[j * lda..j * lda + lda]);
+        j += 1;
+    }
+}
+
+/// Gathered sparse dot over an index/value pair list: `Σ (c,v) v·x[c]`.
+///
+/// Four accumulator lanes hide the gather latency of `x[c]`; the tail is
+/// added last in list order. This is the CSR/region row kernel of the
+/// linear-scaling Chebyshev engines.
+#[inline]
+pub fn sparse_dot<T: Scalar>(pairs: &[(usize, T)], x: &[T]) -> T {
+    let mut acc = [T::ZERO; DOT2_LANES];
+    let mut it = pairs.chunks_exact(DOT2_LANES);
+    for c in it.by_ref() {
+        for l in 0..DOT2_LANES {
+            let (idx, v) = c[l];
+            acc[l] += v * x[idx];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &(idx, v) in it.remainder() {
+        s += v * x[idx];
+    }
+    s
+}
+
+/// Gathered sparse dot over split index/value slices (CSR row layout).
+#[inline]
+pub fn sparse_dot_csr<T: Scalar>(idx: &[usize], vals: &[T], x: &[T]) -> T {
+    debug_assert_eq!(idx.len(), vals.len());
+    let mut acc = [T::ZERO; DOT2_LANES];
+    let mut ic = idx.chunks_exact(DOT2_LANES);
+    let mut vc = vals.chunks_exact(DOT2_LANES);
+    for (ci, cv) in ic.by_ref().zip(vc.by_ref()) {
+        for l in 0..DOT2_LANES {
+            acc[l] += cv[l] * x[ci[l]];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&i, &v) in ic.remainder().iter().zip(vc.remainder()) {
+        s += v * x[i];
+    }
+    s
+}
+
+/// [`sparse_dot_csr`] over compressed `u32` column indices — the layout
+/// the mixed-precision f32 operator mirror uses (12 bytes per entry
+/// instead of 24, so the f32 recurrence step actually halves memory
+/// traffic). Same lane structure and summation order as the other two
+/// sparse dots: all three agree bitwise on identical data.
+#[inline]
+pub fn sparse_dot_u32<T: Scalar>(idx: &[u32], vals: &[T], x: &[T]) -> T {
+    debug_assert_eq!(idx.len(), vals.len());
+    let mut acc = [T::ZERO; DOT2_LANES];
+    let mut ic = idx.chunks_exact(DOT2_LANES);
+    let mut vc = vals.chunks_exact(DOT2_LANES);
+    for (ci, cv) in ic.by_ref().zip(vc.by_ref()) {
+        for l in 0..DOT2_LANES {
+            acc[l] += cv[l] * x[ci[l] as usize];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&i, &v) in ic.remainder().iter().zip(vc.remainder()) {
+        s += v * x[i as usize];
+    }
+    s
+}
+
+/// Dense row-major matrix–vector product `y = A·x` via [`dot`] per row.
+#[inline]
+pub fn matvec_rows<T: Scalar>(a: &[T], cols: usize, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), cols);
+    for (i, yv) in y.iter_mut().enumerate() {
+        *yv = dot(&a[i * cols..(i + 1) * cols], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, scale: f64, shift: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64) * scale + shift).collect()
+    }
+
+    fn naive_dot(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn dot_matches_naive_to_roundoff() {
+        for n in [0, 1, 7, 8, 9, 16, 31, 64, 100] {
+            let x = seq(n, 0.37, -3.1);
+            let y = seq(n, -0.11, 2.2);
+            let tiled = dot(&x, &y);
+            let re = naive_dot(&x, &y);
+            let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum::<f64>();
+            assert!(
+                (tiled - re).abs() <= 1e-13 * scale.max(1.0),
+                "n={n}: {tiled} vs {re}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let x = seq(77, 0.9, -0.4);
+        let y = seq(77, -1.3, 0.8);
+        assert_eq!(dot(&x, &y).to_bits(), dot(&x, &y).to_bits());
+    }
+
+    #[test]
+    fn dot2_and_dot4_match_separate_dots_bitwise() {
+        // dot2/dot4 use the same 4-lane order as each other, and must be
+        // exactly the order-stable value a 4-lane single dot would give.
+        for n in [3, 4, 12, 29, 64] {
+            let x = seq(n, 0.21, 1.0);
+            let y = seq(n, -0.43, 0.5);
+            let z = seq(n, 0.77, -2.0);
+            let w = seq(n, 0.05, 0.0);
+            let (dy, dz) = dot2(&x, &y, &z);
+            let s = dot4(&x, &y, &z, &w, &x);
+            assert_eq!(dy.to_bits(), s[0].to_bits());
+            assert_eq!(dz.to_bits(), s[1].to_bits());
+            let (dw, dx) = dot2(&x, &w, &x);
+            assert_eq!(dw.to_bits(), s[2].to_bits());
+            assert_eq!(dx.to_bits(), s[3].to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_row_is_bitwise_ascending_p() {
+        // The unrolled kernel must match the naive i-k-j accumulation
+        // exactly (same add order per element).
+        let (k, n) = (13, 9);
+        let a = seq(k, 0.3, -1.0);
+        let b: Vec<f64> = (0..k * n)
+            .map(|i| ((i * 37 % 101) as f64) * 0.01 - 0.5)
+            .collect();
+        let mut out = seq(n, 0.0, 0.25);
+        let mut reference = out.clone();
+        gemm_row(&mut out, &a, &b, n, 0, k);
+        for p in 0..k {
+            for j in 0..n {
+                reference[j] += a[p] * b[p * n + j];
+            }
+        }
+        for j in 0..n {
+            assert_eq!(out[j].to_bits(), reference[j].to_bits(), "col {j}");
+        }
+    }
+
+    #[test]
+    fn sparse_dots_agree() {
+        let x = seq(50, 0.13, -0.7);
+        let pairs: Vec<(usize, f64)> = (0..23)
+            .map(|i| (i * 2 + 1, (i as f64) * 0.3 - 2.0))
+            .collect();
+        let idx: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let vals: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let a = sparse_dot(&pairs, &x);
+        let b = sparse_dot_csr(&idx, &vals, &x);
+        assert_eq!(a.to_bits(), b.to_bits());
+        let naive: f64 = pairs.iter().map(|&(c, v)| v * x[c]).sum();
+        assert!((a - naive).abs() < 1e-13 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn f32_instantiation_tracks_f64() {
+        let x = seq(40, 0.17, -1.0);
+        let y = seq(40, -0.29, 0.6);
+        let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let yf: Vec<f32> = y.iter().map(|&v| v as f32).collect();
+        let d64 = dot(&x, &y);
+        let d32 = dot(&xf, &yf) as f64;
+        assert!((d64 - d32).abs() < 1e-4 * d64.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy2_left_to_right_order() {
+        let mut y = seq(11, 0.4, 1.0);
+        let x = seq(11, -0.2, 0.3);
+        let w = seq(11, 0.6, -0.9);
+        let mut reference = y.clone();
+        axpy2(&mut y, 2.0, &x, -0.5, &w);
+        for i in 0..11 {
+            reference[i] = reference[i] + 2.0 * x[i] + (-0.5) * w[i];
+        }
+        for i in 0..11 {
+            assert_eq!(y[i].to_bits(), reference[i].to_bits());
+        }
+    }
+}

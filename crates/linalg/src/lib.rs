@@ -19,15 +19,18 @@
 //! * [`Cholesky`]/[`generalized_eigh`] — SPD factorization and the
 //!   `H c = ε S c` reduction used by non-orthogonal tight binding.
 
+pub mod batched;
 pub mod bisection;
 pub mod blocked;
 pub mod cholesky;
 pub mod eigh;
 pub mod inverse_iteration;
 pub mod jacobi;
+pub mod kernels;
 pub mod matrix;
 pub mod vec3;
 
+pub use batched::{batch_map, eigenvector_shards_batch, eigh_batch, EighJob, ShardJob};
 pub use bisection::{
     eigvalsh_partial, snap_range_to_clusters, sturm_count, tridiagonal_eigenvalues_range_into,
     tridiagonal_kth_eigenvalue, tridiagonal_lowest_eigenvalues_into,
@@ -52,5 +55,6 @@ pub use jacobi::{
     jacobi_eigh, jacobi_rotation, off_diagonal_norm, par_jacobi_eigh, par_jacobi_eigh_into,
     round_robin_rounds, JacobiStats, JacobiWorkspace, JACOBI_MAX_SWEEPS, JACOBI_TOL,
 };
+pub use kernels::{Scalar, GEMM_UNROLL, KERNEL_MIN_DIM};
 pub use matrix::Matrix;
 pub use vec3::Vec3;

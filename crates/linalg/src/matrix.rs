@@ -6,6 +6,7 @@
 //! eigensolvers, Cholesky and matrix products. Products are cache-blocked and
 //! optionally parallelized with Rayon (see [`Matrix::par_matmul`]).
 
+use crate::kernels::{self, KERNEL_MIN_DIM};
 use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
@@ -148,12 +149,15 @@ impl Matrix {
         t
     }
 
-    /// Matrix–vector product `self * x`.
+    /// Matrix–vector product `self * x` (eight-lane [`kernels::dot`] per
+    /// row).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        self.rows_iter()
-            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        tbmd_trace::add(
+            tbmd_trace::Counter::KernelFlops,
+            2 * (self.rows * self.cols) as u64,
+        );
+        self.rows_iter().map(|row| kernels::dot(row, x)).collect()
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -331,7 +335,7 @@ impl Matrix {
         assert_eq!(y.len(), self.cols);
         self.rows_iter()
             .zip(x)
-            .map(|(row, &xi)| xi * row.iter().zip(y).map(|(a, b)| a * b).sum::<f64>())
+            .map(|(row, &xi)| xi * kernels::dot(row, y))
             .sum()
     }
 }
@@ -340,26 +344,29 @@ impl Matrix {
 ///
 /// Splits the output into `MATMUL_BLOCK`-row bands; each band walks the inner
 /// dimension in blocks so that the working set of `a`, `b` and `out` stays
-/// cache-resident. The i-k-j loop order streams rows of `b`.
+/// cache-resident, and each row band runs the unrolled
+/// [`kernels::gemm_row`] panel kernel. Every output element accumulates in
+/// ascending inner-index order regardless of banding or threading, so the
+/// serial and parallel entry points are bitwise identical. Products with
+/// every dimension ≤ [`KERNEL_MIN_DIM`] skip the blocking machinery
+/// entirely (same accumulation order, none of the panel overhead).
 fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, parallel: bool) {
     let (m, k, n) = (a.rows, a.cols, b.cols);
+    tbmd_trace::add(tbmd_trace::Counter::KernelFlops, 2 * (m * k * n) as u64);
+    if m.max(k).max(n) <= KERNEL_MIN_DIM {
+        for i in 0..m {
+            kernels::gemm_row(out.row_mut(i), a.row(i), &b.data, n, 0, k);
+        }
+        return;
+    }
     let band = |(band_idx, out_band): (usize, &mut [f64])| {
         let i0 = band_idx * MATMUL_BLOCK;
         let i1 = (i0 + MATMUL_BLOCK).min(m);
         for p0 in (0..k).step_by(MATMUL_BLOCK) {
             let p1 = (p0 + MATMUL_BLOCK).min(k);
             for i in i0..i1 {
-                let arow = a.row(i);
                 let orow = &mut out_band[(i - i0) * n..(i - i0 + 1) * n];
-                for (p, &av) in arow.iter().enumerate().take(p1).skip(p0) {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = b.row(p);
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
+                kernels::gemm_row(orow, a.row(i), &b.data, n, p0, p1);
             }
         }
     };
@@ -384,23 +391,22 @@ impl Default for Matrix {
 }
 
 /// SYRK kernel shared by the serial and parallel entry points: fill the
-/// lower triangle with row-dots, then mirror. `out` must already be
-/// `a.rows × a.rows`.
+/// lower triangle with the [`kernels::syrk_row`] multi-dot row kernel,
+/// then mirror. `out` must already be `a.rows × a.rows`. Each entry is one
+/// independent row-dot with a fixed lane order, so the partition cannot
+/// change any summation order and serial/parallel agree bitwise. Tiny
+/// matrices (≤ [`KERNEL_MIN_DIM`]) run the same kernel serially — the
+/// row kernel has no panel setup to amortize, only the thread launch is
+/// skipped.
 fn syrk_into(a: &Matrix, out: &mut Matrix, parallel: bool) {
     let n = a.rows;
+    let k = a.cols;
     debug_assert_eq!((out.rows, out.cols), (n, n));
+    tbmd_trace::add(tbmd_trace::Counter::KernelFlops, (n * (n + 1) * k) as u64);
     let lower = |(i, orow): (usize, &mut [f64])| {
-        let arow = a.row(i);
-        for (j, o) in orow.iter_mut().enumerate().take(i + 1) {
-            let brow = a.row(j);
-            let mut acc = 0.0;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
+        kernels::syrk_row(orow, i, &a.data, k);
     };
-    if parallel {
+    if parallel && n > KERNEL_MIN_DIM {
         out.data
             .par_chunks_mut(n.max(1))
             .enumerate()

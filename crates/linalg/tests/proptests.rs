@@ -192,3 +192,91 @@ proptest! {
         prop_assert!((&lhs - &rhs).max_abs() < 1e-12);
     }
 }
+
+// ---- Tiled-kernel equivalence (ISSUE 7) -----------------------------------
+//
+// The register-tiled microkernels claim two different equivalence levels
+// against the textbook loops, and both are properties worth fuzzing:
+//
+//  * `matmul` routes every row through `gemm_row`, whose per-element
+//    accumulation order is strictly ascending in the inner index — the
+//    same order as the naive i-k-j triple loop. Equivalence is therefore
+//    *bitwise*, across the KERNEL_MIN_DIM crossover and the 64-row
+//    blocking boundary alike.
+//  * `dot`/`matvec` reduce through 8 independent lanes, a genuinely
+//    different (pairwise) summation order: equivalence is to roundoff,
+//    pinned at 1e-13 relative to the absolute-value sum.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tiled_matmul_is_bitwise_naive_ikj(
+        m in 1usize..40, k in 1usize..70, n in 1usize..40, seed in 0u64..200
+    ) {
+        let fill = |rows: usize, cols: usize, s: u64| {
+            let mut state = s.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        };
+        let a = fill(m, k, seed + 1);
+        let b = fill(k, n, seed + 2);
+        let tiled = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                prop_assert_eq!(
+                    tiled[(i, j)].to_bits(), acc.to_bits(),
+                    "matmul[({}, {})] diverged from the naive i-k-j order", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_dot_matches_naive_to_1e13(len in 1usize..300, seed in 0u64..500) {
+        let mut state = seed.wrapping_mul(0xA24BAED4963EE407) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let x: Vec<f64> = (0..len).map(|_| next()).collect();
+        let y: Vec<f64> = (0..len).map(|_| next()).collect();
+        let tiled = tbmd_linalg::kernels::dot(&x, &y);
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+        prop_assert!(
+            (tiled - naive).abs() <= 1e-13 * scale.max(1.0),
+            "dot drifted: {} vs {}", tiled, naive
+        );
+    }
+
+    #[test]
+    fn tiled_matvec_matches_naive_to_1e13(
+        m in 1usize..40, n in 1usize..120, seed in 0u64..200
+    ) {
+        let fill = |rows: usize, cols: usize, s: u64| {
+            let mut state = s.wrapping_mul(0xD1342543DE82EF95) | 1;
+            Matrix::from_fn(rows, cols, |_, _| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+        };
+        let a = fill(m, n, seed);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 * 0.1 - 0.6).collect();
+        let y = a.matvec(&x);
+        for i in 0..m {
+            let naive: f64 = (0..n).map(|j| a[(i, j)] * x[j]).sum();
+            let scale: f64 = (0..n).map(|j| (a[(i, j)] * x[j]).abs()).sum();
+            prop_assert!(
+                (y[i] - naive).abs() <= 1e-13 * scale.max(1.0),
+                "matvec row {} drifted: {} vs {}", i, y[i], naive
+            );
+        }
+    }
+}

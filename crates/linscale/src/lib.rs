@@ -9,9 +9,11 @@
 pub mod chebyshev;
 pub mod distributed;
 pub mod engine;
+pub mod precision;
 pub mod sparse;
 
 pub use chebyshev::{chebyshev_coefficients, chebyshev_eval, fermi_coefficients, fermi_function};
 pub use distributed::{DistributedLinScaleReport, DistributedLinearScalingTb};
 pub use engine::{LinScaleReport, LinearScalingTb};
+pub use precision::{split_order, F32Region, Precision, PrecisionGate};
 pub use sparse::{LocalRegion, SparseH};

@@ -1,0 +1,374 @@
+//! Opt-in mixed-precision Chebyshev recurrence with an f64 head and a
+//! runtime accuracy gate.
+//!
+//! The Fermi-operator expansion ρ = Σ_k c_k T_k(H̃) spends almost all of
+//! its arithmetic in the three-term recurrence
+//! `T_{k+1} = 2 H̃ T_k − T_{k−1}`. The Chebyshev coefficients of the Fermi
+//! function decay with `k`, so the high-order terms carry a vanishing
+//! share of the operator mass: once the cumulative tail mass
+//! `Σ_{j≥k} |c_j|` drops below [`TAIL_MASS_TOL`], an f32 recurrence error
+//! of `δ_k ≈ √k·ε₃₂` per term contributes at most
+//! `tail_mass · max δ ≈ 10⁻⁴ · 10⁻⁵ = 10⁻⁹` to any ρ entry — far below
+//! the f64 truncation error of the expansion itself. The split-order
+//! scheme here exploits that:
+//!
+//! * **head** (`k < k_split`): the recurrence runs in f64, exactly as the
+//!   pure-f64 path (bitwise-identical arithmetic), carrying all but
+//!   ≤ [`TAIL_MASS_TOL`] of the coefficient mass — this is the f64
+//!   residual correction;
+//! * **tail** (`k ≥ k_split`): the recurrence vectors are rounded to f32
+//!   once and iterated against an f32 mirror of the region operator
+//!   ([`F32Region`]); ρ columns and moments still *accumulate* in f64.
+//!
+//! Because the scheme's safety rests on a smoothness assumption (the f32
+//! operator must faithfully represent H — matrices with pathological
+//! dynamic range break it), the path is gated at runtime: each evaluation
+//! re-solves one deterministically rotating probe atom fully in f64 and
+//! compares ([`PrecisionGate`]). A deviation above the probe tolerance
+//! latches the gate — the engine recomputes in f64, counts a
+//! `precision_fallbacks` event, and stays in f64 for the rest of the run.
+
+use crate::sparse::LocalRegion;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use tbmd_linalg::kernels;
+
+/// Numeric precision of the Chebyshev recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full f64 recurrence (the reference path).
+    #[default]
+    F64,
+    /// f64 head + f32 tail split at [`split_order`], gated by
+    /// [`PrecisionGate`].
+    MixedF32,
+}
+
+/// Maximum cumulative coefficient mass `Σ_{j≥k_split} |c_j|` the f32 tail
+/// may carry. 1e-4 bounds the tail-induced energy error around 10⁻⁸ eV at
+/// the bundled system sizes — two orders below the 10⁻⁶ eV agreement the
+/// mixed-precision tests pin — while still moving the slowly-decaying
+/// high-order half of the recurrence to f32.
+pub const TAIL_MASS_TOL: f64 = 1e-4;
+
+/// Relative deviation of the probe atom's band contribution (and ρ
+/// blocks) above which the gate latches back to f64.
+pub const PROBE_REL_TOL: f64 = 1e-6;
+
+/// First order whose cumulative tail mass `Σ_{j≥k} |c_j|` is at most
+/// `tol`, clamped to `[2, coeffs.len()]` (two f64 terms are always needed
+/// to seed the f32 recurrence). `coeffs.len()` means "no f32 tail".
+pub fn split_order(coeffs: &[f64], tol: f64) -> usize {
+    let mut tail = 0.0;
+    let mut k = coeffs.len();
+    while k > 0 {
+        tail += coeffs[k - 1].abs();
+        if tail > tol {
+            return k.max(2).min(coeffs.len());
+        }
+        k -= 1;
+    }
+    2.min(coeffs.len())
+}
+
+/// f32 mirror of a [`LocalRegion`]'s restricted operator in flat CSR
+/// form: `u32` column indices and f32 values (12 bytes per entry against
+/// the 24 of the f64 `(usize, f64)` pair rows), so the tail recurrence
+/// streams half the memory per step. The rounding happens here, on the
+/// *raw* matrix entries — before the shift/scale of the recurrence — so
+/// pathological dynamic range (entries whose physics lives below the f32
+/// ulp of their own magnitude) is faithfully destroyed, which is exactly
+/// what the probe must detect.
+#[derive(Debug, Clone)]
+pub struct F32Region {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl F32Region {
+    /// Round a region's restricted rows to f32 CSR.
+    pub fn from_region(r: &LocalRegion) -> Self {
+        let rows = r.local_rows();
+        let nnz = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in rows {
+            for &(c, v) in row {
+                col_idx.push(c as u32);
+                vals.push(v as f32);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        F32Region {
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Number of local orbitals.
+    pub fn len(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// True if the region has no orbitals.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Restricted `y = (A − shift)/scale · x` in f32 (same contract as
+    /// [`LocalRegion::matvec_scaled_into`]).
+    pub fn matvec_scaled_into(&self, x: &[f32], shift: f32, scale: f32, y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.len());
+        let inv = 1.0f32 / scale;
+        y.clear();
+        y.extend(self.row_ptr.windows(2).enumerate().map(|(l, w)| {
+            let dot = kernels::sparse_dot_u32(&self.col_idx[w[0]..w[1]], &self.vals[w[0]..w[1]], x);
+            (dot - shift * x[l]) * inv
+        }));
+    }
+}
+
+/// Full-f64 Chebyshev column recurrence seeded at local orbital `lj`:
+/// emits `(k, T_k(H̃) e_lj)` for `k = 0..order` with the exact arithmetic
+/// (and summation order) of the original engine loops, using three
+/// rotating buffers instead of a fresh allocation per step.
+pub fn chebyshev_column_f64(
+    region: &LocalRegion,
+    lj: usize,
+    shift: f64,
+    scale: f64,
+    order: usize,
+    mut emit: impl FnMut(usize, &[f64]),
+) {
+    let n = region.len();
+    let mut t_prev = vec![0.0; n];
+    t_prev[lj] = 1.0;
+    emit(0, &t_prev);
+    if order <= 1 {
+        return;
+    }
+    let mut t_cur = Vec::with_capacity(n);
+    region.matvec_scaled_into(&t_prev, shift, scale, &mut t_cur);
+    emit(1, &t_cur);
+    let mut t_next = Vec::with_capacity(n);
+    for k in 2..order {
+        region.matvec_scaled_into(&t_cur, shift, scale, &mut t_next);
+        for (tn, &tp) in t_next.iter_mut().zip(&t_prev) {
+            *tn = 2.0 * *tn - tp;
+        }
+        emit(k, &t_next);
+        std::mem::swap(&mut t_prev, &mut t_cur);
+        std::mem::swap(&mut t_cur, &mut t_next);
+    }
+}
+
+/// One emitted Chebyshev term: f64 for the head of the split recurrence,
+/// f32 for the tail. A single enum (rather than two closures) lets one
+/// accumulator closure own the ρ-column buffer mutably.
+pub enum Term<'a> {
+    F64(&'a [f64]),
+    F32(&'a [f32]),
+}
+
+/// Split-precision column recurrence: f64 head for `k < k_split`
+/// (arithmetic identical to [`chebyshev_column_f64`], emitted as
+/// [`Term::F64`]), then the state is rounded once to f32 and the tail
+/// `k ≥ k_split` runs against the f32 operator (emitted as
+/// [`Term::F32`]). Returns the number of f32 recurrence steps performed
+/// (the `f32_chebyshev_steps` counter increment).
+#[allow(clippy::too_many_arguments)]
+pub fn chebyshev_column_mixed(
+    region: &LocalRegion,
+    region32: &F32Region,
+    lj: usize,
+    shift: f64,
+    scale: f64,
+    order: usize,
+    k_split: usize,
+    mut emit: impl FnMut(usize, Term),
+) -> u64 {
+    let k_split = k_split.clamp(2, order);
+    let n = region.len();
+    let mut t_prev = vec![0.0; n];
+    t_prev[lj] = 1.0;
+    emit(0, Term::F64(&t_prev));
+    if order <= 1 {
+        return 0;
+    }
+    let mut t_cur = Vec::with_capacity(n);
+    region.matvec_scaled_into(&t_prev, shift, scale, &mut t_cur);
+    emit(1, Term::F64(&t_cur));
+    let mut t_next = Vec::with_capacity(n);
+    for k in 2..k_split {
+        region.matvec_scaled_into(&t_cur, shift, scale, &mut t_next);
+        for (tn, &tp) in t_next.iter_mut().zip(&t_prev) {
+            *tn = 2.0 * *tn - tp;
+        }
+        emit(k, Term::F64(&t_next));
+        std::mem::swap(&mut t_prev, &mut t_cur);
+        std::mem::swap(&mut t_cur, &mut t_next);
+    }
+    if k_split >= order {
+        return 0;
+    }
+    // Round the recurrence state once; the tail iterates purely in f32.
+    let mut tp32: Vec<f32> = t_prev.iter().map(|&v| v as f32).collect();
+    let mut tc32: Vec<f32> = t_cur.iter().map(|&v| v as f32).collect();
+    let mut tn32: Vec<f32> = Vec::with_capacity(n);
+    let (shift32, scale32) = (shift as f32, scale as f32);
+    let mut steps = 0u64;
+    for k in k_split..order {
+        region32.matvec_scaled_into(&tc32, shift32, scale32, &mut tn32);
+        for (tn, &tp) in tn32.iter_mut().zip(&tp32) {
+            *tn = 2.0 * *tn - tp;
+        }
+        steps += 1;
+        emit(k, Term::F32(&tn32));
+        std::mem::swap(&mut tp32, &mut tc32);
+        std::mem::swap(&mut tc32, &mut tn32);
+    }
+    steps
+}
+
+/// Runtime accuracy gate of the mixed-precision path: a rotating probe
+/// index and a sticky fallback latch shared across evaluations (and
+/// threads) of one engine.
+#[derive(Debug, Default)]
+pub struct PrecisionGate {
+    evals: AtomicUsize,
+    latched: AtomicBool,
+}
+
+impl PrecisionGate {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once any probe has tripped: the engine must stay on f64.
+    pub fn latched(&self) -> bool {
+        self.latched.load(Ordering::Relaxed)
+    }
+
+    /// Probe atom for this evaluation: a deterministic rotation over the
+    /// `n` atoms, so every atom is re-verified in f64 once every `n`
+    /// evaluations.
+    pub fn next_probe(&self, n: usize) -> usize {
+        self.evals.fetch_add(1, Ordering::Relaxed) % n.max(1)
+    }
+
+    /// Feed the probe deviation (∞-norm difference between the mixed and
+    /// f64 solves of the probe atom, relative to `scale`). Returns `true`
+    /// — and latches, counting one `precision_fallbacks` event on the
+    /// first trip — when the deviation exceeds `PROBE_REL_TOL · scale`.
+    // The negated comparison is deliberate: a NaN deviation must trip
+    // the gate, which `deviation > tol` would silently pass.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn observe(&self, deviation: f64, scale: f64) -> bool {
+        if !(deviation <= PROBE_REL_TOL * scale.max(1.0)) {
+            if !self.latched.swap(true, Ordering::Relaxed) {
+                tbmd_trace::add(tbmd_trace::Counter::PrecisionFallbacks, 1);
+            }
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tridiag_region(n: usize, diag: impl Fn(usize) -> f64, off: f64) -> LocalRegion {
+        let rows = (0..n)
+            .map(|i| {
+                let mut row = vec![(i, diag(i))];
+                if i > 0 {
+                    row.push((i - 1, off));
+                }
+                if i + 1 < n {
+                    row.push((i + 1, off));
+                }
+                row.sort_unstable_by_key(|&(c, _)| c);
+                row
+            })
+            .collect();
+        LocalRegion::from_rows(rows)
+    }
+
+    #[test]
+    fn split_order_respects_tail_mass() {
+        let coeffs: Vec<f64> = (0..100).map(|k| 0.5f64.powi(k)).collect();
+        let ks = split_order(&coeffs, 1e-6);
+        let tail: f64 = coeffs[ks..].iter().map(|c| c.abs()).sum();
+        assert!(tail <= 1e-6, "tail {tail} above tolerance");
+        let tail_prev: f64 = coeffs[ks - 1..].iter().map(|c| c.abs()).sum();
+        assert!(tail_prev > 1e-6, "split not minimal");
+        // Degenerate cases clamp sanely.
+        assert_eq!(split_order(&coeffs, 1e9), 2);
+        assert_eq!(split_order(&coeffs, 0.0), coeffs.len());
+    }
+
+    #[test]
+    fn mixed_head_is_bitwise_f64_and_tail_is_close() {
+        let n = 24;
+        let region = tridiag_region(n, |i| (i as f64) * 0.3 - 3.0, -1.1);
+        let region32 = F32Region::from_region(&region);
+        let (shift, scale) = (0.2, 9.0);
+        let order = 40;
+        let k_split = 20;
+        let mut full: Vec<Vec<f64>> = Vec::new();
+        chebyshev_column_f64(&region, 3, shift, scale, order, |_, t| {
+            full.push(t.to_vec())
+        });
+        let mut head: Vec<Vec<f64>> = Vec::new();
+        let mut tail: Vec<Vec<f32>> = Vec::new();
+        let steps = chebyshev_column_mixed(
+            &region,
+            &region32,
+            3,
+            shift,
+            scale,
+            order,
+            k_split,
+            |_, term| match term {
+                Term::F64(t) => head.push(t.to_vec()),
+                Term::F32(t) => tail.push(t.to_vec()),
+            },
+        );
+        assert_eq!(steps as usize, order - k_split);
+        assert_eq!(head.len(), k_split);
+        assert_eq!(tail.len(), order - k_split);
+        for (k, h) in head.iter().enumerate() {
+            for (a, b) in h.iter().zip(&full[k]) {
+                assert_eq!(a.to_bits(), b.to_bits(), "head term {k} must be exact");
+            }
+        }
+        for (kk, t) in tail.iter().enumerate() {
+            for (a, b) in t.iter().zip(&full[k_split + kk]) {
+                assert!(
+                    (*a as f64 - b).abs() < 1e-3,
+                    "tail term {} drifted: {a} vs {b}",
+                    k_split + kk
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_latches_once_and_rotates_probe() {
+        let gate = PrecisionGate::new();
+        assert_eq!(gate.next_probe(4), 0);
+        assert_eq!(gate.next_probe(4), 1);
+        assert!(!gate.latched());
+        assert!(!gate.observe(1e-9, 1.0));
+        assert!(!gate.latched());
+        assert!(gate.observe(1.0, 1.0));
+        assert!(gate.latched());
+        // NaN deviation must trip, never pass.
+        let g2 = PrecisionGate::new();
+        assert!(g2.observe(f64::NAN, 1.0));
+    }
+}

@@ -6,6 +6,7 @@
 //! module builds the CSR matrix straight from a neighbour list and provides
 //! the (restricted) matrix–vector products the Chebyshev expansion consumes.
 
+use tbmd_linalg::kernels;
 use tbmd_model::{sk_block, OrbitalIndex, TbModel};
 use tbmd_structure::{NeighborList, Structure};
 
@@ -81,17 +82,13 @@ impl SparseH {
         self.values.len()
     }
 
-    /// Dense `y = A x`.
+    /// Dense `y = A x` (four-lane gathered dot per CSR row).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
         for (i, yo) in y.iter_mut().enumerate() {
             let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
-            let mut acc = 0.0;
-            for (v, &c) in self.values[lo..hi].iter().zip(&self.col_idx[lo..hi]) {
-                acc += v * x[c];
-            }
-            *yo = acc;
+            *yo = kernels::sparse_dot_csr(&self.col_idx[lo..hi], &self.values[lo..hi], x);
         }
         y
     }
@@ -232,38 +229,47 @@ impl LocalRegion {
         (l != usize::MAX).then_some(l)
     }
 
+    /// Build a region directly from restricted CSR rows in local indices —
+    /// orbital `l` is global orbital `l` (identity map). This is the
+    /// synthetic-operator entry the mixed-precision tests use to inject
+    /// matrices (e.g. f32-poisoned dynamic ranges) without a structure.
+    pub fn from_rows(rows: Vec<Vec<(usize, f64)>>) -> Self {
+        let n = rows.len();
+        LocalRegion {
+            orbitals: (0..n).collect(),
+            local_of: (0..n).collect(),
+            rows,
+        }
+    }
+
     /// Restricted matvec `y = (P A Pᵀ) x` in local indices, with the shifted
     /// and scaled operator `(A − shift)/scale` applied on the fly.
     pub fn matvec_scaled(&self, x: &[f64], shift: f64, scale: f64) -> Vec<f64> {
-        debug_assert_eq!(x.len(), self.rows.len());
-        let inv = 1.0 / scale;
-        self.rows
-            .iter()
-            .enumerate()
-            .map(|(l, row)| {
-                let mut acc = 0.0;
-                for &(c, v) in row {
-                    acc += v * x[c];
-                }
-                (acc - shift * x[l]) * inv
-            })
-            .collect()
+        let mut y = Vec::new();
+        self.matvec_scaled_into(x, shift, scale, &mut y);
+        y
     }
 
     /// [`LocalRegion::matvec_scaled`] into a caller-owned buffer — the
     /// allocation-free form the per-rank workspace pools thread through the
-    /// Chebyshev recurrence.
+    /// Chebyshev recurrence. Each row is a four-lane gathered
+    /// [`kernels::sparse_dot`].
     pub fn matvec_scaled_into(&self, x: &[f64], shift: f64, scale: f64, y: &mut Vec<f64>) {
         debug_assert_eq!(x.len(), self.rows.len());
         let inv = 1.0 / scale;
         y.clear();
-        y.extend(self.rows.iter().enumerate().map(|(l, row)| {
-            let mut acc = 0.0;
-            for &(c, v) in row {
-                acc += v * x[c];
-            }
-            (acc - shift * x[l]) * inv
-        }));
+        y.extend(
+            self.rows
+                .iter()
+                .enumerate()
+                .map(|(l, row)| (kernels::sparse_dot(row, x) - shift * x[l]) * inv),
+        );
+    }
+
+    /// Raw restricted rows (local `(col, value)` pairs) — the mixed-precision
+    /// path mirrors these into f32.
+    pub(crate) fn local_rows(&self) -> &[Vec<(usize, f64)>] {
+        &self.rows
     }
 
     /// Number of restricted non-zeros (cost metric for the O(N) scaling

@@ -22,7 +22,6 @@ use crate::provider::{ForceEvaluation, ForceProvider};
 use crate::slater_koster::sk_block_gradient;
 use crate::units::KB_EV;
 use crate::workspace::{DenseCache, KPointSlot, Workspace};
-use rayon::prelude::*;
 use std::time::{Duration, Instant};
 use tbmd_linalg::{eigh_into, Matrix, Vec3};
 use tbmd_structure::Structure;
@@ -219,39 +218,18 @@ impl<'m> KPointCalculator<'m> {
 /// Run `f` over each (k-point, slot) pair — across the thread pool when
 /// `parallel`, serially in grid order otherwise — and hand the per-k
 /// outputs back in grid order either way. Each call owns its slot
-/// exclusively, so scheduling cannot change any result bit.
+/// exclusively, so scheduling cannot change any result bit. The actual
+/// launch shape is the shared [`tbmd_linalg::batch_map`] used by every
+/// batched dense solve (per-k here, per-spectrum-slice in the distributed
+/// solver).
 fn fan_out<T, F>(parallel: bool, kpoints: &[KPoint], slots: &mut [KPointSlot], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&KPoint, &mut KPointSlot) -> T + Sync,
 {
-    struct Cell<'s, T> {
-        kp: KPoint,
-        slot: &'s mut KPointSlot,
-        out: Option<T>,
-    }
-    let mut cells: Vec<Cell<'_, T>> = kpoints
-        .iter()
-        .zip(slots.iter_mut())
-        .map(|(kp, slot)| Cell {
-            kp: *kp,
-            slot,
-            out: None,
-        })
-        .collect();
-    if parallel {
-        cells
-            .par_iter_mut()
-            .for_each(|c| c.out = Some(f(&c.kp, c.slot)));
-    } else {
-        for c in &mut cells {
-            c.out = Some(f(&c.kp, c.slot));
-        }
-    }
-    cells
-        .into_iter()
-        .map(|c| c.out.expect("fan_out ran every cell"))
-        .collect()
+    let mut jobs: Vec<(KPoint, &mut KPointSlot)> =
+        kpoints.iter().copied().zip(slots.iter_mut()).collect();
+    tbmd_linalg::batch_map(parallel, &mut jobs, |_, (kp, slot)| f(kp, slot))
 }
 
 #[inline]

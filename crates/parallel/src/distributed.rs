@@ -41,9 +41,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tbmd_linalg::{
-    cluster_tolerance, reduced_eigenvectors_offset_into, snap_range_to_clusters,
-    tridiagonal_eigenvalues_range_into, tridiagonalize_blocked_into, EighWorkspace, Matrix, Vec3,
-    JACOBI_MAX_SWEEPS, JACOBI_TOL,
+    cluster_tolerance, eigenvector_shards_batch, snap_range_to_clusters,
+    tridiagonal_eigenvalues_range_into, tridiagonalize_blocked_into, EighWorkspace, Matrix,
+    ShardJob, Vec3, JACOBI_MAX_SWEEPS, JACOBI_TOL,
 };
 use tbmd_model::{
     build_hamiltonian_into, density_matrix_into, occupations, occupied_count, sk_block,
@@ -520,13 +520,17 @@ impl ForceProvider for DistributedTb<'_> {
                 let occ_vals = &slot.values[..k];
                 let lo = snap_range_to_clusters(occ_vals, ctol, raw.start..k).start;
                 let hi = snap_range_to_clusters(occ_vals, ctol, raw.end..k).start;
-                reduced_eigenvectors_offset_into(
-                    &slot.h,
-                    &slot.values[lo..hi],
-                    lo,
-                    &mut slot.vectors,
-                    &mut slot.eigh,
-                );
+                // One shard per rank, launched through the shared batched
+                // entry point (same shape as the per-k fan-out), so the
+                // offset-seeded inverse iteration stays bitwise identical
+                // to the serial columns.
+                let mut shard = [ShardJob {
+                    lambda: &slot.values[lo..hi],
+                    seed_offset: lo,
+                    z: &mut slot.vectors,
+                    ws: &mut slot.eigh,
+                }];
+                eigenvector_shards_batch(false, &slot.h, &mut shard);
                 rank.count_flops(4 * ((hi - lo) * n_orb * n_orb) as u64);
                 timings.diagonalize = mark.elapsed() - comm_in_phase;
                 timings.communication += comm_in_phase;

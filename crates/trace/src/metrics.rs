@@ -78,10 +78,20 @@ pub enum Counter {
     /// Surviving workers drained via the cancellation token after a peer
     /// failure (instead of blocking to process exit).
     WorkerCancellations,
+    /// Floating-point operations retired by the `tbmd-linalg` kernel layer
+    /// (GEMM/SYRK/GEMV/tridiagonalization/CSR entry points; counted from
+    /// operand shapes, not per-instruction).
+    KernelFlops,
+    /// Sparse H·v recurrence steps executed in f32 by the mixed-precision
+    /// Chebyshev path (subset of `chebyshev_matvecs`).
+    F32ChebyshevSteps,
+    /// Mixed-precision evaluations whose accuracy probe tripped and forced
+    /// a full f64 recomputation (the precision gate latching down).
+    PrecisionFallbacks,
 }
 
 impl Counter {
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 17;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::WireBytes,
         Counter::WireMessages,
@@ -97,6 +107,9 @@ impl Counter {
         Counter::RankFailures,
         Counter::Recoveries,
         Counter::WorkerCancellations,
+        Counter::KernelFlops,
+        Counter::F32ChebyshevSteps,
+        Counter::PrecisionFallbacks,
     ];
 
     pub const fn index(self) -> usize {
@@ -120,6 +133,9 @@ impl Counter {
             Counter::RankFailures => "rank_failures",
             Counter::Recoveries => "recoveries",
             Counter::WorkerCancellations => "worker_cancellations",
+            Counter::KernelFlops => "kernel_flops",
+            Counter::F32ChebyshevSteps => "f32_chebyshev_steps",
+            Counter::PrecisionFallbacks => "precision_fallbacks",
         }
     }
 }

@@ -1,0 +1,167 @@
+//! Mixed-precision Chebyshev regression tests (ISSUE 7).
+//!
+//! The `Precision::MixedF32` path runs the high-order tail of every
+//! Chebyshev column in f32 (the head, carrying all but ~1e-4 of the
+//! coefficient mass, stays in f64). Physics must not notice: a 20-step
+//! NVE trajectory driven by the mixed engine has to track the pure-f64
+//! engine to 1e-6 eV at every step, with the f32 tail actually exercised.
+//! And the runtime probe must catch matrices whose physics lives below
+//! the f32 ulp of their own entries — the injected-poison test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbmd::linscale::precision::{
+    chebyshev_column_f64, chebyshev_column_mixed, split_order, F32Region, PrecisionGate, Term,
+    TAIL_MASS_TOL,
+};
+use tbmd::linscale::{fermi_coefficients, LinearScalingTb, LocalRegion, Precision};
+use tbmd::trace::{Counter, TraceSink};
+use tbmd_md::{maxwell_boltzmann, MdState, VelocityVerlet};
+use tbmd_model::{silicon_gsp, Workspace};
+use tbmd_structure::{bulk_diamond, Species, Structure};
+
+fn si8() -> Structure {
+    bulk_diamond(Species::Silicon, 1, 1, 1)
+}
+
+/// 20 NVE steps: the mixed-precision engine must track f64 to 1e-6 eV in
+/// potential energy at every step while taking a non-trivial number of
+/// f32 recurrence steps, and the probe must never trip on healthy data.
+#[test]
+fn mixed_nve_tracks_f64_within_1e_6_ev() {
+    let model = silicon_gsp();
+    let kt = 0.3;
+    let order = 400;
+    let f64_engine = LinearScalingTb::new(&model).with_kt(kt).with_order(order);
+    let mixed_engine = LinearScalingTb::new(&model)
+        .with_kt(kt)
+        .with_order(order)
+        .with_precision(Precision::MixedF32);
+
+    tbmd::trace::install(TraceSink::collecting());
+    let before = tbmd::trace::snapshot();
+
+    let vv = VelocityVerlet::new(1.0);
+    let velocities = {
+        let mut rng = StdRng::seed_from_u64(7);
+        maxwell_boltzmann(&si8(), 300.0, &mut rng)
+    };
+    let mut ws_a = Workspace::new();
+    let mut ws_b = Workspace::new();
+    let mut a = MdState::new_with(si8(), velocities.clone(), &f64_engine, &mut ws_a).unwrap();
+    let mut b = MdState::new_with(si8(), velocities, &mixed_engine, &mut ws_b).unwrap();
+
+    for step in 0..20 {
+        vv.step_with(&mut a, &f64_engine, &mut ws_a).unwrap();
+        vv.step_with(&mut b, &mixed_engine, &mut ws_b).unwrap();
+        let de = (a.potential_energy - b.potential_energy).abs();
+        assert!(
+            de < 1e-6,
+            "step {step}: mixed vs f64 potential energy differs by {de:.3e} eV"
+        );
+        for i in 0..a.structure.n_atoms() {
+            let df = (a.forces[i] - b.forces[i]).max_abs();
+            assert!(
+                df < 1e-6,
+                "step {step}, atom {i}: force differs by {df:.3e}"
+            );
+        }
+    }
+
+    let delta = tbmd::trace::snapshot().since(&before);
+    tbmd::trace::install(TraceSink::disabled());
+    assert!(
+        delta.counter(Counter::F32ChebyshevSteps) > 0,
+        "mixed path never took an f32 step — split order degenerate"
+    );
+    assert!(
+        !mixed_engine.precision_latched(),
+        "probe tripped on healthy silicon"
+    );
+}
+
+/// A diagonal-dominant operator at energy origin 1e9 with sub-ulp level
+/// structure: the f32 ulp at 1e9 is 64, so rounding the raw entries to
+/// f32 annihilates the ±0.5 eV physics entirely. The mixed recurrence
+/// must diverge from f64 by far more than the probe tolerance, and the
+/// gate must latch (counting one precision_fallbacks event).
+#[test]
+fn poisoned_matrix_trips_probe_and_latches() {
+    let n = 16;
+    let e0 = 1.0e9;
+    let rows: Vec<Vec<(usize, f64)>> = (0..n)
+        .map(|i| {
+            let mut row = vec![(i, e0 + if i % 2 == 0 { 0.0 } else { 0.5 })];
+            if i > 0 {
+                row.insert(0, (i - 1, 0.1));
+            }
+            if i + 1 < n {
+                row.push((i + 1, 0.1));
+            }
+            row
+        })
+        .collect();
+    let region = LocalRegion::from_rows(rows);
+    let region32 = F32Region::from_region(&region);
+
+    let (e_min, e_max) = (e0 - 1.0, e0 + 1.5);
+    let order = 80;
+    let mu = e0 + 0.25;
+    let (shift, scale, coeffs) = fermi_coefficients(e_min, e_max, mu, 0.05, order);
+    let k_split = split_order(&coeffs, TAIL_MASS_TOL).min(order / 2);
+
+    // ρ column 0 both ways, f64-accumulated as the engine does it.
+    let mut rho_f64 = vec![0.0; n];
+    chebyshev_column_f64(&region, 0, shift, scale, order, |k, t| {
+        let c = if k == 0 { 0.5 * coeffs[0] } else { coeffs[k] };
+        for (r, &tv) in rho_f64.iter_mut().zip(t) {
+            *r += c * tv;
+        }
+    });
+    let mut rho_mixed = vec![0.0; n];
+    let steps = chebyshev_column_mixed(
+        &region,
+        &region32,
+        0,
+        shift,
+        scale,
+        order,
+        k_split,
+        |k, term| {
+            let c = if k == 0 { 0.5 * coeffs[0] } else { coeffs[k] };
+            match term {
+                Term::F64(t) => {
+                    for (r, &tv) in rho_mixed.iter_mut().zip(t) {
+                        *r += c * tv;
+                    }
+                }
+                Term::F32(t) => {
+                    for (r, &tv) in rho_mixed.iter_mut().zip(t) {
+                        *r += c * tv as f64;
+                    }
+                }
+            }
+        },
+    );
+    assert!(steps > 0, "poison test never reached the f32 tail");
+
+    let dev = rho_f64
+        .iter()
+        .zip(&rho_mixed)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    tbmd::trace::install(TraceSink::collecting());
+    let before = tbmd::trace::snapshot();
+    let gate = PrecisionGate::new();
+    assert!(
+        gate.observe(dev, 1.0),
+        "probe failed to trip on poisoned matrix (deviation {dev:.3e})"
+    );
+    assert!(gate.latched(), "gate must latch after a trip");
+    // Latched means latched: further observations don't re-count.
+    assert!(gate.observe(dev, 1.0));
+    let delta = tbmd::trace::snapshot().since(&before);
+    tbmd::trace::install(TraceSink::disabled());
+    assert_eq!(delta.counter(Counter::PrecisionFallbacks), 1);
+}
