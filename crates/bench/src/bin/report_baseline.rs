@@ -13,6 +13,9 @@
 //!   N = 64, P = 4.
 //! * `watchdogs` — short recorded NVE runs per engine; the JSONL recorder's
 //!   drift-watchdog verdict and warn count.
+//! * `serve` — two Si-8 tenants through the session multiplexer under a
+//!   one-thread compute budget: admission must serialize them (max one
+//!   active) while both endpoints stay bitwise the standalone runs.
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_baseline [-- [--json path]]`
 //!
@@ -38,6 +41,7 @@ use tbmd::{
 };
 use tbmd_bench::{check_gate, compare_baselines, fmt_ms, write_json, BenchArgs, ReportTable};
 use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
+use tbmd_serve::{JobSpec, Multiplexer};
 use tbmd_structure::NeighborList;
 
 /// One warm force evaluation through a persistent workspace — the steady
@@ -532,12 +536,90 @@ fn main() {
         format!("{:.1}", recover_wall.as_secs_f64() * 1e3),
     ]);
 
+    // --- Serve headline: two Si-8 NVE tenants through the session
+    // multiplexer under a one-thread compute budget — the second job must
+    // wait in the admission queue, and both endpoints must stay bitwise the
+    // standalone trajectories (`report_serve` runs the full K-tenant
+    // latency sweep; this keeps the headline in BENCH_phase.json).
+    let serve = {
+        let mut configs = Vec::new();
+        for (i, temp) in [300.0, 450.0].iter().enumerate() {
+            let mut c = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, *temp, 10);
+            c.seed = 900 + i as u64;
+            configs.push(c);
+        }
+        let reference: Vec<_> = configs
+            .iter()
+            .map(|c| tbmd::run_simulation(c).expect("standalone tenant"))
+            .collect();
+        tbmd::configure_budget(1);
+        tbmd::parallel::reset_high_water();
+        let mut mux = Multiplexer::new();
+        for (i, c) in configs.iter().enumerate() {
+            let mut spec = JobSpec::new(format!("tenant-{i}"), *c);
+            spec.quantum = 4;
+            spec.threads = 1;
+            mux.submit(spec, std::io::sink());
+        }
+        let t0 = Instant::now();
+        let mut max_active = 0usize;
+        loop {
+            let busy = mux.tick();
+            max_active = max_active.max(mux.active());
+            if !busy {
+                break;
+            }
+        }
+        let serve_wall = t0.elapsed();
+        let mut reports = mux.drain();
+        let hw = tbmd::parallel::high_water();
+        tbmd::configure_budget(0);
+        reports.sort_by(|a, b| a.name.cmp(&b.name));
+        let bits = |v: &[tbmd::Vec3]| -> Vec<u64> {
+            v.iter()
+                .flat_map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()])
+                .collect()
+        };
+        let bitwise = reports.len() == 2
+            && reports.iter().zip(&reference).all(|(r, c)| {
+                r.outcome.as_ref().is_ok_and(|s| {
+                    s.final_total_energy.to_bits() == c.final_total_energy.to_bits()
+                        && bits(s.final_structure.positions())
+                            == bits(c.final_structure.positions())
+                })
+            });
+        let mut v = JsonValue::object();
+        v.set("tenants", 2usize)
+            .set("steps_per_tenant", 10usize)
+            .set("budget_threads", 1usize)
+            .set("max_active", max_active)
+            .set("high_water", hw)
+            .set("bitwise_equal", bitwise)
+            .set("wall_ms", serve_wall.as_secs_f64() * 1e3);
+        (v, max_active, hw, bitwise, serve_wall)
+    };
+    let (serve_json, serve_max_active, serve_hw, serve_bitwise, serve_wall) = serve;
+    root.set("serve", serve_json);
+    let mut serve_table = ReportTable::new(
+        "Baseline: multiplexed serve (2 Si-8 NVE tenants, budget 1 thread)",
+        &["tenants", "budget", "max act.", "hw", "bitwise", "wall/ms"],
+    );
+    serve_table.row(vec![
+        "2".to_string(),
+        "1".to_string(),
+        serve_max_active.to_string(),
+        serve_hw.to_string(),
+        serve_bitwise.to_string(),
+        format!("{:.1}", serve_wall.as_secs_f64() * 1e3),
+    ]);
+
     engine_table.print();
     eig_table.print();
     kernel_table.print();
     wd_table.print();
     ckpt_table.print();
     rec_table.print();
+    serve_table.print();
     println!(
         "\nsliced vs ring-Jacobi wire bytes at N = {}, P = 4: {} vs {} ({:.1}x)",
         s64.n_atoms(),
@@ -600,6 +682,13 @@ fn main() {
                 && r.get("bitwise_equal").and_then(|x| x.as_bool()) == Some(true)
                 && r.get("leaked_workers").and_then(|x| x.as_f64()) == Some(0.0)
         });
+        let serve_ok = v.get("serve").is_some_and(|s| {
+            s.get("bitwise_equal").and_then(|x| x.as_bool()) == Some(true)
+                && s.get("max_active").and_then(|x| x.as_f64()) == Some(1.0)
+                && s.get("high_water")
+                    .and_then(|x| x.as_f64())
+                    .is_some_and(|hw| hw <= 1.0)
+        });
 
         // Regression gate against the previous CI artifact: loose on wall
         // times (noisy hosts), near-exact on wire bytes. A missing artifact
@@ -628,9 +717,16 @@ fn main() {
             }
         }
         check_gate(
-            engines_ok && comm_ok && watchdogs_ok && eig_ok && ckpt_ok && recovery_ok && prev_ok,
+            engines_ok
+                && comm_ok
+                && watchdogs_ok
+                && eig_ok
+                && ckpt_ok
+                && recovery_ok
+                && serve_ok
+                && prev_ok,
             &format!(
-                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, recovery={recovery_ok}, regression: {prev_note}"
+                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, recovery={recovery_ok}, serve={serve_ok}, regression: {prev_note}"
             ),
         );
     }

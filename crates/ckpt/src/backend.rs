@@ -1,0 +1,258 @@
+//! Pluggable snapshot storage: the byte-level backend behind
+//! [`crate::CheckpointStore`].
+//!
+//! The store's value-add (TBCK encoding, CRC-aware `latest()`, retain-K
+//! rotation, config fingerprints) is backend-independent; what varies is
+//! where the bytes live. [`SnapshotBackend`] pins the minimal contract —
+//! named blobs with **atomic replace** semantics — and ships two
+//! implementations:
+//!
+//! * [`FsBackend`] — the original on-disk store: write to a dot-prefixed
+//!   temporary in the same directory, `fsync`, rename into place, fsync the
+//!   directory (Unix). A reader never observes a half-written blob.
+//! * [`MemoryBackend`] — a mutex-guarded map for server tenants that want
+//!   checkpoint/rewind semantics without touching disk. `put` swaps the
+//!   whole value under the lock, so replace is trivially atomic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::CkptError;
+
+/// Named-blob storage with atomic-replace semantics.
+///
+/// Contract every implementation must honor:
+///
+/// * [`put`] atomically replaces the blob at `name`: a concurrent or
+///   crashed-midway reader sees either the old bytes or the new bytes in
+///   full, never a torn mixture.
+/// * [`get`] returns the blob verbatim; a missing name is
+///   [`CkptError::NoSnapshot`].
+/// * [`list`] returns every stored name in unspecified order (the store
+///   sorts by the step number it encodes into names).
+/// * [`delete`] of a missing name is not an error (rotation races are
+///   benign).
+///
+/// [`put`]: SnapshotBackend::put
+/// [`get`]: SnapshotBackend::get
+/// [`list`]: SnapshotBackend::list
+/// [`delete`]: SnapshotBackend::delete
+pub trait SnapshotBackend: Send + Sync + fmt::Debug {
+    /// Atomically create-or-replace the blob at `name`.
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError>;
+    /// Read the blob at `name` verbatim.
+    fn get(&self, name: &str) -> Result<Vec<u8>, CkptError>;
+    /// Every stored blob name.
+    fn list(&self) -> Result<Vec<String>, CkptError>;
+    /// Remove the blob at `name` (missing names are fine).
+    fn delete(&self, name: &str) -> Result<(), CkptError>;
+    /// Human-readable location of blob `name` (a path for filesystem
+    /// stores, a `mem:` pseudo-path for in-memory ones) — what the
+    /// recorder's `ckpt`/`restore` JSONL lines display.
+    fn location(&self, name: &str) -> PathBuf;
+}
+
+/// The on-disk backend: one file per blob, atomic publication via
+/// tmp + fsync + rename (see [`crate::CheckpointStore`] docs).
+#[derive(Debug)]
+pub struct FsBackend {
+    dir: PathBuf,
+}
+
+impl FsBackend {
+    /// Open (creating if needed) a directory-backed store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<FsBackend, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(FsBackend { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sweep stale dot-prefixed temporaries from a previous crashed writer.
+    fn sweep_temporaries(&self) -> Result<(), CkptError> {
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if name.starts_with('.') && name.ends_with(".tmp") {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SnapshotBackend for FsBackend {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        let path = self.dir.join(name);
+        let tmp = self.dir.join(format!(".{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Persist the rename itself. Directory fsync is Unix-specific;
+        // elsewhere the rename alone is the best available guarantee.
+        #[cfg(unix)]
+        {
+            let _ = fs::File::open(&self.dir).and_then(|d| d.sync_all());
+        }
+        self.sweep_temporaries()
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, CkptError> {
+        match fs::read(self.dir.join(name)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(CkptError::NoSnapshot),
+            Err(e) => Err(CkptError::Io(e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, CkptError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if !name.starts_with('.') {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn delete(&self, name: &str) -> Result<(), CkptError> {
+        match fs::remove_file(self.dir.join(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(CkptError::Io(e)),
+        }
+    }
+
+    fn location(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+/// The in-memory backend: a mutex-guarded name → bytes map. Blob replace
+/// swaps the whole vector under the lock, so readers can never observe a
+/// torn write; everything is lost with the process (that is the point —
+/// server tenants get rewind-after-rank-failure semantics with zero disk
+/// traffic).
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    blobs: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    /// Fresh empty backend.
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    /// Total bytes currently held across all blobs.
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.lock().unwrap().values().map(Vec::len).sum()
+    }
+}
+
+impl SnapshotBackend for MemoryBackend {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), CkptError> {
+        self.blobs
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, CkptError> {
+        self.blobs
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or(CkptError::NoSnapshot)
+    }
+
+    fn list(&self) -> Result<Vec<String>, CkptError> {
+        Ok(self.blobs.lock().unwrap().keys().cloned().collect())
+    }
+
+    fn delete(&self, name: &str) -> Result<(), CkptError> {
+        self.blobs.lock().unwrap().remove(name);
+        Ok(())
+    }
+
+    fn location(&self, name: &str) -> PathBuf {
+        PathBuf::from(format!("mem:{name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn SnapshotBackend) {
+        assert!(backend.list().unwrap().is_empty());
+        backend.put("a.tbck", b"alpha").unwrap();
+        backend.put("b.tbck", b"beta").unwrap();
+        assert_eq!(backend.get("a.tbck").unwrap(), b"alpha");
+        // Atomic replace: the new bytes fully supersede the old.
+        backend.put("a.tbck", b"alpha-2").unwrap();
+        assert_eq!(backend.get("a.tbck").unwrap(), b"alpha-2");
+        let mut names = backend.list().unwrap();
+        names.sort();
+        assert_eq!(names, ["a.tbck", "b.tbck"]);
+        backend.delete("a.tbck").unwrap();
+        backend.delete("a.tbck").unwrap(); // missing delete is fine
+        assert!(matches!(backend.get("a.tbck"), Err(CkptError::NoSnapshot)));
+        assert_eq!(backend.list().unwrap(), ["b.tbck"]);
+        backend.delete("b.tbck").unwrap();
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        let backend = MemoryBackend::new();
+        exercise(&backend);
+        assert_eq!(backend.total_bytes(), 0);
+    }
+
+    #[test]
+    fn fs_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("tbmd_fs_backend_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let backend = FsBackend::open(&dir).unwrap();
+        exercise(&backend);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fs_backend_sweeps_stale_temporaries() {
+        let dir = std::env::temp_dir().join(format!("tbmd_fs_sweep_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let backend = FsBackend::open(&dir).unwrap();
+        fs::write(dir.join(".c.tbck.tmp"), b"torn").unwrap();
+        backend.put("c.tbck", b"whole").unwrap();
+        assert_eq!(backend.list().unwrap(), ["c.tbck"]);
+        assert!(!dir.join(".c.tbck.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_location_is_pseudo_path() {
+        let backend = MemoryBackend::new();
+        assert_eq!(
+            backend.location("ckpt_0000000001.tbck"),
+            PathBuf::from("mem:ckpt_0000000001.tbck")
+        );
+    }
+}

@@ -33,8 +33,10 @@
 
 use std::fmt;
 
+mod backend;
 mod store;
 
+pub use backend::{FsBackend, MemoryBackend, SnapshotBackend};
 pub use store::{CheckpointStore, WriteReceipt};
 
 /// File magic of a snapshot.

@@ -1,10 +1,11 @@
-//! On-disk snapshot store: step-numbered files, atomic publication
-//! (tmp + fsync + rename), and retain-last-K rotation.
+//! Backend-agnostic snapshot store: step-numbered blobs, atomic
+//! publication, and retain-last-K rotation over any [`SnapshotBackend`].
 
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use crate::backend::{FsBackend, MemoryBackend, SnapshotBackend};
 use crate::{CkptError, Snapshot};
 
 const EXT: &str = "tbck";
@@ -12,106 +13,135 @@ const EXT: &str = "tbck";
 /// What a successful [`CheckpointStore::write`] produced.
 #[derive(Debug, Clone)]
 pub struct WriteReceipt {
-    /// Final (renamed-into-place) path of the snapshot.
+    /// Final (atomically replaced) location of the snapshot — a real path
+    /// for filesystem backends, a `mem:` pseudo-path otherwise.
     pub path: PathBuf,
     /// Encoded size in bytes.
     pub bytes: u64,
 }
 
-/// A directory of `ckpt_<step>.tbck` snapshots.
+/// A collection of `ckpt_<step>.tbck` snapshots over a pluggable
+/// [`SnapshotBackend`].
 ///
-/// Writes are atomic with respect to crashes: the encoded snapshot is
-/// written to a dot-prefixed temporary in the same directory, flushed with
-/// `fsync`, renamed into place, and the directory itself is fsynced (on
-/// Unix) so the rename survives a power loss. A reader therefore never
-/// observes a half-written `.tbck` file; a torn temporary is ignored by
-/// [`list`] and cleaned up by the next write.
+/// The store owns everything backend-independent: snapshot naming, TBCK
+/// encode/decode, the CRC-skipping [`latest`], and retain-last-K rotation
+/// that never lets a corrupt blob cost a valid fallback its slot. Atomic
+/// replace is the backend's contract — on disk via tmp + fsync + rename
+/// (see [`FsBackend`]), in memory via a whole-value swap under a lock
+/// ([`MemoryBackend`]) — so a reader never observes a half-written
+/// snapshot through any backend.
 ///
-/// [`list`]: CheckpointStore::list
+/// [`latest`]: CheckpointStore::latest
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
-    dir: PathBuf,
+    backend: Arc<dyn SnapshotBackend>,
+    /// Display root: the directory for fs stores, `mem:` otherwise.
+    root: PathBuf,
     retain: usize,
 }
 
 impl CheckpointStore {
-    /// Open (creating if needed) a store at `dir`, keeping the newest
-    /// `retain` snapshots (0 = keep everything).
+    /// Open (creating if needed) a filesystem store at `dir`, keeping the
+    /// newest `retain` snapshots (0 = keep everything).
     pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<CheckpointStore, CkptError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore { dir, retain })
+        let backend = FsBackend::open(&dir)?;
+        Ok(CheckpointStore {
+            backend: Arc::new(backend),
+            root: dir,
+            retain,
+        })
     }
 
-    /// The store directory.
+    /// A store over a fresh in-memory backend: checkpoint/rewind semantics
+    /// with zero disk traffic (what server tenants default to).
+    pub fn in_memory(retain: usize) -> CheckpointStore {
+        CheckpointStore::with_backend(Arc::new(MemoryBackend::new()), retain)
+    }
+
+    /// A store over any caller-supplied backend.
+    pub fn with_backend(backend: Arc<dyn SnapshotBackend>, retain: usize) -> CheckpointStore {
+        let root = backend.location("");
+        CheckpointStore {
+            backend,
+            root,
+            retain,
+        }
+    }
+
+    /// The store's display root (the directory for filesystem stores, a
+    /// `mem:` pseudo-path for in-memory ones).
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.root
     }
 
-    /// The file a snapshot of `step` lives at.
+    /// The backend blobs live in.
+    pub fn backend(&self) -> &Arc<dyn SnapshotBackend> {
+        &self.backend
+    }
+
+    /// The blob name a snapshot of `step` is stored under.
+    fn name_for(step: u64) -> String {
+        format!("ckpt_{step:010}.{EXT}")
+    }
+
+    /// Parse a blob name back into its step number.
+    fn step_of(name: &str) -> Option<u64> {
+        name.strip_prefix("ckpt_")
+            .and_then(|rest| rest.strip_suffix(&format!(".{EXT}")))
+            .and_then(|digits| digits.parse::<u64>().ok())
+    }
+
+    /// The location a snapshot of `step` lives at.
     pub fn path_for(&self, step: u64) -> PathBuf {
-        self.dir.join(format!("ckpt_{step:010}.{EXT}"))
+        self.backend.location(&Self::name_for(step))
     }
 
     /// Atomically publish `snap`, then rotate out snapshots beyond the
     /// retention count.
     pub fn write(&self, snap: &Snapshot) -> Result<WriteReceipt, CkptError> {
         let bytes = snap.encode();
-        let path = self.path_for(snap.step);
-        let tmp = self.dir.join(format!(".ckpt_{:010}.{EXT}.tmp", snap.step));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, &path)?;
-        // Persist the rename itself. Directory fsync is Unix-specific;
-        // elsewhere the rename alone is the best available guarantee.
-        #[cfg(unix)]
-        {
-            let _ = fs::File::open(&self.dir).and_then(|d| d.sync_all());
-        }
+        let name = Self::name_for(snap.step);
+        self.backend.put(&name, &bytes)?;
         self.rotate()?;
         Ok(WriteReceipt {
-            path,
+            path: self.backend.location(&name),
             bytes: bytes.len() as u64,
         })
     }
 
-    /// All snapshots present, as `(step, path)` sorted oldest → newest.
+    /// All snapshots present, as `(step, location)` sorted oldest → newest.
     pub fn list(&self) -> Result<Vec<(u64, PathBuf)>, CkptError> {
-        let mut out = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
-            let name = match path.file_name().and_then(|n| n.to_str()) {
-                Some(n) => n,
-                None => continue,
-            };
-            let step = match name
-                .strip_prefix("ckpt_")
-                .and_then(|rest| rest.strip_suffix(&format!(".{EXT}")))
-                .and_then(|digits| digits.parse::<u64>().ok())
-            {
-                Some(s) => s,
-                None => continue,
-            };
-            out.push((step, path));
-        }
+        let mut out: Vec<(u64, String)> = self
+            .backend
+            .list()?
+            .into_iter()
+            .filter_map(|name| Self::step_of(&name).map(|step| (step, name)))
+            .collect();
         out.sort_unstable_by_key(|(step, _)| *step);
-        Ok(out)
+        Ok(out
+            .into_iter()
+            .map(|(step, name)| (step, self.backend.location(&name)))
+            .collect())
     }
 
-    /// Load one snapshot file.
+    /// Load one snapshot file from disk (filesystem stores only; for
+    /// backend-agnostic access use [`CheckpointStore::load_step`]).
     pub fn load(path: &Path) -> Result<Snapshot, CkptError> {
         Snapshot::decode(&fs::read(path)?)
     }
 
-    /// The newest snapshot that decodes cleanly. Corrupt newer files are
+    /// Load the snapshot stored for `step` through the backend.
+    pub fn load_step(&self, step: u64) -> Result<Snapshot, CkptError> {
+        Snapshot::decode(&self.backend.get(&Self::name_for(step))?)
+    }
+
+    /// The newest snapshot that decodes cleanly. Corrupt newer blobs are
     /// skipped (that is the point of keeping K of them); `Ok(None)` if the
     /// store holds no usable snapshot at all.
     pub fn latest(&self) -> Result<Option<Snapshot>, CkptError> {
-        for (_, path) in self.list()?.into_iter().rev() {
-            if let Ok(snap) = Self::load(&path) {
+        for (step, _) in self.list()?.into_iter().rev() {
+            if let Ok(snap) = self.load_step(step) {
                 return Ok(Some(snap));
             }
         }
@@ -119,34 +149,31 @@ impl CheckpointStore {
     }
 
     fn rotate(&self) -> Result<(), CkptError> {
-        // Also sweep stale temporaries from a previous crashed writer.
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
-            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
-                if name.starts_with(".ckpt_") && name.ends_with(".tmp") {
-                    let _ = fs::remove_file(&path);
-                }
-            }
-        }
         if self.retain == 0 {
             return Ok(());
         }
         // Retention counts only snapshots that decode cleanly: a torn or
-        // bit-flipped file must not push a valid fallback out of the
-        // window, or corrupting the newest K files would leave the store
-        // with nothing to resume from. Corrupt files are deleted without
+        // bit-flipped blob must not push a valid fallback out of the
+        // window, or corrupting the newest K blobs would leave the store
+        // with nothing to resume from. Corrupt blobs are deleted without
         // costing a slot (they can never be resumed anyway).
-        let (valid, corrupt): (Vec<_>, Vec<_>) = self
+        let mut steps: Vec<u64> = self
+            .backend
             .list()?
             .into_iter()
-            .partition(|(_, path)| Self::load(path).is_ok());
-        for (_, path) in &corrupt {
-            let _ = fs::remove_file(path);
+            .filter_map(|name| Self::step_of(&name))
+            .collect();
+        steps.sort_unstable();
+        let (valid, corrupt): (Vec<u64>, Vec<u64>) = steps
+            .into_iter()
+            .partition(|&step| self.load_step(step).is_ok());
+        for step in &corrupt {
+            let _ = self.backend.delete(&Self::name_for(*step));
         }
         if valid.len() > self.retain {
             let excess = valid.len() - self.retain;
-            for (_, path) in &valid[..excess] {
-                fs::remove_file(path)?;
+            for step in &valid[..excess] {
+                self.backend.delete(&Self::name_for(*step))?;
             }
         }
         Ok(())
@@ -255,5 +282,62 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "stale temporaries not cleaned");
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn in_memory_store_full_lifecycle() {
+        let store = CheckpointStore::in_memory(2);
+        for step in [10u64, 20, 30, 40] {
+            let mut snap = sample(3, true, false);
+            snap.step = step;
+            let receipt = store.write(&snap).expect("write");
+            assert_eq!(
+                receipt.path,
+                PathBuf::from(format!("mem:ckpt_{step:010}.tbck"))
+            );
+        }
+        // Retention applies identically through the memory backend.
+        let steps: Vec<u64> = store
+            .list()
+            .expect("list")
+            .iter()
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(steps, vec![30, 40]);
+        let latest = store.latest().expect("latest").expect("snapshot");
+        assert_eq!(latest.step, 40);
+        assert_eq!(store.load_step(30).expect("load_step").step, 30);
+        // Clones share the backend (Arc), like two handles onto one dir.
+        let clone = store.clone();
+        assert_eq!(clone.latest().expect("latest").expect("snap").step, 40);
+    }
+
+    #[test]
+    fn in_memory_corrupt_blob_skipped_and_rotated_out() {
+        let store = CheckpointStore::in_memory(2);
+        let mut snap = sample(2, false, false);
+        snap.step = 1;
+        store.write(&snap).expect("write 1");
+        snap.step = 2;
+        store.write(&snap).expect("write 2");
+        // Corrupt blob 2 in place through the backend (atomic replace with
+        // a truncated byte string), then confirm latest() falls back.
+        let bytes = store.backend().get("ckpt_0000000002.tbck").expect("get");
+        store
+            .backend()
+            .put("ckpt_0000000002.tbck", &bytes[..bytes.len() / 2])
+            .expect("put");
+        assert_eq!(store.latest().expect("latest").expect("snap").step, 1);
+        // The next write's rotation deletes the corrupt blob without
+        // costing snapshot 1 its retention slot.
+        snap.step = 3;
+        store.write(&snap).expect("write 3");
+        let steps: Vec<u64> = store
+            .list()
+            .expect("list")
+            .iter()
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(steps, vec![1, 3]);
     }
 }

@@ -16,10 +16,12 @@
 //! ```
 
 pub mod engine;
+pub mod session;
 pub mod simulation;
 pub mod system;
 
 pub use engine::{Engine, EngineKind};
+pub use session::{Session, SessionBuilder, SessionStatus};
 pub use simulation::{
     resume_simulation, resume_simulation_recorded, run_manifest, run_simulation,
     run_simulation_checkpointed, run_simulation_recorded, run_simulation_resilient,
@@ -38,7 +40,11 @@ pub use tbmd_structure as structure;
 pub use tbmd_trace as trace;
 
 // The most common types at the top level.
-pub use tbmd_ckpt::{CheckpointStore, CkptError, Snapshot};
+pub use tbmd_ckpt::{
+    CheckpointStore, CkptError, FsBackend, MemoryBackend, RampSnapshot, Snapshot, SnapshotBackend,
+    StatsSnapshot, ThermostatSnapshot, WriteReceipt,
+};
+pub use tbmd_linalg::budget::{configure_budget, try_lease, ComputeLease};
 pub use tbmd_linalg::{Matrix, Vec3};
 pub use tbmd_linscale::{DistributedLinearScalingTb, LinearScalingTb, Precision};
 pub use tbmd_md::{

@@ -1,0 +1,1454 @@
+//! The one composable run pipeline behind every driver entry point.
+//!
+//! A [`Session`] owns the persistent [`Engine`] (and the model it borrows),
+//! the evaluation counter fault plans are scheduled against, the optional
+//! recorder/checkpoint attachments, and the rewind loop of a resilient run.
+//! Every `run_simulation*` / `resume_simulation*` function in
+//! [`crate::simulation`] is a thin wrapper that builds a session and drives
+//! it to completion; callers that want to interleave many simulations in
+//! one process instead hold several sessions and pump [`Session::step`]
+//! (or [`Session::run_until`]) round-robin — each call advances exactly one
+//! MD step, bitwise identical to the step the monolithic driver would have
+//! taken.
+//!
+//! Construction goes through [`SessionBuilder`]:
+//!
+//! ```no_run
+//! # use tbmd::{SessionBuilder, SimulationConfig, SystemSpec};
+//! let config = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 100);
+//! let summary = SessionBuilder::new(config).build().unwrap().run().unwrap();
+//! ```
+
+use crate::engine::{Engine, EngineKind};
+use crate::simulation::{
+    CheckpointConfig, Protocol, RecorderConfig, RecoveryReport, ReshardPolicy, ResilienceOptions,
+    SimulationConfig, SimulationSummary,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tbmd_ckpt::{
+    CheckpointStore, CkptError, RampSnapshot, Snapshot, StatsSnapshot, ThermostatSnapshot,
+};
+use tbmd_linalg::budget::ComputeLease;
+use tbmd_linalg::Vec3;
+use tbmd_md::{
+    maxwell_boltzmann, relax, MdState, NoseHoover, RelaxOptions, RunningStats, TemperatureRamp,
+    Trajectory, VelocityVerlet,
+};
+use tbmd_model::{
+    cached_eigensolver_health, eigensolver_health, DenseSolver, GspTbModel, OccupationScheme,
+    TbError, TbModel, Workspace,
+};
+use tbmd_parallel::FaultPlan;
+use tbmd_trace::{Counter, RunRecorder, StepRecord, TraceSink, TraceSnapshot};
+
+/// Map a checkpoint-subsystem error into the driver's error type.
+pub(crate) fn ckpt_err(e: CkptError) -> TbError {
+    TbError::Checkpoint(e.to_string())
+}
+
+/// Fingerprint of the step-count-independent part of a configuration. Two
+/// configs that differ only in how *long* they run fingerprint identically,
+/// so a run interrupted at step 40 of 100 resumes cleanly into a 500-step
+/// request; anything that changes the dynamics (system, engine, timestep,
+/// set-points, seed) changes the fingerprint and is rejected on resume.
+fn config_fingerprint(config: &SimulationConfig) -> u64 {
+    let protocol = match config.protocol {
+        Protocol::Nve {
+            temperature_k,
+            dt_fs,
+            ..
+        } => format!("nve:{temperature_k:?}:{dt_fs:?}"),
+        Protocol::Nvt {
+            temperature_k,
+            dt_fs,
+            tau_fs,
+            ..
+        } => format!("nvt:{temperature_k:?}:{dt_fs:?}:{tau_fs:?}"),
+        Protocol::NvtRamp {
+            from_k,
+            to_k,
+            rate_k_per_fs,
+            dt_fs,
+            tau_fs,
+            ..
+        } => format!("ramp:{from_k:?}:{to_k:?}:{rate_k_per_fs:?}:{dt_fs:?}:{tau_fs:?}"),
+        Protocol::Relax { .. } => "relax".to_string(),
+    };
+    let canon = format!(
+        "{:?}|{:?}|{}|{:?}|{:?}|{}|{}",
+        config.system,
+        config.engine,
+        protocol,
+        config.electronic_kt,
+        config.perturb,
+        config.seed,
+        config.record_stride
+    );
+    tbmd_ckpt::fingerprint(canon.as_bytes())
+}
+
+fn flatten(v: &[Vec3]) -> Vec<f64> {
+    v.iter().flat_map(|x| x.to_array()).collect()
+}
+
+fn unflatten(v: &[f64]) -> Vec<Vec3> {
+    v.chunks_exact(3)
+        .map(|c| Vec3 {
+            x: c[0],
+            y: c[1],
+            z: c[2],
+        })
+        .collect()
+}
+
+/// Rebuild an [`MdState`] from a snapshot without re-evaluating forces.
+/// Cell, species and masses come from the (deterministic) config build;
+/// positions, velocities, forces, potential and clock are restored verbatim
+/// so the continued trajectory is bitwise the uninterrupted one.
+fn restore_state(
+    mut structure: tbmd_structure::Structure,
+    snap: &Snapshot,
+) -> Result<MdState, TbError> {
+    if snap.n_atoms() != structure.n_atoms() {
+        return Err(TbError::Checkpoint(format!(
+            "snapshot holds {} atoms but the configured system builds {}",
+            snap.n_atoms(),
+            structure.n_atoms()
+        )));
+    }
+    structure.set_positions(unflatten(&snap.positions));
+    Ok(MdState::from_snapshot_parts(
+        structure,
+        unflatten(&snap.velocities),
+        unflatten(&snap.forces),
+        snap.potential_energy,
+        snap.time_fs,
+    ))
+}
+
+/// Check a loaded snapshot against the resuming configuration.
+fn validate_resume(config: &SimulationConfig, snap: &Snapshot) -> Result<(), TbError> {
+    let expect = config_fingerprint(config);
+    if snap.config_fingerprint != expect {
+        return Err(TbError::Checkpoint(format!(
+            "config mismatch: snapshot fingerprint {:#018x} != configured {:#018x} \
+             (system/engine/protocol/seed changed since the snapshot was written)",
+            snap.config_fingerprint, expect
+        )));
+    }
+    Ok(())
+}
+
+/// The newest usable snapshot of `store` for `config`, or a typed error if
+/// the store is empty or the snapshot belongs to a different run.
+fn load_latest_validated(
+    config: &SimulationConfig,
+    store: &CheckpointStore,
+) -> Result<Snapshot, TbError> {
+    let snap = store
+        .latest()
+        .map_err(ckpt_err)?
+        .ok_or_else(|| ckpt_err(CkptError::NoSnapshot))?;
+    validate_resume(config, &snap)?;
+    Ok(snap)
+}
+
+/// Per-step recording state threaded through the stepper. The recorder
+/// itself is owned by the [`Session`] (or borrowed from the caller) and
+/// passed in per call, so this struct stays borrow-free.
+struct Recording {
+    health_stride: usize,
+    /// Counter snapshot at the previous step boundary (for per-step deltas).
+    prev: TraceSnapshot,
+    /// Dense engines get the eigensolver probe; O(N) engines do not.
+    probe_health: bool,
+    occupation: OccupationScheme,
+    /// Step records emitted so far (carried into snapshots so a resumed
+    /// recorder knows where the original stream ended).
+    recorded: u64,
+}
+
+impl Recording {
+    fn new(config: &SimulationConfig, options: &RecorderConfig) -> Recording {
+        if !tbmd_trace::enabled() {
+            tbmd_trace::install(TraceSink::collecting());
+        }
+        let probe_health = !matches!(
+            config.engine,
+            EngineKind::LinearScaling { .. } | EngineKind::DistributedLinearScaling { .. }
+        );
+        let occupation = if config.electronic_kt > 0.0 {
+            OccupationScheme::Fermi {
+                kt: config.electronic_kt,
+            }
+        } else {
+            OccupationScheme::ZeroTemperature
+        };
+        Recording {
+            health_stride: options.health_stride,
+            prev: tbmd_trace::snapshot(),
+            probe_health,
+            occupation,
+            recorded: 0,
+        }
+    }
+
+    /// Record one completed MD step plus an eigensolver health check: the
+    /// cheap incremental probe on the solve's cached eigenpairs every step
+    /// when the engine leaves them in `ws`, else the independent full-solve
+    /// probe on the stride.
+    fn observe(
+        &mut self,
+        recorder: &mut RunRecorder,
+        step: usize,
+        state: &MdState,
+        conserved_ev: f64,
+        model: &dyn TbModel,
+        ws: &mut Workspace,
+    ) -> Result<(), TbError> {
+        let snap = tbmd_trace::snapshot();
+        let delta = snap.since(&self.prev);
+        self.prev = snap;
+        let record = StepRecord {
+            step,
+            time_fs: state.time_fs,
+            potential_ev: state.potential_energy,
+            conserved_ev,
+            temperature_k: state.temperature(),
+            phase_ns: state.last_timings.phase_ns(),
+            comm_bytes: delta.counter(Counter::WireBytes),
+            alloc_events: delta.counter(Counter::AllocGrowth),
+        };
+        recorder
+            .record_step(&record)
+            .map_err(|e| TbError::Recorder(e.to_string()))?;
+        self.recorded += 1;
+        if self.probe_health && self.health_stride > 0 {
+            let health = match cached_eigensolver_health(model, &state.structure, ws, step)? {
+                Some(h) => Some(h),
+                // No consumable cache (distributed/per-rank solves): pay for
+                // the independent full-solve probe, but only on the stride.
+                None if step.is_multiple_of(self.health_stride) => Some(eigensolver_health(
+                    model,
+                    &state.structure,
+                    self.occupation,
+                    DenseSolver::TwoStage,
+                    step,
+                )?),
+                None => None,
+            };
+            if let Some(health) = &health {
+                recorder
+                    .record_health(health)
+                    .map_err(|e| TbError::Recorder(e.to_string()))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The recording attachments a stepping call threads through: the per-step
+/// state plus a reborrow of the session's recorder.
+type Rec<'a> = Option<(&'a mut Recording, &'a mut RunRecorder)>;
+
+/// Resolved checkpoint attachment of a session: an open (possibly
+/// in-memory) store plus the snapshot interval.
+struct CkptSpec {
+    store: CheckpointStore,
+    interval: usize,
+}
+
+/// Store + identity data threaded through the stepper when checkpointing
+/// is on.
+struct CkptCtx {
+    store: CheckpointStore,
+    interval: usize,
+    fingerprint: u64,
+    seed: u64,
+}
+
+impl CkptCtx {
+    fn from_spec(spec: &CkptSpec, config: &SimulationConfig) -> CkptCtx {
+        CkptCtx {
+            store: spec.store.clone(),
+            interval: spec.interval,
+            fingerprint: config_fingerprint(config),
+            seed: config.seed,
+        }
+    }
+
+    fn due(&self, step: usize) -> bool {
+        self.interval > 0 && step.is_multiple_of(self.interval)
+    }
+
+    /// Encode + atomically publish one snapshot, routing the receipt into
+    /// the recorder's `ckpt` line (which also bumps the trace counters) or
+    /// straight into the trace registry when no recorder is attached.
+    #[allow(clippy::too_many_arguments)]
+    fn write(
+        &self,
+        step: u64,
+        state: &MdState,
+        rng_state: u64,
+        conserved_ref: f64,
+        drift: f64,
+        t_stats: &RunningStats,
+        thermostat: Option<ThermostatSnapshot>,
+        ramp: Option<RampSnapshot>,
+        rec: &mut Rec<'_>,
+    ) -> Result<(), TbError> {
+        let (n, mean, m2, min, max) = t_stats.to_raw();
+        let snap = Snapshot {
+            step,
+            time_fs: state.time_fs,
+            seed: self.seed,
+            config_fingerprint: self.fingerprint,
+            rng_state,
+            potential_energy: state.potential_energy,
+            conserved_ref,
+            drift,
+            recorded_steps: rec.as_ref().map_or(0, |(r, _)| r.recorded),
+            positions: flatten(state.structure.positions()),
+            velocities: flatten(&state.velocities),
+            forces: flatten(&state.forces),
+            temp_stats: StatsSnapshot {
+                n,
+                mean,
+                m2,
+                min,
+                max,
+            },
+            thermostat,
+            ramp,
+        };
+        let started = Instant::now();
+        let receipt = self.store.write(&snap).map_err(ckpt_err)?;
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        match rec.as_mut() {
+            Some((_, recorder)) => recorder
+                .record_ckpt(
+                    step as usize,
+                    receipt.bytes,
+                    wall_ns,
+                    &receipt.path.display().to_string(),
+                )
+                .map_err(|e| TbError::Recorder(e.to_string()))?,
+            None => {
+                tbmd_trace::add(Counter::CkptWrites, 1);
+                tbmd_trace::add(Counter::CkptBytes, receipt.bytes);
+                tbmd_trace::add(Counter::CkptNanos, wall_ns);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where a temperature-ramp attempt currently is.
+enum RampPhase {
+    /// Set-point still moving; the extended energy is not conserved, so no
+    /// drift monitoring and no step records.
+    Ramping,
+    /// Set-point pinned at the target: H' is conserved again.
+    Holding { h0: f64, hold_step: usize },
+}
+
+/// Protocol-specific state of one attempt.
+enum AttemptKind {
+    Relax {
+        structure: Option<tbmd_structure::Structure>,
+        opts: RelaxOptions,
+        /// `(energy, iterations, converged)` once the (single-shot) solve ran.
+        outcome: Option<(f64, usize, bool)>,
+    },
+    Nve {
+        integrator: VelocityVerlet,
+        state: MdState,
+        e0: f64,
+        step: usize,
+        steps: usize,
+    },
+    Nvt {
+        nh: NoseHoover,
+        state: MdState,
+        h0: f64,
+        step: usize,
+        steps: usize,
+    },
+    Ramp {
+        nh: NoseHoover,
+        state: MdState,
+        ramp: TemperatureRamp,
+        phase: RampPhase,
+        hold_steps: usize,
+        steps_total: usize,
+    },
+}
+
+/// One attempt of a configured simulation: everything the monolithic
+/// driver used to hold in loop locals, reified so it can advance one MD
+/// step at a time. The engine is borrowed per call, not stored, so a
+/// resilient session keeps one engine alive across rewound attempts.
+struct Attempt {
+    ws: Workspace,
+    rng: StdRng,
+    trajectory: Option<Trajectory>,
+    ckpt: Option<CkptCtx>,
+    t_stats: RunningStats,
+    drift: f64,
+    kind: AttemptKind,
+}
+
+impl Attempt {
+    /// Everything the driver did before entering its stepping loop:
+    /// announce a restore, build the structure, and run the
+    /// protocol-specific initialization (which evaluates forces once for a
+    /// fresh MD start — a fault can fire here, and the session's rewind
+    /// loop treats that exactly like a mid-run failure).
+    fn new(
+        config: &SimulationConfig,
+        engine: &Engine<'_>,
+        ckpt: Option<CkptCtx>,
+        resume: Option<Snapshot>,
+        rec: &mut Rec<'_>,
+    ) -> Result<Attempt, TbError> {
+        // Announce a restore before any stepping: a `restore` JSONL line
+        // when a recorder is attached, a bare counter bump otherwise.
+        if let Some(snap) = resume.as_ref() {
+            let path = ckpt
+                .as_ref()
+                .map(|c| c.store.path_for(snap.step).display().to_string())
+                .unwrap_or_default();
+            match rec.as_mut() {
+                Some((recording, recorder)) => {
+                    recording.recorded = snap.recorded_steps;
+                    recorder
+                        .record_restore(snap.step as usize, "resume", &path)
+                        .map_err(|e| TbError::Recorder(e.to_string()))?;
+                }
+                None => tbmd_trace::add(Counter::CkptRestores, 1),
+            }
+        }
+        let structure = config.system.build(config.perturb, config.seed);
+        let trajectory = (config.record_stride > 0).then(|| Trajectory::new(config.record_stride));
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut ws = Workspace::new();
+
+        let (kind, t_stats, drift) = match config.protocol {
+            Protocol::Relax {
+                force_tolerance,
+                max_iterations,
+            } => (
+                AttemptKind::Relax {
+                    structure: Some(structure),
+                    opts: RelaxOptions {
+                        force_tolerance,
+                        max_iterations,
+                        ..Default::default()
+                    },
+                    outcome: None,
+                },
+                RunningStats::new(),
+                0.0,
+            ),
+            Protocol::Nve {
+                temperature_k,
+                steps,
+                dt_fs,
+            } => {
+                let integrator = VelocityVerlet::new(dt_fs);
+                let (state, e0, t_stats, drift, start) = match resume.as_ref() {
+                    Some(snap) => {
+                        rng = StdRng::from_state(snap.rng_state);
+                        let state = restore_state(structure, snap)?;
+                        let ts = snap.temp_stats;
+                        (
+                            state,
+                            snap.conserved_ref,
+                            RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
+                            snap.drift,
+                            snap.step as usize,
+                        )
+                    }
+                    None => {
+                        let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+                        let state = MdState::new_with(structure, v, engine, &mut ws)?;
+                        let e0 = state.total_energy();
+                        (state, e0, RunningStats::new(), 0.0f64, 0usize)
+                    }
+                };
+                (
+                    AttemptKind::Nve {
+                        integrator,
+                        state,
+                        e0,
+                        step: start,
+                        steps,
+                    },
+                    t_stats,
+                    drift,
+                )
+            }
+            Protocol::Nvt {
+                temperature_k,
+                steps,
+                dt_fs,
+                tau_fs,
+            } => {
+                let (state, nh, h0, t_stats, drift, start) = match resume.as_ref() {
+                    Some(snap) => {
+                        rng = StdRng::from_state(snap.rng_state);
+                        let thermo = snap.thermostat.ok_or_else(|| {
+                            TbError::Checkpoint("NVT resume needs a THRM section".into())
+                        })?;
+                        let state = restore_state(structure, snap)?;
+                        let mut nh =
+                            NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
+                        nh.target_k = thermo.target_k;
+                        nh.q = thermo.q;
+                        nh.restore_thermostat_state(thermo.xi, thermo.eta);
+                        let ts = snap.temp_stats;
+                        (
+                            state,
+                            nh,
+                            snap.conserved_ref,
+                            RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
+                            snap.drift,
+                            snap.step as usize,
+                        )
+                    }
+                    None => {
+                        let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+                        let state = MdState::new_with(structure, v, engine, &mut ws)?;
+                        let nh =
+                            NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
+                        let h0 = nh.conserved_quantity(&state);
+                        (state, nh, h0, RunningStats::new(), 0.0f64, 0usize)
+                    }
+                };
+                (
+                    AttemptKind::Nvt {
+                        nh,
+                        state,
+                        h0,
+                        step: start,
+                        steps,
+                    },
+                    t_stats,
+                    drift,
+                )
+            }
+            Protocol::NvtRamp {
+                from_k,
+                to_k,
+                rate_k_per_fs,
+                hold_steps,
+                dt_fs,
+                tau_fs,
+            } => {
+                // `(hold_step_done, h0, drift)` when the snapshot was taken
+                // in (or at the boundary of) the hold phase.
+                let mut resume_hold: Option<(u64, f64, f64)> = None;
+                let (state, nh, t_stats, steps_total) = match resume.as_ref() {
+                    Some(snap) => {
+                        rng = StdRng::from_state(snap.rng_state);
+                        let thermo = snap.thermostat.ok_or_else(|| {
+                            TbError::Checkpoint("ramp resume needs a THRM section".into())
+                        })?;
+                        let phase = snap.ramp.ok_or_else(|| {
+                            TbError::Checkpoint("ramp resume needs a RAMP section".into())
+                        })?;
+                        let state = restore_state(structure, snap)?;
+                        let mut nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
+                        nh.target_k = thermo.target_k;
+                        nh.q = thermo.q;
+                        nh.restore_thermostat_state(thermo.xi, thermo.eta);
+                        if phase.holding {
+                            resume_hold = Some((phase.hold_step, snap.conserved_ref, snap.drift));
+                        }
+                        let ts = snap.temp_stats;
+                        (
+                            state,
+                            nh,
+                            RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
+                            phase.steps_total as usize,
+                        )
+                    }
+                    None => {
+                        let v = maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng);
+                        let state = MdState::new_with(structure, v, engine, &mut ws)?;
+                        let nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
+                        (state, nh, RunningStats::new(), 0usize)
+                    }
+                };
+                let ramp = TemperatureRamp {
+                    rate_k_per_fs: rate_k_per_fs.abs() * (to_k - from_k).signum(),
+                    target_k: to_k,
+                };
+                let (phase, drift) = match resume_hold {
+                    Some((done, h_ref, drift)) => (
+                        RampPhase::Holding {
+                            h0: h_ref,
+                            hold_step: done as usize,
+                        },
+                        drift,
+                    ),
+                    None => (RampPhase::Ramping, 0.0),
+                };
+                (
+                    AttemptKind::Ramp {
+                        nh,
+                        state,
+                        ramp,
+                        phase,
+                        hold_steps,
+                        steps_total,
+                    },
+                    t_stats,
+                    drift,
+                )
+            }
+        };
+        Ok(Attempt {
+            ws,
+            rng,
+            trajectory,
+            ckpt,
+            t_stats,
+            drift,
+            kind,
+        })
+    }
+
+    /// Advance one MD step (one iteration of the driver's old loop body;
+    /// a relaxation runs to convergence in its single step). Returns `true`
+    /// once the protocol is complete — possibly without doing work, when a
+    /// resumed attempt is already past its final step.
+    fn step(
+        &mut self,
+        engine: &Engine<'_>,
+        model: &dyn TbModel,
+        rec: &mut Rec<'_>,
+    ) -> Result<bool, TbError> {
+        match &mut self.kind {
+            AttemptKind::Relax {
+                structure,
+                opts,
+                outcome,
+            } => {
+                if outcome.is_some() {
+                    return Ok(true);
+                }
+                let mut s = structure.take().expect("relax structure present");
+                let result = relax(&mut s, engine, opts)?;
+                *outcome = Some((result.energy, result.iterations, result.converged));
+                *structure = Some(s);
+                Ok(true)
+            }
+            AttemptKind::Nve {
+                integrator,
+                state,
+                e0,
+                step,
+                steps,
+            } => {
+                if *step >= *steps {
+                    return Ok(true);
+                }
+                *step += 1;
+                let now = *step;
+                integrator.step_with(state, engine, &mut self.ws)?;
+                self.t_stats.push(state.temperature());
+                self.drift = self.drift.max((state.total_energy() - *e0).abs());
+                if let Some(tr) = self.trajectory.as_mut() {
+                    tr.observe(state);
+                }
+                if let Some((recording, recorder)) = rec.as_mut() {
+                    recording.observe(
+                        recorder,
+                        now,
+                        state,
+                        state.total_energy(),
+                        model,
+                        &mut self.ws,
+                    )?;
+                }
+                if let Some(c) = self.ckpt.as_ref() {
+                    if c.due(now) {
+                        c.write(
+                            now as u64,
+                            state,
+                            self.rng.state(),
+                            *e0,
+                            self.drift,
+                            &self.t_stats,
+                            None,
+                            None,
+                            rec,
+                        )?;
+                    }
+                }
+                Ok(*step >= *steps)
+            }
+            AttemptKind::Nvt {
+                nh,
+                state,
+                h0,
+                step,
+                steps,
+            } => {
+                if *step >= *steps {
+                    return Ok(true);
+                }
+                *step += 1;
+                let now = *step;
+                nh.step_with(state, engine, &mut self.ws)?;
+                self.t_stats.push(state.temperature());
+                self.drift = self.drift.max((nh.conserved_quantity(state) - *h0).abs());
+                if let Some(tr) = self.trajectory.as_mut() {
+                    tr.observe(state);
+                }
+                if let Some((recording, recorder)) = rec.as_mut() {
+                    recording.observe(
+                        recorder,
+                        now,
+                        state,
+                        nh.conserved_quantity(state),
+                        model,
+                        &mut self.ws,
+                    )?;
+                }
+                if let Some(c) = self.ckpt.as_ref() {
+                    if c.due(now) {
+                        let (xi, eta) = nh.thermostat_state();
+                        c.write(
+                            now as u64,
+                            state,
+                            self.rng.state(),
+                            *h0,
+                            self.drift,
+                            &self.t_stats,
+                            Some(ThermostatSnapshot {
+                                xi,
+                                eta,
+                                target_k: nh.target_k,
+                                q: nh.q,
+                            }),
+                            None,
+                            rec,
+                        )?;
+                    }
+                }
+                Ok(*step >= *steps)
+            }
+            AttemptKind::Ramp {
+                nh,
+                state,
+                ramp,
+                phase,
+                hold_steps,
+                steps_total,
+            } => match phase {
+                // Ramp phase: the extended-system quantity is not conserved
+                // (the set-point changes every step), so no drift monitoring
+                // and no step records until the ramp reaches its target.
+                RampPhase::Ramping => {
+                    let still_ramping = ramp.advance(nh);
+                    nh.step_with(state, engine, &mut self.ws)?;
+                    *steps_total += 1;
+                    self.t_stats.push(state.temperature());
+                    if let Some(tr) = self.trajectory.as_mut() {
+                        tr.observe(state);
+                    }
+                    if let Some(c) = self.ckpt.as_ref() {
+                        if c.due(*steps_total) {
+                            let (xi, eta) = nh.thermostat_state();
+                            // At the ramp→hold boundary the hold phase's
+                            // conserved reference is already a pure function
+                            // of this state; store it so a resume lands in
+                            // the hold with the right H'₀.
+                            let h_ref = if still_ramping {
+                                0.0
+                            } else {
+                                nh.conserved_quantity(state)
+                            };
+                            c.write(
+                                *steps_total as u64,
+                                state,
+                                self.rng.state(),
+                                h_ref,
+                                0.0,
+                                &self.t_stats,
+                                Some(ThermostatSnapshot {
+                                    xi,
+                                    eta,
+                                    target_k: nh.target_k,
+                                    q: nh.q,
+                                }),
+                                Some(RampSnapshot {
+                                    holding: !still_ramping,
+                                    hold_step: 0,
+                                    steps_total: *steps_total as u64,
+                                }),
+                                rec,
+                            )?;
+                        }
+                    }
+                    if !still_ramping {
+                        // Hold phase: the set-point is fixed at the target,
+                        // so H' is a real conserved quantity again.
+                        *phase = RampPhase::Holding {
+                            h0: nh.conserved_quantity(state),
+                            hold_step: 0,
+                        };
+                        return Ok(*hold_steps == 0);
+                    }
+                    Ok(false)
+                }
+                RampPhase::Holding { h0, hold_step } => {
+                    if *hold_step >= *hold_steps {
+                        return Ok(true);
+                    }
+                    *hold_step += 1;
+                    let now = *hold_step;
+                    nh.step_with(state, engine, &mut self.ws)?;
+                    *steps_total += 1;
+                    self.t_stats.push(state.temperature());
+                    self.drift = self.drift.max((nh.conserved_quantity(state) - *h0).abs());
+                    if let Some(tr) = self.trajectory.as_mut() {
+                        tr.observe(state);
+                    }
+                    if let Some((recording, recorder)) = rec.as_mut() {
+                        recording.observe(
+                            recorder,
+                            now,
+                            state,
+                            nh.conserved_quantity(state),
+                            model,
+                            &mut self.ws,
+                        )?;
+                    }
+                    if let Some(c) = self.ckpt.as_ref() {
+                        if c.due(*steps_total) {
+                            let (xi, eta) = nh.thermostat_state();
+                            c.write(
+                                *steps_total as u64,
+                                state,
+                                self.rng.state(),
+                                *h0,
+                                self.drift,
+                                &self.t_stats,
+                                Some(ThermostatSnapshot {
+                                    xi,
+                                    eta,
+                                    target_k: nh.target_k,
+                                    q: nh.q,
+                                }),
+                                Some(RampSnapshot {
+                                    holding: true,
+                                    hold_step: now as u64,
+                                    steps_total: *steps_total as u64,
+                                }),
+                                rec,
+                            )?;
+                        }
+                    }
+                    Ok(*hold_step >= *hold_steps)
+                }
+            },
+        }
+    }
+
+    /// Consume the finished attempt into the run summary.
+    fn finish(self) -> SimulationSummary {
+        match self.kind {
+            AttemptKind::Relax {
+                structure, outcome, ..
+            } => {
+                let (energy, iterations, converged) =
+                    outcome.expect("finish called before the relaxation ran");
+                SimulationSummary {
+                    final_potential_energy: energy,
+                    final_total_energy: energy,
+                    mean_temperature_k: 0.0,
+                    conserved_drift: 0.0,
+                    steps: iterations,
+                    converged,
+                    trajectory: None,
+                    final_structure: structure.expect("relax structure present"),
+                    final_velocities: Vec::new(),
+                }
+            }
+            AttemptKind::Nve { state, steps, .. } | AttemptKind::Nvt { state, steps, .. } => {
+                SimulationSummary {
+                    final_potential_energy: state.potential_energy,
+                    final_total_energy: state.total_energy(),
+                    mean_temperature_k: self.t_stats.mean(),
+                    conserved_drift: self.drift,
+                    steps,
+                    converged: true,
+                    trajectory: self.trajectory,
+                    final_velocities: state.velocities.clone(),
+                    final_structure: state.structure,
+                }
+            }
+            AttemptKind::Ramp {
+                state, steps_total, ..
+            } => SimulationSummary {
+                final_potential_energy: state.potential_energy,
+                final_total_energy: state.total_energy(),
+                mean_temperature_k: self.t_stats.mean(),
+                conserved_drift: self.drift,
+                steps: steps_total,
+                converged: true,
+                trajectory: self.trajectory,
+                final_velocities: state.velocities.clone(),
+                final_structure: state.structure,
+            },
+        }
+    }
+}
+
+/// Where the session's recorder lives.
+enum RecorderSlot<'r> {
+    /// Borrowed from the caller (the `run_simulation_recorded` wrappers —
+    /// the caller keeps ownership and calls `finish()` itself).
+    Borrowed(&'r mut RunRecorder),
+    /// Owned by the session (service tenants — reclaim it with
+    /// [`Session::take_recorder`]).
+    Owned(Box<RunRecorder>),
+}
+
+impl RecorderSlot<'_> {
+    fn as_mut(&mut self) -> &mut RunRecorder {
+        match self {
+            RecorderSlot::Borrowed(r) => r,
+            RecorderSlot::Owned(r) => r,
+        }
+    }
+}
+
+/// What checkpointing a builder asked for, before the store is opened.
+enum CkptRequest {
+    Dir(CheckpointConfig),
+    Store {
+        store: CheckpointStore,
+        interval: usize,
+    },
+}
+
+/// Result of one [`Session::step`] / [`Session::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The protocol has more steps to run.
+    Running,
+    /// The run is complete; the summary is available via
+    /// [`Session::take_summary`] (or was already returned by `run`).
+    Done,
+}
+
+/// Builder for a [`Session`]: configuration first, then the optional
+/// attachments (recorder, checkpoint store, fault schedule, resilience
+/// policy, compute-budget lease), then [`SessionBuilder::build`].
+pub struct SessionBuilder<'r> {
+    config: SimulationConfig,
+    recorder: Option<RecorderSlot<'r>>,
+    recorder_opts: RecorderConfig,
+    checkpoint: Option<CkptRequest>,
+    faults: Vec<FaultPlan>,
+    resilience: Option<ResilienceOptions>,
+    resume: bool,
+    lease: Option<ComputeLease>,
+}
+
+impl<'r> SessionBuilder<'r> {
+    pub fn new(config: SimulationConfig) -> SessionBuilder<'r> {
+        SessionBuilder {
+            config,
+            recorder: None,
+            recorder_opts: RecorderConfig::standard(),
+            checkpoint: None,
+            faults: Vec::new(),
+            resilience: None,
+            resume: false,
+            lease: None,
+        }
+    }
+
+    /// Stream JSONL step records into a caller-owned recorder. The
+    /// `options.checkpoint` directory (if any) doubles as the session's
+    /// checkpoint store unless [`SessionBuilder::checkpoint`] /
+    /// [`SessionBuilder::checkpoint_store`] names one explicitly.
+    pub fn record(mut self, recorder: &'r mut RunRecorder, options: RecorderConfig) -> Self {
+        self.recorder = Some(RecorderSlot::Borrowed(recorder));
+        self.recorder_opts = options;
+        self
+    }
+
+    /// Like [`SessionBuilder::record`], but the session owns the recorder —
+    /// what a service tenant uses (reclaim it with
+    /// [`Session::take_recorder`] after the run).
+    pub fn record_owned(mut self, recorder: RunRecorder, options: RecorderConfig) -> Self {
+        self.recorder = Some(RecorderSlot::Owned(Box::new(recorder)));
+        self.recorder_opts = options;
+        self
+    }
+
+    /// Write a `TBCK` snapshot every `ckpt.interval` steps into `ckpt.dir`
+    /// (atomic publish, newest-`retain` rotation).
+    pub fn checkpoint(mut self, ckpt: &CheckpointConfig) -> Self {
+        self.checkpoint = Some(CkptRequest::Dir(ckpt.clone()));
+        self
+    }
+
+    /// Checkpoint through an already-open store (e.g.
+    /// [`CheckpointStore::in_memory`] for disk-free service tenants).
+    pub fn checkpoint_store(mut self, store: CheckpointStore, interval: usize) -> Self {
+        self.checkpoint = Some(CkptRequest::Store { store, interval });
+        self
+    }
+
+    /// Schedule fault injections: the i-th plan is armed at the start of
+    /// the i-th attempt, against the engine's persistent evaluation
+    /// counter.
+    pub fn faults(mut self, faults: &[FaultPlan]) -> Self {
+        self.faults = faults.to_vec();
+        self
+    }
+
+    /// Recover from rank failures by rewinding to the newest snapshot,
+    /// following `options.policy`, giving up after `options.max_recoveries`
+    /// recoveries. Also makes the first attempt auto-resume from whatever
+    /// the checkpoint store already holds.
+    pub fn resilience(mut self, options: ResilienceOptions) -> Self {
+        self.resilience = Some(options);
+        self
+    }
+
+    /// Resume from the newest usable snapshot of the checkpoint store;
+    /// an empty store or a config mismatch fails [`SessionBuilder::build`].
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Pin a compute-budget lease: every step of this session runs inside
+    /// [`ComputeLease::scoped`], so a width-1 lease serializes its fan-outs
+    /// (bitwise identically) instead of grabbing the shared pool.
+    pub fn lease(mut self, lease: ComputeLease) -> Self {
+        self.lease = Some(lease);
+        self
+    }
+
+    /// Resolve the attachments and build the engine. Fails on an unusable
+    /// checkpoint store or a failed required-resume load; engine
+    /// construction itself is infallible.
+    pub fn build(self) -> Result<Session<'r>, TbError> {
+        let config = self.config;
+        let request = self
+            .checkpoint
+            .or_else(|| self.recorder_opts.checkpoint.clone().map(CkptRequest::Dir));
+        let checkpoint = match request {
+            Some(CkptRequest::Dir(c)) => Some(CkptSpec {
+                store: CheckpointStore::open(&c.dir, c.retain).map_err(ckpt_err)?,
+                interval: c.interval,
+            }),
+            Some(CkptRequest::Store { store, interval }) => Some(CkptSpec { store, interval }),
+            None => None,
+        };
+        let pending_resume = if self.resume {
+            let spec = checkpoint.as_ref().ok_or_else(|| {
+                TbError::Checkpoint("resume_simulation_recorded needs options.checkpoint".into())
+            })?;
+            Some(load_latest_validated(&config, &spec.store)?)
+        } else {
+            None
+        };
+        let recording = self
+            .recorder
+            .as_ref()
+            .map(|_| Recording::new(&config, &self.recorder_opts));
+        // The session owns both the model and the engine that borrows it.
+        // The model lives in a Box (a stable heap address), the engine is
+        // declared before the model so it drops first, and `&mut model` /
+        // `Box::into_inner` are never exposed — so the unsafe lifetime
+        // extension below can never observe a dangling model.
+        let model = Box::new(config.system.model());
+        let model_ref: &'static GspTbModel = unsafe { &*(model.as_ref() as *const GspTbModel) };
+        let engine = Engine::build(config.engine, model_ref, config.electronic_kt);
+        let report = RecoveryReport {
+            final_ranks: engine.active_ranks(),
+            ..RecoveryReport::default()
+        };
+        Ok(Session {
+            engine,
+            model,
+            config,
+            recorder: self.recorder,
+            recording,
+            checkpoint,
+            faults: self.faults.into_iter(),
+            resilience: self.resilience,
+            report,
+            pending_resume,
+            auto_resume: self.resilience.is_some(),
+            attempt: None,
+            outcome: None,
+            done: false,
+            steps_done: 0,
+            alloc_events: 0,
+            lease: self.lease,
+        })
+    }
+}
+
+/// A simulation in flight: the persistent engine, the protocol state, and
+/// the rewind loop, advanced one MD step per [`Session::step`] call. See
+/// the module docs for the builder lifecycle.
+pub struct Session<'r> {
+    // Field order is load-bearing: the engine borrows the boxed model
+    // (via an unsafe 'static extension in `SessionBuilder::build`), so it
+    // must be dropped first. Rust drops fields in declaration order.
+    engine: Engine<'static>,
+    #[allow(dead_code)]
+    model: Box<GspTbModel>,
+    config: SimulationConfig,
+    recorder: Option<RecorderSlot<'r>>,
+    recording: Option<Recording>,
+    checkpoint: Option<CkptSpec>,
+    faults: std::vec::IntoIter<FaultPlan>,
+    resilience: Option<ResilienceOptions>,
+    report: RecoveryReport,
+    pending_resume: Option<Snapshot>,
+    /// Resilient mode: reload the newest snapshot at the start of every
+    /// attempt (a failure before the first snapshot restarts from scratch).
+    auto_resume: bool,
+    attempt: Option<Attempt>,
+    outcome: Option<SimulationSummary>,
+    done: bool,
+    steps_done: usize,
+    /// Workspace/pool growth events folded in from completed attempts;
+    /// the live attempt's count is added on read.
+    alloc_events: u64,
+    lease: Option<ComputeLease>,
+}
+
+impl<'r> Session<'r> {
+    /// The configuration this session runs.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The persistent engine (its evaluation counter and rank set survive
+    /// rewinds).
+    pub fn engine(&self) -> &Engine<'static> {
+        &self.engine
+    }
+
+    /// Force/energy evaluations performed so far, across all attempts.
+    pub fn evaluations(&self) -> u64 {
+        self.engine.evaluations()
+    }
+
+    /// MD steps this session has executed (across rewinds; a relaxation
+    /// counts as one).
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Whether the run is complete.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Rewind statistics (recoveries, blamed ranks, final rank count).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Workspace/pool growth events attributed to *this* session — its own
+    /// workspaces across all attempts, not a process-global count, so O(1)
+    /// allocation assertions stay meaningful when many sessions multiplex
+    /// one process.
+    pub fn large_alloc_events(&self) -> u64 {
+        self.alloc_events
+            + self
+                .attempt
+                .as_ref()
+                .map_or(0, |a| a.ws.large_alloc_events() as u64)
+    }
+
+    /// Attach (or replace) a compute-budget lease mid-run — what the serve
+    /// scheduler does when an admitted tenant's lease is granted.
+    pub fn set_lease(&mut self, lease: ComputeLease) {
+        self.lease = Some(lease);
+    }
+
+    /// Release the session's lease back to the budget.
+    pub fn take_lease(&mut self) -> Option<ComputeLease> {
+        self.lease.take()
+    }
+
+    /// Reclaim a session-owned recorder (tenants call `finish()` on it to
+    /// emit the summary line). `None` for borrowed or absent recorders.
+    pub fn take_recorder(&mut self) -> Option<RunRecorder> {
+        match self.recorder.take() {
+            Some(RecorderSlot::Owned(r)) => Some(*r),
+            other => {
+                self.recorder = other;
+                None
+            }
+        }
+    }
+
+    /// The finished run's summary (at most once, after [`SessionStatus::Done`]).
+    pub fn take_summary(&mut self) -> Option<SimulationSummary> {
+        self.outcome.take()
+    }
+
+    /// Advance one MD step (running the rewind loop as needed). On a rank
+    /// failure with resilience enabled, the recovery — re-shard, snapshot
+    /// reload, re-init — happens inside this call and stepping continues,
+    /// so one `step()` always makes forward progress or returns an error.
+    pub fn step(&mut self) -> Result<SessionStatus, TbError> {
+        if self.done {
+            return Ok(SessionStatus::Done);
+        }
+        // Hold the lease outside `self` while its scope wraps the advance,
+        // so the closure can borrow `self` mutably.
+        let lease = self.lease.take();
+        let result = loop {
+            let advanced = match lease.as_ref() {
+                Some(l) => l.scoped(|| self.advance()),
+                None => self.advance(),
+            };
+            match advanced {
+                Ok(finished) => {
+                    self.steps_done += 1;
+                    if finished {
+                        self.finish_attempt();
+                        break Ok(SessionStatus::Done);
+                    }
+                    break Ok(SessionStatus::Running);
+                }
+                Err(TbError::RankFailure {
+                    detail,
+                    failed_ranks,
+                }) if self.resilience.is_some() => {
+                    if let Err(e) = self.recover(detail, failed_ranks) {
+                        self.done = true;
+                        break Err(e);
+                    }
+                }
+                Err(e) => {
+                    self.done = true;
+                    break Err(e);
+                }
+            }
+        };
+        self.lease = lease;
+        result
+    }
+
+    /// Drive the session to completion and return the summary — the
+    /// monolithic entry points in [`crate::simulation`] are this.
+    pub fn run(&mut self) -> Result<SimulationSummary, TbError> {
+        while self.step()? == SessionStatus::Running {}
+        self.take_summary()
+            .ok_or_else(|| TbError::Checkpoint("session already ran to completion".into()))
+    }
+
+    /// Step until the session has executed at least `target_steps` MD steps
+    /// (or finished) — the quantum a round-robin scheduler hands each
+    /// tenant.
+    pub fn run_until(&mut self, target_steps: usize) -> Result<SessionStatus, TbError> {
+        while !self.done && self.steps_done < target_steps {
+            self.step()?;
+        }
+        Ok(if self.done {
+            SessionStatus::Done
+        } else {
+            SessionStatus::Running
+        })
+    }
+
+    /// Ensure an attempt exists, then advance it one step.
+    fn advance(&mut self) -> Result<bool, TbError> {
+        if self.attempt.is_none() {
+            self.begin_attempt()?;
+        }
+        let mut rec: Rec<'_> = match (self.recording.as_mut(), self.recorder.as_mut()) {
+            (Some(recording), Some(slot)) => Some((recording, slot.as_mut())),
+            _ => None,
+        };
+        self.attempt.as_mut().expect("attempt just ensured").step(
+            &self.engine,
+            self.model.as_ref(),
+            &mut rec,
+        )
+    }
+
+    /// Start the next attempt: arm the next fault plan, pick the resume
+    /// snapshot (explicit for a required resume, the newest usable one in
+    /// resilient mode, none otherwise), and run the protocol init.
+    fn begin_attempt(&mut self) -> Result<(), TbError> {
+        if let Some(plan) = self.faults.next() {
+            self.engine.inject_fault(plan);
+        }
+        let resume = if let Some(snap) = self.pending_resume.take() {
+            Some(snap)
+        } else if self.auto_resume {
+            match self.checkpoint.as_ref() {
+                // A failure before the first snapshot (or an unusable one)
+                // restarts from scratch.
+                Some(spec) => match load_latest_validated(&self.config, &spec.store) {
+                    Ok(snap) => Some(snap),
+                    Err(TbError::Checkpoint(_)) => None,
+                    Err(e) => return Err(e),
+                },
+                None => None,
+            }
+        } else {
+            None
+        };
+        let ckpt = self
+            .checkpoint
+            .as_ref()
+            .map(|spec| CkptCtx::from_spec(spec, &self.config));
+        let mut rec: Rec<'_> = match (self.recording.as_mut(), self.recorder.as_mut()) {
+            (Some(recording), Some(slot)) => Some((recording, slot.as_mut())),
+            _ => None,
+        };
+        let attempt = Attempt::new(&self.config, &self.engine, ckpt, resume, &mut rec)?;
+        self.attempt = Some(attempt);
+        Ok(())
+    }
+
+    /// Handle one rank failure under the resilience policy; errors once the
+    /// recovery budget is exhausted.
+    fn recover(&mut self, detail: String, failed_ranks: Vec<usize>) -> Result<(), TbError> {
+        let options = self.resilience.expect("recover only runs when resilient");
+        if self.report.recoveries >= options.max_recoveries {
+            return Err(TbError::RankFailure {
+                detail: format!(
+                    "gave up after {} recoveries: {detail}",
+                    options.max_recoveries
+                ),
+                failed_ranks,
+            });
+        }
+        self.report.recoveries += 1;
+        tbmd_trace::add(Counter::Recoveries, 1);
+        match options.policy {
+            ReshardPolicy::Respawn => {
+                self.engine.respawn_full_ranks();
+            }
+            ReshardPolicy::Shrink => {
+                self.engine.shrink_ranks(failed_ranks.len().max(1));
+            }
+        }
+        self.report.failed_ranks.extend(failed_ranks);
+        if let Some(failed) = self.attempt.take() {
+            self.alloc_events += failed.ws.large_alloc_events() as u64;
+        }
+        Ok(())
+    }
+
+    fn finish_attempt(&mut self) {
+        let attempt = self.attempt.take().expect("finished attempt present");
+        self.alloc_events += attempt.ws.large_alloc_events() as u64;
+        self.report.final_ranks = self.engine.active_ranks();
+        self.outcome = Some(attempt.finish());
+        self.done = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::run_simulation;
+    use crate::system::SystemSpec;
+
+    fn nve_config(seed: u64, steps: usize) -> SimulationConfig {
+        let mut c = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, steps);
+        c.seed = seed;
+        c
+    }
+
+    /// The stepwise session must retrace the monolithic driver bit for bit.
+    #[test]
+    fn stepwise_session_matches_run_simulation_bitwise() {
+        let config = nve_config(11, 8);
+        let reference = run_simulation(&config).expect("reference run");
+        let mut session = SessionBuilder::new(config).build().expect("build");
+        let mut calls = 0usize;
+        while session.step().expect("step") == SessionStatus::Running {
+            calls += 1;
+        }
+        assert_eq!(calls + 1, 8, "one MD step per step() call");
+        let summary = session.take_summary().expect("summary");
+        assert_eq!(
+            summary.final_total_energy.to_bits(),
+            reference.final_total_energy.to_bits()
+        );
+        for (a, b) in summary
+            .final_structure
+            .positions()
+            .iter()
+            .zip(reference.final_structure.positions())
+        {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+        for (a, b) in summary
+            .final_velocities
+            .iter()
+            .zip(&reference.final_velocities)
+        {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+        }
+    }
+
+    /// Two interleaved sessions must not perturb each other's trajectories.
+    #[test]
+    fn interleaved_sessions_match_serial_runs() {
+        let ca = nve_config(21, 6);
+        let cb = nve_config(22, 6);
+        let ra = run_simulation(&ca).expect("serial a");
+        let rb = run_simulation(&cb).expect("serial b");
+        let mut sa = SessionBuilder::new(ca).build().expect("a");
+        let mut sb = SessionBuilder::new(cb).build().expect("b");
+        loop {
+            let a = sa.step().expect("a step");
+            let b = sb.step().expect("b step");
+            if a == SessionStatus::Done && b == SessionStatus::Done {
+                break;
+            }
+        }
+        let (sa, sb) = (sa.take_summary().unwrap(), sb.take_summary().unwrap());
+        assert_eq!(
+            sa.final_total_energy.to_bits(),
+            ra.final_total_energy.to_bits()
+        );
+        assert_eq!(
+            sb.final_total_energy.to_bits(),
+            rb.final_total_energy.to_bits()
+        );
+    }
+
+    #[test]
+    fn run_until_paces_in_quanta() {
+        let config = nve_config(31, 10);
+        let mut session = SessionBuilder::new(config).build().expect("build");
+        assert_eq!(
+            session.run_until(4).expect("quantum"),
+            SessionStatus::Running
+        );
+        assert_eq!(session.steps_done(), 4);
+        assert_eq!(session.run_until(100).expect("rest"), SessionStatus::Done);
+        assert_eq!(session.steps_done(), 10);
+        assert!(session.take_summary().is_some());
+    }
+}

@@ -1,31 +1,23 @@
 //! High-level simulation driver: system + engine + protocol in one call.
 //!
 //! This is the public API a downstream user reaches for first; the examples
-//! in the repository root are thin wrappers around it.
+//! in the repository root are thin wrappers around it. Since the session
+//! refactor every entry point here delegates to
+//! [`SessionBuilder`](crate::session::SessionBuilder) — the types below
+//! (configs, summary, policies) are the vocabulary, the session is the
+//! machine. Callers that want to interleave several runs in one process
+//! (or pace a run step-by-step) use [`crate::session`] directly.
 
-use crate::engine::{Engine, EngineKind};
+use crate::engine::EngineKind;
+use crate::session::SessionBuilder;
 use crate::system::SystemSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
-use std::time::Instant;
-use tbmd_ckpt::{
-    CheckpointStore, CkptError, RampSnapshot, Snapshot, StatsSnapshot, ThermostatSnapshot,
-};
 use tbmd_linalg::Vec3;
-use tbmd_md::{
-    maxwell_boltzmann, relax, MdState, NoseHoover, RelaxOptions, RunningStats, TemperatureRamp,
-    Trajectory, VelocityVerlet,
-};
-use tbmd_model::{
-    cached_eigensolver_health, eigensolver_health, DenseSolver, OccupationScheme, TbError, TbModel,
-    Workspace,
-};
+use tbmd_md::Trajectory;
+use tbmd_model::{TbError, TbModel};
 use tbmd_parallel::FaultPlan;
-use tbmd_trace::{
-    git_describe, Counter, RunManifest, RunRecorder, StepRecord, TraceSink, TraceSnapshot,
-};
+use tbmd_trace::{git_describe, RunManifest, RunRecorder};
 
 /// What to do with the system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -203,278 +195,9 @@ pub fn run_manifest(config: &SimulationConfig) -> RunManifest {
     }
 }
 
-/// Per-step recording state threaded through the MD loops.
-struct Recording<'r> {
-    recorder: &'r mut RunRecorder,
-    health_stride: usize,
-    /// Counter snapshot at the previous step boundary (for per-step deltas).
-    prev: TraceSnapshot,
-    /// Dense engines get the eigensolver probe; O(N) engines do not.
-    probe_health: bool,
-    occupation: OccupationScheme,
-    /// Step records emitted so far (carried into snapshots so a resumed
-    /// recorder knows where the original stream ended).
-    recorded: u64,
-}
-
-impl Recording<'_> {
-    /// Record one completed MD step plus an eigensolver health check: the
-    /// cheap incremental probe on the solve's cached eigenpairs every step
-    /// when the engine leaves them in `ws`, else the independent full-solve
-    /// probe on the stride.
-    fn observe(
-        &mut self,
-        step: usize,
-        state: &MdState,
-        conserved_ev: f64,
-        model: &dyn TbModel,
-        ws: &mut Workspace,
-    ) -> Result<(), TbError> {
-        let snap = tbmd_trace::snapshot();
-        let delta = snap.since(&self.prev);
-        self.prev = snap;
-        let record = StepRecord {
-            step,
-            time_fs: state.time_fs,
-            potential_ev: state.potential_energy,
-            conserved_ev,
-            temperature_k: state.temperature(),
-            phase_ns: state.last_timings.phase_ns(),
-            comm_bytes: delta.counter(Counter::WireBytes),
-            alloc_events: delta.counter(Counter::AllocGrowth),
-        };
-        self.recorder
-            .record_step(&record)
-            .map_err(|e| TbError::Recorder(e.to_string()))?;
-        self.recorded += 1;
-        if self.probe_health && self.health_stride > 0 {
-            let health = match cached_eigensolver_health(model, &state.structure, ws, step)? {
-                Some(h) => Some(h),
-                // No consumable cache (distributed/per-rank solves): pay for
-                // the independent full-solve probe, but only on the stride.
-                None if step.is_multiple_of(self.health_stride) => Some(eigensolver_health(
-                    model,
-                    &state.structure,
-                    self.occupation,
-                    DenseSolver::TwoStage,
-                    step,
-                )?),
-                None => None,
-            };
-            if let Some(health) = &health {
-                self.recorder
-                    .record_health(health)
-                    .map_err(|e| TbError::Recorder(e.to_string()))?;
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Map a checkpoint-subsystem error into the driver's error type.
-fn ckpt_err(e: CkptError) -> TbError {
-    TbError::Checkpoint(e.to_string())
-}
-
-/// Fingerprint of the step-count-independent part of a configuration. Two
-/// configs that differ only in how *long* they run fingerprint identically,
-/// so a run interrupted at step 40 of 100 resumes cleanly into a 500-step
-/// request; anything that changes the dynamics (system, engine, timestep,
-/// set-points, seed) changes the fingerprint and is rejected on resume.
-fn config_fingerprint(config: &SimulationConfig) -> u64 {
-    let protocol = match config.protocol {
-        Protocol::Nve {
-            temperature_k,
-            dt_fs,
-            ..
-        } => format!("nve:{temperature_k:?}:{dt_fs:?}"),
-        Protocol::Nvt {
-            temperature_k,
-            dt_fs,
-            tau_fs,
-            ..
-        } => format!("nvt:{temperature_k:?}:{dt_fs:?}:{tau_fs:?}"),
-        Protocol::NvtRamp {
-            from_k,
-            to_k,
-            rate_k_per_fs,
-            dt_fs,
-            tau_fs,
-            ..
-        } => format!("ramp:{from_k:?}:{to_k:?}:{rate_k_per_fs:?}:{dt_fs:?}:{tau_fs:?}"),
-        Protocol::Relax { .. } => "relax".to_string(),
-    };
-    let canon = format!(
-        "{:?}|{:?}|{}|{:?}|{:?}|{}|{}",
-        config.system,
-        config.engine,
-        protocol,
-        config.electronic_kt,
-        config.perturb,
-        config.seed,
-        config.record_stride
-    );
-    tbmd_ckpt::fingerprint(canon.as_bytes())
-}
-
-fn flatten(v: &[Vec3]) -> Vec<f64> {
-    v.iter().flat_map(|x| x.to_array()).collect()
-}
-
-fn unflatten(v: &[f64]) -> Vec<Vec3> {
-    v.chunks_exact(3)
-        .map(|c| Vec3 {
-            x: c[0],
-            y: c[1],
-            z: c[2],
-        })
-        .collect()
-}
-
-/// Open store + identity data threaded through the MD loops when
-/// checkpointing is on.
-struct CkptCtx {
-    store: CheckpointStore,
-    interval: usize,
-    fingerprint: u64,
-    seed: u64,
-}
-
-impl CkptCtx {
-    fn open(ckpt: &CheckpointConfig, config: &SimulationConfig) -> Result<CkptCtx, TbError> {
-        Ok(CkptCtx {
-            store: CheckpointStore::open(&ckpt.dir, ckpt.retain).map_err(ckpt_err)?,
-            interval: ckpt.interval,
-            fingerprint: config_fingerprint(config),
-            seed: config.seed,
-        })
-    }
-
-    fn due(&self, step: usize) -> bool {
-        self.interval > 0 && step.is_multiple_of(self.interval)
-    }
-
-    /// Encode + atomically publish one snapshot, routing the receipt into
-    /// the recorder's `ckpt` line (which also bumps the trace counters) or
-    /// straight into the trace registry when no recorder is attached.
-    #[allow(clippy::too_many_arguments)]
-    fn write(
-        &self,
-        step: u64,
-        state: &MdState,
-        rng_state: u64,
-        conserved_ref: f64,
-        drift: f64,
-        t_stats: &RunningStats,
-        thermostat: Option<ThermostatSnapshot>,
-        ramp: Option<RampSnapshot>,
-        recording: &mut Option<Recording<'_>>,
-    ) -> Result<(), TbError> {
-        let (n, mean, m2, min, max) = t_stats.to_raw();
-        let snap = Snapshot {
-            step,
-            time_fs: state.time_fs,
-            seed: self.seed,
-            config_fingerprint: self.fingerprint,
-            rng_state,
-            potential_energy: state.potential_energy,
-            conserved_ref,
-            drift,
-            recorded_steps: recording.as_ref().map_or(0, |r| r.recorded),
-            positions: flatten(state.structure.positions()),
-            velocities: flatten(&state.velocities),
-            forces: flatten(&state.forces),
-            temp_stats: StatsSnapshot {
-                n,
-                mean,
-                m2,
-                min,
-                max,
-            },
-            thermostat,
-            ramp,
-        };
-        let started = Instant::now();
-        let receipt = self.store.write(&snap).map_err(ckpt_err)?;
-        let wall_ns = started.elapsed().as_nanos() as u64;
-        match recording.as_mut() {
-            Some(rec) => rec
-                .recorder
-                .record_ckpt(
-                    step as usize,
-                    receipt.bytes,
-                    wall_ns,
-                    &receipt.path.display().to_string(),
-                )
-                .map_err(|e| TbError::Recorder(e.to_string()))?,
-            None => {
-                tbmd_trace::add(Counter::CkptWrites, 1);
-                tbmd_trace::add(Counter::CkptBytes, receipt.bytes);
-                tbmd_trace::add(Counter::CkptNanos, wall_ns);
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Rebuild an [`MdState`] from a snapshot without re-evaluating forces.
-/// Cell, species and masses come from the (deterministic) config build;
-/// positions, velocities, forces, potential and clock are restored verbatim
-/// so the continued trajectory is bitwise the uninterrupted one.
-fn restore_state(
-    mut structure: tbmd_structure::Structure,
-    snap: &Snapshot,
-) -> Result<MdState, TbError> {
-    if snap.n_atoms() != structure.n_atoms() {
-        return Err(TbError::Checkpoint(format!(
-            "snapshot holds {} atoms but the configured system builds {}",
-            snap.n_atoms(),
-            structure.n_atoms()
-        )));
-    }
-    structure.set_positions(unflatten(&snap.positions));
-    Ok(MdState::from_snapshot_parts(
-        structure,
-        unflatten(&snap.velocities),
-        unflatten(&snap.forces),
-        snap.potential_energy,
-        snap.time_fs,
-    ))
-}
-
-/// Check a loaded snapshot against the resuming configuration.
-fn validate_resume(config: &SimulationConfig, snap: &Snapshot) -> Result<(), TbError> {
-    let expect = config_fingerprint(config);
-    if snap.config_fingerprint != expect {
-        return Err(TbError::Checkpoint(format!(
-            "config mismatch: snapshot fingerprint {:#018x} != configured {:#018x} \
-             (system/engine/protocol/seed changed since the snapshot was written)",
-            snap.config_fingerprint, expect
-        )));
-    }
-    Ok(())
-}
-
-/// Load the newest usable snapshot of `ckpt.dir` for `config`, or a typed
-/// error if the store is empty or the snapshot belongs to a different run.
-fn load_resume_snapshot(
-    config: &SimulationConfig,
-    ckpt: &CheckpointConfig,
-) -> Result<Snapshot, TbError> {
-    let store = CheckpointStore::open(&ckpt.dir, ckpt.retain).map_err(ckpt_err)?;
-    let snap = store
-        .latest()
-        .map_err(ckpt_err)?
-        .ok_or_else(|| ckpt_err(CkptError::NoSnapshot))?;
-    validate_resume(config, &snap)?;
-    Ok(snap)
-}
-
 /// Run a configured simulation to completion.
 pub fn run_simulation(config: &SimulationConfig) -> Result<SimulationSummary, TbError> {
-    let model = config.system.model();
-    let engine = Engine::build(config.engine, &model, config.electronic_kt);
-    run_simulation_impl(config, &engine, &model, None, None, None)
+    SessionBuilder::new(*config).build()?.run()
 }
 
 /// [`run_simulation`] writing a `TBCK` snapshot every `ckpt.interval` steps
@@ -485,9 +208,7 @@ pub fn run_simulation_checkpointed(
     config: &SimulationConfig,
     ckpt: &CheckpointConfig,
 ) -> Result<SimulationSummary, TbError> {
-    let model = config.system.model();
-    let engine = Engine::build(config.engine, &model, config.electronic_kt);
-    run_simulation_impl(config, &engine, &model, None, Some(ckpt), None)
+    SessionBuilder::new(*config).checkpoint(ckpt).build()?.run()
 }
 
 /// Continue an interrupted run from the newest usable snapshot in
@@ -499,10 +220,11 @@ pub fn resume_simulation(
     config: &SimulationConfig,
     ckpt: &CheckpointConfig,
 ) -> Result<SimulationSummary, TbError> {
-    let snap = load_resume_snapshot(config, ckpt)?;
-    let model = config.system.model();
-    let engine = Engine::build(config.engine, &model, config.electronic_kt);
-    run_simulation_impl(config, &engine, &model, None, Some(ckpt), Some(snap))
+    SessionBuilder::new(*config)
+        .checkpoint(ckpt)
+        .resume()
+        .build()?
+        .run()
 }
 
 /// What a resilient driver does with the rank set after a failure.
@@ -573,55 +295,13 @@ pub fn run_simulation_resilient_with(
     faults: &[FaultPlan],
     options: ResilienceOptions,
 ) -> Result<(SimulationSummary, RecoveryReport), TbError> {
-    let model = config.system.model();
-    let engine = Engine::build(config.engine, &model, config.electronic_kt);
-    let mut queue = faults.iter().copied();
-    let mut report = RecoveryReport {
-        final_ranks: engine.active_ranks(),
-        ..RecoveryReport::default()
-    };
-    loop {
-        if let Some(plan) = queue.next() {
-            engine.inject_fault(plan);
-        }
-        let resume = match load_resume_snapshot(config, ckpt) {
-            Ok(snap) => Some(snap),
-            Err(TbError::Checkpoint(_)) => None,
-            Err(e) => return Err(e),
-        };
-        match run_simulation_impl(config, &engine, &model, None, Some(ckpt), resume) {
-            Ok(summary) => {
-                report.final_ranks = engine.active_ranks();
-                return Ok((summary, report));
-            }
-            Err(TbError::RankFailure {
-                detail,
-                failed_ranks,
-            }) => {
-                if report.recoveries >= options.max_recoveries {
-                    return Err(TbError::RankFailure {
-                        detail: format!(
-                            "gave up after {} recoveries: {detail}",
-                            options.max_recoveries
-                        ),
-                        failed_ranks,
-                    });
-                }
-                report.recoveries += 1;
-                tbmd_trace::add(Counter::Recoveries, 1);
-                match options.policy {
-                    ReshardPolicy::Respawn => {
-                        engine.respawn_full_ranks();
-                    }
-                    ReshardPolicy::Shrink => {
-                        engine.shrink_ranks(failed_ranks.len().max(1));
-                    }
-                }
-                report.failed_ranks.extend(failed_ranks);
-            }
-            Err(e) => return Err(e),
-        }
-    }
+    let mut session = SessionBuilder::new(*config)
+        .checkpoint(ckpt)
+        .faults(faults)
+        .resilience(options)
+        .build()?;
+    let summary = session.run()?;
+    Ok((summary, session.recovery_report().clone()))
 }
 
 /// [`run_simulation_resilient_with`] with the historical signature: at most
@@ -645,25 +325,19 @@ pub fn run_simulation_resilient(
 /// [`run_simulation`] streaming one JSONL `step` record per MD step (plus
 /// watchdog `warn` lines and periodic `eig_health` probes) into `recorder`.
 ///
-/// Installs a collecting [`TraceSink`] if tracing is still disabled, so the
-/// records carry wire-byte and allocation counters. The caller keeps
-/// ownership of the recorder and calls [`RunRecorder::finish`] when done.
+/// Installs a collecting [`tbmd_trace::TraceSink`] if tracing is still
+/// disabled, so the records carry wire-byte and allocation counters. The
+/// caller keeps ownership of the recorder and calls [`RunRecorder::finish`]
+/// when done.
 pub fn run_simulation_recorded(
     config: &SimulationConfig,
     recorder: &mut RunRecorder,
     options: RecorderConfig,
 ) -> Result<SimulationSummary, TbError> {
-    let recording = build_recording(config, recorder, &options);
-    let model = config.system.model();
-    let engine = Engine::build(config.engine, &model, config.electronic_kt);
-    run_simulation_impl(
-        config,
-        &engine,
-        &model,
-        Some(recording),
-        options.checkpoint.as_ref(),
-        None,
-    )
+    SessionBuilder::new(*config)
+        .record(recorder, options)
+        .build()?
+        .run()
 }
 
 /// [`resume_simulation`] with a JSONL recorder attached: continues from the
@@ -674,427 +348,11 @@ pub fn resume_simulation_recorded(
     recorder: &mut RunRecorder,
     options: RecorderConfig,
 ) -> Result<SimulationSummary, TbError> {
-    let ckpt = options.checkpoint.as_ref().ok_or_else(|| {
-        TbError::Checkpoint("resume_simulation_recorded needs options.checkpoint".into())
-    })?;
-    let snap = load_resume_snapshot(config, ckpt)?;
-    let recording = build_recording(config, recorder, &options);
-    let model = config.system.model();
-    let engine = Engine::build(config.engine, &model, config.electronic_kt);
-    run_simulation_impl(
-        config,
-        &engine,
-        &model,
-        Some(recording),
-        Some(ckpt),
-        Some(snap),
-    )
-}
-
-fn build_recording<'r>(
-    config: &SimulationConfig,
-    recorder: &'r mut RunRecorder,
-    options: &RecorderConfig,
-) -> Recording<'r> {
-    if !tbmd_trace::enabled() {
-        tbmd_trace::install(TraceSink::collecting());
-    }
-    let probe_health = !matches!(
-        config.engine,
-        EngineKind::LinearScaling { .. } | EngineKind::DistributedLinearScaling { .. }
-    );
-    let occupation = if config.electronic_kt > 0.0 {
-        OccupationScheme::Fermi {
-            kt: config.electronic_kt,
-        }
-    } else {
-        OccupationScheme::ZeroTemperature
-    };
-    Recording {
-        recorder,
-        health_stride: options.health_stride,
-        prev: tbmd_trace::snapshot(),
-        probe_health,
-        occupation,
-        recorded: 0,
-    }
-}
-
-/// One attempt of a configured simulation over an already-built engine.
-///
-/// The engine is borrowed, not built, so a resilient driver can keep one
-/// engine alive across rewinds: its evaluation counter (which fault plans
-/// are scheduled against) and its active rank count (which a shrink
-/// re-shard adjusts) both persist from attempt to attempt.
-fn run_simulation_impl(
-    config: &SimulationConfig,
-    engine: &Engine<'_>,
-    model: &dyn TbModel,
-    mut recording: Option<Recording<'_>>,
-    checkpoint: Option<&CheckpointConfig>,
-    resume: Option<Snapshot>,
-) -> Result<SimulationSummary, TbError> {
-    let ckpt = match checkpoint {
-        Some(c) => Some(CkptCtx::open(c, config)?),
-        None => None,
-    };
-    // Announce a restore before any stepping: a `restore` JSONL line when a
-    // recorder is attached, a bare counter bump otherwise.
-    if let Some(snap) = resume.as_ref() {
-        let path = ckpt
-            .as_ref()
-            .map(|c| c.store.path_for(snap.step).display().to_string())
-            .unwrap_or_default();
-        match recording.as_mut() {
-            Some(rec) => {
-                rec.recorded = snap.recorded_steps;
-                rec.recorder
-                    .record_restore(snap.step as usize, "resume", &path)
-                    .map_err(|e| TbError::Recorder(e.to_string()))?;
-            }
-            None => tbmd_trace::add(Counter::CkptRestores, 1),
-        }
-    }
-    let mut structure = config.system.build(config.perturb, config.seed);
-    let mut trajectory = (config.record_stride > 0).then(|| Trajectory::new(config.record_stride));
-
-    match config.protocol {
-        Protocol::Relax {
-            force_tolerance,
-            max_iterations,
-        } => {
-            let opts = RelaxOptions {
-                force_tolerance,
-                max_iterations,
-                ..Default::default()
-            };
-            let result = relax(&mut structure, engine, &opts)?;
-            Ok(SimulationSummary {
-                final_potential_energy: result.energy,
-                final_total_energy: result.energy,
-                mean_temperature_k: 0.0,
-                conserved_drift: 0.0,
-                steps: result.iterations,
-                converged: result.converged,
-                trajectory: None,
-                final_structure: structure,
-                final_velocities: Vec::new(),
-            })
-        }
-        Protocol::Nve {
-            temperature_k,
-            steps,
-            dt_fs,
-        } => {
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            let mut ws = Workspace::new();
-            let integrator = VelocityVerlet::new(dt_fs);
-            let (mut state, e0, mut t_stats, mut drift, start) = match resume.as_ref() {
-                Some(snap) => {
-                    rng = StdRng::from_state(snap.rng_state);
-                    let state = restore_state(structure, snap)?;
-                    let ts = snap.temp_stats;
-                    (
-                        state,
-                        snap.conserved_ref,
-                        RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
-                        snap.drift,
-                        snap.step as usize,
-                    )
-                }
-                None => {
-                    let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
-                    let state = MdState::new_with(structure, v, engine, &mut ws)?;
-                    let e0 = state.total_energy();
-                    (state, e0, RunningStats::new(), 0.0f64, 0usize)
-                }
-            };
-            for step in (start + 1)..=steps {
-                integrator.step_with(&mut state, engine, &mut ws)?;
-                t_stats.push(state.temperature());
-                drift = drift.max((state.total_energy() - e0).abs());
-                if let Some(tr) = trajectory.as_mut() {
-                    tr.observe(&state);
-                }
-                if let Some(rec) = recording.as_mut() {
-                    rec.observe(step, &state, state.total_energy(), model, &mut ws)?;
-                }
-                if let Some(c) = ckpt.as_ref() {
-                    if c.due(step) {
-                        c.write(
-                            step as u64,
-                            &state,
-                            rng.state(),
-                            e0,
-                            drift,
-                            &t_stats,
-                            None,
-                            None,
-                            &mut recording,
-                        )?;
-                    }
-                }
-            }
-            Ok(SimulationSummary {
-                final_potential_energy: state.potential_energy,
-                final_total_energy: state.total_energy(),
-                mean_temperature_k: t_stats.mean(),
-                conserved_drift: drift,
-                steps,
-                converged: true,
-                trajectory,
-                final_velocities: state.velocities.clone(),
-                final_structure: state.structure,
-            })
-        }
-        Protocol::Nvt {
-            temperature_k,
-            steps,
-            dt_fs,
-            tau_fs,
-        } => {
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            let mut ws = Workspace::new();
-            let (mut state, mut nh, h0, mut t_stats, mut drift, start) = match resume.as_ref() {
-                Some(snap) => {
-                    rng = StdRng::from_state(snap.rng_state);
-                    let thermo = snap.thermostat.ok_or_else(|| {
-                        TbError::Checkpoint("NVT resume needs a THRM section".into())
-                    })?;
-                    let state = restore_state(structure, snap)?;
-                    let mut nh =
-                        NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
-                    nh.target_k = thermo.target_k;
-                    nh.q = thermo.q;
-                    nh.restore_thermostat_state(thermo.xi, thermo.eta);
-                    let ts = snap.temp_stats;
-                    (
-                        state,
-                        nh,
-                        snap.conserved_ref,
-                        RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
-                        snap.drift,
-                        snap.step as usize,
-                    )
-                }
-                None => {
-                    let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
-                    let state = MdState::new_with(structure, v, engine, &mut ws)?;
-                    let nh = NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
-                    let h0 = nh.conserved_quantity(&state);
-                    (state, nh, h0, RunningStats::new(), 0.0f64, 0usize)
-                }
-            };
-            for step in (start + 1)..=steps {
-                nh.step_with(&mut state, engine, &mut ws)?;
-                t_stats.push(state.temperature());
-                drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
-                if let Some(tr) = trajectory.as_mut() {
-                    tr.observe(&state);
-                }
-                if let Some(rec) = recording.as_mut() {
-                    rec.observe(step, &state, nh.conserved_quantity(&state), model, &mut ws)?;
-                }
-                if let Some(c) = ckpt.as_ref() {
-                    if c.due(step) {
-                        let (xi, eta) = nh.thermostat_state();
-                        c.write(
-                            step as u64,
-                            &state,
-                            rng.state(),
-                            h0,
-                            drift,
-                            &t_stats,
-                            Some(ThermostatSnapshot {
-                                xi,
-                                eta,
-                                target_k: nh.target_k,
-                                q: nh.q,
-                            }),
-                            None,
-                            &mut recording,
-                        )?;
-                    }
-                }
-            }
-            Ok(SimulationSummary {
-                final_potential_energy: state.potential_energy,
-                final_total_energy: state.total_energy(),
-                mean_temperature_k: t_stats.mean(),
-                conserved_drift: drift,
-                steps,
-                converged: true,
-                trajectory,
-                final_velocities: state.velocities.clone(),
-                final_structure: state.structure,
-            })
-        }
-        Protocol::NvtRamp {
-            from_k,
-            to_k,
-            rate_k_per_fs,
-            hold_steps,
-            dt_fs,
-            tau_fs,
-        } => {
-            let mut rng = StdRng::seed_from_u64(config.seed);
-            let mut ws = Workspace::new();
-            // `(hold_step_done, h0, drift)` when the snapshot was taken in
-            // (or at the boundary of) the hold phase.
-            let mut resume_hold: Option<(u64, f64, f64)> = None;
-            let (mut state, mut nh, mut t_stats, mut steps_total) = match resume.as_ref() {
-                Some(snap) => {
-                    rng = StdRng::from_state(snap.rng_state);
-                    let thermo = snap.thermostat.ok_or_else(|| {
-                        TbError::Checkpoint("ramp resume needs a THRM section".into())
-                    })?;
-                    let phase = snap.ramp.ok_or_else(|| {
-                        TbError::Checkpoint("ramp resume needs a RAMP section".into())
-                    })?;
-                    let state = restore_state(structure, snap)?;
-                    let mut nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
-                    nh.target_k = thermo.target_k;
-                    nh.q = thermo.q;
-                    nh.restore_thermostat_state(thermo.xi, thermo.eta);
-                    if phase.holding {
-                        resume_hold = Some((phase.hold_step, snap.conserved_ref, snap.drift));
-                    }
-                    let ts = snap.temp_stats;
-                    (
-                        state,
-                        nh,
-                        RunningStats::from_raw(ts.n, ts.mean, ts.m2, ts.min, ts.max),
-                        phase.steps_total as usize,
-                    )
-                }
-                None => {
-                    let v = maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng);
-                    let state = MdState::new_with(structure, v, engine, &mut ws)?;
-                    let nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
-                    (state, nh, RunningStats::new(), 0usize)
-                }
-            };
-            let ramp = TemperatureRamp {
-                rate_k_per_fs: rate_k_per_fs.abs() * (to_k - from_k).signum(),
-                target_k: to_k,
-            };
-            // Ramp phase (skipped when resuming into the hold phase). The
-            // extended-system quantity is not conserved here (the thermostat
-            // set-point changes every step), so the drift monitor only
-            // starts once the ramp reaches its target.
-            if resume_hold.is_none() {
-                loop {
-                    let still_ramping = ramp.advance(&mut nh);
-                    nh.step_with(&mut state, engine, &mut ws)?;
-                    steps_total += 1;
-                    t_stats.push(state.temperature());
-                    if let Some(tr) = trajectory.as_mut() {
-                        tr.observe(&state);
-                    }
-                    if let Some(c) = ckpt.as_ref() {
-                        if c.due(steps_total) {
-                            let (xi, eta) = nh.thermostat_state();
-                            // At the ramp→hold boundary the hold phase's
-                            // conserved reference is already a pure function
-                            // of this state; store it so a resume lands in
-                            // the hold with the right H'₀.
-                            let h_ref = if still_ramping {
-                                0.0
-                            } else {
-                                nh.conserved_quantity(&state)
-                            };
-                            c.write(
-                                steps_total as u64,
-                                &state,
-                                rng.state(),
-                                h_ref,
-                                0.0,
-                                &t_stats,
-                                Some(ThermostatSnapshot {
-                                    xi,
-                                    eta,
-                                    target_k: nh.target_k,
-                                    q: nh.q,
-                                }),
-                                Some(RampSnapshot {
-                                    holding: !still_ramping,
-                                    hold_step: 0,
-                                    steps_total: steps_total as u64,
-                                }),
-                                &mut recording,
-                            )?;
-                        }
-                    }
-                    if !still_ramping {
-                        break;
-                    }
-                }
-            }
-            // Hold phase: the set-point is fixed at `to_k`, so H' is a real
-            // conserved quantity again — measure its peak excursion.
-            let (hold_start, h0, mut drift) = match resume_hold {
-                Some((done, h_ref, drift)) => (done as usize, h_ref, drift),
-                None => (0usize, nh.conserved_quantity(&state), 0.0f64),
-            };
-            // Step records (and the drift watchdog) start here too: during
-            // the ramp the extended energy is not conserved, so feeding it
-            // to the watchdog would only produce spurious warns.
-            for hold_step in (hold_start + 1)..=hold_steps {
-                nh.step_with(&mut state, engine, &mut ws)?;
-                steps_total += 1;
-                t_stats.push(state.temperature());
-                drift = drift.max((nh.conserved_quantity(&state) - h0).abs());
-                if let Some(tr) = trajectory.as_mut() {
-                    tr.observe(&state);
-                }
-                if let Some(rec) = recording.as_mut() {
-                    rec.observe(
-                        hold_step,
-                        &state,
-                        nh.conserved_quantity(&state),
-                        model,
-                        &mut ws,
-                    )?;
-                }
-                if let Some(c) = ckpt.as_ref() {
-                    if c.due(steps_total) {
-                        let (xi, eta) = nh.thermostat_state();
-                        c.write(
-                            steps_total as u64,
-                            &state,
-                            rng.state(),
-                            h0,
-                            drift,
-                            &t_stats,
-                            Some(ThermostatSnapshot {
-                                xi,
-                                eta,
-                                target_k: nh.target_k,
-                                q: nh.q,
-                            }),
-                            Some(RampSnapshot {
-                                holding: true,
-                                hold_step: hold_step as u64,
-                                steps_total: steps_total as u64,
-                            }),
-                            &mut recording,
-                        )?;
-                    }
-                }
-            }
-            Ok(SimulationSummary {
-                final_potential_energy: state.potential_energy,
-                final_total_energy: state.total_energy(),
-                mean_temperature_k: t_stats.mean(),
-                conserved_drift: drift,
-                steps: steps_total,
-                converged: true,
-                trajectory,
-                final_velocities: state.velocities.clone(),
-                final_structure: state.structure,
-            })
-        }
-    }
+    SessionBuilder::new(*config)
+        .record(recorder, options)
+        .resume()
+        .build()?
+        .run()
 }
 
 #[cfg(test)]

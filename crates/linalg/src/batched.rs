@@ -27,12 +27,19 @@ use rayon::prelude::*;
 /// Run `f` once per job, optionally in parallel, returning results in job
 /// order. `f(idx, job)` gets the job's index in the batch so callers can
 /// seed or label per-job state deterministically.
+///
+/// A parallel request is additionally gated on the process compute budget
+/// ([`crate::budget::parallel_allowed`]): a caller running under a width-1
+/// lease is silently demoted to the serial launch, which is bitwise
+/// identical by the determinism contract above — the budget changes
+/// scheduling, never numerics.
 pub fn batch_map<J, T, F>(parallel: bool, jobs: &mut [J], f: F) -> Vec<T>
 where
     J: Send,
     T: Send,
     F: Fn(usize, &mut J) -> T + Sync,
 {
+    let parallel = parallel && crate::budget::parallel_allowed();
     struct Cell<'a, J, T> {
         idx: usize,
         job: &'a mut J,

@@ -22,6 +22,7 @@
 pub mod batched;
 pub mod bisection;
 pub mod blocked;
+pub mod budget;
 pub mod cholesky;
 pub mod eigh;
 pub mod inverse_iteration;
@@ -39,6 +40,10 @@ pub use blocked::{
     apply_q_blocked, eigh_blocked_into, eigh_partial_into, reduced_eigenvalues_into,
     reduced_eigenvectors_into, reduced_eigenvectors_offset_into, tridiagonalize_blocked_into,
     TRIDIAG_BLOCK,
+};
+pub use budget::{
+    budget_total, configure_budget, effective_width, high_water, leased_threads, parallel_allowed,
+    reset_high_water, try_lease, ComputeLease,
 };
 pub use cholesky::{
     generalized_eigh, generalized_eigh_into, Cholesky, CholeskyError, GeneralizedEigError,

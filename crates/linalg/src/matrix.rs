@@ -351,6 +351,9 @@ impl Matrix {
 /// every dimension ≤ [`KERNEL_MIN_DIM`] skip the blocking machinery
 /// entirely (same accumulation order, none of the panel overhead).
 fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, parallel: bool) {
+    // A width-1 compute-budget lease demotes the launch to the (bitwise
+    // identical) serial band walk.
+    let parallel = parallel && crate::budget::parallel_allowed();
     let (m, k, n) = (a.rows, a.cols, b.cols);
     tbmd_trace::add(tbmd_trace::Counter::KernelFlops, 2 * (m * k * n) as u64);
     if m.max(k).max(n) <= KERNEL_MIN_DIM {
@@ -399,6 +402,8 @@ impl Default for Matrix {
 /// row kernel has no panel setup to amortize, only the thread launch is
 /// skipped.
 fn syrk_into(a: &Matrix, out: &mut Matrix, parallel: bool) {
+    // Same budget demotion as `matmul_into`: scheduling only, not numerics.
+    let parallel = parallel && crate::budget::parallel_allowed();
     let n = a.rows;
     let k = a.cols;
     debug_assert_eq!((out.rows, out.cols), (n, n));

@@ -22,6 +22,13 @@ pub use ring_jacobi::{
     initial_column_owners, ring_jacobi_eigh, ring_jacobi_worker, DistributedEigh, RingJacobiReport,
 };
 pub use shared::{par_build_hamiltonian, par_forces, Eigensolver, SharedMemoryTb};
+// The process compute budget lives in `tbmd-linalg` (the lowest layer every
+// fan-out site can see); re-export it here so callers thinking in terms of
+// parallel execution find it next to the engines it throttles.
+pub use tbmd_linalg::budget::{
+    budget_total, configure_budget, effective_width, high_water, leased_threads, parallel_allowed,
+    reset_high_water, try_lease, ComputeLease,
+};
 pub use vmp::{
     default_recv_timeout, live_vmp_workers, partition_range, vmp_run, vmp_run_opts, CancelToken,
     FaultKind, FaultPlan, Rank, RankFault, RankStats, RecvTimeoutPolicy, VmpError, VmpFault,

@@ -154,29 +154,39 @@ pub fn par_build_hamiltonian_into(
         (0..s.n_atoms()).all(|i| s.species(i).n_orbitals() == 4),
         "par_build_hamiltonian assumes 4 orbitals per atom"
     );
-    h.as_mut_slice()
-        .par_chunks_mut(4 * n_orb)
-        .enumerate()
-        .for_each(|(i, band)| {
-            let e = model.on_site(s.species(i));
-            let oi = index.offset(i);
-            for (k, &ek) in e.iter().enumerate() {
-                band[k * n_orb + oi + k] = ek;
+    let build_band = |(i, band): (usize, &mut [f64])| {
+        let e = model.on_site(s.species(i));
+        let oi = index.offset(i);
+        for (k, &ek) in e.iter().enumerate() {
+            band[k * n_orb + oi + k] = ek;
+        }
+        for nb in nl.neighbors(i) {
+            let v = model.hoppings(nb.dist);
+            if v.iter().all(|&x| x == 0.0) {
+                continue;
             }
-            for nb in nl.neighbors(i) {
-                let v = model.hoppings(nb.dist);
-                if v.iter().all(|&x| x == 0.0) {
-                    continue;
-                }
-                let b = sk_block(nb.disp.to_array(), v);
-                let oj = index.offset(nb.j);
-                for (mu, row) in b.iter().enumerate() {
-                    for (nu, &x) in row.iter().enumerate() {
-                        band[mu * n_orb + oj + nu] += x;
-                    }
+            let b = sk_block(nb.disp.to_array(), v);
+            let oj = index.offset(nb.j);
+            for (mu, row) in b.iter().enumerate() {
+                for (nu, &x) in row.iter().enumerate() {
+                    band[mu * n_orb + oj + nu] += x;
                 }
             }
-        });
+        }
+    };
+    // Each band is written by exactly one task with identical arithmetic
+    // either way, so the budget-throttled serial walk is bitwise equal.
+    if tbmd_linalg::parallel_allowed() {
+        h.as_mut_slice()
+            .par_chunks_mut(4 * n_orb)
+            .enumerate()
+            .for_each(build_band);
+    } else {
+        h.as_mut_slice()
+            .chunks_mut(4 * n_orb)
+            .enumerate()
+            .for_each(build_band);
+    }
     grew
 }
 
@@ -191,55 +201,66 @@ pub fn par_forces(
     rho: &Matrix,
 ) -> (f64, Vec<Vec3>) {
     let n = s.n_atoms();
+    let wide = tbmd_linalg::parallel_allowed();
     // Per-atom embedding arguments and derivatives (cheap, parallel).
-    let x: Vec<f64> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            nl.neighbors(i)
-                .iter()
-                .map(|nb| model.repulsion(nb.dist).0)
-                .sum()
-        })
-        .collect();
-    let fx: Vec<(f64, f64)> = x.par_iter().map(|&xi| model.embedding(xi)).collect();
+    // Every per-atom value is computed by one task with fixed-order
+    // arithmetic, so the budget-throttled serial map is bitwise equal.
+    let embed_arg = |i: usize| -> f64 {
+        nl.neighbors(i)
+            .iter()
+            .map(|nb| model.repulsion(nb.dist).0)
+            .sum()
+    };
+    let x: Vec<f64> = if wide {
+        (0..n).into_par_iter().map(embed_arg).collect()
+    } else {
+        (0..n).map(embed_arg).collect()
+    };
+    let fx: Vec<(f64, f64)> = if wide {
+        x.par_iter().map(|&xi| model.embedding(xi)).collect()
+    } else {
+        x.iter().map(|&xi| model.embedding(xi)).collect()
+    };
     let e_rep: f64 = fx.iter().map(|&(f, _)| f).sum();
 
-    let forces: Vec<Vec3> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let oi = index.offset(i);
-            let mut fi = Vec3::ZERO;
-            for nb in nl.neighbors(i) {
-                if nb.j == i {
-                    continue;
-                }
-                // Electronic part: 2 ρ_ij : ∂B/∂d.
-                let v = model.hoppings(nb.dist);
-                let dv = model.hoppings_deriv(nb.dist);
-                if !(v.iter().all(|&x| x == 0.0) && dv.iter().all(|&x| x == 0.0)) {
-                    let grad = tbmd_model::sk_block_gradient(nb.disp.to_array(), v, dv);
-                    let oj = index.offset(nb.j);
-                    for gamma in 0..3 {
-                        let mut acc = 0.0;
-                        for (mu, grow) in grad[gamma].iter().enumerate() {
-                            for (nu, &g) in grow.iter().enumerate() {
-                                acc += rho[(oi + mu, oj + nu)] * g;
-                            }
+    let force_on = |i: usize| -> Vec3 {
+        let oi = index.offset(i);
+        let mut fi = Vec3::ZERO;
+        for nb in nl.neighbors(i) {
+            if nb.j == i {
+                continue;
+            }
+            // Electronic part: 2 ρ_ij : ∂B/∂d.
+            let v = model.hoppings(nb.dist);
+            let dv = model.hoppings_deriv(nb.dist);
+            if !(v.iter().all(|&x| x == 0.0) && dv.iter().all(|&x| x == 0.0)) {
+                let grad = tbmd_model::sk_block_gradient(nb.disp.to_array(), v, dv);
+                let oj = index.offset(nb.j);
+                for gamma in 0..3 {
+                    let mut acc = 0.0;
+                    for (mu, grow) in grad[gamma].iter().enumerate() {
+                        for (nu, &g) in grow.iter().enumerate() {
+                            acc += rho[(oi + mu, oj + nu)] * g;
                         }
-                        fi[gamma] += 2.0 * acc;
                     }
-                }
-                // Repulsive part, gather form:
-                // F_i += (f'(x_i) + f'(x_j)) φ'(r) d̂.
-                let (_, dphi) = model.repulsion(nb.dist);
-                if dphi != 0.0 {
-                    let unit = nb.disp / nb.dist;
-                    fi += unit * ((fx[i].1 + fx[nb.j].1) * dphi);
+                    fi[gamma] += 2.0 * acc;
                 }
             }
-            fi
-        })
-        .collect();
+            // Repulsive part, gather form:
+            // F_i += (f'(x_i) + f'(x_j)) φ'(r) d̂.
+            let (_, dphi) = model.repulsion(nb.dist);
+            if dphi != 0.0 {
+                let unit = nb.disp / nb.dist;
+                fi += unit * ((fx[i].1 + fx[nb.j].1) * dphi);
+            }
+        }
+        fi
+    };
+    let forces: Vec<Vec3> = if wide {
+        (0..n).into_par_iter().map(force_on).collect()
+    } else {
+        (0..n).map(force_on).collect()
+    };
     (e_rep, forces)
 }
 

@@ -1,0 +1,521 @@
+//! # tbmd-serve
+//!
+//! A multiplexed trajectory service over the session pipeline: many tenants
+//! (trajectory jobs) share one process and one [`ComputeBudget`] — each
+//! tenant is a [`tbmd::Session`] advanced round-robin in quanta of MD
+//! steps, streaming its JSONL step records back to the submitter as they
+//! are produced.
+//!
+//! The library half is transport-agnostic: [`Multiplexer`] takes parsed
+//! [`JobSpec`]s plus any `Write + Send` sink (a socket, a shared buffer, a
+//! file) and runs the scheduling loop. The `tbmd-serve` binary wraps it in
+//! a Unix-domain-socket daemon speaking newline-delimited JSON.
+//!
+//! Scheduling invariants (asserted by the `report_serve` benchmark gate):
+//!
+//! - every tenant's trajectory is bitwise the one a standalone
+//!   `run_simulation` of the same config produces — multiplexing changes
+//!   *when* steps run, never *what* they compute;
+//! - admitted tenants hold a [`tbmd::ComputeLease`]; when
+//!   [`tbmd::configure_budget`] caps the process, jobs past the cap wait in
+//!   the admission queue until a running tenant finishes and refunds its
+//!   lease, so the pool's high-water mark never exceeds the budget.
+//!
+//! [`ComputeBudget`]: tbmd::configure_budget
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use tbmd::{
+    run_manifest, try_lease, CheckpointStore, EngineKind, Protocol, RecorderConfig, Session,
+    SessionBuilder, SessionStatus, SimulationConfig, SimulationSummary, SystemSpec,
+};
+use tbmd_trace::{JsonValue, RunRecorder};
+
+/// One trajectory job as submitted by a client.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Client-chosen job name (echoed in reports and error lines).
+    pub name: String,
+    /// The simulation to run.
+    pub config: SimulationConfig,
+    /// MD steps granted per scheduler visit (round-robin quantum).
+    pub quantum: usize,
+    /// Worker threads this job leases from the process budget.
+    pub threads: usize,
+    /// Eigensolver health-probe stride (0 — the service default — skips
+    /// the probes; they cost an extra dense solve).
+    pub health_stride: usize,
+    /// Snapshot every N steps into a per-tenant in-memory
+    /// [`tbmd::SnapshotBackend`] (0 disables).
+    pub checkpoint_interval: usize,
+    /// Snapshots retained by the in-memory store.
+    pub retain: usize,
+}
+
+impl JobSpec {
+    /// A job with the service defaults: 8-step quantum, one leased thread,
+    /// no health probes, no checkpointing.
+    pub fn new(name: impl Into<String>, config: SimulationConfig) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            config,
+            quantum: 8,
+            threads: 1,
+            health_stride: 0,
+            checkpoint_interval: 0,
+            retain: 3,
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Run a trajectory job.
+    Job(Box<JobSpec>),
+    /// Finish the running jobs, then exit the daemon.
+    Shutdown,
+}
+
+fn num(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(|x| x.as_f64())
+}
+
+fn int(v: &JsonValue, key: &str) -> Option<usize> {
+    num(v, key).map(|x| x.max(0.0) as usize)
+}
+
+/// Parse one newline-delimited JSON request line.
+///
+/// Job lines look like
+/// `{"job":"a","system":"si","reps":1,"protocol":"nve","temperature_k":300,"steps":50}`
+/// — see the README quick-start for the full field list. `{"shutdown":true}`
+/// asks the daemon to drain and exit.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = JsonValue::parse(line).map_err(|e| e.to_string())?;
+    if v.get("shutdown").and_then(|b| b.as_bool()) == Some(true) {
+        return Ok(Request::Shutdown);
+    }
+    let name = v
+        .get("job")
+        .and_then(|s| s.as_str())
+        .ok_or_else(|| "request needs a \"job\" name".to_string())?
+        .to_string();
+    let reps = int(&v, "reps").unwrap_or(1).max(1);
+    let system = match v.get("system").and_then(|s| s.as_str()).unwrap_or("si") {
+        "si" | "silicon" => SystemSpec::SiliconDiamond { reps },
+        "c" | "carbon" => SystemSpec::CarbonDiamond { reps },
+        "graphene" => SystemSpec::Graphene { nx: reps, ny: reps },
+        "c60" => SystemSpec::C60,
+        other => return Err(format!("unknown system {other:?}")),
+    };
+    let engine = match v.get("engine").and_then(|s| s.as_str()).unwrap_or("serial") {
+        "serial" => EngineKind::Serial,
+        "shared" => EngineKind::Shared,
+        "shared-jacobi" => EngineKind::SharedJacobi,
+        "distributed" => EngineKind::Distributed {
+            ranks: int(&v, "ranks").unwrap_or(2).max(1),
+        },
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    let temperature_k = num(&v, "temperature_k").unwrap_or(300.0);
+    let steps = int(&v, "steps").unwrap_or(100);
+    let dt_fs = num(&v, "dt_fs").unwrap_or(1.0);
+    let protocol = match v.get("protocol").and_then(|s| s.as_str()).unwrap_or("nve") {
+        "nve" => Protocol::Nve {
+            temperature_k,
+            steps,
+            dt_fs,
+        },
+        "nvt" => Protocol::Nvt {
+            temperature_k,
+            steps,
+            dt_fs,
+            tau_fs: num(&v, "tau_fs").unwrap_or(50.0),
+        },
+        "relax" => Protocol::Relax {
+            force_tolerance: num(&v, "force_tolerance").unwrap_or(2e-2),
+            max_iterations: int(&v, "max_iterations").unwrap_or(200),
+        },
+        other => return Err(format!("unknown protocol {other:?}")),
+    };
+    let config = SimulationConfig {
+        system,
+        engine,
+        protocol,
+        electronic_kt: num(&v, "electronic_kt").unwrap_or(0.1),
+        perturb: num(&v, "perturb").unwrap_or(0.0),
+        seed: num(&v, "seed").unwrap_or(42.0) as u64,
+        record_stride: 0,
+    };
+    let mut spec = JobSpec::new(name, config);
+    if let Some(q) = int(&v, "quantum") {
+        spec.quantum = q.max(1);
+    }
+    if let Some(t) = int(&v, "threads") {
+        spec.threads = t.max(1);
+    }
+    if let Some(h) = int(&v, "health_stride") {
+        spec.health_stride = h;
+    }
+    if let Some(c) = int(&v, "checkpoint_interval") {
+        spec.checkpoint_interval = c;
+    }
+    if let Some(r) = int(&v, "retain") {
+        spec.retain = r;
+    }
+    Ok(Request::Job(Box::new(spec)))
+}
+
+/// A cloneable handle over a client sink, so the recorder streams through
+/// it while the scheduler keeps a second handle for error lines.
+#[derive(Clone)]
+struct SharedSink(Arc<Mutex<Box<dyn Write + Send>>>);
+
+impl SharedSink {
+    fn line(&self, text: &str) {
+        if let Ok(mut w) = self.0.lock() {
+            let _ = w.write_all(text.as_bytes());
+            let _ = w.write_all(b"\n");
+            let _ = w.flush();
+        }
+    }
+}
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .map_err(|_| std::io::Error::other("sink poisoned"))?
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0
+            .lock()
+            .map_err(|_| std::io::Error::other("sink poisoned"))?
+            .flush()
+    }
+}
+
+/// One admitted job: its session, its stream, and its quantum.
+struct Tenant {
+    name: String,
+    session: Session<'static>,
+    quantum: usize,
+    sink: SharedSink,
+}
+
+/// How one job ended.
+#[derive(Debug)]
+pub struct TenantReport {
+    pub name: String,
+    /// MD steps the session executed.
+    pub steps: usize,
+    /// Force/energy evaluations across the run.
+    pub evaluations: u64,
+    /// Workspace growth events attributed to this tenant alone.
+    pub alloc_events: u64,
+    /// The summary on success, the error text otherwise.
+    pub outcome: Result<SimulationSummary, String>,
+}
+
+/// Round-robin scheduler over many [`tbmd::Session`]s under the process
+/// compute budget. Submissions past the budget wait in an admission queue;
+/// each finished tenant refunds its lease, letting the queue drain.
+#[derive(Default)]
+pub struct Multiplexer {
+    active: Vec<Tenant>,
+    waiting: VecDeque<(JobSpec, SharedSink)>,
+    reports: Vec<TenantReport>,
+}
+
+impl Multiplexer {
+    pub fn new() -> Multiplexer {
+        Multiplexer::default()
+    }
+
+    /// Queue a job; its JSONL record stream goes to `sink`. Admission (and
+    /// the budget check) happens on the next [`Multiplexer::tick`].
+    pub fn submit(&mut self, spec: JobSpec, sink: impl Write + Send + 'static) {
+        let sink = SharedSink(Arc::new(
+            Mutex::new(Box::new(sink) as Box<dyn Write + Send>),
+        ));
+        self.waiting.push_back((spec, sink));
+    }
+
+    /// Jobs currently running.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Jobs waiting for a lease.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Admit queued jobs while the budget grants leases, in submission
+    /// order (no overtaking: one oversized job at the head blocks the
+    /// queue rather than starving forever).
+    fn admit(&mut self) {
+        while let Some((spec, sink)) = self.waiting.front() {
+            let Some(lease) = try_lease(spec.threads) else {
+                break;
+            };
+            let (spec, sink) = (spec.clone(), sink.clone());
+            self.waiting.pop_front();
+            match Self::build_tenant(spec, sink.clone(), lease) {
+                Ok(tenant) => self.active.push(tenant),
+                Err(report) => {
+                    if let Err(detail) = &report.outcome {
+                        sink.line(&error_line(&report.name, detail));
+                    }
+                    self.reports.push(*report);
+                }
+            }
+        }
+    }
+
+    fn build_tenant(
+        spec: JobSpec,
+        sink: SharedSink,
+        lease: tbmd::ComputeLease,
+    ) -> Result<Tenant, Box<TenantReport>> {
+        let fail = |name: &str, detail: String| {
+            Box::new(TenantReport {
+                name: name.to_string(),
+                steps: 0,
+                evaluations: 0,
+                alloc_events: 0,
+                outcome: Err(detail),
+            })
+        };
+        let manifest = run_manifest(&spec.config);
+        let recorder = RunRecorder::to_writer(sink.clone(), &manifest)
+            .map_err(|e| fail(&spec.name, format!("recorder: {e}")))?;
+        let options = RecorderConfig {
+            health_stride: spec.health_stride,
+            checkpoint: None,
+        };
+        let mut builder = SessionBuilder::new(spec.config)
+            .record_owned(recorder, options)
+            .lease(lease);
+        if spec.checkpoint_interval > 0 {
+            builder = builder.checkpoint_store(
+                CheckpointStore::in_memory(spec.retain),
+                spec.checkpoint_interval,
+            );
+        }
+        let session = builder
+            .build()
+            .map_err(|e| fail(&spec.name, e.to_string()))?;
+        Ok(Tenant {
+            name: spec.name,
+            session,
+            quantum: spec.quantum,
+            sink,
+        })
+    }
+
+    /// One scheduler sweep: admit what the budget allows, then give every
+    /// active tenant one quantum of MD steps. Returns `true` while any job
+    /// is active or queued.
+    pub fn tick(&mut self) -> bool {
+        self.admit();
+        let mut i = 0;
+        while i < self.active.len() {
+            let tenant = &mut self.active[i];
+            let target = tenant.session.steps_done() + tenant.quantum;
+            match tenant.session.run_until(target) {
+                Ok(SessionStatus::Running) => i += 1,
+                Ok(SessionStatus::Done) => {
+                    let tenant = self.active.remove(i);
+                    self.retire(tenant, None);
+                }
+                Err(e) => {
+                    let tenant = self.active.remove(i);
+                    self.retire(tenant, Some(e.to_string()));
+                }
+            }
+        }
+        !self.active.is_empty() || !self.waiting.is_empty()
+    }
+
+    /// Finalize one tenant: emit the summary (or error) line, refund the
+    /// lease, file the report.
+    fn retire(&mut self, mut tenant: Tenant, error: Option<String>) {
+        let steps = tenant.session.steps_done();
+        let evaluations = tenant.session.evaluations();
+        let alloc_events = tenant.session.large_alloc_events();
+        let summary = tenant.session.take_summary();
+        // Refund before the recorder flushes, so a queued job can be
+        // admitted on the very next sweep.
+        drop(tenant.session.take_lease());
+        let outcome = match (error, summary) {
+            (Some(detail), _) => {
+                tenant.sink.line(&error_line(&tenant.name, &detail));
+                // Drop (not finish) the recorder: buffered lines still
+                // flush, but no misleading success summary is emitted.
+                drop(tenant.session.take_recorder());
+                Err(detail)
+            }
+            (None, Some(summary)) => {
+                if let Some(recorder) = tenant.session.take_recorder() {
+                    if let Err(e) = recorder.finish() {
+                        tenant.sink.line(&error_line(&tenant.name, &e.to_string()));
+                    }
+                }
+                Ok(summary)
+            }
+            (None, None) => Err("session finished without a summary".to_string()),
+        };
+        self.reports.push(TenantReport {
+            name: tenant.name,
+            steps,
+            evaluations,
+            alloc_events,
+            outcome,
+        });
+        drop(tenant.session);
+    }
+
+    /// Run the scheduling loop until every submitted job has finished, then
+    /// hand back the reports.
+    pub fn drain(&mut self) -> Vec<TenantReport> {
+        while self.tick() {}
+        std::mem::take(&mut self.reports)
+    }
+}
+
+fn error_line(job: &str, detail: &str) -> String {
+    let mut line = JsonValue::object();
+    line.set("type", "error")
+        .set("job", job)
+        .set("detail", detail);
+    line.to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbmd::run_simulation;
+
+    /// A Vec<u8> sink whose contents outlive the recorder.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn lines(buf: &Buf) -> Vec<JsonValue> {
+        String::from_utf8(buf.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(|l| JsonValue::parse(l).expect("valid JSONL"))
+            .collect()
+    }
+
+    #[test]
+    fn parses_job_line_with_defaults() {
+        let r = parse_request(r#"{"job":"a","steps":12,"seed":7}"#).unwrap();
+        let Request::Job(spec) = r else {
+            panic!("expected a job");
+        };
+        assert_eq!(spec.name, "a");
+        assert_eq!(spec.config.seed, 7);
+        assert!(matches!(
+            spec.config.protocol,
+            Protocol::Nve { steps: 12, .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"shutdown":true}"#).unwrap(),
+            Request::Shutdown
+        ));
+        assert!(parse_request(r#"{"steps":3}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn multiplexed_tenants_match_standalone_runs() {
+        let mut ca = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 10);
+        ca.seed = 7;
+        let mut cb = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 420.0, 14);
+        cb.seed = 8;
+        let ra = run_simulation(&ca).unwrap();
+        let rb = run_simulation(&cb).unwrap();
+
+        let (ba, bb) = (Buf::default(), Buf::default());
+        let mut mux = Multiplexer::new();
+        let mut sa = JobSpec::new("a", ca);
+        sa.quantum = 3;
+        let mut sb = JobSpec::new("b", cb);
+        sb.quantum = 5;
+        mux.submit(sa, ba.clone());
+        mux.submit(sb, bb.clone());
+        let mut reports = mux.drain();
+        reports.sort_by(|x, y| x.name.cmp(&y.name));
+        assert_eq!(reports.len(), 2);
+        let qa = reports[0].outcome.as_ref().expect("job a ok");
+        let qb = reports[1].outcome.as_ref().expect("job b ok");
+        assert_eq!(
+            qa.final_total_energy.to_bits(),
+            ra.final_total_energy.to_bits()
+        );
+        assert_eq!(
+            qb.final_total_energy.to_bits(),
+            rb.final_total_energy.to_bits()
+        );
+        assert_eq!(reports[0].steps, 10);
+        assert_eq!(reports[1].steps, 14);
+
+        // Each tenant's stream: manifest, one step line per MD step, summary.
+        for (buf, steps) in [(&ba, 10usize), (&bb, 14)] {
+            let ls = lines(buf);
+            assert_eq!(ls[0].get("type").unwrap().as_str(), Some("manifest"));
+            assert_eq!(
+                ls.last().unwrap().get("type").unwrap().as_str(),
+                Some("summary")
+            );
+            let n_steps = ls
+                .iter()
+                .filter(|l| l.get("type").unwrap().as_str() == Some("step"))
+                .count();
+            assert_eq!(n_steps, steps);
+        }
+    }
+
+    #[test]
+    fn error_tenant_reports_and_streams_an_error_line() {
+        // 0 atoms is impossible through SystemSpec, so provoke the error
+        // with a config whose resume has no snapshot: a bad engine config
+        // is not constructible either — use an unknown-species carbon model
+        // mismatch instead. Simplest robust failure: Relax with
+        // max_iterations = 0 still succeeds, so instead give the session a
+        // checkpoint store and ask for resume... Session::resume is not
+        // reachable through JobSpec, so exercise the admission error path
+        // directly: a recorder whose sink always fails.
+        struct FailSink;
+        impl Write for FailSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("sink closed"))
+            }
+        }
+        let config = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 2);
+        let mut mux = Multiplexer::new();
+        mux.submit(JobSpec::new("bad", config), FailSink);
+        let reports = mux.drain();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].outcome.is_err(), "{:?}", reports[0].outcome);
+    }
+}

@@ -1,0 +1,188 @@
+//! `tbmd-serve` — a local trajectory daemon over a Unix domain socket.
+//!
+//! Clients connect and send one newline-delimited JSON request per line;
+//! each job streams its JSONL records (manifest, step, ckpt, summary) back
+//! on the same connection as they are produced. All jobs share the
+//! process-wide compute budget: submissions past `--budget` wait in the
+//! admission queue.
+//!
+//! ```text
+//! tbmd-serve --socket /tmp/tbmd.sock --budget 4
+//! ```
+
+#[cfg(unix)]
+fn main() {
+    if let Err(e) = unix::run() {
+        eprintln!("tbmd-serve: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("tbmd-serve needs Unix domain sockets; this platform has none");
+    std::process::exit(1);
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::mpsc::{self, RecvTimeoutError};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tbmd_serve::{parse_request, JobSpec, Multiplexer, Request};
+
+    struct Args {
+        socket: PathBuf,
+        budget: usize,
+    }
+
+    fn parse_args() -> Result<Args, String> {
+        let mut args = Args {
+            socket: PathBuf::from("/tmp/tbmd-serve.sock"),
+            budget: 0,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--socket" => {
+                    args.socket = it
+                        .next()
+                        .ok_or_else(|| "--socket needs a path".to_string())?
+                        .into();
+                }
+                "--budget" => {
+                    args.budget = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--budget needs a thread count".to_string())?;
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: tbmd-serve [--socket PATH] [--budget THREADS]\n\
+                         \n\
+                         Accepts newline-delimited JSON trajectory jobs on a Unix\n\
+                         socket and streams JSONL step records back per job.\n\
+                         --budget 0 (default) leaves the compute pool uncapped."
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(args)
+    }
+
+    pub fn run() -> Result<(), String> {
+        let args = parse_args()?;
+        tbmd::configure_budget(args.budget);
+        // A stale socket file from a previous run refuses the bind.
+        let _ = std::fs::remove_file(&args.socket);
+        let listener =
+            UnixListener::bind(&args.socket).map_err(|e| format!("bind {:?}: {e}", args.socket))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking listener: {e}"))?;
+        eprintln!(
+            "tbmd-serve listening on {:?} (budget: {})",
+            args.socket,
+            if args.budget == 0 {
+                "uncapped".to_string()
+            } else {
+                args.budget.to_string()
+            }
+        );
+
+        let (jobs_tx, jobs_rx) = mpsc::channel::<(JobSpec, UnixStream)>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        // Accept loop on its own thread: it only parses lines and forwards
+        // jobs; all sessions live on the scheduler thread below.
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let jobs_tx = jobs_tx.clone();
+                            let shutdown = Arc::clone(&shutdown);
+                            std::thread::spawn(move || serve_client(stream, jobs_tx, shutdown));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        // Scheduler loop: drain submissions, give every tenant a quantum,
+        // exit once a shutdown request arrives and the queues are empty.
+        let mut mux = Multiplexer::new();
+        loop {
+            while let Ok((spec, stream)) = jobs_rx.try_recv() {
+                mux.submit(spec, stream);
+            }
+            let busy = mux.tick();
+            if !busy {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Idle: block (briefly) instead of spinning.
+                match jobs_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok((spec, stream)) => mux.submit(spec, stream),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        let _ = acceptor.join();
+        let _ = std::fs::remove_file(&args.socket);
+        Ok(())
+    }
+
+    /// Per-connection reader: one JSON request per line; each job gets a
+    /// cloned write handle of the same stream for its record stream.
+    fn serve_client(
+        stream: UnixStream,
+        jobs_tx: mpsc::Sender<(JobSpec, UnixStream)>,
+        shutdown: Arc<AtomicBool>,
+    ) {
+        let reader = match stream.try_clone() {
+            Ok(s) => BufReader::new(s),
+            Err(_) => return,
+        };
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(&line) {
+                Ok(Request::Job(spec)) => match stream.try_clone() {
+                    Ok(sink) => {
+                        if jobs_tx.send((*spec, sink)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                },
+                Ok(Request::Shutdown) => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+                Err(detail) => {
+                    let mut line = tbmd_trace::JsonValue::object();
+                    line.set("type", "error").set("detail", detail.as_str());
+                    let mut w = &stream;
+                    let _ = w.write_all(line.to_compact().as_bytes());
+                    let _ = w.write_all(b"\n");
+                    let _ = w.flush();
+                }
+            }
+        }
+    }
+}

@@ -130,6 +130,9 @@ impl HealthRecord {
 enum Output {
     File(BufWriter<File>),
     Memory(Vec<String>),
+    /// Caller-supplied writer, flushed after every line — the serve
+    /// daemon's live per-tenant JSONL stream.
+    Stream(Box<dyn Write + Send>),
 }
 
 /// Sink for one run's JSONL stream. Writes the manifest on construction,
@@ -185,6 +188,16 @@ impl RunRecorder {
         RunRecorder::new(Output::Memory(Vec::new()), manifest).expect("in-memory write")
     }
 
+    /// Record into a caller-supplied writer (e.g. a client socket), flushing
+    /// after every line so a consumer tailing the stream sees each record as
+    /// soon as it is produced.
+    pub fn to_writer(
+        writer: impl Write + Send + 'static,
+        manifest: &RunManifest,
+    ) -> io::Result<RunRecorder> {
+        RunRecorder::new(Output::Stream(Box::new(writer)), manifest)
+    }
+
     /// Replace the drift tripwire budget (eV per 1000 steps).
     pub fn with_drift_budget(mut self, budget_ev_per_1k: f64) -> RunRecorder {
         self.drift = DriftWatchdog::new(budget_ev_per_1k);
@@ -201,7 +214,16 @@ impl RunRecorder {
     pub fn lines(&self) -> &[String] {
         match &self.out {
             Output::Memory(lines) => lines,
-            Output::File(_) => &[],
+            Output::File(_) | Output::Stream(_) => &[],
+        }
+    }
+
+    /// Push buffered lines to the underlying file/stream (no-op in memory).
+    pub fn flush(&mut self) -> io::Result<()> {
+        match &mut self.out {
+            Output::File(w) => w.flush(),
+            Output::Stream(w) => w.flush(),
+            Output::Memory(_) => Ok(()),
         }
     }
 
@@ -302,9 +324,17 @@ impl RunRecorder {
         }
         v.set("counters", counters);
         self.write_line(&v)?;
-        let lines = match self.out {
+        // Swap the output out so `finish` can consume it while the Drop
+        // impl (which handles the *unfinished* early-exit path) still
+        // exists; the leftover empty Memory output makes that drop a no-op.
+        let out = std::mem::replace(&mut self.out, Output::Memory(Vec::new()));
+        let lines = match out {
             Output::Memory(lines) => lines,
             Output::File(mut w) => {
+                w.flush()?;
+                Vec::new()
+            }
+            Output::Stream(mut w) => {
                 w.flush()?;
                 Vec::new()
             }
@@ -328,7 +358,22 @@ impl RunRecorder {
                 lines.push(line);
                 Ok(())
             }
+            Output::Stream(w) => {
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
+                // A stream consumer is tailing live: hand the line over now.
+                w.flush()
+            }
         }
+    }
+}
+
+impl Drop for RunRecorder {
+    /// Best-effort flush so a run that dies mid-flight (fault injection,
+    /// early `?` return, panic unwind) never loses step lines that were
+    /// already recorded but still sitting in the write buffer.
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -416,6 +461,82 @@ mod tests {
             parsed[2].get("reason").unwrap().as_str(),
             Some("rank_failure")
         );
+    }
+
+    #[test]
+    fn drop_without_finish_flushes_buffered_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "tbmd_recorder_drop_flush_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut rec = RunRecorder::to_path(&path, &manifest()).expect("create");
+            for step in 0..4 {
+                rec.record_step(&StepRecord {
+                    step,
+                    conserved_ev: -300.0,
+                    ..StepRecord::default()
+                })
+                .expect("record");
+            }
+            // Dropped here without finish() — the abrupt-death path of a
+            // fault-injected run. The buffered step lines must survive.
+        }
+        let contents = std::fs::read_to_string(&path).expect("read back");
+        let types: Vec<String> = contents
+            .lines()
+            .map(|l| {
+                JsonValue::parse(l)
+                    .expect("parses")
+                    .get("type")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(
+            types,
+            ["manifest", "step", "step", "step", "step"],
+            "buffered lines lost on drop"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stream_output_delivers_each_line_immediately() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut rec = RunRecorder::to_writer(buf.clone(), &manifest()).expect("create");
+        rec.record_step(&StepRecord {
+            step: 0,
+            conserved_ev: -300.0,
+            ..StepRecord::default()
+        })
+        .expect("record");
+        // Mid-run, before finish: the consumer must already see both lines.
+        let seen = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(seen.lines().count(), 2, "stream lines not delivered live");
+        let summary = rec.finish().expect("finish");
+        assert_eq!(summary.steps, 1);
+        let seen = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let last = seen.lines().last().unwrap();
+        let parsed = JsonValue::parse(last).expect("parses");
+        assert_eq!(parsed.get("type").unwrap().as_str(), Some("summary"));
     }
 
     #[test]
