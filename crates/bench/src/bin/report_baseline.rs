@@ -35,9 +35,9 @@ use tbmd::trace::{git_describe, Counter, JsonValue, Phase};
 use tbmd::{
     live_vmp_workers, run_manifest, run_simulation_checkpointed, run_simulation_recorded,
     run_simulation_resilient_with, silicon_gsp, CheckpointConfig, CheckpointStore,
-    DistributedSolver, DistributedTb, EngineKind, FaultKind, FaultPlan, ForceProvider,
-    RecorderConfig, ResilienceOptions, RunRecorder, SharedMemoryTb, SimulationConfig, Species,
-    Structure, SystemSpec, TbCalculator, TraceSink, Workspace,
+    DistributedSolver, DistributedTb, EngineKind, FaultKind, FaultPlan, ForceProvider, Hist,
+    RecorderConfig, ResilienceOptions, RunRecorder, SessionBuilder, SessionStatus, SharedMemoryTb,
+    SimulationConfig, Species, Structure, SystemSpec, TbCalculator, TraceSink, Workspace,
 };
 use tbmd_bench::{check_gate, compare_baselines, fmt_ms, write_json, BenchArgs, ReportTable};
 use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
@@ -600,6 +600,60 @@ fn main() {
     };
     let (serve_json, serve_max_active, serve_hw, serve_bitwise, serve_wall) = serve;
     root.set("serve", serve_json);
+
+    // --- Telemetry headline: Si-8 NVE with the collecting sink (latency
+    // histograms live) vs the disabled sink — overhead ratio and the p99
+    // per-step latency the histograms reconstruct (`report_telemetry`
+    // applies the tight gate; this keeps the numbers in BENCH_phase.json).
+    let telemetry = {
+        let mut c = SimulationConfig::nve(SystemSpec::SiliconDiamond { reps: 1 }, 300.0, 16);
+        c.seed = 23;
+        let run = |sink: TraceSink| -> std::time::Duration {
+            tbmd::trace::install(sink);
+            let mut session = SessionBuilder::new(c).build().expect("telemetry session");
+            let t0 = Instant::now();
+            while session.step().expect("telemetry step") != SessionStatus::Done {}
+            t0.elapsed()
+        };
+        let mut off = f64::INFINITY;
+        let mut on = f64::INFINITY;
+        let mut step_hist = tbmd::trace::histograms().hist(Hist::Step).clone();
+        for _ in 0..3 {
+            off = off.min(run(TraceSink::disabled()).as_secs_f64() * 1e3);
+            on = on.min(run(TraceSink::collecting()).as_secs_f64() * 1e3);
+            step_hist = tbmd::trace::histograms().hist(Hist::Step).clone();
+            tbmd::trace::install(TraceSink::disabled());
+        }
+        let ratio = on / off;
+        let p99_ms = step_hist.percentile_ns(0.99).unwrap_or(f64::NAN) * 1e-6;
+        let mut v = JsonValue::object();
+        v.set("disabled_ms", off)
+            .set("collecting_ms", on)
+            .set("overhead_ratio", ratio)
+            .set("step_count", step_hist.count())
+            .set("p99_step_ms", p99_ms);
+        (v, off, on, ratio, p99_ms, step_hist.count())
+    };
+    let (
+        telemetry_json,
+        telemetry_off,
+        telemetry_on,
+        telemetry_ratio,
+        telemetry_p99,
+        telemetry_steps,
+    ) = telemetry;
+    root.set("telemetry", telemetry_json);
+    let mut telemetry_table = ReportTable::new(
+        "Baseline: telemetry overhead (Si-8 NVE, 16 steps, min of 3)",
+        &["off/ms", "on/ms", "ratio", "steps", "p99 step/ms"],
+    );
+    telemetry_table.row(vec![
+        format!("{telemetry_off:.3}"),
+        format!("{telemetry_on:.3}"),
+        format!("{telemetry_ratio:.4}"),
+        telemetry_steps.to_string(),
+        format!("{telemetry_p99:.4}"),
+    ]);
     let mut serve_table = ReportTable::new(
         "Baseline: multiplexed serve (2 Si-8 NVE tenants, budget 1 thread)",
         &["tenants", "budget", "max act.", "hw", "bitwise", "wall/ms"],
@@ -620,6 +674,7 @@ fn main() {
     ckpt_table.print();
     rec_table.print();
     serve_table.print();
+    telemetry_table.print();
     println!(
         "\nsliced vs ring-Jacobi wire bytes at N = {}, P = 4: {} vs {} ({:.1}x)",
         s64.n_atoms(),
@@ -689,6 +744,17 @@ fn main() {
                     .and_then(|x| x.as_f64())
                     .is_some_and(|hw| hw <= 1.0)
         });
+        // Loose sanity bound only — the tight <2% overhead gate lives in
+        // `report_telemetry -- check`, run on its own quiet process.
+        let telemetry_ok = v.get("telemetry").is_some_and(|t| {
+            t.get("overhead_ratio")
+                .and_then(|x| x.as_f64())
+                .is_some_and(|r| r.is_finite() && r < 1.5)
+                && t.get("step_count").and_then(|x| x.as_f64()) == Some(16.0)
+                && t.get("p99_step_ms")
+                    .and_then(|x| x.as_f64())
+                    .is_some_and(|p| p.is_finite() && p > 0.0)
+        });
 
         // Regression gate against the previous CI artifact: loose on wall
         // times (noisy hosts), near-exact on wire bytes. A missing artifact
@@ -724,9 +790,10 @@ fn main() {
                 && ckpt_ok
                 && recovery_ok
                 && serve_ok
+                && telemetry_ok
                 && prev_ok,
             &format!(
-                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, recovery={recovery_ok}, serve={serve_ok}, regression: {prev_note}"
+                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, recovery={recovery_ok}, serve={serve_ok}, telemetry={telemetry_ok}, regression: {prev_note}"
             ),
         );
     }

@@ -60,4 +60,6 @@ pub use tbmd_parallel::{
     MachineProfile, RecvTimeoutPolicy, SharedMemoryTb,
 };
 pub use tbmd_structure::{Cell, NeighborList, Species, Structure, VerletNeighborList};
-pub use tbmd_trace::{RunManifest, RunRecorder, TraceSink, WatchdogStatus};
+pub use tbmd_trace::{
+    Hist, HistogramSet, RunManifest, RunRecorder, ScopedSink, TraceSink, WatchdogStatus,
+};

@@ -41,7 +41,7 @@ use tbmd_model::{
     TbError, TbModel, Workspace,
 };
 use tbmd_parallel::FaultPlan;
-use tbmd_trace::{Counter, RunRecorder, StepRecord, TraceSink, TraceSnapshot};
+use tbmd_trace::{Counter, Hist, RunRecorder, ScopedSink, StepRecord, TraceSink, TraceSnapshot};
 
 /// Map a checkpoint-subsystem error into the driver's error type.
 pub(crate) fn ckpt_err(e: CkptError) -> TbError {
@@ -960,6 +960,7 @@ pub struct SessionBuilder<'r> {
     resilience: Option<ResilienceOptions>,
     resume: bool,
     lease: Option<ComputeLease>,
+    telemetry: Option<ScopedSink>,
 }
 
 impl<'r> SessionBuilder<'r> {
@@ -973,6 +974,7 @@ impl<'r> SessionBuilder<'r> {
             resilience: None,
             resume: false,
             lease: None,
+            telemetry: None,
         }
     }
 
@@ -1041,6 +1043,17 @@ impl<'r> SessionBuilder<'r> {
         self
     }
 
+    /// Attribute this session's trace events to a labelled
+    /// [`ScopedSink`]: every [`Session::step`] enters the scope, so the
+    /// sink accumulates this session's counters, phase times and latency
+    /// histograms alongside the process-global registry — the per-tenant
+    /// view the serve scheduler reads for its `stats` verb. No effect
+    /// unless a collecting global sink is installed.
+    pub fn telemetry(mut self, sink: ScopedSink) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
     /// Resolve the attachments and build the engine. Fails on an unusable
     /// checkpoint store or a failed required-resume load; engine
     /// construction itself is infallible.
@@ -1099,6 +1112,7 @@ impl<'r> SessionBuilder<'r> {
             steps_done: 0,
             alloc_events: 0,
             lease: self.lease,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -1132,6 +1146,7 @@ pub struct Session<'r> {
     /// the live attempt's count is added on read.
     alloc_events: u64,
     lease: Option<ComputeLease>,
+    telemetry: Option<ScopedSink>,
 }
 
 impl<'r> Session<'r> {
@@ -1179,6 +1194,11 @@ impl<'r> Session<'r> {
                 .map_or(0, |a| a.ws.large_alloc_events() as u64)
     }
 
+    /// The scoped telemetry sink attached at build time, if any.
+    pub fn telemetry(&self) -> Option<&ScopedSink> {
+        self.telemetry.as_ref()
+    }
+
     /// Attach (or replace) a compute-budget lease mid-run — what the serve
     /// scheduler does when an admitted tenant's lease is granted.
     pub fn set_lease(&mut self, lease: ComputeLease) {
@@ -1215,6 +1235,22 @@ impl<'r> Session<'r> {
         if self.done {
             return Ok(SessionStatus::Done);
         }
+        // Telemetry: everything this step records lands in the session's
+        // scoped sink too (the per-tenant view), the step wall time feeds
+        // the Step histogram, and an armed timeline gets one "step"
+        // interval. With tracing disabled this whole block is one relaxed
+        // atomic load and two `None`s — no clocks are read.
+        let _scope = self.telemetry.as_ref().map(|s| s.enter());
+        let step_clock = if tbmd_trace::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let step_span = if tbmd_trace::timeline::is_enabled() {
+            Some(tbmd_trace::timeline::span("step"))
+        } else {
+            None
+        };
         // Hold the lease outside `self` while its scope wraps the advance,
         // so the closure can borrow `self` mutably.
         let lease = self.lease.take();
@@ -1248,6 +1284,12 @@ impl<'r> Session<'r> {
             }
         };
         self.lease = lease;
+        if let Some(t0) = step_clock {
+            tbmd_trace::record_ns(Hist::Step, t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(span) = step_span {
+            span.finish();
+        }
         result
     }
 

@@ -65,7 +65,9 @@ pub fn high_water() -> usize {
 
 /// Reset the high-water mark (the serve bench calls this between runs).
 pub fn reset_high_water() {
-    HIGH_WATER.store(LEASED.load(Ordering::SeqCst), Ordering::SeqCst);
+    let now = LEASED.load(Ordering::SeqCst);
+    HIGH_WATER.store(now, Ordering::SeqCst);
+    tbmd_trace::set_gauge(tbmd_trace::Gauge::LeaseHighWater, now as f64);
 }
 
 /// A granted slice of the process compute budget. Dropping it returns the
@@ -133,7 +135,11 @@ pub fn try_lease(want: usize) -> Option<ComputeLease> {
             .compare_exchange(leased, leased + grant, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
-            HIGH_WATER.fetch_max(leased + grant, Ordering::SeqCst);
+            let peak = HIGH_WATER.fetch_max(leased + grant, Ordering::SeqCst);
+            tbmd_trace::set_gauge(
+                tbmd_trace::Gauge::LeaseHighWater,
+                peak.max(leased + grant) as f64,
+            );
             return Some(ComputeLease {
                 threads: grant,
                 tracked: true,

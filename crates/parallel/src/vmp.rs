@@ -680,6 +680,10 @@ where
                 // Held for the worker's whole lifetime: census + latch the
                 // cancellation token if this thread unwinds for any reason.
                 let _guard = WorkerGuard::new(rank.cancel.clone());
+                // Attribute everything this worker records (counters,
+                // local phase spans) to its rank's scoped sink; a no-op
+                // single atomic load when tracing is disabled.
+                let _telemetry = tbmd_trace::rank_scope(id);
                 if let Some(fault) = fault {
                     if fault.rank == id {
                         match fault.kind {

@@ -33,17 +33,19 @@ mod unix {
     use std::sync::mpsc::{self, RecvTimeoutError};
     use std::sync::Arc;
     use std::time::Duration;
-    use tbmd_serve::{parse_request, JobSpec, Multiplexer, Request};
+    use tbmd_serve::{parse_request, JobSpec, Multiplexer, Request, ServeStats, StatsFormat};
 
     struct Args {
         socket: PathBuf,
         budget: usize,
+        timeline: Option<PathBuf>,
     }
 
     fn parse_args() -> Result<Args, String> {
         let mut args = Args {
             socket: PathBuf::from("/tmp/tbmd-serve.sock"),
             budget: 0,
+            timeline: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -60,13 +62,25 @@ mod unix {
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| "--budget needs a thread count".to_string())?;
                 }
+                "--timeline" => {
+                    args.timeline = Some(
+                        it.next()
+                            .ok_or_else(|| "--timeline needs a file path".to_string())?
+                            .into(),
+                    );
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: tbmd-serve [--socket PATH] [--budget THREADS]\n\
+                        "usage: tbmd-serve [--socket PATH] [--budget THREADS] [--timeline FILE]\n\
                          \n\
                          Accepts newline-delimited JSON trajectory jobs on a Unix\n\
                          socket and streams JSONL step records back per job.\n\
-                         --budget 0 (default) leaves the compute pool uncapped."
+                         Send {{\"stats\":true}} on any connection for a live\n\
+                         telemetry snapshot ({{\"stats\":\"prometheus\"}} for the\n\
+                         text exposition).\n\
+                         --budget 0 (default) leaves the compute pool uncapped.\n\
+                         --timeline FILE records a span timeline and writes it as\n\
+                         Chrome trace_event JSON on shutdown (open in Perfetto)."
                     );
                     std::process::exit(0);
                 }
@@ -79,6 +93,9 @@ mod unix {
     pub fn run() -> Result<(), String> {
         let args = parse_args()?;
         tbmd::configure_budget(args.budget);
+        if args.timeline.is_some() {
+            tbmd_trace::timeline::enable(0);
+        }
         // A stale socket file from a previous run refuses the bind.
         let _ = std::fs::remove_file(&args.socket);
         let listener =
@@ -98,18 +115,25 @@ mod unix {
 
         let (jobs_tx, jobs_rx) = mpsc::channel::<(JobSpec, UnixStream)>();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = ServeStats::new();
 
         // Accept loop on its own thread: it only parses lines and forwards
-        // jobs; all sessions live on the scheduler thread below.
+        // jobs; all sessions live on the scheduler thread below. Stats
+        // requests are answered right on the client threads — the shared
+        // handle reads the same atomics the scheduler writes.
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
+            let stats = stats.clone();
             std::thread::spawn(move || {
                 while !shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let jobs_tx = jobs_tx.clone();
                             let shutdown = Arc::clone(&shutdown);
-                            std::thread::spawn(move || serve_client(stream, jobs_tx, shutdown));
+                            let stats = stats.clone();
+                            std::thread::spawn(move || {
+                                serve_client(stream, jobs_tx, shutdown, stats)
+                            });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(25));
@@ -122,7 +146,7 @@ mod unix {
 
         // Scheduler loop: drain submissions, give every tenant a quantum,
         // exit once a shutdown request arrives and the queues are empty.
-        let mut mux = Multiplexer::new();
+        let mut mux = Multiplexer::with_stats(stats);
         loop {
             while let Ok((spec, stream)) = jobs_rx.try_recv() {
                 mux.submit(spec, stream);
@@ -141,6 +165,13 @@ mod unix {
             }
         }
         let _ = acceptor.join();
+        if let Some(path) = &args.timeline {
+            let trace = tbmd_trace::timeline::export_chrome().to_compact();
+            match std::fs::write(path, trace) {
+                Ok(()) => eprintln!("tbmd-serve: timeline written to {path:?}"),
+                Err(e) => eprintln!("tbmd-serve: timeline write {path:?}: {e}"),
+            }
+        }
         let _ = std::fs::remove_file(&args.socket);
         Ok(())
     }
@@ -151,6 +182,7 @@ mod unix {
         stream: UnixStream,
         jobs_tx: mpsc::Sender<(JobSpec, UnixStream)>,
         shutdown: Arc<AtomicBool>,
+        stats: ServeStats,
     ) {
         let reader = match stream.try_clone() {
             Ok(s) => BufReader::new(s),
@@ -170,6 +202,19 @@ mod unix {
                     }
                     Err(_) => break,
                 },
+                Ok(Request::Stats(format)) => {
+                    let body = match format {
+                        StatsFormat::Json => {
+                            let mut text = stats.to_json().to_compact();
+                            text.push('\n');
+                            text
+                        }
+                        StatsFormat::Prometheus => stats.to_prometheus(),
+                    };
+                    let mut w = &stream;
+                    let _ = w.write_all(body.as_bytes());
+                    let _ = w.flush();
+                }
                 Ok(Request::Shutdown) => {
                     shutdown.store(true, Ordering::SeqCst);
                     break;

@@ -12,8 +12,21 @@
 //!   messages from the Vmp machine, workspace growth events, neighbour-list
 //!   rebuilds/refreshes, Sturm bisections, Chebyshev matvecs. Totals across
 //!   all threads and ranks of the process.
-//! - **Gauges** ([`Gauge`]): last-written physics values — conserved-quantity
-//!   drift, eigensolver residual/orthogonality, instantaneous temperature.
+//! - **Gauges** ([`Gauge`]): last-written values — conserved-quantity
+//!   drift, eigensolver residual/orthogonality, instantaneous temperature,
+//!   plus scheduler saturation (admission-queue depth, lease high-water).
+//! - **Histograms** ([`Hist`], [`hist`]): fixed-size log-bucketed latency
+//!   distributions — per-phase span durations, per-step wall time, serve
+//!   admission wait and quantum latency — with p50/p90/p99 reconstruction
+//!   and `since()` deltas ([`HistSnapshot`]).
+//! - **Scoped sinks** ([`ScopedSink`]): labelled per-tenant / per-rank
+//!   views layered over the global registry via a thread-local sink stack;
+//!   `tbmd-serve` enters a tenant's scope per quantum and `vmp_run_opts`
+//!   enters a rank's scope ([`rank_scope`]) per worker, so breakdowns fall
+//!   out without engine changes.
+//! - **Timeline** ([`timeline`]): an opt-in hierarchical span recorder
+//!   (per-thread ring buffers) exporting Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto.
 //!
 //! The global sink defaults to [`TraceSink::disabled()`]: every hot-path
 //! hook is then a single relaxed atomic load and no allocation, so an MD
@@ -28,18 +41,22 @@
 //! the machine-readable bench output share (the workspace vendors no JSON
 //! crate).
 
+pub mod hist;
 pub mod json;
 mod metrics;
 mod record;
 mod sink;
+pub mod timeline;
 mod watchdog;
 
+pub use hist::{Hist, HistSnapshot, Histogram, HistogramSet};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Phase, TraceSnapshot};
 pub use record::{
     git_describe, HealthRecord, RecorderSummary, RunManifest, RunRecorder, StepRecord,
 };
 pub use sink::{
-    add, add_phase_ns, enabled, handle, install, set_gauge, snapshot, span, PhaseSpan, TraceSink,
+    add, add_phase_ns, enabled, handle, histograms, install, rank_scope, rank_telemetry, record_ns,
+    reset_rank_telemetry, set_gauge, snapshot, span, PhaseSpan, ScopeGuard, ScopedSink, TraceSink,
 };
 pub use watchdog::{DriftWatchdog, WatchdogStatus};

@@ -140,7 +140,7 @@ impl Counter {
     }
 }
 
-/// Last-value gauges for physics health quantities.
+/// Last-value gauges for physics health and scheduling saturation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Gauge {
     /// |E_cons(t) − E_cons(0)| of the current run (eV).
@@ -151,15 +151,21 @@ pub enum Gauge {
     EigOrthogonality,
     /// Instantaneous kinetic temperature (K).
     Temperature,
+    /// Jobs waiting in the serve admission queue.
+    QueueDepth,
+    /// High-water mark of leased threads in the compute budget.
+    LeaseHighWater,
 }
 
 impl Gauge {
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
     pub const ALL: [Gauge; Gauge::COUNT] = [
         Gauge::EnergyDrift,
         Gauge::EigResidual,
         Gauge::EigOrthogonality,
         Gauge::Temperature,
+        Gauge::QueueDepth,
+        Gauge::LeaseHighWater,
     ];
 
     pub const fn index(self) -> usize {
@@ -173,6 +179,8 @@ impl Gauge {
             Gauge::EigResidual => "eig_residual",
             Gauge::EigOrthogonality => "eig_orthogonality",
             Gauge::Temperature => "temperature_k",
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::LeaseHighWater => "lease_high_water",
         }
     }
 }
@@ -211,5 +219,34 @@ impl TraceSnapshot {
             out.phase_ns[i] = self.phase_ns[i].saturating_sub(earlier.phase_ns[i]);
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSink;
+
+    #[test]
+    fn since_across_a_reset_saturates_at_zero() {
+        let sink = TraceSink::collecting();
+        sink.add(Counter::NlRebuilds, 40);
+        sink.add_phase_ns(Phase::Forces, 9_000);
+        let before = sink.snapshot();
+        sink.reset();
+        sink.add(Counter::NlRebuilds, 3);
+        sink.add_phase_ns(Phase::Forces, 100);
+        let after = sink.snapshot();
+        // The registry went backwards across the reset; the delta must
+        // clamp to zero instead of wrapping to ~u64::MAX.
+        let delta = after.since(&before);
+        assert_eq!(delta.counter(Counter::NlRebuilds), 0);
+        assert_eq!(delta.phase_ns(Phase::Forces), 0);
+        // Forward deltas still work after the reset.
+        sink.add(Counter::NlRebuilds, 5);
+        assert_eq!(
+            sink.snapshot().since(&after).counter(Counter::NlRebuilds),
+            5
+        );
     }
 }

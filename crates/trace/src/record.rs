@@ -48,16 +48,24 @@ impl RunManifest {
 
 /// Best-effort `git describe --always --dirty`; `"unknown"` when git or the
 /// work tree is unavailable (records must never fail because of this).
+/// Shells out once per process and caches: serve builds a manifest per
+/// tenant, and forking git on every admission is pure waste — the describe
+/// string cannot change under a running process we'd care to observe.
 pub fn git_describe() -> String {
-    std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty"])
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
+    static DESCRIBE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    DESCRIBE
+        .get_or_init(|| {
+            std::process::Command::new("git")
+                .args(["describe", "--always", "--dirty"])
+                .output()
+                .ok()
+                .filter(|out| out.status.success())
+                .and_then(|out| String::from_utf8(out.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".to_string())
+        })
+        .clone()
 }
 
 /// Everything recorded about one MD step.

@@ -1,5 +1,6 @@
 //! The trace sink: a process-global registry of atomic counters, per-phase
-//! nanosecond accumulators and gauges, plus the RAII span guard.
+//! nanosecond accumulators, gauges and latency [`Histogram`]s, plus the
+//! RAII span guard and the scoped-sink stack.
 //!
 //! Layout follows the `log`-crate pattern: a relaxed [`AtomicBool`] fast
 //! path guards every hook, so with the default [`TraceSink::disabled()`]
@@ -7,8 +8,23 @@
 //! no allocation, locking, or syscall. Installing a collecting sink flips
 //! the flag and routes events into an `Arc`'d block of atomics shared with
 //! every [`handle`] the caller took.
+//!
+//! # Scoped sinks
+//!
+//! A [`ScopedSink`] is a second, labelled block of the same atomics. While
+//! a thread holds its [`ScopeGuard`] (from [`ScopedSink::enter`]), every
+//! event that thread records lands in the scoped block *in addition to*
+//! the global registry — the global totals stay exactly what they were,
+//! and the scope gets its own view. Guards nest (a tenant scope around a
+//! rank scope attributes events to both), giving per-tenant and per-rank
+//! breakdowns without any engine code knowing scopes exist. The stack is
+//! thread-local: a scope sees only events recorded by threads that entered
+//! it, which is the intended attribution (the thread driving a tenant's
+//! session, the thread running a VMP rank).
 
+use crate::hist::{Hist, Histogram, HistogramSet};
 use crate::metrics::{Counter, Gauge, Phase, TraceSnapshot};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -16,12 +32,28 @@ use std::time::{Duration, Instant};
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: RwLock<Option<Arc<Shared>>> = RwLock::new(None);
 
-#[derive(Default)]
+thread_local! {
+    /// Scoped-sink stack for this thread; events fan out to every entry.
+    static SCOPES: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+}
+
 struct Shared {
     counters: [AtomicU64; Counter::COUNT],
     phase_ns: [AtomicU64; Phase::COUNT],
     /// f64 bit patterns; last write wins.
     gauges: [AtomicU64; Gauge::COUNT],
+    hists: [Histogram; Hist::COUNT],
+}
+
+impl Default for Shared {
+    fn default() -> Shared {
+        Shared {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
 }
 
 impl Shared {
@@ -37,6 +69,24 @@ impl Shared {
             *slot = f64::from_bits(atom.load(Ordering::Relaxed));
         }
         snap
+    }
+
+    fn hist_snapshot(&self) -> HistogramSet {
+        HistogramSet {
+            hists: std::array::from_fn(|i| self.hists[i].snapshot()),
+        }
+    }
+
+    fn reset(&self) {
+        for atom in self.counters.iter().chain(&self.phase_ns) {
+            atom.store(0, Ordering::Relaxed);
+        }
+        for atom in &self.gauges {
+            atom.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for hist in &self.hists {
+            hist.reset();
+        }
     }
 }
 
@@ -87,7 +137,14 @@ impl TraceSink {
         }
     }
 
-    /// Copy out every value. All-zero for a disabled sink.
+    /// Record one nanosecond sample into a latency histogram.
+    pub fn record_ns(&self, hist: Hist, ns: u64) {
+        if let Some(shared) = &self.shared {
+            shared.hists[hist.index()].record(ns);
+        }
+    }
+
+    /// Copy out every counter/timer/gauge. All-zero for a disabled sink.
     pub fn snapshot(&self) -> TraceSnapshot {
         match &self.shared {
             Some(shared) => shared.snapshot(),
@@ -95,17 +152,136 @@ impl TraceSink {
         }
     }
 
-    /// Zero all counters and timers (gauges too). Snapshot deltas across a
-    /// reset are meaningless; callers own that coordination.
+    /// Copy out every latency histogram. All-empty for a disabled sink.
+    pub fn histograms(&self) -> HistogramSet {
+        match &self.shared {
+            Some(shared) => shared.hist_snapshot(),
+            None => HistogramSet::default(),
+        }
+    }
+
+    /// Zero all counters, timers, gauges and histograms. Snapshot deltas
+    /// across a reset saturate at zero; callers own that coordination.
     pub fn reset(&self) {
         if let Some(shared) = &self.shared {
-            for atom in shared.counters.iter().chain(&shared.phase_ns) {
-                atom.store(0, Ordering::Relaxed);
-            }
-            for atom in &shared.gauges {
-                atom.store(0f64.to_bits(), Ordering::Relaxed);
-            }
+            shared.reset();
         }
+    }
+}
+
+/// A labelled metrics view: same storage layout as a collecting
+/// [`TraceSink`], fed only while a thread holds its [`ScopeGuard`] (and
+/// only while a collecting global sink is installed — scopes refine the
+/// global view, they never replace it).
+#[derive(Clone)]
+pub struct ScopedSink {
+    label: Arc<str>,
+    shared: Arc<Shared>,
+}
+
+impl ScopedSink {
+    /// A fresh, empty scope with a display label (tenant name, `rank3`…).
+    pub fn new(label: &str) -> ScopedSink {
+        ScopedSink {
+            label: Arc::from(label),
+            shared: Arc::new(Shared::default()),
+        }
+    }
+
+    /// The label this scope was created with.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Push this scope onto the current thread's sink stack. Every event
+    /// the thread records until the guard drops is mirrored here. Guards
+    /// are strictly RAII (not `Send`), so the stack stays well-nested.
+    pub fn enter(&self) -> ScopeGuard {
+        SCOPES.with(|stack| stack.borrow_mut().push(Arc::clone(&self.shared)));
+        ScopeGuard {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Counter/timer/gauge totals attributed to this scope.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Latency histograms attributed to this scope.
+    pub fn histograms(&self) -> HistogramSet {
+        self.shared.hist_snapshot()
+    }
+
+    /// Record directly into this scope (no thread stack, no global),
+    /// for attribution the recording thread cannot know — e.g. the serve
+    /// scheduler stamping a tenant's admission wait.
+    pub fn record_ns(&self, hist: Hist, ns: u64) {
+        self.shared.hists[hist.index()].record(ns);
+    }
+
+    /// Add directly to one of this scope's counters (see
+    /// [`ScopedSink::record_ns`]).
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.shared.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Zero this scope's storage.
+    pub fn reset(&self) {
+        self.shared.reset();
+    }
+}
+
+/// RAII guard for [`ScopedSink::enter`]; pops the scope on drop.
+pub struct ScopeGuard {
+    // Not Send: the guard must pop on the thread that pushed.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Per-rank scoped sinks, created lazily the first time a VMP worker for
+/// that rank id starts under a collecting sink.
+static RANKS: RwLock<Vec<Option<ScopedSink>>> = RwLock::new(Vec::new());
+
+/// Enter the scoped sink for VMP rank `rank` on the current thread
+/// (creating it on first use). Returns `None` — at the cost of the usual
+/// single atomic load — when no collecting sink is installed.
+pub fn rank_scope(rank: usize) -> Option<ScopeGuard> {
+    if !enabled() {
+        return None;
+    }
+    if let Ok(ranks) = RANKS.read() {
+        if let Some(Some(sink)) = ranks.get(rank) {
+            return Some(sink.enter());
+        }
+    }
+    let mut ranks = RANKS.write().ok()?;
+    if ranks.len() <= rank {
+        ranks.resize(rank + 1, None);
+    }
+    let sink = ranks[rank].get_or_insert_with(|| ScopedSink::new(&format!("rank{rank}")));
+    Some(sink.enter())
+}
+
+/// Clone out every per-rank scoped sink created so far, in rank order.
+pub fn rank_telemetry() -> Vec<ScopedSink> {
+    RANKS
+        .read()
+        .map(|ranks| ranks.iter().flatten().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Drop all per-rank scoped sinks (a new run starts attribution afresh).
+pub fn reset_rank_telemetry() {
+    if let Ok(mut ranks) = RANKS.write() {
+        ranks.clear();
     }
 }
 
@@ -134,20 +310,41 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Apply `f` to the global registry and every scope on this thread's
+/// stack. One relaxed load and out when disabled.
 #[inline]
-fn with_shared(f: impl FnOnce(&Shared)) {
+fn dispatch(f: impl Fn(&Shared)) {
     if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
     if let Some(shared) = GLOBAL.read().expect("trace registry poisoned").as_ref() {
         f(shared);
     }
+    SCOPES.with(|stack| {
+        for shared in stack.borrow().iter() {
+            f(shared);
+        }
+    });
+}
+
+/// Apply `f` to this thread's scopes only — the per-rank/per-tenant path
+/// for measurements that must not double-count into the global totals.
+#[inline]
+fn dispatch_scoped(f: impl Fn(&Shared)) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    SCOPES.with(|stack| {
+        for shared in stack.borrow().iter() {
+            f(shared);
+        }
+    });
 }
 
 /// Add to a global counter (no-op when disabled).
 #[inline]
 pub fn add(counter: Counter, n: u64) {
-    with_shared(|s| {
+    dispatch(|s| {
         s.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
     });
 }
@@ -155,7 +352,7 @@ pub fn add(counter: Counter, n: u64) {
 /// Add nanoseconds to a global phase timer (no-op when disabled).
 #[inline]
 pub fn add_phase_ns(phase: Phase, ns: u64) {
-    with_shared(|s| {
+    dispatch(|s| {
         s.phase_ns[phase.index()].fetch_add(ns, Ordering::Relaxed);
     });
 }
@@ -163,14 +360,28 @@ pub fn add_phase_ns(phase: Phase, ns: u64) {
 /// Overwrite a global gauge (no-op when disabled).
 #[inline]
 pub fn set_gauge(gauge: Gauge, value: f64) {
-    with_shared(|s| {
+    dispatch(|s| {
         s.gauges[gauge.index()].store(value.to_bits(), Ordering::Relaxed);
+    });
+}
+
+/// Record one nanosecond sample into a global latency histogram (no-op
+/// when disabled).
+#[inline]
+pub fn record_ns(hist: Hist, ns: u64) {
+    dispatch(|s| {
+        s.hists[hist.index()].record(ns);
     });
 }
 
 /// Snapshot the global registry (all-zero when disabled).
 pub fn snapshot() -> TraceSnapshot {
     handle().snapshot()
+}
+
+/// Snapshot the global latency histograms (all-empty when disabled).
+pub fn histograms() -> HistogramSet {
+    handle().histograms()
 }
 
 /// RAII span over one phase. Engines time a phase as
@@ -182,17 +393,22 @@ pub fn snapshot() -> TraceSnapshot {
 /// ```
 ///
 /// `finish()` (or drop) adds the elapsed wall time to the registry's
-/// monotonic phase timer when a collecting sink is installed; the returned
-/// [`Duration`] is measured either way, so `PhaseTimings` keeps its exact
-/// pre-trace values with tracing disabled. Phase timers aggregate over all
-/// threads/ranks that open spans — on distributed engines only the rank-0
-/// view feeds the registry (see `DistributedTb`), keeping the totals
-/// comparable to serial wall clock.
+/// monotonic phase timer and the phase's latency histogram when a
+/// collecting sink is installed; the returned [`Duration`] is measured
+/// either way, so `PhaseTimings` keeps its exact pre-trace values with
+/// tracing disabled. Phase timers aggregate over all threads/ranks that
+/// open spans — on distributed engines only the rank-0 view feeds the
+/// global registry (see `DistributedTb`), keeping the totals comparable
+/// to serial wall clock; `finish_local()` still feeds this thread's
+/// *scoped* sinks, which is how per-rank breakdowns see phase time. When
+/// the [`crate::timeline`] recorder is armed, every span also emits a
+/// timestamped interval into the per-thread ring buffer.
 #[derive(Debug)]
 pub struct PhaseSpan {
     phase: Phase,
     start: Instant,
     armed: bool,
+    timeline: Option<u16>,
 }
 
 /// Open a span on `phase`, clocked from now.
@@ -202,6 +418,7 @@ pub fn span(phase: Phase) -> PhaseSpan {
         phase,
         start: Instant::now(),
         armed: true,
+        timeline: crate::timeline::open(),
     }
 }
 
@@ -212,29 +429,47 @@ impl PhaseSpan {
         self.start.elapsed()
     }
 
+    #[inline]
+    fn close(&mut self, global: bool) -> Duration {
+        self.armed = false;
+        let d = self.start.elapsed();
+        let ns = d.as_nanos() as u64;
+        let (phase, hist) = (self.phase, Hist::for_phase(self.phase));
+        let record = |s: &Shared| {
+            s.phase_ns[phase.index()].fetch_add(ns, Ordering::Relaxed);
+            s.hists[hist.index()].record(ns);
+        };
+        if global {
+            dispatch(record);
+        } else {
+            dispatch_scoped(record);
+        }
+        if let Some(depth) = self.timeline.take() {
+            crate::timeline::close(self.phase.name(), self.start, d, depth);
+        }
+        d
+    }
+
     /// Close the span: record into the registry (if enabled) and return the
     /// measured duration.
     #[inline]
     pub fn finish(mut self) -> Duration {
-        self.armed = false;
-        let d = self.start.elapsed();
-        add_phase_ns(self.phase, d.as_nanos() as u64);
-        d
+        self.close(true)
     }
 
-    /// Close the span without feeding the registry: for per-rank timing
-    /// where only one rank's view should count globally.
+    /// Close the span without feeding the global registry: for per-rank
+    /// timing where only one rank's view should count globally. Scoped
+    /// sinks on this thread (the rank's own view) still record it.
     #[inline]
     pub fn finish_local(mut self) -> Duration {
-        self.armed = false;
-        self.start.elapsed()
+        self.close(false)
     }
 }
 
 impl Drop for PhaseSpan {
     fn drop(&mut self) {
         if self.armed {
-            add_phase_ns(self.phase, self.start.elapsed().as_nanos() as u64);
+            self.close(true);
         }
     }
 }
@@ -264,12 +499,27 @@ mod tests {
     }
 
     #[test]
+    fn sink_histograms_record_and_reset() {
+        let sink = TraceSink::collecting();
+        sink.record_ns(Hist::Step, 1_000_000);
+        sink.record_ns(Hist::Step, 3_000_000);
+        let hists = sink.histograms();
+        assert_eq!(hists.hist(Hist::Step).count(), 2);
+        assert!(hists.hist(Hist::Step).percentile_ns(0.5).unwrap() > 0.0);
+        assert!(hists.hist(Hist::Quantum).is_empty());
+        sink.reset();
+        assert!(sink.histograms().hist(Hist::Step).is_empty());
+    }
+
+    #[test]
     fn disabled_sink_is_inert() {
         let sink = TraceSink::disabled();
         sink.add(Counter::AllocGrowth, 5);
         sink.set_gauge(Gauge::EnergyDrift, 1.0);
+        sink.record_ns(Hist::Step, 9);
         assert!(!sink.is_enabled());
         assert_eq!(sink.snapshot(), TraceSnapshot::default());
+        assert_eq!(sink.histograms().total_count(), 0);
     }
 
     #[test]
@@ -285,18 +535,61 @@ mod tests {
     #[test]
     fn global_install_routes_and_replaces() {
         // Serialize against any other test touching the global sink by
-        // doing the full cycle here: install, record, replace, verify.
+        // doing the full cycle here: install, record, scope, replace,
+        // verify.
         let sink = TraceSink::collecting();
         install(sink.clone());
         assert!(enabled());
         add(Counter::NlRebuilds, 3);
         let sp = span(Phase::Neighbors);
         drop(sp); // RAII path
-        assert_eq!(handle().snapshot().counter(Counter::NlRebuilds), 3);
+        let snap = handle().snapshot();
+        assert_eq!(snap.counter(Counter::NlRebuilds), 3);
+        // The RAII span also fed the phase histogram.
+        assert_eq!(handle().histograms().hist(Hist::Neighbors).count(), 1);
+
+        // A scoped sink sees only what this thread records while entered,
+        // and the global keeps counting through it.
+        let scope = ScopedSink::new("tenant-a");
+        {
+            let _guard = scope.enter();
+            add(Counter::NlRebuilds, 2);
+            record_ns(Hist::Step, 500);
+        }
+        add(Counter::NlRebuilds, 1); // outside the scope
+        assert_eq!(scope.snapshot().counter(Counter::NlRebuilds), 2);
+        assert_eq!(scope.histograms().hist(Hist::Step).count(), 1);
+        assert_eq!(handle().snapshot().counter(Counter::NlRebuilds), 6);
+        assert_eq!(scope.label(), "tenant-a");
+
+        // finish_local feeds scopes but not the global registry.
+        {
+            let _guard = scope.enter();
+            let sp = span(Phase::Communication);
+            let global_before = handle().snapshot().phase_ns(Phase::Communication);
+            sp.finish_local();
+            assert_eq!(
+                handle().snapshot().phase_ns(Phase::Communication),
+                global_before
+            );
+            assert_eq!(scope.histograms().hist(Hist::Communication).count(), 1);
+        }
+
         install(TraceSink::disabled());
         assert!(!enabled());
         add(Counter::NlRebuilds, 9);
         // Old handle unaffected by later global traffic.
-        assert_eq!(sink.snapshot().counter(Counter::NlRebuilds), 3);
+        assert_eq!(sink.snapshot().counter(Counter::NlRebuilds), 6);
+    }
+
+    #[test]
+    fn scoped_sink_direct_recording_needs_no_stack() {
+        let scope = ScopedSink::new("sched");
+        scope.record_ns(Hist::AdmissionWait, 2_000);
+        scope.add(Counter::WireMessages, 4);
+        assert_eq!(scope.histograms().hist(Hist::AdmissionWait).count(), 1);
+        assert_eq!(scope.snapshot().counter(Counter::WireMessages), 4);
+        scope.reset();
+        assert_eq!(scope.histograms().total_count(), 0);
     }
 }

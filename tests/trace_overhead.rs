@@ -11,7 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tbmd::trace::{Counter, JsonValue};
+use tbmd::trace::{Counter, Hist, JsonValue, Phase};
 use tbmd::{
     run_manifest, run_simulation_recorded, Protocol, RecorderConfig, RunRecorder, SimulationConfig,
     SystemSpec, TraceSink,
@@ -82,11 +82,18 @@ fn disabled_sink_md_is_bitwise_identical_and_allocation_free() {
         0,
         "disabled sink accumulated counters"
     );
+    assert_eq!(
+        tbmd::trace::histograms().total_count(),
+        0,
+        "disabled sink accumulated histogram samples"
+    );
 
     tbmd::trace::install(TraceSink::collecting());
     let before = tbmd::trace::snapshot();
+    let hists_before = tbmd::trace::histograms();
     let (e_on, x_on, _) = trajectory_bits(50);
     let delta = tbmd::trace::snapshot().since(&before);
+    let hists = tbmd::trace::histograms().since(&hists_before);
     tbmd::trace::install(TraceSink::disabled());
 
     assert_eq!(e_off, e_on, "per-step energies differ with tracing on");
@@ -100,6 +107,75 @@ fn disabled_sink_md_is_bitwise_identical_and_allocation_free() {
         delta.counter(Counter::SturmBisections) > 0,
         "collecting sink saw no eigensolver activity"
     );
+    // Each phase span also fed its latency histogram: one diagonalize
+    // sample per force evaluation, with ordered reconstructed quantiles.
+    let diag = hists.hist(Hist::Diagonalize);
+    assert!(
+        diag.count() >= 50,
+        "collecting run recorded {} diagonalize samples for 50 steps",
+        diag.count()
+    );
+    let [p50, p90, p99] = diag.quantiles_ns().expect("non-empty diagonalize hist");
+    assert!(
+        0.0 < p50 && p50 <= p90 && p90 <= p99,
+        "quantiles out of order: {p50} {p90} {p99}"
+    );
+    assert!(
+        diag.mean_ns().unwrap() * diag.count() as f64
+            <= delta.phase_ns(Phase::Diagonalize) as f64 * 1.01,
+        "histogram mass exceeds the phase timer it mirrors"
+    );
+}
+
+/// The span-timeline recorder captures the same MD run as nested
+/// intervals, and the Chrome `trace_event` export parses back through the
+/// in-tree JSON parser with phase spans contained in the capture window.
+#[test]
+fn timeline_capture_exports_nested_chrome_trace() {
+    tbmd::trace::timeline::enable(0);
+    tbmd::trace::install(TraceSink::collecting());
+    let scope = tbmd::trace::ScopedSink::new("overhead-test");
+    {
+        let _guard = scope.enter();
+        let _ = trajectory_bits(5);
+    }
+    let chrome = tbmd::trace::timeline::export_chrome().to_compact();
+    tbmd::trace::install(TraceSink::disabled());
+    tbmd::trace::timeline::disable();
+
+    // The scoped sink mirrored the phase histograms of exactly this run.
+    assert!(
+        scope.histograms().hist(Hist::Forces).count() >= 5,
+        "scoped sink missed the run's force spans"
+    );
+
+    let parsed = JsonValue::parse(&chrome).expect("chrome trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    // This test's own spans are the phase names; other tests in this
+    // binary may interleave, so filter to the phases we know we emitted.
+    let mine: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.get("name").and_then(|n| n.as_str()),
+                Some("diagonalize") | Some("forces")
+            )
+        })
+        .collect();
+    assert!(
+        mine.len() >= 10,
+        "expected >= 10 phase spans in the capture, got {}",
+        mine.len()
+    );
+    for ev in mine {
+        assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        let dur = ev.get("dur").and_then(|v| v.as_f64()).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0, "negative interval in export");
+    }
 }
 
 /// The recorder emits parseable JSONL (manifest first, then step records,
