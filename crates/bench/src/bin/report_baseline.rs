@@ -16,6 +16,10 @@
 //! * `serve` — two Si-8 tenants through the session multiplexer under a
 //!   one-thread compute budget: admission must serialize them (max one
 //!   active) while both endpoints stay bitwise the standalone runs.
+//! * `campaign` — the Si vacancy-formation headline: a two-cell
+//!   pristine/vacancy relax campaign through `tbmd-campaign`, run twice;
+//!   the formation energy must be finite, eV-scale, and bitwise stable
+//!   (`report_campaign` runs the full matrix/resume/multiplex gate).
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_baseline [-- [--json path]]`
 //!
@@ -40,6 +44,7 @@ use tbmd::{
     SimulationConfig, Species, Structure, SystemSpec, TbCalculator, TraceSink, Workspace,
 };
 use tbmd_bench::{check_gate, compare_baselines, fmt_ms, write_json, BenchArgs, ReportTable};
+use tbmd_campaign::{run_campaign, CampaignSpec, RunOptions};
 use tbmd_model::{build_hamiltonian, OrbitalIndex, TbModel};
 use tbmd_serve::{JobSpec, Multiplexer};
 use tbmd_structure::NeighborList;
@@ -643,6 +648,50 @@ fn main() {
         telemetry_steps,
     ) = telemetry;
     root.set("telemetry", telemetry_json);
+
+    // --- Campaign headline: Si vacancy formation energy through the
+    // declarative campaign runner, run twice for a bitwise-stability flag
+    // (`report_campaign` applies the full matrix/resume/multiplex gate;
+    // this keeps the headline number in BENCH_phase.json).
+    let campaign = {
+        const SPEC: &str = r#"{
+            "name": "baseline-vacancy",
+            "seed": 13,
+            "structures": [{"label": "si1", "system": "si", "reps": 1}],
+            "perturbations": [
+                {"label": "pristine", "kind": "pristine"},
+                {"label": "vac0", "kind": "vacancy", "site": 0}
+            ],
+            "protocols": [{"label": "relax", "kind": "relax",
+                           "force_tolerance": 1e-3, "max_iterations": 200}],
+            "engines": ["serial"]
+        }"#;
+        let spec = CampaignSpec::from_json(SPEC).expect("campaign spec");
+        let t0 = Instant::now();
+        let first = run_campaign(&spec, &RunOptions::default()).expect("campaign run");
+        let campaign_wall = t0.elapsed();
+        let second = run_campaign(&spec, &RunOptions::default()).expect("campaign rerun");
+        let keys = |r: &tbmd_campaign::CampaignReport| -> Vec<String> {
+            r.rows.iter().map(|c| c.deterministic_key()).collect()
+        };
+        let stable = first.complete && keys(&first) == keys(&second);
+        let formation = first
+            .rows
+            .iter()
+            .find(|r| !r.pristine)
+            .and_then(|r| r.formation_ev)
+            .unwrap_or(f64::NAN);
+        let mut v = JsonValue::object();
+        v.set("cells", first.rows.len())
+            .set("vacancy_formation_ev", formation)
+            .set("bitwise_repeat", stable)
+            .set("wall_ms", campaign_wall.as_secs_f64() * 1e3);
+        (v, first.rows.len(), formation, stable, campaign_wall)
+    };
+    let (campaign_json, campaign_cells, campaign_formation, campaign_stable, campaign_wall) =
+        campaign;
+    root.set("campaign", campaign_json);
+
     let mut telemetry_table = ReportTable::new(
         "Baseline: telemetry overhead (Si-8 NVE, 16 steps, min of 3)",
         &["off/ms", "on/ms", "ratio", "steps", "p99 step/ms"],
@@ -666,6 +715,16 @@ fn main() {
         serve_bitwise.to_string(),
         format!("{:.1}", serve_wall.as_secs_f64() * 1e3),
     ]);
+    let mut campaign_table = ReportTable::new(
+        "Baseline: vacancy-formation campaign (Si-8 pristine/vac0 relax, serial)",
+        &["cells", "E_form/eV", "bitwise", "wall/ms"],
+    );
+    campaign_table.row(vec![
+        campaign_cells.to_string(),
+        format!("{campaign_formation:.6}"),
+        campaign_stable.to_string(),
+        format!("{:.1}", campaign_wall.as_secs_f64() * 1e3),
+    ]);
 
     engine_table.print();
     eig_table.print();
@@ -675,6 +734,7 @@ fn main() {
     rec_table.print();
     serve_table.print();
     telemetry_table.print();
+    campaign_table.print();
     println!(
         "\nsliced vs ring-Jacobi wire bytes at N = {}, P = 4: {} vs {} ({:.1}x)",
         s64.n_atoms(),
@@ -755,6 +815,15 @@ fn main() {
                     .and_then(|x| x.as_f64())
                     .is_some_and(|p| p.is_finite() && p > 0.0)
         });
+        // Sanity only — the full matrix/resume/multiplex gate lives in
+        // `report_campaign -- check`, run on its own quiet process.
+        let campaign_ok = v.get("campaign").is_some_and(|c| {
+            c.get("vacancy_formation_ev")
+                .and_then(|x| x.as_f64())
+                .is_some_and(|e| e.is_finite() && e > 0.0 && e < 20.0)
+                && c.get("bitwise_repeat").and_then(|x| x.as_bool()) == Some(true)
+                && c.get("cells").and_then(|x| x.as_f64()) == Some(2.0)
+        });
 
         // Regression gate against the previous CI artifact: loose on wall
         // times (noisy hosts), near-exact on wire bytes. A missing artifact
@@ -791,9 +860,10 @@ fn main() {
                 && recovery_ok
                 && serve_ok
                 && telemetry_ok
+                && campaign_ok
                 && prev_ok,
             &format!(
-                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, recovery={recovery_ok}, serve={serve_ok}, telemetry={telemetry_ok}, regression: {prev_note}"
+                "engines(comm phase)={engines_ok}, sliced<ring={comm_ok}, watchdogs green={watchdogs_ok}, eig residual={eig_ok}, ckpt overhead={ckpt_ok}, recovery={recovery_ok}, serve={serve_ok}, telemetry={telemetry_ok}, campaign={campaign_ok}, regression: {prev_note}"
             ),
         );
     }

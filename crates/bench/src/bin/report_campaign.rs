@@ -1,0 +1,226 @@
+//! **Campaign** — declarative experiment-campaign runner (ISSUE 10
+//! acceptance bench).
+//!
+//! Sections:
+//! * `matrix` — an 8-cell Si-8 campaign (pristine/vacancy × short NVE /
+//!   2-segment quench × serial/shared) run twice under a 2-thread
+//!   [`tbmd::configure_budget`] cap: every deterministic row (formation
+//!   energy, drift, RDF first peak, endpoint fingerprint) must be bitwise
+//!   identical across the two invocations, every cell must report
+//!   step-latency percentiles, and the lease high-water mark must stay
+//!   within the budget.
+//! * `resume` — the same campaign killed after 3 cells and re-invoked
+//!   against its result directory: the completed cells must be reused from
+//!   their fingerprinted result files (not re-run) and the stitched report
+//!   must match the uninterrupted one on every deterministic observable.
+//! * `multiplex` — the campaign fanned out through the `tbmd-serve`
+//!   multiplexer instead of running inline: endpoints bitwise the same.
+//!
+//! Run: `cargo run --release -p tbmd-bench --bin report_campaign
+//!       [-- [check] [--json path]]`
+//!
+//! Check mode (CI gate): exits non-zero unless the matrix expands to ≥ 8
+//! cells, the budget holds, both invocations agree bitwise, the resumed
+//! campaign skips every completed cell, and the multiplexed endpoints
+//! match inline.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tbmd::parallel::{budget_total, high_water, reset_high_water};
+use tbmd::trace::{git_describe, JsonValue};
+use tbmd_bench::{check_gate, fmt_f, write_json, BenchArgs, ReportTable};
+use tbmd_campaign::{run_campaign, CampaignReport, CampaignSpec, RunOptions};
+
+const BUDGET: usize = 2;
+const KILL_AFTER: usize = 3;
+
+/// 1 structure × 2 perturbations × 2 protocols × 2 engines = 8 cells.
+const SPEC: &str = r#"{
+    "name": "bench-matrix",
+    "seed": 29,
+    "structures": [{"label": "si1", "system": "si", "reps": 1}],
+    "perturbations": [
+        {"label": "pristine", "kind": "pristine"},
+        {"label": "vac0", "kind": "vacancy", "site": 0}
+    ],
+    "protocols": [
+        {"label": "nve", "kind": "nve", "temperature_k": 300, "steps": 6},
+        {"label": "quench", "kind": "quench", "from_k": 600, "to_k": 300,
+         "segments": 2, "rate_k_per_fs": 25, "hold_steps": 2}
+    ],
+    "engines": ["serial", "shared"]
+}"#;
+
+fn scratch_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("tbmd_report_campaign_{}", std::process::id()))
+}
+
+/// Deterministic row keys plus formation-energy bits — everything the two
+/// invocations must agree on (wall-clock latency deliberately excluded).
+fn report_keys(report: &CampaignReport) -> Vec<(String, Option<u64>)> {
+    report
+        .rows
+        .iter()
+        .map(|r| (r.deterministic_key(), r.formation_ev.map(f64::to_bits)))
+        .collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let spec = CampaignSpec::from_json(SPEC).expect("parse campaign spec");
+    let n_cells = spec.expand().len();
+    let mut root = JsonValue::object();
+    root.set("report", "campaign")
+        .set("git_describe", git_describe())
+        .set("cells", n_cells)
+        .set("budget_threads", BUDGET);
+
+    // --- Matrix twice under a 2-thread budget: bitwise reproducibility.
+    tbmd::configure_budget(BUDGET);
+    reset_high_water();
+    let t0 = Instant::now();
+    let first = run_campaign(&spec, &RunOptions::default()).expect("first invocation");
+    let first_wall = t0.elapsed();
+    let second = run_campaign(&spec, &RunOptions::default()).expect("second invocation");
+    let hw = high_water();
+    let budget = budget_total();
+    let budget_ok = budget == BUDGET && hw <= BUDGET;
+    let bitwise = first.complete
+        && second.complete
+        && first.rows.len() == n_cells
+        && report_keys(&first) == report_keys(&second);
+    let latency_ok = first
+        .rows
+        .iter()
+        .all(|r| r.step_samples > 0 && r.step_p95_ns.is_some_and(|p| p.is_finite() && p > 0.0));
+    let formation_ok = first
+        .rows
+        .iter()
+        .filter(|r| !r.pristine)
+        .all(|r| r.formation_ev.is_some_and(f64::is_finite));
+    let mut matrix = JsonValue::object();
+    matrix
+        .set("cells", n_cells)
+        .set("wall_ms", first_wall.as_secs_f64() * 1e3)
+        .set("high_water", hw)
+        .set("budget_respected", budget_ok)
+        .set("bitwise_across_invocations", bitwise)
+        .set("latency_rows_populated", latency_ok)
+        .set("formation_rows_populated", formation_ok);
+    root.set("matrix", matrix);
+
+    // --- Kill after 3 cells, resume against the result directory.
+    let dir = scratch_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let killed = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            stop_after: Some(KILL_AFTER),
+            ..RunOptions::default()
+        },
+    )
+    .expect("killed invocation");
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .expect("resumed invocation");
+    let _ = std::fs::remove_dir_all(&dir);
+    let resume_ok = !killed.complete
+        && killed.executed == KILL_AFTER
+        && resumed.complete
+        && resumed.reused == KILL_AFTER
+        && resumed.executed == n_cells - KILL_AFTER
+        && report_keys(&resumed) == report_keys(&first);
+    let mut resume = JsonValue::object();
+    resume
+        .set("killed_after", KILL_AFTER)
+        .set("reused", resumed.reused)
+        .set("executed", resumed.executed)
+        .set(
+            "matches_uninterrupted",
+            report_keys(&resumed) == report_keys(&first),
+        )
+        .set("ok", resume_ok);
+    root.set("resume", resume);
+
+    // --- Multiplexed fan-out must reproduce the inline physics.
+    let multiplexed = run_campaign(
+        &spec,
+        &RunOptions {
+            multiplex: true,
+            quantum: 4,
+            ..RunOptions::default()
+        },
+    )
+    .expect("multiplexed invocation");
+    tbmd::configure_budget(0);
+    let mux_bitwise = report_keys(&multiplexed) == report_keys(&first);
+    let mut mux = JsonValue::object();
+    mux.set("bitwise_vs_inline", mux_bitwise);
+    root.set("multiplex", mux);
+
+    let mut cells_json = Vec::new();
+    let mut table = ReportTable::new(
+        format!("Campaign: {n_cells} cells, budget {BUDGET} threads (lease high-water {hw})"),
+        &[
+            "cell",
+            "atoms",
+            "steps",
+            "E_pot/eV",
+            "E_form/eV",
+            "drift/eV",
+            "g(r) pk/Å",
+            "p95/µs",
+        ],
+    );
+    for row in &first.rows {
+        table.row(vec![
+            row.name.clone(),
+            row.n_atoms.to_string(),
+            row.steps.to_string(),
+            fmt_f(row.potential_ev, 6),
+            row.formation_ev.map_or("ref".into(), |e| fmt_f(e, 6)),
+            format!("{:.2e}", row.drift_ev),
+            row.rdf_peak_r.map_or("-".into(), |r| fmt_f(r, 3)),
+            row.step_p95_ns.map_or("-".into(), |p| fmt_f(p * 1e-3, 1)),
+        ]);
+        cells_json.push(row.to_json());
+    }
+    root.set("rows", JsonValue::from(cells_json));
+    table.print();
+    println!(
+        "\n{n_cells} cells in {} ms; resume reused {}/{} cells; multiplexed bitwise={mux_bitwise}",
+        fmt_f(first_wall.as_secs_f64() * 1e3, 1),
+        resumed.reused,
+        n_cells,
+    );
+
+    if let Some(path) = &args.json {
+        write_json(path, &root);
+    }
+
+    if args.check {
+        check_gate(
+            n_cells >= 8
+                && budget_ok
+                && bitwise
+                && latency_ok
+                && formation_ok
+                && resume_ok
+                && mux_bitwise,
+            &format!(
+                "cells={n_cells} (≥8), budget respected={budget_ok} (high-water {hw} ≤ {BUDGET}), \
+                 bitwise across invocations={bitwise}, latency rows={latency_ok}, \
+                 formation rows={formation_ok}, resume={resume_ok} \
+                 (reused {}/{KILL_AFTER}), multiplex bitwise={mux_bitwise}",
+                resumed.reused
+            ),
+        );
+    }
+}

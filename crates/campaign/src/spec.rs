@@ -1,0 +1,544 @@
+//! The declarative campaign specification and its expansion into cells.
+//!
+//! A [`CampaignSpec`] describes a full factorial matrix
+//! **structure × perturbation × protocol × engine**; [`CampaignSpec::expand`]
+//! lays it out as a deterministic list of [`CellPlan`]s. Every stochastic
+//! choice inside a cell is pinned by a per-cell seed derived from the
+//! campaign seed and the cell's matrix index with SplitMix64
+//! ([`tbmd_md::derive_seed`]), so re-expanding the same spec always yields
+//! the same cells, bit for bit, no matter which subset already ran.
+
+use tbmd::{EngineKind, Protocol, SystemSpec};
+use tbmd_md::{derive_seed, QuenchSchedule};
+use tbmd_structure::{
+    apply_strain, displacement_disorder, insert_interstitial, make_vacancy, Structure,
+};
+use tbmd_trace::JsonValue;
+
+/// One labelled structure generator of the matrix.
+#[derive(Debug, Clone)]
+pub struct StructureCase {
+    pub label: String,
+    pub system: SystemSpec,
+}
+
+/// A perturbation applied to the generated structure before dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Perturbation {
+    /// The structure as generated (also the formation-energy reference).
+    Pristine,
+    /// Remove atom `site` ([`tbmd_structure::make_vacancy`]).
+    Vacancy { site: usize },
+    /// Insert one atom of the host species at fractional coordinates.
+    Interstitial { frac: [f64; 3] },
+    /// Seeded uniform displacement disorder of amplitude `max_disp` Å.
+    /// The RNG seed is the cell seed — two cells differing only in their
+    /// matrix position draw different disorder.
+    Disorder { max_disp: f64 },
+    /// Diagonal affine strain (cell + positions scaled together).
+    Strain { strain: [f64; 3] },
+}
+
+impl Perturbation {
+    /// Apply in place. `seed` pins the stochastic variant (disorder).
+    pub fn apply(&self, s: &mut Structure, seed: u64) {
+        match *self {
+            Perturbation::Pristine => {}
+            Perturbation::Vacancy { site } => {
+                make_vacancy(s, site);
+            }
+            Perturbation::Interstitial { frac } => {
+                let sp = s.species(0);
+                insert_interstitial(s, sp, frac);
+            }
+            Perturbation::Disorder { max_disp } => displacement_disorder(s, max_disp, seed),
+            Perturbation::Strain { strain } => apply_strain(s, strain),
+        }
+    }
+
+    pub fn is_pristine(&self) -> bool {
+        matches!(self, Perturbation::Pristine)
+    }
+}
+
+/// One labelled perturbation of the matrix.
+#[derive(Debug, Clone)]
+pub struct PerturbationCase {
+    pub label: String,
+    pub perturbation: Perturbation,
+}
+
+/// A protocol program: either one core [`Protocol`] or a multi-segment
+/// quench schedule chained through [`tbmd::InitialState`].
+#[derive(Debug, Clone)]
+pub enum ProtocolSpec {
+    Relax {
+        force_tolerance: f64,
+        max_iterations: usize,
+    },
+    Nve {
+        temperature_k: f64,
+        steps: usize,
+        dt_fs: f64,
+    },
+    Nvt {
+        temperature_k: f64,
+        steps: usize,
+        dt_fs: f64,
+        tau_fs: f64,
+    },
+    /// Piecewise quench: one NVT-ramp session per segment, the phase-space
+    /// endpoint carried across boundaries, `strain_per_segment` re-applied
+    /// between consecutive segments.
+    Quench {
+        schedule: QuenchSchedule,
+        strain_per_segment: [f64; 3],
+    },
+}
+
+impl ProtocolSpec {
+    /// The chain of core protocols this program runs, in order.
+    pub fn segments(&self) -> Vec<Protocol> {
+        match self {
+            ProtocolSpec::Relax {
+                force_tolerance,
+                max_iterations,
+            } => vec![Protocol::Relax {
+                force_tolerance: *force_tolerance,
+                max_iterations: *max_iterations,
+            }],
+            ProtocolSpec::Nve {
+                temperature_k,
+                steps,
+                dt_fs,
+            } => vec![Protocol::Nve {
+                temperature_k: *temperature_k,
+                steps: *steps,
+                dt_fs: *dt_fs,
+            }],
+            ProtocolSpec::Nvt {
+                temperature_k,
+                steps,
+                dt_fs,
+                tau_fs,
+            } => vec![Protocol::Nvt {
+                temperature_k: *temperature_k,
+                steps: *steps,
+                dt_fs: *dt_fs,
+                tau_fs: *tau_fs,
+            }],
+            ProtocolSpec::Quench { schedule, .. } => schedule
+                .segments
+                .iter()
+                .map(|seg| Protocol::NvtRamp {
+                    from_k: seg.from_k,
+                    to_k: seg.to_k,
+                    rate_k_per_fs: seg.rate_k_per_fs,
+                    hold_steps: seg.hold_steps,
+                    dt_fs: schedule.dt_fs,
+                    tau_fs: schedule.tau_fs,
+                })
+                .collect(),
+        }
+    }
+
+    /// The strain increment applied between consecutive segments.
+    pub fn inter_segment_strain(&self) -> [f64; 3] {
+        match self {
+            ProtocolSpec::Quench {
+                strain_per_segment, ..
+            } => *strain_per_segment,
+            _ => [0.0; 3],
+        }
+    }
+}
+
+/// One labelled protocol of the matrix.
+#[derive(Debug, Clone)]
+pub struct ProtocolCase {
+    pub label: String,
+    pub protocol: ProtocolSpec,
+}
+
+/// The declarative campaign: a name, a root seed, and the four matrix axes.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    pub name: String,
+    /// Root seed; each cell derives its own with SplitMix64.
+    pub seed: u64,
+    /// Electronic smearing (eV) shared by every cell.
+    pub electronic_kt: f64,
+    pub structures: Vec<StructureCase>,
+    pub perturbations: Vec<PerturbationCase>,
+    pub protocols: Vec<ProtocolCase>,
+    /// `(label, engine)` pairs.
+    pub engines: Vec<(String, EngineKind)>,
+}
+
+fn num(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(|x| x.as_f64())
+}
+
+fn int(v: &JsonValue, key: &str) -> Option<usize> {
+    num(v, key).map(|x| x.max(0.0) as usize)
+}
+
+fn label(v: &JsonValue, fallback: &str) -> String {
+    v.get("label")
+        .and_then(|s| s.as_str())
+        .unwrap_or(fallback)
+        .to_string()
+}
+
+fn vec3_field(v: &JsonValue, key: &str) -> Result<[f64; 3], String> {
+    let arr = v
+        .get(key)
+        .and_then(|a| a.as_array())
+        .ok_or_else(|| format!("{key} must be a 3-element array"))?;
+    if arr.len() != 3 {
+        return Err(format!("{key} must have exactly 3 elements"));
+    }
+    let mut out = [0.0; 3];
+    for (slot, x) in out.iter_mut().zip(arr) {
+        *slot = x.as_f64().ok_or_else(|| format!("{key} must be numeric"))?;
+    }
+    Ok(out)
+}
+
+fn parse_system(v: &JsonValue) -> Result<SystemSpec, String> {
+    let reps = int(v, "reps").unwrap_or(1).max(1);
+    match v.get("system").and_then(|s| s.as_str()).unwrap_or("si") {
+        "si" | "silicon" => Ok(SystemSpec::SiliconDiamond { reps }),
+        "c" | "carbon" => Ok(SystemSpec::CarbonDiamond { reps }),
+        "graphene" => Ok(SystemSpec::Graphene { nx: reps, ny: reps }),
+        "c60" => Ok(SystemSpec::C60),
+        other => Err(format!("unknown system {other:?}")),
+    }
+}
+
+fn parse_perturbation(v: &JsonValue) -> Result<Perturbation, String> {
+    match v.get("kind").and_then(|s| s.as_str()).unwrap_or("pristine") {
+        "pristine" => Ok(Perturbation::Pristine),
+        "vacancy" => Ok(Perturbation::Vacancy {
+            site: int(v, "site").unwrap_or(0),
+        }),
+        "interstitial" => Ok(Perturbation::Interstitial {
+            frac: vec3_field(v, "frac")?,
+        }),
+        "disorder" => {
+            let max_disp =
+                num(v, "max_disp").ok_or_else(|| "disorder needs \"max_disp\" (Å)".to_string())?;
+            Ok(Perturbation::Disorder { max_disp })
+        }
+        "strain" => Ok(Perturbation::Strain {
+            strain: vec3_field(v, "strain")?,
+        }),
+        other => Err(format!("unknown perturbation kind {other:?}")),
+    }
+}
+
+fn parse_protocol(v: &JsonValue) -> Result<ProtocolSpec, String> {
+    let dt_fs = num(v, "dt_fs").unwrap_or(1.0);
+    let tau_fs = num(v, "tau_fs").unwrap_or(50.0);
+    match v.get("kind").and_then(|s| s.as_str()).unwrap_or("nve") {
+        "relax" => Ok(ProtocolSpec::Relax {
+            force_tolerance: num(v, "force_tolerance").unwrap_or(1e-3),
+            max_iterations: int(v, "max_iterations").unwrap_or(200),
+        }),
+        "nve" => Ok(ProtocolSpec::Nve {
+            temperature_k: num(v, "temperature_k").unwrap_or(300.0),
+            steps: int(v, "steps").unwrap_or(10),
+            dt_fs,
+        }),
+        "nvt" => Ok(ProtocolSpec::Nvt {
+            temperature_k: num(v, "temperature_k").unwrap_or(300.0),
+            steps: int(v, "steps").unwrap_or(10),
+            dt_fs,
+            tau_fs,
+        }),
+        "quench" => {
+            let from_k = num(v, "from_k").unwrap_or(800.0);
+            let to_k = num(v, "to_k").unwrap_or(200.0);
+            let segments = int(v, "segments").unwrap_or(2).max(1);
+            let rate = num(v, "rate_k_per_fs").unwrap_or(10.0);
+            let hold = int(v, "hold_steps").unwrap_or(5);
+            let schedule =
+                QuenchSchedule::staircase(from_k, to_k, segments, rate, hold, dt_fs, tau_fs);
+            schedule.validate()?;
+            let strain_per_segment = match v.get("strain_per_segment") {
+                Some(_) => vec3_field(v, "strain_per_segment")?,
+                None => [0.0; 3],
+            };
+            Ok(ProtocolSpec::Quench {
+                schedule,
+                strain_per_segment,
+            })
+        }
+        other => Err(format!("unknown protocol kind {other:?}")),
+    }
+}
+
+fn parse_engine(s: &str) -> Result<EngineKind, String> {
+    if let Some(ranks) = s.strip_prefix("distributed:") {
+        let ranks = ranks
+            .parse::<usize>()
+            .map_err(|_| format!("bad rank count in {s:?}"))?;
+        return Ok(EngineKind::Distributed {
+            ranks: ranks.max(1),
+        });
+    }
+    match s {
+        "serial" => Ok(EngineKind::Serial),
+        "shared" => Ok(EngineKind::Shared),
+        "shared-jacobi" => Ok(EngineKind::SharedJacobi),
+        "distributed" => Ok(EngineKind::Distributed { ranks: 2 }),
+        other => Err(format!("unknown engine {other:?}")),
+    }
+}
+
+impl CampaignSpec {
+    /// Parse a campaign from its JSON text. See DESIGN.md ("Campaign
+    /// harness") for the schema; README has a runnable example.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+        let v = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let name = v
+            .get("name")
+            .and_then(|s| s.as_str())
+            .unwrap_or("campaign")
+            .to_string();
+        let seed = num(&v, "seed").unwrap_or(42.0) as u64;
+        let electronic_kt = num(&v, "electronic_kt").unwrap_or(0.1);
+
+        let mut structures = Vec::new();
+        for (i, s) in v
+            .get("structures")
+            .and_then(|a| a.as_array())
+            .ok_or_else(|| "spec needs a \"structures\" array".to_string())?
+            .iter()
+            .enumerate()
+        {
+            structures.push(StructureCase {
+                label: label(s, &format!("s{i}")),
+                system: parse_system(s)?,
+            });
+        }
+
+        let mut perturbations = Vec::new();
+        match v.get("perturbations").and_then(|a| a.as_array()) {
+            Some(items) => {
+                for (i, p) in items.iter().enumerate() {
+                    perturbations.push(PerturbationCase {
+                        label: label(p, &format!("p{i}")),
+                        perturbation: parse_perturbation(p)?,
+                    });
+                }
+            }
+            None => perturbations.push(PerturbationCase {
+                label: "pristine".to_string(),
+                perturbation: Perturbation::Pristine,
+            }),
+        }
+
+        let mut protocols = Vec::new();
+        for (i, p) in v
+            .get("protocols")
+            .and_then(|a| a.as_array())
+            .ok_or_else(|| "spec needs a \"protocols\" array".to_string())?
+            .iter()
+            .enumerate()
+        {
+            protocols.push(ProtocolCase {
+                label: label(p, &format!("proto{i}")),
+                protocol: parse_protocol(p)?,
+            });
+        }
+
+        let mut engines = Vec::new();
+        match v.get("engines").and_then(|a| a.as_array()) {
+            Some(items) => {
+                for e in items {
+                    let s = e
+                        .as_str()
+                        .ok_or_else(|| "engines must be strings".to_string())?;
+                    engines.push((s.to_string(), parse_engine(s)?));
+                }
+            }
+            None => engines.push(("serial".to_string(), EngineKind::Serial)),
+        }
+
+        if structures.is_empty() || protocols.is_empty() {
+            return Err("campaign needs at least one structure and one protocol".to_string());
+        }
+        Ok(CampaignSpec {
+            name,
+            seed,
+            electronic_kt,
+            structures,
+            perturbations,
+            protocols,
+            engines,
+        })
+    }
+
+    /// Lay the matrix out as a deterministic cell list: structures outermost,
+    /// engines innermost, each cell seeded by `derive_seed(seed, index)`.
+    pub fn expand(&self) -> Vec<CellPlan> {
+        let mut cells = Vec::new();
+        for sc in &self.structures {
+            for pc in &self.perturbations {
+                for proto in &self.protocols {
+                    for (engine_label, engine) in &self.engines {
+                        let index = cells.len();
+                        cells.push(CellPlan {
+                            index,
+                            name: format!(
+                                "{}/{}/{}/{}",
+                                sc.label, pc.label, proto.label, engine_label
+                            ),
+                            structure_label: sc.label.clone(),
+                            perturbation_label: pc.label.clone(),
+                            protocol_label: proto.label.clone(),
+                            engine_label: engine_label.clone(),
+                            system: sc.system,
+                            perturbation: pc.perturbation,
+                            protocol: proto.protocol.clone(),
+                            engine: *engine,
+                            electronic_kt: self.electronic_kt,
+                            seed: derive_seed(self.seed, index as u64),
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One fully-resolved cell of the expanded matrix.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// Position in the expanded matrix (also the seed-derivation stream).
+    pub index: usize,
+    /// `structure/perturbation/protocol/engine` labels joined with `/`.
+    pub name: String,
+    pub structure_label: String,
+    pub perturbation_label: String,
+    pub protocol_label: String,
+    pub engine_label: String,
+    pub system: SystemSpec,
+    pub perturbation: Perturbation,
+    pub protocol: ProtocolSpec,
+    pub engine: EngineKind,
+    pub electronic_kt: f64,
+    /// Per-cell derived seed: velocities and stochastic perturbations.
+    pub seed: u64,
+}
+
+impl CellPlan {
+    /// Identity fingerprint of everything that determines this cell's
+    /// physics — what a stored result file must match to be reused on
+    /// resume. Wall-clock observables are deliberately outside it.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = format!(
+            "{}|{:?}|{:?}|{:?}|{:?}|{}|{}",
+            self.name,
+            self.system,
+            self.perturbation,
+            self.protocol,
+            self.engine,
+            self.electronic_kt,
+            self.seed
+        );
+        tbmd_ckpt::fingerprint(canonical.as_bytes())
+    }
+
+    /// Whether this cell is a formation-energy reference.
+    pub fn is_pristine(&self) -> bool {
+        self.perturbation.is_pristine()
+    }
+
+    /// Build the starting structure: generate, then perturb.
+    pub fn build_initial(&self) -> Structure {
+        let mut s = self.system.build(0.0, self.seed);
+        self.perturbation.apply(&mut s, self.seed);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "name": "t",
+        "seed": 7,
+        "structures": [{"label": "si1", "system": "si", "reps": 1}],
+        "perturbations": [
+            {"label": "pristine", "kind": "pristine"},
+            {"label": "vac0", "kind": "vacancy", "site": 0}
+        ],
+        "protocols": [
+            {"label": "nve", "kind": "nve", "temperature_k": 300, "steps": 4},
+            {"label": "q", "kind": "quench", "from_k": 600, "to_k": 200,
+             "segments": 2, "rate_k_per_fs": 20, "hold_steps": 2}
+        ],
+        "engines": ["serial", "shared"]
+    }"#;
+
+    #[test]
+    fn expands_full_matrix_deterministically() {
+        let spec = CampaignSpec::from_json(SPEC).expect("parse");
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(
+            a.len(),
+            8,
+            "1 structure × 2 perturbations × 2 protocols × 2 engines"
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.fingerprint(), y.fingerprint());
+        }
+        // Seeds differ between cells (SplitMix64 stream separation).
+        assert_ne!(a[0].seed, a[1].seed);
+    }
+
+    #[test]
+    fn quench_expands_to_ramp_segments() {
+        let spec = CampaignSpec::from_json(SPEC).expect("parse");
+        let cells = spec.expand();
+        let quench = cells
+            .iter()
+            .find(|c| c.protocol_label == "q")
+            .expect("quench cell");
+        let segments = quench.protocol.segments();
+        assert_eq!(segments.len(), 2);
+        assert!(matches!(
+            segments[0],
+            Protocol::NvtRamp { from_k, .. } if (from_k - 600.0).abs() < 1e-9
+        ));
+    }
+
+    #[test]
+    fn vacancy_cell_builds_one_fewer_atom() {
+        let spec = CampaignSpec::from_json(SPEC).expect("parse");
+        let cells = spec.expand();
+        let pristine = cells.iter().find(|c| c.is_pristine()).unwrap();
+        let vacancy = cells.iter().find(|c| !c.is_pristine()).unwrap();
+        assert_eq!(
+            vacancy.build_initial().n_atoms() + 1,
+            pristine.build_initial().n_atoms()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(CampaignSpec::from_json("{}").is_err());
+        assert!(CampaignSpec::from_json("not json").is_err());
+        assert!(CampaignSpec::from_json(
+            r#"{"structures":[{"system":"unobtanium"}],"protocols":[{"kind":"nve"}]}"#
+        )
+        .is_err());
+    }
+}

@@ -21,7 +21,7 @@ pub mod simulation;
 pub mod system;
 
 pub use engine::{Engine, EngineKind};
-pub use session::{Session, SessionBuilder, SessionStatus};
+pub use session::{InitialState, Session, SessionBuilder, SessionStatus};
 pub use simulation::{
     resume_simulation, resume_simulation_recorded, run_manifest, run_simulation,
     run_simulation_checkpointed, run_simulation_recorded, run_simulation_resilient,

@@ -33,15 +33,17 @@ use tbmd_ckpt::{
 use tbmd_linalg::budget::ComputeLease;
 use tbmd_linalg::Vec3;
 use tbmd_md::{
-    maxwell_boltzmann, relax, MdState, NoseHoover, RelaxOptions, RunningStats, TemperatureRamp,
-    Trajectory, VelocityVerlet,
+    maxwell_boltzmann, relax, MdState, NoseHoover, RdfAccumulator, RelaxOptions, RunningStats,
+    TemperatureRamp, Trajectory, VelocityVerlet,
 };
 use tbmd_model::{
     cached_eigensolver_health, eigensolver_health, DenseSolver, GspTbModel, OccupationScheme,
     TbError, TbModel, Workspace,
 };
 use tbmd_parallel::FaultPlan;
-use tbmd_trace::{Counter, Hist, RunRecorder, ScopedSink, StepRecord, TraceSink, TraceSnapshot};
+use tbmd_trace::{
+    Counter, Hist, JsonValue, RunRecorder, ScopedSink, StepRecord, TraceSink, TraceSnapshot,
+};
 
 /// Map a checkpoint-subsystem error into the driver's error type.
 pub(crate) fn ckpt_err(e: CkptError) -> TbError {
@@ -89,6 +91,131 @@ fn config_fingerprint(config: &SimulationConfig) -> u64 {
     tbmd_ckpt::fingerprint(canon.as_bytes())
 }
 
+/// A caller-supplied starting point that overrides the configured system
+/// build: the structure the run starts from (a defect cell, a strained box,
+/// the endpoint of a previous protocol segment) and, optionally, the exact
+/// starting velocities (carried across quench-segment boundaries). With
+/// `velocities: None` the protocol draws Maxwell–Boltzmann velocities from
+/// the config seed as usual.
+///
+/// This is the inter-segment perturbation hook of the campaign runner: a
+/// multi-segment program runs one [`Session`] per segment, feeding each
+/// segment's `final_structure`/`final_velocities` (possibly perturbed in
+/// between — e.g. an affine strain increment) into the next session's
+/// initial state.
+#[derive(Debug, Clone)]
+pub struct InitialState {
+    pub structure: tbmd_structure::Structure,
+    pub velocities: Option<Vec<Vec3>>,
+}
+
+impl InitialState {
+    /// Start from `structure` with protocol-drawn (seeded Maxwell–Boltzmann)
+    /// velocities.
+    pub fn from_structure(structure: tbmd_structure::Structure) -> InitialState {
+        InitialState {
+            structure,
+            velocities: None,
+        }
+    }
+
+    /// Start from an exact phase-space point (structure + velocities) —
+    /// what chaining protocol segments bitwise requires.
+    pub fn with_velocities(structure: tbmd_structure::Structure, velocities: Vec<Vec3>) -> Self {
+        InitialState {
+            structure,
+            velocities: Some(velocities),
+        }
+    }
+}
+
+/// Fingerprint of an initial-state override: species, positions, cell and
+/// (when pinned) velocities, all at bit precision. Folded into the run
+/// fingerprint so a snapshot written from one starting structure is never
+/// resumed into another.
+fn state_fingerprint(initial: &InitialState) -> u64 {
+    let s = &initial.structure;
+    let mut bytes = Vec::with_capacity(25 * s.n_atoms() + 64);
+    bytes.extend_from_slice(format!("{:?}", s.species_slice()).as_bytes());
+    for p in s.positions() {
+        for c in p.to_array() {
+            bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+    }
+    for c in s.cell().lengths.to_array() {
+        bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+    }
+    for periodic in s.cell().periodic {
+        bytes.push(periodic as u8);
+    }
+    match &initial.velocities {
+        Some(v) => {
+            bytes.push(1);
+            for x in v {
+                for c in x.to_array() {
+                    bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+                }
+            }
+        }
+        None => bytes.push(0),
+    }
+    tbmd_ckpt::fingerprint(&bytes)
+}
+
+/// The session's resume-identity fingerprint: the config fingerprint,
+/// combined with the initial-state fingerprint when an override is set.
+fn run_fingerprint(config: &SimulationConfig, initial: Option<&InitialState>) -> u64 {
+    let base = config_fingerprint(config);
+    match initial {
+        None => base,
+        Some(init) => {
+            let mut bytes = [0u8; 16];
+            bytes[..8].copy_from_slice(&base.to_le_bytes());
+            bytes[8..].copy_from_slice(&state_fingerprint(init).to_le_bytes());
+            tbmd_ckpt::fingerprint(&bytes)
+        }
+    }
+}
+
+/// Physics observables folded into a recorder's summary line: temperature
+/// statistics over the whole run (Welford, bit-deterministic), the energy
+/// endpoint, and the radial distribution function of the final
+/// configuration. Everything here is derived from simulation state only —
+/// no wall-clock — so equal runs produce byte-equal observables.
+fn observables_json(t_stats: &RunningStats, summary: &SimulationSummary) -> JsonValue {
+    let mut obs = JsonValue::object();
+    let mut temp = JsonValue::object();
+    temp.set("samples", t_stats.count());
+    if t_stats.count() > 0 {
+        temp.set("mean_k", t_stats.mean())
+            .set("std_k", t_stats.std_dev())
+            .set("min_k", t_stats.min())
+            .set("max_k", t_stats.max());
+    }
+    obs.set("temperature", temp)
+        .set("potential_ev", summary.final_potential_energy)
+        .set("total_ev", summary.final_total_energy)
+        .set("drift_ev", summary.conserved_drift);
+    let s = &summary.final_structure;
+    // Bins stop at half the shortest periodic edge (the minimum-image
+    // validity bound); clusters get a fixed 5 Å window.
+    let r_max = s
+        .cell()
+        .min_periodic_edge()
+        .map_or(5.0, |edge| 0.5 * edge)
+        .max(1.0);
+    let n_bins = 64usize;
+    let mut rdf = RdfAccumulator::new(r_max, n_bins);
+    rdf.accumulate(s);
+    let mut rj = JsonValue::object();
+    rj.set("r_max", r_max).set("n_bins", n_bins);
+    if let Some((r, g)) = rdf.first_peak() {
+        rj.set("first_peak_r", r).set("first_peak_g", g);
+    }
+    obs.set("rdf", rj);
+    obs
+}
+
 fn flatten(v: &[Vec3]) -> Vec<f64> {
     v.iter().flat_map(|x| x.to_array()).collect()
 }
@@ -128,30 +255,28 @@ fn restore_state(
     ))
 }
 
-/// Check a loaded snapshot against the resuming configuration.
-fn validate_resume(config: &SimulationConfig, snap: &Snapshot) -> Result<(), TbError> {
-    let expect = config_fingerprint(config);
+/// Check a loaded snapshot against the resuming run's fingerprint (config
+/// combined with any initial-state override).
+fn validate_resume(expect: u64, snap: &Snapshot) -> Result<(), TbError> {
     if snap.config_fingerprint != expect {
         return Err(TbError::Checkpoint(format!(
             "config mismatch: snapshot fingerprint {:#018x} != configured {:#018x} \
-             (system/engine/protocol/seed changed since the snapshot was written)",
+             (system/engine/protocol/seed/initial state changed since the snapshot was written)",
             snap.config_fingerprint, expect
         )));
     }
     Ok(())
 }
 
-/// The newest usable snapshot of `store` for `config`, or a typed error if
-/// the store is empty or the snapshot belongs to a different run.
-fn load_latest_validated(
-    config: &SimulationConfig,
-    store: &CheckpointStore,
-) -> Result<Snapshot, TbError> {
+/// The newest usable snapshot of `store` for the run fingerprint, or a
+/// typed error if the store is empty or the snapshot belongs to a
+/// different run.
+fn load_latest_validated(expect: u64, store: &CheckpointStore) -> Result<Snapshot, TbError> {
     let snap = store
         .latest()
         .map_err(ckpt_err)?
         .ok_or_else(|| ckpt_err(CkptError::NoSnapshot))?;
-    validate_resume(config, &snap)?;
+    validate_resume(expect, &snap)?;
     Ok(snap)
 }
 
@@ -270,12 +395,12 @@ struct CkptCtx {
 }
 
 impl CkptCtx {
-    fn from_spec(spec: &CkptSpec, config: &SimulationConfig) -> CkptCtx {
+    fn from_spec(spec: &CkptSpec, fingerprint: u64, seed: u64) -> CkptCtx {
         CkptCtx {
             store: spec.store.clone(),
             interval: spec.interval,
-            fingerprint: config_fingerprint(config),
-            seed: config.seed,
+            fingerprint,
+            seed,
         }
     }
 
@@ -408,6 +533,7 @@ impl Attempt {
     /// loop treats that exactly like a mid-run failure).
     fn new(
         config: &SimulationConfig,
+        initial: Option<&InitialState>,
         engine: &Engine<'_>,
         ckpt: Option<CkptCtx>,
         resume: Option<Snapshot>,
@@ -430,7 +556,13 @@ impl Attempt {
                 None => tbmd_trace::add(Counter::CkptRestores, 1),
             }
         }
-        let structure = config.system.build(config.perturb, config.seed);
+        let structure = match initial {
+            Some(init) => init.structure.clone(),
+            None => config.system.build(config.perturb, config.seed),
+        };
+        // Caller-pinned starting velocities (None unless an InitialState
+        // carries them); fresh MD starts fall back to Maxwell–Boltzmann.
+        let pinned_v = initial.and_then(|init| init.velocities.clone());
         let trajectory = (config.record_stride > 0).then(|| Trajectory::new(config.record_stride));
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut ws = Workspace::new();
@@ -472,7 +604,9 @@ impl Attempt {
                         )
                     }
                     None => {
-                        let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+                        let v = pinned_v.clone().unwrap_or_else(|| {
+                            maxwell_boltzmann(&structure, temperature_k, &mut rng)
+                        });
                         let state = MdState::new_with(structure, v, engine, &mut ws)?;
                         let e0 = state.total_energy();
                         (state, e0, RunningStats::new(), 0.0f64, 0usize)
@@ -519,7 +653,9 @@ impl Attempt {
                         )
                     }
                     None => {
-                        let v = maxwell_boltzmann(&structure, temperature_k, &mut rng);
+                        let v = pinned_v.clone().unwrap_or_else(|| {
+                            maxwell_boltzmann(&structure, temperature_k, &mut rng)
+                        });
                         let state = MdState::new_with(structure, v, engine, &mut ws)?;
                         let nh =
                             NoseHoover::with_period(dt_fs, temperature_k, state.n_dof(), tau_fs);
@@ -576,7 +712,9 @@ impl Attempt {
                         )
                     }
                     None => {
-                        let v = maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng);
+                        let v = pinned_v.clone().unwrap_or_else(|| {
+                            maxwell_boltzmann(&structure, from_k.max(1.0), &mut rng)
+                        });
                         let state = MdState::new_with(structure, v, engine, &mut ws)?;
                         let nh = NoseHoover::with_period(dt_fs, from_k, state.n_dof(), tau_fs);
                         (state, nh, RunningStats::new(), 0usize)
@@ -961,6 +1099,7 @@ pub struct SessionBuilder<'r> {
     resume: bool,
     lease: Option<ComputeLease>,
     telemetry: Option<ScopedSink>,
+    initial: Option<InitialState>,
 }
 
 impl<'r> SessionBuilder<'r> {
@@ -975,6 +1114,7 @@ impl<'r> SessionBuilder<'r> {
             resume: false,
             lease: None,
             telemetry: None,
+            initial: None,
         }
     }
 
@@ -1054,11 +1194,34 @@ impl<'r> SessionBuilder<'r> {
         self
     }
 
+    /// Start from an explicit [`InitialState`] instead of building the
+    /// configured system: the campaign runner's inter-segment hook (defect
+    /// cells, strained boxes, the carried endpoint of a previous protocol
+    /// segment). The state's fingerprint is folded into the session's
+    /// checkpoint identity, so snapshots never resume across different
+    /// starting states.
+    pub fn initial_state(mut self, state: InitialState) -> Self {
+        self.initial = Some(state);
+        self
+    }
+
     /// Resolve the attachments and build the engine. Fails on an unusable
     /// checkpoint store or a failed required-resume load; engine
     /// construction itself is infallible.
     pub fn build(self) -> Result<Session<'r>, TbError> {
         let config = self.config;
+        if let Some(init) = self.initial.as_ref() {
+            if let Some(v) = init.velocities.as_ref() {
+                if v.len() != init.structure.n_atoms() {
+                    return Err(TbError::Config(format!(
+                        "initial state carries {} velocities for {} atoms",
+                        v.len(),
+                        init.structure.n_atoms()
+                    )));
+                }
+            }
+        }
+        let fingerprint = run_fingerprint(&config, self.initial.as_ref());
         let request = self
             .checkpoint
             .or_else(|| self.recorder_opts.checkpoint.clone().map(CkptRequest::Dir));
@@ -1074,7 +1237,7 @@ impl<'r> SessionBuilder<'r> {
             let spec = checkpoint.as_ref().ok_or_else(|| {
                 TbError::Checkpoint("resume_simulation_recorded needs options.checkpoint".into())
             })?;
-            Some(load_latest_validated(&config, &spec.store)?)
+            Some(load_latest_validated(fingerprint, &spec.store)?)
         } else {
             None
         };
@@ -1113,6 +1276,8 @@ impl<'r> SessionBuilder<'r> {
             alloc_events: 0,
             lease: self.lease,
             telemetry: self.telemetry,
+            initial: self.initial,
+            fingerprint,
         })
     }
 }
@@ -1147,6 +1312,10 @@ pub struct Session<'r> {
     alloc_events: u64,
     lease: Option<ComputeLease>,
     telemetry: Option<ScopedSink>,
+    /// Caller-supplied starting state override (see [`InitialState`]).
+    initial: Option<InitialState>,
+    /// Resume-identity fingerprint: config + initial-state override.
+    fingerprint: u64,
 }
 
 impl<'r> Session<'r> {
@@ -1344,7 +1513,7 @@ impl<'r> Session<'r> {
             match self.checkpoint.as_ref() {
                 // A failure before the first snapshot (or an unusable one)
                 // restarts from scratch.
-                Some(spec) => match load_latest_validated(&self.config, &spec.store) {
+                Some(spec) => match load_latest_validated(self.fingerprint, &spec.store) {
                     Ok(snap) => Some(snap),
                     Err(TbError::Checkpoint(_)) => None,
                     Err(e) => return Err(e),
@@ -1357,12 +1526,19 @@ impl<'r> Session<'r> {
         let ckpt = self
             .checkpoint
             .as_ref()
-            .map(|spec| CkptCtx::from_spec(spec, &self.config));
+            .map(|spec| CkptCtx::from_spec(spec, self.fingerprint, self.config.seed));
         let mut rec: Rec<'_> = match (self.recording.as_mut(), self.recorder.as_mut()) {
             (Some(recording), Some(slot)) => Some((recording, slot.as_mut())),
             _ => None,
         };
-        let attempt = Attempt::new(&self.config, &self.engine, ckpt, resume, &mut rec)?;
+        let attempt = Attempt::new(
+            &self.config,
+            self.initial.as_ref(),
+            &self.engine,
+            ckpt,
+            resume,
+            &mut rec,
+        )?;
         self.attempt = Some(attempt);
         Ok(())
     }
@@ -1401,7 +1577,13 @@ impl<'r> Session<'r> {
         let attempt = self.attempt.take().expect("finished attempt present");
         self.alloc_events += attempt.ws.large_alloc_events() as u64;
         self.report.final_ranks = self.engine.active_ranks();
-        self.outcome = Some(attempt.finish());
+        let t_stats = attempt.t_stats.clone();
+        let summary = attempt.finish();
+        if let Some(slot) = self.recorder.as_mut() {
+            slot.as_mut()
+                .set_observables(observables_json(&t_stats, &summary));
+        }
+        self.outcome = Some(summary);
         self.done = true;
     }
 }

@@ -14,6 +14,7 @@ pub mod berendsen;
 pub mod nose_hoover;
 pub mod observables;
 pub mod phonons;
+pub mod quench;
 pub mod relax;
 pub mod state;
 pub mod trajectory;
@@ -26,11 +27,13 @@ pub use observables::{
     diffusion_coefficient, mean_square_displacement, RdfAccumulator, RunningStats, VacfAccumulator,
 };
 pub use phonons::{normal_modes, vibrational_dos, NormalModes};
+pub use quench::{QuenchSchedule, QuenchSegment};
 pub use relax::{max_force_component, relax, RelaxOptions, RelaxResult};
 pub use state::MdState;
 pub use trajectory::{Frame, Trajectory};
 pub use velocities::{
-    dof_with_com_removed, instantaneous_temperature, kinetic_energy, maxwell_boltzmann,
-    remove_com_velocity, rescale_to_temperature,
+    derive_seed, dof_with_com_removed, instantaneous_temperature, kinetic_energy,
+    maxwell_boltzmann, maxwell_boltzmann_seeded, remove_com_velocity, rescale_to_temperature,
+    splitmix64,
 };
 pub use verlet::VelocityVerlet;

@@ -1,0 +1,165 @@
+//! Quench programs: piecewise thermostat-ramp schedules.
+//!
+//! A quench (or anneal) is a sequence of [`QuenchSegment`]s, each a linear
+//! Nosé–Hoover set-point ramp followed by a hold at the segment target —
+//! exactly the shape `Protocol::NvtRamp` runs, so a schedule compiles to a
+//! chain of ramp protocols executed back to back, carrying positions and
+//! velocities across the boundary. The driver layer (the campaign runner)
+//! owns that chaining and may re-apply perturbations (e.g. an affine strain
+//! increment) between segments; this module is the pure program
+//! description: validation, step accounting, and segment iteration.
+
+/// One piecewise segment of a quench schedule: ramp the thermostat
+/// set-point from `from_k` to `to_k` at `rate_k_per_fs`, then hold
+/// `hold_steps` steps at the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuenchSegment {
+    pub from_k: f64,
+    pub to_k: f64,
+    /// Set-point speed in K/fs (sign is inferred from `from_k`/`to_k`).
+    pub rate_k_per_fs: f64,
+    /// Constant-temperature steps after the ramp reaches `to_k`.
+    pub hold_steps: usize,
+}
+
+impl QuenchSegment {
+    /// MD steps the ramp phase takes at timestep `dt_fs` (the hold adds
+    /// `hold_steps` more). The set-point moves `rate·dt` per step until it
+    /// pins at the target, so the count is the ceiling of ΔT / (rate·dt).
+    pub fn ramp_steps(&self, dt_fs: f64) -> usize {
+        let span = (self.to_k - self.from_k).abs();
+        let per_step = self.rate_k_per_fs.abs() * dt_fs;
+        if span == 0.0 || per_step == 0.0 {
+            return 0;
+        }
+        (span / per_step).ceil() as usize
+    }
+}
+
+/// A full quench program: contiguous segments plus the integrator knobs
+/// shared by every segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuenchSchedule {
+    pub segments: Vec<QuenchSegment>,
+    pub dt_fs: f64,
+    /// Thermostat period (Q = g·k_B·T·τ²).
+    pub tau_fs: f64,
+}
+
+impl QuenchSchedule {
+    /// A single-rate quench from `from_k` to `to_k` split into `n_segments`
+    /// equal temperature spans, each holding `hold_steps` at its target —
+    /// the staircase protocol of the amorphous-quench literature.
+    pub fn staircase(
+        from_k: f64,
+        to_k: f64,
+        n_segments: usize,
+        rate_k_per_fs: f64,
+        hold_steps: usize,
+        dt_fs: f64,
+        tau_fs: f64,
+    ) -> QuenchSchedule {
+        assert!(n_segments > 0, "a quench needs at least one segment");
+        let span = (to_k - from_k) / n_segments as f64;
+        let segments = (0..n_segments)
+            .map(|i| QuenchSegment {
+                from_k: from_k + span * i as f64,
+                to_k: from_k + span * (i + 1) as f64,
+                rate_k_per_fs,
+                hold_steps,
+            })
+            .collect();
+        QuenchSchedule {
+            segments,
+            dt_fs,
+            tau_fs,
+        }
+    }
+
+    /// Segment boundaries must be contiguous (segment i ends where i+1
+    /// starts) so the carried-over state is thermostatted consistently.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments.is_empty() {
+            return Err("quench schedule has no segments".into());
+        }
+        // Finite-and-positive: NaN timesteps must fail too.
+        let positive = |x: f64| x.is_finite() && x > 0.0;
+        if !positive(self.dt_fs) || !positive(self.tau_fs) {
+            return Err(format!(
+                "quench needs positive dt_fs/tau_fs (got {}/{})",
+                self.dt_fs, self.tau_fs
+            ));
+        }
+        for (i, w) in self.segments.windows(2).enumerate() {
+            if (w[0].to_k - w[1].from_k).abs() > 1e-9 {
+                return Err(format!(
+                    "segment {} ends at {} K but segment {} starts at {} K",
+                    i,
+                    w[0].to_k,
+                    i + 1,
+                    w[1].from_k
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total MD steps the schedule runs (ramps + holds).
+    pub fn total_steps(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.ramp_steps(self.dt_fs) + s.hold_steps)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_is_contiguous_and_counts_steps() {
+        let q = QuenchSchedule::staircase(800.0, 300.0, 4, 2.5, 10, 1.0, 50.0);
+        assert_eq!(q.segments.len(), 4);
+        q.validate().expect("contiguous");
+        assert!((q.segments[0].from_k - 800.0).abs() < 1e-12);
+        assert!((q.segments[3].to_k - 300.0).abs() < 1e-12);
+        // Each segment spans 125 K at 2.5 K/fs → 50 ramp steps + 10 hold.
+        assert_eq!(q.segments[0].ramp_steps(1.0), 50);
+        assert_eq!(q.total_steps(), 4 * 60);
+    }
+
+    #[test]
+    fn validate_rejects_gaps() {
+        let q = QuenchSchedule {
+            segments: vec![
+                QuenchSegment {
+                    from_k: 800.0,
+                    to_k: 600.0,
+                    rate_k_per_fs: 2.0,
+                    hold_steps: 5,
+                },
+                QuenchSegment {
+                    from_k: 500.0,
+                    to_k: 300.0,
+                    rate_k_per_fs: 2.0,
+                    hold_steps: 5,
+                },
+            ],
+            dt_fs: 1.0,
+            tau_fs: 50.0,
+        };
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn zero_span_segment_has_no_ramp_steps() {
+        let s = QuenchSegment {
+            from_k: 300.0,
+            to_k: 300.0,
+            rate_k_per_fs: 1.0,
+            hold_steps: 7,
+        };
+        assert_eq!(s.ramp_steps(1.0), 0);
+    }
+}

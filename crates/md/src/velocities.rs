@@ -98,6 +98,39 @@ pub fn maxwell_boltzmann<R: Rng>(s: &Structure, temperature_k: f64, rng: &mut R)
     v
 }
 
+/// One SplitMix64 step: advance `state` by the golden-gamma increment and
+/// return the mixed output. This is the same generator [`rand::rngs::StdRng`]
+/// runs on, exposed as a plain function so seed *derivation* (campaign seed →
+/// per-cell seeds, cell seed → per-perturbation streams) is an explicit,
+/// documented operation instead of an RNG side effect.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent child seed from a root seed and a stream index
+/// (two SplitMix64 steps: one keyed by the root, one by the stream). Equal
+/// `(root, stream)` pairs always give the same child; distinct streams give
+/// statistically independent generators — the determinism contract campaign
+/// cells rely on.
+pub fn derive_seed(root: u64, stream: u64) -> u64 {
+    let mut state = root;
+    let keyed = splitmix64(&mut state) ^ stream;
+    let mut state = keyed;
+    splitmix64(&mut state)
+}
+
+/// [`maxwell_boltzmann`] from an explicit u64 seed: the one-call form a
+/// declarative spec uses so the `seed` field alone pins the velocity draw.
+pub fn maxwell_boltzmann_seeded(s: &Structure, temperature_k: f64, seed: u64) -> Vec<Vec3> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    maxwell_boltzmann(s, temperature_k, &mut rng)
+}
+
 /// A tiny standard-normal sampler (Box–Muller) so we do not need the
 /// `rand_distr` crate.
 mod rand_distr_normal {

@@ -52,6 +52,10 @@ pub enum TbError {
     /// The checkpoint subsystem failed: an unwritable store, a snapshot
     /// that does not decode, or a resume against a mismatched configuration.
     Checkpoint(String),
+    /// An inconsistent run configuration that can be rejected before any
+    /// physics runs (e.g. an initial state whose velocity array does not
+    /// match its atom count).
+    Config(String),
 }
 
 impl std::fmt::Display for TbError {
@@ -73,6 +77,7 @@ impl std::fmt::Display for TbError {
                 write!(f, "distributed rank failure: {detail}")
             }
             TbError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            TbError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -42,8 +42,8 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tbmd::{
-    run_manifest, try_lease, CheckpointStore, EngineKind, Protocol, RecorderConfig, Session,
-    SessionBuilder, SessionStatus, SimulationConfig, SimulationSummary, SystemSpec,
+    run_manifest, try_lease, CheckpointStore, EngineKind, InitialState, Protocol, RecorderConfig,
+    Session, SessionBuilder, SessionStatus, SimulationConfig, SimulationSummary, SystemSpec,
 };
 use tbmd_trace::{timeline, Gauge, Hist, JsonValue, RunRecorder, ScopedSink};
 
@@ -66,6 +66,12 @@ pub struct JobSpec {
     pub checkpoint_interval: usize,
     /// Snapshots retained by the in-memory store.
     pub retain: usize,
+    /// Explicit starting state overriding the configured system build —
+    /// how a campaign runner submits defect cells, strained boxes, or the
+    /// carried endpoint of a previous protocol segment. `None` builds the
+    /// structure from the config as usual. Not expressible over the wire
+    /// protocol; in-process callers only.
+    pub initial: Option<InitialState>,
 }
 
 impl JobSpec {
@@ -80,7 +86,15 @@ impl JobSpec {
             health_stride: 0,
             checkpoint_interval: 0,
             retain: 3,
+            initial: None,
         }
+    }
+
+    /// Run from an explicit [`InitialState`] instead of building the
+    /// configured system.
+    pub fn with_initial(mut self, initial: InitialState) -> JobSpec {
+        self.initial = Some(initial);
+        self
     }
 }
 
@@ -300,6 +314,19 @@ impl ServeStats {
             tenants.push(Arc::clone(&entry));
         }
         entry
+    }
+
+    /// The scoped telemetry sink of the newest tenant registered under
+    /// `name`, if any — how an in-process driver (e.g. the campaign runner)
+    /// reads a finished job's latency histograms back out without parsing
+    /// the `stats` verb.
+    pub fn tenant_sink(&self, name: &str) -> Option<ScopedSink> {
+        let tenants = self.0.tenants.lock().ok()?;
+        tenants
+            .iter()
+            .rev()
+            .find(|t| t.name == name)
+            .map(|t| t.sink.clone())
     }
 
     fn set_queue_depth(&self, depth: usize) {
@@ -589,7 +616,12 @@ impl Multiplexer {
                 outcome: Err(detail),
             })
         };
-        let manifest = run_manifest(&spec.config);
+        let mut manifest = run_manifest(&spec.config);
+        if let Some(initial) = spec.initial.as_ref() {
+            // The manifest advertises what actually runs, not what the
+            // config would have built.
+            manifest.n_atoms = initial.structure.n_atoms();
+        }
         let recorder = RunRecorder::to_writer(sink.clone(), &manifest)
             .map_err(|e| fail(&spec.name, format!("recorder: {e}")))?;
         let options = RecorderConfig {
@@ -600,6 +632,9 @@ impl Multiplexer {
             .record_owned(recorder, options)
             .telemetry(entry.sink.clone())
             .lease(lease);
+        if let Some(initial) = spec.initial {
+            builder = builder.initial_state(initial);
+        }
         if spec.checkpoint_interval > 0 {
             builder = builder.checkpoint_store(
                 CheckpointStore::in_memory(spec.retain),
@@ -708,6 +743,14 @@ impl Multiplexer {
     /// hand back the reports.
     pub fn drain(&mut self) -> Vec<TenantReport> {
         while self.tick() {}
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Hand back the reports of jobs finished so far without waiting for
+    /// the rest — what an incremental driver polls between [`Multiplexer::tick`]
+    /// calls to chain follow-up submissions (e.g. the next quench segment)
+    /// off completed ones while other jobs are still running.
+    pub fn take_reports(&mut self) -> Vec<TenantReport> {
         std::mem::take(&mut self.reports)
     }
 }

@@ -8,6 +8,7 @@
 
 pub mod builders;
 pub mod cell;
+pub mod defects;
 pub mod neighbors;
 pub mod species;
 pub mod structure;
@@ -20,6 +21,7 @@ pub use builders::{
     graphene_sheet, linear_chain, nanotube, nanotube_geometry, NanotubeGeometry,
 };
 pub use cell::Cell;
+pub use defects::{apply_strain, displacement_disorder, insert_interstitial, make_vacancy};
 pub use neighbors::{Neighbor, NeighborList};
 pub use species::Species;
 pub use structure::Structure;

@@ -169,6 +169,19 @@ impl Structure {
         self.positions.swap_remove(i);
     }
 
+    /// Append an atom (interstitial insertion) and return its index.
+    pub fn add_atom(&mut self, sp: Species, position: Vec3) -> usize {
+        self.species.push(sp);
+        self.positions.push(position);
+        self.n_atoms() - 1
+    }
+
+    /// Mutable access to the cell — for homogeneous deformations that scale
+    /// box lengths and positions together (see `defects::apply_strain`).
+    pub fn cell_mut(&mut self) -> &mut Cell {
+        &mut self.cell
+    }
+
     /// All unordered pairs closer than `cutoff` (brute force; the neighbor
     /// module provides the O(N) linked-cell version).
     pub fn pairs_within(&self, cutoff: f64) -> Vec<(usize, usize, f64)> {

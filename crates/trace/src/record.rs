@@ -157,6 +157,9 @@ pub struct RunRecorder {
     eig_residual_budget: f64,
     steps: usize,
     warns: usize,
+    /// End-of-run observables attached via [`RunRecorder::set_observables`];
+    /// folded into the closing summary line.
+    observables: Option<JsonValue>,
 }
 
 /// Verdict returned by [`RunRecorder::finish`].
@@ -179,6 +182,7 @@ impl RunRecorder {
             eig_residual_budget: RunRecorder::DEFAULT_EIG_RESIDUAL_BUDGET,
             steps: 0,
             warns: 0,
+            observables: None,
         };
         rec.write_line(&manifest.to_json())?;
         Ok(rec)
@@ -311,6 +315,14 @@ impl RunRecorder {
         self.write_line(&v)
     }
 
+    /// Attach end-of-run observables (RDF peaks, temperature statistics,
+    /// final energies — any JSON object) to the closing summary line, so a
+    /// recorded stream carries structural observables, not just energies.
+    /// Call any time before [`RunRecorder::finish`]; the last call wins.
+    pub fn set_observables(&mut self, observables: JsonValue) {
+        self.observables = Some(observables);
+    }
+
     /// Drift watchdog verdict so far.
     pub fn watchdog_status(&self) -> WatchdogStatus {
         self.drift.status()
@@ -331,6 +343,9 @@ impl RunRecorder {
             counters.set(c.name(), JsonValue::from(snap.counter(c)));
         }
         v.set("counters", counters);
+        if let Some(observables) = self.observables.take() {
+            v.set("observables", observables);
+        }
         self.write_line(&v)?;
         // Swap the output out so `finish` can consume it while the Drop
         // impl (which handles the *unfinished* early-exit path) still

@@ -1,0 +1,217 @@
+//! Campaign harness contract (ISSUE 10).
+//!
+//! Three guarantees of `tbmd-campaign`:
+//!
+//! 1. **Cell = session.** Every cell of an expanded matrix reproduces,
+//!    bit for bit, the standalone [`tbmd::Session`] built from the same
+//!    config and initial state — the campaign layer adds bookkeeping,
+//!    never physics.
+//! 2. **Kill + resume = uninterrupted.** A campaign stopped mid-run and
+//!    re-invoked against the same directory reuses every completed cell's
+//!    fingerprinted result file and produces the same report as a single
+//!    uninterrupted run.
+//! 3. **Formation energy.** The report's vacancy formation energy equals
+//!    the directly computed `E_vac − (N_vac / N_ref) · E_ref` from two
+//!    hand-built relaxations.
+
+use std::path::PathBuf;
+use tbmd_campaign::{run_campaign, CampaignSpec, CellPlan, RunOptions};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tbmd_campaign_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// 1 structure × 2 perturbations × 2 protocols × 2 engines = 8 cells.
+const MATRIX_SPEC: &str = r#"{
+    "name": "matrix",
+    "seed": 11,
+    "structures": [{"label": "si1", "system": "si", "reps": 1}],
+    "perturbations": [
+        {"label": "pristine", "kind": "pristine"},
+        {"label": "vac0", "kind": "vacancy", "site": 0}
+    ],
+    "protocols": [
+        {"label": "nve", "kind": "nve", "temperature_k": 300, "steps": 4},
+        {"label": "nvt", "kind": "nvt", "temperature_k": 300, "steps": 4, "tau_fs": 40}
+    ],
+    "engines": ["serial", "shared"]
+}"#;
+
+/// Run one cell as a bare standalone session — the reference the campaign
+/// row must match bitwise.
+fn standalone_endpoint(cell: &CellPlan) -> u64 {
+    let protocol = cell.protocol.segments()[0];
+    let config = tbmd::SimulationConfig {
+        system: cell.system,
+        engine: cell.engine,
+        protocol,
+        electronic_kt: cell.electronic_kt,
+        perturb: 0.0,
+        seed: cell.seed,
+        record_stride: 0,
+    };
+    let mut session = tbmd::SessionBuilder::new(config)
+        .initial_state(tbmd::InitialState::from_structure(cell.build_initial()))
+        .build()
+        .expect("build");
+    let summary = session.run().expect("run");
+    tbmd_campaign::endpoint_fingerprint(&summary)
+}
+
+#[test]
+fn matrix_cells_match_standalone_sessions_bitwise() {
+    let spec = CampaignSpec::from_json(MATRIX_SPEC).expect("parse");
+    let cells = spec.expand();
+    assert_eq!(cells.len(), 8, "2×2×2 matrix");
+    let report = run_campaign(&spec, &RunOptions::default()).expect("campaign");
+    assert!(report.complete);
+    assert_eq!(report.rows.len(), 8);
+    for cell in &cells {
+        let row = report.row(&cell.name).expect("row for every cell");
+        assert_eq!(
+            row.endpoint,
+            standalone_endpoint(cell),
+            "{}: campaign endpoint diverged from the standalone session",
+            cell.name
+        );
+        assert_eq!(row.seed, cell.seed);
+        assert!(row.steps > 0 && row.converged);
+    }
+    // Pristine and vacancy cells must NOT coincide (the perturbation and
+    // the per-cell seed both bite).
+    let pristine = report.row("si1/pristine/nve/serial").unwrap();
+    let vacancy = report.row("si1/vac0/nve/serial").unwrap();
+    assert_ne!(pristine.endpoint, vacancy.endpoint);
+    assert_eq!(pristine.n_atoms, 8);
+    assert_eq!(vacancy.n_atoms, 7);
+}
+
+#[test]
+fn killed_campaign_resumes_skipping_completed_cells() {
+    let spec = CampaignSpec::from_json(MATRIX_SPEC).expect("parse");
+    let dir = scratch_dir("resume");
+
+    // Uninterrupted reference, no result directory involved.
+    let reference = run_campaign(&spec, &RunOptions::default()).expect("reference");
+
+    // Kill after 3 cells.
+    let killed = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            stop_after: Some(3),
+            ..RunOptions::default()
+        },
+    )
+    .expect("partial run");
+    assert!(!killed.complete);
+    assert_eq!(killed.rows.len(), 3);
+    assert_eq!(killed.executed, 3);
+
+    // Resume: the 3 completed cells come from their result files.
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .expect("resumed run");
+    assert!(resumed.complete);
+    assert_eq!(resumed.rows.len(), 8);
+    assert_eq!(resumed.reused, 3, "completed cells must not re-run");
+    assert_eq!(resumed.executed, 5);
+
+    // The stitched report equals the uninterrupted one on every
+    // deterministic observable (wall-clock latency excluded by design).
+    for (a, b) in reference.rows.iter().zip(&resumed.rows) {
+        assert_eq!(
+            a.deterministic_key(),
+            b.deterministic_key(),
+            "{}: kill+resume diverged from the uninterrupted campaign",
+            a.name
+        );
+        assert_eq!(
+            a.formation_ev.map(f64::to_bits),
+            b.formation_ev.map(f64::to_bits)
+        );
+    }
+
+    // A third invocation reuses everything.
+    let cached = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .expect("cached run");
+    assert_eq!(cached.reused, 8);
+    assert_eq!(cached.executed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+const VACANCY_SPEC: &str = r#"{
+    "name": "vacancy-formation",
+    "seed": 7,
+    "structures": [{"label": "si1", "system": "si", "reps": 1}],
+    "perturbations": [
+        {"label": "pristine", "kind": "pristine"},
+        {"label": "vac0", "kind": "vacancy", "site": 0}
+    ],
+    "protocols": [
+        {"label": "relax", "kind": "relax", "force_tolerance": 1e-3, "max_iterations": 200}
+    ],
+    "engines": ["serial"]
+}"#;
+
+#[test]
+fn vacancy_formation_energy_matches_direct_reference() {
+    let spec = CampaignSpec::from_json(VACANCY_SPEC).expect("parse");
+    let report = run_campaign(&spec, &RunOptions::default()).expect("campaign");
+    let cells = spec.expand();
+
+    // Direct reference: relax both cells by hand through the same session
+    // machinery and compute E_f = E_vac − (N_vac / N_ref) · E_ref.
+    let relax_energy = |cell: &CellPlan| -> (usize, f64) {
+        let config = tbmd::SimulationConfig {
+            system: cell.system,
+            engine: cell.engine,
+            protocol: tbmd::Protocol::Relax {
+                force_tolerance: 1e-3,
+                max_iterations: 200,
+            },
+            electronic_kt: cell.electronic_kt,
+            perturb: 0.0,
+            seed: cell.seed,
+            record_stride: 0,
+        };
+        let mut session = tbmd::SessionBuilder::new(config)
+            .initial_state(tbmd::InitialState::from_structure(cell.build_initial()))
+            .build()
+            .expect("build");
+        let summary = session.run().expect("relax");
+        assert!(summary.converged, "{} failed to relax", cell.name);
+        (
+            summary.final_structure.n_atoms(),
+            summary.final_potential_energy,
+        )
+    };
+    let (n_ref, e_ref) = relax_energy(cells.iter().find(|c| c.is_pristine()).unwrap());
+    let (n_vac, e_vac) = relax_energy(cells.iter().find(|c| !c.is_pristine()).unwrap());
+    let direct = e_vac - (n_vac as f64 / n_ref as f64) * e_ref;
+
+    let row = report.row("si1/vac0/relax/serial").expect("vacancy row");
+    let formation = row.formation_ev.expect("formation energy filled");
+    assert!(
+        (formation - direct).abs() < 1e-10,
+        "campaign formation energy {formation} != direct reference {direct}"
+    );
+    // Si vacancy formation energy should be positive and of eV order.
+    assert!(
+        formation > 0.0 && formation < 20.0,
+        "implausible formation energy {formation}"
+    );
+}
