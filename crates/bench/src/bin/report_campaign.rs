@@ -14,7 +14,9 @@
 //!   their fingerprinted result files (not re-run) and the stitched report
 //!   must match the uninterrupted one on every deterministic observable.
 //! * `multiplex` — the campaign fanned out through the `tbmd-serve`
-//!   multiplexer instead of running inline: endpoints bitwise the same.
+//!   multiplexer instead of running inline: endpoints bitwise the same,
+//!   and the result files it writes (cells retire in completion order,
+//!   not matrix order) fully reusable by a follow-up inline resume.
 //!
 //! Run: `cargo run --release -p tbmd-bench --bin report_campaign
 //!       [-- [check] [--json path]]`
@@ -52,8 +54,8 @@ const SPEC: &str = r#"{
     "engines": ["serial", "shared"]
 }"#;
 
-fn scratch_dir() -> PathBuf {
-    std::env::temp_dir().join(format!("tbmd_report_campaign_{}", std::process::id()))
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tbmd_report_campaign_{tag}_{}", std::process::id()))
 }
 
 /// Deterministic row keys plus formation-energy bits — everything the two
@@ -111,7 +113,7 @@ fn main() {
     root.set("matrix", matrix);
 
     // --- Kill after 3 cells, resume against the result directory.
-    let dir = scratch_dir();
+    let dir = scratch_dir("resume");
     let _ = std::fs::remove_dir_all(&dir);
     let killed = run_campaign(
         &spec,
@@ -149,20 +151,40 @@ fn main() {
         .set("ok", resume_ok);
     root.set("resume", resume);
 
-    // --- Multiplexed fan-out must reproduce the inline physics.
+    // --- Multiplexed fan-out must reproduce the inline physics, and its
+    // result files — written in completion order, with the 1-segment NVE
+    // cells retiring before the 2-segment quenches — must each hold the
+    // row of the cell they are named for, so a resume reuses all of them.
+    let mux_dir = scratch_dir("mux");
+    let _ = std::fs::remove_dir_all(&mux_dir);
     let multiplexed = run_campaign(
         &spec,
         &RunOptions {
+            dir: Some(mux_dir.clone()),
             multiplex: true,
             quantum: 4,
             ..RunOptions::default()
         },
     )
     .expect("multiplexed invocation");
+    let mux_resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(mux_dir.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .expect("resume from multiplexed result files");
+    let _ = std::fs::remove_dir_all(&mux_dir);
     tbmd::configure_budget(0);
     let mux_bitwise = report_keys(&multiplexed) == report_keys(&first);
+    let mux_resume_ok = mux_resumed.reused == n_cells
+        && mux_resumed.executed == 0
+        && report_keys(&mux_resumed) == report_keys(&first);
     let mut mux = JsonValue::object();
-    mux.set("bitwise_vs_inline", mux_bitwise);
+    mux.set("bitwise_vs_inline", mux_bitwise)
+        .set("resume_reused", mux_resumed.reused)
+        .set("resume_ok", mux_resume_ok);
     root.set("multiplex", mux);
 
     let mut cells_json = Vec::new();
@@ -213,13 +235,15 @@ fn main() {
                 && latency_ok
                 && formation_ok
                 && resume_ok
-                && mux_bitwise,
+                && mux_bitwise
+                && mux_resume_ok,
             &format!(
                 "cells={n_cells} (≥8), budget respected={budget_ok} (high-water {hw} ≤ {BUDGET}), \
                  bitwise across invocations={bitwise}, latency rows={latency_ok}, \
                  formation rows={formation_ok}, resume={resume_ok} \
-                 (reused {}/{KILL_AFTER}), multiplex bitwise={mux_bitwise}",
-                resumed.reused
+                 (reused {}/{KILL_AFTER}), multiplex bitwise={mux_bitwise}, \
+                 multiplex resume={mux_resume_ok} (reused {}/{n_cells})",
+                resumed.reused, mux_resumed.reused
             ),
         );
     }

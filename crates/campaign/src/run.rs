@@ -115,7 +115,14 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> Result<CampaignRe
             .collect::<Result<Vec<_>, _>>()?
     };
     if let Some(dir) = &opts.dir {
-        for (cell, row) in to_run.iter().zip(&new_rows) {
+        // Multiplexed cells retire in completion order, not matrix order —
+        // pair every row with its cell by matrix index, never by position.
+        let by_index: HashMap<usize, &CellPlan> =
+            to_run.iter().map(|cell| (cell.index, cell)).collect();
+        for row in &new_rows {
+            let cell = by_index
+                .get(&row.index)
+                .ok_or_else(|| format!("result row {:?} matches no scheduled cell", row.name))?;
             write_result(dir, cell, row).map_err(|e| format!("{}: {e}", cell.name))?;
         }
     }
@@ -139,7 +146,10 @@ fn result_path(dir: &Path, cell: &CellPlan) -> PathBuf {
             }
         })
         .collect();
-    cells_dir(dir).join(format!("{safe}.json"))
+    // Sanitization is lossy ("a/b" and "a_b" both map to "a_b"); a hash of
+    // the unsanitized name keeps distinct cells on distinct files.
+    let tag = tbmd_ckpt::fingerprint(cell.name.as_bytes()) as u32;
+    cells_dir(dir).join(format!("{safe}-{tag:08x}.json"))
 }
 
 /// A stored row, if its fingerprint still matches the cell it would stand
@@ -153,6 +163,12 @@ fn load_cached(dir: &Path, cell: &CellPlan) -> Option<CellRow> {
         return None;
     }
     let mut row = CellRow::from_json(&v)?;
+    // The fingerprint proves the file was written by *some* cell with this
+    // physics; the identity fields prove it was written by *this* cell. A
+    // misfiled or hand-copied result must read as a miss, not a hit.
+    if row.name != cell.name || row.index != cell.index {
+        return None;
+    }
     row.skipped = true;
     Some(row)
 }
@@ -381,4 +397,29 @@ fn run_cells_multiplexed(cells: &[CellPlan], opts: &RunOptions) -> Result<Vec<Ce
         }
     }
     Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_collisions_get_distinct_result_paths() {
+        // "a b" and "a_b" both sanitize to "a_b"; the name-hash suffix must
+        // keep their result files apart.
+        let spec = CampaignSpec::from_json(
+            r#"{
+                "structures": [
+                    {"label": "a b", "system": "si"},
+                    {"label": "a_b", "system": "si"}
+                ],
+                "protocols": [{"label": "nve", "kind": "nve", "steps": 1}]
+            }"#,
+        )
+        .expect("parse");
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 2);
+        let dir = Path::new("campaign");
+        assert_ne!(result_path(dir, &cells[0]), result_path(dir, &cells[1]));
+    }
 }

@@ -183,6 +183,35 @@ fn int(v: &JsonValue, key: &str) -> Option<usize> {
     num(v, key).map(|x| x.max(0.0) as usize)
 }
 
+/// The campaign seed: a non-negative integral JSON number up to 2^53
+/// (the exact-integer range of the f64-backed parser), or — for the full
+/// u64 range — a string, decimal or `0x`-prefixed hex. Anything lossy is
+/// rejected rather than silently reseeding every cell.
+fn parse_seed(v: &JsonValue) -> Result<u64, String> {
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    let Some(s) = v.get("seed") else {
+        return Ok(42);
+    };
+    if let Some(text) = s.as_str() {
+        let (radix, digits) = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            Some(hex) => (16, hex),
+            None => (10, text),
+        };
+        return u64::from_str_radix(digits, radix)
+            .map_err(|_| format!("seed string {text:?} is not a u64"));
+    }
+    let x = s
+        .as_f64()
+        .ok_or_else(|| "seed must be an integer or a string".to_string())?;
+    if !(0.0..=MAX_EXACT).contains(&x) || x.fract() != 0.0 {
+        return Err(format!(
+            "seed {x} is not an exactly-representable non-negative integer; \
+             pass large seeds as a string (decimal or \"0x…\")"
+        ));
+    }
+    Ok(x as u64)
+}
+
 fn label(v: &JsonValue, fallback: &str) -> String {
     v.get("label")
         .and_then(|s| s.as_str())
@@ -306,7 +335,7 @@ impl CampaignSpec {
             .and_then(|s| s.as_str())
             .unwrap_or("campaign")
             .to_string();
-        let seed = num(&v, "seed").unwrap_or(42.0) as u64;
+        let seed = parse_seed(&v)?;
         let electronic_kt = num(&v, "electronic_kt").unwrap_or(0.1);
 
         let mut structures = Vec::new();
@@ -530,6 +559,40 @@ mod tests {
             vacancy.build_initial().n_atoms() + 1,
             pristine.build_initial().n_atoms()
         );
+    }
+
+    #[test]
+    fn seed_parses_exactly_and_rejects_lossy_values() {
+        let with_seed = |seed: &str| {
+            format!(
+                r#"{{"seed": {seed},
+                    "structures": [{{"system": "si"}}],
+                    "protocols": [{{"kind": "nve"}}]}}"#
+            )
+        };
+        assert_eq!(CampaignSpec::from_json(&with_seed("7")).unwrap().seed, 7);
+        assert_eq!(CampaignSpec::from_json(&with_seed("0")).unwrap().seed, 0);
+        // Strings carry the full u64 range, decimal or hex.
+        assert_eq!(
+            CampaignSpec::from_json(&with_seed("\"0xDEADBEEFDEADBEEF\""))
+                .unwrap()
+                .seed,
+            0xDEAD_BEEF_DEAD_BEEF
+        );
+        assert_eq!(
+            CampaignSpec::from_json(&with_seed("\"18446744073709551615\""))
+                .unwrap()
+                .seed,
+            u64::MAX
+        );
+        // Lossy numeric seeds are errors, never silent truncation: negative,
+        // fractional, beyond the f64 exact-integer range, or junk strings.
+        for bad in ["-1", "1.5", "18446744073709551616", "\"not-a-seed\""] {
+            assert!(
+                CampaignSpec::from_json(&with_seed(bad)).is_err(),
+                "seed {bad} should be rejected"
+            );
+        }
     }
 
     #[test]

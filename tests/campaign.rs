@@ -153,6 +153,99 @@ fn killed_campaign_resumes_skipping_completed_cells() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Mixed segment counts: the 1-segment NVE cells retire from the
+/// multiplexer before the 2-segment quenches, so rows come back in
+/// completion order, not matrix order.
+const MIXED_SPEC: &str = r#"{
+    "name": "mux-resume",
+    "seed": 5,
+    "structures": [{"label": "si1", "system": "si", "reps": 1}],
+    "perturbations": [
+        {"label": "pristine", "kind": "pristine"},
+        {"label": "vac0", "kind": "vacancy", "site": 0}
+    ],
+    "protocols": [
+        {"label": "nve", "kind": "nve", "temperature_k": 300, "steps": 4},
+        {"label": "q", "kind": "quench", "from_k": 600, "to_k": 200,
+         "segments": 2, "rate_k_per_fs": 20, "hold_steps": 2}
+    ],
+    "engines": ["serial"]
+}"#;
+
+#[test]
+fn multiplexed_result_files_pair_rows_with_their_cells() {
+    let spec = CampaignSpec::from_json(MIXED_SPEC).expect("parse");
+    let dir = scratch_dir("mux_resume");
+    let reference = run_campaign(&spec, &RunOptions::default()).expect("inline reference");
+
+    let mux = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            multiplex: true,
+            ..RunOptions::default()
+        },
+    )
+    .expect("multiplexed run");
+    assert!(mux.complete);
+    assert_eq!(mux.executed, 4);
+
+    // Each result file must hold the row of the cell it is named for. A
+    // misfiled bijection would survive a *full* resume (rows carry their
+    // own index and the report re-sorts), so check the files directly:
+    // the stored fingerprint — the fingerprint of the cell the file is
+    // named for — must be the fingerprint of the cell the embedded row
+    // claims to be.
+    let cells = spec.expand();
+    let mut files = 0;
+    for entry in std::fs::read_dir(dir.join("cells")).expect("cells dir") {
+        let path = entry.expect("entry").path();
+        let text = std::fs::read_to_string(&path).expect("read result file");
+        let v = tbmd::trace::JsonValue::parse(&text).expect("result json");
+        let row = tbmd_campaign::CellRow::from_json(&v).expect("row");
+        let stored = v
+            .get("cell_fingerprint")
+            .and_then(|f| f.as_str())
+            .and_then(|f| u64::from_str_radix(f, 16).ok())
+            .expect("stored fingerprint");
+        let cell = cells
+            .iter()
+            .find(|c| c.name == row.name)
+            .expect("cell for stored row");
+        assert_eq!(row.index, cell.index);
+        assert_eq!(
+            stored,
+            cell.fingerprint(),
+            "{}: file holds the row of a different cell ({})",
+            path.display(),
+            row.name
+        );
+        files += 1;
+    }
+    assert_eq!(files, 4, "one result file per cell");
+
+    // And a resume reuses every file, reproducing the inline reference.
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            dir: Some(dir.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .expect("resume from multiplexed result files");
+    assert_eq!(resumed.reused, 4, "every multiplexed cell must be reusable");
+    assert_eq!(resumed.executed, 0);
+    for (a, b) in reference.rows.iter().zip(&resumed.rows) {
+        assert_eq!(
+            a.deterministic_key(),
+            b.deterministic_key(),
+            "{}: row resumed from a multiplexed result file diverged",
+            a.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 const VACANCY_SPEC: &str = r#"{
     "name": "vacancy-formation",
     "seed": 7,
